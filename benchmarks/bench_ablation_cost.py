@@ -1,0 +1,51 @@
+"""ABL5 — cost effectiveness (the paper's "most cost effective platform").
+
+The paper's stated goal includes finding the most *cost effective*
+platform; its conclusion argues the clusters of PCs free the expensive
+vector machines for work that needs them.  This ablation ranks the five
+platforms by best predicted time x rough acquisition cost for both
+workload regimes.
+"""
+
+from repro.core.parameters import ApplicationParams
+from repro.core.prediction import cost_effectiveness, predict_platforms
+from repro.opal.complexes import MEDIUM
+from repro.platforms import ALL_PLATFORMS
+
+COSTS = {p.name: p.approx_cost_kusd for p in ALL_PLATFORMS}
+
+
+def build():
+    out = {}
+    for label, cutoff in (("no cutoff", None), ("10 A cutoff", 10.0)):
+        app = ApplicationParams(molecule=MEDIUM, steps=10, cutoff=cutoff)
+        series = predict_platforms(ALL_PLATFORMS, app, range(1, 8))
+        out[label] = cost_effectiveness(series, COSTS)
+    return out
+
+
+def render(out) -> str:
+    lines = [
+        "ABL5) cost effectiveness: best predicted time x acquisition cost",
+        "      (costs are our rough 1998 estimates, see platform catalog)",
+    ]
+    for label, rows in out.items():
+        lines.append(f"  {label}:")
+        for r in rows:
+            lines.append(
+                f"    {r.platform:<10s} best {r.best_time:7.2f}s x "
+                f"{r.cost_kusd:6.0f}k$ = {r.time_cost_product:10.0f}"
+            )
+    return "\n".join(lines)
+
+
+def test_bench_ablation_cost(benchmark, artifact):
+    out = benchmark.pedantic(build, rounds=1, iterations=1)
+    artifact("ABL5_cost_effectiveness", render(out))
+
+    for rows in out.values():
+        ranking = [r.platform for r in rows]
+        # every cluster of PCs is more cost effective than both big irons
+        for cops in ("slow-cops", "smp-cops", "fast-cops"):
+            for iron in ("j90", "t3e"):
+                assert ranking.index(cops) < ranking.index(iron)

@@ -1,0 +1,63 @@
+"""ABL3 — how much of the J90's poor scaling is middleware? (Sections 3.1/4.1)
+
+The paper suspects "with the right configuration of PVM flags or at
+least with a rewrite of the middleware to use MPI in true zero copy
+mode, we could significantly improve the performance of Opal on the
+J90".  The what-if machinery quantifies it: the stock J90 (3 MB/s
+through PVM/Sciddle), the 7 MB/s the Sciddle authors measured for a
+synthetic RPC, and a hypothetical zero-copy MPI at 10% of the crossbar's
+2 GB/s with 100x lower message overhead.
+"""
+
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.core.prediction import predict_series
+from repro.opal.complexes import MEDIUM
+from repro.platforms import CRAY_J90
+
+SERVERS = tuple(range(1, 8))
+
+
+def build():
+    app = ApplicationParams(molecule=MEDIUM, steps=10, cutoff=10.0)
+    base = ModelPlatformParams.from_spec(CRAY_J90)
+    scenarios = {
+        "stock PVM/Sciddle (3 MB/s)": base,
+        "tuned Sciddle (7 MB/s)": base.with_(a1=7e6, name="j90-7MBs"),
+        "zero-copy MPI (200 MB/s, 0.1 ms)": base.with_(
+            a1=200e6, b1=1e-4, b5=1e-4, name="j90-mpi"
+        ),
+    }
+    return {label: predict_series(mp, app, SERVERS) for label, mp in scenarios.items()}
+
+
+def render(series) -> str:
+    lines = [
+        "ABL3) the J90's middleware tax (medium complex, 10 A cutoff)",
+        f"{'scenario':<36s}" + "".join(f"{f'p={p}':>8s}" for p in SERVERS),
+    ]
+    for label, s in series.items():
+        lines.append(
+            f"{label:<36s}" + "".join(f"{t:8.2f}" for t in s.times)
+        )
+    lines.append("")
+    for label, s in series.items():
+        lines.append(
+            f"  {label:<36s} saturation p={s.saturation}, "
+            f"speedup(7)={s.speedups[-1]:.2f}"
+        )
+    return "\n".join(lines)
+
+
+def test_bench_ablation_middleware(benchmark, artifact):
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    artifact("ABL3_middleware_whatif", render(series))
+
+    stock = series["stock PVM/Sciddle (3 MB/s)"]
+    tuned = series["tuned Sciddle (7 MB/s)"]
+    mpi = series["zero-copy MPI (200 MB/s, 0.1 ms)"]
+    # the middleware, not the machine, causes the turnover
+    assert stock.saturation <= 3
+    assert tuned.saturation > stock.saturation
+    assert mpi.saturation == 7
+    assert mpi.speedups[-1] > 4.0
+    assert mpi.best_time < stock.best_time / 2

@@ -1,0 +1,85 @@
+"""ABL6 — the J90 vectorization study the paper declined to run.
+
+Section 2.6 notes the PC cache study has a J90 analogue — turning
+vectorization off and on — but skips it ("it would be stupid to turn it
+off").  With a simulated machine nothing is stupid: this ablation shows
+(a) the Hockney rate-vs-vector-length curve of the J90 CPU over the
+vector lengths Opal's loops actually present, and (b) what the full
+platform comparison would look like if the J90 could not vectorize —
+quantifying how much of the J90's standing is its vector pipelines.
+"""
+
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.core.prediction import predict_series
+from repro.opal.complexes import MEDIUM
+from repro.platforms import CRAY_J90, FAST_COPS
+from repro.platforms.vector import J90_VECTOR
+
+SERVERS = tuple(range(1, 8))
+
+
+def build():
+    curve = {
+        n: J90_VECTOR.rate(n) / 1e6 for n in (8, 32, 128, 512, 2048, 8192)
+    }
+    app = ApplicationParams(molecule=MEDIUM, steps=10, cutoff=None)
+    base = ModelPlatformParams.from_spec(CRAY_J90)
+    scalar_factor = J90_VECTOR.rate(1000.0) / J90_VECTOR.scalar_rate
+    scenarios = {
+        "J90 vectorized": predict_series(base, app, SERVERS),
+        "J90 scalar (vectorization off)": predict_series(
+            base.scaled_compute(scalar_factor).with_(name="j90-scalar"),
+            app,
+            SERVERS,
+        ),
+        "fast CoPs (for scale)": predict_series(
+            ModelPlatformParams.from_spec(FAST_COPS), app, SERVERS
+        ),
+    }
+    return curve, scenarios, scalar_factor
+
+
+def render(curve, scenarios, scalar_factor) -> str:
+    lines = [
+        "ABL6) J90 vectorization on/off (the study Section 2.6 declined)",
+        "",
+        "Hockney rate vs vector length (r_inf = "
+        f"{J90_VECTOR.r_inf/1e6:.1f} MFlop/s, n_1/2 = {J90_VECTOR.n_half:.0f}):",
+    ]
+    for n, r in curve.items():
+        lines.append(f"  n={n:5d}: {r:6.1f} MFlop/s")
+    lines.append(
+        f"  scalar issue rate: {J90_VECTOR.scalar_rate/1e6:.1f} MFlop/s "
+        f"(vector speedup at Opal lengths: {scalar_factor:.1f}x)"
+    )
+    lines.append(
+        f"  vectorizing pays off beyond ~{J90_VECTOR.break_even_length():.0f} elements"
+    )
+    lines.append("")
+    lines.append("medium complex, no cutoff, predicted times [s]:")
+    for label, s in scenarios.items():
+        lines.append(
+            f"  {label:<32s}" + "".join(f"{t:9.1f}" for t in s.times)
+        )
+    return "\n".join(lines)
+
+
+def test_bench_ablation_vectorization(benchmark, artifact):
+    curve, scenarios, scalar_factor = benchmark.pedantic(
+        build, rounds=1, iterations=1
+    )
+    artifact("ABL6_vectorization", render(curve, scenarios, scalar_factor))
+
+    # Hockney curve is monotone and saturates
+    rates = list(curve.values())
+    assert all(a < b for a, b in zip(rates, rates[1:]))
+    assert rates[-1] < J90_VECTOR.r_inf / 1e6
+    # Opal's long loops run near the asymptote
+    assert J90_VECTOR.rate(2000) > 0.95 * J90_VECTOR.r_inf
+    # without vectors the J90 loses to every PC: its compute-bound time
+    # is ~7x worse, worse even than the slow CoPs CPU
+    vec = scenarios["J90 vectorized"]
+    scal = scenarios["J90 scalar (vectorization off)"]
+    pc = scenarios["fast CoPs (for scale)"]
+    assert scal.times[0] > 6 * vec.times[0]
+    assert scal.times[0] > 4 * pc.times[0]

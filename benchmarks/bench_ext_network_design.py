@@ -1,0 +1,91 @@
+"""EXT5 — what interconnect does Opal need?
+
+The conclusion states the cutoff optimization turns Opal into "a
+communication critical application that requires a strong memory and
+communication system for good parallelization".  This extension maps
+the requirement: predicted t(7) for the medium/cutoff workload over a
+bandwidth x latency grid (holding the fast-CoPs CPU fixed), the
+break-even frontier against the J90, and the parameter elasticities
+that say *which* knob matters in each corner.
+"""
+
+import numpy as np
+
+from repro.analysis.sensitivity import sensitivity_report
+from repro.core.model import OpalPerformanceModel
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.opal.complexes import MEDIUM
+from repro.platforms import CRAY_J90, FAST_COPS
+
+BANDWIDTHS_MB = (1, 3, 10, 30, 100)
+LATENCIES = (10e-3, 1e-3, 100e-6, 15e-6)
+
+
+def build():
+    app = ApplicationParams(molecule=MEDIUM, steps=10, servers=7, cutoff=10.0)
+    base = ModelPlatformParams.from_spec(FAST_COPS)
+    grid = {}
+    for bw in BANDWIDTHS_MB:
+        for lat in LATENCIES:
+            params = base.with_(a1=bw * 1e6, b1=lat, name=f"grid-{bw}-{lat:g}")
+            grid[(bw, lat)] = OpalPerformanceModel(params).predict_total(app)
+    j90_t7 = OpalPerformanceModel(
+        ModelPlatformParams.from_spec(CRAY_J90)
+    ).predict_total(app)
+    corners = {
+        "slow net (3 MB/s, 10 ms)": base.with_(a1=3e6, b1=10e-3, name="c1"),
+        "fast net (100 MB/s, 15 us)": base.with_(a1=100e6, b1=15e-6, name="c2"),
+    }
+    sens = {
+        label: sensitivity_report(params, app)
+        for label, params in corners.items()
+    }
+    return grid, j90_t7, sens
+
+
+def render(grid, j90_t7, sens) -> str:
+    lines = [
+        "EXT5) interconnect design space: predicted t(7) [s], medium/cutoff,",
+        "      fast-CoPs CPUs with a swappable network",
+        "",
+        "  " + "bw / lat".rjust(10)
+        + "".join(
+            f"{(f'{lat*1e3:g}ms' if lat >= 1e-3 else f'{lat*1e6:g}us'):>9s}"
+            for lat in LATENCIES
+        ),
+    ]
+    for bw in BANDWIDTHS_MB:
+        row = f"  {bw:>7d}MB"
+        for lat in LATENCIES:
+            t = grid[(bw, lat)]
+            marker = "*" if t < j90_t7 else " "
+            row += f"{t:8.2f}{marker}"
+        lines.append(row)
+    lines.append(f"  (* = beats the J90's predicted t(7) = {j90_t7:.2f}s)")
+    lines.append("")
+    for label, rep in sens.items():
+        lines.append(
+            f"  {label}: dominant parameter {rep.dominant()}, "
+            f"comm share {rep.communication_share():.2f}"
+        )
+    return "\n".join(lines)
+
+
+def test_bench_ext_network_design(benchmark, artifact):
+    grid, j90_t7, sens = benchmark.pedantic(build, rounds=1, iterations=1)
+    artifact("EXT5_network_design", render(grid, j90_t7, sens))
+
+    # monotone in both knobs
+    for lat in LATENCIES:
+        col = [grid[(bw, lat)] for bw in BANDWIDTHS_MB]
+        assert all(a >= b for a, b in zip(col, col[1:]))
+    for bw in BANDWIDTHS_MB:
+        row = [grid[(bw, lat)] for lat in LATENCIES]
+        assert all(a >= b for a, b in zip(row, row[1:]))
+    # Ethernet-class networking (3 MB/s, 10 ms) cannot beat the J90 even
+    # with 400 MHz CPUs; Myrinet-class comfortably does
+    assert grid[(3, 10e-3)] > j90_t7 * 0.9
+    assert grid[(30, 15e-6)] < j90_t7 / 3
+    # sensitivity flips from communication- to compute-dominated
+    assert sens["slow net (3 MB/s, 10 ms)"].communication_share() > 0.6
+    assert sens["fast net (100 MB/s, 15 us)"].compute_share() > 0.6

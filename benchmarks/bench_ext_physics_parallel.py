@@ -1,0 +1,80 @@
+"""EXT4 — real physics through the middleware: one code path, two faces.
+
+Runs genuine parallel molecular dynamics (coordinates, partial energies
+and gradients in the RPC payloads) on the simulated platforms and shows
+the central consistency property of this reproduction: the *physics* is
+bit-identical across server counts and platforms (same trajectory, same
+energies), while the *performance* differs exactly as the paper's
+platform comparison predicts.
+"""
+
+import numpy as np
+
+from repro.opal.complexes import ComplexSpec
+from repro.opal.minimize import steepest_descent
+from repro.opal.pairlist import VerletPairList
+from repro.opal.parallel_physics import run_parallel_opal_physics
+from repro.opal.system import build_system
+from repro.platforms import CRAY_J90, FAST_COPS
+
+STEPS, DT = 4, 0.0005
+
+
+def build():
+    spec = ComplexSpec("ext4", protein_atoms=20, waters=60, density=0.033)
+    base = build_system(spec, seed=6)
+    steepest_descent(base, VerletPairList(base, cutoff=None), max_steps=100)
+
+    runs = {}
+    for platform in (CRAY_J90, FAST_COPS):
+        for p in (1, 2, 4):
+            r = run_parallel_opal_physics(
+                base.copy(), servers=p, platform=platform,
+                steps=STEPS, dt=DT, cutoff=8.0,
+            )
+            runs[(platform.name, p)] = r
+    return runs
+
+
+def render(runs) -> str:
+    lines = [
+        "EXT4) real parallel MD over the simulated middleware",
+        f"  {'platform':<10s} {'p':>2s} {'E_total(final)':>16s} "
+        f"{'virtual wall [s]':>17s}",
+    ]
+    for (name, p), r in runs.items():
+        lines.append(
+            f"  {name:<10s} {p:2d} {r.records[-1].e_total:16.6f} "
+            f"{r.wall_time:17.4f}"
+        )
+    lines.append("")
+    lines.append("  identical energies everywhere; only the clock differs —")
+    lines.append("  physics and performance share one client/server code path.")
+    lines.append("  (the toy size sits below every isoefficiency curve, so the")
+    lines.append("  latency-heavy J90 actually loses time to parallelism here)")
+    return "\n".join(lines)
+
+
+def test_bench_ext_physics_parallel(benchmark, artifact):
+    runs = benchmark.pedantic(build, rounds=1, iterations=1)
+    artifact("EXT4_physics_parallel", render(runs))
+
+    energies = [r.records[-1].e_total for r in runs.values()]
+    # the physics is independent of p and platform
+    assert np.allclose(energies, energies[0], rtol=1e-9)
+    coords = [r.final_coords for r in runs.values()]
+    for c in coords[1:]:
+        assert np.allclose(c, coords[0], atol=1e-8)
+    # the performance is not: fast CoPs beat the J90 at every p
+    for p in (1, 2, 4):
+        assert (
+            runs[("fast-cops", p)].wall_time < runs[("j90", p)].wall_time
+        )
+    # an 80-center toy problem sits far below every isoefficiency curve:
+    # parallelizing it HURTS on the latency-heavy J90 (consistent with
+    # EXT1's isoefficiency analysis, not a bug)
+    assert runs[("j90", 4)].wall_time > runs[("j90", 1)].wall_time
+    assert (
+        runs[("fast-cops", 4)].wall_time
+        < 2.0 * runs[("fast-cops", 1)].wall_time
+    )

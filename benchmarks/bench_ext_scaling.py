@@ -1,0 +1,79 @@
+"""EXT1 — scaling beyond seven servers, and isoefficiency.
+
+The paper stops at seven servers and predicts that "with a larger number
+of processors we would probably encounter the same saturation point at
+which adding processors would stop to increase performance".  This
+extension runs the model out to 32 servers to locate those saturation
+points, and computes each platform's isoefficiency function (problem
+size required to hold 50% efficiency).
+"""
+
+from repro.core.isoefficiency import isoefficiency_curve
+from repro.core.model import OpalPerformanceModel
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.core.prediction import predict_platforms
+from repro.opal.complexes import LARGE, MEDIUM
+from repro.platforms import ALL_PLATFORMS
+
+SERVERS = (1, 2, 4, 7, 12, 20, 32)
+
+
+def build():
+    app_med = ApplicationParams(molecule=MEDIUM, steps=10, cutoff=10.0)
+    app_large = ApplicationParams(molecule=LARGE, steps=10, cutoff=10.0)
+    curves = {
+        "medium": predict_platforms(ALL_PLATFORMS, app_med, SERVERS),
+        "large": predict_platforms(ALL_PLATFORMS, app_large, SERVERS),
+    }
+    iso = {}
+    for spec in ALL_PLATFORMS:
+        model = OpalPerformanceModel(ModelPlatformParams.from_spec(spec))
+        iso[spec.name] = isoefficiency_curve(
+            model, app_med, servers=(4, 8, 16, 32), target=0.5
+        )
+    return curves, iso
+
+
+def render(curves, iso) -> str:
+    lines = ["EXT1) scaling to 32 servers (10 A cutoff)"]
+    for label, series in curves.items():
+        lines.append(f"  {label} complex — saturation points:")
+        for name, s in series.items():
+            lines.append(
+                f"    {name:<10s} best {s.best_time:7.2f}s at p={s.saturation:2d}, "
+                f"t(32)={s.times[-1]:7.2f}s"
+            )
+    lines.append("")
+    lines.append("  isoefficiency (n for 50% efficiency, medium-base problem):")
+    header = f"    {'platform':<12s}" + "".join(f"{f'p={p}':>10s}" for p in (4, 8, 16, 32))
+    lines.append(header)
+    for name, points in iso.items():
+        cells = "".join(
+            f"{(str(pt.n_required) if pt.n_required else '—'):>10s}"
+            for pt in points
+        )
+        lines.append(f"    {name:<12s}{cells}")
+    return "\n".join(lines)
+
+
+def test_bench_ext_scaling(benchmark, artifact):
+    curves, iso = benchmark.pedantic(build, rounds=1, iterations=1)
+    artifact("EXT1_scaling", render(curves, iso))
+
+    med = curves["medium"]
+    # the predicted saturation exists for every platform by p=32
+    for name, s in med.items():
+        assert s.saturation <= 32
+    # good-network platforms saturate much later than the J90
+    assert med["t3e"].saturation > 3 * med["j90"].saturation
+    # larger problems push every saturation point outwards
+    for name in med:
+        assert curves["large"][name].saturation >= med[name].saturation
+    # isoefficiency: J90 needs (much) bigger problems than the T3E
+    j90_16 = iso["j90"][2].n_required
+    t3e_16 = iso["t3e"][2].n_required
+    assert j90_16 is None or (t3e_16 is not None and t3e_16 < j90_16)
+    # isoefficiency functions grow with p wherever defined
+    for points in iso.values():
+        sizes = [pt.n_required for pt in points if pt.n_required is not None]
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))

@@ -1,0 +1,81 @@
+"""EXT6 — space decomposition, simulated (closing the EXT2 loop).
+
+EXT2 compared the parallelization alternatives *analytically*; this
+benchmark runs an actual SPMD slab-decomposed Opal on the simulated
+J90 next to the client/server replicated-data program, with identical
+work totals: the middleware-bound RD structure turns over at ~3 servers
+while the neighbour-exchange program keeps improving — Section 2.1's
+alternatives made executable.
+"""
+
+from repro.core.parameters import ApplicationParams
+from repro.opal.complexes import LARGE
+from repro.opal.parallel import run_parallel_opal
+from repro.opal.parallel_sd import run_parallel_opal_sd
+from repro.platforms import CRAY_J90, FAST_COPS
+
+SERVERS = (1, 2, 3, 4, 5)
+
+
+def build():
+    app = ApplicationParams(molecule=LARGE, steps=5, cutoff=10.0)
+    out = {}
+    for platform in (CRAY_J90, FAST_COPS):
+        rd, sd = {}, {}
+        for p in SERVERS:
+            rd[p] = run_parallel_opal(app.with_(servers=p), platform)
+            sd[p] = run_parallel_opal_sd(app.with_(servers=p), platform)
+        out[platform.name] = (rd, sd)
+    return out
+
+
+def render(out) -> str:
+    lines = [
+        "EXT6) replicated-data vs space decomposition, both SIMULATED",
+        "      (large complex, 10 A cutoff, 5 steps)",
+    ]
+    for name, (rd, sd) in out.items():
+        lines.append(f"  {name}:")
+        lines.append(
+            "    p:      " + "".join(f"{p:>9d}" for p in SERVERS)
+        )
+        lines.append(
+            "    RD wall:" + "".join(f"{rd[p].wall_time:9.3f}" for p in SERVERS)
+        )
+        lines.append(
+            "    SD wall:" + "".join(f"{sd[p].wall_time:9.3f}" for p in SERVERS)
+        )
+        lines.append(
+            "    RD comm:" + "".join(f"{rd[p].breakdown.comm:9.3f}" for p in SERVERS)
+        )
+        lines.append(
+            "    SD comm:" + "".join(f"{sd[p].breakdown.comm:9.3f}" for p in SERVERS)
+        )
+    lines.append("")
+    lines.append("  note fast-cops p=1: the large pair list (152 MB) spills out of")
+    lines.append("  a 128 MB PC node -> the Section 2.6 out-of-core penalty appears")
+    lines.append("  emergently; from p=2 the per-node share fits again.")
+    lines.append("  on the J90 the RD communication grows linearly in p and the")
+    lines.append("  run regresses; the slab program's neighbour traffic stays")
+    lines.append("  nearly flat. (1-D slabs thinner than the cutoff would")
+    lines.append("  degenerate; p stops at 5 for this box.)")
+    return "\n".join(lines)
+
+
+def test_bench_ext_sd_simulated(benchmark, artifact):
+    out = benchmark.pedantic(build, rounds=1, iterations=1)
+    artifact("EXT6_sd_simulated", render(out))
+
+    rd, sd = out["j90"]
+    # RD: linear comm growth and a turnover
+    assert rd[5].breakdown.comm > 4.0 * rd[1].breakdown.comm
+    assert rd[5].wall_time > rd[3].wall_time
+    # SD: sublinear comm growth (interior-peer regime starts at p=3)
+    # and monotone improvement through p=5
+    assert sd[5].breakdown.comm < 1.6 * sd[3].breakdown.comm
+    walls = [sd[p].wall_time for p in SERVERS]
+    assert all(b < a for a, b in zip(walls, walls[1:]))
+    # on the fast network both structures are fine at this scale
+    rd_f, sd_f = out["fast-cops"]
+    assert rd_f[5].wall_time < rd_f[1].wall_time
+    assert sd_f[5].wall_time < sd_f[1].wall_time

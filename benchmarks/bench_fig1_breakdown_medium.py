@@ -1,0 +1,40 @@
+"""FIG1 — measured execution-time breakdown, medium complex (Figure 1).
+
+Regenerates the four panels of Figure 1: detailed breakdown of the wall
+clock execution time for 10 iterations of an Opal simulation of the
+medium molecule (n = 4289) on the simulated Cray J90, for 1..7 servers,
+{no cutoff, 10 A} x {full update, partial update}.
+"""
+
+from repro.analysis import PANEL_TITLES, breakdown_chart, breakdown_table, figure_breakdown
+from repro.opal.complexes import MEDIUM
+
+
+def render(panels) -> str:
+    blocks = []
+    for key in "abcd":
+        title = f"Figure 1{key}) medium complex, {PANEL_TITLES[key]}"
+        blocks.append(breakdown_table(panels[key], title=title))
+        blocks.append(breakdown_chart(panels[key], width=56))
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def test_bench_fig1(benchmark, artifact):
+    panels = benchmark.pedantic(
+        lambda: figure_breakdown(MEDIUM), rounds=1, iterations=1
+    )
+    artifact("FIG1_breakdown_medium", render(panels))
+
+    # shape assertions (see DESIGN.md acceptance criteria)
+    a, c = panels["a"], panels["c"]
+    # no cutoff: parallel compute dominates and shrinks with p
+    assert a[1].par_comp / a[1].total > 0.9
+    assert a[7].par_comp < a[1].par_comp / 5
+    # comm grows ~linearly with p but stays a minority share
+    assert a[7].comm > 5 * a[1].comm
+    assert a[7].comm / a[7].total < 0.5
+    # cutoff: compute comparable to the other components at higher p
+    assert c[7].par_comp / c[7].total < 0.5
+    # even-p idle excess (the load-balancing anomaly)
+    assert a[4].idle > a[3].idle and a[6].idle > a[5].idle

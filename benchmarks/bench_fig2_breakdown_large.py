@@ -1,0 +1,35 @@
+"""FIG2 — measured execution-time breakdown, large complex (Figure 2).
+
+Same four panels as Figure 1 but for the large molecule (n = 6289).
+The paper's observation: execution times roughly double, the behaviour
+of the components stays the same.
+"""
+
+from repro.analysis import PANEL_TITLES, breakdown_table, figure_breakdown
+from repro.opal.complexes import LARGE, MEDIUM
+
+
+def render(panels) -> str:
+    blocks = []
+    for key in "abcd":
+        title = f"Figure 2{key}) large complex, {PANEL_TITLES[key]}"
+        blocks.append(breakdown_table(panels[key], title=title))
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def test_bench_fig2(benchmark, artifact):
+    panels = benchmark.pedantic(
+        lambda: figure_breakdown(LARGE), rounds=1, iterations=1
+    )
+    artifact("FIG2_breakdown_large", render(panels))
+
+    medium = figure_breakdown(MEDIUM, servers=(1, 4, 7))
+    # "the order of the measured execution time doubles when we increase
+    # the problem size ... the behavior of the components remains the same"
+    ratio = panels["a"][1].total / medium["a"][1].total
+    assert 1.8 < ratio < 2.6
+    for p in (1, 4, 7):
+        frac_large = panels["a"][p].fractions()
+        frac_medium = medium["a"][p].fractions()
+        assert abs(frac_large["par_comp"] - frac_medium["par_comp"]) < 0.15

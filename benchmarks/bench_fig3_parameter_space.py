@@ -1,0 +1,80 @@
+"""FIG3 — the calibration parameter space (Figure 3).
+
+Regenerates the design the calibration walks: three complexes x two
+cutoffs x two update frequencies x seven server counts = the paper's 84
+experiments, plus the published 7 * 2^(3-1) fraction, plus a sign-table
+factor analysis showing which factors dominate the response (the paper's
+"maximum information with the minimum number of experiments" argument).
+"""
+
+from repro.analysis.figures import figure3_parameter_space
+from repro.core.model import OpalPerformanceModel
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.experiments import (
+    Factor,
+    full_factorial,
+    reduced_design,
+    sign_table_effects,
+)
+from repro.opal.complexes import LARGE, MEDIUM
+from repro.platforms import CRAY_J90
+
+
+def build():
+    full = figure3_parameter_space()
+    reduced = reduced_design()
+
+    # factor analysis on predicted response over the 2^4 corner design
+    factors = [
+        Factor("servers", (1, 7)),
+        Factor("molecule", (MEDIUM, LARGE)),
+        Factor("cutoff", (10.0, None)),
+        Factor("update_interval", (10, 1)),
+    ]
+    rows = full_factorial(factors)
+    model = OpalPerformanceModel(ModelPlatformParams.from_spec(CRAY_J90))
+    responses = [
+        model.predict_total(
+            ApplicationParams(
+                molecule=r["molecule"],
+                steps=10,
+                servers=r["servers"],
+                cutoff=r["cutoff"],
+                update_interval=r["update_interval"],
+            )
+        )
+        for r in rows
+    ]
+    effects = sign_table_effects(factors, rows, responses)
+    return full, reduced, effects
+
+
+def render(full, reduced, effects) -> str:
+    lines = [
+        "Figure 3) parameter space of the Opal calibration",
+        f"  full factorial design: {len(full)} experiments "
+        "(7 servers x 3 sizes x 2 cutoffs x 2 update frequencies)",
+        f"  published reduced design: {len(reduced)} experiments (7 * 2^(3-1))",
+        "",
+        "  factor/interaction effects on predicted t_OPAL (J90):",
+    ]
+    for e in effects[:6]:
+        lines.append(
+            f"    {e.name:<28s} effect {e.effect:+9.3f} s   "
+            f"variation {100 * e.variation_explained:5.1f}%"
+        )
+    lines.append("")
+    lines.append("  first 8 cells of the full design:")
+    for case in full[:8]:
+        lines.append(f"    {case.label}")
+    return "\n".join(lines)
+
+
+def test_bench_fig3(benchmark, artifact):
+    full, reduced, effects = benchmark.pedantic(build, rounds=1, iterations=1)
+    artifact("FIG3_parameter_space", render(full, reduced, effects))
+
+    assert len(full) == 84
+    assert len(reduced) == 28
+    # the cutoff factor dominates the response (quadratic vs linear work)
+    assert effects[0].name in ("cutoff", "molecule", "cutoff*molecule", "molecule*cutoff")

@@ -1,0 +1,48 @@
+"""FIG4 — measured vs model-predicted wall-clock times (Figure 4).
+
+Runs the reduced 7 * 2^(3-1) design on the simulated Cray J90, fits the
+analytical model by least squares (Section 2.5) and reports per-case
+measured/predicted differences — the data behind Figure 4a-d.  The
+acceptance criterion is the paper's: "the overall fit of the model to
+the measurement ... is excellent".
+"""
+
+import numpy as np
+
+from repro.analysis import residuals_table
+from repro.analysis.figures import figure4_calibration
+
+
+def render(result, rows) -> str:
+    lines = [
+        "Figure 4) difference between measured and model-predicted times "
+        "(J90, reduced design)",
+        "",
+        residuals_table(rows),
+        "",
+        "fitted platform parameters (least squares over the design):",
+        f"  a1 = {result.params.a1 / 1e6:8.3f} MByte/s   "
+        f"b1 = {result.params.b1 * 1e3:8.3f} ms",
+        f"  a2 = {result.params.a2:.3e} s  a3 = {result.params.a3:.3e} s  "
+        f"a4 = {result.params.a4:.3e} s",
+        f"  b5 = {result.params.b5 * 1e3:8.3f} ms",
+        "",
+        "component fit quality (R^2): "
+        + "  ".join(f"{k}={v:.4f}" for k, v in sorted(result.r2.items())),
+        f"mean relative error over the design: "
+        f"{100 * result.mean_relative_error():.2f}%",
+    ]
+    return "\n".join(lines)
+
+
+def test_bench_fig4(benchmark, artifact):
+    result, rows = benchmark.pedantic(
+        figure4_calibration, rounds=1, iterations=1
+    )
+    artifact("FIG4_calibration", render(result, rows))
+
+    assert len(rows) == 28
+    assert result.mean_relative_error() < 0.08
+    assert all(v > 0.95 for v in result.r2.values())
+    rel = np.array([abs(r["relative_error"]) for r in rows])
+    assert np.median(rel) < 0.06

@@ -1,0 +1,57 @@
+"""FIG5 — predicted time and speedup, medium complex (Figure 5).
+
+Uses the analytical model with each platform's Tables 1/2 key data to
+predict 10-iteration execution times and relative speedups for 1..7
+servers — panels a/b without cutoff, c/d with the effective 10 A cutoff.
+"""
+
+from repro.analysis import curve_table
+from repro.analysis.figures import figure5
+from repro.core.speedup import slows_down
+
+SERVERS = tuple(range(1, 8))
+
+
+def render(out) -> str:
+    blocks = []
+    for key, (tpanel, spanel) in (
+        ("no_cutoff", ("5a) predicted execution time [s], no cutoff",
+                       "5b) relative speedup, no cutoff")),
+        ("cutoff", ("5c) predicted execution time [s], 10 A cutoff",
+                    "5d) relative speedup, 10 A cutoff")),
+    ):
+        series = out[key]
+        blocks.append(
+            curve_table({n: s.times for n, s in series.items()}, SERVERS, tpanel)
+        )
+        blocks.append("")
+        blocks.append(
+            curve_table(
+                {n: s.speedups for n, s in series.items()},
+                SERVERS,
+                spanel,
+                value_format="9.2f",
+            )
+        )
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def test_bench_fig5(benchmark, artifact):
+    out = benchmark.pedantic(figure5, rounds=1, iterations=1)
+    artifact("FIG5_predict_medium", render(out))
+
+    nocut, cut = out["no_cutoff"], out["cutoff"]
+    # 5a/5b: compute bound, good speedup for everyone, node speed decides
+    for s in nocut.values():
+        assert not slows_down(list(s.times))
+    assert nocut["fast-cops"].best_time == min(s.best_time for s in nocut.values())
+    # 5c/5d: J90 and slow CoPs turn over at ~3 servers, speedup < 1 at 7
+    for name in ("j90", "slow-cops"):
+        assert cut[name].saturation <= 3
+        assert cut[name].speedups[-1] < 1.0
+    # T3E catches up: best speedup; PCs keep the best absolute time
+    sp7 = {n: s.speedups[-1] for n, s in cut.items()}
+    assert max(sp7, key=sp7.get) == "t3e"
+    assert cut["fast-cops"].times[-1] < cut["t3e"].times[-1]
+    assert cut["smp-cops"].times[-1] < cut["j90"].times[-1]

@@ -1,0 +1,55 @@
+"""FIG6 — predicted time and speedup, large complex (Figure 6).
+
+Same panels as Figure 5 for the large molecule: the added computation
+pushes the communication break-down point outwards and slightly improves
+speedups.
+"""
+
+from repro.analysis import curve_table
+from repro.analysis.figures import figure5, figure6
+
+SERVERS = tuple(range(1, 8))
+
+
+def render(out) -> str:
+    blocks = []
+    for key, (tpanel, spanel) in (
+        ("no_cutoff", ("6a) predicted execution time [s], no cutoff",
+                       "6b) relative speedup, no cutoff")),
+        ("cutoff", ("6c) predicted execution time [s], 10 A cutoff",
+                    "6d) relative speedup, 10 A cutoff")),
+    ):
+        series = out[key]
+        blocks.append(
+            curve_table({n: s.times for n, s in series.items()}, SERVERS, tpanel)
+        )
+        blocks.append("")
+        blocks.append(
+            curve_table(
+                {n: s.speedups for n, s in series.items()},
+                SERVERS,
+                spanel,
+                value_format="9.2f",
+            )
+        )
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def test_bench_fig6(benchmark, artifact):
+    out = benchmark.pedantic(figure6, rounds=1, iterations=1)
+    artifact("FIG6_predict_large", render(out))
+
+    f5 = figure5()
+    # behaviour "remains quite similar to the medium size problem"
+    for name, s6 in out["no_cutoff"].items():
+        s5 = f5["no_cutoff"][name]
+        # 6b: slightly better speedups with more computation
+        assert s6.speedups[-1] >= s5.speedups[-1] - 1e-9
+        # absolute times larger
+        assert s6.times[0] > s5.times[0]
+    # 6d: "we do not have the extreme slow down seen in Chart 5d" — the
+    # break-down point moves outwards on every platform
+    for name in ("j90", "slow-cops"):
+        assert out["cutoff"][name].saturation >= f5["cutoff"][name].saturation
+        assert out["cutoff"][name].speedups[-1] > f5["cutoff"][name].speedups[-1]

@@ -1,0 +1,113 @@
+"""PERF — host-side performance of the library's hot paths.
+
+Unlike the FIG/TAB/ABL/EXT benchmarks (which regenerate paper artifacts
+and use pytest-benchmark only as a harness), these measure the *library
+itself* on the host machine: model evaluation throughput, workload
+splitting, pair-list construction, force evaluation and raw
+discrete-event throughput.  They guard against performance regressions
+in the code paths every experiment leans on.
+"""
+
+import numpy as np
+
+from repro.core.model import OpalPerformanceModel
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.netsim import Cluster, Node, SwitchedFabric, constant_rate
+from repro.opal.complexes import MEDIUM, ComplexSpec
+from repro.opal.distribution import PairDistribution
+from repro.opal.forcefield import total_energy
+from repro.opal.pairlist import PairListBuilder
+from repro.opal.parallel import run_parallel_opal
+from repro.opal.system import build_system
+from repro.platforms import CRAY_J90
+
+
+def test_perf_model_evaluation(benchmark):
+    """Full breakdown evaluation should run at >10k configs/second."""
+    model = OpalPerformanceModel(ModelPlatformParams.from_spec(CRAY_J90))
+    apps = [
+        ApplicationParams(molecule=MEDIUM, steps=10, servers=p, cutoff=c)
+        for p in range(1, 8)
+        for c in (None, 10.0)
+    ]
+
+    def evaluate():
+        return sum(model.predict_total(a) for a in apps)
+
+    result = benchmark(evaluate)
+    assert result > 0
+
+
+def test_perf_pair_distribution(benchmark):
+    """Dealing ~9.2M pairs into blocks must stay in the millisecond range."""
+    dist = PairDistribution(servers=7, seed=0)
+
+    shares = benchmark(dist.shares, 9_195_616)
+    assert shares.sum() == 9_195_616
+
+
+def test_perf_pairlist_build(benchmark):
+    """Cell-list construction for a 1000-center system."""
+    spec = ComplexSpec("perf", protein_atoms=200, waters=800, density=0.04)
+    system = build_system(spec, seed=0)
+    builder = PairListBuilder(cutoff=9.0, method="cells")
+
+    pairs = benchmark(builder.build, system.coords)
+    assert len(pairs) > 0
+
+
+def test_perf_force_evaluation(benchmark):
+    """One full force+energy evaluation over ~40k pairs."""
+    spec = ComplexSpec("perf", protein_atoms=100, waters=400, density=0.04)
+    system = build_system(spec, seed=0)
+    pairs = PairListBuilder(cutoff=9.0).build(system.coords)
+
+    def evaluate():
+        report, grad = total_energy(system, pairs)
+        return report.total
+
+    total = benchmark(evaluate)
+    assert np.isfinite(total)
+
+
+def test_perf_des_event_throughput(benchmark):
+    """The event engine should push >100k message events per second."""
+
+    def run_ping_pong():
+        cluster = Cluster(
+            lambda e: SwitchedFabric(e, latency=1e-6, bandwidth=1e9),
+            seed=0,
+            trace=False,
+        )
+        n0 = cluster.add_node(Node(cluster.engine, 0, constant_rate(1e9)))
+        n1 = cluster.add_node(Node(cluster.engine, 1, constant_rate(1e9)))
+
+        from repro.netsim import Recv, Send
+
+        def ponger(ctx):
+            """Echo everything back."""
+            for _ in range(2000):
+                msg = yield Recv(tag=1)
+                yield Send(msg.source, nbytes=64, tag=2)
+
+        def pinger(ctx, peer):
+            """Drive 2000 round trips."""
+            for _ in range(2000):
+                yield Send(peer, nbytes=64, tag=1)
+                yield Recv(source=peer, tag=2)
+
+        pong = cluster.spawn("pong", n1, ponger)
+        cluster.spawn("ping", n0, pinger, pong.tid)
+        cluster.run()
+        return cluster.engine.events_executed
+
+    events = benchmark(run_ping_pong)
+    assert events > 8000
+
+
+def test_perf_full_simulated_run(benchmark):
+    """A complete medium-complex run (the Fig 1 unit of work)."""
+    app = ApplicationParams(molecule=MEDIUM, steps=10, servers=7, cutoff=10.0)
+
+    result = benchmark(run_parallel_opal, app, CRAY_J90)
+    assert result.wall_time > 0

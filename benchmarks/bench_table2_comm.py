@@ -1,0 +1,45 @@
+"""TAB2 — communication speed parameters (Table 2).
+
+Runs the ping-pong microbenchmark on each simulated platform and fits
+observed bandwidth (a1) and per-message latency (b1), regenerating the
+observed columns of Table 2 next to the hardware peaks.
+"""
+
+import pytest
+
+from repro.platforms import format_table2, table2
+
+#: Paper values: (peak MB/s, observed MB/s, observed latency seconds).
+PAPER = {
+    "t3e": (350, 100, 12e-6),
+    "j90": (2000, 3, 10e-3),
+    "slow-cops": (10, 3, 10e-3),
+    "smp-cops": (50, 15, 25e-6),
+    "fast-cops": (125, 30, 15e-6),
+}
+
+
+def render(rows) -> str:
+    lines = [
+        "Table 2) communication speed parameters (ping-pong microbenchmark)",
+        format_table2(rows),
+        "",
+        "the J90 anomaly: a >1 GB/s crossbar observed at 3 MB/s through "
+        "PVM/Sciddle — the middleware, not the hardware, sets a1.",
+    ]
+    return "\n".join(lines)
+
+
+def test_bench_table2(benchmark, artifact):
+    rows = benchmark.pedantic(table2, rounds=1, iterations=1)
+    artifact("TAB2_comm_speed", render(rows))
+
+    by_name = {r.platform: r for r in rows}
+    for name, (peak, observed, latency) in PAPER.items():
+        row = by_name[name]
+        assert row.peak_mbps == pytest.approx(peak)
+        assert row.observed_mbps == pytest.approx(observed, rel=0.02)
+        assert row.latency_s == pytest.approx(latency, rel=0.02)
+    # ordering facts the prediction relies on
+    assert by_name["t3e"].observed_mbps > by_name["fast-cops"].observed_mbps
+    assert by_name["j90"].latency_s > 100 * by_name["smp-cops"].latency_s

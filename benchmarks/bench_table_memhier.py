@@ -1,0 +1,72 @@
+"""T26B — working set vs computational rate (Section 2.6, second table).
+
+Reruns the paper's memory-hierarchy probe: the dominant Opal loop
+(comp_nbint) timed on the 200 MHz Pentium node at three working-set
+sizes — in cache (50 KB), in core (8 MB), out of core (120 MB) — through
+the simulated node's rate model, and checks the go/no-go consequence for
+the paper's complexes.
+"""
+
+import pytest
+
+from repro.core.space import SpaceModel
+from repro.netsim import Compute
+from repro.opal.complexes import LARGE
+from repro.platforms import SLOW_COPS
+
+WORKING_SETS = {"in cache": 50e3, "in core": 8e6, "out of core": 120e6}
+PAPER_RATES = {"in cache": 35.0, "in core": 32.0, "out of core": 8.0}
+
+
+def run_probe():
+    """Time a fixed kernel slice at each working-set size on one node."""
+    rates = {}
+    for label, ws in WORKING_SETS.items():
+        cluster = SLOW_COPS.build_cluster(1, trace=False)
+        flops = 64e6  # a fixed comp_nbint slice
+
+        def body(ctx):
+            yield Compute(flops=flops, working_set=ws)
+
+        cluster.spawn("probe", cluster.nodes[0], body)
+        t = cluster.run()
+        rates[label] = flops / t / 1e6
+    return rates
+
+
+def render(rates) -> str:
+    lines = [
+        "Section 2.6) working set vs computational rate "
+        "(comp_nbint on Pentium 200)",
+        f"{'regime':<14s} {'working set':>12s} {'MFlop/s':>9s} "
+        f"{'paper':>7s} {'relative':>9s}",
+    ]
+    base = rates["in core"]
+    for label, ws in WORKING_SETS.items():
+        lines.append(
+            f"{label:<14s} {ws/1e3:>10.0f}KB {rates[label]:9.1f} "
+            f"{PAPER_RATES[label]:7.1f} {rates[label]/base:9.2f}"
+        )
+    model = SpaceModel(LARGE)
+    lines.append("")
+    lines.append(
+        "consequence: large-complex server working sets on a 64 MB node:"
+    )
+    for p in (1, 2, 4):
+        ws = model.server_working_set(p)
+        regime = SLOW_COPS.memory.regime(ws)
+        lines.append(f"  p={p}: {ws/1e6:7.1f} MB -> {regime}")
+    return "\n".join(lines)
+
+
+def test_bench_table_memhier(benchmark, artifact):
+    rates = benchmark.pedantic(run_probe, rounds=1, iterations=1)
+    artifact("T26B_memhier_table", render(rates))
+
+    # the paper's 35 / 32 / 8 MFlop/s row
+    for label, expected in PAPER_RATES.items():
+        assert rates[label] == pytest.approx(expected, rel=0.03), label
+    # "the performance breakdown for the out of core case is so drastic"
+    assert rates["in core"] / rates["out of core"] == pytest.approx(4.0, rel=0.05)
+    # blocking for cache would buy under 10%: "not beneficial"
+    assert rates["in cache"] / rates["in core"] < 1.12

@@ -1,0 +1,58 @@
+"""T26A — data-structure growth table (Section 2.6, first table).
+
+Regenerates the space-complexity table for the large example (6289 mass
+centers): pair list, atom coordinates, atom gradients, atom interaction
+tables, energy values — and the per-server scaling the paper highlights.
+"""
+
+import pytest
+
+from repro.core.space import SpaceModel
+from repro.opal.complexes import LARGE, MEDIUM, SMALL
+
+
+def build():
+    return {spec.name: SpaceModel(spec) for spec in (SMALL, MEDIUM, LARGE)}
+
+
+def render(models) -> str:
+    lines = [
+        "Section 2.6) data structure sizes [bytes]",
+        f"{'structure':<24s}" + "".join(f"{n:>16s}" for n in models),
+    ]
+    keys = [
+        "pair list",
+        "atom coordinates",
+        "atom gradients",
+        "atom interactions",
+        "energy values",
+    ]
+    tables = {n: m.table() for n, m in models.items()}
+    for k in keys:
+        lines.append(
+            f"{k:<24s}" + "".join(f"{tables[n][k]:16,.0f}" for n in tables)
+        )
+    lines.append("")
+    lines.append("per-server pair list share, large complex:")
+    large = models["large"]
+    for p in (1, 2, 4, 8):
+        lines.append(
+            f"  p={p}: {large.pair_list_per_server(p) / 1e6:8.1f} MByte"
+        )
+    return "\n".join(lines)
+
+
+def test_bench_table_space(benchmark, artifact):
+    models = benchmark.pedantic(build, rounds=1, iterations=1)
+    artifact("T26A_space_table", render(models))
+
+    large = models["large"]
+    # the paper's printed example: pair list ~160 MB at 6290 centers
+    assert large.pair_list_total() == pytest.approx(160e6, rel=0.10)
+    # coordinates/gradients are linear in n (paper's order column typo)
+    assert large.coordinates() == 24 * LARGE.n
+    assert large.energy_values() == 16
+    # the list scales down linearly with servers; global data does not
+    assert large.pair_list_per_server(4) == large.pair_list_total() / 4
+    ws_diff = large.server_working_set(1) - large.server_working_set(8)
+    assert ws_diff == pytest.approx(large.pair_list_total() * 7 / 8, rel=1e-9)

@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The
+rendered artifact is printed (visible with ``pytest -s``) and written to
+``benchmarks/out/<experiment>.txt`` so EXPERIMENTS.md can reference the
+latest run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def artifact():
+    """Writer fixture: call with (experiment_id, text)."""
+
+    def write(experiment_id: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {experiment_id} =====")
+        print(text)
+
+    return write

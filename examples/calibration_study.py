@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The full Section 2.3/2.5 measurement and calibration campaign.
+
+1. Checks measurement reproducibility (the preliminary repetition test).
+2. Runs the published 7 * 2^(3-1) reduced factorial design on the
+   simulated Cray J90 with the instrumented middleware.
+3. Fits all six platform parameters by least squares.
+4. Reports fit quality per component and the Figure 4 residuals.
+5. Runs a sign-table factor analysis over a 2^4 corner design (which
+   factor moves execution time the most?).
+"""
+
+from repro.analysis import residuals_table
+from repro.core.calibration import calibrate, residual_table
+from repro.core.model import OpalPerformanceModel
+from repro.core.parameters import ApplicationParams
+from repro.experiments import (
+    ExperimentCase,
+    ExperimentRunner,
+    Factor,
+    full_factorial,
+    reduced_design,
+    sign_table_effects,
+)
+from repro.opal.complexes import LARGE, MEDIUM
+from repro.platforms import CRAY_J90
+
+
+def main() -> None:
+    runner = ExperimentRunner(CRAY_J90, repetitions=1, jitter_sigma=0.004)
+
+    print("-- reproducibility probe (Section 2.3) ----------------------")
+    probe = runner.variability_probe(
+        ExperimentCase(molecule=MEDIUM, servers=4, cutoff=10.0, update_interval=1),
+        repetitions=8,
+    )
+    print(f"8 repetitions: mean {probe.mean:.3f}s, CV {100*probe.coefficient_of_variation:.2f}%"
+          f" -> reproducible: {probe.reproducible()}")
+
+    print("\n-- running the reduced 7*2^(3-1) design ----------------------")
+    design = reduced_design()
+    observations = runner.observations(design)
+    print(f"{len(observations)} experiments executed on the simulated J90")
+
+    result = calibrate(observations, name="j90-calibrated")
+    p = result.params
+    print("\nfitted platform parameters:")
+    print(f"  a1 = {p.a1/1e6:7.3f} MByte/s (paper's Table 2 observed: 3)")
+    print(f"  b1 = {p.b1*1e3:7.3f} ms")
+    print(f"  a2 = {p.a2:.3e} s/pair-check")
+    print(f"  a3 = {p.a3:.3e} s/pair-energy  "
+          f"(-> {p.compute_rate_mflops():.1f} MFlop/s algorithmic)")
+    print(f"  a4 = {p.a4:.3e} s/atom")
+    print(f"  b5 = {p.b5*1e3:7.3f} ms/barrier")
+    print("component R^2: "
+          + "  ".join(f"{k}={v:.4f}" for k, v in sorted(result.r2.items())))
+    print(f"mean relative error: {100*result.mean_relative_error():.2f}% "
+          "(the paper calls its fit 'excellent')")
+
+    print("\n-- Figure 4 residuals ----------------------------------------")
+    print(residuals_table(residual_table(result, observations)[:14]))
+    print("  ... (first 14 of 28 cases)")
+
+    print("\n-- factor analysis (Jain ch. 16 sign table) -------------------")
+    factors = [
+        Factor("servers", (1, 7)),
+        Factor("molecule", (MEDIUM, LARGE)),
+        Factor("cutoff", (10.0, None)),
+        Factor("update_interval", (10, 1)),
+    ]
+    rows = full_factorial(factors)
+    model = OpalPerformanceModel(p)
+    y = [
+        model.predict_total(
+            ApplicationParams(
+                molecule=r["molecule"], steps=10, servers=r["servers"],
+                cutoff=r["cutoff"], update_interval=r["update_interval"],
+            )
+        )
+        for r in rows
+    ]
+    for e in sign_table_effects(factors, rows, y)[:6]:
+        print(f"  {e.name:<28s} effect {e.effect:+8.2f}s  "
+              f"explains {100*e.variation_explained:5.1f}% of variation")
+
+
+if __name__ == "__main__":
+    main()

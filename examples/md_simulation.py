@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""A real molecular-dynamics run with the Opal physics engine.
+
+Synthesizes a small solvated peptide, performs energy minimization
+(Opal's energy-refinement mode), then integrates Newton's equations with
+velocity Verlet and prints what the real Opal displays at the end of
+every simulation step: total energy, volume, pressure, temperature.
+Finishes with the united-water-model comparison of Section 2.1.
+"""
+
+from repro.opal import (
+    ComplexSpec,
+    OpalSerial,
+    VerletPairList,
+    compare_water_models,
+    mean_square_displacement,
+    radial_distribution,
+    record_dynamics,
+    running_averages,
+)
+
+
+def main() -> None:
+    spec = ComplexSpec(
+        "demo", protein_atoms=60, waters=180, density=0.035,
+        description="small solvated synthetic peptide",
+    )
+    print(f"complex: {spec.n} mass centers "
+          f"({spec.protein_atoms} solute atoms + {spec.waters} waters), "
+          f"box {spec.box_edge:.1f} A, gamma={spec.gamma:.3f}")
+
+    driver = OpalSerial(spec, cutoff=9.0, update_interval=5, seed=2)
+
+    print("\n-- energy minimization ------------------------------------")
+    mres = driver.run_minimization(max_steps=150)
+    print(f"E: {mres.initial_energy:12.1f} -> {mres.final_energy:10.2f} kcal/mol "
+          f"in {mres.iterations} iterations (|grad| = {mres.gradient_norm:.2e})")
+
+    print("\n-- molecular dynamics (NVE after thermalization) -----------")
+    result = driver.run_dynamics(steps=25, dt=0.0005, temperature=80.0, seed=4)
+    print(f"{'step':>4s} {'E_total':>12s} {'volume':>10s} {'pressure':>10s} {'T [K]':>8s}")
+    for rec in result.records[::5] + [result.records[-1]]:
+        print(
+            f"{rec.step:4d} {rec.energy_total:12.3f} {rec.volume:10.0f} "
+            f"{rec.pressure:10.4f} {rec.temperature:8.1f}"
+        )
+    print(f"relative energy drift over the run: {result.energy_drift():+.2e}")
+
+    stats = driver.stats()
+    print(f"\npair-list statistics: {stats.updates} updates, "
+          f"{stats.candidates_checked:,} candidates checked, "
+          f"{stats.pairs_evaluated:,} pair evaluations")
+
+    print("\n-- structural observables -----------------------------------")
+    rdf = radial_distribution(driver.system)
+    peak_r, peak_g = rdf.first_peak()
+    print(f"solvent g(r): first peak at {peak_r:.2f} A, height {peak_g:.2f}")
+    avg = running_averages(result, window=5)
+    print(f"running <T> over the last window: {avg['temperature'][-1]:.1f} K")
+
+    print("\n-- trajectory output -----------------------------------------")
+    import tempfile
+
+    vpl = VerletPairList(driver.system, cutoff=9.0, update_interval=5)
+    traj = record_dynamics(
+        driver.system, vpl, steps=10, dt=0.0005, temperature=80.0, stride=2
+    )
+    with tempfile.NamedTemporaryFile(suffix=".xyz", delete=False) as fh:
+        path = fh.name
+    traj.write_xyz(path)
+    msd = mean_square_displacement(traj.frames, dt=2 * 0.0005)
+    print(f"{len(traj)} frames written to {path}")
+    print(f"solvated-system MSD after the recording: {msd.msd[-1]:.2e} A^2 "
+          f"(D ~ {msd.diffusion_coefficient():.2e} A^2/time)")
+
+    print("\n-- the united-water optimization (Section 2.1) --------------")
+    cmp_ = compare_water_models(spec, cutoff=9.0)
+    print(f"mass centers: {cmp_.n_explicit} (3-site water) -> {cmp_.n_united} (united)")
+    print(f"energy-evaluation workload reduced by {100*cmp_.workload_reduction:.0f}%")
+    print(f"pair-list update work reduced by {100*cmp_.update_reduction:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: predict Opal's performance on a platform in ten lines.
+
+Builds the analytical model for the Cray J90 from its catalog data,
+predicts the execution-time breakdown of a medium-complex simulation,
+then validates the prediction against a full simulated run of the
+client/server program over the Sciddle/PVM middleware.
+"""
+
+from repro import ApplicationParams, MEDIUM, ModelPlatformParams, OpalPerformanceModel, get_platform
+from repro.opal import run_parallel_opal
+
+
+def main() -> None:
+    j90 = get_platform("j90")
+    model = OpalPerformanceModel(ModelPlatformParams.from_spec(j90))
+
+    app = ApplicationParams(
+        molecule=MEDIUM,  # Antennapedia/DNA: 4289 mass centers
+        steps=10,
+        servers=4,
+        cutoff=10.0,  # the effective cutoff radius [Angstrom]
+        update_interval=1,  # full pair-list update every step
+    )
+
+    predicted = model.breakdown(app)
+    print(f"predicted t_OPAL on {j90.label}: {predicted.total:.2f} s")
+    for category, seconds in predicted.as_dict(merge_par=True).items():
+        print(f"  {category:<10s} {seconds:8.3f} s")
+
+    result = run_parallel_opal(app, j90)
+    print(f"\nsimulated (measured) wall time:   {result.wall_time:.2f} s")
+    err = (result.wall_time - predicted.total) / result.wall_time
+    print(f"model vs measurement difference:  {100 * err:+.1f}%")
+    print(f"server load imbalance (max/mean): {result.imbalance:.3f}")
+
+    print("\nexecution times over 1..7 servers (model):")
+    for p, t in zip(range(1, 8), model.execution_times(app, range(1, 8))):
+        print(f"  p={p}: {t:7.2f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — reproduction of Taufer & Stricker (SC 1998).
+
+"Accurate Performance Evaluation, Modelling and Prediction of a Message
+Passing Simulation Code based on Middleware."
+
+Subpackages
+-----------
+``repro.core``
+    the analytical time-complexity model, its calibration and
+    cross-platform prediction (the paper's primary contribution);
+``repro.opal``
+    the Opal molecular-dynamics application: a real physics engine plus
+    the client/server parallel program over the middleware;
+``repro.netsim`` / ``repro.pvm`` / ``repro.sciddle`` / ``repro.hpm``
+    the substrate the paper ran on, rebuilt as a discrete-event
+    simulation: cluster, PVM-like message passing, Sciddle-like RPC
+    middleware with integrated performance instrumentation;
+``repro.platforms``
+    the five candidate machines (Cray J90, Cray T3E-900, slow/SMP/fast
+    Clusters of PCs) and the microbenchmarks that extract their model
+    parameters;
+``repro.experiments`` / ``repro.analysis``
+    factorial experimental designs, the experiment runner, and the
+    generators/renderers for every table and figure of the paper.
+
+Quick start
+-----------
+>>> from repro import ApplicationParams, OpalPerformanceModel
+>>> from repro import ModelPlatformParams, MEDIUM, get_platform
+>>> app = ApplicationParams(molecule=MEDIUM, steps=10, servers=4, cutoff=10.0)
+>>> model = OpalPerformanceModel(ModelPlatformParams.from_spec(get_platform("j90")))
+>>> round(model.predict_total(app), 1)
+7.2
+"""
+
+from .core import (
+    ApplicationParams,
+    CalibrationResult,
+    MemoryHierarchy,
+    ModelPlatformParams,
+    OpalPerformanceModel,
+    PredictionSeries,
+    SpaceModel,
+    TimeBreakdown,
+    calibrate,
+    predict_platforms,
+    speedup_curve,
+)
+from .errors import ReproError
+from .opal.complexes import LARGE, MEDIUM, SMALL, ComplexSpec, get_complex
+from .platforms import ALL_PLATFORMS, PlatformSpec, get_platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_PLATFORMS",
+    "ApplicationParams",
+    "CalibrationResult",
+    "ComplexSpec",
+    "LARGE",
+    "MEDIUM",
+    "MemoryHierarchy",
+    "ModelPlatformParams",
+    "OpalPerformanceModel",
+    "PlatformSpec",
+    "PredictionSeries",
+    "ReproError",
+    "SMALL",
+    "SpaceModel",
+    "TimeBreakdown",
+    "__version__",
+    "calibrate",
+    "get_complex",
+    "get_platform",
+    "predict_platforms",
+    "speedup_curve",
+]

@@ -1,0 +1,204 @@
+"""Command line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``predict``   predicted time/speedup curves for one complex on all platforms
+``measure``   simulated measured breakdown on the reference J90
+``calibrate`` run the reduced design and fit the model
+``tables``    regenerate Tables 1 and 2
+``platforms`` list the platform catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--molecule",
+        choices=("small", "medium", "large"),
+        default="medium",
+        help="named molecular complex (default: medium)",
+    )
+    p.add_argument(
+        "--cutoff",
+        type=float,
+        default=None,
+        help="cutoff radius in Angstrom (default: none = fully accurate)",
+    )
+    p.add_argument(
+        "--update-interval",
+        type=int,
+        default=1,
+        help="steps between pair-list updates (default: 1 = full update)",
+    )
+    p.add_argument("--steps", type=int, default=10, help="simulation steps")
+    p.add_argument(
+        "--servers", type=int, default=7, help="maximum server count (default 7)"
+    )
+
+
+def cmd_predict(args) -> int:
+    from .analysis import curve_table
+    from .core.parameters import ApplicationParams
+    from .core.prediction import predict_platforms
+    from .opal.complexes import get_complex
+    from .platforms import ALL_PLATFORMS
+
+    app = ApplicationParams(
+        molecule=get_complex(args.molecule),
+        steps=args.steps,
+        cutoff=args.cutoff,
+        update_interval=args.update_interval,
+    )
+    servers = tuple(range(1, args.servers + 1))
+    series = predict_platforms(ALL_PLATFORMS, app, servers)
+    print(
+        curve_table(
+            {n: s.times for n, s in series.items()},
+            servers,
+            f"predicted execution time [s] — {args.molecule}, "
+            f"cutoff={args.cutoff}, update 1/{args.update_interval}",
+        )
+    )
+    print()
+    print(
+        curve_table(
+            {n: s.speedups for n, s in series.items()},
+            servers,
+            "relative speedup",
+            value_format="9.2f",
+        )
+    )
+    return 0
+
+
+def cmd_measure(args) -> int:
+    from .analysis import breakdown_table
+    from .core.parameters import ApplicationParams
+    from .opal.complexes import get_complex
+    from .opal.parallel import run_parallel_opal
+    from .platforms import get_platform
+
+    platform = get_platform(args.platform)
+    rows = {}
+    for p in range(1, args.servers + 1):
+        app = ApplicationParams(
+            molecule=get_complex(args.molecule),
+            steps=args.steps,
+            servers=p,
+            cutoff=args.cutoff,
+            update_interval=args.update_interval,
+        )
+        rows[p] = run_parallel_opal(app, platform).breakdown
+    print(
+        breakdown_table(
+            rows,
+            title=f"measured breakdown on {platform.label} "
+            f"({args.molecule}, cutoff={args.cutoff})",
+        )
+    )
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    from .core.calibration import calibrate
+    from .experiments import ExperimentRunner, reduced_design
+    from .platforms import get_platform
+
+    platform = get_platform(args.platform)
+    runner = ExperimentRunner(platform)
+    observations = runner.observations(reduced_design())
+    result = calibrate(observations, name=f"{platform.name}-fit")
+    p = result.params
+    print(f"calibrated on {len(observations)} simulated experiments:")
+    print(f"  a1 = {p.a1 / 1e6:.3f} MByte/s    b1 = {p.b1 * 1e3:.3f} ms")
+    print(f"  a2 = {p.a2:.3e} s    a3 = {p.a3:.3e} s    a4 = {p.a4:.3e} s")
+    print(f"  b5 = {p.b5 * 1e3:.3f} ms")
+    print(f"  mean relative error: {100 * result.mean_relative_error():.2f}%")
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    from .experiments import render_campaign, run_campaign
+    from .opal.complexes import get_complex
+    from .platforms import ALL_PLATFORMS, get_platform
+
+    report = run_campaign(
+        reference=get_platform(args.platform),
+        candidates=list(ALL_PLATFORMS),
+        molecule=get_complex(args.molecule),
+        servers=tuple(range(1, args.servers + 1)),
+    )
+    print(render_campaign(report))
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from .platforms import format_table1, format_table2, table1, table2
+
+    print(format_table1(table1()))
+    print()
+    print(format_table2(table2()))
+    return 0
+
+
+def cmd_platforms(args) -> int:
+    from .platforms import ALL_PLATFORMS
+
+    for spec in ALL_PLATFORMS:
+        print(f"{spec.name:<10s} {spec.label}")
+        print(
+            f"            {spec.cpus_per_node} cpu/node x {spec.max_nodes} nodes, "
+            f"{spec.cpu_rate / 1e6:.1f} MFlop/s/cpu, "
+            f"net {spec.net_bw / 1e6:.0f} MB/s {spec.net_kind}"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Taufer & Stricker (SC 1998) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("predict", help="model-predicted curves, all platforms")
+    _add_common(p)
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("measure", help="simulated measured breakdown")
+    _add_common(p)
+    p.add_argument("--platform", default="j90")
+    p.set_defaults(func=cmd_measure)
+
+    p = sub.add_parser("calibrate", help="run the reduced design and fit")
+    p.add_argument("--platform", default="j90")
+    p.set_defaults(func=cmd_calibrate)
+
+    p = sub.add_parser(
+        "campaign", help="the full measure-calibrate-predict study"
+    )
+    p.add_argument("--platform", default="j90", help="reference platform")
+    p.add_argument("--molecule", choices=("small", "medium", "large"),
+                   default="medium")
+    p.add_argument("--servers", type=int, default=7)
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser("tables", help="regenerate Tables 1 and 2")
+    p.set_defaults(func=cmd_tables)
+
+    p = sub.add_parser("platforms", help="list the platform catalog")
+    p.set_defaults(func=cmd_platforms)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Analysis and reporting: figure-data generators and ASCII rendering."""
+
+from .export import (
+    breakdowns_from_csv,
+    breakdowns_to_csv,
+    curves_from_csv,
+    curves_to_csv,
+    residuals_to_csv,
+    to_csv_string,
+)
+from .metrics import RunMetrics, payload_bytes, run_metrics
+from .sensitivity import (
+    SensitivityReport,
+    elasticity,
+    sensitivity_report,
+    sensitivity_sweep,
+)
+from .figures import (
+    PANEL_TITLES,
+    figure3_parameter_space,
+    figure4_calibration,
+    figure5,
+    figure6,
+    figure_breakdown,
+    figure_prediction,
+)
+from .report import (
+    breakdown_chart,
+    breakdown_table,
+    curve_table,
+    residuals_table,
+    stacked_bar,
+)
+
+__all__ = [
+    "PANEL_TITLES",
+    "breakdowns_from_csv",
+    "breakdowns_to_csv",
+    "breakdown_chart",
+    "breakdown_table",
+    "curve_table",
+    "curves_from_csv",
+    "curves_to_csv",
+    "figure3_parameter_space",
+    "figure4_calibration",
+    "figure5",
+    "figure6",
+    "figure_breakdown",
+    "figure_prediction",
+    "RunMetrics",
+    "SensitivityReport",
+    "elasticity",
+    "payload_bytes",
+    "residuals_table",
+    "run_metrics",
+    "sensitivity_report",
+    "sensitivity_sweep",
+    "residuals_to_csv",
+    "to_csv_string",
+    "stacked_bar",
+]

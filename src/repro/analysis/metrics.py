@@ -1,0 +1,86 @@
+"""Low-level performance indicators (Section 3.3).
+
+"low level indicators like *communication efficiency*, *idle times*,
+and *load imbalance* of single parts are much harder to get [than
+high-level rates].  The latter metrics are more relevant in the
+performance analysis."  With the accounting barriers in place, all
+three are directly computable from an :class:`OpalRunResult`; this
+module defines them precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ModelError
+from ..opal.parallel import OpalRunResult
+from ..opal.workload import OpalWorkload
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """The paper's three hard-to-get indicators plus context."""
+
+    #: achieved payload bandwidth over the comm phases / platform a1
+    communication_efficiency: float
+    #: fraction of the run spent idle (load-imbalance waits)
+    idle_fraction: float
+    #: max/mean per-server energy-phase compute time
+    load_imbalance: float
+    #: fraction of the run spent communicating
+    comm_fraction: float
+    #: client compute rate proxy: seq seconds / total
+    seq_fraction: float
+
+    def healthy(self) -> bool:
+        """A run the paper would call well-behaved."""
+        return (
+            self.idle_fraction < 0.15
+            and self.load_imbalance < 1.15
+            and self.communication_efficiency > 0.5
+        )
+
+
+def payload_bytes(result: OpalRunResult) -> float:
+    """Application payload moved during one run (both directions)."""
+    w = OpalWorkload(result.app)
+    app = result.app
+    updates = w.updates_total
+    per_step_calls = app.p * w.coords_nbytes  # energy coords every step
+    upd_calls = updates * app.p * w.coords_nbytes
+    returns = app.s * app.p * w.result_nbytes
+    return app.s * per_step_calls + upd_calls + returns
+
+
+def run_metrics(result: OpalRunResult, platform) -> RunMetrics:
+    """Compute the Section 3.3 indicators for one accounted run.
+
+    ``platform`` is the PlatformSpec the run executed on (its ``net_bw``
+    is the a1 reference for communication efficiency).
+    """
+    if result.sync_mode != "accounted":
+        raise ModelError(
+            "metrics need an accounted run; overlapped runs conflate the "
+            "categories (that is the paper's point)"
+        )
+    b = result.breakdown
+    total = b.total
+    if total <= 0:
+        raise ModelError("degenerate run with zero wall time")
+    comm_seconds = b.comm
+    if comm_seconds > 0:
+        achieved = payload_bytes(result) / comm_seconds
+        comm_eff = min(achieved / platform.net_bw, 1.0)
+    else:
+        comm_eff = 1.0
+    energy = np.asarray(result.server_energy_seconds)
+    imbalance = float(energy.max() / energy.mean()) if energy.size and energy.mean() > 0 else 1.0
+    return RunMetrics(
+        communication_efficiency=comm_eff,
+        idle_fraction=b.idle / total,
+        load_imbalance=imbalance,
+        comm_fraction=comm_seconds / total,
+        seq_fraction=b.seq_comp / total,
+    )

@@ -1,0 +1,121 @@
+"""ASCII rendering of tables, breakdown charts and curve families.
+
+Every benchmark regenerating a paper artifact prints through these
+helpers so the output reads like the paper's tables and charts
+(stacked-bar breakdowns become per-category columns; the execution-time
+and speedup charts become aligned series).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.breakdown import TimeBreakdown
+
+
+def format_row(values: Sequence, widths: Sequence[int]) -> str:
+    """Format one table row with per-column widths."""
+    cells = []
+    for v, w in zip(values, widths):
+        if isinstance(v, float):
+            cells.append(f"{v:{w}.3f}")
+        else:
+            cells.append(f"{str(v):>{w}s}")
+    return " ".join(cells)
+
+
+def breakdown_table(
+    rows: Dict[int, TimeBreakdown],
+    title: str = "",
+    merge_par: bool = False,
+) -> str:
+    """Per-server-count breakdown table (one Figure 1/2 panel)."""
+    cats = TimeBreakdown.category_names(merge_par=merge_par)
+    widths = [4] + [9] * (len(cats) + 1)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(["p"] + list(cats) + ["total"], widths))
+    for p in sorted(rows):
+        b = rows[p]
+        vals = [b.as_dict(merge_par=merge_par)[c] for c in cats]
+        lines.append(format_row([p] + vals + [b.total], widths))
+    return "\n".join(lines)
+
+
+def curve_table(
+    series: Dict[str, Sequence[float]],
+    servers: Sequence[int],
+    title: str = "",
+    value_format: str = "9.3f",
+) -> str:
+    """Aligned multi-platform curves (Figure 5/6 panels)."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'platform':<14s}" + "".join(f"{f'p={p}':>10s}" for p in servers)
+    lines.append(header)
+    for name, values in series.items():
+        if len(values) != len(servers):
+            raise ValueError(f"series {name!r} length mismatch")
+        lines.append(
+            f"{name:<14s}" + "".join(f"{v:{value_format}} " for v in values)
+        )
+    return "\n".join(lines)
+
+
+def stacked_bar(
+    breakdown: TimeBreakdown, width: int = 60, merge_par: bool = True
+) -> str:
+    """One breakdown rendered as a proportional character bar."""
+    total = breakdown.total
+    if total <= 0:
+        return "(zero)"
+    symbols = {
+        "par_comp": "#",
+        "update": "#",
+        "nbint": "%",
+        "seq_comp": "s",
+        "comm": "=",
+        "sync": "+",
+        "idle": ".",
+    }
+    bar = ""
+    for cat, val in breakdown.as_dict(merge_par=merge_par).items():
+        bar += symbols.get(cat, "?") * int(round(width * val / total))
+    return f"|{bar:<{width}s}| {total:9.3f}s"
+
+
+def breakdown_chart(
+    rows: Dict[int, TimeBreakdown], title: str = "", width: int = 60
+) -> str:
+    """A whole Figure 1/2 panel as stacked character bars.
+
+    Bars are scaled to the panel's longest run so relative sizes read
+    like the paper's charts ('#'=parallel comp, 's'=sequential,
+    '='=comm, '+'=sync, '.'=idle).
+    """
+    lines = [title] if title else []
+    t_max = max(b.total for b in rows.values())
+    for p in sorted(rows):
+        b = rows[p]
+        w = max(int(round(width * b.total / t_max)), 1)
+        lines.append(f"p={p} {stacked_bar(b, width=w)}")
+    return "\n".join(lines)
+
+
+def residuals_table(rows: List[Dict[str, float]], title: str = "") -> str:
+    """Measured-vs-predicted rows (Figure 4)."""
+    lines = [title] if title else []
+    lines.append(
+        f"{'n':>6s} {'p':>3s} {'cutoff':>7s} {'upd':>4s} "
+        f"{'measured':>10s} {'predicted':>10s} {'diff':>9s} {'rel%':>7s}"
+    )
+    for r in rows:
+        lines.append(
+            f"{int(r['n']):6d} {int(r['p']):3d} {r['cutoff']:7.1f} "
+            f"{int(r['update_interval']):4d} {r['measured']:10.3f} "
+            f"{r['predicted']:10.3f} {r['difference']:9.3f} "
+            f"{100*r['relative_error']:7.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Parameter sensitivity: which platform parameter dominates where.
+
+The conclusion of the paper turns on a qualitative sensitivity claim:
+without cutoff Opal is "entirely compute bound ... regardless of the
+system"; with cutoff it becomes "a communication critical application
+that requires a strong memory and communication system".  Elasticities
+make this exact: the relative change of predicted execution time per
+relative change of each platform parameter,
+
+    E_theta = d log t / d log theta
+
+evaluated by central differences.  An elasticity of 0.8 for a3 means
+"a 10% faster energy kernel buys ~8% runtime"; the sum over all
+parameters is ~1 (t is homogeneous of degree one in the times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..core.model import OpalPerformanceModel
+from ..core.parameters import ApplicationParams, ModelPlatformParams
+from ..errors import ModelError
+
+#: The tunable platform parameters of the model.
+PARAMETERS = ("a1", "b1", "a2", "a3", "a4", "b5")
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Elasticities of t_OPAL at one configuration."""
+
+    platform: str
+    app_label: str
+    elasticities: Dict[str, float]
+
+    def dominant(self) -> str:
+        """Parameter with the largest |elasticity|."""
+        return max(self.elasticities, key=lambda k: abs(self.elasticities[k]))
+
+    def compute_share(self) -> float:
+        """Combined |elasticity| of the compute parameters (a2, a3, a4)."""
+        return sum(abs(self.elasticities[k]) for k in ("a2", "a3", "a4"))
+
+    def communication_share(self) -> float:
+        """Combined |elasticity| of communication/sync (a1, b1, b5)."""
+        return sum(abs(self.elasticities[k]) for k in ("a1", "b1", "b5"))
+
+
+def elasticity(
+    params: ModelPlatformParams,
+    app: ApplicationParams,
+    parameter: str,
+    rel_step: float = 1e-4,
+) -> float:
+    """d log t / d log theta by central differences."""
+    if parameter not in PARAMETERS:
+        raise ModelError(f"unknown parameter {parameter!r}")
+    base_value = getattr(params, parameter)
+    if base_value <= 0:
+        return 0.0  # a zero-cost parameter cannot matter locally
+    up = OpalPerformanceModel(
+        params.with_(**{parameter: base_value * (1 + rel_step)})
+    ).predict_total(app)
+    down = OpalPerformanceModel(
+        params.with_(**{parameter: base_value * (1 - rel_step)})
+    ).predict_total(app)
+    base = OpalPerformanceModel(params).predict_total(app)
+    return (up - down) / (2.0 * rel_step * base)
+
+
+def sensitivity_report(
+    params: ModelPlatformParams, app: ApplicationParams
+) -> SensitivityReport:
+    """Elasticities of all six parameters at one configuration."""
+    label = (
+        f"{app.molecule.name}/p={app.p}/"
+        f"cutoff={'none' if app.cutoff is None else app.cutoff}"
+    )
+    return SensitivityReport(
+        platform=params.name,
+        app_label=label,
+        elasticities={
+            name: elasticity(params, app, name) for name in PARAMETERS
+        },
+    )
+
+
+def sensitivity_sweep(
+    params: ModelPlatformParams,
+    app: ApplicationParams,
+    servers: Sequence[int],
+) -> Dict[int, SensitivityReport]:
+    """Reports across a server-count sweep (the regime transition)."""
+    return {
+        p: sensitivity_report(params, app.with_(servers=p)) for p in servers
+    }

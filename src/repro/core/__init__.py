@@ -1,0 +1,88 @@
+"""The paper's primary contribution: the analytical performance model,
+its calibration against measurements, and cross-platform prediction."""
+
+from .breakdown import TimeBreakdown
+from .calibration import CalibrationResult, Observation, calibrate, residual_table
+from .extended import ImbalanceAwareModel, residual_improvement
+from .uncertainty import (
+    BootstrapResult,
+    ParameterInterval,
+    bootstrap_calibration,
+)
+from .isoefficiency import (
+    IsoefficiencyPoint,
+    efficiency,
+    isoefficiency_curve,
+    isoefficiency_size,
+    scaled_complex,
+)
+from .crossover import (
+    communication_fraction,
+    optimal_servers,
+    update_nbint_crossover_n,
+)
+from .memhier import MemoryHierarchy
+from .model import OpalPerformanceModel
+from .parameters import (
+    ApplicationParams,
+    ModelPlatformParams,
+    energy_pair_work,
+    update_pair_work,
+)
+from .prediction import (
+    CostEffectivenessRow,
+    PredictionSeries,
+    WhatIfStudy,
+    cost_effectiveness,
+    predict_platforms,
+    predict_series,
+)
+from .space import SpaceModel
+from .speedup import (
+    amdahl_bound,
+    compare_platforms,
+    efficiency_curve,
+    saturation_point,
+    slows_down,
+    speedup_curve,
+)
+
+__all__ = [
+    "ApplicationParams",
+    "BootstrapResult",
+    "CalibrationResult",
+    "ImbalanceAwareModel",
+    "IsoefficiencyPoint",
+    "CostEffectivenessRow",
+    "MemoryHierarchy",
+    "ModelPlatformParams",
+    "Observation",
+    "OpalPerformanceModel",
+    "PredictionSeries",
+    "SpaceModel",
+    "TimeBreakdown",
+    "WhatIfStudy",
+    "amdahl_bound",
+    "ParameterInterval",
+    "bootstrap_calibration",
+    "calibrate",
+    "efficiency",
+    "communication_fraction",
+    "compare_platforms",
+    "cost_effectiveness",
+    "efficiency_curve",
+    "energy_pair_work",
+    "isoefficiency_curve",
+    "isoefficiency_size",
+    "optimal_servers",
+    "predict_platforms",
+    "predict_series",
+    "residual_improvement",
+    "scaled_complex",
+    "residual_table",
+    "saturation_point",
+    "slows_down",
+    "speedup_curve",
+    "update_nbint_crossover_n",
+    "update_pair_work",
+]

@@ -1,0 +1,98 @@
+"""The wall-clock time breakdown the paper measures and predicts.
+
+``t_OPAL = t_tot_par_comp + t_tot_seq_comp + t_tot_comm + t_tot_sync``
+plus the *idle* time that measured runs additionally expose (load
+imbalance at the accounting barriers).  A model prediction has zero idle
+by construction; a simulated/measured run generally does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Per-category wall-clock seconds for one run (client perspective)."""
+
+    #: parallel computation: pair-list updates (server side)
+    update: float = 0.0
+    #: parallel computation: non-bonded energy evaluation (server side)
+    nbint: float = 0.0
+    #: sequential computation on the client
+    seq_comp: float = 0.0
+    #: communication (all four RPC components together)
+    comm: float = 0.0
+    #: synchronization (barrier operations)
+    sync: float = 0.0
+    #: idle / load-imbalance wait
+    idle: float = 0.0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if v < -1e-12:
+                raise ValueError(f"negative time component {f.name}={v}")
+
+    # ------------------------------------------------------------------
+    @property
+    def par_comp(self) -> float:
+        """t_tot_par_comp = t_update + t_nbint."""
+        return self.update + self.nbint
+
+    @property
+    def total(self) -> float:
+        """Predicted/accounted wall-clock execution time."""
+        return self.par_comp + self.seq_comp + self.comm + self.sync + self.idle
+
+    # ------------------------------------------------------------------
+    def as_dict(self, merge_par: bool = False) -> Dict[str, float]:
+        """Category -> seconds; ``merge_par`` folds update+nbint together."""
+        if merge_par:
+            return {
+                "par_comp": self.par_comp,
+                "seq_comp": self.seq_comp,
+                "comm": self.comm,
+                "sync": self.sync,
+                "idle": self.idle,
+            }
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def fractions(self) -> Dict[str, float]:
+        """Relative share of each merged category (sums to 1 if total>0)."""
+        t = self.total
+        if t <= 0:
+            return {k: 0.0 for k in self.as_dict(merge_par=True)}
+        return {k: v / t for k, v in self.as_dict(merge_par=True).items()}
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        return TimeBreakdown(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def scaled(self, factor: float) -> "TimeBreakdown":
+        """A copy with every component multiplied by ``factor``."""
+        return TimeBreakdown(
+            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
+        )
+
+    @staticmethod
+    def mean(items: Iterable["TimeBreakdown"]) -> "TimeBreakdown":
+        items = list(items)
+        if not items:
+            raise ValueError("mean of empty breakdown sequence")
+        acc = items[0]
+        for b in items[1:]:
+            acc = acc + b
+        return acc.scaled(1.0 / len(items))
+
+    @staticmethod
+    def category_names(merge_par: bool = False) -> tuple:
+        if merge_par:
+            return ("par_comp", "seq_comp", "comm", "sync", "idle")
+        return tuple(f.name for f in fields(TimeBreakdown))

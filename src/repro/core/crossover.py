@@ -1,0 +1,101 @@
+"""Crossover and saturation analysis.
+
+Three structural questions the paper asks of the model:
+
+1. *Where in problem size n does the update time overtake the energy
+   evaluation time?*  (Section 2.2: "crossover happens for unrealistic
+   numbers of water molecules or protein atoms".)
+2. *At which server count does communication overtake computation?*
+   (cutoff runs "gradually become communication bound as the parallelism
+   increases").
+3. *What is the optimal number of servers* — the analytic minimum of
+   ``t(p) = C/p + D p + E``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..errors import ModelError
+from .model import OpalPerformanceModel
+from .parameters import ApplicationParams, energy_pair_work, update_pair_work
+
+
+def update_nbint_crossover_n(
+    model: OpalPerformanceModel,
+    app: ApplicationParams,
+    n_max: int = 10_000_000,
+) -> Optional[int]:
+    """Smallest n at which t_update >= t_nbint (None if none below n_max).
+
+    Scales the molecular complex keeping gamma and density fixed.  With
+    an effective cutoff the energy evaluation is linear in n while the
+    update stays quadratic, so a crossover always exists — the paper's
+    point is that it lies beyond all practical problem sizes.
+    """
+    base = app.molecule
+    pl = model.platform
+    u = app.update_rate
+
+    def diff(n: int) -> float:
+        n_tilde = base.n_tilde(app.cutoff)
+        t_up = pl.a2 * u * update_pair_work(n, base.gamma)
+        t_nb = pl.a3 * energy_pair_work(n, n_tilde)
+        return t_up - t_nb
+
+    if diff(n_max) < 0:
+        return None
+    lo, hi = 2, n_max
+    if diff(lo) >= 0:
+        return lo
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if diff(mid) >= 0:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def optimal_servers(
+    model: OpalPerformanceModel, app: ApplicationParams, p_max: int = 1024
+) -> int:
+    """Server count minimizing predicted t_OPAL.
+
+    t(p) decomposes as C/p (parallel compute) + D*p (client-serialized
+    communication) + E (sequential + sync), so the continuous optimum is
+    sqrt(C/D); we return the best integer in [1, p_max].
+    """
+    pl = model.platform
+    u = app.update_rate
+    # C: per-run parallel work not divided yet by p
+    c_work = app.s * (
+        pl.a2 * u * update_pair_work(app.n, app.gamma)
+        + pl.a3 * energy_pair_work(app.n, app.n_tilde)
+    )
+    # D: per-run communication cost proportional to p
+    d_comm = app.s * (
+        (app.alpha / pl.a1) * (u + 2.0) * app.n + 2.0 * pl.b1 * (u + 1.0)
+    )
+    if d_comm <= 0:
+        return p_max
+    p_star = math.sqrt(c_work / d_comm)
+    candidates = {
+        max(1, min(p_max, int(math.floor(p_star)))),
+        max(1, min(p_max, int(math.ceil(p_star)))),
+        1,
+    }
+    return min(
+        candidates, key=lambda p: model.predict_total(app.with_(servers=p))
+    )
+
+
+def communication_fraction(
+    model: OpalPerformanceModel, app: ApplicationParams
+) -> float:
+    """Share of predicted execution time spent communicating."""
+    b = model.breakdown(app)
+    if b.total <= 0:
+        raise ModelError("zero predicted execution time")
+    return b.comm / b.total

@@ -1,0 +1,83 @@
+"""Extended performance model with a load-imbalance term.
+
+The paper's model assumes perfectly balanced servers; its own
+instrumentation then *discovers* the even-server-count imbalance as
+unexplained idle time (Section 2.4).  The natural next step — left open
+by the paper — is to feed the discovery back into the model.  The wall
+clock of a barrier-synchronized parallel phase is set by the *slowest*
+server:
+
+    t_phase_wall = (max_s work_s) / rate = imbalance(p) * t_phase_mean
+
+so the extended model multiplies the parallel-computation terms by the
+dealer's expected max/mean ratio (1 + defect for even p, 1 for odd p)
+and books the difference as predicted idle time.  On runs of the
+defective application this removes most of the even-p residuals of the
+basic model; on a repaired application (defect=0) it degrades to the
+paper's model exactly.
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+from ..opal.distribution import PairDistribution
+from .breakdown import TimeBreakdown
+from .model import OpalPerformanceModel
+from .parameters import ApplicationParams, ModelPlatformParams
+
+
+class ImbalanceAwareModel(OpalPerformanceModel):
+    """The paper's model plus the even-p imbalance idle term."""
+
+    def __init__(self, platform: ModelPlatformParams, defect: float = 0.1) -> None:
+        super().__init__(platform)
+        if not 0.0 <= defect <= 1.0:
+            raise ModelError("defect fraction must be in [0, 1]")
+        self.defect = defect
+
+    # ------------------------------------------------------------------
+    def imbalance(self, app: ApplicationParams) -> float:
+        """Expected max/mean server-work ratio for this configuration."""
+        return PairDistribution(
+            servers=app.p, defect=self.defect
+        ).expected_imbalance()
+
+    def t_idle(self, app: ApplicationParams) -> float:
+        """Predicted idle (wait-for-slowest) time at the phase barriers."""
+        return (self.imbalance(app) - 1.0) * self.t_par_comp(app)
+
+    # ------------------------------------------------------------------
+    def breakdown(self, app: ApplicationParams) -> TimeBreakdown:
+        """Predicted breakdown including the imbalance idle term."""
+        base = super().breakdown(app)
+        return TimeBreakdown(
+            update=base.update,
+            nbint=base.nbint,
+            seq_comp=base.seq_comp,
+            comm=base.comm,
+            sync=base.sync,
+            idle=self.t_idle(app),
+        )
+
+
+def residual_improvement(
+    basic: OpalPerformanceModel,
+    extended: ImbalanceAwareModel,
+    observations,
+) -> dict:
+    """Mean |relative error| of both models, split by server parity.
+
+    ``observations`` are (ApplicationParams, TimeBreakdown) pairs from
+    measured (simulated) runs.  Returns a dict with keys
+    ``basic_even``, ``basic_odd``, ``extended_even``, ``extended_odd``.
+    """
+    sums = {"basic_even": [], "basic_odd": [], "extended_even": [], "extended_odd": []}
+    for app, measured in observations:
+        parity = "even" if app.p % 2 == 0 else "odd"
+        for label, model in (("basic", basic), ("extended", extended)):
+            predicted = model.predict_total(app)
+            err = abs(measured.total - predicted) / measured.total
+            sums[f"{label}_{parity}"].append(err)
+    return {
+        k: (sum(v) / len(v) if v else float("nan")) for k, v in sums.items()
+    }

@@ -1,0 +1,105 @@
+"""Scalability analysis: efficiency and isoefficiency.
+
+The paper closes its prediction discussion with "with a larger number of
+processors we would probably encounter the same saturation point at
+which adding processors would stop to increase performance", and notes
+that larger problems push the break-down outwards.  Isoefficiency makes
+that quantitative: for a target parallel efficiency ``E``, how large
+must the problem grow as processors are added?  A platform whose
+required problem size explodes (or that cannot reach ``E`` at all) does
+not scale for this application — the classic Grama/Gupta/Kumar metric,
+applied to the paper's model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ModelError
+from ..opal.complexes import ComplexSpec
+from .model import OpalPerformanceModel
+from .parameters import ApplicationParams
+
+
+def scaled_complex(base: ComplexSpec, factor: float) -> ComplexSpec:
+    """A complex scaled in size, preserving gamma and density."""
+    if factor <= 0:
+        raise ModelError("scale factor must be positive")
+    protein = max(int(round(base.protein_atoms * factor)), 2)
+    waters = int(round(base.waters * factor))
+    return ComplexSpec(
+        name=f"{base.name}x{factor:g}",
+        protein_atoms=protein,
+        waters=waters,
+        density=base.density,
+        description=f"{base.description} (scaled x{factor:g})",
+    )
+
+
+def efficiency(model: OpalPerformanceModel, app: ApplicationParams) -> float:
+    """Parallel efficiency t(1) / (p * t(p)) for one configuration."""
+    t1 = model.predict_total(app.with_(servers=1))
+    tp = model.predict_total(app)
+    return t1 / (app.p * tp)
+
+
+@dataclass(frozen=True)
+class IsoefficiencyPoint:
+    """Problem size required to hold the target efficiency at one p."""
+
+    servers: int
+    n_required: Optional[int]  # None = unreachable below the cap
+    scale_factor: Optional[float]
+
+
+def isoefficiency_size(
+    model: OpalPerformanceModel,
+    base_app: ApplicationParams,
+    servers: int,
+    target: float = 0.5,
+    max_scale: float = 256.0,
+) -> IsoefficiencyPoint:
+    """Smallest problem scale at which efficiency(p) >= target.
+
+    Efficiency increases with problem size for this model (compute grows
+    quadratically, communication linearly in n), so a bisection on the
+    scale factor suffices.  Returns ``n_required=None`` when even
+    ``max_scale`` times the base problem cannot reach the target — the
+    platform does not scale to ``servers`` for this application.
+    """
+    if not 0.0 < target < 1.0:
+        raise ModelError("target efficiency must be in (0, 1)")
+    if servers < 1:
+        raise ModelError("servers must be >= 1")
+
+    def eff(scale: float) -> float:
+        mol = scaled_complex(base_app.molecule, scale)
+        return efficiency(model, base_app.with_(molecule=mol, servers=servers))
+
+    if eff(max_scale) < target:
+        return IsoefficiencyPoint(servers, None, None)
+    lo, hi = 1e-3, max_scale
+    for _ in range(60):
+        mid = math.sqrt(lo * hi)
+        if eff(mid) >= target:
+            hi = mid
+        else:
+            lo = mid
+    mol = scaled_complex(base_app.molecule, hi)
+    return IsoefficiencyPoint(servers, mol.n, hi)
+
+
+def isoefficiency_curve(
+    model: OpalPerformanceModel,
+    base_app: ApplicationParams,
+    servers: Sequence[int],
+    target: float = 0.5,
+    max_scale: float = 256.0,
+) -> List[IsoefficiencyPoint]:
+    """The isoefficiency function over a range of server counts."""
+    return [
+        isoefficiency_size(model, base_app, p, target, max_scale)
+        for p in servers
+    ]

@@ -1,0 +1,93 @@
+"""Working-set-dependent compute rate (Section 2.6 of the paper).
+
+The paper measured the dominant Opal loop (``comp_nbint``) on a Pentium
+200 at three working-set sizes:
+
+=============  ============  ==================  ========
+regime         working set   rate [MFlop/s]      relative
+=============  ============  ==================  ========
+in cache       50 KByte      35                  1.09
+in core        8 MByte       32                  1.00
+out of core    120 MByte     8                   0.25
+=============  ============  ==================  ========
+
+and concluded the inner loop is CPU- (not memory-) limited in core, but
+collapses drastically when the problem spills to swap.  This module
+captures that three-tier model; it is attached to simulated nodes as
+their rate model and used by the space-complexity analysis to warn about
+out-of-core problem sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import PlatformError
+
+#: Relative rates measured by the paper on the Pentium 200.
+PENTIUM_IN_CACHE_FACTOR = 35.0 / 32.0  # 1.09
+PENTIUM_OUT_OF_CORE_FACTOR = 8.0 / 32.0  # 0.25
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """Three-tier working-set model.
+
+    ``base_rate`` is the *in core* algorithmic rate in flop/s; the cache
+    tier runs ``cache_factor`` faster and the out-of-core tier
+    ``out_of_core_factor`` slower.  A vector machine without a cache
+    (Cray J90) uses ``cache_bytes=0`` and ``cache_factor=1.0``.
+    """
+
+    base_rate: float
+    cache_bytes: float = 256e3
+    core_bytes: float = 64e6
+    cache_factor: float = PENTIUM_IN_CACHE_FACTOR
+    out_of_core_factor: float = PENTIUM_OUT_OF_CORE_FACTOR
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0:
+            raise PlatformError("base_rate must be positive")
+        if self.cache_bytes < 0 or self.core_bytes <= 0:
+            raise PlatformError("tier sizes must be non-negative / positive")
+        if self.cache_bytes > self.core_bytes:
+            raise PlatformError("cache cannot be larger than core memory")
+        if self.cache_factor < 1.0:
+            raise PlatformError("cache_factor must be >= 1 (cache is not slower)")
+        if not 0 < self.out_of_core_factor <= 1.0:
+            raise PlatformError("out_of_core_factor must be in (0, 1]")
+
+    # ------------------------------------------------------------------
+    def regime(self, working_set: Optional[float]) -> str:
+        """Classify a working-set size: 'cache' | 'core' | 'out-of-core'.
+
+        ``None`` (unknown working set) is treated as in core, the paper's
+        reference regime.
+        """
+        if working_set is None:
+            return "core"
+        if working_set < 0:
+            raise PlatformError("working set must be >= 0")
+        if working_set <= self.cache_bytes:
+            return "cache"
+        if working_set <= self.core_bytes:
+            return "core"
+        return "out-of-core"
+
+    def factor(self, working_set: Optional[float]) -> float:
+        """Relative rate for a working set (1.0 = in core)."""
+        regime = self.regime(working_set)
+        if regime == "cache":
+            return self.cache_factor
+        if regime == "core":
+            return 1.0
+        return self.out_of_core_factor
+
+    def rate(self, working_set: Optional[float] = None) -> float:
+        """Sustained algorithmic rate in flop/s at this working set."""
+        return self.base_rate * self.factor(working_set)
+
+    def as_rate_model(self):
+        """Adapter usable as a :data:`repro.netsim.node.RateModel`."""
+        return self.rate

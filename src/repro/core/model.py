@@ -1,0 +1,135 @@
+"""The analytical time-complexity model of Opal (Section 2.2).
+
+Implements equations (2) through (10) of the paper:
+
+.. math::
+
+    t_{OPAL} = t_{tot\\_par\\_comp} + t_{tot\\_seq\\_comp}
+             + t_{tot\\_comm} + t_{tot\\_sync}
+
+with
+
+* ``t_update``   — eq. (3), quadratic in problem size, proportional to the
+  per-step update rate u, divided by the number of servers p;
+* ``t_nbint``    — eq. (4), piecewise: quadratic ``n(n-1)/2`` until the
+  cutoff becomes effective, then linear ``n~ * n``;
+* ``t_seq``      — eq. (5), ``a4 * s * n``;
+* ``t_comm``     — eq. (6)-(9) summed:
+  ``s * (p * (alpha/a1) * (u+2) * n + 2 p b1 (u+1))``;
+* ``t_sync``     — eq. (10), ``2 s (u+1) b5``.
+
+All times are client-perspective wall-clock seconds for the whole run of
+``s`` simulation steps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..errors import ModelError
+from .breakdown import TimeBreakdown
+from .parameters import (
+    ApplicationParams,
+    ModelPlatformParams,
+    energy_pair_work,
+    update_pair_work,
+)
+
+
+class OpalPerformanceModel:
+    """Evaluate the analytical model for one platform."""
+
+    def __init__(self, platform: ModelPlatformParams) -> None:
+        self.platform = platform
+
+    # -- individual components (paper equation numbers in parentheses) ----
+    def t_update(self, app: ApplicationParams) -> float:
+        """Total pair-list update time over the run (eq. 3)."""
+        pl = self.platform
+        per_update_pairs = update_pair_work(app.n, app.gamma)
+        return pl.a2 * (app.s * app.update_rate / app.p) * per_update_pairs
+
+    def t_nbint(self, app: ApplicationParams) -> float:
+        """Total non-bonded energy evaluation time (eq. 4)."""
+        pl = self.platform
+        pairs = energy_pair_work(app.n, app.n_tilde)
+        return pl.a3 * (app.s / app.p) * pairs
+
+    def t_par_comp(self, app: ApplicationParams) -> float:
+        """Total parallel computation time (eq. 2)."""
+        return self.t_update(app) + self.t_nbint(app)
+
+    def t_seq_comp(self, app: ApplicationParams) -> float:
+        """Total sequential (client) computation time (eq. 5)."""
+        return self.platform.a4 * app.s * app.n
+
+    def t_call(self, app: ApplicationParams) -> float:
+        """One RPC call's coordinate-send time to ONE server (eq. 7)."""
+        pl = self.platform
+        return (app.alpha / pl.a1) * app.n + pl.b1
+
+    def t_return_upd(self, app: ApplicationParams) -> float:
+        """Update RPC return (ack only) from ONE server (eq. 8)."""
+        return self.platform.b1
+
+    def t_return_nbi(self, app: ApplicationParams) -> float:
+        """Energy RPC return (energies + gradients) from ONE server (eq. 9)."""
+        pl = self.platform
+        return (app.alpha / pl.a1) * app.n + pl.b1
+
+    def t_comm(self, app: ApplicationParams) -> float:
+        """Total communication time over the run (eq. 6, closed form)."""
+        pl = self.platform
+        u = app.update_rate
+        per_step = app.p * (app.alpha / pl.a1) * (u + 2.0) * app.n + (
+            2.0 * app.p * pl.b1 * (u + 1.0)
+        )
+        return app.s * per_step
+
+    def t_sync(self, app: ApplicationParams) -> float:
+        """Total synchronization time over the run (eq. 10)."""
+        u = app.update_rate
+        return 2.0 * app.s * (u + 1.0) * self.platform.b5
+
+    # ------------------------------------------------------------------
+    def breakdown(self, app: ApplicationParams) -> TimeBreakdown:
+        """Full predicted breakdown (idle is zero by model assumption)."""
+        return TimeBreakdown(
+            update=self.t_update(app),
+            nbint=self.t_nbint(app),
+            seq_comp=self.t_seq_comp(app),
+            comm=self.t_comm(app),
+            sync=self.t_sync(app),
+            idle=0.0,
+        )
+
+    def predict_total(self, app: ApplicationParams) -> float:
+        """t_OPAL for one configuration."""
+        return self.breakdown(app).total
+
+    # ------------------------------------------------------------------
+    def execution_times(
+        self, app: ApplicationParams, servers: Iterable[int]
+    ) -> List[float]:
+        """Predicted t_OPAL over a range of server counts."""
+        out = []
+        for p in servers:
+            if p < 1:
+                raise ModelError("server counts must be >= 1")
+            out.append(self.predict_total(app.with_(servers=p)))
+        return out
+
+    def communication_bound_at(
+        self, app: ApplicationParams, max_servers: int = 64
+    ) -> int:
+        """Smallest p at which communication exceeds parallel computation.
+
+        Returns ``max_servers + 1`` if the run stays compute bound
+        throughout — the regime the paper calls "entirely compute bound
+        ... parallelizes well regardless of the system".
+        """
+        for p in range(1, max_servers + 1):
+            a = app.with_(servers=p)
+            if self.t_comm(a) > self.t_par_comp(a):
+                return p
+        return max_servers + 1

@@ -1,0 +1,183 @@
+"""Model parameters (Section 2.2 "Model parameters").
+
+The paper splits the parameters of the analytical model into
+*application parameters* (:class:`ApplicationParams`) — properties of an
+Opal run, invariant across machines — and *platform parameters*
+(:class:`ModelPlatformParams`) — the technical key data of the machine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..errors import ModelError
+from ..opal import costs
+from ..opal.complexes import ComplexSpec
+
+
+@dataclass(frozen=True)
+class ApplicationParams:
+    """One Opal run configuration.
+
+    ``update_interval`` is the user-facing Opal ``update`` parameter:
+    the number of simulation steps between two pair-list updates (1 =
+    full update, 10 = the paper's partial update).  The model equations
+    use its reciprocal, the per-step update *rate* ``u`` — see
+    DESIGN.md, "Model notation fix".
+    """
+
+    molecule: ComplexSpec
+    steps: int = 10
+    servers: int = 1
+    update_interval: int = 1
+    #: cutoff radius in Angstrom; None = fully accurate (no cutoff)
+    cutoff: Optional[float] = None
+    #: bytes per mass-center coordinate record (paper's alpha)
+    alpha: int = costs.ALPHA_BYTES
+
+    def __post_init__(self) -> None:
+        if self.steps < 1:
+            raise ModelError("steps must be >= 1")
+        if self.servers < 1:
+            raise ModelError("servers must be >= 1")
+        if self.update_interval < 1:
+            raise ModelError("update_interval must be >= 1 step")
+        if self.cutoff is not None and self.cutoff <= 0:
+            raise ModelError("cutoff must be positive or None")
+        if self.alpha <= 0:
+            raise ModelError("alpha must be positive")
+
+    # -- paper symbols ---------------------------------------------------
+    @property
+    def s(self) -> int:
+        """The paper's s: number of simulation steps."""
+        return self.steps
+
+    @property
+    def p(self) -> int:
+        """The paper's p: number of servers."""
+        return self.servers
+
+    @property
+    def n(self) -> int:
+        """The paper's n: mass centers of the complex."""
+        return self.molecule.n
+
+    @property
+    def gamma(self) -> float:
+        """The paper's gamma: water fraction of the mass centers."""
+        return self.molecule.gamma
+
+    @property
+    def update_rate(self) -> float:
+        """u of the model equations: pair-list updates per step (<= 1)."""
+        return 1.0 / self.update_interval
+
+    @property
+    def n_tilde(self) -> float:
+        """The paper's n~: neighbours within the cutoff sphere."""
+        return self.molecule.n_tilde(self.cutoff)
+
+    @property
+    def cutoff_effective(self) -> bool:
+        """Whether the cutoff actually reduces the pair count."""
+        return self.molecule.cutoff_effective(self.cutoff)
+
+    def with_(self, **changes) -> "ApplicationParams":
+        """A modified copy, e.g. ``app.with_(servers=4)``."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ModelPlatformParams:
+    """The analytical model's per-machine coefficients.
+
+    =====  ==========================================================
+    a1     communication rate including middleware overhead [byte/s]
+    b1     per-message communication overhead [s]
+    a2     time to generate one pair and test its distance [s]
+    a3     time for one non-bonded pair energy contribution [s]
+    a4     per-mass-center time of the client's sequential work [s]
+    b5     time of one process synchronization [s]
+    =====  ==========================================================
+    """
+
+    name: str
+    a1: float
+    b1: float
+    a2: float
+    a3: float
+    a4: float
+    b5: float
+
+    def __post_init__(self) -> None:
+        if self.a1 <= 0:
+            raise ModelError(f"{self.name}: a1 (comm rate) must be positive")
+        for field_name in ("b1", "a2", "a3", "a4", "b5"):
+            if getattr(self, field_name) < 0:
+                raise ModelError(f"{self.name}: {field_name} must be >= 0")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec) -> "ModelPlatformParams":
+        """Derive model coefficients from a :class:`PlatformSpec`.
+
+        This is the paper's Section 4.1 route: communication figures come
+        straight from Table 2 observations; compute coefficients divide
+        the kernel flop costs by the platform's (adjusted, i.e.
+        algorithmic) compute rate.  For exact measured coefficients use
+        the microbenchmarks (:mod:`repro.platforms.microbench`) or a full
+        calibration (:mod:`repro.core.calibration`).
+        """
+        rate = spec.cpu_rate
+        return cls(
+            name=spec.name,
+            a1=spec.net_bw,
+            b1=spec.net_latency,
+            a2=costs.UPDATE_PAIR_FLOPS / rate,
+            a3=costs.NB_PAIR_FLOPS / rate,
+            a4=costs.SEQ_ATOM_FLOPS / rate,
+            b5=spec.sync_cost,
+        )
+
+    def compute_rate_mflops(self) -> float:
+        """Equivalent algorithmic compute rate implied by a3 [MFlop/s]."""
+        return costs.NB_PAIR_FLOPS / self.a3 / 1e6
+
+    def with_(self, **changes) -> "ModelPlatformParams":
+        """A modified copy, e.g. ``params.with_(a1=7e6)``."""
+        return replace(self, **changes)
+
+    def scaled_compute(self, factor: float) -> "ModelPlatformParams":
+        """Copy with all compute coefficients scaled by ``factor``
+        (>1 = slower CPU).  Used in what-if/ablation studies."""
+        if factor <= 0:
+            raise ModelError("scale factor must be positive")
+        return replace(
+            self,
+            a2=self.a2 * factor,
+            a3=self.a3 * factor,
+            a4=self.a4 * factor,
+        )
+
+
+def update_pair_work(n: int, gamma: float) -> float:
+    """Pairs processed by one pair-list update (the paper's eq. (3) form).
+
+    ``((1-2 gamma)^2 n^2 - (1-2 gamma) n) / 2`` — the empirical
+    complexity the paper fitted for the update routine, never below a
+    linear scan of the mass centers.
+    """
+    g = 1.0 - 2.0 * gamma
+    pairs = (g * g * n * n - g * n) / 2.0
+    return max(pairs, float(n))
+
+
+def energy_pair_work(n: int, n_tilde: float) -> float:
+    """Pairs evaluated by one energy evaluation (the paper's eq. (4))."""
+    all_pairs = n * (n - 1) / 2.0
+    if math.isinf(n_tilde) or n_tilde >= (n - 1) / 2.0:
+        return all_pairs
+    return n_tilde * n

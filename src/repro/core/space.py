@@ -1,0 +1,132 @@
+"""Space complexity model (Section 2.6).
+
+"A space complexity model for memory issues is largely orthogonal to
+the execution time model."  The paper tabulates how Opal's data
+structures grow with problem size; the only time-space interaction it
+finds worth modelling is the working set falling out of cache or core
+(see :mod:`repro.core.memhier`).
+
+Paper-table notes (documented deviations, see EXPERIMENTS.md):
+
+* the *pair list* row — ``c (1-2 gamma) n^2`` with c = 2*4 bytes — matches
+  the printed 160 MB example only with ``|1-2 gamma|``, which is what we
+  implement;
+* the *coordinates*/*gradients*/*interactions* rows print "Order n^2" but
+  their example values are linear in n; we implement the linear forms
+  (3 doubles per mass center, etc.) and treat the order column as a typo;
+* the *atom interactions* row (replicated global non-bonded parameter
+  tables) is modelled as per-solute-atom x atom-type parameter pairs,
+  sized to reproduce the printed megabyte-order example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ModelError
+from ..opal import costs
+from ..opal.complexes import ComplexSpec
+from .memhier import MemoryHierarchy
+
+#: Distinct force-field atom types assumed for the replicated
+#: interaction-parameter tables.
+ATOM_TYPES = 64
+
+#: Bytes of one interaction-parameter record (two doubles: C12, C6).
+INTERACTION_ENTRY_BYTES = 16
+
+#: Bytes of the per-run scalar results (two doubles: energies).
+ENERGY_VALUES_BYTES = 16
+
+
+@dataclass(frozen=True)
+class SpaceModel:
+    """Data-structure sizes for one molecular complex."""
+
+    molecule: ComplexSpec
+
+    # ------------------------------------------------------------------
+    def pair_list_total(self) -> float:
+        """Bytes of the full pair list (all servers together).
+
+        ``c |1-2 gamma| n^2`` with 8-byte entries; the united-water model
+        keeps solvent-solvent pairs out of the stored list, which is why
+        the list is far smaller than 8 * n(n-1)/2.
+        """
+        n = self.molecule.n
+        g = abs(1.0 - 2.0 * self.molecule.gamma)
+        return costs.PAIR_ENTRY_BYTES * g * n * n
+
+    def pair_list_per_server(self, servers: int) -> float:
+        """Per-server share: "scales down linearly with the number of
+        processors" (Section 2.6)."""
+        if servers < 1:
+            raise ModelError("servers must be >= 1")
+        return self.pair_list_total() / servers
+
+    def coordinates(self) -> float:
+        """Bytes of the coordinate array (3 doubles per mass center)."""
+        return 3 * 8 * self.molecule.n
+
+    def gradients(self) -> float:
+        """Bytes of the gradient array (3 doubles per mass center)."""
+        return 3 * 8 * self.molecule.n
+
+    def interaction_tables(self) -> float:
+        """Bytes of the replicated global interaction-parameter data.
+
+        Solute-solute, solute-solvent and solvent-solvent non-bonded
+        parameters, replicated on every server and NOT scaling with the
+        number of processors.
+        """
+        solute = self.molecule.protein_atoms
+        per_atom = ATOM_TYPES * INTERACTION_ENTRY_BYTES
+        water_tables = ATOM_TYPES * INTERACTION_ENTRY_BYTES
+        return solute * per_atom + water_tables
+
+    def energy_values(self) -> float:
+        """Bytes of the scalar energy results (two doubles)."""
+        return float(ENERGY_VALUES_BYTES)
+
+    # ------------------------------------------------------------------
+    def server_working_set(self, servers: int) -> float:
+        """Bytes touched by one server during an energy evaluation."""
+        return (
+            self.pair_list_per_server(servers)
+            + self.coordinates()
+            + self.gradients()
+            + self.interaction_tables()
+        )
+
+    def client_working_set(self) -> float:
+        """Bytes touched by the client's sequential phase."""
+        return self.coordinates() + self.gradients() + self.energy_values()
+
+    def regime(self, memory: MemoryHierarchy, servers: int) -> str:
+        """Memory regime ('cache'|'core'|'out-of-core') of one server."""
+        return memory.regime(self.server_working_set(servers))
+
+    def fits_in_core(self, memory: MemoryHierarchy, servers: int) -> bool:
+        """Out-of-core sizes "push the execution time beyond the limit
+        for acceptable turnaround" — this is the go/no-go test."""
+        return self.regime(memory, servers) != "out-of-core"
+
+    def min_servers_in_core(self, memory: MemoryHierarchy, p_max: int = 4096) -> Optional[int]:
+        """Smallest server count whose working set fits in core."""
+        for p in range(1, p_max + 1):
+            if self.fits_in_core(memory, p):
+                return p
+        return None
+
+    # ------------------------------------------------------------------
+    def table(self, servers: int = 1) -> Dict[str, float]:
+        """The Section 2.6 table for this complex, in bytes."""
+        return {
+            "pair list": self.pair_list_total(),
+            "atom coordinates": self.coordinates(),
+            "atom gradients": self.gradients(),
+            "atom interactions": self.interaction_tables(),
+            "energy values": self.energy_values(),
+            "per-server pair list": self.pair_list_per_server(servers),
+        }

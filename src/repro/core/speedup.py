@@ -1,0 +1,86 @@
+"""Speedup, efficiency and scalability metrics.
+
+The paper's Figures 5b/5d/6b/6d plot *relative speedup*: execution time
+with one server divided by execution time with p servers **on the same
+platform**.  The paper warns that "speed-up can not be interpreted
+without looking at the absolute execution times simultaneously" (the T3E
+has the best speedup yet loses to the PC clusters in absolute time) —
+hence the helpers here always work from absolute times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ModelError
+
+
+def speedup_curve(times: Sequence[float]) -> List[float]:
+    """Relative speedups from a time curve ``times[i] = t(p_i)``.
+
+    The first entry is the baseline (p = p_0, normally 1 server).
+    """
+    if not times:
+        raise ModelError("empty time curve")
+    t1 = times[0]
+    if t1 <= 0:
+        raise ModelError("baseline time must be positive")
+    for t in times:
+        if t <= 0:
+            raise ModelError("times must be positive")
+    return [t1 / t for t in times]
+
+
+def efficiency_curve(times: Sequence[float], servers: Sequence[int]) -> List[float]:
+    """Parallel efficiency speedup(p)/p for each server count."""
+    if len(times) != len(servers):
+        raise ModelError("times and servers must have equal length")
+    sp = speedup_curve(times)
+    base = servers[0]
+    return [s / (p / base) for s, p in zip(sp, servers)]
+
+
+def saturation_point(times: Sequence[float], servers: Sequence[int]) -> int:
+    """Server count with the minimum execution time.
+
+    Beyond this point "adding processors stops to increase performance";
+    for the J90 and slow CoPs with cutoff the paper finds it near 3.
+    """
+    if len(times) != len(servers) or not times:
+        raise ModelError("times and servers must be equal-length, non-empty")
+    best = min(range(len(times)), key=lambda i: times[i])
+    return servers[best]
+
+
+def slows_down(times: Sequence[float]) -> bool:
+    """True if the curve ever turns upward (a speed-up turning into a
+    slow-down, Chart 5d) — i.e. some larger configuration is slower than
+    a smaller one."""
+    return any(b > a * (1.0 + 1e-12) for a, b in zip(times, times[1:]))
+
+
+def compare_platforms(
+    curves: Dict[str, Sequence[float]], servers: Sequence[int]
+) -> List[Tuple[str, float, float, int]]:
+    """Summary rows (name, best time, speedup at max p, saturation p).
+
+    Sorted by best absolute time — the ranking the paper's conclusion is
+    based on.
+    """
+    rows = []
+    for name, times in curves.items():
+        if len(times) != len(servers):
+            raise ModelError(f"curve {name!r} length mismatch")
+        sp = speedup_curve(times)
+        rows.append((name, min(times), sp[-1], saturation_point(times, servers)))
+    rows.sort(key=lambda r: r[1])
+    return rows
+
+
+def amdahl_bound(serial_fraction: float, p: int) -> float:
+    """Classical Amdahl speedup bound for reference lines in reports."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ModelError("serial fraction must be in [0, 1]")
+    if p < 1:
+        raise ModelError("p must be >= 1")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / p)

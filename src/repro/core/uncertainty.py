@@ -1,0 +1,120 @@
+"""Uncertainty quantification for the calibrated model.
+
+The paper claims to "predict with good certainty how the application
+would run" on unseen platforms.  This module makes the certainty part
+quantitative for the calibration half of the pipeline: a case-resampling
+bootstrap over the measured design yields confidence intervals for every
+fitted platform parameter and prediction bands for any configuration's
+predicted execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import CalibrationError
+from .calibration import Observation, calibrate
+from .model import OpalPerformanceModel
+from .parameters import ApplicationParams, ModelPlatformParams
+
+PARAMETER_NAMES = ("a1", "b1", "a2", "a3", "a4", "b5")
+
+
+@dataclass(frozen=True)
+class ParameterInterval:
+    """Bootstrap percentile interval for one fitted parameter."""
+
+    name: str
+    estimate: float
+    lower: float
+    upper: float
+
+    @property
+    def relative_halfwidth(self) -> float:
+        """Interval half-width relative to the point estimate."""
+        if self.estimate == 0:
+            return float("inf")
+        return (self.upper - self.lower) / 2.0 / abs(self.estimate)
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.lower <= value <= self.upper
+
+
+@dataclass
+class BootstrapResult:
+    """Fitted parameters with bootstrap uncertainty."""
+
+    params: ModelPlatformParams
+    intervals: Dict[str, ParameterInterval]
+    samples: List[ModelPlatformParams]
+
+    def predict_band(
+        self, app: ApplicationParams, coverage: float = 0.95
+    ) -> Tuple[float, float, float]:
+        """(point estimate, lower, upper) of predicted t_OPAL."""
+        if not 0.0 < coverage < 1.0:
+            raise CalibrationError("coverage must be in (0, 1)")
+        point = OpalPerformanceModel(self.params).predict_total(app)
+        totals = np.array(
+            [OpalPerformanceModel(s).predict_total(app) for s in self.samples]
+        )
+        alpha = (1.0 - coverage) / 2.0
+        lower, upper = np.quantile(totals, [alpha, 1.0 - alpha])
+        return point, float(lower), float(upper)
+
+
+def bootstrap_calibration(
+    observations: Sequence[Observation],
+    n_bootstrap: int = 200,
+    coverage: float = 0.95,
+    seed: int = 0,
+    name: str = "bootstrap",
+) -> BootstrapResult:
+    """Case-resampling bootstrap around :func:`calibrate`.
+
+    Each replicate resamples the design cells with replacement and
+    refits; intervals are percentile intervals of the replicate
+    parameters.  Degenerate resamples (e.g. all-one-size designs that
+    make a component unidentifiable) are skipped and replaced.
+    """
+    if len(observations) < 6:
+        raise CalibrationError("bootstrap needs at least 6 observations")
+    if not 0.0 < coverage < 1.0:
+        raise CalibrationError("coverage must be in (0, 1)")
+    if n_bootstrap < 20:
+        raise CalibrationError("need at least 20 bootstrap replicates")
+    point = calibrate(observations, name=name)
+    rng = np.random.default_rng(seed)
+    samples: List[ModelPlatformParams] = []
+    attempts = 0
+    while len(samples) < n_bootstrap and attempts < 5 * n_bootstrap:
+        attempts += 1
+        idx = rng.integers(0, len(observations), size=len(observations))
+        resampled = [observations[i] for i in idx]
+        try:
+            samples.append(calibrate(resampled, name=f"{name}-bs").params)
+        except CalibrationError:
+            continue
+    if len(samples) < n_bootstrap:
+        raise CalibrationError(
+            f"only {len(samples)} of {n_bootstrap} bootstrap refits "
+            "succeeded; the design is too degenerate"
+        )
+    alpha = (1.0 - coverage) / 2.0
+    intervals = {}
+    for pname in PARAMETER_NAMES:
+        values = np.array([getattr(s, pname) for s in samples])
+        lo, hi = np.quantile(values, [alpha, 1.0 - alpha])
+        intervals[pname] = ParameterInterval(
+            name=pname,
+            estimate=getattr(point.params, pname),
+            lower=float(lo),
+            upper=float(hi),
+        )
+    return BootstrapResult(
+        params=point.params, intervals=intervals, samples=samples
+    )

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised by the discrete-event simulator for protocol violations."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while processes are still blocked."""
+
+
+class PvmError(ReproError):
+    """Raised by the PVM-like message passing layer."""
+
+
+class SciddleError(ReproError):
+    """Raised by the Sciddle-like RPC middleware."""
+
+
+class ModelError(ReproError):
+    """Raised by the analytical performance model for invalid parameters."""
+
+
+class CalibrationError(ModelError):
+    """Raised when a model calibration cannot be performed."""
+
+
+class PlatformError(ReproError):
+    """Raised for unknown platforms or inconsistent platform specifications."""
+
+
+class WorkloadError(ReproError):
+    """Raised by the Opal application layer for invalid molecular inputs."""
+
+
+class DesignError(ReproError):
+    """Raised by the experimental-design machinery."""

@@ -1,0 +1,59 @@
+"""Systematic experimental design and execution (Jain ch. 16; Sec 2.3)."""
+
+from .anova import AnovaEffect, AnovaResult, replicated_anova
+from .campaign import CampaignReport, render as render_campaign, run_campaign
+from .cases import (
+    CUTOFF_EFFECTIVE,
+    CUTOFF_INEFFECTIVE,
+    SERVER_RANGE,
+    STEPS,
+    UPDATE_FULL,
+    UPDATE_PARTIAL,
+    ExperimentCase,
+    breakdown_chart_cases,
+    full_design,
+    paper_factors,
+    reduced_design,
+)
+from .factorial import (
+    EffectEstimate,
+    Factor,
+    design_size,
+    fractional_factorial,
+    full_factorial,
+    sign_table_effects,
+)
+from .measurement import MeasurementStats, repeat, summarize
+from .runner import DEFAULT_JITTER, ExperimentRecord, ExperimentRunner
+
+__all__ = [
+    "AnovaEffect",
+    "AnovaResult",
+    "CampaignReport",
+    "CUTOFF_EFFECTIVE",
+    "CUTOFF_INEFFECTIVE",
+    "DEFAULT_JITTER",
+    "EffectEstimate",
+    "ExperimentCase",
+    "ExperimentRecord",
+    "ExperimentRunner",
+    "Factor",
+    "MeasurementStats",
+    "SERVER_RANGE",
+    "STEPS",
+    "UPDATE_FULL",
+    "UPDATE_PARTIAL",
+    "breakdown_chart_cases",
+    "design_size",
+    "fractional_factorial",
+    "full_design",
+    "full_factorial",
+    "paper_factors",
+    "reduced_design",
+    "repeat",
+    "render_campaign",
+    "replicated_anova",
+    "run_campaign",
+    "sign_table_effects",
+    "summarize",
+]

@@ -1,0 +1,168 @@
+"""Factorial experimental designs (Jain, "The Art of Computer Systems
+Performance Analysis", chapter 16).
+
+The paper follows "a systematic, full factorial experimental design"
+over four factors (servers, problem size, cutoff, update frequency) "to
+obtain the maximum information with the minimum number of experiments",
+and reports a reduced ``7 * 2^(3-1)`` fraction of it for brevity.  This
+module implements:
+
+* general full factorial enumeration over arbitrary factor levels;
+* two-level fractional factorials ``2^(k-p)`` built from generator
+  strings (with the alias structure that entails);
+* sign-table main-effect/interaction analysis for 2^k designs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import DesignError
+
+
+@dataclass(frozen=True)
+class Factor:
+    """One experimental factor and its levels."""
+
+    name: str
+    levels: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.levels) < 1:
+            raise DesignError(f"factor {self.name!r} needs at least one level")
+        if len(set(map(repr, self.levels))) != len(self.levels):
+            raise DesignError(f"factor {self.name!r} has duplicate levels")
+
+
+def full_factorial(factors: Sequence[Factor]) -> List[Dict[str, Any]]:
+    """All level combinations, ordered with the last factor fastest."""
+    if not factors:
+        raise DesignError("need at least one factor")
+    names = [f.name for f in factors]
+    if len(set(names)) != len(names):
+        raise DesignError("duplicate factor names")
+    rows = []
+    for combo in itertools.product(*(f.levels for f in factors)):
+        rows.append(dict(zip(names, combo)))
+    return rows
+
+
+def design_size(factors: Sequence[Factor]) -> int:
+    """Number of cells of the full factorial over ``factors``."""
+    size = 1
+    for f in factors:
+        size *= len(f.levels)
+    return size
+
+
+# ----------------------------------------------------------------------
+def _two_level(factors: Sequence[Factor]) -> None:
+    for f in factors:
+        if len(f.levels) != 2:
+            raise DesignError(
+                f"fractional designs need 2-level factors; {f.name!r} has "
+                f"{len(f.levels)}"
+            )
+
+
+def fractional_factorial(
+    factors: Sequence[Factor],
+    generators: Sequence[str],
+) -> List[Dict[str, Any]]:
+    """A ``2^(k-p)`` fraction of a two-level design.
+
+    ``generators`` defines each of the last ``p`` factors as a product of
+    base-factor names, e.g. with factors A, B, C and ``generators=["C=AB"]``
+    the half fraction runs the 4 combinations where sign(C) = sign(A)sign(B).
+    """
+    _two_level(factors)
+    p = len(generators)
+    if p < 1 or p >= len(factors):
+        raise DesignError("need 1 <= p < k generators")
+    k = len(factors)
+    base = factors[: k - p]
+    derived = factors[k - p :]
+    by_name = {f.name: f for f in factors}
+
+    parsed: List[Tuple[str, List[str]]] = []
+    for g, fac in zip(generators, derived):
+        if "=" not in g:
+            raise DesignError(f"generator {g!r} must look like 'C=AB'")
+        lhs, rhs = (s.strip() for s in g.split("=", 1))
+        if lhs != fac.name:
+            raise DesignError(
+                f"generator {g!r} must define factor {fac.name!r} (in order)"
+            )
+        terms = rhs.split("*") if "*" in rhs else list(rhs)
+        for t in terms:
+            if t not in by_name or t == lhs:
+                raise DesignError(f"generator {g!r} references unknown factor {t!r}")
+        parsed.append((lhs, terms))
+
+    rows = []
+    for combo in itertools.product(*( (-1, 1) for _ in base )):
+        signs = dict(zip((f.name for f in base), combo))
+        for lhs, terms in parsed:
+            sign = 1
+            for t in terms:
+                sign *= signs[t]
+            signs[lhs] = sign
+        row = {
+            f.name: f.levels[0] if signs[f.name] < 0 else f.levels[1]
+            for f in factors
+        }
+        rows.append(row)
+    return rows
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EffectEstimate:
+    """Estimated effect of one factor (or interaction) on the response."""
+
+    name: str
+    effect: float
+    #: fraction of total variation explained (Jain's 'portion of variation')
+    variation_explained: float
+
+
+def sign_table_effects(
+    factors: Sequence[Factor],
+    rows: Sequence[Dict[str, Any]],
+    responses: Sequence[float],
+    interactions: bool = True,
+) -> List[EffectEstimate]:
+    """Main effects (and pairwise interactions) of a full 2^k design."""
+    _two_level(factors)
+    if len(rows) != len(responses):
+        raise DesignError("rows and responses must have equal length")
+    if len(rows) != 2 ** len(factors):
+        raise DesignError("sign-table analysis needs the FULL 2^k design")
+    y = np.asarray(responses, dtype=float)
+    cols: Dict[str, np.ndarray] = {}
+    for f in factors:
+        cols[f.name] = np.array(
+            [-1.0 if row[f.name] == f.levels[0] else 1.0 for row in rows]
+        )
+    if interactions:
+        for (a, b) in itertools.combinations([f.name for f in factors], 2):
+            cols[f"{a}*{b}"] = cols[a] * cols[b]
+    n = len(rows)
+    effects = {name: float(np.dot(col, y) / n) for name, col in cols.items()}
+    ss = {name: n * e * e for name, e in effects.items()}
+    mean = float(np.mean(y))
+    sst = float(np.sum((y - mean) ** 2))
+    out = [
+        EffectEstimate(
+            name=name,
+            effect=e,
+            variation_explained=(ss[name] / sst) if sst > 0 else 0.0,
+        )
+        for name, e in effects.items()
+    ]
+    out.sort(key=lambda r: -abs(r.variation_explained))
+    return out

@@ -1,0 +1,72 @@
+"""Repeated-measurement statistics.
+
+Section 2.3: "In a few preliminary tests, every measurement has been
+repeated several times.  The tests have confirmed a low variability and
+a good reproducibility of the execution times" — the check that licenses
+single ten-step timings.  These helpers reproduce that protocol on the
+simulator (whose jitter model stands in for real-machine noise).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import DesignError
+
+#: two-sided 95% normal quantile (the runs are many and independent)
+_Z95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class MeasurementStats:
+    """Summary of repeated measurements of one scalar response."""
+
+    values: tuple
+    mean: float
+    std: float
+
+    @property
+    def n(self) -> int:
+        """Number of repetitions summarized."""
+        return len(self.values)
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """Standard deviation over the mean (dimensionless noise level)."""
+        if self.mean == 0:
+            return float("inf")
+        return self.std / abs(self.mean)
+
+    @property
+    def confidence_halfwidth(self) -> float:
+        """Half-width of the ~95% confidence interval of the mean."""
+        if self.n < 2:
+            return float("inf")
+        return _Z95 * self.std / math.sqrt(self.n)
+
+    def reproducible(self, cv_threshold: float = 0.02) -> bool:
+        """The paper's criterion: variability low enough for one timing."""
+        return self.coefficient_of_variation <= cv_threshold
+
+
+def summarize(values: Sequence[float]) -> MeasurementStats:
+    """Summary statistics of a sequence of measurements."""
+    if len(values) == 0:
+        raise DesignError("cannot summarize zero measurements")
+    arr = np.asarray(values, dtype=float)
+    return MeasurementStats(
+        values=tuple(arr.tolist()),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if len(arr) > 1 else 0.0,
+    )
+
+
+def repeat(fn: Callable[[int], float], repetitions: int) -> MeasurementStats:
+    """Run ``fn(rep_index)`` ``repetitions`` times and summarize."""
+    if repetitions < 1:
+        raise DesignError("repetitions must be >= 1")
+    return summarize([fn(i) for i in range(repetitions)])

@@ -1,0 +1,125 @@
+"""Run experiment designs on the simulated reference platform.
+
+Connects the design machinery (:mod:`repro.experiments.cases`) to the
+simulated application (:func:`repro.opal.parallel.run_parallel_opal`) and
+produces the measured breakdowns the calibration and the breakdown
+figures consume.  Runs execute on a dedicated (simulated) system —
+"therefore there is no overhead on the measurements due to a
+timesharing environment".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.breakdown import TimeBreakdown
+from ..core.calibration import Observation
+from ..core.parameters import ApplicationParams
+from ..errors import DesignError
+from ..opal.parallel import OpalRunResult, run_parallel_opal
+from .cases import ExperimentCase
+from .measurement import MeasurementStats, summarize
+
+#: Default multiplicative timing noise of simulated measurements — the
+#: "low variability" the paper confirms on the dedicated J90.
+DEFAULT_JITTER = 0.004
+
+
+@dataclass
+class ExperimentRecord:
+    """One design cell with its measured outcome(s)."""
+
+    case: ExperimentCase
+    breakdown: TimeBreakdown
+    wall_stats: MeasurementStats
+    last_result: Optional[OpalRunResult] = None
+
+    @property
+    def app(self) -> ApplicationParams:
+        """The cell's ApplicationParams."""
+        return self.case.app()
+
+    def observation(self) -> Observation:
+        """The (app, breakdown) pair calibration consumes."""
+        return (self.app, self.breakdown)
+
+
+class ExperimentRunner:
+    """Executes cases on one platform with a fixed measurement protocol."""
+
+    def __init__(
+        self,
+        platform,
+        sync_mode: str = "accounted",
+        jitter_sigma: float = DEFAULT_JITTER,
+        repetitions: int = 1,
+        seed: int = 0,
+        keep_results: bool = False,
+    ) -> None:
+        if repetitions < 1:
+            raise DesignError("repetitions must be >= 1")
+        self.platform = platform
+        self.sync_mode = sync_mode
+        self.jitter_sigma = jitter_sigma
+        self.repetitions = repetitions
+        self.seed = seed
+        self.keep_results = keep_results
+
+    # ------------------------------------------------------------------
+    def run_case(self, case: ExperimentCase) -> ExperimentRecord:
+        """Measure one design cell (with repetitions)."""
+        app = case.app()
+        walls: List[float] = []
+        breakdowns: List[TimeBreakdown] = []
+        last: Optional[OpalRunResult] = None
+        for rep in range(self.repetitions):
+            result = run_parallel_opal(
+                app,
+                self.platform,
+                sync_mode=self.sync_mode,
+                seed=self.seed + 1000 * rep,
+                jitter_sigma=self.jitter_sigma,
+            )
+            walls.append(result.wall_time)
+            breakdowns.append(result.breakdown)
+            last = result
+        return ExperimentRecord(
+            case=case,
+            breakdown=TimeBreakdown.mean(breakdowns),
+            wall_stats=summarize(walls),
+            last_result=last if self.keep_results else None,
+        )
+
+    def run_design(self, cases: Sequence[ExperimentCase]) -> List[ExperimentRecord]:
+        """Measure every cell of a design, in order."""
+        if not cases:
+            raise DesignError("empty design")
+        return [self.run_case(c) for c in cases]
+
+    def observations(self, cases: Sequence[ExperimentCase]) -> List[Observation]:
+        """Measured (app, breakdown) pairs ready for calibration."""
+        return [r.observation() for r in self.run_design(cases)]
+
+    # ------------------------------------------------------------------
+    def breakdown_series(
+        self, panels: Dict[str, Sequence[ExperimentCase]]
+    ) -> Dict[str, List[ExperimentRecord]]:
+        """Run the four panels of a Figure 1/2 style chart."""
+        return {key: self.run_design(cases) for key, cases in panels.items()}
+
+    def variability_probe(
+        self, case: ExperimentCase, repetitions: int = 10
+    ) -> MeasurementStats:
+        """The Section 2.3 reproducibility check for one configuration."""
+        walls = []
+        for rep in range(repetitions):
+            result = run_parallel_opal(
+                case.app(),
+                self.platform,
+                sync_mode=self.sync_mode,
+                seed=self.seed + 7919 * (rep + 1),
+                jitter_sigma=self.jitter_sigma,
+            )
+            walls.append(result.wall_time)
+        return summarize(walls)

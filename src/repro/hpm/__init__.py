@@ -1,0 +1,15 @@
+"""Simulated hardware performance monitoring (``/dev/hpm`` substitute)."""
+
+from .accounting import PhaseAccountant, PhaseTotals
+from .counters import HpmCounter, HpmSnapshot
+from .sampling import SamplingEstimate, SamplingMonitor, counter_rate
+
+__all__ = [
+    "HpmCounter",
+    "HpmSnapshot",
+    "PhaseAccountant",
+    "PhaseTotals",
+    "SamplingEstimate",
+    "SamplingMonitor",
+    "counter_rate",
+]

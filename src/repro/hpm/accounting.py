@@ -1,0 +1,84 @@
+"""Phase accounting built on counter snapshots and virtual wall clocks.
+
+This is the piece the paper argues belongs *inside the middleware*
+(Section 3.2): bracket every middleware-level phase with a counter
+snapshot and a clock reading, and accumulate per-category wall time and
+flop counts.  The Sciddle layer drives one :class:`PhaseAccountant` per
+process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..errors import SimulationError
+from .counters import HpmCounter, HpmSnapshot
+
+
+@dataclass
+class PhaseTotals:
+    """Accumulated totals for one accounting category."""
+
+    seconds: float = 0.0
+    flops_counted: float = 0.0
+    flops_algorithmic: float = 0.0
+    intervals: int = 0
+
+    def rate(self) -> float:
+        """Counted flop rate over the accumulated wall time."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.flops_counted / self.seconds
+
+
+class PhaseAccountant:
+    """Accumulates wall time and counter deltas per named category.
+
+    ``clock`` is any zero-argument callable returning the current time —
+    in simulated runs it is ``lambda: cluster.engine.now``.
+    """
+
+    def __init__(self, clock: Callable[[], float], counter: Optional[HpmCounter] = None):
+        self._clock = clock
+        self._counter = counter
+        self._open: Optional[tuple] = None
+        self.totals: Dict[str, PhaseTotals] = {}
+
+    def begin(self, category: str) -> None:
+        """Open a phase: record the clock and a counter snapshot."""
+        if self._open is not None:
+            raise SimulationError(
+                f"phase {self._open[0]!r} still open when beginning {category!r}"
+            )
+        snap = self._counter.snapshot() if self._counter is not None else None
+        self._open = (category, self._clock(), snap)
+
+    def end(self, category: Optional[str] = None) -> float:
+        """Close the open phase, returning its wall duration."""
+        if self._open is None:
+            raise SimulationError("no phase is open")
+        open_cat, start, snap0 = self._open
+        if category is not None and category != open_cat:
+            raise SimulationError(
+                f"closing phase {category!r} but {open_cat!r} is open"
+            )
+        self._open = None
+        duration = self._clock() - start
+        totals = self.totals.setdefault(open_cat, PhaseTotals())
+        totals.seconds += duration
+        totals.intervals += 1
+        if self._counter is not None and snap0 is not None:
+            delta: HpmSnapshot = self._counter.snapshot() - snap0
+            totals.flops_counted += delta.flops_counted
+            totals.flops_algorithmic += delta.flops_algorithmic
+        return duration
+
+    def seconds(self, category: str) -> float:
+        """Accumulated wall seconds of one category (0 if unseen)."""
+        t = self.totals.get(category)
+        return 0.0 if t is None else t.seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        """Category -> accumulated seconds."""
+        return {k: v.seconds for k, v in self.totals.items()}

@@ -1,0 +1,82 @@
+"""Simulated hardware performance counters.
+
+The paper reads the Cray J90's low-overhead counter device ``/dev/hpm``
+(and the corresponding facilities on the T3E and Pentium) to count
+floating point operations and cycles.  Two observations from Section 3.2
+drive this model:
+
+* counters are per-CPU and cheap to read (a snapshot, not a sample);
+* *the number of floating point operations counted for identical results
+  differs across platforms* because vectorizing transformations and
+  intrinsic implementations (sqrt, exponentiate) expand to different
+  operation counts.  We model this with a per-platform ``flop_inflation``
+  multiplier applied to the algorithmic flop count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HpmSnapshot:
+    """An immutable reading of one counter set."""
+
+    flops_counted: float
+    flops_algorithmic: float
+    busy_seconds: float
+
+    def __sub__(self, other: "HpmSnapshot") -> "HpmSnapshot":
+        return HpmSnapshot(
+            self.flops_counted - other.flops_counted,
+            self.flops_algorithmic - other.flops_algorithmic,
+            self.busy_seconds - other.busy_seconds,
+        )
+
+    def rate(self) -> float:
+        """Counted flop rate (flop/s) over the busy time of this reading."""
+        if self.busy_seconds <= 0:
+            return 0.0
+        return self.flops_counted / self.busy_seconds
+
+
+@dataclass
+class HpmCounter:
+    """Accumulating per-CPU (or per-node) counter bank.
+
+    ``flop_inflation`` is how many *counted* hardware operations the
+    platform executes per algorithmic operation (>= 1 on vector machines,
+    1.0 for the best scalar compiler in the paper's normalization).
+    """
+
+    flop_inflation: float = 1.0
+    flops_counted: float = field(default=0.0, init=False)
+    flops_algorithmic: float = field(default=0.0, init=False)
+    busy_seconds: float = field(default=0.0, init=False)
+    reads: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.flop_inflation < 1.0:
+            raise ValueError(
+                "flop_inflation must be >= 1 (the best compiler's count is "
+                "the lower bound, Section 4.1)"
+            )
+
+    def add(self, flops: float, busy: float) -> None:
+        """Account ``flops`` algorithmic operations taking ``busy`` seconds."""
+        if flops < 0 or busy < 0:
+            raise ValueError("counter increments must be >= 0")
+        self.flops_algorithmic += flops
+        self.flops_counted += flops * self.flop_inflation
+        self.busy_seconds += busy
+
+    def snapshot(self) -> HpmSnapshot:
+        """Read the counters (models a read of ``/dev/hpm``)."""
+        self.reads += 1
+        return HpmSnapshot(self.flops_counted, self.flops_algorithmic, self.busy_seconds)
+
+    def reset(self) -> None:
+        """Zero the accumulators (flop inflation is retained)."""
+        self.flops_counted = 0.0
+        self.flops_algorithmic = 0.0
+        self.busy_seconds = 0.0

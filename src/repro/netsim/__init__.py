@@ -1,0 +1,53 @@
+"""Discrete-event cluster simulator substrate.
+
+This package replaces the hardware the paper measured (Cray J90/T3E,
+Pentium clusters) with a deterministic discrete-event model: an event
+engine, generator-based processes, contention-accurate network fabrics
+and nodes with memory-hierarchy-aware compute rates and hardware
+performance counters.
+"""
+
+from .cluster import Cluster, ProcContext
+from .engine import Engine
+from .events import ANY, Barrier, Compute, Message, Recv, Send, Timeout
+from .network import (
+    CrossbarFabric,
+    Fabric,
+    SharedMediumFabric,
+    SwitchedFabric,
+    make_fabric,
+)
+from .node import Node, RateModel, constant_rate
+from .process import BarrierManager, Mailbox, SimProcess
+from .resources import Resource
+from .rng import Jitter, RngStreams
+from .trace import Tracer, TraceRecord
+
+__all__ = [
+    "ANY",
+    "Barrier",
+    "BarrierManager",
+    "Cluster",
+    "Compute",
+    "CrossbarFabric",
+    "Engine",
+    "Fabric",
+    "Jitter",
+    "Mailbox",
+    "Message",
+    "Node",
+    "ProcContext",
+    "RateModel",
+    "Recv",
+    "Resource",
+    "RngStreams",
+    "Send",
+    "SharedMediumFabric",
+    "SimProcess",
+    "SwitchedFabric",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "constant_rate",
+    "make_fabric",
+]

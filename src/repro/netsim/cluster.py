@@ -1,0 +1,148 @@
+"""Cluster assembly: engine + nodes + fabric + process/message plumbing.
+
+:class:`Cluster` is the façade the message-passing layers build on.  It
+owns the engine, the tracer, the barrier manager, the task-id namespace
+and per-task mailboxes; everything above it (PVM, Sciddle, Opal) only
+sees ``spawn`` / ``run`` / the request vocabulary of
+:mod:`repro.netsim.events`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..errors import SimulationError
+from .engine import Engine
+from .events import Message
+from .network import Fabric
+from .node import Node
+from .process import BarrierManager, Mailbox, SimProcess
+from .rng import RngStreams
+from .trace import Tracer
+
+
+class ProcContext:
+    """Handle passed as first argument to every process generator."""
+
+    def __init__(self, cluster: "Cluster", proc: SimProcess) -> None:
+        self._cluster = cluster
+        self._proc = proc
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (valid whenever the generator is running)."""
+        return self._cluster.engine.now
+
+    @property
+    def tid(self) -> int:
+        """This process's task id."""
+        return self._proc.tid
+
+    @property
+    def name(self) -> str:
+        """This process's display name."""
+        return self._proc.name
+
+    @property
+    def node(self) -> Node:
+        """The node this process runs on."""
+        return self._proc.node
+
+    @property
+    def cluster(self) -> "Cluster":
+        """The owning cluster."""
+        return self._cluster
+
+    def trace(self, category: str, start: float, end: float, detail: str = "") -> None:
+        """Emit an application-level trace record for this process."""
+        self._proc.trace(category, start, end, detail)
+
+
+class Cluster:
+    """A simulated parallel machine."""
+
+    def __init__(
+        self,
+        fabric_factory: Callable[[Engine], Fabric],
+        seed: int = 0,
+        trace: bool = True,
+    ) -> None:
+        self.engine = Engine()
+        self.tracer = Tracer(enabled=trace)
+        self.barriers = BarrierManager(self.engine)
+        self.rng = RngStreams(seed)
+        self.fabric = fabric_factory(self.engine)
+        self.nodes: List[Node] = []
+        self._procs_by_tid: Dict[int, SimProcess] = {}
+        self._mailboxes: Dict[int, Mailbox] = {}
+        self._next_tid = 1
+        self._msg_seq = 0
+        self.failures: List[tuple] = []
+
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        """Register a node with the cluster."""
+        self.nodes.append(node)
+        return node
+
+    def node(self, node_id: int) -> Node:
+        """Look a node up by id."""
+        for n in self.nodes:
+            if n.node_id == node_id:
+                return n
+        raise SimulationError(f"no node with id {node_id}")
+
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        name: str,
+        node: Node,
+        genfunc: Callable[..., Generator],
+        *args: Any,
+        **kwargs: Any,
+    ) -> SimProcess:
+        """Create and start a process running ``genfunc(ctx, *args)``."""
+        tid = self._next_tid
+        self._next_tid += 1
+        proc = SimProcess(self, name, tid, node, gen=None)  # type: ignore[arg-type]
+        ctx = ProcContext(self, proc)
+        proc._gen = genfunc(ctx, *args, **kwargs)
+        self._procs_by_tid[tid] = proc
+        self._mailboxes[tid] = Mailbox()
+        proc.start()
+        return proc
+
+    def process_by_tid(self, tid: int) -> SimProcess:
+        """Resolve a task id to its process."""
+        try:
+            return self._procs_by_tid[tid]
+        except KeyError:
+            raise SimulationError(f"unknown task id {tid}") from None
+
+    def mailbox_of(self, tid: int) -> Mailbox:
+        """The mailbox of one task id."""
+        return self._mailboxes[tid]
+
+    def next_msg_seq(self) -> int:
+        """Next FIFO sequence number for a message."""
+        self._msg_seq += 1
+        return self._msg_seq
+
+    def deliver(self, proc: SimProcess, msg: Message) -> None:
+        """Deliver a message into a process's mailbox."""
+        self._mailboxes[proc.tid].deliver(msg)
+
+    # ------------------------------------------------------------------
+    def _process_finished(self, proc: SimProcess) -> None:
+        pass
+
+    def _process_failed(self, proc: SimProcess, exc: BaseException) -> None:
+        self.failures.append((proc.name, exc))
+        raise SimulationError(f"process {proc.name!r} raised: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation; returns the final virtual time."""
+        if until is None:
+            return self.engine.run_all()
+        return self.engine.run(until)

@@ -1,0 +1,95 @@
+"""Discrete-event simulation kernel.
+
+A minimal, dependency-free event engine in the style of SimPy, tuned for
+the message-passing cluster models in this package.  The engine owns a
+binary heap of ``(time, seq, callback)`` entries; determinism is
+guaranteed by the tie-breaking sequence number — two events scheduled for
+the same instant fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import DeadlockError, SimulationError
+
+
+class Engine:
+    """Event queue and virtual clock.
+
+    The engine knows nothing about processes, networks or CPUs; those are
+    layered on top (see :mod:`repro.netsim.process` and
+    :mod:`repro.netsim.network`).
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._running = False
+        #: number of processes currently blocked on an external condition
+        #: (mailbox, barrier, resource); used for deadlock detection.
+        self.blocked_processes = 0
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute virtual ``time``."""
+        self.schedule(time - self._now, callback)
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the queue drains or ``until`` is reached.
+
+        Returns the virtual time at which execution stopped.
+        """
+        if self._running:
+            raise SimulationError("engine is already running (re-entrant run())")
+        self._running = True
+        try:
+            while self._queue:
+                time, _seq, callback = self._queue[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                if time < self._now:
+                    raise SimulationError("event queue time went backwards")
+                self._now = time
+                self.events_executed += 1
+                callback()
+        finally:
+            self._running = False
+        return self._now
+
+    def run_all(self) -> float:
+        """Run to quiescence and fail loudly if processes remain blocked.
+
+        This is the right call for closed workloads (a parallel program
+        that must terminate): a drained queue with blocked processes is a
+        deadlock, e.g. a ``Recv`` whose matching ``Send`` never happened.
+        """
+        t = self.run()
+        if self.blocked_processes > 0:
+            raise DeadlockError(
+                f"event queue drained with {self.blocked_processes} process(es) "
+                "still blocked (missing message or barrier member?)"
+            )
+        return t
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

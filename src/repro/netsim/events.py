@@ -1,0 +1,121 @@
+"""Request objects yielded by simulated processes.
+
+A simulated process is a Python generator.  It interacts with the
+discrete-event engine by yielding one of the request objects defined in
+this module; the engine performs the requested operation in virtual time
+and resumes the generator with the operation's result (if any).
+
+The vocabulary is deliberately small — it is exactly what a message
+passing runtime like PVM needs:
+
+``Timeout``
+    advance virtual time unconditionally (sleep).
+``Compute``
+    occupy one CPU of the owning node for a workload expressed either in
+    seconds or in floating point operations (converted through the node's
+    memory-hierarchy-aware rate model).
+``Send``
+    inject a message into the fabric.  The sender blocks for the
+    *injection* time (per-message overhead plus size over bandwidth on the
+    contended resource); delivery happens one latency later.
+``Recv``
+    block until a message matching ``(source, tag)`` is in the process
+    mailbox; wildcards supported.
+``Barrier``
+    block until all members of a barrier group arrived; everyone is
+    released ``cost`` seconds after the last arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Wildcard value accepted by :class:`Recv` for ``source`` and ``tag``.
+ANY = None
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Sleep for ``delay`` seconds of virtual time."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise ValueError(f"Timeout delay must be >= 0, got {self.delay}")
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Occupy a CPU of the owning node.
+
+    Exactly one of ``seconds`` or ``flops`` must be given.  When ``flops``
+    is given the duration is ``flops / node.effective_rate(working_set)``,
+    which routes the request through the node's memory-hierarchy model,
+    and the node's hardware performance counters are advanced.
+    """
+
+    seconds: Optional[float] = None
+    flops: Optional[float] = None
+    working_set: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.seconds is None) == (self.flops is None):
+            raise ValueError("Compute requires exactly one of seconds= or flops=")
+        if self.seconds is not None and self.seconds < 0:
+            raise ValueError("Compute seconds must be >= 0")
+        if self.flops is not None and self.flops < 0:
+            raise ValueError("Compute flops must be >= 0")
+
+
+@dataclass(frozen=True)
+class Send:
+    """Inject a message of ``nbytes`` for task ``dest`` into the fabric."""
+
+    dest: int
+    nbytes: float
+    tag: int = 0
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("Send nbytes must be >= 0")
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Block until a matching message arrives; resumes with a Message."""
+
+    source: Optional[int] = ANY
+    tag: Optional[int] = ANY
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Block on the named barrier until ``count`` processes arrived."""
+
+    name: str
+    count: int
+    cost: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("Barrier count must be >= 1")
+        if self.cost < 0:
+            raise ValueError("Barrier cost must be >= 0")
+
+
+@dataclass
+class Message:
+    """A delivered message, handed to the process that issued ``Recv``."""
+
+    source: int
+    dest: int
+    tag: int
+    nbytes: float
+    payload: Any = None
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+    #: monotonically increasing per-engine sequence, preserves FIFO order
+    seq: int = field(default=0, compare=False)

@@ -1,0 +1,170 @@
+"""Network fabric models.
+
+The paper's platforms differ in their interconnect in exactly the ways
+that matter to the model's ``a1`` (effective rate) and ``b1`` (per
+message overhead):
+
+* the Cray J90 runs PVM/Sciddle over a crossbar, but the middleware stack
+  limits the *observed* rate to ~3 MByte/s with ~10 ms overhead;
+* slow CoPs share a single 100BaseT Ethernet segment (a contended
+  medium);
+* SMP CoPs use SCI, fast CoPs use switched Myrinet (per-port contention
+  only);
+* the T3E has a fast MPI with 100 MByte/s observed and 12 us latency.
+
+All fabrics use a cut-through transfer model: a message holds its
+bottleneck resource set for ``overhead + nbytes/bandwidth`` seconds (the
+sender is blocked for that long — PVM's pack/send path is sender-side
+bandwidth limited), and is delivered to the destination mailbox one wire
+``latency`` later.  Contention is expressed purely through *which*
+resources a transfer must hold:
+
+=====================  ==========================================
+fabric                 held resources
+=====================  ==========================================
+SharedMediumFabric     the single shared medium
+SwitchedFabric         sender tx port and receiver rx port
+CrossbarFabric         receiver rx port only
+=====================  ==========================================
+
+Because acquisition is ordered tx-before-rx and the tx/rx pools are
+disjoint, multi-resource holds cannot deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .engine import Engine
+from .resources import Resource
+
+
+class Fabric:
+    """Base transfer-time model; subclasses choose the contended resources."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        latency: float,
+        bandwidth: float,
+        overhead: float = 0.0,
+        local_latency: Optional[float] = None,
+        local_bandwidth: Optional[float] = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0 or overhead < 0:
+            raise ValueError("latency and overhead must be >= 0")
+        self.engine = engine
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.overhead = overhead
+        #: intra-node message path (e.g. the second CPU of an SMP node);
+        #: defaults to a 10x faster, 10x lower-latency path.
+        self.local_latency = latency / 10 if local_latency is None else local_latency
+        self.local_bandwidth = (
+            bandwidth * 10 if local_bandwidth is None else local_bandwidth
+        )
+        self.messages_transferred = 0
+        self.bytes_transferred = 0.0
+
+    # ------------------------------------------------------------------
+    def occupancy(self, nbytes: float) -> float:
+        """Time the bottleneck resources are held for one message."""
+        return self.overhead + nbytes / self.bandwidth
+
+    def path_resources(self, src: "Node", dst: "Node") -> List[Resource]:  # noqa: F821
+        """The contended resources one transfer must hold."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        src: "Node",  # noqa: F821
+        dst: "Node",  # noqa: F821
+        nbytes: float,
+        on_injected: Callable[[], None],
+        on_delivered: Callable[[], None],
+    ) -> None:
+        """Move ``nbytes`` from ``src`` to ``dst`` in virtual time.
+
+        ``on_injected`` fires when the sender may proceed;
+        ``on_delivered`` fires when the message reaches the destination
+        mailbox.
+        """
+        self.messages_transferred += 1
+        self.bytes_transferred += nbytes
+
+        if src is dst:
+            hold = self.overhead + nbytes / self.local_bandwidth
+            self.engine.schedule(hold, on_injected)
+            self.engine.schedule(hold + self.local_latency, on_delivered)
+            return
+
+        resources = self.path_resources(src, dst)
+        hold = self.occupancy(nbytes)
+
+        def acquire_chain(i: int) -> None:
+            if i == len(resources):
+                def _finish() -> None:
+                    for r in reversed(resources):
+                        r.release()
+                    on_injected()
+
+                self.engine.schedule(hold, _finish)
+                self.engine.schedule(hold + self.latency, on_delivered)
+                return
+            resources[i].acquire(lambda: acquire_chain(i + 1))
+
+        acquire_chain(0)
+
+
+class SharedMediumFabric(Fabric):
+    """A single contended medium (shared Ethernet segment)."""
+
+    def __init__(self, engine: Engine, latency: float, bandwidth: float, **kw) -> None:
+        super().__init__(engine, latency, bandwidth, **kw)
+        self.medium = Resource(engine, capacity=1, name="shared-medium")
+
+    def path_resources(self, src, dst):
+        """The single shared medium."""
+        return [self.medium]
+
+
+class SwitchedFabric(Fabric):
+    """Full-duplex switched network (Myrinet, SCI): per-port contention."""
+
+    def path_resources(self, src, dst):
+        """Sender tx port and receiver rx port."""
+        return [src.tx, dst.rx]
+
+
+class CrossbarFabric(Fabric):
+    """Non-blocking crossbar / memory system: receiver port contention only.
+
+    This matches the paper's observation that the barriers "merely expose
+    the contention of single client multiple server communication" — the
+    client's receive port is the serialization point.
+    """
+
+    def path_resources(self, src, dst):
+        """Receiver rx port only."""
+        return [dst.rx]
+
+
+FABRIC_KINDS = {
+    "shared": SharedMediumFabric,
+    "switched": SwitchedFabric,
+    "crossbar": CrossbarFabric,
+}
+
+
+def make_fabric(kind: str, engine: Engine, latency: float, bandwidth: float, **kw) -> Fabric:
+    """Instantiate a fabric by kind name (``shared``/``switched``/``crossbar``)."""
+    try:
+        cls = FABRIC_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown fabric kind {kind!r}; expected one of {sorted(FABRIC_KINDS)}"
+        ) from None
+    return cls(engine, latency, bandwidth, **kw)

@@ -1,0 +1,85 @@
+"""Compute nodes: CPUs, NIC ports, counters and a rate model.
+
+A node bundles everything the process runner needs to execute a
+:class:`~repro.netsim.events.Compute` request:
+
+* a counted CPU resource (capacity = number of processors, e.g. 2 for the
+  twin-Pentium SMP CoPs nodes);
+* a rate model mapping (flops, working set) to a duration, which is where
+  the memory hierarchy of Section 2.6 (in cache / in core / out of core)
+  enters the simulation;
+* an :class:`~repro.hpm.HpmCounter` bank with the platform's flop
+  inflation;
+* NIC tx/rx port resources used by the fabric contention models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from ..hpm import HpmCounter
+from .engine import Engine
+from .events import Compute
+from .resources import Resource
+from .rng import Jitter
+
+#: A rate model maps an optional working-set size in bytes to flop/s.
+RateModel = Callable[[Optional[float]], float]
+
+
+def constant_rate(flops_per_second: float) -> RateModel:
+    """A rate model that ignores the working set."""
+    if flops_per_second <= 0:
+        raise ValueError("rate must be positive")
+
+    def model(working_set: Optional[float]) -> float:
+        return flops_per_second
+
+    return model
+
+
+class Node:
+    """One machine (or SMP board) of the simulated cluster."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        node_id: int,
+        rate_model: RateModel,
+        n_cpus: int = 1,
+        flop_inflation: float = 1.0,
+        jitter: Optional[Jitter] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if n_cpus < 1:
+            raise ValueError("a node needs at least one CPU")
+        self.engine = engine
+        self.node_id = node_id
+        self.name = name if name is not None else f"node{node_id}"
+        self.rate_model = rate_model
+        self.n_cpus = n_cpus
+        self.cpus = Resource(engine, capacity=n_cpus, name=f"{self.name}.cpu")
+        self.tx = Resource(engine, capacity=1, name=f"{self.name}.tx")
+        self.rx = Resource(engine, capacity=1, name=f"{self.name}.rx")
+        self.hpm = HpmCounter(flop_inflation=flop_inflation)
+        self.jitter = jitter
+
+    def effective_rate(self, working_set: Optional[float] = None) -> float:
+        """Flop/s the node sustains at the given working-set size."""
+        return self.rate_model(working_set)
+
+    def compute_duration(self, request: Compute) -> Tuple[float, float]:
+        """Resolve a compute request to (duration seconds, algorithmic flops)."""
+        if request.seconds is not None:
+            duration = request.seconds
+            flops = 0.0
+        else:
+            flops = float(request.flops)
+            rate = self.effective_rate(request.working_set)
+            duration = flops / rate
+        if self.jitter is not None:
+            duration = self.jitter.apply(duration)
+        return duration, flops
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.name} cpus={self.n_cpus}>"

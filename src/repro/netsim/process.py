@@ -1,0 +1,262 @@
+"""Generator-based simulated processes.
+
+A process body is a Python generator function taking a
+:class:`ProcContext` first argument.  It yields request objects from
+:mod:`repro.netsim.events`; the runner executes them in virtual time and
+resumes the generator with the result (e.g. the received
+:class:`~repro.netsim.events.Message`).
+
+Example
+-------
+>>> def pinger(ctx, peer_tid):
+...     yield Send(peer_tid, nbytes=1024, tag=7)
+...     msg = yield Recv(source=peer_tid)
+...     ctx.log("got reply at", ctx.now)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
+
+from ..errors import SimulationError
+from .engine import Engine
+from .events import ANY, Barrier, Compute, Message, Recv, Send, Timeout
+
+
+class Mailbox:
+    """Per-process FIFO of delivered messages with (source, tag) matching."""
+
+    def __init__(self) -> None:
+        self._messages: Deque[Message] = deque()
+        self._pending: Optional[Tuple[Optional[int], Optional[int], Callable[[Message], None]]] = None
+
+    @staticmethod
+    def _matches(msg: Message, source: Optional[int], tag: Optional[int]) -> bool:
+        return (source is ANY or msg.source == source) and (
+            tag is ANY or msg.tag == tag
+        )
+
+    def deliver(self, msg: Message) -> None:
+        """Hand a message to the waiting receiver or buffer it."""
+        if self._pending is not None:
+            source, tag, resume = self._pending
+            if self._matches(msg, source, tag):
+                self._pending = None
+                resume(msg)
+                return
+        self._messages.append(msg)
+
+    def take(
+        self,
+        source: Optional[int],
+        tag: Optional[int],
+        resume: Callable[[Message], None],
+    ) -> bool:
+        """Consume the first matching message, or register a waiter.
+
+        Returns ``True`` if a message was immediately available.
+        """
+        for i, msg in enumerate(self._messages):
+            if self._matches(msg, source, tag):
+                del self._messages[i]
+                resume(msg)
+                return True
+        if self._pending is not None:
+            raise SimulationError("process already has an outstanding Recv")
+        self._pending = (source, tag, resume)
+        return False
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+
+class BarrierManager:
+    """Named rendezvous points shared across all processes of a cluster.
+
+    Release semantics follow the paper's accounting model: each arriving
+    process is *idle* from its own arrival until the last arrival, then
+    all members are *synchronizing* for ``cost`` seconds, after which all
+    resume simultaneously.
+    """
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._waiting: Dict[str, List[Tuple[float, "SimProcess"]]] = {}
+        self._generation: Dict[str, int] = {}
+
+    def arrive(self, name: str, count: int, cost: float, proc: "SimProcess") -> None:
+        """Register one arrival; release everyone on the last."""
+        key = f"{name}#{self._generation.get(name, 0)}"
+        group = self._waiting.setdefault(key, [])
+        group.append((self.engine.now, proc))
+        if len(group) > count:
+            raise SimulationError(
+                f"barrier {name!r} overflow: {len(group)} arrivals for count={count}"
+            )
+        if len(group) == count:
+            self._generation[name] = self._generation.get(name, 0) + 1
+            del self._waiting[key]
+            last_arrival = self.engine.now
+            release = last_arrival + cost
+            for arrived_at, member in group:
+                member.trace("idle", arrived_at, last_arrival, detail=name)
+                member.trace("sync", last_arrival, release, detail=name)
+                self.engine.schedule_at(release, member.make_resume(None))
+
+
+class SimProcess:
+    """Runner wrapping one application generator."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",  # noqa: F821 - forward ref, see cluster.py
+        name: str,
+        tid: int,
+        node: "Node",  # noqa: F821
+        gen: Generator,
+    ) -> None:
+        self.cluster = cluster
+        self.name = name
+        self.tid = tid
+        self.node = node
+        self._gen = gen
+        self.finished = False
+        self.failed: Optional[BaseException] = None
+        self.result: Any = None
+        self._blocked = False
+
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> Engine:
+        """The owning engine."""
+        return self.cluster.engine
+
+    def trace(self, category: str, start: float, end: float, detail: str = "") -> None:
+        """Emit a trace record attributed to this process."""
+        self.cluster.tracer.record(self.name, category, start, end, detail)
+
+    def make_resume(self, value: Any) -> Callable[[], None]:
+        """A zero-arg callback resuming this process with ``value``."""
+
+        def _resume() -> None:
+            self._unblock()
+            self._step(value)
+
+        return _resume
+
+    def _block(self) -> None:
+        if not self._blocked:
+            self._blocked = True
+            self.engine.blocked_processes += 1
+
+    def _unblock(self) -> None:
+        if self._blocked:
+            self._blocked = False
+            self.engine.blocked_processes -= 1
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first step of the generator at t(now)."""
+        self.engine.schedule(0.0, lambda: self._step(None))
+
+    def _step(self, value: Any) -> None:
+        try:
+            request = self._gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = getattr(stop, "value", None)
+            self.cluster._process_finished(self)
+            return
+        except BaseException as exc:  # surface app bugs with process context
+            self.finished = True
+            self.failed = exc
+            self.cluster._process_failed(self, exc)
+            return
+        self._dispatch(request)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, request: Any) -> None:
+        if isinstance(request, Timeout):
+            start = self.engine.now
+            self.trace("sleep", start, start + request.delay)
+            self.engine.schedule(request.delay, lambda: self._step(None))
+        elif isinstance(request, Compute):
+            self._do_compute(request)
+        elif isinstance(request, Send):
+            self._do_send(request)
+        elif isinstance(request, Recv):
+            self._do_recv(request)
+        elif isinstance(request, Barrier):
+            self._block()
+            self.cluster.barriers.arrive(
+                request.name, request.count, request.cost, self
+            )
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported request {request!r}"
+            )
+
+    def _do_compute(self, request: Compute) -> None:
+        node = self.node
+        duration, flops = node.compute_duration(request)
+        start_wait = self.engine.now
+        self._block()
+
+        def _granted() -> None:
+            start = self.engine.now
+            if start > start_wait:
+                self.trace("cpu_wait", start_wait, start)
+
+            def _finish() -> None:
+                node.cpus.release()
+                node.hpm.add(flops=flops, busy=duration)
+                self.trace("compute", start, self.engine.now)
+                self._unblock()
+                self._step(None)
+
+            self.engine.schedule(duration, _finish)
+
+        node.cpus.acquire(_granted)
+
+    def _do_send(self, request: Send) -> None:
+        start = self.engine.now
+        self._block()
+        dest_proc = self.cluster.process_by_tid(request.dest)
+        msg = Message(
+            source=self.tid,
+            dest=request.dest,
+            tag=request.tag,
+            nbytes=request.nbytes,
+            payload=request.payload,
+            sent_at=start,
+            seq=self.cluster.next_msg_seq(),
+        )
+
+        def _injected() -> None:
+            self.trace("send", start, self.engine.now, detail=f"tag={request.tag}")
+            self._unblock()
+            self._step(None)
+
+        def _delivered() -> None:
+            msg.delivered_at = self.engine.now
+            self.cluster.deliver(dest_proc, msg)
+
+        self.cluster.fabric.transfer(
+            self.node, dest_proc.node, request.nbytes, _injected, _delivered
+        )
+
+    def _do_recv(self, request: Recv) -> None:
+        start = self.engine.now
+        mailbox = self.cluster.mailbox_of(self.tid)
+        self._block()
+
+        def _resume(msg: Message) -> None:
+            now = self.engine.now
+            if now > start:
+                self.trace("recv_wait", start, now, detail=f"tag={msg.tag}")
+            self._unblock()
+            # Resume in a fresh event so delivery callbacks unwind first.
+            self.engine.schedule(0.0, lambda: self._step(msg))
+
+        mailbox.take(request.source, request.tag, _resume)

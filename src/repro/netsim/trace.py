@@ -1,0 +1,127 @@
+"""Event tracing for simulated runs.
+
+The tracer is the simulator-side half of the paper's instrumentation
+story: middleware and application layers emit begin/end records for
+phases (compute, send, recv, barrier wait, idle) and the analysis code
+reduces a trace to the per-category time breakdown the paper measures
+(Sections 2.4 and 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One phase interval observed on one process."""
+
+    proc: str
+    category: str
+    start: float
+    end: float
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        """end - start, seconds."""
+        return self.end - self.start
+
+
+class Tracer:
+    """Accumulates :class:`TraceRecord` entries for one simulated run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    def record(
+        self, proc: str, category: str, start: float, end: float, detail: str = ""
+    ) -> None:
+        """Append one phase interval (no-op when disabled)."""
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(f"trace interval ends before it starts: {start}..{end}")
+        self.records.append(TraceRecord(proc, category, start, end, detail))
+
+    # ------------------------------------------------------------------
+    def by_category(self) -> Dict[str, float]:
+        """Total duration per category across all processes."""
+        out: Dict[str, float] = {}
+        for r in self.records:
+            out[r.category] = out.get(r.category, 0.0) + r.duration
+        return out
+
+    def by_process(self) -> Dict[str, Dict[str, float]]:
+        """Per-process totals per category."""
+        out: Dict[str, Dict[str, float]] = {}
+        for r in self.records:
+            out.setdefault(r.proc, {})
+            out[r.proc][r.category] = out[r.proc].get(r.category, 0.0) + r.duration
+        return out
+
+    def intervals(
+        self, proc: Optional[str] = None, category: Optional[str] = None
+    ) -> List[TraceRecord]:
+        """Filtered view of the raw records."""
+        return [
+            r
+            for r in self.records
+            if (proc is None or r.proc == proc)
+            and (category is None or r.category == category)
+        ]
+
+    def span(self) -> Tuple[float, float]:
+        """(earliest start, latest end) over all records."""
+        if not self.records:
+            return (0.0, 0.0)
+        return (
+            min(r.start for r in self.records),
+            max(r.end for r in self.records),
+        )
+
+    def makespan(self) -> float:
+        """Duration from the earliest start to the latest end."""
+        lo, hi = self.span()
+        return hi - lo
+
+    # ------------------------------------------------------------------
+    def gantt(self, width: int = 72, categories: Optional[Iterable[str]] = None) -> str:
+        """Render a coarse ASCII Gantt chart of the trace.
+
+        Each process gets one row; each column is a time bucket labelled
+        with the first letter of the category that dominates the bucket.
+        Useful for eyeballing load imbalance (the paper's even-p anomaly
+        shows up as long runs of idle on half the servers).
+        """
+        lo, hi = self.span()
+        if hi <= lo:
+            return "(empty trace)"
+        wanted = set(categories) if categories is not None else None
+        procs = sorted({r.proc for r in self.records})
+        dt = (hi - lo) / width
+        lines = []
+        for p in procs:
+            buckets = [{} for _ in range(width)]
+            for r in self.records:
+                if r.proc != p:
+                    continue
+                if wanted is not None and r.category not in wanted:
+                    continue
+                b0 = int((r.start - lo) / dt)
+                b1 = int((r.end - lo) / dt)
+                for b in range(max(b0, 0), min(b1 + 1, width)):
+                    cell_lo = lo + b * dt
+                    cell_hi = cell_lo + dt
+                    overlap = min(r.end, cell_hi) - max(r.start, cell_lo)
+                    if overlap > 0:
+                        buckets[b][r.category] = (
+                            buckets[b].get(r.category, 0.0) + overlap
+                        )
+            row = "".join(
+                max(cell, key=cell.get)[0] if cell else "." for cell in buckets
+            )
+            lines.append(f"{p:>12s} |{row}|")
+        return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""The Opal molecular dynamics application, rebuilt from scratch.
+
+Two coupled faces of the same application:
+
+* the **physics engine** (:mod:`~repro.opal.system`,
+  :mod:`~repro.opal.forcefield`, :mod:`~repro.opal.pairlist`,
+  :mod:`~repro.opal.minimize`, :mod:`~repro.opal.dynamics`,
+  :mod:`~repro.opal.serial`) — a real, numerically verified
+  implementation of the paper's interaction function V with cut-off pair
+  lists, periodic updates and the united-water model;
+* the **performance face** (:mod:`~repro.opal.costs`,
+  :mod:`~repro.opal.workload`, :mod:`~repro.opal.distribution`,
+  :mod:`~repro.opal.parallel`) — the same application expressed as
+  operation counts and driven as a client/server program over
+  Sciddle/PVM on the simulated cluster.
+
+The performance-face entry points (``OpalWorkload``,
+``run_parallel_opal``, ``OpalRunResult``, ``make_opal_interface``) are
+loaded lazily via PEP 562 to keep the ``repro.core`` <-> ``repro.opal``
+import graph acyclic (the core model needs only :mod:`costs` and
+:mod:`complexes` from here).
+"""
+
+from . import costs
+from .complexes import (
+    LARGE,
+    MEDIUM,
+    NAMED_COMPLEXES,
+    SMALL,
+    ComplexSpec,
+    get_complex,
+)
+from .distribution import PairDistribution
+from .dynamics import KB, MDResult, StepRecord, VelocityVerlet
+from .forcefield import (
+    EnergyReport,
+    angle_energy,
+    bond_energy,
+    dihedral_energy,
+    improper_energy,
+    nonbonded_energy,
+    total_energy,
+)
+from .minimize import MinimizationResult, minimize_lbfgs, steepest_descent
+from .observables import (
+    MsdResult,
+    RdfResult,
+    mean_square_displacement,
+    radial_distribution,
+    running_averages,
+)
+from .pairlist import PairListBuilder, PairListStats, VerletPairList
+from .serial import OpalSerial, SerialRunStats
+from .system import COULOMB_K, MolecularSystem, build_system
+from .topology import Topology, chain_topology
+from .trajectory import Trajectory, record_dynamics
+from .water import WaterModelComparison, compare_water_models, dipole_truncation_error
+
+_LAZY = {
+    "OpalWorkload": ("repro.opal.workload", "OpalWorkload"),
+    "OpalRunResult": ("repro.opal.parallel", "OpalRunResult"),
+    "run_parallel_opal": ("repro.opal.parallel", "run_parallel_opal"),
+    "make_opal_interface": ("repro.opal.parallel", "make_opal_interface"),
+    "PhysicsRunResult": ("repro.opal.parallel_physics", "PhysicsRunResult"),
+    "run_parallel_opal_physics": (
+        "repro.opal.parallel_physics",
+        "run_parallel_opal_physics",
+    ),
+    "partition_candidate_pairs": (
+        "repro.opal.parallel_physics",
+        "partition_candidate_pairs",
+    ),
+    "compare_decompositions": ("repro.opal.decomposition", "compare_decompositions"),
+    "best_method": ("repro.opal.decomposition", "best_method"),
+    "ReplicatedData": ("repro.opal.decomposition", "ReplicatedData"),
+    "SpaceDecomposition": ("repro.opal.decomposition", "SpaceDecomposition"),
+    "ForceDecomposition": ("repro.opal.decomposition", "ForceDecomposition"),
+    "run_parallel_opal_sd": ("repro.opal.parallel_sd", "run_parallel_opal_sd"),
+    "SdRunResult": ("repro.opal.parallel_sd", "SdRunResult"),
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+
+        module, attr = _LAZY[name]
+        return getattr(importlib.import_module(module), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "COULOMB_K",
+    "ComplexSpec",
+    "EnergyReport",
+    "KB",
+    "LARGE",
+    "MDResult",
+    "MEDIUM",
+    "MinimizationResult",
+    "MsdResult",
+    "RdfResult",
+    "MolecularSystem",
+    "NAMED_COMPLEXES",
+    "OpalRunResult",
+    "OpalSerial",
+    "OpalWorkload",
+    "PairDistribution",
+    "PairListBuilder",
+    "PairListStats",
+    "SMALL",
+    "SerialRunStats",
+    "StepRecord",
+    "Topology",
+    "Trajectory",
+    "VelocityVerlet",
+    "VerletPairList",
+    "WaterModelComparison",
+    "angle_energy",
+    "bond_energy",
+    "build_system",
+    "chain_topology",
+    "compare_water_models",
+    "costs",
+    "dihedral_energy",
+    "dipole_truncation_error",
+    "get_complex",
+    "improper_energy",
+    "make_opal_interface",
+    "mean_square_displacement",
+    "minimize_lbfgs",
+    "nonbonded_energy",
+    "radial_distribution",
+    "record_dynamics",
+    "running_averages",
+    "run_parallel_opal",
+    "steepest_descent",
+    "total_energy",
+]

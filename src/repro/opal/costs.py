@@ -1,0 +1,55 @@
+"""Operation-cost constants of the Opal kernels.
+
+The bridge between the *algorithmic* work of the application (pairs
+generated, pairs evaluated, atoms post-processed) and platform-neutral
+flop counts.  The anchor is the paper's Table 1: the isolated Opal
+kernel — one non-bonded energy evaluation of the medium complex
+(n = 4289 mass centers, no cutoff, hence n(n-1)/2 = 9,195,616 pairs) —
+executes 325.80 MFlop with the best scalar compiler (PGI on the 400 MHz
+Pentium, flop inflation 1.0).  That fixes the algorithmic cost of one
+non-bonded pair evaluation; the other constants are consistent estimates
+for the cheaper loops (a distance check is a handful of operations, the
+client's per-atom bonded work is of order 10^2).
+
+Platform-specific *counted* flops are obtained by multiplying these by
+the platform's ``flop_inflation`` (vectorization and intrinsic expansion,
+Section 3.2).
+"""
+
+from __future__ import annotations
+
+#: Mass centers of the paper's medium complex (Antennapedia + DNA + water).
+MEDIUM_N = 4289
+
+#: Pairs in one no-cutoff energy evaluation of the medium complex.
+MEDIUM_PAIRS = MEDIUM_N * (MEDIUM_N - 1) // 2  # 9,195,616
+
+#: Algorithmic flops of the Table 1 kernel (best-compiler count).
+KERNEL_FLOPS = 325.80e6
+
+#: Algorithmic flops to evaluate the non-bonded energy contribution (van
+#: der Waals + Coulomb + gradients) of one pair of mass centers.  This is
+#: the per-pair cost behind the model's a3.
+NB_PAIR_FLOPS = KERNEL_FLOPS / MEDIUM_PAIRS  # ~35.43
+
+#: Effective algorithmic flops to generate one candidate pair and test its
+#: distance against the cutoff during a list update (behind a2).  The raw
+#: operation count is ~12 (three subtractions, three squares, two adds, a
+#: compare), but the distance filter is a branch-light streaming kernel
+#: that runs at several times the throughput of the gather/sqrt-heavy
+#: energy kernel, so its *time* cost per pair is equivalent to ~3 energy-
+#: kernel flops.  This ratio is what puts the update/energy crossover at
+#: the "unrealistic" problem sizes the paper reports (Section 2.2).
+UPDATE_PAIR_FLOPS = 3.0
+
+#: Algorithmic flops per mass center of the client's sequential work —
+#: the bonded terms (bond, angle, dihedral, improper) plus the reduction
+#: of partial energies into total energy/volume/pressure/temperature
+#: (behind a4).
+SEQ_ATOM_FLOPS = 90.0
+
+#: Bytes to represent the coordinates of one mass center (paper's alpha).
+ALPHA_BYTES = 24
+
+#: Bytes of one stored pair-list entry (two 4-byte indices, Section 2.6).
+PAIR_ENTRY_BYTES = 8

@@ -1,0 +1,224 @@
+"""Parallelization alternatives: replicated-data vs space vs force
+decomposition.
+
+The paper (Section 2.1, "Parallelization Alternatives") notes that
+Opal's replicated-data method is not the only option: "the
+geometric- or space-decomposition (SD) method, in which each processor
+considers the mass centers in its sub-domain", and "the force-
+decomposition (FD) method in which the force matrix F_ij is partitioned
+by blocks among the processors" [Plimpton & Hendrickson].  This module
+extends the analytical model to all three, with the standard
+communication-volume results:
+
+=====  =====================================  =========================
+RD     all-coordinates exchange per server    comm ~ p * alpha * n
+SD     halo exchange with spatial neighbours  comm ~ alpha * surface
+FD     row/column fold over sqrt(p) blocks    comm ~ alpha * n / sqrt(p)
+=====  =====================================  =========================
+
+Computation divides by p in all three (same pair work); memory differs:
+RD replicates O(n) per node, SD holds O(n/p + halo), FD O(n/sqrt(p)).
+The comparison quantifies when Opal's RD choice stops being reasonable —
+a question the paper raises and leaves open.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..core.parameters import (
+    ApplicationParams,
+    ModelPlatformParams,
+    energy_pair_work,
+    update_pair_work,
+)
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class DecompositionPrediction:
+    """Predicted per-run times and per-node memory for one method."""
+
+    method: str
+    t_comp: float
+    t_comm: float
+    t_other: float  # sequential + sync
+    memory_bytes: float
+
+    @property
+    def total(self) -> float:
+        """Predicted total execution time, seconds."""
+        return self.t_comp + self.t_comm + self.t_other
+
+
+class DecompositionModel:
+    """Base: shared computation/sequential/sync structure."""
+
+    method = "base"
+
+    def __init__(self, platform: ModelPlatformParams) -> None:
+        self.platform = platform
+
+    # -- shared parts ---------------------------------------------------
+    def t_comp(self, app: ApplicationParams) -> float:
+        """Parallel computation time (identical for all methods)."""
+        pl = self.platform
+        per_update = update_pair_work(app.n, app.gamma)
+        pairs = energy_pair_work(app.n, app.n_tilde)
+        return app.s * (
+            pl.a2 * app.update_rate * per_update + pl.a3 * pairs
+        ) / app.p
+
+    def t_other(self, app: ApplicationParams) -> float:
+        """Sequential + synchronization time."""
+        pl = self.platform
+        return pl.a4 * app.s * app.n + 2.0 * app.s * (app.update_rate + 1.0) * pl.b5
+
+    # -- per-method parts --------------------------------------------------
+    def t_comm(self, app: ApplicationParams) -> float:
+        """Per-run communication time of this method."""
+        raise NotImplementedError
+
+    def memory_bytes(self, app: ApplicationParams) -> float:
+        """Per-node memory footprint of this method."""
+        raise NotImplementedError
+
+    def predict(self, app: ApplicationParams) -> DecompositionPrediction:
+        """Full prediction for one configuration."""
+        return DecompositionPrediction(
+            method=self.method,
+            t_comp=self.t_comp(app),
+            t_comm=self.t_comm(app),
+            t_other=self.t_other(app),
+            memory_bytes=self.memory_bytes(app),
+        )
+
+
+class ReplicatedData(DecompositionModel):
+    """Opal's method: client-serialized coordinate scatter + gradient
+    gather to/from every server (the model's eq. (6))."""
+
+    method = "RD"
+
+    def t_comm(self, app: ApplicationParams) -> float:
+        """Client-serialized scatter/gather traffic (eq. 6)."""
+        pl = self.platform
+        u = app.update_rate
+        return app.s * (
+            app.p * (app.alpha / pl.a1) * (u + 2.0) * app.n
+            + 2.0 * app.p * pl.b1 * (u + 1.0)
+        )
+
+    def memory_bytes(self, app: ApplicationParams) -> float:
+        """Full replicas plus 1/p of the pair list."""
+        # full coordinate/gradient replicas plus 1/p of the pair list
+        g = abs(1.0 - 2.0 * app.gamma)
+        return 48.0 * app.n + 8.0 * g * app.n * app.n / app.p
+
+
+class SpaceDecomposition(DecompositionModel):
+    """Geometric domains with halo exchange.
+
+    Each of p cubic subdomains (edge ``L = (V/p)^(1/3)``) imports a halo
+    one cutoff deep from its six face neighbours; exchanges proceed
+    concurrently on a switched fabric (three sequential phases, one per
+    dimension).  Without a cutoff the halo is the whole box and SD
+    degenerates to an all-gather of everything — which is why SD only
+    makes sense for cutoff simulations.
+    """
+
+    method = "SD"
+
+    def halo_atoms(self, app: ApplicationParams) -> float:
+        """Mass centers imported from the six face neighbours."""
+        volume = app.molecule.volume
+        density = app.molecule.density
+        sub_edge = (volume / app.p) ** (1.0 / 3.0)
+        if app.cutoff is None or app.cutoff >= sub_edge:
+            return float(app.n)  # degenerate: import everyone
+        halo_volume = 6.0 * sub_edge * sub_edge * app.cutoff
+        return min(density * halo_volume, float(app.n))
+
+    def t_comm(self, app: ApplicationParams) -> float:
+        """Halo exchanges plus a log-depth energy reduction."""
+        if app.p == 1:
+            return 0.0  # a single domain has no neighbours
+        pl = self.platform
+        u = app.update_rate
+        halo = self.halo_atoms(app)
+        # per step: three exchange phases (x, y, z), each two messages of
+        # a third of the halo; plus the same again on update steps for
+        # list building; plus a small global reduction for the energies
+        per_step = 6.0 * (pl.b1 + (app.alpha / pl.a1) * halo / 3.0)
+        reduction = math.ceil(math.log2(max(app.p, 2))) * (pl.b1 + 64.0 / pl.a1)
+        return app.s * ((1.0 + u) * per_step + reduction)
+
+    def memory_bytes(self, app: ApplicationParams) -> float:
+        """Owned subdomain plus halo plus 1/p of the pair list."""
+        g = abs(1.0 - 2.0 * app.gamma)
+        # an atom is stored once even when the halo degenerates to the
+        # whole box, so the resident set never exceeds the full system
+        owned = min(app.n / app.p + self.halo_atoms(app), float(app.n))
+        return 48.0 * owned + 8.0 * g * app.n * app.n / app.p
+
+
+class ForceDecomposition(DecompositionModel):
+    """Plimpton-Hendrickson block decomposition of the force matrix.
+
+    Processors form a sqrt(p) x sqrt(p) grid; each step every processor
+    expands a coordinate slice of n/sqrt(p) across its row and folds a
+    force slice of n/sqrt(p) down its column — communication volume
+    O(n/sqrt(p)) with O(log p) latency terms.
+    """
+
+    method = "FD"
+
+    def t_comm(self, app: ApplicationParams) -> float:
+        """Row expand + column fold over the sqrt(p) grid."""
+        if app.p == 1:
+            return 0.0  # the full force matrix lives on one processor
+        pl = self.platform
+        u = app.update_rate
+        root_p = math.sqrt(app.p)
+        slice_bytes = app.alpha * app.n / root_p
+        stages = math.ceil(math.log2(max(app.p, 2)))
+        per_step = 2.0 * (stages * pl.b1 + 2.0 * slice_bytes / pl.a1)
+        return app.s * (1.0 + u / 2.0) * per_step
+
+    def memory_bytes(self, app: ApplicationParams) -> float:
+        """O(n/sqrt(p)) slices plus 1/p of the pair list."""
+        g = abs(1.0 - 2.0 * app.gamma)
+        return 48.0 * app.n / math.sqrt(app.p) + 8.0 * g * app.n * app.n / app.p
+
+
+ALL_METHODS = (ReplicatedData, SpaceDecomposition, ForceDecomposition)
+
+
+def compare_decompositions(
+    platform: ModelPlatformParams,
+    app: ApplicationParams,
+    servers: Iterable[int] = tuple(range(1, 8)),
+) -> Dict[str, List[DecompositionPrediction]]:
+    """Predictions of all three methods over a range of server counts."""
+    out: Dict[str, List[DecompositionPrediction]] = {}
+    for cls in ALL_METHODS:
+        model = cls(platform)
+        rows = []
+        for p in servers:
+            if p < 1:
+                raise ModelError("server counts must be >= 1")
+            rows.append(model.predict(app.with_(servers=p)))
+        out[cls.method] = rows
+    return out
+
+
+def best_method(
+    platform: ModelPlatformParams, app: ApplicationParams
+) -> str:
+    """The fastest method for one configuration."""
+    preds = {
+        cls.method: cls(platform).predict(app).total for cls in ALL_METHODS
+    }
+    return min(preds, key=preds.get)

@@ -1,0 +1,220 @@
+"""Energies and gradients of the Opal interaction function V (Section 2.1).
+
+All evaluators are fully vectorized over their terms and return
+``(energy, gradient)`` with ``gradient[i] = dV/dr_i`` (the force is the
+negative gradient).  Gradient correctness is enforced by numerical
+differentiation tests in ``tests/opal/test_forcefield.py``.
+
+Units: kcal/mol, Angstrom, elementary charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .system import COULOMB_K, MolecularSystem
+
+_EPS = 1e-12
+
+
+# ----------------------------------------------------------------------
+def bond_energy(system: MolecularSystem, coords: Optional[np.ndarray] = None):
+    """Covalent bond stretching: sum 1/2 K_b (b - b0)^2."""
+    x = system.coords if coords is None else coords
+    topo = system.topology
+    grad = np.zeros_like(x)
+    if len(topo.bonds) == 0:
+        return 0.0, grad
+    i, j = topo.bonds[:, 0], topo.bonds[:, 1]
+    d = x[i] - x[j]
+    b = np.linalg.norm(d, axis=1)
+    db = b - topo.bond_b0
+    energy = float(0.5 * np.sum(topo.bond_k * db * db))
+    g = (topo.bond_k * db / np.maximum(b, _EPS))[:, None] * d
+    np.add.at(grad, i, g)
+    np.add.at(grad, j, -g)
+    return energy, grad
+
+
+# ----------------------------------------------------------------------
+def angle_energy(system: MolecularSystem, coords: Optional[np.ndarray] = None):
+    """Bond-angle bending: sum 1/2 K_theta (theta - theta0)^2."""
+    x = system.coords if coords is None else coords
+    topo = system.topology
+    grad = np.zeros_like(x)
+    if len(topo.angles) == 0:
+        return 0.0, grad
+    i, j, k = topo.angles[:, 0], topo.angles[:, 1], topo.angles[:, 2]
+    u = x[i] - x[j]
+    v = x[k] - x[j]
+    nu = np.linalg.norm(u, axis=1)
+    nv = np.linalg.norm(v, axis=1)
+    uh = u / np.maximum(nu, _EPS)[:, None]
+    vh = v / np.maximum(nv, _EPS)[:, None]
+    c = np.clip(np.einsum("ij,ij->i", uh, vh), -1.0 + 1e-10, 1.0 - 1e-10)
+    theta = np.arccos(c)
+    dtheta = theta - topo.angle_theta0
+    energy = float(0.5 * np.sum(topo.angle_k * dtheta * dtheta))
+    s = np.sqrt(1.0 - c * c)
+    coef = topo.angle_k * dtheta / np.maximum(s, _EPS)
+    gi = -coef[:, None] * (vh - c[:, None] * uh) / np.maximum(nu, _EPS)[:, None]
+    gk = -coef[:, None] * (uh - c[:, None] * vh) / np.maximum(nv, _EPS)[:, None]
+    np.add.at(grad, i, gi)
+    np.add.at(grad, k, gk)
+    np.add.at(grad, j, -(gi + gk))
+    return energy, grad
+
+
+# ----------------------------------------------------------------------
+def _dihedral_angle_and_grads(x, quads):
+    """phi and dphi/dr for each (i,j,k,l) quadruple.
+
+    Blondel & Karplus (1996) formulation: with F = r_i - r_j,
+    G = r_j - r_k, H = r_l - r_k, A = F x G, B = H x G,
+
+    ``phi = atan2((B x A) . G/|G|, A . B)`` and the gradients are exact
+    and singularity-free away from collinear configurations.
+    """
+    i, j, k, l = quads[:, 0], quads[:, 1], quads[:, 2], quads[:, 3]
+    F = x[i] - x[j]
+    G = x[j] - x[k]
+    H = x[l] - x[k]
+    A = np.cross(F, G)
+    B = np.cross(H, G)
+    nG = np.maximum(np.linalg.norm(G, axis=1), _EPS)
+    xx = np.einsum("ij,ij->i", A, B)
+    yy = np.einsum("ij,ij->i", np.cross(B, A), G) / nG
+    phi = np.arctan2(yy, xx)
+
+    Asq = np.maximum(np.einsum("ij,ij->i", A, A), _EPS)
+    Bsq = np.maximum(np.einsum("ij,ij->i", B, B), _EPS)
+    FG = np.einsum("ij,ij->i", F, G)
+    HG = np.einsum("ij,ij->i", H, G)
+    tA = (nG / Asq)[:, None] * A
+    tB = (nG / Bsq)[:, None] * B
+    sA = (FG / (Asq * nG))[:, None] * A
+    sB = (HG / (Bsq * nG))[:, None] * B
+    gi = -tA
+    gj = tA + sA - sB
+    gk = sB - sA - tB
+    gl = tB
+    return phi, (i, j, k, l), (gi, gj, gk, gl)
+
+
+def dihedral_energy(system: MolecularSystem, coords: Optional[np.ndarray] = None):
+    """Sinusoidal dihedrals: sum K_phi (1 + cos(n phi - delta))."""
+    x = system.coords if coords is None else coords
+    topo = system.topology
+    grad = np.zeros_like(x)
+    if len(topo.dihedrals) == 0:
+        return 0.0, grad
+    phi, idx, grads = _dihedral_angle_and_grads(x, topo.dihedrals)
+    arg = topo.dihedral_mult * phi - topo.dihedral_delta
+    energy = float(np.sum(topo.dihedral_k * (1.0 + np.cos(arg))))
+    dEdphi = -topo.dihedral_k * topo.dihedral_mult * np.sin(arg)
+    for atom_idx, g in zip(idx, grads):
+        np.add.at(grad, atom_idx, dEdphi[:, None] * g)
+    return energy, grad
+
+
+def improper_energy(system: MolecularSystem, coords: Optional[np.ndarray] = None):
+    """Harmonic impropers: sum 1/2 K_xi (xi - xi0)^2 (wrapped to [-pi,pi])."""
+    x = system.coords if coords is None else coords
+    topo = system.topology
+    grad = np.zeros_like(x)
+    if len(topo.impropers) == 0:
+        return 0.0, grad
+    xi, idx, grads = _dihedral_angle_and_grads(x, topo.impropers)
+    dxi = xi - topo.improper_xi0
+    dxi = (dxi + np.pi) % (2.0 * np.pi) - np.pi
+    energy = float(0.5 * np.sum(topo.improper_k * dxi * dxi))
+    dEdxi = topo.improper_k * dxi
+    for atom_idx, g in zip(idx, grads):
+        np.add.at(grad, atom_idx, dEdxi[:, None] * g)
+    return energy, grad
+
+
+# ----------------------------------------------------------------------
+def nonbonded_energy(
+    system: MolecularSystem,
+    pairs: np.ndarray,
+    coords: Optional[np.ndarray] = None,
+) -> Tuple[float, float, np.ndarray]:
+    """Van der Waals + Coulomb over the given (m, 2) pair list.
+
+    Returns ``(E_vdw, E_coul, gradient)`` — the two partial energies a
+    server reports separately to the client, plus the gradient of their
+    sum.  The last term of the paper's V:
+
+    ``C12(i,j)/r^12 - C6(i,j)/r^6 + q_i q_j / (4 pi eps0 eps_r r)``
+    """
+    x = system.coords if coords is None else coords
+    grad = np.zeros_like(x)
+    if len(pairs) == 0:
+        return 0.0, 0.0, grad
+    pairs = np.asarray(pairs)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise WorkloadError("pairs must be an (m, 2) index array")
+    i, j = pairs[:, 0], pairs[:, 1]
+    d = x[i] - x[j]
+    r2 = np.maximum(np.einsum("ij,ij->i", d, d), _EPS)
+    r = np.sqrt(r2)
+    inv_r2 = 1.0 / r2
+    inv_r6 = inv_r2 * inv_r2 * inv_r2
+    c12, c6 = system.lj_c12_c6(i, j)
+    e_vdw = float(np.sum(c12 * inv_r6 * inv_r6 - c6 * inv_r6))
+    qq = COULOMB_K * system.charges[i] * system.charges[j]
+    e_coul = float(np.sum(qq / r))
+    # dE/dr for both terms, then project on the separation vector
+    dEdr = (-12.0 * c12 * inv_r6 * inv_r6 + 6.0 * c6 * inv_r6) / r - qq * inv_r2
+    g = (dEdr / r)[:, None] * d
+    np.add.at(grad, i, g)
+    np.add.at(grad, j, -g)
+    return e_vdw, e_coul, grad
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EnergyReport:
+    """Complete decomposition of one evaluation of V."""
+
+    bond: float
+    angle: float
+    dihedral: float
+    improper: float
+    vdw: float
+    coulomb: float
+
+    @property
+    def bonded(self) -> float:
+        """Sum of the four bonded terms."""
+        return self.bond + self.angle + self.dihedral + self.improper
+
+    @property
+    def nonbonded(self) -> float:
+        """Van der Waals + Coulomb."""
+        return self.vdw + self.coulomb
+
+    @property
+    def total(self) -> float:
+        """Total potential energy V."""
+        return self.bonded + self.nonbonded
+
+
+def total_energy(
+    system: MolecularSystem,
+    pairs: np.ndarray,
+    coords: Optional[np.ndarray] = None,
+) -> Tuple[EnergyReport, np.ndarray]:
+    """All terms of V over the given non-bonded pair list."""
+    e_b, g_b = bond_energy(system, coords)
+    e_a, g_a = angle_energy(system, coords)
+    e_d, g_d = dihedral_energy(system, coords)
+    e_i, g_i = improper_energy(system, coords)
+    e_v, e_c, g_nb = nonbonded_energy(system, pairs, coords)
+    report = EnergyReport(e_b, e_a, e_d, e_i, e_v, e_c)
+    return report, g_b + g_a + g_d + g_i + g_nb

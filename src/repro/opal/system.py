@@ -1,0 +1,284 @@
+"""Molecular systems: coordinates + parameters + topology.
+
+Builds concrete, simulation-ready systems from the statistical
+:class:`~repro.opal.complexes.ComplexSpec` descriptors.  The paper's
+real structures (Antennapedia/DNA, LFB homeodomain) are not available,
+so the builder synthesizes a protein-like self-avoiding chain solvated
+in a water box with the same (n, gamma, density) statistics — which is
+all the performance machinery observes, while the physics engine gets a
+real, well-defined potential-energy surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .complexes import ComplexSpec
+from .topology import Topology, chain_topology
+
+#: Coulomb constant in kcal mol^-1 Angstrom e^-2.
+COULOMB_K = 332.0636
+
+#: Default Lennard-Jones well depth [kcal/mol] and radius [Angstrom]
+#: for protein-like united atoms.
+PROTEIN_EPS, PROTEIN_SIGMA = 0.12, 3.3
+#: TIP3P-oxygen-like parameters for the united water mass center.
+WATER_EPS, WATER_SIGMA = 0.1521, 3.1507
+#: Partial charge magnitude assigned to protein atoms (alternating).
+PROTEIN_CHARGE = 0.20
+
+
+@dataclass
+class MolecularSystem:
+    """A concrete simulation system (positions in Angstrom)."""
+
+    spec: ComplexSpec
+    coords: np.ndarray  # (n, 3) float64
+    charges: np.ndarray  # (n,)
+    eps: np.ndarray  # (n,) LJ well depth
+    sigma: np.ndarray  # (n,) LJ radius
+    masses: np.ndarray  # (n,) amu
+    is_water: np.ndarray  # (n,) bool
+    topology: Topology
+    box_edge: float
+    united_water: bool = True
+    rng_seed: int = 0
+
+    def __post_init__(self) -> None:
+        n = len(self.coords)
+        for name in ("charges", "eps", "sigma", "masses", "is_water"):
+            if len(getattr(self, name)) != n:
+                raise WorkloadError(f"{name} length != number of atoms")
+        if self.coords.shape != (n, 3):
+            raise WorkloadError("coords must be (n, 3)")
+        if self.box_edge <= 0:
+            raise WorkloadError("box edge must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of mass centers."""
+        return len(self.coords)
+
+    @property
+    def n_protein(self) -> int:
+        """Number of solute atoms."""
+        return int((~self.is_water).sum())
+
+    @property
+    def n_waters(self) -> int:
+        """Number of water sites."""
+        return int(self.is_water.sum())
+
+    @property
+    def volume(self) -> float:
+        """Box volume, cubic Angstrom."""
+        return self.box_edge**3
+
+    def density(self) -> float:
+        """Mass centers per cubic Angstrom actually realized."""
+        return self.n / self.volume
+
+    def lj_c12_c6(self, i: np.ndarray, j: np.ndarray):
+        """Pairwise C12/C6 via Lorentz-Berthelot combination."""
+        eps = np.sqrt(self.eps[i] * self.eps[j])
+        sig = 0.5 * (self.sigma[i] + self.sigma[j])
+        s6 = sig**6
+        c6 = 4.0 * eps * s6
+        c12 = 4.0 * eps * s6 * s6
+        return c12, c6
+
+    def copy(self) -> "MolecularSystem":
+        """A deep copy (topology shared, arrays copied)."""
+        return MolecularSystem(
+            spec=self.spec,
+            coords=self.coords.copy(),
+            charges=self.charges.copy(),
+            eps=self.eps.copy(),
+            sigma=self.sigma.copy(),
+            masses=self.masses.copy(),
+            is_water=self.is_water.copy(),
+            topology=self.topology,
+            box_edge=self.box_edge,
+            united_water=self.united_water,
+            rng_seed=self.rng_seed,
+        )
+
+
+# ----------------------------------------------------------------------
+def _protein_chain_coords(
+    n_atoms: int, bond_length: float, rng: np.random.Generator
+) -> np.ndarray:
+    """A compact self-avoiding-ish random walk (the synthetic protein)."""
+    coords = np.zeros((n_atoms, 3))
+    direction = np.array([1.0, 0.0, 0.0])
+    for i in range(1, n_atoms):
+        # biased random turn keeps the chain compact but non-overlapping
+        turn = rng.standard_normal(3)
+        direction = 0.6 * direction + 0.8 * turn
+        direction /= np.linalg.norm(direction)
+        # keep the chain compact: when the next step would leave the
+        # allowed radius, bend the direction inward (never shorten the
+        # bond — bond lengths must stay exactly bond_length)
+        com = coords[:i].mean(axis=0)
+        candidate = coords[i - 1] + bond_length * direction
+        max_r = bond_length * max(3.0, (i ** (1.0 / 2.0)))
+        if np.linalg.norm(candidate - com) > max_r:
+            inward = com - coords[i - 1]
+            inward /= max(np.linalg.norm(inward), 1e-12)
+            direction = 0.3 * direction + inward
+            direction /= np.linalg.norm(direction)
+            candidate = coords[i - 1] + bond_length * direction
+        coords[i] = candidate
+    return coords
+
+
+def _water_grid(n_waters: int, box_edge: float, rng: np.random.Generator) -> np.ndarray:
+    """Waters on a jittered cubic grid filling the box."""
+    if n_waters == 0:
+        return np.zeros((0, 3))
+    per_edge = int(np.ceil(n_waters ** (1.0 / 3.0)))
+    spacing = box_edge / per_edge
+    idx = np.arange(per_edge)
+    gx, gy, gz = np.meshgrid(idx, idx, idx, indexing="ij")
+    grid = np.stack([gx, gy, gz], axis=-1).reshape(-1, 3).astype(float)
+    grid = (grid + 0.5) * spacing
+    grid += rng.uniform(-0.18, 0.18, size=grid.shape) * spacing
+    order = rng.permutation(len(grid))[:n_waters]
+    return grid[order]
+
+
+def _relieve_overlaps(
+    waters: np.ndarray,
+    protein: np.ndarray,
+    box_edge: float,
+    rng: np.random.Generator,
+    min_dist: float = 2.6,
+    max_rounds: int = 20,
+) -> np.ndarray:
+    """Resample water positions that clash with the solute.
+
+    The grid ignores the protein; without this step the initial
+    configuration has astronomically high LJ energies.  Works in blocks
+    to bound memory for the paper-size complexes.
+    """
+    if len(waters) == 0 or len(protein) == 0:
+        return waters
+    waters = waters.copy()
+    d2_min = min_dist * min_dist
+    # relocated waters must also keep a (modest) water-water spacing —
+    # large floors are infeasible for uniform redraws at liquid packing
+    ww_min = 1.25
+    ww2 = ww_min * ww_min
+
+    def protein_clash(idx: np.ndarray) -> np.ndarray:
+        d = waters[idx][:, None, :] - protein[None, :, :]
+        r2 = np.einsum("bij,bij->bi", d, d)
+        return r2.min(axis=1) < d2_min
+
+    def water_clash(idx: np.ndarray) -> np.ndarray:
+        dw = waters[idx][:, None, :] - waters[None, :, :]
+        rw2 = np.einsum("bij,bij->bi", dw, dw)
+        rw2[rw2 < 1e-12] = np.inf  # mask self-distances
+        return rw2.min(axis=1) < ww2
+
+    # initial offenders: waters clashing with the solute
+    moving = np.nonzero(
+        np.concatenate(
+            [
+                protein_clash(np.arange(s, min(s + 1024, len(waters))))
+                for s in range(0, len(waters), 1024)
+            ]
+        )
+    )[0]
+    for _ in range(max_rounds * 2):
+        if len(moving) == 0:
+            break
+        waters[moving] = rng.uniform(0.0, box_edge, size=(len(moving), 3))
+        still = protein_clash(moving) | water_clash(moving)
+        moving = moving[still]
+    return waters
+
+
+def build_system(
+    spec: ComplexSpec,
+    seed: int = 0,
+    united_water: bool = True,
+    bond_length: float = 1.5,
+) -> MolecularSystem:
+    """Synthesize a simulation-ready system matching ``spec``'s statistics.
+
+    With ``united_water=False`` each water contributes three explicit
+    atoms (the pre-optimization Opal model) — the mass-center count then
+    equals ``spec.n_explicit``.
+    """
+    rng = np.random.default_rng(seed)
+    box = spec.box_edge
+    n_protein = spec.protein_atoms
+
+    protein = _protein_chain_coords(n_protein, bond_length, rng)
+    protein += box / 2.0 - protein.mean(axis=0)  # center in the box
+
+    sites_per_water = 1 if united_water else 3
+    n_water_sites = spec.waters * sites_per_water
+    water_centers = _water_grid(spec.waters, box, rng)
+    water_centers = _relieve_overlaps(water_centers, protein, box, rng)
+    if united_water:
+        waters = water_centers
+    else:
+        # three collinear-ish sites per molecule: O and two H
+        offs = np.array([[0.0, 0.0, 0.0], [0.9572, 0.0, 0.0], [-0.24, 0.9266, 0.0]])
+        waters = (water_centers[:, None, :] + offs[None, :, :]).reshape(-1, 3)
+
+    coords = np.vstack([protein, waters])
+    n_total = n_protein + n_water_sites
+    is_water = np.zeros(n_total, dtype=bool)
+    is_water[n_protein:] = True
+
+    charges = np.zeros(n_total)
+    charges[:n_protein] = PROTEIN_CHARGE * np.where(
+        np.arange(n_protein) % 2 == 0, 1.0, -1.0
+    )
+    if n_protein % 2 == 1:
+        charges[n_protein - 1] = 0.0  # keep the solute neutral
+    if not united_water:
+        # neutral triads: O carries -0.834, H carry +0.417 (TIP3P-like)
+        wq = np.tile([-0.834, 0.417, 0.417], spec.waters)
+        charges[n_protein:] = wq
+
+    eps = np.where(is_water, WATER_EPS, PROTEIN_EPS)
+    sigma = np.where(is_water, WATER_SIGMA, PROTEIN_SIGMA)
+    if not united_water:
+        # hydrogens: tiny LJ so the triads don't blow up
+        h_mask = np.zeros(n_total, dtype=bool)
+        h_sites = np.arange(n_protein, n_total)
+        h_mask[h_sites[(h_sites - n_protein) % 3 != 0]] = True
+        eps[h_mask] = 0.01
+        sigma[h_mask] = 1.0
+
+    masses = np.where(is_water, 18.015, 13.0)
+    if not united_water:
+        masses = masses.copy()
+        masses[is_water] = 16.0
+        masses[h_mask] = 1.008
+
+    topo = chain_topology(n_protein)
+    # widen n_atoms so exclusion machinery covers the full system
+    topo.n_atoms = n_total
+
+    return MolecularSystem(
+        spec=spec,
+        coords=coords,
+        charges=charges,
+        eps=eps,
+        sigma=sigma,
+        masses=masses,
+        is_water=is_water,
+        topology=topo,
+        box_edge=box,
+        united_water=united_water,
+        rng_seed=seed,
+    )

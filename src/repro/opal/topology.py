@@ -1,0 +1,166 @@
+"""Molecular topology: the bonded-interaction terms of the potential V.
+
+Holds the index arrays and force-field constants for the first four
+terms of the paper's atomic interaction function (Section 2.1):
+
+* covalent bond stretching         ``1/2 K_b (b - b0)^2``
+* bond-angle bending               ``1/2 K_theta (theta - theta0)^2``
+* improper (harmonic) dihedrals    ``1/2 K_xi (xi - xi0)^2``
+* proper (sinusoidal) dihedrals    ``K_phi (1 + cos(n phi - delta))``
+
+All arrays are NumPy; energies/gradients over them are evaluated in
+:mod:`repro.opal.forcefield`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+def _as_index_array(rows: List[Tuple[int, ...]], width: int) -> np.ndarray:
+    if not rows:
+        return np.zeros((0, width), dtype=np.int64)
+    arr = np.asarray(rows, dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != width:
+        raise WorkloadError(f"expected index tuples of width {width}")
+    return arr
+
+
+@dataclass
+class Topology:
+    """Bonded terms of one molecular system."""
+
+    n_atoms: int
+    #: (nb, 2) atom indices
+    bonds: np.ndarray = field(default_factory=lambda: np.zeros((0, 2), dtype=np.int64))
+    bond_k: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    bond_b0: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: (na, 3) indices; the angle is at the middle atom
+    angles: np.ndarray = field(default_factory=lambda: np.zeros((0, 3), dtype=np.int64))
+    angle_k: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    angle_theta0: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: (nd, 4) proper dihedrals (may make full turns)
+    dihedrals: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 4), dtype=np.int64)
+    )
+    dihedral_k: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    dihedral_mult: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    dihedral_delta: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: (ni, 4) improper dihedrals (harmonically restrained)
+    impropers: np.ndarray = field(
+        default_factory=lambda: np.zeros((0, 4), dtype=np.int64)
+    )
+    improper_k: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    improper_xi0: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check index ranges and parameter-array lengths."""
+        if self.n_atoms < 1:
+            raise WorkloadError("topology needs at least one atom")
+        for name, idx, params in (
+            ("bonds", self.bonds, (self.bond_k, self.bond_b0)),
+            ("angles", self.angles, (self.angle_k, self.angle_theta0)),
+            (
+                "dihedrals",
+                self.dihedrals,
+                (self.dihedral_k, self.dihedral_mult, self.dihedral_delta),
+            ),
+            ("impropers", self.impropers, (self.improper_k, self.improper_xi0)),
+        ):
+            if idx.size and (idx.min() < 0 or idx.max() >= self.n_atoms):
+                raise WorkloadError(f"{name}: atom index out of range")
+            for parr in params:
+                if len(parr) != len(idx):
+                    raise WorkloadError(
+                        f"{name}: parameter array length {len(parr)} != {len(idx)}"
+                    )
+            if idx.size:
+                # no repeated atom within one term
+                for row in range(idx.shape[0]):
+                    if len(set(idx[row].tolist())) != idx.shape[1]:
+                        raise WorkloadError(f"{name}: repeated atom in term {row}")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_bonded_terms(self) -> int:
+        """Total count of bonded interaction terms."""
+        return (
+            len(self.bonds)
+            + len(self.angles)
+            + len(self.dihedrals)
+            + len(self.impropers)
+        )
+
+    def excluded_pairs(self) -> np.ndarray:
+        """(m, 2) sorted unique pairs excluded from non-bonded terms.
+
+        Standard 1-2 (bond) and 1-3 (angle end atoms) exclusions.
+        """
+        rows = []
+        if len(self.bonds):
+            rows.append(np.sort(self.bonds, axis=1))
+        if len(self.angles):
+            rows.append(np.sort(self.angles[:, [0, 2]], axis=1))
+        if not rows:
+            return np.zeros((0, 2), dtype=np.int64)
+        allpairs = np.vstack(rows)
+        return np.unique(allpairs, axis=0)
+
+
+# ----------------------------------------------------------------------
+def chain_topology(
+    n_atoms: int,
+    offset: int = 0,
+    bond_k: float = 300.0,
+    bond_b0: float = 1.5,
+    angle_k: float = 50.0,
+    angle_theta0: float = 1.911,  # ~109.5 degrees
+    dihedral_k: float = 1.4,
+    dihedral_mult: int = 3,
+    dihedral_delta: float = 0.0,
+    improper_every: int = 5,
+    improper_k: float = 20.0,
+) -> Topology:
+    """Topology of a linear polymer chain of ``n_atoms`` atoms.
+
+    The synthetic stand-in for a protein backbone: bonds between
+    neighbours, angles over consecutive triples, a proper dihedral on
+    every consecutive quadruple and a harmonic improper on every
+    ``improper_every``-th quadruple (modelling rings/chirality).
+    ``offset`` shifts all indices (the chain may sit inside a larger
+    system).
+    """
+    if n_atoms < 2:
+        raise WorkloadError("a chain needs at least two atoms")
+    bonds = [(offset + i, offset + i + 1) for i in range(n_atoms - 1)]
+    angles = [(offset + i, offset + i + 1, offset + i + 2) for i in range(n_atoms - 2)]
+    quads = [
+        (offset + i, offset + i + 1, offset + i + 2, offset + i + 3)
+        for i in range(n_atoms - 3)
+    ]
+    impropers = quads[::improper_every] if improper_every > 0 else []
+    return Topology(
+        n_atoms=offset + n_atoms,
+        bonds=_as_index_array(bonds, 2),
+        bond_k=np.full(len(bonds), bond_k),
+        bond_b0=np.full(len(bonds), bond_b0),
+        angles=_as_index_array(angles, 3),
+        angle_k=np.full(len(angles), angle_k),
+        angle_theta0=np.full(len(angles), angle_theta0),
+        dihedrals=_as_index_array(quads, 4),
+        dihedral_k=np.full(len(quads), dihedral_k),
+        dihedral_mult=np.full(len(quads), float(dihedral_mult)),
+        dihedral_delta=np.full(len(quads), dihedral_delta),
+        impropers=_as_index_array(list(impropers), 4),
+        improper_k=np.full(len(impropers), improper_k),
+        improper_xi0=np.full(len(impropers), 0.6),
+    )

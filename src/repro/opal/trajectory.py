@@ -1,0 +1,132 @@
+"""Trajectory recording and XYZ-format I/O.
+
+Opal's users inspect trajectories with molecular viewers; the venerable
+XYZ text format (count line, comment line, one ``<element> x y z`` line
+per atom, frames concatenated) is the least common denominator.  The
+recorder plugs into any stepping loop; the writer/reader round-trip
+exactly (to the printed precision) and feed the observables module.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .system import MolecularSystem
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclass
+class Trajectory:
+    """An in-memory sequence of coordinate frames."""
+
+    element_labels: List[str]
+    frames: List[np.ndarray] = field(default_factory=list)
+    comments: List[str] = field(default_factory=list)
+
+    @property
+    def n_atoms(self) -> int:
+        """Atoms per frame."""
+        return len(self.element_labels)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def append(self, coords: np.ndarray, comment: str = "") -> None:
+        """Add one coordinate frame (copied, shape-checked)."""
+        coords = np.asarray(coords, dtype=float)
+        if coords.shape != (self.n_atoms, 3):
+            raise WorkloadError(
+                f"frame shape {coords.shape} != ({self.n_atoms}, 3)"
+            )
+        self.frames.append(coords.copy())
+        self.comments.append(comment)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_system(cls, system: MolecularSystem) -> "Trajectory":
+        """Labels waters 'O' (united center) and solute atoms 'C'."""
+        labels = ["O" if w else "C" for w in system.is_water]
+        return cls(element_labels=labels)
+
+    # ------------------------------------------------------------------
+    def write_xyz(self, path: PathLike) -> None:
+        """Write all frames in XYZ text format."""
+        if not self.frames:
+            raise WorkloadError("cannot write an empty trajectory")
+        with open(path, "w") as fh:
+            for frame, comment in zip(self.frames, self.comments):
+                fh.write(f"{self.n_atoms}\n{comment}\n")
+                for label, (x, y, z) in zip(self.element_labels, frame):
+                    fh.write(f"{label} {x:.6f} {y:.6f} {z:.6f}\n")
+
+    @classmethod
+    def read_xyz(cls, path: PathLike) -> "Trajectory":
+        lines = pathlib.Path(path).read_text().splitlines()
+        pos = 0
+        traj: Optional[Trajectory] = None
+        while pos < len(lines):
+            if not lines[pos].strip():
+                pos += 1
+                continue
+            try:
+                n = int(lines[pos].strip())
+            except ValueError:
+                raise WorkloadError(
+                    f"expected atom count at line {pos + 1}, got "
+                    f"{lines[pos]!r}"
+                ) from None
+            comment = lines[pos + 1] if pos + 1 < len(lines) else ""
+            body = lines[pos + 2 : pos + 2 + n]
+            if len(body) < n:
+                raise WorkloadError("truncated XYZ frame")
+            labels, coords = [], []
+            for line in body:
+                parts = line.split()
+                if len(parts) != 4:
+                    raise WorkloadError(f"bad XYZ atom line {line!r}")
+                labels.append(parts[0])
+                coords.append([float(v) for v in parts[1:]])
+            if traj is None:
+                traj = cls(element_labels=labels)
+            elif labels != traj.element_labels:
+                raise WorkloadError("inconsistent atom labels across frames")
+            traj.append(np.asarray(coords), comment=comment)
+            pos += 2 + n
+        if traj is None:
+            raise WorkloadError("no frames in XYZ file")
+        return traj
+
+
+def record_dynamics(
+    system: MolecularSystem,
+    pairlist,
+    steps: int,
+    dt: float = 0.001,
+    temperature: Optional[float] = None,
+    stride: int = 1,
+    seed: int = 0,
+) -> Trajectory:
+    """Run MD and record every ``stride``-th frame (plus the initial one)."""
+    from .dynamics import VelocityVerlet
+
+    if stride < 1:
+        raise WorkloadError("stride must be >= 1")
+    traj = Trajectory.for_system(system)
+    traj.append(system.coords, comment="step 0")
+    md = VelocityVerlet(
+        system, pairlist, dt=dt, temperature=temperature, seed=seed
+    )
+    for step in range(1, steps + 1):
+        record = md.step()
+        if step % stride == 0:
+            traj.append(
+                system.coords,
+                comment=f"step {step} E={record.energy_total:.4f}",
+            )
+    return traj

@@ -1,0 +1,148 @@
+"""Operation-count workload model of one Opal run.
+
+Bridges the application configuration (:class:`ApplicationParams`) to
+the quantities the simulated client/server program needs each phase:
+per-server flop counts for the update and energy routines (through the
+pseudo-random pair distribution, including its even-p anomaly), message
+sizes, the client's sequential work and per-server working sets.
+
+The *total* work amounts follow the complexities the paper measured for
+the real code (eqs. (3)-(5)); the per-server split, the communication
+and everything temporal emerge from the discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.parameters import (
+    ApplicationParams,
+    energy_pair_work,
+    update_pair_work,
+)
+from ..core.space import SpaceModel
+from ..errors import WorkloadError
+from ..sciddle import HEADER_BYTES
+from . import costs
+from .distribution import DEFAULT_DEFECT, PairDistribution
+
+
+@dataclass(frozen=True)
+class OpalWorkload:
+    """All work/size quantities of one configured Opal run."""
+
+    app: ApplicationParams
+    seed: int = 0
+    defect: float = DEFAULT_DEFECT
+    #: per-server multiplicative randomization noise of the pair shares
+    share_noise: float = 0.01
+    _dist: PairDistribution = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.share_noise < 0 or self.share_noise >= 0.5:
+            raise WorkloadError("share_noise must be in [0, 0.5)")
+        object.__setattr__(
+            self,
+            "_dist",
+            PairDistribution(self.app.servers, seed=self.seed, defect=self.defect),
+        )
+
+    # -- totals (paper complexities) --------------------------------------
+    @property
+    def update_pairs_total(self) -> float:
+        """Candidate pairs processed by ONE pair-list update."""
+        return update_pair_work(self.app.n, self.app.gamma)
+
+    @property
+    def energy_pairs_total(self) -> float:
+        """Active pairs evaluated by ONE energy evaluation."""
+        return energy_pair_work(self.app.n, self.app.n_tilde)
+
+    @property
+    def updates_total(self) -> int:
+        """Number of pair-list updates in the run (one per interval,
+        always including step 0)."""
+        s, iv = self.app.steps, self.app.update_interval
+        return (s + iv - 1) // iv
+
+    # -- per-server splits -------------------------------------------------
+    def _noisy(self, shares: np.ndarray, label: str) -> np.ndarray:
+        if self.share_noise == 0:
+            return shares
+        rng = np.random.default_rng([self.seed, zlib.crc32(label.encode())])
+        factors = 1.0 + self.share_noise * rng.standard_normal(len(shares))
+        noisy = shares * np.clip(factors, 0.5, 1.5)
+        total = shares.sum()
+        if noisy.sum() > 0:
+            noisy *= total / noisy.sum()
+        return noisy
+
+    def server_update_pairs(self) -> np.ndarray:
+        """Per-server candidate pairs for one update, shape (p,)."""
+        return self._noisy(self._dist.shares(self.update_pairs_total), "update")
+
+    def server_energy_pairs(self) -> np.ndarray:
+        """Per-server active pairs for one energy evaluation, shape (p,)."""
+        return self._noisy(self._dist.shares(self.energy_pairs_total), "energy")
+
+    def server_update_flops(self) -> np.ndarray:
+        """Per-server update flops for one list rebuild."""
+        return self.server_update_pairs() * costs.UPDATE_PAIR_FLOPS
+
+    def server_energy_flops(self) -> np.ndarray:
+        """Per-server energy flops for one evaluation."""
+        return self.server_energy_pairs() * costs.NB_PAIR_FLOPS
+
+    def imbalance(self) -> float:
+        """max/mean energy-work ratio across servers."""
+        s = self.server_energy_pairs()
+        return float(s.max() / s.mean()) if s.mean() > 0 else 1.0
+
+    # -- client work ---------------------------------------------------------
+    @property
+    def seq_flops_per_step(self) -> float:
+        """Client's bonded terms + reduction per step (behind a4)."""
+        return costs.SEQ_ATOM_FLOPS * self.app.n
+
+    # -- message sizes --------------------------------------------------------
+    @property
+    def coords_nbytes(self) -> int:
+        """Coordinates message, client -> server (paper's alpha * n)."""
+        return self.app.alpha * self.app.n
+
+    @property
+    def result_nbytes(self) -> int:
+        """Energy reply: Van der Waals + Coulomb energies (2 doubles) plus
+        the gradients of the interaction potential (alpha * n), eq. (9)."""
+        return 16 + self.app.alpha * self.app.n
+
+    @property
+    def ack_nbytes(self) -> int:
+        """Update reply: bare completion message (eq. 8)."""
+        return 0  # the RPC header itself is accounted by the middleware
+
+    @property
+    def rpc_header_nbytes(self) -> int:
+        """Bytes of the middleware RPC header."""
+        return HEADER_BYTES
+
+    # -- memory -----------------------------------------------------------------
+    def server_working_set(self) -> float:
+        """Bytes one server touches during the energy evaluation."""
+        return SpaceModel(self.app.molecule).server_working_set(self.app.servers)
+
+    def client_working_set(self) -> float:
+        """Bytes the client touches in its sequential phase."""
+        return SpaceModel(self.app.molecule).client_working_set()
+
+    # -- aggregate sanity ----------------------------------------------------------
+    def total_algorithmic_flops(self) -> float:
+        """Whole-run algorithmic flops (all servers + client)."""
+        return (
+            self.updates_total * self.update_pairs_total * costs.UPDATE_PAIR_FLOPS
+            + self.app.steps * self.energy_pairs_total * costs.NB_PAIR_FLOPS
+            + self.app.steps * self.seq_flops_per_step
+        )

@@ -1,0 +1,57 @@
+"""Platform models, catalog and parameter-extraction microbenchmarks."""
+
+from .catalog import (
+    ALL_PLATFORMS,
+    CRAY_J90_CLUSTER,
+    EXTENDED_PLATFORMS,
+    CRAY_J90,
+    CRAY_T3E,
+    FAST_COPS,
+    PLATFORMS,
+    REFERENCE_PLATFORM,
+    SLOW_COPS,
+    SMP_COPS,
+    TABLE1_MEASUREMENTS,
+    get_platform,
+)
+from .microbench import (
+    KernelResult,
+    PingPongResult,
+    barrier_bench,
+    extract_model_params,
+    kernel_bench,
+    ping_pong,
+)
+from .spec import PlatformSpec
+from .vector import J90_VECTOR, VectorModel
+from .tables import Table1Row, Table2Row, format_table1, format_table2, table1, table2
+
+__all__ = [
+    "ALL_PLATFORMS",
+    "CRAY_J90_CLUSTER",
+    "EXTENDED_PLATFORMS",
+    "CRAY_J90",
+    "CRAY_T3E",
+    "FAST_COPS",
+    "KernelResult",
+    "PLATFORMS",
+    "PingPongResult",
+    "J90_VECTOR",
+    "PlatformSpec",
+    "REFERENCE_PLATFORM",
+    "SLOW_COPS",
+    "SMP_COPS",
+    "TABLE1_MEASUREMENTS",
+    "Table1Row",
+    "VectorModel",
+    "Table2Row",
+    "barrier_bench",
+    "extract_model_params",
+    "format_table1",
+    "format_table2",
+    "get_platform",
+    "kernel_bench",
+    "ping_pong",
+    "table1",
+    "table2",
+]

@@ -1,0 +1,178 @@
+"""Simulated microbenchmarks for platform-parameter extraction.
+
+Section 4.1: "For each new platform we determine the key parameters by
+the execution of a few microbenchmarks, verified against published
+performance figures."  The three benchmarks here run as real programs on
+the simulated platform (they exercise the same fabric/CPU models the
+full application does) and *extract* the model's platform parameters:
+
+* :func:`ping_pong` -> communication rate ``a1`` and overhead ``b1``
+  from a linear fit of half-round-trip time vs message size;
+* :func:`kernel_bench` -> the single-node Table 1 row (execution time,
+  counted MFlop, rates) from running the isolated Opal energy kernel;
+* :func:`barrier_bench` -> synchronization cost ``b5``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.parameters import ModelPlatformParams
+from ..errors import PlatformError
+from ..netsim import Barrier, Compute, Recv, Send
+from ..opal import costs
+from .spec import PlatformSpec
+
+#: Message sizes used for the a1/b1 fit (bytes): spans the paper's
+#: coordinate messages (alpha*n ~ 24 KB .. 150 KB).
+DEFAULT_PING_SIZES = (0, 1_000, 10_000, 50_000, 100_000, 200_000)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PingPongResult:
+    """Linear model of one-way message time: t(m) = b1 + m / a1."""
+
+    sizes: Tuple[int, ...]
+    times: Tuple[float, ...]
+    a1: float  # byte/s
+    b1: float  # s
+
+    def time_for(self, nbytes: float) -> float:
+        """Modelled one-way time for a message of ``nbytes``."""
+        return self.b1 + nbytes / self.a1
+
+
+def ping_pong(
+    spec: PlatformSpec,
+    sizes: Sequence[int] = DEFAULT_PING_SIZES,
+    reps: int = 4,
+) -> PingPongResult:
+    """Measure one-way message time between two distinct nodes."""
+    if len(sizes) < 2:
+        raise PlatformError("need at least two message sizes for the fit")
+    # two processes on different nodes
+    n_procs = spec.cpus_per_node + 1
+    cluster = spec.build_cluster(n_procs, trace=False)
+    node_a = spec.place(cluster, 0)
+    node_b = spec.place(cluster, spec.cpus_per_node)
+    results: List[float] = []
+
+    def ponger(ctx):
+        while True:
+            msg = yield Recv(tag=1)
+            if msg.payload == "stop":
+                return
+            yield Send(msg.source, nbytes=msg.nbytes, tag=2)
+
+    def pinger(ctx, peer):
+        for size in sizes:
+            t0 = ctx.now
+            for _ in range(reps):
+                yield Send(peer, nbytes=size, tag=1)
+                yield Recv(source=peer, tag=2)
+            # half round trip = one-way time
+            results.append((ctx.now - t0) / reps / 2.0)
+        yield Send(peer, nbytes=0, tag=1, payload="stop")
+
+    pong = cluster.spawn("ponger", node_b, ponger)
+    cluster.spawn("pinger", node_a, pinger, pong.tid)
+    cluster.run()
+
+    x = np.asarray(sizes, dtype=float)
+    y = np.asarray(results, dtype=float)
+    slope, intercept = np.polyfit(x, y, 1)
+    if slope <= 0:
+        raise PlatformError(f"{spec.name}: non-positive bandwidth fit")
+    return PingPongResult(tuple(sizes), tuple(y), a1=1.0 / slope, b1=max(intercept, 0.0))
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KernelResult:
+    """One Table 1 row, before normalization against the reference."""
+
+    platform: str
+    exec_time: float  # s, wall clock on one full node
+    flops_counted: float  # hardware-counted flop
+    flops_algorithmic: float
+
+    @property
+    def rate(self) -> float:
+        """Counted computation rate, flop/s (Table 1 column 4)."""
+        return self.flops_counted / self.exec_time
+
+    @property
+    def algorithmic_rate(self) -> float:
+        """Best-compiler-normalized rate, flop/s."""
+        return self.flops_algorithmic / self.exec_time
+
+
+def kernel_bench(spec: PlatformSpec, working_set: float = 8e6) -> KernelResult:
+    """Run the isolated Opal kernel on one node (all CPUs of the node).
+
+    The kernel is one no-cutoff non-bonded energy evaluation of the
+    medium complex: 9,195,616 pairs, 325.80 algorithmic MFlop, split
+    evenly over the node's CPUs (which is how the twin-CPU SMP CoPs node
+    posts its 5.00 s in Table 1).
+    """
+    cluster = spec.build_cluster(spec.cpus_per_node, trace=False)
+    node = cluster.nodes[0]
+    share = costs.KERNEL_FLOPS / spec.cpus_per_node
+
+    def worker(ctx):
+        yield Compute(flops=share, working_set=working_set)
+
+    for i in range(spec.cpus_per_node):
+        cluster.spawn(f"kernel{i}", node, worker)
+    t = cluster.run()
+    snap = node.hpm.snapshot()
+    return KernelResult(
+        platform=spec.name,
+        exec_time=t,
+        flops_counted=snap.flops_counted,
+        flops_algorithmic=snap.flops_algorithmic,
+    )
+
+
+# ----------------------------------------------------------------------
+def barrier_bench(spec: PlatformSpec, n_procs: int = 4, reps: int = 10) -> float:
+    """Measure the per-barrier synchronization cost (model's b5)."""
+    if n_procs < 2:
+        raise PlatformError("barrier bench needs at least two processes")
+    cluster = spec.build_cluster(n_procs, trace=False)
+
+    def member(ctx):
+        for r in range(reps):
+            yield Barrier(f"bb{r}", count=n_procs, cost=spec.sync_cost)
+
+    for i in range(n_procs):
+        cluster.spawn(f"m{i}", spec.place(cluster, i), member)
+    t = cluster.run()
+    return t / reps
+
+
+# ----------------------------------------------------------------------
+def extract_model_params(spec: PlatformSpec) -> ModelPlatformParams:
+    """Derive the analytical model's platform parameters by measurement.
+
+    This is the full Section 4.1 pipeline: ping-pong for a1/b1, the Opal
+    kernel for the compute coefficients (a2, a3, a4 scale with the
+    measured algorithmic rate of one CPU), a barrier bench for b5.
+    """
+    pp = ping_pong(spec)
+    kr = kernel_bench(spec)
+    cpu_rate = kr.algorithmic_rate / spec.cpus_per_node
+    b5 = barrier_bench(spec)
+    return ModelPlatformParams(
+        name=spec.name,
+        a1=pp.a1,
+        b1=pp.b1,
+        a2=costs.UPDATE_PAIR_FLOPS / cpu_rate,
+        a3=costs.NB_PAIR_FLOPS / cpu_rate,
+        a4=costs.SEQ_ATOM_FLOPS / cpu_rate,
+        b5=b5,
+    )

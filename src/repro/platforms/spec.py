@@ -1,0 +1,178 @@
+"""Platform specifications.
+
+A :class:`PlatformSpec` carries exactly the "standard performance data"
+the paper extracts for each candidate machine (Section 4.1, Tables 1 and
+2): node compute characteristics (algorithmic rate, flop inflation,
+memory tiers, CPUs per node) and interconnect characteristics (peak and
+observed bandwidth, observed latency, contention kind), plus the
+synchronization cost entering the model's ``b5``.
+
+All rates are stored in SI units (flop/s, byte/s, seconds).  The
+``*_mflops`` / ``*_mbps`` constructors in :mod:`repro.platforms.catalog`
+convert from the paper's table units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..core.memhier import MemoryHierarchy
+from ..errors import PlatformError
+from ..netsim import Cluster, Engine, Fabric, Jitter, Node, make_fabric
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Everything needed to simulate one parallel machine and to derive
+    the analytical model's platform parameters for it."""
+
+    name: str
+    label: str
+    #: CPU clock in MHz (documentation only; rates are explicit).
+    clock_mhz: float
+    #: Algorithmic (best-compiler-normalized) flop/s of ONE CPU, in core.
+    cpu_rate: float
+    #: Hardware-counted flop per algorithmic flop (Table 1 anomaly).
+    flop_inflation: float
+    #: CPUs per node (2 for the twin-Pentium SMP CoPs).
+    cpus_per_node: int
+    #: Maximum number of nodes we may instantiate.
+    max_nodes: int
+    #: Memory hierarchy of one node.
+    memory: MemoryHierarchy
+    #: Interconnect contention kind: 'shared' | 'switched' | 'crossbar'.
+    net_kind: str
+    #: Hardware peak bandwidth, byte/s (reported, not simulated).
+    net_peak_bw: float
+    #: Observed end-to-end bandwidth, byte/s (simulated; model's a1).
+    net_bw: float
+    #: Observed per-message latency, seconds (model's b1).
+    net_latency: float
+    #: Fraction of net_latency that is sender-side software overhead
+    #: (occupies the contended resource); the rest is wire latency.
+    overhead_fraction: float = 0.7
+    #: Process synchronization cost, seconds (model's b5).
+    sync_cost: float = 0.0
+    #: True when intra-node messages bypass the slow network stack.
+    fast_local_path: bool = True
+    #: Explicit intra-node message path (byte/s, seconds); overrides the
+    #: fast_local_path heuristic when set.  Used for machines where the
+    #: in-box middleware path has its own measured character (e.g. the
+    #: J90 cluster: shared-memory PVM in the box, HIPPI network PVM
+    #: between boxes).
+    local_bw: Optional[float] = None
+    local_latency: Optional[float] = None
+    #: Rough acquisition cost in k$ (our estimate, for the paper's
+    #: "most cost effective platform" discussion; not from the paper).
+    approx_cost_kusd: Optional[float] = None
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cpu_rate <= 0:
+            raise PlatformError(f"{self.name}: cpu_rate must be positive")
+        if self.flop_inflation < 1.0:
+            raise PlatformError(
+                f"{self.name}: flop_inflation below 1 would mean the hardware "
+                "counted fewer operations than the best compiler executes"
+            )
+        if self.cpus_per_node < 1 or self.max_nodes < 1:
+            raise PlatformError(f"{self.name}: need at least one CPU and node")
+        if self.net_kind not in ("shared", "switched", "crossbar"):
+            raise PlatformError(f"{self.name}: bad net_kind {self.net_kind!r}")
+        if not 0.0 <= self.overhead_fraction <= 1.0:
+            raise PlatformError(f"{self.name}: overhead_fraction must be in [0,1]")
+        if self.net_bw <= 0 or self.net_peak_bw <= 0:
+            raise PlatformError(f"{self.name}: bandwidths must be positive")
+        if self.net_bw > self.net_peak_bw:
+            raise PlatformError(f"{self.name}: observed bandwidth above hw peak")
+        if self.net_latency < 0 or self.sync_cost < 0:
+            raise PlatformError(f"{self.name}: times must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_cpus(self) -> int:
+        """CPUs across all nodes."""
+        return self.cpus_per_node * self.max_nodes
+
+    @property
+    def net_overhead(self) -> float:
+        """Sender-side software overhead per message, seconds."""
+        return self.net_latency * self.overhead_fraction
+
+    @property
+    def net_wire_latency(self) -> float:
+        """Propagation component of the observed latency, seconds."""
+        return self.net_latency * (1.0 - self.overhead_fraction)
+
+    def node_rate(self) -> float:
+        """Aggregate in-core algorithmic rate of one full node, flop/s."""
+        return self.cpu_rate * self.cpus_per_node
+
+    # ------------------------------------------------------------------
+    def make_fabric(self, engine: Engine) -> Fabric:
+        """Instantiate the interconnect model for this platform."""
+        kwargs = {}
+        if self.local_bw is not None:
+            kwargs["local_bandwidth"] = self.local_bw
+        if self.local_latency is not None:
+            kwargs["local_latency"] = self.local_latency
+        if not self.fast_local_path and self.local_bw is None:
+            # e.g. PVM on the J90: intra-machine messages still pay the
+            # full middleware path.
+            kwargs["local_latency"] = self.net_wire_latency
+            kwargs["local_bandwidth"] = self.net_bw
+        return make_fabric(
+            self.net_kind,
+            engine,
+            latency=self.net_wire_latency,
+            bandwidth=self.net_bw,
+            overhead=self.net_overhead,
+            **kwargs,
+        )
+
+    def build_cluster(
+        self,
+        n_processes: int,
+        seed: int = 0,
+        jitter_sigma: float = 0.0,
+        trace: bool = True,
+    ) -> Cluster:
+        """A cluster with enough nodes for ``n_processes`` processes.
+
+        Processes are meant to be placed one per CPU in node-major order
+        (see :meth:`place`); this builds ``ceil(n/cpus_per_node)`` nodes.
+        """
+        n_nodes = -(-n_processes // self.cpus_per_node)
+        if n_nodes > self.max_nodes:
+            raise PlatformError(
+                f"{self.name}: {n_processes} processes need {n_nodes} nodes "
+                f"but only {self.max_nodes} exist"
+            )
+        cluster = Cluster(self.make_fabric, seed=seed, trace=trace)
+        for i in range(n_nodes):
+            jitter = (
+                Jitter(cluster.rng.stream(f"jitter/node{i}"), jitter_sigma)
+                if jitter_sigma > 0
+                else None
+            )
+            cluster.add_node(
+                Node(
+                    cluster.engine,
+                    node_id=i,
+                    rate_model=self.memory.as_rate_model(),
+                    n_cpus=self.cpus_per_node,
+                    flop_inflation=self.flop_inflation,
+                    jitter=jitter,
+                    name=f"{self.name}-n{i}",
+                )
+            )
+        return cluster
+
+    def place(self, cluster: Cluster, index: int) -> Node:
+        """Node hosting the ``index``-th process (node-major placement)."""
+        return cluster.nodes[index // self.cpus_per_node]
+
+    def with_(self, **changes) -> "PlatformSpec":
+        """A modified copy (for what-if studies and ablations)."""
+        return replace(self, **changes)

@@ -1,0 +1,134 @@
+"""Regenerate the paper's Tables 1 and 2 from simulated microbenchmarks.
+
+Table 1 normalization (Section 4.1): the differing hardware flop counts
+for identical results are eliminated "by assuming that the best compiler
+(i.e. the PGI compiler for the PCs) is setting a lower bound for the
+computation" — relative time is each platform's counted flops over the
+reference count, and the adjusted rate divides the counted rate by it.
+
+Note: the paper prints 138% relative time for the T3E, which is
+inconsistent with its own adjusted rate (52 = 85 / 1.63, and
+811.71/497.55 = 163%); we compute the self-consistent value.  See
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..units import to_mbyte_per_s, to_mflop_per_s
+from .catalog import ALL_PLATFORMS, REFERENCE_PLATFORM
+from .microbench import KernelResult, PingPongResult, kernel_bench, ping_pong
+from .spec import PlatformSpec
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Computation-speed parameters of one platform (paper's Table 1)."""
+
+    platform: str
+    label: str
+    exec_time: float  # s, single node
+    mflop_counted: float
+    rate_mflops: float  # counted MFlop/s
+    relative_time_pct: float  # counted flops / reference counted flops
+    adjusted_rate_mflops: float  # rate / relative
+
+    def formatted(self) -> str:
+        """The row rendered in Table 1 layout."""
+        return (
+            f"{self.label:<48s} {self.exec_time:7.2f} {self.mflop_counted:9.2f} "
+            f"{self.rate_mflops:7.1f} {self.relative_time_pct:7.0f} "
+            f"{self.adjusted_rate_mflops:9.1f}"
+        )
+
+
+def table1(
+    platforms: Optional[Sequence[PlatformSpec]] = None,
+    reference: PlatformSpec = REFERENCE_PLATFORM,
+) -> List[Table1Row]:
+    """Run the kernel microbenchmark everywhere and normalize."""
+    platforms = list(ALL_PLATFORMS) if platforms is None else list(platforms)
+    ref_result: KernelResult = kernel_bench(reference)
+    rows = []
+    for spec in platforms:
+        r = kernel_bench(spec)
+        relative = r.flops_counted / ref_result.flops_counted
+        rate = to_mflop_per_s(r.rate)
+        rows.append(
+            Table1Row(
+                platform=spec.name,
+                label=spec.label,
+                exec_time=r.exec_time,
+                mflop_counted=to_mflop_per_s(r.flops_counted),
+                rate_mflops=rate,
+                relative_time_pct=100.0 * relative,
+                adjusted_rate_mflops=rate / relative,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """Communication-speed parameters of one platform (paper's Table 2)."""
+
+    platform: str
+    label: str
+    peak_mbps: float
+    observed_mbps: float
+    latency_s: float
+
+    def formatted(self) -> str:
+        """The row rendered in Table 2 layout."""
+        if self.latency_s >= 1e-3:
+            lat = f"{self.latency_s * 1e3:6.1f} ms"
+        else:
+            lat = f"{self.latency_s * 1e6:6.1f} us"
+        return (
+            f"{self.label:<48s} {self.peak_mbps:7.0f} "
+            f"{self.observed_mbps:9.1f} {lat}"
+        )
+
+
+def table2(
+    platforms: Optional[Sequence[PlatformSpec]] = None,
+    measured: bool = True,
+) -> List[Table2Row]:
+    """Peak (from spec) and observed (from ping-pong) communication data."""
+    platforms = list(ALL_PLATFORMS) if platforms is None else list(platforms)
+    rows = []
+    for spec in platforms:
+        if measured:
+            pp: PingPongResult = ping_pong(spec)
+            observed_bw, latency = pp.a1, pp.b1
+        else:
+            observed_bw, latency = spec.net_bw, spec.net_latency
+        rows.append(
+            Table2Row(
+                platform=spec.name,
+                label=spec.label,
+                peak_mbps=to_mbyte_per_s(spec.net_peak_bw),
+                observed_mbps=to_mbyte_per_s(observed_bw),
+                latency_s=latency,
+            )
+        )
+    return rows
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render Table 1 rows with the paper's column layout."""
+    header = (
+        f"{'MPP node type':<48s} {'t[s]':>7s} {'MFlOp':>9s} "
+        f"{'MFl/s':>7s} {'rel%':>7s} {'adj MFl/s':>9s}"
+    )
+    return "\n".join([header] + [r.formatted() for r in rows])
+
+
+def format_table2(rows: Sequence[Table2Row]) -> str:
+    """Render Table 2 rows with the paper's column layout."""
+    header = (
+        f"{'MPP node type':<48s} {'peak':>7s} {'observed':>9s} {'latency':>9s}"
+    )
+    return "\n".join([header] + [r.formatted() for r in rows])

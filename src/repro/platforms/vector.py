@@ -1,0 +1,100 @@
+"""Vector processor performance model (Hockney r_inf / n_1/2).
+
+Section 2.6: "On the Cray J90 systems a similar study [to the PC cache
+study] could be made by turning vectorization off and on" — though the
+paper declines, because "vectorization is no real system design option,
+since every J90 CPU can vectorize.  It would be stupid to turn it off."
+We build the study anyway (bench_ablation_vectorization.py): it shows
+*how much* of the J90's compute rate is the vector pipelines, i.e. what
+the machine would be without them, and how the rate depends on the
+vector length the application presents.
+
+The classic two-parameter Hockney model:
+
+    r(n) = r_inf / (1 + n_1/2 / n)
+
+``r_inf`` is the asymptotic rate for infinite vectors and ``n_1/2`` the
+vector length achieving half of it.  Opal's inner loops stream over
+pair lists (thousands of elements), so the J90 operates near r_inf; a
+scalar machine is the n -> small limit plus the scalar issue rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import PlatformError
+
+
+@dataclass(frozen=True)
+class VectorModel:
+    """Hockney vector performance characteristics of one CPU."""
+
+    #: asymptotic vector rate, flop/s
+    r_inf: float
+    #: half-performance vector length
+    n_half: float
+    #: rate with vectorization disabled (scalar issue), flop/s
+    scalar_rate: float
+
+    def __post_init__(self) -> None:
+        if self.r_inf <= 0 or self.scalar_rate <= 0:
+            raise PlatformError("rates must be positive")
+        if self.n_half < 0:
+            raise PlatformError("n_half must be >= 0")
+        if self.scalar_rate > self.r_inf:
+            raise PlatformError("scalar rate above the vector asymptote")
+
+    # ------------------------------------------------------------------
+    def rate(self, vector_length: float, vectorized: bool = True) -> float:
+        """Sustained rate at the given vector length, flop/s."""
+        if vector_length <= 0:
+            raise PlatformError("vector length must be positive")
+        if not vectorized:
+            return self.scalar_rate
+        return max(
+            self.r_inf / (1.0 + self.n_half / vector_length), self.scalar_rate
+        )
+
+    def speedup_over_scalar(self, vector_length: float) -> float:
+        """Vector/scalar rate ratio at one vector length."""
+        return self.rate(vector_length) / self.scalar_rate
+
+    def break_even_length(self) -> float:
+        """Vector length at which vectorizing starts to pay off."""
+        if self.scalar_rate >= self.r_inf:
+            return math.inf
+        return self.n_half / (self.r_inf / self.scalar_rate - 1.0)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def calibrated(
+        cls,
+        observed_rate: float,
+        reference_length: float,
+        n_half: float,
+        vector_speedup: float,
+    ) -> "VectorModel":
+        """Build a model from an observed rate at a known vector length.
+
+        ``observed_rate`` is e.g. the Table 1 kernel rate, measured at
+        vector lengths around ``reference_length``; ``vector_speedup``
+        the machine's typical vector/scalar ratio.
+        """
+        if reference_length <= 0 or vector_speedup < 1:
+            raise PlatformError("bad calibration inputs")
+        r_inf = observed_rate * (1.0 + n_half / reference_length)
+        return cls(
+            r_inf=r_inf,
+            n_half=n_half,
+            scalar_rate=observed_rate / vector_speedup,
+        )
+
+
+#: The Cray J90 CPU: Table 1 kernel rate 52.7 algorithmic MFlop/s at
+#: Opal's long streaming loops (reference length ~1000 elements), the
+#: J90's documented-order n_1/2 (~35) and a typical ~7x vector speedup.
+J90_VECTOR = VectorModel.calibrated(
+    observed_rate=52.72e6, reference_length=1000.0, n_half=35.0, vector_speedup=7.0
+)

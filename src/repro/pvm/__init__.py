@@ -1,0 +1,6 @@
+"""PVM-like message passing layer over the discrete-event simulator."""
+
+from .message import PackBuffer, coordinates_nbytes
+from .vm import PvmSystem, PvmTask
+
+__all__ = ["PackBuffer", "PvmSystem", "PvmTask", "coordinates_nbytes"]

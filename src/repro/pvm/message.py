@@ -1,0 +1,69 @@
+"""PVM-style message packing.
+
+PVM programs assemble messages by packing typed items into a send buffer
+(``pvm_pkdouble``, ``pvm_pkint``, ...).  The simulator does not move real
+bytes, but the *size* of a message determines its transfer time, so the
+pack buffer's job here is to compute sizes from typed counts — exactly
+the place where the paper's ``alpha`` (24 bytes per atom: three doubles)
+comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+#: Size in bytes of each packable item type.
+TYPE_SIZES = {
+    "double": 8,
+    "float": 4,
+    "int": 4,
+    "long": 8,
+    "byte": 1,
+}
+
+
+@dataclass
+class PackBuffer:
+    """Accumulates typed items; ``nbytes`` is the encoded message size."""
+
+    items: List[Tuple[str, int]] = field(default_factory=list)
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def pack(self, typename: str, count: int) -> "PackBuffer":
+        """Append ``count`` items of ``typename`` to the buffer."""
+        if typename not in TYPE_SIZES:
+            raise ValueError(
+                f"unknown pack type {typename!r}; expected one of {sorted(TYPE_SIZES)}"
+            )
+        if count < 0:
+            raise ValueError("pack count must be >= 0")
+        self.items.append((typename, count))
+        return self
+
+    def pack_double(self, count: int) -> "PackBuffer":
+        """Append 8-byte floats."""
+        return self.pack("double", count)
+
+    def pack_int(self, count: int) -> "PackBuffer":
+        """Append 4-byte integers."""
+        return self.pack("int", count)
+
+    def pack_bytes(self, count: int) -> "PackBuffer":
+        """Append raw bytes."""
+        return self.pack("byte", count)
+
+    def put(self, key: str, value: Any) -> "PackBuffer":
+        """Attach semantic payload carried alongside the size accounting."""
+        self.payload[key] = value
+        return self
+
+    @property
+    def nbytes(self) -> int:
+        """Encoded size of the buffer in bytes."""
+        return sum(TYPE_SIZES[t] * c for t, c in self.items)
+
+
+def coordinates_nbytes(n_mass_centers: int) -> int:
+    """Message size for the coordinates of ``n`` mass centers (paper's alpha*n)."""
+    return PackBuffer().pack_double(3 * n_mass_centers).nbytes

@@ -1,0 +1,169 @@
+"""The PVM-like virtual machine facade over a simulated cluster.
+
+``PvmSystem`` owns task spawning and the group/barrier namespace;
+``PvmTask`` is the per-task handle a task function uses for all
+communication.  Task functions are generators; every communication
+helper is itself a generator to be driven with ``yield from``::
+
+    def server(task):
+        msg = yield from task.recv(tag=REQUEST)
+        yield from task.compute(flops=1e6)
+        yield from task.send(msg.source, tag=REPLY, nbytes=1024)
+
+The deliberate PVM flavours kept from the paper's environment:
+
+* explicit task ids (tids) and a parent tid;
+* named dynamic groups with ``joingroup`` and counted barriers;
+* send sizes computed through :class:`~repro.pvm.message.PackBuffer`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..errors import PvmError
+from ..netsim import ANY, Barrier, Cluster, Compute, Node, Recv, Send, Timeout
+from ..netsim.process import SimProcess
+from .message import PackBuffer
+
+
+class PvmTask:
+    """Per-task handle: the ``pvm_*`` call surface."""
+
+    def __init__(self, system: "PvmSystem", ctx, parent_tid: Optional[int]) -> None:
+        self.system = system
+        self.ctx = ctx
+        self.parent_tid = parent_tid
+
+    # -- identity ------------------------------------------------------
+    @property
+    def tid(self) -> int:
+        """This task's id."""
+        return self.ctx.tid
+
+    @property
+    def name(self) -> str:
+        """This task's display name."""
+        return self.ctx.name
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, seconds."""
+        return self.ctx.now
+
+    @property
+    def node(self):
+        """The node this task runs on."""
+        return self.ctx.node
+
+    # -- communication (generators; drive with `yield from`) ------------
+    def send(
+        self, dest: int, tag: int, nbytes: float = 0, payload: Any = None
+    ) -> Generator:
+        """Blocking-until-injected typed send."""
+        if isinstance(nbytes, PackBuffer):
+            payload = nbytes.payload if payload is None else payload
+            nbytes = nbytes.nbytes
+        yield Send(dest, nbytes=nbytes, tag=tag, payload=payload)
+
+    def recv(self, source: Optional[int] = ANY, tag: Optional[int] = ANY) -> Generator:
+        """Blocking receive; returns the :class:`Message`."""
+        msg = yield Recv(source=source, tag=tag)
+        return msg
+
+    def mcast(
+        self, dests: List[int], tag: int, nbytes: float = 0, payload: Any = None
+    ) -> Generator:
+        """Multicast as sequential sends (PVM's pvm_mcast is sender-serial)."""
+        for dest in dests:
+            yield from self.send(dest, tag, nbytes, payload)
+
+    # -- computation and time -------------------------------------------
+    def compute(
+        self,
+        seconds: Optional[float] = None,
+        flops: Optional[float] = None,
+        working_set: Optional[float] = None,
+    ) -> Generator:
+        """Occupy a CPU (seconds= or flops=; yield from)."""
+        yield Compute(seconds=seconds, flops=flops, working_set=working_set)
+
+    def delay(self, seconds: float) -> Generator:
+        """Sleep in virtual time (yield from)."""
+        yield Timeout(seconds)
+
+    # -- groups / synchronization ----------------------------------------
+    def joingroup(self, group: str) -> int:
+        """Join ``group``; returns the instance number within the group."""
+        return self.system.joingroup(group, self.tid)
+
+    def barrier(self, group: str, count: Optional[int] = None) -> Generator:
+        """PVM counted barrier over ``group``."""
+        if count is None:
+            count = self.system.group_size(group)
+        yield Barrier(
+            f"pvm:{group}", count=count, cost=self.system.barrier_cost
+        )
+
+
+class PvmSystem:
+    """Process management and groups for one simulated parallel program."""
+
+    def __init__(self, cluster: Cluster, barrier_cost: float = 0.0) -> None:
+        if barrier_cost < 0:
+            raise PvmError("barrier_cost must be >= 0")
+        self.cluster = cluster
+        self.barrier_cost = barrier_cost
+        self._groups: Dict[str, List[int]] = {}
+        self.tasks: Dict[int, PvmTask] = {}
+
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        name: str,
+        node: Node,
+        func: Callable[..., Generator],
+        *args: Any,
+        parent: Optional[PvmTask] = None,
+        **kwargs: Any,
+    ) -> SimProcess:
+        """Start ``func(task, *args, **kwargs)`` as a PVM task on ``node``."""
+        holder: Dict[str, PvmTask] = {}
+
+        def _body(ctx, *a, **kw):
+            task = PvmTask(self, ctx, parent.tid if parent is not None else None)
+            holder["task"] = task
+            self.tasks[task.tid] = task
+            return func(task, *a, **kw)
+
+        # _body must itself be a generator function: delegate.
+        def _genwrap(ctx, *a, **kw):
+            yield from _body(ctx, *a, **kw)
+
+        proc = self.cluster.spawn(name, node, _genwrap, *args, **kwargs)
+        return proc
+
+    # ------------------------------------------------------------------
+    def joingroup(self, group: str, tid: int) -> int:
+        """Add a tid to a named group; returns its instance number."""
+        members = self._groups.setdefault(group, [])
+        if tid in members:
+            raise PvmError(f"tid {tid} already in group {group!r}")
+        members.append(tid)
+        return len(members) - 1
+
+    def group_size(self, group: str) -> int:
+        """Member count of a (non-empty) group."""
+        members = self._groups.get(group)
+        if not members:
+            raise PvmError(f"unknown or empty group {group!r}")
+        return len(members)
+
+    def group_members(self, group: str) -> List[int]:
+        """The tids of a group, in join order."""
+        return list(self._groups.get(group, []))
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run the simulation to completion (or ``until``)."""
+        return self.cluster.run(until)

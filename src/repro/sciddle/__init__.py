@@ -1,0 +1,47 @@
+"""Sciddle-like RPC middleware over the PVM layer.
+
+Reproduces the middleware architecture the paper studies: an IDL-driven
+stub layer translating remote procedure calls into PVM messages, with
+asynchronous call/wait, optional accounting barriers (Section 3.3) and
+integrated performance instrumentation hooks (Section 3.2).
+"""
+
+from .barriers import SyncDiscipline, overlap_slowdown
+from .idl import ProcedureSpec, SciddleInterface
+from .stubgen import (
+    OPAL_IDL,
+    ArgumentSpec,
+    CompiledInterface,
+    CompiledProcedure,
+    compile_idl,
+)
+from .runtime import (
+    HEADER_BYTES,
+    TAG_REPLY_BASE,
+    TAG_REQUEST,
+    CallHandle,
+    RpcReply,
+    RpcRequest,
+    SciddleClient,
+    SciddleServer,
+)
+
+__all__ = [
+    "ArgumentSpec",
+    "CallHandle",
+    "CompiledInterface",
+    "CompiledProcedure",
+    "OPAL_IDL",
+    "HEADER_BYTES",
+    "ProcedureSpec",
+    "RpcReply",
+    "RpcRequest",
+    "SciddleClient",
+    "SciddleInterface",
+    "SciddleServer",
+    "SyncDiscipline",
+    "compile_idl",
+    "TAG_REPLY_BASE",
+    "TAG_REQUEST",
+    "overlap_slowdown",
+]

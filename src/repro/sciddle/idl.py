@@ -1,0 +1,72 @@
+"""Remote interface specification (the "Sciddle compiler" input).
+
+Real Sciddle reads an interface description of the subroutines exported
+by the servers and generates communication stubs that translate an RPC
+into PVM message-passing primitives.  Here the interface is declared in
+Python; :mod:`repro.sciddle.runtime` plays the role of the generated
+stubs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..errors import SciddleError
+
+
+@dataclass(frozen=True)
+class ProcedureSpec:
+    """One exported remote procedure.
+
+    ``in_size``/``out_size`` are optional callables mapping the call's
+    semantic arguments to message sizes in bytes; when provided, the
+    stubs size the request/reply messages automatically (this is what a
+    generated stub does from the IDL's array-length expressions).
+    """
+
+    name: str
+    doc: str = ""
+    in_size: Optional[Callable[..., float]] = None
+    out_size: Optional[Callable[..., float]] = None
+
+
+class SciddleInterface:
+    """A named collection of remote procedures."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._procs: Dict[str, ProcedureSpec] = {}
+
+    def procedure(
+        self,
+        name: str,
+        doc: str = "",
+        in_size: Optional[Callable[..., float]] = None,
+        out_size: Optional[Callable[..., float]] = None,
+    ) -> ProcedureSpec:
+        """Declare a remote procedure; returns its spec."""
+        if name in self._procs:
+            raise SciddleError(f"procedure {name!r} already declared in {self.name!r}")
+        if name.startswith("__"):
+            raise SciddleError("procedure names starting with '__' are reserved")
+        spec = ProcedureSpec(name, doc, in_size, out_size)
+        self._procs[name] = spec
+        return spec
+
+    def spec(self, name: str) -> ProcedureSpec:
+        """Look up one procedure's spec (raises on unknown names)."""
+        try:
+            return self._procs[name]
+        except KeyError:
+            raise SciddleError(
+                f"interface {self.name!r} has no procedure {name!r}; "
+                f"declared: {sorted(self._procs)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Sorted declared procedure names."""
+        return sorted(self._procs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._procs

@@ -1,0 +1,229 @@
+"""Sciddle RPC runtime: client and server stubs over PVM.
+
+The client issues *asynchronous* RPCs (``call_async`` returns a handle,
+``wait`` collects the result), which is how Sciddle encourages
+overlapping communication with computation — and why, per Section 3.3 of
+the paper, accurate accounting requires optional extra barriers
+(see :mod:`repro.sciddle.barriers`).
+
+Both stubs accept an optional :class:`~repro.hpm.PhaseAccountant`; when
+present, the middleware itself accounts its communication phases — the
+paper's plea (Section 3.2) for instrumentation *inside* the middleware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..errors import SciddleError
+from ..hpm import PhaseAccountant
+from ..pvm import PvmTask
+from .idl import SciddleInterface
+
+#: PVM tag carrying RPC requests to servers.
+TAG_REQUEST = 900
+#: Reply tags are allocated per call starting here.
+TAG_REPLY_BASE = 10_000
+
+#: Size in bytes of an RPC header / empty request or reply.
+HEADER_BYTES = 64
+
+_SHUTDOWN = "__shutdown__"
+
+
+@dataclass(frozen=True)
+class RpcRequest:
+    proc: str
+    reply_tag: int
+    args: Any
+
+
+@dataclass(frozen=True)
+class RpcReply:
+    """What a server handler returns: reply size and semantic payload."""
+
+    nbytes: float = 0.0
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class CallHandle:
+    """Token identifying one outstanding asynchronous RPC."""
+
+    server: int
+    proc: str
+    reply_tag: int
+
+
+#: A server-side handler: generator taking (task, args), returning RpcReply.
+Handler = Callable[[PvmTask, Any], Generator]
+
+
+class SciddleServer:
+    """Server-side stub dispatcher: recv request -> handler -> send reply."""
+
+    def __init__(
+        self,
+        task: PvmTask,
+        interface: SciddleInterface,
+        accountant: Optional[PhaseAccountant] = None,
+    ) -> None:
+        self.task = task
+        self.interface = interface
+        self.accountant = accountant
+        self._handlers: Dict[str, Handler] = {}
+        self.calls_served = 0
+
+    def bind(self, name: str, handler: Handler) -> None:
+        """Attach the implementation of a declared procedure."""
+        self.interface.spec(name)  # validates the name
+        self._handlers[name] = handler
+
+    def run(self) -> Generator:
+        """Main service loop; drive with ``yield from`` inside a task body."""
+        while True:
+            msg = yield from self.task.recv(tag=TAG_REQUEST)
+            request: RpcRequest = msg.payload
+            if request.proc == _SHUTDOWN:
+                yield from self.task.send(
+                    msg.source, request.reply_tag, nbytes=HEADER_BYTES
+                )
+                return
+            handler = self._handlers.get(request.proc)
+            if handler is None:
+                raise SciddleError(
+                    f"server {self.task.name!r} has no binding for "
+                    f"{request.proc!r} (bound: {sorted(self._handlers)})"
+                )
+            if self.accountant is not None:
+                self.accountant.begin(f"service:{request.proc}")
+            reply = yield from handler(self.task, request.args)
+            if self.accountant is not None:
+                self.accountant.end()
+            if reply is None:
+                reply = RpcReply()
+            if not isinstance(reply, RpcReply):
+                raise SciddleError(
+                    f"handler for {request.proc!r} must return RpcReply, "
+                    f"got {type(reply).__name__}"
+                )
+            self.calls_served += 1
+            if self.accountant is not None:
+                self.accountant.begin(f"reply:{request.proc}")
+            yield from self.task.send(
+                msg.source,
+                request.reply_tag,
+                nbytes=HEADER_BYTES + reply.nbytes,
+                payload=reply.payload,
+            )
+            if self.accountant is not None:
+                self.accountant.end()
+
+
+class SciddleClient:
+    """Client-side stub factory for one set of servers."""
+
+    def __init__(
+        self,
+        task: PvmTask,
+        interface: SciddleInterface,
+        servers: List[int],
+        accountant: Optional[PhaseAccountant] = None,
+    ) -> None:
+        if not servers:
+            raise SciddleError("SciddleClient needs at least one server tid")
+        self.task = task
+        self.interface = interface
+        self.servers = list(servers)
+        self.accountant = accountant
+        self._next_reply_tag = TAG_REPLY_BASE
+
+    # ------------------------------------------------------------------
+    def _alloc_tag(self) -> int:
+        tag = self._next_reply_tag
+        self._next_reply_tag += 1
+        return tag
+
+    def call_async(
+        self,
+        server: int,
+        proc: str,
+        args: Any = None,
+        nbytes: Optional[float] = None,
+        category: Optional[str] = None,
+    ) -> Generator:
+        """Issue one RPC; returns a :class:`CallHandle` (``yield from``)."""
+        spec = self.interface.spec(proc)
+        if nbytes is None:
+            if spec.in_size is None:
+                raise SciddleError(
+                    f"procedure {proc!r} has no in_size rule; pass nbytes="
+                )
+            nbytes = spec.in_size(args)
+        tag = self._alloc_tag()
+        if self.accountant is not None and category is not None:
+            self.accountant.begin(category)
+        yield from self.task.send(
+            server,
+            TAG_REQUEST,
+            nbytes=HEADER_BYTES + nbytes,
+            payload=RpcRequest(proc, tag, args),
+        )
+        if self.accountant is not None and category is not None:
+            self.accountant.end()
+        return CallHandle(server, proc, tag)
+
+    def wait(self, handle: CallHandle, category: Optional[str] = None) -> Generator:
+        """Block until the RPC reply arrives; returns the reply payload."""
+        if self.accountant is not None and category is not None:
+            self.accountant.begin(category)
+        msg = yield from self.task.recv(source=handle.server, tag=handle.reply_tag)
+        if self.accountant is not None and category is not None:
+            self.accountant.end()
+        return msg.payload
+
+    # ------------------------------------------------------------------
+    def call_all(
+        self,
+        proc: str,
+        args_for: Callable[[int, int], Any] = lambda i, tid: None,
+        nbytes: Optional[float] = None,
+        category: Optional[str] = None,
+    ) -> Generator:
+        """RPC to every server (sends serialize at the client, as in PVM).
+
+        ``args_for(index, tid)`` builds per-server arguments.  Returns the
+        list of handles.
+        """
+        handles = []
+        for i, server in enumerate(self.servers):
+            handle = yield from self.call_async(
+                server, proc, args_for(i, server), nbytes=nbytes, category=category
+            )
+            handles.append(handle)
+        return handles
+
+    def wait_all(
+        self, handles: List[CallHandle], category: Optional[str] = None
+    ) -> Generator:
+        """Collect all replies in issue order; returns list of payloads."""
+        replies = []
+        for handle in handles:
+            replies.append((yield from self.wait(handle, category=category)))
+        return replies
+
+    def shutdown(self) -> Generator:
+        """Terminate all servers and wait for their acknowledgements."""
+        handles = []
+        for server in self.servers:
+            tag = self._alloc_tag()
+            yield from self.task.send(
+                server,
+                TAG_REQUEST,
+                nbytes=HEADER_BYTES,
+                payload=RpcRequest(_SHUTDOWN, tag, None),
+            )
+            handles.append(CallHandle(server, _SHUTDOWN, tag))
+        for handle in handles:
+            yield from self.wait(handle)

@@ -1,0 +1,198 @@
+"""The Sciddle stub compiler: textual IDL -> interface + sized stubs.
+
+"Sciddle comprises a stub generator (the Sciddle compiler) and a
+run-time library.  The stub generator reads the remote interface
+specification, i.e., the description of the subroutines exported by the
+servers, and generates the corresponding communication stubs."
+
+This module implements that pipeline for a small, Sciddle-flavoured IDL::
+
+    interface opal {
+        update_lists(in coords: double[3*n]);
+        eval_nonbonded(in coords: double[3*n],
+                       out grads: double[3*n], out energies: double[2]);
+    }
+
+Array lengths are integer arithmetic expressions over symbolic size
+parameters (here ``n``); the generated stubs size request/reply messages
+by evaluating them against the per-call parameter bindings — exactly the
+job the real generated stubs do from the declared array bounds.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+from ..errors import SciddleError
+from ..pvm.message import TYPE_SIZES
+from .idl import SciddleInterface
+
+_INTERFACE_RE = re.compile(
+    r"interface\s+(?P<name>\w+)\s*\{(?P<body>.*)\}\s*$", re.DOTALL
+)
+_PROC_RE = re.compile(r"(?P<name>\w+)\s*\((?P<args>.*?)\)\s*;", re.DOTALL)
+_ARG_RE = re.compile(
+    r"^(?P<dir>in|out)\s+(?P<name>\w+)\s*:\s*(?P<type>\w+)"
+    r"(?:\[(?P<len>[^\]]+)\])?$"
+)
+
+#: AST node types permitted in array-length expressions.
+_ALLOWED_NODES = (
+    ast.Expression,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.FloorDiv,
+    ast.Div,
+    ast.Pow,
+    ast.USub,
+    ast.Constant,
+    ast.Name,
+    ast.Load,
+)
+
+
+@dataclass(frozen=True)
+class ArgumentSpec:
+    """One declared argument of a remote procedure."""
+
+    name: str
+    direction: str  # 'in' | 'out'
+    typename: str
+    length_expr: str  # '1' for scalars
+
+    def nbytes(self, params: Mapping[str, int]) -> int:
+        """Encoded size given the symbolic size parameters."""
+        return TYPE_SIZES[self.typename] * _eval_length(self.length_expr, params)
+
+
+@dataclass(frozen=True)
+class CompiledProcedure:
+    """A procedure with its argument list and size evaluators."""
+
+    name: str
+    arguments: Tuple[ArgumentSpec, ...]
+
+    def in_nbytes(self, params: Mapping[str, int]) -> int:
+        """Request payload size for one parameter binding."""
+        return sum(
+            a.nbytes(params) for a in self.arguments if a.direction == "in"
+        )
+
+    def out_nbytes(self, params: Mapping[str, int]) -> int:
+        """Reply payload size for one parameter binding."""
+        return sum(
+            a.nbytes(params) for a in self.arguments if a.direction == "out"
+        )
+
+
+@dataclass
+class CompiledInterface:
+    """Output of the stub compiler."""
+
+    name: str
+    procedures: Dict[str, CompiledProcedure] = field(default_factory=dict)
+
+    def runtime_interface(self) -> SciddleInterface:
+        """The runtime-facing interface with auto-sizing rules.
+
+        Call arguments must be a mapping providing the symbolic size
+        parameters (e.g. ``{"n": 4289}``).
+        """
+        iface = SciddleInterface(self.name)
+        for proc in self.procedures.values():
+            iface.procedure(
+                proc.name,
+                in_size=(lambda args, _p=proc: _p.in_nbytes(args or {})),
+                out_size=(lambda args, _p=proc: _p.out_nbytes(args or {})),
+            )
+        return iface
+
+
+def _eval_length(expr: str, params: Mapping[str, int]) -> int:
+    """Safely evaluate an integer arithmetic expression over params."""
+    try:
+        tree = ast.parse(expr, mode="eval")
+    except SyntaxError as exc:
+        raise SciddleError(f"bad length expression {expr!r}: {exc}") from None
+    for node in ast.walk(tree):
+        if not isinstance(node, _ALLOWED_NODES):
+            raise SciddleError(
+                f"length expression {expr!r} uses forbidden syntax "
+                f"({type(node).__name__})"
+            )
+        if isinstance(node, ast.Name) and node.id not in params:
+            raise SciddleError(
+                f"length expression {expr!r} needs parameter {node.id!r}; "
+                f"provided: {sorted(params)}"
+            )
+    value = eval(  # noqa: S307 - AST-validated arithmetic only
+        compile(tree, "<idl>", "eval"), {"__builtins__": {}}, dict(params)
+    )
+    result = int(value)
+    if result < 0:
+        raise SciddleError(f"length expression {expr!r} evaluated to {result}")
+    return result
+
+
+def compile_idl(source: str) -> CompiledInterface:
+    """Compile IDL text into a :class:`CompiledInterface`."""
+    stripped = "\n".join(
+        line.split("//")[0] for line in source.splitlines()
+    ).strip()
+    m = _INTERFACE_RE.match(stripped)
+    if not m:
+        raise SciddleError("expected 'interface <name> { ... }'")
+    compiled = CompiledInterface(name=m.group("name"))
+    body = m.group("body")
+    consumed = _PROC_RE.sub("", body).strip()
+    if consumed:
+        raise SciddleError(f"unparseable IDL remnants: {consumed[:60]!r}")
+    for pm in _PROC_RE.finditer(body):
+        name = pm.group("name")
+        if name in compiled.procedures:
+            raise SciddleError(f"duplicate procedure {name!r}")
+        args: List[ArgumentSpec] = []
+        arg_src = pm.group("args").strip()
+        if arg_src:
+            for raw in arg_src.split(","):
+                am = _ARG_RE.match(" ".join(raw.split()))
+                if not am:
+                    raise SciddleError(f"bad argument declaration {raw.strip()!r}")
+                typename = am.group("type")
+                if typename not in TYPE_SIZES:
+                    raise SciddleError(
+                        f"unknown type {typename!r}; known: {sorted(TYPE_SIZES)}"
+                    )
+                args.append(
+                    ArgumentSpec(
+                        name=am.group("name"),
+                        direction=am.group("dir"),
+                        typename=typename,
+                        length_expr=am.group("len") or "1",
+                    )
+                )
+        names = [a.name for a in args]
+        if len(set(names)) != len(names):
+            raise SciddleError(f"duplicate argument name in {name!r}")
+        compiled.procedures[name] = CompiledProcedure(name, tuple(args))
+    if not compiled.procedures:
+        raise SciddleError("interface declares no procedures")
+    return compiled
+
+
+#: The Opal remote interface as the Sciddle compiler would see it.
+OPAL_IDL = """
+interface opal {
+    // rebuild the per-server active-pair lists from fresh coordinates
+    update_lists(in coords: double[3*n]);
+    // partial Van der Waals / Coulomb energies and the gradient
+    eval_nonbonded(in coords: double[3*n],
+                   out grads: double[3*n], out energies: double[2]);
+}
+"""

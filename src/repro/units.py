@@ -1,0 +1,60 @@
+"""Unit constants and conversion helpers shared across the library.
+
+The paper mixes seconds, microseconds, milliseconds, MByte/s and MFlop/s.
+All internal computation in this library uses SI base units: seconds,
+bytes/second, flop/second.  The constants below are for constructing and
+formatting values at the boundaries.
+"""
+
+from __future__ import annotations
+
+#: One microsecond in seconds.
+MICROSECOND = 1e-6
+
+#: One millisecond in seconds.
+MILLISECOND = 1e-3
+
+#: One megabyte (decimal, as used in network data sheets) in bytes.
+MBYTE = 1e6
+
+#: One megaflop in floating point operations.
+MFLOP = 1e6
+
+#: Bytes used by the paper to encode one atom's coordinates (alpha):
+#: three IEEE double precision values.
+ALPHA_BYTES_PER_ATOM = 24
+
+#: Avogadro-scale constant is not needed; densities are expressed in
+#: mass centers per cubic Angstrom.  Pure water at 300 K contains about
+#: 0.0334 molecules per cubic Angstrom.
+WATER_NUMBER_DENSITY = 0.0334
+
+
+def mbyte_per_s(value: float) -> float:
+    """Convert MByte/s to bytes/s."""
+    return value * MBYTE
+
+
+def to_mbyte_per_s(value: float) -> float:
+    """Convert bytes/s to MByte/s."""
+    return value / MBYTE
+
+
+def mflop_per_s(value: float) -> float:
+    """Convert MFlop/s to flop/s."""
+    return value * MFLOP
+
+
+def to_mflop_per_s(value: float) -> float:
+    """Convert flop/s to MFlop/s."""
+    return value / MFLOP
+
+
+def usec(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * MICROSECOND
+
+
+def msec(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MILLISECOND

@@ -1,0 +1,58 @@
+"""Unit tests for CSV export/import round-trips."""
+
+import pytest
+
+from repro.analysis.export import (
+    breakdowns_from_csv,
+    breakdowns_to_csv,
+    curves_from_csv,
+    curves_to_csv,
+    residuals_to_csv,
+    to_csv_string,
+)
+from repro.core.breakdown import TimeBreakdown
+from repro.core.parameters import ApplicationParams
+from repro.core.prediction import predict_platforms
+from repro.opal.complexes import MEDIUM
+from repro.platforms import CRAY_J90, FAST_COPS
+
+
+def test_curves_roundtrip(tmp_path):
+    app = ApplicationParams(molecule=MEDIUM, steps=10, cutoff=10.0)
+    series = predict_platforms([CRAY_J90, FAST_COPS], app, (1, 3, 5))
+    path = tmp_path / "curves.csv"
+    curves_to_csv(series, path)
+    back = curves_from_csv(path)
+    assert set(back) == {"j90", "fast-cops"}
+    assert back["j90"][3]["time_s"] == pytest.approx(series["j90"].times[1])
+    assert back["j90"][1]["speedup"] == pytest.approx(1.0)
+
+
+def test_breakdowns_roundtrip(tmp_path):
+    panels = {
+        "a": {
+            1: TimeBreakdown(update=1, nbint=5, comm=0.5),
+            2: TimeBreakdown(update=0.5, nbint=2.5, comm=1.0, idle=0.2),
+        }
+    }
+    path = tmp_path / "panels.csv"
+    breakdowns_to_csv(panels, path)
+    back = breakdowns_from_csv(path)
+    assert back["a"][2].idle == pytest.approx(0.2)
+    assert back["a"][1].total == pytest.approx(panels["a"][1].total)
+
+
+def test_residuals_export(tmp_path):
+    rows = [{"n": 100, "measured": 1.5, "predicted": 1.4}]
+    path = tmp_path / "res.csv"
+    residuals_to_csv(rows, path)
+    assert "measured" in path.read_text()
+    with pytest.raises(ValueError):
+        residuals_to_csv([], path)
+
+
+def test_to_csv_string():
+    assert to_csv_string([]) == ""
+    s = to_csv_string([{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+    assert s.splitlines()[0] == "a,b"
+    assert len(s.splitlines()) == 3

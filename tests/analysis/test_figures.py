@@ -1,0 +1,60 @@
+"""Unit tests for the figure-data generators."""
+
+
+from repro.analysis.figures import (
+    PANEL_TITLES,
+    figure3_parameter_space,
+    figure4_calibration,
+    figure5,
+    figure6,
+    figure_breakdown,
+    figure_prediction,
+)
+from repro.opal.complexes import MEDIUM, SMALL
+
+
+def test_figure_breakdown_structure(j90):
+    out = figure_breakdown(SMALL, platform=j90, servers=(1, 3))
+    assert set(out) == {"a", "b", "c", "d"}
+    for panel in out.values():
+        assert set(panel) == {1, 3}
+        assert all(b.total > 0 for b in panel.values())
+
+
+def test_breakdown_panel_semantics(j90):
+    out = figure_breakdown(SMALL, platform=j90, servers=(2,))
+    # cutoff panels (c, d) have less parallel compute than no-cutoff (a, b)
+    assert out["c"][2].nbint < out["a"][2].nbint
+    # partial-update panels have less update time
+    assert out["b"][2].update < out["a"][2].update
+
+
+def test_panel_titles_cover_all():
+    assert set(PANEL_TITLES) == {"a", "b", "c", "d"}
+
+
+def test_figure3_is_full_design():
+    assert len(figure3_parameter_space()) == 84
+
+
+def test_figure4_returns_fit_and_rows(j90):
+    result, rows = figure4_calibration(platform=j90)
+    assert len(rows) == 28
+    assert result.mean_relative_error() < 0.10
+    assert all("difference" in r for r in rows)
+
+
+def test_figure_prediction_panels():
+    out = figure_prediction(MEDIUM)
+    assert set(out) == {"no_cutoff", "cutoff"}
+    assert len(out["cutoff"]) == 5  # all platforms
+    series = out["cutoff"]["j90"]
+    assert len(series.times) == 7
+
+
+def test_figure5_and_6_shapes():
+    f5 = figure5()
+    f6 = figure6()
+    # larger problem: larger absolute times everywhere
+    for name in f5["no_cutoff"]:
+        assert f6["no_cutoff"][name].times[0] > f5["no_cutoff"][name].times[0]

@@ -1,0 +1,85 @@
+"""Unit tests for ASCII reporting."""
+
+import pytest
+
+from repro.analysis.report import (
+    breakdown_chart,
+    breakdown_table,
+    curve_table,
+    residuals_table,
+    stacked_bar,
+)
+from repro.core.breakdown import TimeBreakdown
+
+
+@pytest.fixture
+def rows():
+    return {
+        1: TimeBreakdown(update=1.0, nbint=8.0, seq_comp=0.1, comm=0.5, sync=0.2),
+        2: TimeBreakdown(update=0.5, nbint=4.0, seq_comp=0.1, comm=1.0, sync=0.2,
+                         idle=0.4),
+    }
+
+
+def test_breakdown_table_contains_all_rows(rows):
+    out = breakdown_table(rows, title="panel a")
+    lines = out.splitlines()
+    assert lines[0] == "panel a"
+    assert len(lines) == 4  # title + header + 2 rows
+    assert "update" in lines[1] and "total" in lines[1]
+
+
+def test_breakdown_table_merged(rows):
+    out = breakdown_table(rows, merge_par=True)
+    assert "par_comp" in out and "nbint" not in out
+
+
+def test_curve_table_alignment():
+    out = curve_table(
+        {"j90": [1.0, 2.0], "t3e": [3.0, 4.0]}, servers=[1, 2], title="times"
+    )
+    lines = out.splitlines()
+    assert lines[0] == "times"
+    assert "p=1" in lines[1] and "p=2" in lines[1]
+    assert len(lines) == 4
+
+
+def test_curve_table_length_mismatch():
+    with pytest.raises(ValueError):
+        curve_table({"x": [1.0]}, servers=[1, 2])
+
+
+def test_stacked_bar_proportions(rows):
+    bar = stacked_bar(rows[1], width=50)
+    # nbint dominates: most characters are '#' (par_comp merged)
+    assert bar.count("#") > 30
+    assert bar.endswith("s")
+
+
+def test_stacked_bar_zero():
+    assert stacked_bar(TimeBreakdown()) == "(zero)"
+
+
+def test_breakdown_chart_scales_bars(rows):
+    art = breakdown_chart(rows, title="fig", width=40)
+    lines = art.splitlines()
+    assert lines[0] == "fig"
+    # p=1 (longer run) has the longer bar
+    assert len(lines[1]) > len(lines[2])
+
+
+def test_residuals_table_format():
+    rows = [
+        {
+            "n": 4289,
+            "p": 3,
+            "cutoff": 10.0,
+            "update_interval": 1,
+            "measured": 6.0,
+            "predicted": 6.2,
+            "difference": -0.2,
+            "relative_error": -0.0333,
+        }
+    ]
+    out = residuals_table(rows, title="fig4")
+    assert "4289" in out and "-3.33" in out

@@ -1,0 +1,82 @@
+"""Unit tests for parameter-sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    PARAMETERS,
+    elasticity,
+    sensitivity_report,
+    sensitivity_sweep,
+)
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.errors import ModelError
+from repro.opal.complexes import MEDIUM
+from repro.platforms import CRAY_J90
+
+
+@pytest.fixture
+def params():
+    return ModelPlatformParams.from_spec(CRAY_J90)
+
+
+def app(**kw):
+    defaults = dict(molecule=MEDIUM, steps=10, servers=4, cutoff=10.0)
+    defaults.update(kw)
+    return ApplicationParams(**defaults)
+
+
+def test_unknown_parameter_rejected(params):
+    with pytest.raises(ModelError):
+        elasticity(params, app(), "warp")
+
+
+def test_elasticities_sum_to_one(params):
+    """t is a sum of terms each proportional to one parameter (a1 enters
+    inversely), so |elasticities| sum to ~1."""
+    rep = sensitivity_report(params, app())
+    assert sum(abs(v) for v in rep.elasticities.values()) == pytest.approx(
+        1.0, abs=1e-3
+    )
+
+
+def test_a1_elasticity_negative(params):
+    """More bandwidth -> less time: d log t / d log a1 < 0."""
+    assert elasticity(params, app(), "a1") < 0
+
+
+def test_time_parameters_positive(params):
+    for name in ("b1", "a2", "a3", "a4", "b5"):
+        assert elasticity(params, app(), name) >= 0
+
+
+def test_regime_transition_compute_to_communication(params):
+    """The paper's conclusion as numbers: without cutoff compute
+    dominates; with cutoff communication takes over as p grows.
+    (On the J90's 3 MB/s middleware even the no-cutoff run tips at very
+    high p — hence the moderate p here; a good network never tips.)"""
+    no_cut = sensitivity_report(params, app(cutoff=None, servers=4))
+    assert no_cut.compute_share() > 0.5
+    assert no_cut.dominant() == "a3"
+    with_cut = sensitivity_report(params, app(cutoff=10.0, servers=7))
+    assert with_cut.communication_share() > 0.5
+    assert with_cut.dominant() in ("a1", "b1")
+
+    from repro.core.parameters import ModelPlatformParams
+    from repro.platforms import CRAY_T3E
+
+    t3e = ModelPlatformParams.from_spec(CRAY_T3E)
+    no_cut_t3e = sensitivity_report(t3e, app(cutoff=None, servers=7))
+    assert no_cut_t3e.compute_share() > 0.9  # "regardless of the system"
+
+
+def test_sweep_monotone_communication_share(params):
+    sweep = sensitivity_sweep(params, app(cutoff=10.0), servers=(1, 3, 5, 7))
+    shares = [sweep[p].communication_share() for p in (1, 3, 5, 7)]
+    assert all(a < b for a, b in zip(shares, shares[1:]))
+
+
+def test_report_labels(params):
+    rep = sensitivity_report(params, app())
+    assert rep.platform == "j90"
+    assert "medium" in rep.app_label and "p=4" in rep.app_label
+    assert set(rep.elasticities) == set(PARAMETERS)

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+
+import pytest
+
+from repro.core.parameters import ApplicationParams
+from repro.netsim import Cluster, Node, SwitchedFabric, constant_rate
+from repro.opal.complexes import ComplexSpec
+from repro.opal.system import build_system
+from repro.platforms import CRAY_J90, FAST_COPS, SLOW_COPS, SMP_COPS
+
+
+@pytest.fixture
+def two_node_cluster():
+    """A deterministic 2x1-CPU switched cluster (100 MFlop/s, 30 MB/s)."""
+    cluster = Cluster(
+        lambda e: SwitchedFabric(e, latency=10e-6, bandwidth=30e6, overhead=5e-6),
+        seed=7,
+    )
+    n0 = cluster.add_node(Node(cluster.engine, 0, constant_rate(100e6)))
+    n1 = cluster.add_node(Node(cluster.engine, 1, constant_rate(100e6)))
+    return cluster, n0, n1
+
+
+@pytest.fixture
+def tiny_spec():
+    """A complex small enough for real physics in tests."""
+    return ComplexSpec("tiny", protein_atoms=14, waters=30, density=0.033)
+
+
+@pytest.fixture
+def tiny_system(tiny_spec):
+    return build_system(tiny_spec, seed=11)
+
+
+@pytest.fixture
+def medium_app():
+    from repro.opal.complexes import MEDIUM
+
+    return ApplicationParams(molecule=MEDIUM, steps=10, servers=4, cutoff=10.0)
+
+
+@pytest.fixture(params=["j90", "t3e", "slow-cops", "smp-cops", "fast-cops"])
+def any_platform(request):
+    from repro.platforms import get_platform
+
+    return get_platform(request.param)
+
+
+@pytest.fixture
+def j90():
+    return CRAY_J90
+
+
+@pytest.fixture
+def fast_cops():
+    return FAST_COPS
+
+
+@pytest.fixture
+def slow_cops():
+    return SLOW_COPS
+
+
+@pytest.fixture
+def smp_cops():
+    return SMP_COPS

@@ -1,0 +1,57 @@
+"""Unit tests for the time breakdown structure."""
+
+import pytest
+
+from repro.core.breakdown import TimeBreakdown
+
+
+def test_total_is_component_sum():
+    b = TimeBreakdown(update=1, nbint=2, seq_comp=3, comm=4, sync=5, idle=6)
+    assert b.par_comp == 3
+    assert b.total == 21
+
+
+def test_negative_component_rejected():
+    with pytest.raises(ValueError):
+        TimeBreakdown(update=-1.0)
+
+
+def test_as_dict_merged_and_full():
+    b = TimeBreakdown(update=1, nbint=2, comm=3)
+    full = b.as_dict()
+    assert full["update"] == 1 and full["nbint"] == 2
+    merged = b.as_dict(merge_par=True)
+    assert merged["par_comp"] == 3
+    assert "update" not in merged
+
+
+def test_fractions_sum_to_one():
+    b = TimeBreakdown(update=1, nbint=1, seq_comp=1, comm=1, sync=1, idle=1)
+    assert sum(b.fractions().values()) == pytest.approx(1.0)
+
+
+def test_fractions_of_zero_breakdown():
+    assert all(v == 0.0 for v in TimeBreakdown().fractions().values())
+
+
+def test_addition_and_scaling():
+    a = TimeBreakdown(update=1, comm=2)
+    b = TimeBreakdown(update=3, sync=1)
+    c = a + b
+    assert c.update == 4 and c.comm == 2 and c.sync == 1
+    assert c.scaled(0.5).update == 2
+
+
+def test_mean():
+    a = TimeBreakdown(update=1)
+    b = TimeBreakdown(update=3)
+    assert TimeBreakdown.mean([a, b]).update == 2
+    with pytest.raises(ValueError):
+        TimeBreakdown.mean([])
+
+
+def test_category_names():
+    assert TimeBreakdown.category_names() == (
+        "update", "nbint", "seq_comp", "comm", "sync", "idle",
+    )
+    assert TimeBreakdown.category_names(merge_par=True)[0] == "par_comp"

@@ -1,0 +1,69 @@
+"""Unit tests for crossover and optimal-server analysis."""
+
+import pytest
+
+from repro.core.crossover import (
+    communication_fraction,
+    optimal_servers,
+    update_nbint_crossover_n,
+)
+from repro.core.model import OpalPerformanceModel
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.opal.complexes import MEDIUM
+from repro.platforms import CRAY_J90, FAST_COPS
+
+
+@pytest.fixture
+def j90_model():
+    return OpalPerformanceModel(ModelPlatformParams.from_spec(CRAY_J90))
+
+
+def test_crossover_beyond_practical_sizes(j90_model):
+    # the paper: "crossover happens for unrealistic numbers of water
+    # molecules or protein atoms"
+    app = ApplicationParams(molecule=MEDIUM, cutoff=10.0, update_interval=1)
+    n_cross = update_nbint_crossover_n(j90_model, app)
+    assert n_cross is not None
+    assert n_cross > 5 * MEDIUM.n
+
+
+def test_no_crossover_without_cutoff(j90_model):
+    # both terms quadratic, energy dominates at any n: never crosses
+    app = ApplicationParams(molecule=MEDIUM, cutoff=None, update_interval=1)
+    assert update_nbint_crossover_n(j90_model, app, n_max=10**6) is None
+
+
+def test_reducing_update_frequency_pushes_crossover_out(j90_model):
+    app1 = ApplicationParams(molecule=MEDIUM, cutoff=10.0, update_interval=1)
+    app10 = ApplicationParams(molecule=MEDIUM, cutoff=10.0, update_interval=10)
+    c1 = update_nbint_crossover_n(j90_model, app1)
+    c10 = update_nbint_crossover_n(j90_model, app10, n_max=100_000_000)
+    assert c10 is None or c10 > c1
+
+
+def test_optimal_servers_j90_cutoff_near_three(j90_model):
+    # the paper: "no benefit in putting more than three processors at
+    # work" for J90/slow CoPs with effective cutoff
+    app = ApplicationParams(molecule=MEDIUM, steps=10, cutoff=10.0)
+    assert 1 <= optimal_servers(j90_model, app) <= 3
+
+
+def test_optimal_servers_fast_cops_higher():
+    model = OpalPerformanceModel(ModelPlatformParams.from_spec(FAST_COPS))
+    app = ApplicationParams(molecule=MEDIUM, steps=10, cutoff=10.0)
+    j90 = OpalPerformanceModel(ModelPlatformParams.from_spec(CRAY_J90))
+    assert optimal_servers(model, app) > optimal_servers(j90, app)
+
+
+def test_optimal_servers_no_cutoff_large(j90_model):
+    app = ApplicationParams(molecule=MEDIUM, steps=10, cutoff=None)
+    assert optimal_servers(j90_model, app, p_max=64) >= 7
+
+
+def test_communication_fraction_monotone_in_p(j90_model):
+    app = ApplicationParams(molecule=MEDIUM, steps=10, cutoff=10.0)
+    fracs = [
+        communication_fraction(j90_model, app.with_(servers=p)) for p in (1, 3, 7)
+    ]
+    assert fracs[0] < fracs[1] < fracs[2]
+    assert 0 < fracs[0] < 1

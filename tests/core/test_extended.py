@@ -1,0 +1,69 @@
+"""Unit tests for the imbalance-aware extended model."""
+
+import pytest
+
+from repro.core.extended import ImbalanceAwareModel, residual_improvement
+from repro.core.model import OpalPerformanceModel
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.errors import ModelError
+from repro.opal.complexes import MEDIUM
+from repro.platforms import CRAY_J90
+
+
+@pytest.fixture
+def params():
+    return ModelPlatformParams.from_spec(CRAY_J90)
+
+
+def app(**kw):
+    defaults = dict(molecule=MEDIUM, steps=10, servers=4, cutoff=None)
+    defaults.update(kw)
+    return ApplicationParams(**defaults)
+
+
+def test_validation(params):
+    with pytest.raises(ModelError):
+        ImbalanceAwareModel(params, defect=1.5)
+
+
+def test_zero_defect_equals_basic_model(params):
+    basic = OpalPerformanceModel(params)
+    ext = ImbalanceAwareModel(params, defect=0.0)
+    for p in (1, 2, 4, 7):
+        a = app(servers=p)
+        assert ext.predict_total(a) == pytest.approx(basic.predict_total(a))
+        assert ext.breakdown(a).idle == 0.0
+
+
+def test_idle_only_on_even_p(params):
+    ext = ImbalanceAwareModel(params, defect=0.1)
+    assert ext.t_idle(app(servers=3)) == 0.0
+    assert ext.t_idle(app(servers=4)) > 0.0
+    assert ext.breakdown(app(servers=4)).idle == pytest.approx(
+        0.1 * ext.t_par_comp(app(servers=4))
+    )
+
+
+def test_extended_total_exceeds_basic_on_even_p(params):
+    basic = OpalPerformanceModel(params)
+    ext = ImbalanceAwareModel(params, defect=0.1)
+    a = app(servers=6)
+    assert ext.predict_total(a) > basic.predict_total(a)
+
+
+def test_extended_reduces_even_p_residuals_against_simulation(params):
+    """Feed the anomaly back into the model: even-p fit must improve."""
+    from repro.opal.parallel import run_parallel_opal
+
+    observations = []
+    for p in range(1, 8):
+        a = app(servers=p)
+        r = run_parallel_opal(a, CRAY_J90)
+        observations.append((a, r.breakdown))
+
+    basic = OpalPerformanceModel(params)
+    ext = ImbalanceAwareModel(params, defect=0.1)
+    errs = residual_improvement(basic, ext, observations)
+    assert errs["extended_even"] < errs["basic_even"] / 2
+    # and it does not damage the odd-p fit
+    assert errs["extended_odd"] <= errs["basic_odd"] + 0.01

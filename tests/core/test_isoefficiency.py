@@ -1,0 +1,91 @@
+"""Unit tests for efficiency / isoefficiency analysis."""
+
+import pytest
+
+from repro.core.isoefficiency import (
+    efficiency,
+    isoefficiency_curve,
+    isoefficiency_size,
+    scaled_complex,
+)
+from repro.core.model import OpalPerformanceModel
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.errors import ModelError
+from repro.opal.complexes import MEDIUM
+from repro.platforms import CRAY_J90, CRAY_T3E
+
+
+def app(**kw):
+    defaults = dict(molecule=MEDIUM, steps=10, cutoff=10.0)
+    defaults.update(kw)
+    return ApplicationParams(**defaults)
+
+
+@pytest.fixture
+def j90_model():
+    return OpalPerformanceModel(ModelPlatformParams.from_spec(CRAY_J90))
+
+
+@pytest.fixture
+def t3e_model():
+    return OpalPerformanceModel(ModelPlatformParams.from_spec(CRAY_T3E))
+
+
+def test_scaled_complex_preserves_shape():
+    doubled = scaled_complex(MEDIUM, 2.0)
+    assert doubled.n == pytest.approx(2 * MEDIUM.n, rel=0.01)
+    assert doubled.gamma == pytest.approx(MEDIUM.gamma, abs=0.01)
+    assert doubled.density == MEDIUM.density
+    with pytest.raises(ModelError):
+        scaled_complex(MEDIUM, 0.0)
+
+
+def test_efficiency_bounds(j90_model):
+    e1 = efficiency(j90_model, app(servers=1))
+    assert e1 == pytest.approx(1.0)
+    e7 = efficiency(j90_model, app(servers=7))
+    assert 0.0 < e7 < 1.0
+
+
+def test_efficiency_increases_with_problem_size(j90_model):
+    small = efficiency(j90_model, app(servers=4))
+    big = efficiency(
+        j90_model, app(servers=4, molecule=scaled_complex(MEDIUM, 8.0))
+    )
+    assert big > small
+
+
+def test_isoefficiency_point_meets_target(j90_model):
+    point = isoefficiency_size(j90_model, app(), servers=4, target=0.5)
+    assert point.n_required is not None
+    mol = scaled_complex(MEDIUM, point.scale_factor)
+    e = efficiency(j90_model, app(servers=4, molecule=mol))
+    assert e == pytest.approx(0.5, abs=0.02)
+
+
+def test_isoefficiency_grows_with_p(j90_model):
+    curve = isoefficiency_curve(j90_model, app(), servers=(2, 4, 7), target=0.5)
+    sizes = [pt.n_required for pt in curve]
+    assert all(s is not None for s in sizes)
+    assert sizes[0] < sizes[1] < sizes[2]
+
+
+def test_t3e_needs_smaller_problems_than_j90(j90_model, t3e_model):
+    # better communication -> gentler isoefficiency function
+    j = isoefficiency_size(j90_model, app(), servers=7, target=0.5)
+    t = isoefficiency_size(t3e_model, app(), servers=7, target=0.5)
+    assert t.n_required < j.n_required
+
+
+def test_unreachable_target_returns_none(j90_model):
+    point = isoefficiency_size(
+        j90_model, app(), servers=64, target=0.95, max_scale=2.0
+    )
+    assert point.n_required is None
+
+
+def test_validation(j90_model):
+    with pytest.raises(ModelError):
+        isoefficiency_size(j90_model, app(), servers=4, target=1.5)
+    with pytest.raises(ModelError):
+        isoefficiency_size(j90_model, app(), servers=0)

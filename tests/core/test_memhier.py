@@ -1,0 +1,65 @@
+"""Unit tests for the working-set rate model."""
+
+import pytest
+
+from repro.core.memhier import (
+    PENTIUM_IN_CACHE_FACTOR,
+    PENTIUM_OUT_OF_CORE_FACTOR,
+    MemoryHierarchy,
+)
+from repro.errors import PlatformError
+
+
+@pytest.fixture
+def pentium():
+    # the paper's Pentium 200: 32 MFlop/s in core
+    return MemoryHierarchy(base_rate=32e6, cache_bytes=256e3, core_bytes=64e6)
+
+
+def test_paper_pentium_rates(pentium):
+    # Section 2.6 table: 35 / 32 / 8 MFlop/s at 50K / 8M / 120M
+    assert pentium.rate(50e3) == pytest.approx(35e6, rel=0.01)
+    assert pentium.rate(8e6) == pytest.approx(32e6)
+    assert pentium.rate(120e6) == pytest.approx(8e6)
+
+
+def test_paper_relative_factors():
+    assert PENTIUM_IN_CACHE_FACTOR == pytest.approx(1.09, abs=0.005)
+    assert PENTIUM_OUT_OF_CORE_FACTOR == pytest.approx(0.25)
+
+
+def test_regimes(pentium):
+    assert pentium.regime(10e3) == "cache"
+    assert pentium.regime(256e3) == "cache"
+    assert pentium.regime(1e6) == "core"
+    assert pentium.regime(64e6) == "core"
+    assert pentium.regime(65e6) == "out-of-core"
+    assert pentium.regime(None) == "core"
+
+
+def test_negative_working_set_rejected(pentium):
+    with pytest.raises(PlatformError):
+        pentium.regime(-1.0)
+
+
+def test_vector_machine_without_cache():
+    j90ish = MemoryHierarchy(
+        base_rate=52e6, cache_bytes=0.0, cache_factor=1.0, core_bytes=2e9
+    )
+    assert j90ish.rate(1e3) == j90ish.rate(1e9) == 52e6
+
+
+def test_validation():
+    with pytest.raises(PlatformError):
+        MemoryHierarchy(base_rate=0.0)
+    with pytest.raises(PlatformError):
+        MemoryHierarchy(base_rate=1.0, cache_bytes=100.0, core_bytes=10.0)
+    with pytest.raises(PlatformError):
+        MemoryHierarchy(base_rate=1.0, cache_factor=0.5)
+    with pytest.raises(PlatformError):
+        MemoryHierarchy(base_rate=1.0, out_of_core_factor=0.0)
+
+
+def test_as_rate_model_adapter(pentium):
+    model = pentium.as_rate_model()
+    assert model(8e6) == pentium.rate(8e6)

@@ -1,0 +1,166 @@
+"""Unit tests for the analytical model equations (2)-(10)."""
+
+import pytest
+
+from repro.core.model import OpalPerformanceModel
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.opal.complexes import LARGE, MEDIUM
+
+
+@pytest.fixture
+def platform():
+    # round numbers for hand-checkable expectations
+    return ModelPlatformParams(
+        name="toy", a1=30e6, b1=1e-3, a2=1e-7, a3=5e-7, a4=1e-6, b5=2e-3
+    )
+
+
+@pytest.fixture
+def model(platform):
+    return OpalPerformanceModel(platform)
+
+
+def app(**kw):
+    defaults = dict(molecule=MEDIUM, steps=10, servers=2, cutoff=None)
+    defaults.update(kw)
+    return ApplicationParams(**defaults)
+
+
+# -- eq. (3): update time ------------------------------------------------
+def test_update_time_scales_inverse_p(model):
+    t1 = model.t_update(app(servers=1))
+    t4 = model.t_update(app(servers=4))
+    assert t1 / t4 == pytest.approx(4.0)
+
+
+def test_update_time_proportional_to_update_rate(model):
+    full = model.t_update(app(update_interval=1))
+    partial = model.t_update(app(update_interval=10))
+    assert full / partial == pytest.approx(10.0)
+
+
+def test_update_time_quadratic_in_n(model):
+    # same gamma, doubled n -> ~4x update work
+    base = MEDIUM
+    double = base.__class__(
+        "double", base.protein_atoms * 2, base.waters * 2, base.density
+    )
+    t1 = model.t_update(app(molecule=base))
+    t2 = model.t_update(app(molecule=double))
+    assert t2 / t1 == pytest.approx(4.0, rel=0.01)
+
+
+# -- eq. (4): energy evaluation time --------------------------------------
+def test_nbint_quadratic_without_cutoff(model, platform):
+    a = app(servers=1, cutoff=None)
+    expected = platform.a3 * 10 * a.n * (a.n - 1) / 2
+    assert model.t_nbint(a) == pytest.approx(expected)
+
+
+def test_nbint_linear_with_cutoff(model, platform):
+    a = app(servers=1, cutoff=10.0)
+    expected = platform.a3 * 10 * a.n_tilde * a.n
+    assert model.t_nbint(a) == pytest.approx(expected)
+
+
+def test_ineffective_cutoff_equals_no_cutoff(model):
+    assert model.t_nbint(app(cutoff=60.0)) == model.t_nbint(app(cutoff=None))
+
+
+def test_par_comp_is_sum(model):
+    a = app()
+    assert model.t_par_comp(a) == pytest.approx(
+        model.t_update(a) + model.t_nbint(a)
+    )
+
+
+# -- eq. (5): sequential time ---------------------------------------------
+def test_seq_comp_linear_in_s_and_n(model, platform):
+    a = app(steps=7)
+    assert model.t_seq_comp(a) == pytest.approx(platform.a4 * 7 * a.n)
+    # independent of p
+    assert model.t_seq_comp(app(servers=7)) == model.t_seq_comp(app(servers=1))
+
+
+# -- eqs. (6)-(9): communication -------------------------------------------
+def test_comm_components(model, platform):
+    a = app()
+    per_msg = (a.alpha / platform.a1) * a.n + platform.b1
+    assert model.t_call(a) == pytest.approx(per_msg)
+    assert model.t_return_upd(a) == platform.b1
+    assert model.t_return_nbi(a) == pytest.approx(per_msg)
+
+
+def test_comm_closed_form_matches_components(model, platform):
+    # s * (p alpha/a1 (u+2) n + 2 p b1 (u+1)) must equal the sum of the
+    # four per-step RPC components times s and p
+    a = app(servers=3, update_interval=1)
+    u = a.update_rate
+    per_step_per_server = (
+        u * (model.t_call(a) + model.t_return_upd(a))
+        + model.t_call(a)
+        + model.t_return_nbi(a)
+    )
+    assert model.t_comm(a) == pytest.approx(a.s * a.p * per_step_per_server)
+
+
+def test_comm_linear_in_p(model):
+    assert model.t_comm(app(servers=6)) == pytest.approx(
+        2 * model.t_comm(app(servers=3))
+    )
+
+
+def test_partial_update_reduces_comm(model):
+    assert model.t_comm(app(update_interval=10)) < model.t_comm(
+        app(update_interval=1)
+    )
+
+
+# -- eq. (10): synchronization ----------------------------------------------
+def test_sync_formula(model, platform):
+    a = app(update_interval=1)
+    assert model.t_sync(a) == pytest.approx(2 * 10 * 2 * platform.b5)
+    a10 = app(update_interval=10)
+    assert model.t_sync(a10) == pytest.approx(2 * 10 * 1.1 * platform.b5)
+
+
+def test_sync_independent_of_p_and_n(model):
+    assert model.t_sync(app(servers=7)) == model.t_sync(app(servers=1))
+    assert model.t_sync(app(molecule=LARGE)) == model.t_sync(app(molecule=MEDIUM))
+
+
+# -- composite ---------------------------------------------------------------
+def test_breakdown_total_is_prediction(model):
+    a = app()
+    b = model.breakdown(a)
+    assert b.idle == 0.0
+    assert model.predict_total(a) == pytest.approx(b.total)
+
+
+def test_execution_times_curve(model):
+    times = model.execution_times(app(), range(1, 8))
+    assert len(times) == 7
+    # no-cutoff run is compute bound: monotone decreasing
+    assert all(a > b for a, b in zip(times, times[1:]))
+
+
+def test_execution_times_invalid_p(model):
+    import pytest as _pytest
+
+    with _pytest.raises(Exception):
+        model.execution_times(app(), [0])
+
+
+def test_communication_bound_transition(model):
+    # with cutoff the code becomes communication bound at some p
+    a = app(cutoff=10.0, servers=1)
+    p_star = model.communication_bound_at(a, max_servers=64)
+    assert 1 < p_star <= 64
+    # without cutoff it stays compute bound much longer
+    assert model.communication_bound_at(app(cutoff=None), 64) > p_star
+
+
+def test_larger_problem_stays_compute_bound_longer(model):
+    p_med = model.communication_bound_at(app(molecule=MEDIUM, cutoff=10.0), 64)
+    p_lar = model.communication_bound_at(app(molecule=LARGE, cutoff=10.0), 64)
+    assert p_lar >= p_med

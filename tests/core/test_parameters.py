@@ -1,0 +1,111 @@
+"""Unit tests for application/platform model parameters."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import (
+    ApplicationParams,
+    ModelPlatformParams,
+    energy_pair_work,
+    update_pair_work,
+)
+from repro.errors import ModelError
+from repro.opal import costs
+from repro.opal.complexes import MEDIUM
+from repro.platforms import CRAY_J90
+
+
+def test_defaults_and_symbols():
+    app = ApplicationParams(molecule=MEDIUM)
+    assert app.s == 10 and app.p == 1
+    assert app.n == MEDIUM.n
+    assert app.gamma == MEDIUM.gamma
+    assert app.alpha == 24
+
+
+def test_update_rate_is_reciprocal_interval():
+    # DESIGN.md notation fix: u in the formulas is updates per step
+    assert ApplicationParams(molecule=MEDIUM, update_interval=1).update_rate == 1.0
+    assert ApplicationParams(molecule=MEDIUM, update_interval=10).update_rate == 0.1
+
+
+def test_validation():
+    with pytest.raises(ModelError):
+        ApplicationParams(molecule=MEDIUM, steps=0)
+    with pytest.raises(ModelError):
+        ApplicationParams(molecule=MEDIUM, servers=0)
+    with pytest.raises(ModelError):
+        ApplicationParams(molecule=MEDIUM, update_interval=0)
+    with pytest.raises(ModelError):
+        ApplicationParams(molecule=MEDIUM, cutoff=-2.0)
+
+
+def test_with_copies():
+    app = ApplicationParams(molecule=MEDIUM, servers=2)
+    app7 = app.with_(servers=7)
+    assert app7.servers == 7 and app.servers == 2
+
+
+def test_n_tilde_passthrough():
+    app = ApplicationParams(molecule=MEDIUM, cutoff=None)
+    assert math.isinf(app.n_tilde)
+    assert not ApplicationParams(molecule=MEDIUM, cutoff=60.0).cutoff_effective
+    assert ApplicationParams(molecule=MEDIUM, cutoff=10.0).cutoff_effective
+
+
+# ----------------------------------------------------------------------
+def test_platform_params_validation():
+    with pytest.raises(ModelError):
+        ModelPlatformParams("x", a1=0.0, b1=0, a2=0, a3=0, a4=0, b5=0)
+    with pytest.raises(ModelError):
+        ModelPlatformParams("x", a1=1.0, b1=-1, a2=0, a3=0, a4=0, b5=0)
+
+
+def test_from_spec_uses_table_data():
+    mp = ModelPlatformParams.from_spec(CRAY_J90)
+    assert mp.a1 == CRAY_J90.net_bw
+    assert mp.b1 == CRAY_J90.net_latency
+    assert mp.b5 == CRAY_J90.sync_cost
+    assert mp.a3 == pytest.approx(costs.NB_PAIR_FLOPS / CRAY_J90.cpu_rate)
+
+
+def test_compute_rate_roundtrip():
+    mp = ModelPlatformParams.from_spec(CRAY_J90)
+    assert mp.compute_rate_mflops() == pytest.approx(CRAY_J90.cpu_rate / 1e6)
+
+
+def test_scaled_compute():
+    mp = ModelPlatformParams.from_spec(CRAY_J90)
+    slow = mp.scaled_compute(2.0)
+    assert slow.a2 == 2 * mp.a2 and slow.a3 == 2 * mp.a3 and slow.a4 == 2 * mp.a4
+    assert slow.a1 == mp.a1  # communication untouched
+    with pytest.raises(ModelError):
+        mp.scaled_compute(0.0)
+
+
+# ----------------------------------------------------------------------
+def test_update_pair_work_matches_eq3_form():
+    n, gamma = 4289, 2714 / 4289
+    g = 1 - 2 * gamma
+    assert update_pair_work(n, gamma) == pytest.approx((g * g * n * n - g * n) / 2)
+
+
+def test_update_pair_work_floors_at_linear():
+    # gamma = 0.5 makes the quadratic term vanish; at least a linear scan
+    assert update_pair_work(1000, 0.5) == 1000.0
+
+
+def test_energy_pair_work_branches():
+    n = 1000
+    all_pairs = n * (n - 1) / 2
+    assert energy_pair_work(n, math.inf) == all_pairs
+    assert energy_pair_work(n, 50.0) == 50.0 * n
+    # n~ above (n-1)/2 saturates to the quadratic branch
+    assert energy_pair_work(n, 1e9) == all_pairs
+
+
+def test_energy_pair_work_continuity_near_crossover():
+    n = 1001
+    n_tilde = (n - 1) / 2.0
+    assert energy_pair_work(n, n_tilde) == pytest.approx(n * (n - 1) / 2)

@@ -1,0 +1,83 @@
+"""Unit tests for cross-platform prediction."""
+
+import pytest
+
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.core.prediction import (
+    WhatIfStudy,
+    cost_effectiveness,
+    predict_platforms,
+    predict_series,
+)
+from repro.errors import ModelError
+from repro.opal.complexes import MEDIUM
+from repro.platforms import ALL_PLATFORMS, CRAY_J90, FAST_COPS
+
+
+def app(**kw):
+    defaults = dict(molecule=MEDIUM, steps=10, cutoff=10.0)
+    defaults.update(kw)
+    return ApplicationParams(**defaults)
+
+
+def test_series_shapes():
+    s = predict_series(ModelPlatformParams.from_spec(CRAY_J90), app())
+    assert len(s.times) == len(s.speedups) == 7
+    assert s.speedups[0] == 1.0
+    assert s.best_time == min(s.times)
+
+
+def test_empty_server_range_rejected():
+    with pytest.raises(ModelError):
+        predict_series(ModelPlatformParams.from_spec(CRAY_J90), app(), servers=[])
+
+
+def test_predict_platforms_accepts_specs_and_params():
+    series = predict_platforms(
+        [CRAY_J90, ModelPlatformParams.from_spec(FAST_COPS)], app()
+    )
+    assert set(series) == {"j90", "fast-cops"}
+
+
+def test_j90_cutoff_saturates_early():
+    s = predict_series(ModelPlatformParams.from_spec(CRAY_J90), app())
+    assert s.saturation <= 3
+    assert s.slowdown_beyond_saturation()
+
+
+def test_fast_cops_beats_j90_absolute():
+    series = predict_platforms(ALL_PLATFORMS, app())
+    assert series["fast-cops"].best_time < series["j90"].best_time
+
+
+def test_cost_effectiveness_ranking():
+    series = predict_platforms(ALL_PLATFORMS, app())
+    costs = {p.name: p.approx_cost_kusd for p in ALL_PLATFORMS}
+    rows = cost_effectiveness(series, costs)
+    assert len(rows) == 5
+    # the clusters of PCs dominate the big irons on time x cost
+    assert rows[0].platform in ("slow-cops", "smp-cops", "fast-cops")
+    assert rows[0].time_cost_product <= rows[-1].time_cost_product
+
+
+def test_cost_effectiveness_skips_unknown_cost():
+    series = predict_platforms([CRAY_J90], app())
+    assert cost_effectiveness(series, {}) == []
+
+
+def test_whatif_a1_improvement_helps_j90():
+    base = ModelPlatformParams.from_spec(CRAY_J90)
+    study = WhatIfStudy(base, app())
+    # Section 3.1: Sciddle developers measured 7 MB/s for synthetic RPC;
+    # a middleware fix would scale a1 by ~2.33
+    out = study.vary("a1", [1.0, 7.0 / 3.0])
+    assert out[7.0 / 3.0].best_time < out[1.0].best_time
+    assert out[7.0 / 3.0].saturation >= out[1.0].saturation
+
+
+def test_whatif_validation():
+    study = WhatIfStudy(ModelPlatformParams.from_spec(CRAY_J90), app())
+    with pytest.raises(ModelError):
+        study.vary("warp_factor", [1.0])
+    with pytest.raises(ModelError):
+        study.vary("a1", [0.0])

@@ -1,0 +1,83 @@
+"""Unit tests for the space complexity model (Section 2.6)."""
+
+import pytest
+
+from repro.core.memhier import MemoryHierarchy
+from repro.core.space import SpaceModel
+from repro.errors import ModelError
+from repro.opal.complexes import LARGE, MEDIUM
+
+
+def test_pair_list_matches_paper_large_example():
+    # the paper prints ~160'000'000 bytes for the 6290-center example
+    model = SpaceModel(LARGE)
+    assert model.pair_list_total() == pytest.approx(160e6, rel=0.10)
+
+
+def test_pair_list_scales_down_with_servers():
+    model = SpaceModel(MEDIUM)
+    assert model.pair_list_per_server(4) == model.pair_list_total() / 4
+    with pytest.raises(ModelError):
+        model.pair_list_per_server(0)
+
+
+def test_coordinates_and_gradients_linear():
+    model = SpaceModel(MEDIUM)
+    assert model.coordinates() == 24 * MEDIUM.n
+    assert model.gradients() == 24 * MEDIUM.n
+
+
+def test_interaction_tables_megabyte_order():
+    # the paper prints ~3'000'000 bytes for the large example
+    model = SpaceModel(LARGE)
+    assert 5e5 < model.interaction_tables() < 1e7
+
+
+def test_interaction_tables_do_not_scale_with_servers():
+    model = SpaceModel(LARGE)
+    ws1 = model.server_working_set(1)
+    ws8 = model.server_working_set(8)
+    # only the pair list shrinks
+    assert ws1 - ws8 == pytest.approx(
+        model.pair_list_total() * (1 - 1 / 8), rel=1e-9
+    )
+
+
+def test_energy_values_constant():
+    assert SpaceModel(MEDIUM).energy_values() == 16.0
+
+
+def test_table_keys():
+    t = SpaceModel(MEDIUM).table(servers=2)
+    assert set(t) == {
+        "pair list",
+        "atom coordinates",
+        "atom gradients",
+        "atom interactions",
+        "energy values",
+        "per-server pair list",
+    }
+
+
+def test_memory_regimes():
+    mem = MemoryHierarchy(base_rate=32e6, cache_bytes=256e3, core_bytes=64e6)
+    model = SpaceModel(LARGE)
+    # one server holding the whole large pair list spills out of core
+    assert model.regime(mem, 1) == "out-of-core"
+    assert not model.fits_in_core(mem, 1)
+    # enough servers shrink the per-server share into core
+    p_min = model.min_servers_in_core(mem)
+    assert p_min is not None and p_min > 1
+    assert model.fits_in_core(mem, p_min)
+
+
+def test_min_servers_in_core_none_when_impossible():
+    mem = MemoryHierarchy(base_rate=32e6, cache_bytes=1e3, core_bytes=1e5)
+    model = SpaceModel(LARGE)
+    # the replicated global tables alone exceed core: no p helps
+    assert model.min_servers_in_core(mem, p_max=64) is None
+
+
+def test_client_working_set_small():
+    model = SpaceModel(LARGE)
+    assert model.client_working_set() < 1e6

@@ -1,0 +1,73 @@
+"""Unit tests for speedup/efficiency/saturation metrics."""
+
+import pytest
+
+from repro.core.speedup import (
+    amdahl_bound,
+    compare_platforms,
+    efficiency_curve,
+    saturation_point,
+    slows_down,
+    speedup_curve,
+)
+from repro.errors import ModelError
+
+
+def test_speedup_curve_basics():
+    assert speedup_curve([10.0, 5.0, 2.5]) == [1.0, 2.0, 4.0]
+
+
+def test_speedup_validation():
+    with pytest.raises(ModelError):
+        speedup_curve([])
+    with pytest.raises(ModelError):
+        speedup_curve([0.0, 1.0])
+    with pytest.raises(ModelError):
+        speedup_curve([1.0, -1.0])
+
+
+def test_efficiency_curve():
+    eff = efficiency_curve([10.0, 5.0, 2.5], [1, 2, 4])
+    assert eff == pytest.approx([1.0, 1.0, 1.0])
+    eff2 = efficiency_curve([10.0, 10.0], [1, 2])
+    assert eff2[1] == pytest.approx(0.5)
+
+
+def test_efficiency_length_mismatch():
+    with pytest.raises(ModelError):
+        efficiency_curve([1.0], [1, 2])
+
+
+def test_saturation_point():
+    # J90-with-cutoff shape: best at 2-3 then worse
+    times = [6.1, 5.4, 6.2, 7.2, 8.5]
+    assert saturation_point(times, [1, 2, 3, 4, 5]) == 2
+
+
+def test_slows_down():
+    assert slows_down([5.0, 4.0, 4.5])
+    assert not slows_down([5.0, 4.0, 3.9])
+    assert not slows_down([5.0])
+
+
+def test_compare_platforms_sorted_by_best_time():
+    curves = {"fast": [4.0, 2.0], "slow": [10.0, 6.0]}
+    rows = compare_platforms(curves, [1, 2])
+    assert rows[0][0] == "fast"
+    assert rows[0][1] == 2.0
+    assert rows[1][3] == 2  # slow saturates at p=2
+
+
+def test_compare_platforms_length_check():
+    with pytest.raises(ModelError):
+        compare_platforms({"x": [1.0]}, [1, 2])
+
+
+def test_amdahl_bound():
+    assert amdahl_bound(0.0, 8) == pytest.approx(8.0)
+    assert amdahl_bound(1.0, 8) == pytest.approx(1.0)
+    assert amdahl_bound(0.1, 10**6) == pytest.approx(10.0, rel=1e-4)
+    with pytest.raises(ModelError):
+        amdahl_bound(1.5, 2)
+    with pytest.raises(ModelError):
+        amdahl_bound(0.5, 0)

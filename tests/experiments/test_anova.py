@@ -1,0 +1,109 @@
+"""Unit tests for the replicated allocation-of-variation analysis."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DesignError
+from repro.experiments.anova import replicated_anova
+from repro.experiments.factorial import Factor, full_factorial
+
+
+def two_factors():
+    return [Factor("A", (-1, 1)), Factor("B", (-1, 1))]
+
+
+def responses(rows, fn, noise, r, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        [fn(row) + noise * rng.standard_normal() for _ in range(r)]
+        for row in rows
+    ]
+
+
+def test_recovers_effects_with_noise():
+    factors = two_factors()
+    rows = full_factorial(factors)
+    reps = responses(rows, lambda r: 10 + 3 * r["A"] - 1 * r["B"], 0.1, r=5)
+    result = replicated_anova(factors, rows, reps)
+    effects = {e.name: e for e in result.effects}
+    assert effects["A"].effect == pytest.approx(3.0, abs=0.2)
+    assert effects["B"].effect == pytest.approx(-1.0, abs=0.2)
+    assert effects["A"].significant
+    assert effects["B"].significant
+    assert not effects["A*B"].significant
+    assert result.error_variation < 0.05
+
+
+def test_pure_noise_nothing_significant():
+    factors = two_factors()
+    rows = full_factorial(factors)
+    reps = responses(rows, lambda r: 5.0, 1.0, r=6, seed=3)
+    result = replicated_anova(factors, rows, reps)
+    # error dominates, no factor stands out
+    assert result.error_variation > 0.5
+    assert len(result.significant_effects()) <= 1
+
+
+def test_tiny_effect_needs_replication_to_surface():
+    factors = two_factors()
+    rows = full_factorial(factors)
+    fn = lambda r: 10 + 0.4 * r["A"]  # noqa: E731
+    noisy_few = replicated_anova(
+        factors, rows, responses(rows, fn, 1.0, r=2, seed=1)
+    )
+    noisy_many = replicated_anova(
+        factors, rows, responses(rows, fn, 1.0, r=200, seed=1)
+    )
+    eff_few = {e.name: e for e in noisy_few.effects}["A"]
+    eff_many = {e.name: e for e in noisy_many.effects}["A"]
+    assert eff_many.confidence_halfwidth < eff_few.confidence_halfwidth
+    assert eff_many.significant
+
+
+def test_validation():
+    factors = two_factors()
+    rows = full_factorial(factors)
+    with pytest.raises(DesignError):
+        replicated_anova(factors, rows[:3], [[1, 2]] * 3)
+    with pytest.raises(DesignError):
+        replicated_anova(factors, rows, [[1.0]] * 4)  # r=1
+    with pytest.raises(DesignError):
+        replicated_anova(factors, rows, [[1, 2], [1, 2], [1, 2], [1, 2, 3]])
+    with pytest.raises(DesignError):
+        replicated_anova(
+            [Factor("A", (1, 2, 3))], [{"A": 1}, {"A": 2}, {"A": 3}],
+            [[1, 2]] * 3,
+        )
+    with pytest.raises(DesignError):
+        replicated_anova(factors, rows, [[2.0, 2.0]] * 4)  # zero variation
+
+
+def test_on_simulated_measurements(j90):
+    """End to end: replicated simulated runs -> significant factors."""
+    from repro.core.parameters import ApplicationParams
+    from repro.opal.complexes import MEDIUM, LARGE
+    from repro.opal.parallel import run_parallel_opal
+
+    factors = [
+        Factor("servers", (2, 6)),
+        Factor("cutoff", (10.0, None)),
+    ]
+    rows = full_factorial(factors)
+    reps = []
+    for row in rows:
+        cell = []
+        for rep in range(3):
+            app = ApplicationParams(
+                molecule=MEDIUM, steps=3, servers=row["servers"],
+                cutoff=row["cutoff"],
+            )
+            result = run_parallel_opal(
+                app, j90, seed=rep * 17, jitter_sigma=0.004
+            )
+            cell.append(result.wall_time)
+        reps.append(cell)
+    result = replicated_anova(factors, rows, reps)
+    names = {e.name for e in result.significant_effects()}
+    # the cutoff is the dominant factor of the paper's design
+    assert "cutoff" in names
+    assert result.error_variation < 0.05

@@ -1,0 +1,86 @@
+"""Tests for the integrated campaign pipeline."""
+
+import pytest
+
+from repro.errors import DesignError
+from repro.experiments.campaign import render, run_campaign
+from repro.opal.complexes import MEDIUM
+from repro.platforms import ALL_PLATFORMS, CRAY_J90, FAST_COPS
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_campaign(
+        reference=CRAY_J90,
+        candidates=ALL_PLATFORMS,
+        molecule=MEDIUM,
+        probe_repetitions=4,
+    )
+
+
+def test_campaign_structure(report):
+    assert report.reference_platform == "j90"
+    assert set(report.predictions) == {"no cutoff", "10 A cutoff"}
+    for series in report.predictions.values():
+        assert set(series) == {p.name for p in ALL_PLATFORMS}
+    assert report.cost_ranking
+
+
+def test_probe_reproducible(report):
+    assert report.probe.reproducible(cv_threshold=0.05)
+
+
+def test_fit_quality(report):
+    assert report.fit_error < 0.08
+
+
+def test_reference_uses_calibrated_parameters(report):
+    # the reference platform's curve comes from the fit, not the catalog
+    assert report.calibration.params.a1 == pytest.approx(3e6, rel=0.02)
+
+
+def test_verdict_names_a_cluster_of_pcs(report):
+    best = report.best_platform("10 A cutoff")
+    assert best in ("fast-cops", "smp-cops", "t3e")
+    assert "faster than the j90" in report.verdict()
+
+
+def test_render_readable(report):
+    text = render(report)
+    assert "Integrated performance study" in text
+    assert "verdict:" in text
+    assert "10 A cutoff" in text
+    assert "cost effectiveness" in text
+
+
+def test_probe_failure_rejected():
+    # absurd jitter breaks the dedicated-system reproducibility gate
+    # (per-event noise averages over the run's many phases, so the
+    # sigma must be large before run-level CV exceeds the threshold)
+    with pytest.raises(DesignError, match="reproducible"):
+        run_campaign(
+            reference=CRAY_J90,
+            candidates=[FAST_COPS],
+            jitter_sigma=1.2,
+            probe_repetitions=4,
+        )
+
+
+def test_probe_repetitions_validated():
+    with pytest.raises(DesignError):
+        run_campaign(
+            reference=CRAY_J90, candidates=[FAST_COPS], probe_repetitions=1
+        )
+
+
+def test_custom_scenarios():
+    report = run_campaign(
+        reference=CRAY_J90,
+        candidates=[FAST_COPS],
+        scenarios={"only-cutoff": 10.0},
+        probe_repetitions=2,
+        servers=(1, 2, 3),
+    )
+    assert list(report.predictions) == ["only-cutoff"]
+    series = report.predictions["only-cutoff"]
+    assert len(series["fast-cops"].times) == 3

@@ -1,0 +1,82 @@
+"""Unit tests for the paper's parameter space."""
+
+
+from repro.experiments.cases import (
+    CUTOFF_EFFECTIVE,
+    ExperimentCase,
+    breakdown_chart_cases,
+    full_design,
+    paper_factors,
+    reduced_design,
+)
+from repro.opal.complexes import MEDIUM
+
+
+def test_full_design_is_the_papers_84_experiments():
+    cases = full_design()
+    assert len(cases) == 84  # 7 servers x 3 sizes x 2 cutoffs x 2 updates
+
+
+def test_full_design_unique_cells():
+    cases = full_design()
+    keys = {(c.molecule.name, c.servers, c.cutoff, c.update_interval) for c in cases}
+    assert len(keys) == 84
+
+
+def test_ineffective_cutoff_maps_to_none():
+    cases = full_design()
+    cutoffs = {c.cutoff for c in cases}
+    assert cutoffs == {CUTOFF_EFFECTIVE, None}
+
+
+def test_reduced_design_is_7_times_half_fraction():
+    cases = reduced_design()
+    assert len(cases) == 28  # 7 x 2^(3-1)
+    for p in range(1, 8):
+        assert sum(1 for c in cases if c.servers == p) == 4
+
+
+def test_reduced_design_subset_of_full():
+    # every reduced case (with medium/large sizes) appears in the full design
+    full_keys = {
+        (c.molecule.name, c.servers, c.cutoff, c.update_interval)
+        for c in full_design()
+    }
+    for c in reduced_design():
+        key = (c.molecule.name, c.servers, c.cutoff, c.update_interval)
+        assert key in full_keys
+
+
+def test_reduced_design_balances_factors():
+    cases = reduced_design()
+    assert sum(1 for c in cases if c.molecule is MEDIUM) == 14
+    assert sum(1 for c in cases if c.cutoff is None) == 14
+    assert sum(1 for c in cases if c.update_interval == 1) == 14
+
+
+def test_case_label_and_app():
+    case = ExperimentCase(
+        molecule=MEDIUM, servers=3, cutoff=10.0, update_interval=10
+    )
+    assert "medium" in case.label and "p=3" in case.label
+    app = case.app()
+    assert app.servers == 3 and app.cutoff == 10.0 and app.steps == 10
+
+
+def test_paper_factors_structure():
+    factors = paper_factors()
+    names = [f.name for f in factors]
+    assert names == ["servers", "molecule", "cutoff", "update_interval"]
+    assert len(factors[0].levels) == 7
+
+
+def test_breakdown_chart_cases_four_panels():
+    panels = breakdown_chart_cases(MEDIUM, servers=(1, 2, 3))
+    assert set(panels) == {"a", "b", "c", "d"}
+    assert all(len(v) == 3 for v in panels.values())
+    # panel a: no cutoff, full update
+    assert panels["a"][0].cutoff is None
+    assert panels["a"][0].update_interval == 1
+    # panel d: cutoff + partial update
+    assert panels["d"][0].cutoff == CUTOFF_EFFECTIVE
+    assert panels["d"][0].update_interval == 10

@@ -1,0 +1,110 @@
+"""Unit tests for factorial experimental designs."""
+
+import pytest
+
+from repro.errors import DesignError
+from repro.experiments.factorial import (
+    Factor,
+    design_size,
+    fractional_factorial,
+    full_factorial,
+    sign_table_effects,
+)
+
+
+def test_factor_validation():
+    with pytest.raises(DesignError):
+        Factor("empty", ())
+    with pytest.raises(DesignError):
+        Factor("dup", (1, 1))
+
+
+def test_full_factorial_enumeration():
+    rows = full_factorial([Factor("a", (1, 2)), Factor("b", ("x", "y", "z"))])
+    assert len(rows) == 6
+    assert rows[0] == {"a": 1, "b": "x"}
+    assert rows[-1] == {"a": 2, "b": "z"}
+    # last factor varies fastest
+    assert [r["b"] for r in rows[:3]] == ["x", "y", "z"]
+
+
+def test_duplicate_factor_names_rejected():
+    with pytest.raises(DesignError):
+        full_factorial([Factor("a", (1, 2)), Factor("a", (3, 4))])
+
+
+def test_design_size():
+    fs = [Factor("a", (1, 2)), Factor("b", (1, 2, 3)), Factor("c", (1, 2))]
+    assert design_size(fs) == 12 == len(full_factorial(fs))
+
+
+# ----------------------------------------------------------------------
+def two_level():
+    return [Factor("A", (-1, 1)), Factor("B", (-1, 1)), Factor("C", (-1, 1))]
+
+
+def test_half_fraction_size_and_generator():
+    rows = fractional_factorial(two_level(), generators=["C=AB"])
+    assert len(rows) == 4
+    for r in rows:
+        assert r["C"] == r["A"] * r["B"]  # the defining relation
+
+
+def test_fraction_needs_two_level_factors():
+    factors = [Factor("A", (1, 2, 3)), Factor("B", (1, 2))]
+    with pytest.raises(DesignError):
+        fractional_factorial(factors, generators=["B=A"])
+
+
+def test_fraction_generator_validation():
+    with pytest.raises(DesignError):
+        fractional_factorial(two_level(), generators=["CAB"])
+    with pytest.raises(DesignError):
+        fractional_factorial(two_level(), generators=["C=AZ"])
+    with pytest.raises(DesignError):
+        fractional_factorial(two_level(), generators=[])
+
+
+def test_fraction_covers_distinct_base_combinations():
+    rows = fractional_factorial(two_level(), generators=["C=AB"])
+    base = {(r["A"], r["B"]) for r in rows}
+    assert len(base) == 4
+
+
+# ----------------------------------------------------------------------
+def test_sign_table_main_effects_exact():
+    factors = two_level()[:2]
+    rows = full_factorial(factors)
+    # y = 10 + 3*A - 2*B (no interaction)
+    y = [10 + 3 * r["A"] - 2 * r["B"] for r in rows]
+    effects = {e.name: e for e in sign_table_effects(factors, rows, y)}
+    assert effects["A"].effect == pytest.approx(3.0)
+    assert effects["B"].effect == pytest.approx(-2.0)
+    assert effects["A*B"].effect == pytest.approx(0.0)
+    # variation fully explained by A and B
+    total = effects["A"].variation_explained + effects["B"].variation_explained
+    assert total == pytest.approx(1.0)
+
+
+def test_sign_table_interaction_detected():
+    factors = two_level()[:2]
+    rows = full_factorial(factors)
+    y = [5 + 4 * r["A"] * r["B"] for r in rows]
+    effects = {e.name: e for e in sign_table_effects(factors, rows, y)}
+    assert effects["A*B"].effect == pytest.approx(4.0)
+    assert effects["A*B"].variation_explained == pytest.approx(1.0)
+
+
+def test_sign_table_requires_full_design():
+    factors = two_level()[:2]
+    rows = full_factorial(factors)[:3]
+    with pytest.raises(DesignError):
+        sign_table_effects(factors, rows, [1, 2, 3])
+
+
+def test_sign_table_sorted_by_variation():
+    factors = two_level()[:2]
+    rows = full_factorial(factors)
+    y = [1 * r["A"] + 10 * r["B"] for r in rows]
+    effects = sign_table_effects(factors, rows, y)
+    assert effects[0].name == "B"

@@ -1,0 +1,50 @@
+"""Unit tests for repeated-measurement statistics."""
+
+import pytest
+
+from repro.errors import DesignError
+from repro.experiments.measurement import repeat, summarize
+
+
+def test_summarize_basics():
+    st = summarize([1.0, 2.0, 3.0])
+    assert st.n == 3
+    assert st.mean == pytest.approx(2.0)
+    assert st.std == pytest.approx(1.0)
+
+
+def test_summarize_single_value():
+    st = summarize([5.0])
+    assert st.std == 0.0
+    assert st.confidence_halfwidth == float("inf")
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(DesignError):
+        summarize([])
+
+
+def test_cv_and_reproducibility():
+    st = summarize([100.0, 100.5, 99.5, 100.2, 99.8])
+    assert st.coefficient_of_variation < 0.01
+    assert st.reproducible()
+    noisy = summarize([100.0, 150.0, 60.0])
+    assert not noisy.reproducible()
+
+
+def test_cv_of_zero_mean():
+    st = summarize([1.0, -1.0])
+    assert st.coefficient_of_variation == float("inf")
+
+
+def test_confidence_interval_shrinks_with_n():
+    few = summarize([1.0, 2.0, 3.0])
+    many = summarize([1.0, 2.0, 3.0] * 10)
+    assert many.confidence_halfwidth < few.confidence_halfwidth
+
+
+def test_repeat_runs_fn():
+    st = repeat(lambda i: float(i), repetitions=4)
+    assert st.values == (0.0, 1.0, 2.0, 3.0)
+    with pytest.raises(DesignError):
+        repeat(lambda i: 0.0, repetitions=0)

@@ -1,0 +1,81 @@
+"""Unit tests for middleware phase accounting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hpm import HpmCounter, PhaseAccountant
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def test_begin_end_accumulates_wall_time():
+    clock = FakeClock()
+    acct = PhaseAccountant(clock)
+    acct.begin("comm")
+    clock.t = 2.0
+    assert acct.end() == pytest.approx(2.0)
+    acct.begin("comm")
+    clock.t = 3.5
+    acct.end("comm")
+    assert acct.seconds("comm") == pytest.approx(3.5)
+    assert acct.totals["comm"].intervals == 2
+
+
+def test_nested_begin_rejected():
+    acct = PhaseAccountant(FakeClock())
+    acct.begin("a")
+    with pytest.raises(SimulationError):
+        acct.begin("b")
+
+
+def test_end_without_begin_rejected():
+    with pytest.raises(SimulationError):
+        PhaseAccountant(FakeClock()).end()
+
+
+def test_end_with_wrong_category_rejected():
+    acct = PhaseAccountant(FakeClock())
+    acct.begin("a")
+    with pytest.raises(SimulationError):
+        acct.end("b")
+
+
+def test_counter_deltas_attached_to_phase():
+    clock = FakeClock()
+    counter = HpmCounter(flop_inflation=2.0)
+    acct = PhaseAccountant(clock, counter)
+    acct.begin("compute")
+    counter.add(flops=100.0, busy=1.0)
+    clock.t = 1.0
+    acct.end()
+    totals = acct.totals["compute"]
+    assert totals.flops_algorithmic == pytest.approx(100.0)
+    assert totals.flops_counted == pytest.approx(200.0)
+    assert totals.rate() == pytest.approx(200.0)
+
+
+def test_unknown_category_reads_zero():
+    acct = PhaseAccountant(FakeClock())
+    assert acct.seconds("nope") == 0.0
+
+
+def test_as_dict():
+    clock = FakeClock()
+    acct = PhaseAccountant(clock)
+    acct.begin("x")
+    clock.t = 1.0
+    acct.end()
+    assert acct.as_dict() == {"x": pytest.approx(1.0)}
+
+
+def test_rate_of_zero_duration_phase():
+    acct = PhaseAccountant(FakeClock())
+    acct.begin("x")
+    acct.end()
+    assert acct.totals["x"].rate() == 0.0

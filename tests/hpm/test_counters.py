@@ -1,0 +1,72 @@
+"""Unit tests for simulated hardware performance counters."""
+
+import pytest
+
+from repro.hpm import HpmCounter, HpmSnapshot
+
+
+def test_counts_accumulate():
+    c = HpmCounter()
+    c.add(flops=100.0, busy=2.0)
+    c.add(flops=50.0, busy=1.0)
+    snap = c.snapshot()
+    assert snap.flops_algorithmic == 150.0
+    assert snap.flops_counted == 150.0
+    assert snap.busy_seconds == 3.0
+
+
+def test_flop_inflation_applies_to_counted_only():
+    c = HpmCounter(flop_inflation=1.5)
+    c.add(flops=100.0, busy=1.0)
+    snap = c.snapshot()
+    assert snap.flops_algorithmic == 100.0
+    assert snap.flops_counted == pytest.approx(150.0)
+
+
+def test_inflation_below_one_rejected():
+    with pytest.raises(ValueError):
+        HpmCounter(flop_inflation=0.5)
+
+
+def test_negative_increment_rejected():
+    c = HpmCounter()
+    with pytest.raises(ValueError):
+        c.add(flops=-1.0, busy=0.0)
+    with pytest.raises(ValueError):
+        c.add(flops=0.0, busy=-1.0)
+
+
+def test_snapshot_delta():
+    c = HpmCounter()
+    c.add(flops=100.0, busy=1.0)
+    s0 = c.snapshot()
+    c.add(flops=40.0, busy=0.5)
+    delta = c.snapshot() - s0
+    assert delta.flops_counted == pytest.approx(40.0)
+    assert delta.busy_seconds == pytest.approx(0.5)
+
+
+def test_snapshot_rate():
+    s = HpmSnapshot(flops_counted=100.0, flops_algorithmic=100.0, busy_seconds=2.0)
+    assert s.rate() == 50.0
+    empty = HpmSnapshot(0.0, 0.0, 0.0)
+    assert empty.rate() == 0.0
+
+
+def test_reads_counted():
+    c = HpmCounter()
+    c.snapshot()
+    c.snapshot()
+    assert c.reads == 2
+
+
+def test_reset():
+    c = HpmCounter(flop_inflation=2.0)
+    c.add(flops=10.0, busy=1.0)
+    c.reset()
+    snap = c.snapshot()
+    assert snap.flops_counted == 0.0
+    assert snap.busy_seconds == 0.0
+    # inflation survives the reset
+    c.add(flops=10.0, busy=1.0)
+    assert c.snapshot().flops_counted == 20.0

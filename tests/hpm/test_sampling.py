@@ -1,0 +1,90 @@
+"""Unit tests for the sampling profiler (and its documented weaknesses)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hpm.sampling import SamplingMonitor, counter_rate
+from repro.netsim.trace import Tracer
+
+
+def make_trace():
+    tr = Tracer()
+    # one process: 6 s compute, 3 s comm, 1 s idle over a 10 s run
+    tr.record("p", "compute", 0.0, 4.0)
+    tr.record("p", "comm", 4.0, 6.0)
+    tr.record("p", "compute", 6.0, 8.0)
+    tr.record("p", "comm", 8.0, 9.0)
+    tr.record("p", "idle", 9.0, 10.0)
+    return tr
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(SimulationError):
+        SamplingMonitor(Tracer())
+
+
+def test_fine_sampling_recovers_fractions():
+    mon = SamplingMonitor(make_trace())
+    est = mon.sample(interval=0.001)
+    assert est.fractions["compute"] == pytest.approx(0.6, abs=0.01)
+    assert est.fractions["comm"] == pytest.approx(0.3, abs=0.01)
+    assert est.fractions["idle"] == pytest.approx(0.1, abs=0.01)
+    assert est.busy_fraction == pytest.approx(0.6, abs=0.01)
+
+
+def test_coarse_sampling_is_biased():
+    """The paper's complaint: few samples, unstable estimates."""
+    mon = SamplingMonitor(make_trace())
+    coarse = mon.sample(interval=3.0)  # 4 probes over 10 s
+    assert coarse.samples <= 4
+    # with 4 samples, the compute fraction can only be k/4
+    assert coarse.busy_fraction in (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def test_phase_offset_changes_coarse_estimates():
+    """Aliasing: shifting the probe grid moves the answer."""
+    mon = SamplingMonitor(make_trace())
+    estimates = {
+        mon.sample(interval=4.0, phase=ph).busy_fraction
+        for ph in (0.0, 1.0, 2.0, 3.0)
+    }
+    assert len(estimates) > 1  # not a stable measurement
+
+
+def test_interval_validation():
+    mon = SamplingMonitor(make_trace())
+    with pytest.raises(SimulationError):
+        mon.sample(interval=0.0)
+    with pytest.raises(SimulationError):
+        mon.sample(interval=100.0)
+
+
+def test_estimated_rate_vs_counter_rate():
+    mon = SamplingMonitor(make_trace())
+    est = mon.sample(interval=0.001)
+    flops = 600e6  # executed during the 6 s of compute
+    sampled = est.estimated_rate(flops, wall_time=10.0)
+    counted = counter_rate(flops, busy_seconds=6.0)
+    assert counted == pytest.approx(100e6)
+    # fine sampling converges to the truth...
+    assert sampled == pytest.approx(counted, rel=0.02)
+    # ...coarse sampling does not
+    coarse = mon.sample(interval=3.0, phase=0.5)
+    coarse_rate = coarse.estimated_rate(flops, wall_time=10.0)
+    assert abs(coarse_rate - counted) / counted > 0.05
+
+
+def test_counter_rate_validation():
+    with pytest.raises(SimulationError):
+        counter_rate(1.0, 0.0)
+
+
+def test_proc_filter():
+    tr = make_trace()
+    # a second process computing while p communicates; its records start
+    # later, so an unfiltered profiler attributes those probes to it
+    tr.record("other", "compute", 4.5, 5.5)
+    est_all = SamplingMonitor(tr).sample(interval=0.01)
+    est_p = SamplingMonitor(tr, proc="p").sample(interval=0.01)
+    assert est_p.fractions["compute"] == pytest.approx(0.6, abs=0.01)
+    assert est_all.fractions["compute"] > est_p.fractions["compute"] + 0.05

@@ -1,0 +1,111 @@
+"""Cross-layer consistency: the instrumentation layers must agree.
+
+The paper's methodology rests on trusting the middleware-level
+accounting; these tests verify that every independent observation
+channel of the simulator (phase accountants, hardware counters, the
+event trace, the fabric statistics, the result breakdown) tells one
+coherent story for the same run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ApplicationParams
+from repro.opal import costs
+from repro.opal.complexes import SMALL
+from repro.opal.parallel import run_parallel_opal
+from repro.opal.workload import OpalWorkload
+from repro.platforms import CRAY_J90, FAST_COPS
+
+
+@pytest.fixture(scope="module")
+def run():
+    app = ApplicationParams(molecule=SMALL, steps=4, servers=3, cutoff=10.0)
+    return run_parallel_opal(app, FAST_COPS, keep_cluster=True), app
+
+
+def test_breakdown_is_additive_to_wall(run):
+    result, _ = run
+    assert result.breakdown.total == pytest.approx(result.wall_time, rel=1e-9)
+
+
+def test_counters_match_workload_flops(run):
+    result, app = run
+    w = OpalWorkload(app)
+    algo = sum(n.hpm.flops_algorithmic for n in result.cluster.nodes)
+    assert algo == pytest.approx(w.total_algorithmic_flops(), rel=1e-9)
+    counted = sum(n.hpm.flops_counted for n in result.cluster.nodes)
+    assert counted == pytest.approx(
+        w.total_algorithmic_flops() * FAST_COPS.flop_inflation, rel=1e-9
+    )
+
+
+def test_counter_busy_equals_trace_compute(run):
+    result, _ = run
+    trace_compute = result.cluster.tracer.by_category().get("compute", 0.0)
+    hpm_busy = sum(n.hpm.busy_seconds for n in result.cluster.nodes)
+    assert hpm_busy == pytest.approx(trace_compute, rel=1e-9)
+
+
+def test_accountant_compute_equals_counter_busy_per_server(run):
+    result, _ = run
+    # per-server accountant seconds (update + energy) must equal the
+    # compute intervals its node's counters accumulated
+    per_proc = result.cluster.tracer.by_process()
+    for i, (upd, nbi) in enumerate(
+        zip(result.server_update_seconds, result.server_energy_seconds)
+    ):
+        trace = per_proc[f"server{i}"].get("compute", 0.0)
+        assert upd + nbi == pytest.approx(trace, rel=1e-9)
+
+
+def test_fabric_messages_match_protocol(run):
+    result, app = run
+    w = OpalWorkload(app)
+    p, s = app.p, app.s
+    updates = w.updates_total
+    expected = (
+        updates * p  # update calls
+        + updates * p  # update acks
+        + s * p  # energy calls
+        + s * p  # energy returns
+        + 2 * p  # shutdown + acks
+    )
+    assert result.cluster.fabric.messages_transferred == expected
+
+
+def test_server_compute_seconds_match_flop_shares(run):
+    result, app = run
+    w = OpalWorkload(app)
+    rate = FAST_COPS.cpu_rate
+    expected_energy = w.server_energy_flops() * app.s / rate
+    assert np.allclose(result.server_energy_seconds, expected_energy, rtol=1e-9)
+    expected_update = w.server_update_flops() * w.updates_total / rate
+    assert np.allclose(result.server_update_seconds, expected_update, rtol=1e-9)
+
+
+def test_sync_seconds_equal_barrier_count_times_cost():
+    app = ApplicationParams(molecule=SMALL, steps=5, servers=2, cutoff=None)
+    result = run_parallel_opal(app, CRAY_J90)
+    # 4 barriers per full-update step (2 update + 2 energy)
+    assert result.breakdown.sync == pytest.approx(
+        4 * app.steps * CRAY_J90.sync_cost, rel=1e-9
+    )
+
+
+def test_comm_phases_sum_to_breakdown_comm(run):
+    result, _ = run
+    acct_comm = sum(
+        v for k, v in result.client_phases.items() if k.startswith("comm:")
+    )
+    assert acct_comm == pytest.approx(result.breakdown.comm, rel=1e-9)
+
+
+def test_energy_pair_totals_conserved_across_servers(run):
+    result, app = run
+    w = OpalWorkload(app)
+    per_server_secs = np.asarray(result.server_energy_seconds)
+    total_pairs = per_server_secs.sum() * FAST_COPS.cpu_rate / (
+        costs.NB_PAIR_FLOPS * app.s
+    )
+    assert total_pairs == pytest.approx(w.energy_pairs_total, rel=1e-9)

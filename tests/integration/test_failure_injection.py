@@ -1,0 +1,140 @@
+"""Failure injection: the simulator must fail loudly, never hang or lie."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.netsim import Cluster, Node, Recv, Send, SwitchedFabric, Timeout, constant_rate
+from repro.pvm import PvmSystem
+from repro.sciddle import RpcReply, SciddleClient, SciddleInterface, SciddleServer
+
+
+def make_cluster(n_nodes=3):
+    cluster = Cluster(lambda e: SwitchedFabric(e, 1e-4, 1e7), seed=0)
+    nodes = [
+        cluster.add_node(Node(cluster.engine, i, constant_rate(1e8)))
+        for i in range(n_nodes)
+    ]
+    return cluster, nodes
+
+
+def test_client_waiting_on_crashed_server_deadlocks_visibly():
+    cluster, nodes = make_cluster()
+    pvm = PvmSystem(cluster)
+    iface = SciddleInterface("t")
+    iface.procedure("work")
+
+    def dying_handler(task, args):
+        yield from task.compute(seconds=0.1)
+        raise RuntimeError("server segfault")
+
+    def server_body(task):
+        server = SciddleServer(task, iface)
+        server.bind("work", dying_handler)
+        yield from server.run()
+
+    def client_body(task, tid):
+        client = SciddleClient(task, iface, [tid])
+        h = yield from client.call_async(tid, "work", nbytes=100)
+        yield from client.wait(h)
+
+    sp = pvm.spawn("server", nodes[1], server_body)
+    pvm.spawn("client", nodes[0], client_body, sp.tid)
+    # the crash surfaces as a SimulationError naming the failing process
+    with pytest.raises(SimulationError, match="segfault"):
+        pvm.run()
+
+
+def test_message_to_nonexistent_tid_fails_fast():
+    cluster, nodes = make_cluster()
+
+    def body(ctx):
+        yield Send(999, nbytes=10, tag=1)
+
+    cluster.spawn("p", nodes[0], body)
+    with pytest.raises(SimulationError, match="unknown task id"):
+        cluster.run()
+
+
+def test_partial_barrier_is_a_deadlock_not_a_hang():
+    cluster, nodes = make_cluster()
+
+    from repro.netsim import Barrier
+
+    def member(ctx):
+        yield Barrier("b", count=3, cost=0.0)  # only 2 will arrive
+
+    cluster.spawn("a", nodes[0], member)
+    cluster.spawn("b", nodes[1], member)
+    with pytest.raises(DeadlockError):
+        cluster.run()
+
+
+def test_mismatched_tags_deadlock():
+    cluster, nodes = make_cluster()
+
+    def receiver(ctx):
+        yield Recv(tag=7)
+
+    def sender(ctx, dest):
+        yield Send(dest, nbytes=10, tag=8)  # wrong tag
+
+    r = cluster.spawn("r", nodes[1], receiver)
+    cluster.spawn("s", nodes[0], sender, r.tid)
+    with pytest.raises(DeadlockError):
+        cluster.run()
+
+
+def test_failure_in_one_process_reports_its_name():
+    cluster, nodes = make_cluster()
+
+    def healthy(ctx):
+        yield Timeout(1.0)
+
+    def broken(ctx):
+        yield Timeout(0.5)
+        raise ValueError("numerical blowup")
+
+    cluster.spawn("healthy", nodes[0], healthy)
+    cluster.spawn("broken", nodes[1], broken)
+    with pytest.raises(SimulationError, match="broken"):
+        cluster.run()
+    assert cluster.failures[0][0] == "broken"
+
+
+def test_server_shutdown_before_outstanding_call_deadlocks():
+    cluster, nodes = make_cluster()
+    pvm = PvmSystem(cluster)
+    iface = SciddleInterface("t")
+    iface.procedure("work")
+
+    def handler(task, args):
+        yield from task.compute(seconds=0.01)
+        return RpcReply()
+
+    def server_body(task):
+        server = SciddleServer(task, iface)
+        server.bind("work", handler)
+        yield from server.run()
+
+    def client_body(task, tid):
+        client = SciddleClient(task, iface, [tid])
+        yield from client.shutdown()
+        # call after shutdown: nobody is listening
+        h = yield from client.call_async(tid, "work", nbytes=10)
+        yield from client.wait(h)
+
+    sp = pvm.spawn("server", nodes[1], server_body)
+    pvm.spawn("client", nodes[0], client_body, sp.tid)
+    with pytest.raises(DeadlockError):
+        pvm.run()
+
+
+def test_negative_time_request_rejected_at_yield():
+    cluster, nodes = make_cluster()
+
+    def body(ctx):
+        yield Timeout(-1.0)
+
+    with pytest.raises(Exception):
+        cluster.spawn("p", nodes[0], body)
+        cluster.run()

@@ -1,0 +1,74 @@
+"""Cross-validation: the analytic workload model vs real geometry.
+
+The performance model's pair counts are analytic (eqs. (3)/(4) with the
+paper's n~ convention); the physics engine counts *actual* pairs on
+synthesized coordinates.  These tests pin down how the two relate, so
+the convention is an asserted fact rather than folklore.
+"""
+
+import pytest
+
+from repro.opal.complexes import ComplexSpec
+from repro.opal.pairlist import PairListBuilder
+from repro.opal.system import build_system
+
+
+def measured_pairs_per_center(spec: ComplexSpec, cutoff: float, seed: int = 0):
+    sys_ = build_system(spec, seed=seed)
+    pairs = PairListBuilder(cutoff=cutoff).build(sys_.coords)
+    return len(pairs) / sys_.n
+
+
+@pytest.mark.parametrize("cutoff", [6.0, 9.0])
+def test_n_tilde_is_twice_the_physical_pair_count(cutoff):
+    """The paper's n~ (full neighbour count) is ~2x the stored pairs.
+
+    For a uniform system, physical pairs per center = density * 4/3 pi
+    c^3 / 2 (each pair counted once) = n~ / 2.  Finite-box boundary
+    effects reduce the measured count further (atoms near the wall see
+    truncated spheres), so the measured/n~ ratio sits somewhat below 0.5.
+    """
+    spec = ComplexSpec("geo", protein_atoms=150, waters=650, density=0.04)
+    measured = measured_pairs_per_center(spec, cutoff)
+    n_tilde = spec.n_tilde(cutoff)
+    ratio = measured / n_tilde
+    assert 0.25 < ratio < 0.55, f"cutoff={cutoff}: ratio {ratio}"
+
+
+def test_pair_count_scales_with_cutoff_cubed():
+    spec = ComplexSpec("geo", protein_atoms=150, waters=650, density=0.04)
+    small = measured_pairs_per_center(spec, 5.0)
+    large = measured_pairs_per_center(spec, 10.0)
+    # volume scaling (8x) damped by boundary truncation
+    assert 4.0 < large / small < 9.0
+
+
+def test_pair_count_scales_with_density():
+    lo = ComplexSpec("lo", protein_atoms=100, waters=400, density=0.03)
+    hi = ComplexSpec("hi", protein_atoms=100, waters=400, density=0.06)
+    p_lo = measured_pairs_per_center(lo, 7.0)
+    p_hi = measured_pairs_per_center(hi, 7.0)
+    assert 1.5 < p_hi / p_lo < 2.6  # ~linear in density
+
+
+def test_no_cutoff_measured_equals_model_exactly():
+    """Without a cutoff the model and geometry agree exactly:
+    n(n-1)/2 pairs minus the bonded exclusions."""
+    spec = ComplexSpec("geo", protein_atoms=40, waters=160, density=0.04)
+    sys_ = build_system(spec, seed=1)
+    pairs = PairListBuilder(
+        cutoff=None, exclusions=sys_.topology.excluded_pairs()
+    ).build(sys_.coords)
+    n = sys_.n
+    assert len(pairs) == n * (n - 1) // 2 - len(sys_.topology.excluded_pairs())
+
+
+def test_effective_vs_ineffective_cutoff_on_real_geometry():
+    """The paper's 10 A / 60 A contrast holds on actual coordinates."""
+    spec = ComplexSpec("geo", protein_atoms=150, waters=650, density=0.04)
+    sys_ = build_system(spec, seed=2)
+    all_pairs = sys_.n * (sys_.n - 1) // 2
+    effective = len(PairListBuilder(cutoff=10.0).build(sys_.coords))
+    ineffective = len(PairListBuilder(cutoff=60.0).build(sys_.coords))
+    assert effective < 0.5 * all_pairs
+    assert ineffective > 0.95 * all_pairs

@@ -1,0 +1,72 @@
+"""Golden regression values for the deterministic artifacts.
+
+The model predictions and Table 1/2 reconstructions are exact functions
+of catalog constants; these tests pin their current values so that any
+future change to costs, platform data or equations is a *conscious*
+decision (update the goldens alongside DESIGN/EXPERIMENTS notes).
+"""
+
+import pytest
+
+from repro.core.model import OpalPerformanceModel
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.opal.complexes import LARGE, MEDIUM, SMALL
+from repro.platforms import get_platform
+
+#: predicted t_OPAL [s] for (platform, molecule, cutoff, p), 10 steps,
+#: full update — regenerate with scripts in this file's docstring
+GOLDEN_TOTALS = {
+    ("j90", "medium", None, 1): 64.072,
+    ("j90", "medium", None, 7): 19.360,
+    ("j90", "medium", 10.0, 1): 7.705,
+    ("j90", "medium", 10.0, 2): 6.233,
+    ("j90", "medium", 10.0, 7): 11.308,
+    ("t3e", "medium", 10.0, 7): 1.616,
+    ("fast-cops", "medium", 10.0, 7): 1.434,
+    ("smp-cops", "medium", 10.0, 7): 2.910,
+    ("slow-cops", "medium", 10.0, 7): 11.865,
+    ("j90", "large", None, 1): 137.826,
+    ("fast-cops", "large", 10.0, 7): 2.323,
+}
+
+MOLECULES = {"small": SMALL, "medium": MEDIUM, "large": LARGE}
+
+
+@pytest.mark.parametrize(
+    "key,expected", sorted(GOLDEN_TOTALS.items(), key=lambda kv: str(kv[0]))
+)
+def test_golden_prediction(key, expected):
+    platform, molecule, cutoff, p = key
+    model = OpalPerformanceModel(
+        ModelPlatformParams.from_spec(get_platform(platform))
+    )
+    app = ApplicationParams(
+        molecule=MOLECULES[molecule], steps=10, servers=p, cutoff=cutoff
+    )
+    assert model.predict_total(app) == pytest.approx(expected, abs=0.002)
+
+
+def test_golden_complex_statistics():
+    assert (MEDIUM.n, LARGE.n, SMALL.n) == (4289, 6289, 1000)
+    assert MEDIUM.n_tilde(10.0) == pytest.approx(188.50, abs=0.01)
+    assert LARGE.n_tilde(10.0) == pytest.approx(188.50, abs=0.01)
+
+
+def test_golden_j90_model_parameters():
+    mp = ModelPlatformParams.from_spec(get_platform("j90"))
+    assert mp.a1 == 3e6
+    assert mp.b1 == pytest.approx(0.010)
+    assert mp.a2 == pytest.approx(5.691e-8, rel=1e-3)
+    assert mp.a3 == pytest.approx(6.721e-7, rel=1e-3)
+    assert mp.a4 == pytest.approx(1.707e-6, rel=1e-3)
+    assert mp.b5 == pytest.approx(0.010)
+
+
+def test_golden_simulated_run():
+    """One full simulated run is bit-stable (no jitter, fixed seed)."""
+    from repro.opal.parallel import run_parallel_opal
+
+    app = ApplicationParams(molecule=MEDIUM, steps=10, servers=4, cutoff=10.0)
+    r = run_parallel_opal(app, get_platform("j90"), seed=0)
+    assert r.wall_time == pytest.approx(7.5082, abs=0.01)
+    assert r.breakdown.idle == pytest.approx(0.2832, abs=0.03)

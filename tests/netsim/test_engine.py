@@ -1,0 +1,119 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.netsim.engine import Engine
+
+
+def test_time_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    fired = []
+    eng.schedule(2.0, lambda: fired.append("late"))
+    eng.schedule(1.0, lambda: fired.append("early"))
+    eng.schedule(1.5, lambda: fired.append("middle"))
+    eng.run()
+    assert fired == ["early", "middle", "late"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    eng = Engine()
+    fired = []
+    for i in range(10):
+        eng.schedule(1.0, lambda i=i: fired.append(i))
+    eng.run()
+    assert fired == list(range(10))
+
+
+def test_now_advances_to_event_time():
+    eng = Engine()
+    seen = []
+    eng.schedule(3.25, lambda: seen.append(eng.now))
+    eng.run()
+    assert seen == [3.25]
+    assert eng.now == 3.25
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule(-0.1, lambda: None)
+
+
+def test_run_until_stops_early():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda: fired.append(1))
+    eng.schedule(5.0, lambda: fired.append(5))
+    t = eng.run(until=2.0)
+    assert fired == [1]
+    assert t == 2.0
+    assert eng.pending() == 1
+    eng.run()
+    assert fired == [1, 5]
+
+
+def test_nested_scheduling_from_callbacks():
+    eng = Engine()
+    fired = []
+
+    def outer():
+        fired.append(("outer", eng.now))
+        eng.schedule(1.0, inner)
+
+    def inner():
+        fired.append(("inner", eng.now))
+
+    eng.schedule(1.0, outer)
+    eng.run()
+    assert fired == [("outer", 1.0), ("inner", 2.0)]
+
+
+def test_schedule_at_absolute_time():
+    eng = Engine()
+    seen = []
+    eng.schedule(1.0, lambda: eng.schedule_at(4.0, lambda: seen.append(eng.now)))
+    eng.run()
+    assert seen == [4.0]
+
+
+def test_events_executed_counter():
+    eng = Engine()
+    for _ in range(5):
+        eng.schedule(1.0, lambda: None)
+    eng.run()
+    assert eng.events_executed == 5
+
+
+def test_run_all_raises_on_blocked_processes():
+    eng = Engine()
+    eng.blocked_processes = 1
+    with pytest.raises(DeadlockError):
+        eng.run_all()
+
+
+def test_reentrant_run_rejected():
+    eng = Engine()
+    errors = []
+
+    def recurse():
+        try:
+            eng.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    eng.schedule(0.0, recurse)
+    eng.run()
+    assert len(errors) == 1
+
+
+def test_zero_delay_events_fire_at_current_time():
+    eng = Engine()
+    times = []
+    eng.schedule(1.0, lambda: eng.schedule(0.0, lambda: times.append(eng.now)))
+    eng.run()
+    assert times == [1.0]

@@ -1,0 +1,133 @@
+"""Unit tests for the fabric contention models."""
+
+import pytest
+
+from repro.netsim import (
+    Cluster,
+    CrossbarFabric,
+    Node,
+    Recv,
+    Send,
+    SharedMediumFabric,
+    SwitchedFabric,
+    constant_rate,
+    make_fabric,
+)
+
+
+def build(fabric_factory, n_nodes=4):
+    cluster = Cluster(fabric_factory, seed=0)
+    nodes = [
+        cluster.add_node(Node(cluster.engine, i, constant_rate(1e9)))
+        for i in range(n_nodes)
+    ]
+    return cluster, nodes
+
+
+def sink(ctx, count, tag=1):
+    for _ in range(count):
+        yield Recv(tag=tag)
+
+
+def shooter(ctx, dest, nbytes, tag=1):
+    yield Send(dest, nbytes=nbytes, tag=tag)
+
+
+# ----------------------------------------------------------------------
+def test_make_fabric_kinds():
+    cluster, _ = build(lambda e: SwitchedFabric(e, 1e-6, 1e6))
+    for kind, cls in [
+        ("shared", SharedMediumFabric),
+        ("switched", SwitchedFabric),
+        ("crossbar", CrossbarFabric),
+    ]:
+        f = make_fabric(kind, cluster.engine, latency=1e-6, bandwidth=1e6)
+        assert isinstance(f, cls)
+    with pytest.raises(ValueError):
+        make_fabric("token-ring", cluster.engine, latency=1e-6, bandwidth=1e6)
+
+
+def test_fabric_validation():
+    cluster, _ = build(lambda e: SwitchedFabric(e, 1e-6, 1e6))
+    with pytest.raises(ValueError):
+        SwitchedFabric(cluster.engine, latency=-1.0, bandwidth=1e6)
+    with pytest.raises(ValueError):
+        SwitchedFabric(cluster.engine, latency=1e-6, bandwidth=0.0)
+
+
+def test_shared_medium_serializes_all_transfers():
+    # two disjoint sender/receiver pairs: still serialized on Ethernet
+    cluster, nodes = build(lambda e: SharedMediumFabric(e, latency=0.0, bandwidth=1e6))
+    r1 = cluster.spawn("r1", nodes[1], sink, 1)
+    r2 = cluster.spawn("r2", nodes[3], sink, 1)
+    cluster.spawn("s1", nodes[0], shooter, r1.tid, 1e6)
+    cluster.spawn("s2", nodes[2], shooter, r2.tid, 1e6)
+    t = cluster.run()
+    assert t == pytest.approx(2.0)  # 2 x 1 s, serialized
+
+
+def test_switched_fabric_parallel_disjoint_pairs():
+    cluster, nodes = build(lambda e: SwitchedFabric(e, latency=0.0, bandwidth=1e6))
+    r1 = cluster.spawn("r1", nodes[1], sink, 1)
+    r2 = cluster.spawn("r2", nodes[3], sink, 1)
+    cluster.spawn("s1", nodes[0], shooter, r1.tid, 1e6)
+    cluster.spawn("s2", nodes[2], shooter, r2.tid, 1e6)
+    t = cluster.run()
+    assert t == pytest.approx(1.0)  # disjoint ports run concurrently
+
+
+def test_switched_fabric_receiver_port_contention():
+    # two senders into ONE receiver: serialized at the rx port
+    cluster, nodes = build(lambda e: SwitchedFabric(e, latency=0.0, bandwidth=1e6))
+    r = cluster.spawn("r", nodes[1], sink, 2)
+    cluster.spawn("s1", nodes[0], shooter, r.tid, 1e6)
+    cluster.spawn("s2", nodes[2], shooter, r.tid, 1e6)
+    t = cluster.run()
+    assert t == pytest.approx(2.0)
+
+
+def test_crossbar_sender_can_fan_out_concurrently():
+    # crossbar holds only the receiver port; two different receivers
+    # served by two senders do not contend anywhere
+    cluster, nodes = build(lambda e: CrossbarFabric(e, latency=0.0, bandwidth=1e6))
+    r1 = cluster.spawn("r1", nodes[1], sink, 1)
+    r2 = cluster.spawn("r2", nodes[2], sink, 1)
+    cluster.spawn("s1", nodes[0], shooter, r1.tid, 1e6)
+    cluster.spawn("s2", nodes[3], shooter, r2.tid, 1e6)
+    t = cluster.run()
+    assert t == pytest.approx(1.0)
+
+
+def test_gather_contention_on_crossbar():
+    # the paper's single-client multiple-server pattern: p concurrent
+    # returns serialize at the client's receive port
+    cluster, nodes = build(lambda e: CrossbarFabric(e, latency=0.0, bandwidth=1e6))
+    client = cluster.spawn("client", nodes[0], sink, 3)
+    for i in (1, 2, 3):
+        cluster.spawn(f"s{i}", nodes[i], shooter, client.tid, 1e6)
+    t = cluster.run()
+    assert t == pytest.approx(3.0)
+
+
+def test_overhead_charged_per_message():
+    cluster, nodes = build(
+        lambda e: SwitchedFabric(e, latency=0.0, bandwidth=1e9, overhead=0.25)
+    )
+    r = cluster.spawn("r", nodes[1], sink, 4)
+    def burst(ctx, dest):
+        for _ in range(4):
+            yield Send(dest, nbytes=0, tag=1)
+    cluster.spawn("s", nodes[0], burst, r.tid)
+    t = cluster.run()
+    assert t == pytest.approx(1.0)  # 4 x 0.25 s overhead
+
+
+def test_transfer_statistics():
+    cluster, nodes = build(lambda e: SwitchedFabric(e, latency=0.0, bandwidth=1e6))
+    r = cluster.spawn("r", nodes[1], sink, 2)
+    cluster.spawn("s", nodes[0], lambda ctx, d: (
+        (yield Send(d, nbytes=500, tag=1)) or (yield Send(d, nbytes=1500, tag=1))
+    ), r.tid)
+    cluster.run()
+    assert cluster.fabric.messages_transferred == 2
+    assert cluster.fabric.bytes_transferred == 2000

@@ -1,0 +1,135 @@
+"""Unit tests for nodes and cluster assembly."""
+
+import pytest
+
+from repro.core.memhier import MemoryHierarchy
+from repro.errors import SimulationError
+from repro.netsim import (
+    Cluster,
+    Compute,
+    Node,
+    SwitchedFabric,
+    Timeout,
+    constant_rate,
+)
+from repro.netsim.rng import Jitter
+
+
+def make_cluster():
+    return Cluster(lambda e: SwitchedFabric(e, 1e-4, 1e7), seed=3)
+
+
+def test_node_validation():
+    cluster = make_cluster()
+    with pytest.raises(ValueError):
+        Node(cluster.engine, 0, constant_rate(1e6), n_cpus=0)
+    with pytest.raises(ValueError):
+        constant_rate(0.0)
+
+
+def test_compute_duration_seconds_vs_flops():
+    cluster = make_cluster()
+    node = Node(cluster.engine, 0, constant_rate(2e6))
+    d, f = node.compute_duration(Compute(seconds=1.5))
+    assert (d, f) == (1.5, 0.0)
+    d, f = node.compute_duration(Compute(flops=4e6))
+    assert d == pytest.approx(2.0)
+    assert f == 4e6
+
+
+def test_memory_hierarchy_rate_model_in_node():
+    cluster = make_cluster()
+    mem = MemoryHierarchy(base_rate=32e6, cache_bytes=256e3, core_bytes=64e6)
+    node = Node(cluster.engine, 0, mem.as_rate_model())
+    fast, _ = node.compute_duration(Compute(flops=32e6, working_set=50e3))
+    base, _ = node.compute_duration(Compute(flops=32e6, working_set=8e6))
+    slow, _ = node.compute_duration(Compute(flops=32e6, working_set=120e6))
+    assert fast < base < slow
+    assert slow / base == pytest.approx(4.0)
+
+
+def test_node_jitter_applied():
+    import numpy as np
+
+    cluster = make_cluster()
+    node = Node(
+        cluster.engine,
+        0,
+        constant_rate(1e6),
+        jitter=Jitter(np.random.default_rng(0), sigma=0.01),
+    )
+    durations = {node.compute_duration(Compute(seconds=1.0))[0] for _ in range(5)}
+    assert len(durations) > 1
+    assert all(0.9 < d < 1.1 for d in durations)
+
+
+def test_cluster_node_lookup():
+    cluster = make_cluster()
+    n = cluster.add_node(Node(cluster.engine, 42, constant_rate(1e6)))
+    assert cluster.node(42) is n
+    with pytest.raises(SimulationError):
+        cluster.node(7)
+
+
+def test_unknown_tid_rejected():
+    cluster = make_cluster()
+    with pytest.raises(SimulationError):
+        cluster.process_by_tid(99)
+
+
+def test_tids_assigned_sequentially():
+    cluster = make_cluster()
+    node = cluster.add_node(Node(cluster.engine, 0, constant_rate(1e6)))
+
+    def body(ctx):
+        yield Timeout(0.0)
+
+    p1 = cluster.spawn("a", node, body)
+    p2 = cluster.spawn("b", node, body)
+    assert p2.tid == p1.tid + 1
+
+
+def test_failure_recorded_and_raised():
+    cluster = make_cluster()
+    node = cluster.add_node(Node(cluster.engine, 0, constant_rate(1e6)))
+
+    def bad(ctx):
+        yield Timeout(0.1)
+        raise RuntimeError("boom")
+
+    cluster.spawn("bad", node, bad)
+    with pytest.raises(SimulationError, match="boom"):
+        cluster.run()
+    assert cluster.failures and cluster.failures[0][0] == "bad"
+
+
+def test_run_until():
+    cluster = make_cluster()
+    node = cluster.add_node(Node(cluster.engine, 0, constant_rate(1e6)))
+
+    def body(ctx):
+        yield Timeout(10.0)
+
+    cluster.spawn("p", node, body)
+    assert cluster.run(until=2.0) == 2.0
+
+
+def test_proc_context_properties():
+    cluster = make_cluster()
+    node = cluster.add_node(Node(cluster.engine, 0, constant_rate(1e6)))
+    seen = {}
+
+    def body(ctx):
+        seen["tid"] = ctx.tid
+        seen["name"] = ctx.name
+        seen["node"] = ctx.node
+        seen["cluster"] = ctx.cluster
+        ctx.trace("custom", 0.0, 0.5, detail="x")
+        yield Timeout(0.0)
+
+    cluster.spawn("probe", node, body)
+    cluster.run()
+    assert seen["name"] == "probe"
+    assert seen["node"] is node
+    assert seen["cluster"] is cluster
+    assert cluster.tracer.by_category()["custom"] == pytest.approx(0.5)

@@ -1,0 +1,277 @@
+"""Unit tests for generator-based processes, mailboxes and barriers."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.netsim import (
+    ANY,
+    Barrier,
+    Cluster,
+    Compute,
+    Node,
+    Recv,
+    Send,
+    SwitchedFabric,
+    Timeout,
+    constant_rate,
+)
+from repro.netsim.events import Message
+from repro.netsim.process import Mailbox
+
+
+def make_cluster(n_nodes=2, n_cpus=1):
+    cluster = Cluster(
+        lambda e: SwitchedFabric(e, latency=1e-3, bandwidth=1e6), seed=1
+    )
+    nodes = [
+        cluster.add_node(Node(cluster.engine, i, constant_rate(1e6), n_cpus=n_cpus))
+        for i in range(n_nodes)
+    ]
+    return cluster, nodes
+
+
+# ----------------------------------------------------------------------
+class TestMailbox:
+    def _msg(self, source=1, tag=0):
+        return Message(source=source, dest=2, tag=tag, nbytes=0)
+
+    def test_delivery_then_take(self):
+        box = Mailbox()
+        box.deliver(self._msg(tag=5))
+        got = []
+        assert box.take(ANY, 5, got.append) is True
+        assert got[0].tag == 5
+
+    def test_take_blocks_until_delivery(self):
+        box = Mailbox()
+        got = []
+        assert box.take(ANY, 7, got.append) is False
+        box.deliver(self._msg(tag=3))  # wrong tag: buffered
+        assert not got
+        box.deliver(self._msg(tag=7))
+        assert got and got[0].tag == 7
+
+    def test_source_filtering(self):
+        box = Mailbox()
+        box.deliver(self._msg(source=10, tag=1))
+        box.deliver(self._msg(source=20, tag=1))
+        got = []
+        box.take(20, 1, got.append)
+        assert got[0].source == 20
+        assert len(box) == 1
+
+    def test_fifo_among_matching(self):
+        box = Mailbox()
+        m1, m2 = self._msg(tag=1), self._msg(tag=1)
+        m1.seq, m2.seq = 1, 2
+        box.deliver(m1)
+        box.deliver(m2)
+        got = []
+        box.take(ANY, 1, got.append)
+        assert got[0].seq == 1
+
+    def test_double_pending_recv_rejected(self):
+        box = Mailbox()
+        box.take(ANY, 1, lambda m: None)
+        with pytest.raises(SimulationError):
+            box.take(ANY, 1, lambda m: None)
+
+
+# ----------------------------------------------------------------------
+class TestProcesses:
+    def test_timeout_advances_time(self):
+        cluster, nodes = make_cluster()
+        seen = {}
+
+        def body(ctx):
+            yield Timeout(2.5)
+            seen["t"] = ctx.now
+
+        cluster.spawn("p", nodes[0], body)
+        cluster.run()
+        assert seen["t"] == 2.5
+
+    def test_compute_seconds(self):
+        cluster, nodes = make_cluster()
+
+        def body(ctx):
+            yield Compute(seconds=1.5)
+
+        cluster.spawn("p", nodes[0], body)
+        assert cluster.run() == 1.5
+
+    def test_compute_flops_uses_rate(self):
+        cluster, nodes = make_cluster()
+
+        def body(ctx):
+            yield Compute(flops=2e6)  # at 1 MFlop/s
+
+        cluster.spawn("p", nodes[0], body)
+        assert cluster.run() == pytest.approx(2.0)
+
+    def test_cpu_contention_serializes(self):
+        cluster, nodes = make_cluster(n_cpus=1)
+        done = {}
+
+        def body(ctx):
+            yield Compute(seconds=1.0)
+            done[ctx.name] = ctx.now
+
+        cluster.spawn("a", nodes[0], body)
+        cluster.spawn("b", nodes[0], body)
+        cluster.run()
+        assert sorted(done.values()) == [1.0, 2.0]
+
+    def test_two_cpus_run_concurrently(self):
+        cluster, nodes = make_cluster(n_cpus=2)
+        done = {}
+
+        def body(ctx):
+            yield Compute(seconds=1.0)
+            done[ctx.name] = ctx.now
+
+        cluster.spawn("a", nodes[0], body)
+        cluster.spawn("b", nodes[0], body)
+        cluster.run()
+        assert list(done.values()) == [1.0, 1.0]
+
+    def test_send_recv_roundtrip_payload(self):
+        cluster, nodes = make_cluster()
+        got = {}
+
+        def receiver(ctx):
+            msg = yield Recv(tag=9)
+            got["payload"] = msg.payload
+            got["source"] = msg.source
+
+        def sender(ctx, dest):
+            yield Send(dest, nbytes=100, tag=9, payload={"x": 42})
+
+        r = cluster.spawn("r", nodes[1], receiver)
+        s = cluster.spawn("s", nodes[0], sender, r.tid)
+        cluster.run()
+        assert got["payload"] == {"x": 42}
+        assert got["source"] == s.tid
+
+    def test_message_latency_and_bandwidth(self):
+        cluster, nodes = make_cluster()
+        arrival = {}
+
+        def receiver(ctx):
+            yield Recv(tag=1)
+            arrival["t"] = ctx.now
+
+        def sender(ctx, dest):
+            yield Send(dest, nbytes=1e6, tag=1)
+
+        r = cluster.spawn("r", nodes[1], receiver)
+        cluster.spawn("s", nodes[0], sender, r.tid)
+        cluster.run()
+        # 1 MB at 1 MB/s + 1 ms latency
+        assert arrival["t"] == pytest.approx(1.001)
+
+    def test_barrier_releases_together(self):
+        cluster, nodes = make_cluster()
+        release = {}
+
+        def body(ctx, delay):
+            yield Timeout(delay)
+            yield Barrier("b", count=2, cost=0.5)
+            release[ctx.name] = ctx.now
+
+        cluster.spawn("fast", nodes[0], body, 1.0)
+        cluster.spawn("slow", nodes[1], body, 3.0)
+        cluster.run()
+        assert release["fast"] == release["slow"] == pytest.approx(3.5)
+
+    def test_barrier_traces_idle_and_sync(self):
+        cluster, nodes = make_cluster()
+
+        def body(ctx, delay):
+            yield Timeout(delay)
+            yield Barrier("b", count=2, cost=0.5)
+
+        cluster.spawn("fast", nodes[0], body, 1.0)
+        cluster.spawn("slow", nodes[1], body, 3.0)
+        cluster.run()
+        per = cluster.tracer.by_process()
+        assert per["fast"]["idle"] == pytest.approx(2.0)
+        assert per["fast"]["sync"] == pytest.approx(0.5)
+        assert per["slow"].get("idle", 0.0) == pytest.approx(0.0)
+
+    def test_barrier_overflow_detected(self):
+        cluster, nodes = make_cluster()
+
+        def body(ctx):
+            yield Barrier("b", count=1, cost=0.0)
+            yield Barrier("b", count=1, cost=0.0)
+
+        cluster.spawn("p", nodes[0], body)
+        cluster.run()  # generations separate reuse of the same name
+
+    def test_missing_sender_deadlocks(self):
+        cluster, nodes = make_cluster()
+
+        def body(ctx):
+            yield Recv(tag=404)
+
+        cluster.spawn("p", nodes[0], body)
+        with pytest.raises(DeadlockError):
+            cluster.run()
+
+    def test_process_return_value_captured(self):
+        cluster, nodes = make_cluster()
+
+        def body(ctx):
+            yield Timeout(1.0)
+            return "done"
+
+        proc = cluster.spawn("p", nodes[0], body)
+        cluster.run()
+        assert proc.finished and proc.result == "done"
+
+    def test_process_exception_surfaces(self):
+        cluster, nodes = make_cluster()
+
+        def body(ctx):
+            yield Timeout(1.0)
+            raise ValueError("app bug")
+
+        cluster.spawn("p", nodes[0], body)
+        with pytest.raises(SimulationError, match="raised"):
+            cluster.run()
+
+    def test_unknown_request_rejected(self):
+        cluster, nodes = make_cluster()
+
+        def body(ctx):
+            yield "not-a-request"
+
+        cluster.spawn("p", nodes[0], body)
+        with pytest.raises(SimulationError, match="unsupported"):
+            cluster.run()
+
+    def test_compute_validation(self):
+        with pytest.raises(ValueError):
+            Compute()
+        with pytest.raises(ValueError):
+            Compute(seconds=1.0, flops=1.0)
+        with pytest.raises(ValueError):
+            Compute(seconds=-1.0)
+
+    def test_messages_between_same_node_use_local_path(self):
+        cluster, nodes = make_cluster()
+        arrival = {}
+
+        def receiver(ctx):
+            yield Recv(tag=1)
+            arrival["t"] = ctx.now
+
+        def sender(ctx, dest):
+            yield Send(dest, nbytes=1e6, tag=1)
+
+        r = cluster.spawn("r", nodes[0], receiver)
+        cluster.spawn("s", nodes[0], sender, r.tid)
+        cluster.run()
+        # local path defaults to 10x bandwidth, 10x lower latency
+        assert arrival["t"] == pytest.approx(0.1001)

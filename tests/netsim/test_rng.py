@@ -1,0 +1,57 @@
+"""Unit tests for RNG streams and jitter."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.rng import Jitter, RngStreams
+
+
+def test_streams_are_deterministic_by_name():
+    a = RngStreams(seed=42)
+    b = RngStreams(seed=42)
+    assert a.stream("x").random() == b.stream("x").random()
+
+
+def test_streams_independent_of_creation_order():
+    a = RngStreams(seed=1)
+    b = RngStreams(seed=1)
+    a.stream("first")
+    va = a.stream("second").random()
+    vb = b.stream("second").random()  # created without touching "first"
+    assert va == vb
+
+
+def test_different_names_differ():
+    s = RngStreams(seed=5)
+    assert s.stream("a").random() != s.stream("b").random()
+
+
+def test_different_seeds_differ():
+    assert RngStreams(1).stream("x").random() != RngStreams(2).stream("x").random()
+
+
+def test_stream_is_cached():
+    s = RngStreams(0)
+    assert s.stream("x") is s.stream("x")
+
+
+def test_jitter_zero_sigma_is_identity():
+    j = Jitter(np.random.default_rng(0), sigma=0.0)
+    assert j.apply(1.234) == 1.234
+
+
+def test_jitter_preserves_sign_and_scale():
+    j = Jitter(np.random.default_rng(0), sigma=0.01)
+    values = [j.apply(1.0) for _ in range(200)]
+    assert all(v > 0 for v in values)
+    assert abs(np.mean(values) - 1.0) < 0.01
+
+
+def test_jitter_zero_duration_unchanged():
+    j = Jitter(np.random.default_rng(0), sigma=0.5)
+    assert j.apply(0.0) == 0.0
+
+
+def test_negative_sigma_rejected():
+    with pytest.raises(ValueError):
+        Jitter(np.random.default_rng(0), sigma=-0.1)

@@ -1,0 +1,70 @@
+"""Unit tests for event tracing."""
+
+import pytest
+
+from repro.netsim.trace import Tracer
+
+
+def test_record_and_totals():
+    tr = Tracer()
+    tr.record("p0", "compute", 0.0, 2.0)
+    tr.record("p0", "compute", 3.0, 4.0)
+    tr.record("p1", "comm", 0.0, 1.5)
+    assert tr.by_category() == {"compute": 3.0, "comm": 1.5}
+    per = tr.by_process()
+    assert per["p0"]["compute"] == 3.0
+    assert per["p1"]["comm"] == 1.5
+
+
+def test_invalid_interval_rejected():
+    tr = Tracer()
+    with pytest.raises(ValueError):
+        tr.record("p", "x", 2.0, 1.0)
+
+
+def test_disabled_tracer_records_nothing():
+    tr = Tracer(enabled=False)
+    tr.record("p", "x", 0.0, 1.0)
+    assert tr.records == []
+
+
+def test_interval_filtering():
+    tr = Tracer()
+    tr.record("p0", "a", 0.0, 1.0)
+    tr.record("p0", "b", 1.0, 2.0)
+    tr.record("p1", "a", 0.0, 1.0)
+    assert len(tr.intervals(proc="p0")) == 2
+    assert len(tr.intervals(category="a")) == 2
+    assert len(tr.intervals(proc="p1", category="b")) == 0
+
+
+def test_span_and_makespan():
+    tr = Tracer()
+    assert tr.span() == (0.0, 0.0)
+    tr.record("p", "a", 1.0, 2.0)
+    tr.record("p", "b", 0.5, 1.2)
+    assert tr.span() == (0.5, 2.0)
+    assert tr.makespan() == pytest.approx(1.5)
+
+
+def test_gantt_renders_rows():
+    tr = Tracer()
+    tr.record("alpha", "compute", 0.0, 1.0)
+    tr.record("beta", "idle", 0.0, 1.0)
+    art = tr.gantt(width=10)
+    lines = art.splitlines()
+    assert len(lines) == 2
+    assert "c" in lines[0]  # compute dominates alpha's row
+    assert "i" in lines[1]
+
+
+def test_gantt_empty():
+    assert Tracer().gantt() == "(empty trace)"
+
+
+def test_gantt_category_filter():
+    tr = Tracer()
+    tr.record("p", "compute", 0.0, 1.0)
+    tr.record("p", "idle", 1.0, 2.0)
+    art = tr.gantt(width=10, categories=["idle"])
+    assert "c" not in art.splitlines()[0].split("|")[1]

@@ -1,0 +1,31 @@
+"""Unit tests for the operation-cost anchor constants."""
+
+from repro.opal import costs
+
+
+def test_medium_pair_count():
+    assert costs.MEDIUM_PAIRS == 4289 * 4288 // 2 == 9_195_616
+
+
+def test_kernel_flops_anchor():
+    # Table 1: fast CoPs counted 325.80 MFlop with inflation 1.0
+    assert costs.KERNEL_FLOPS == 325.80e6
+
+
+def test_nb_pair_flops_consistent():
+    assert costs.NB_PAIR_FLOPS * costs.MEDIUM_PAIRS == costs.KERNEL_FLOPS
+    assert 30 < costs.NB_PAIR_FLOPS < 45  # a plausible LJ+Coulomb+grad cost
+
+
+def test_cost_hierarchy():
+    # distance check < pair energy; client per-atom work is O(100)
+    assert costs.UPDATE_PAIR_FLOPS < costs.NB_PAIR_FLOPS
+    assert costs.SEQ_ATOM_FLOPS > costs.NB_PAIR_FLOPS
+
+
+def test_alpha_is_three_doubles():
+    assert costs.ALPHA_BYTES == 24
+
+
+def test_pair_entry_is_two_ints():
+    assert costs.PAIR_ENTRY_BYTES == 8

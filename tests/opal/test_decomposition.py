@@ -1,0 +1,132 @@
+"""Unit tests for the RD/SD/FD parallelization-alternative models."""
+
+import pytest
+
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.opal.complexes import LARGE, MEDIUM
+from repro.opal.decomposition import (
+    ForceDecomposition,
+    ReplicatedData,
+    SpaceDecomposition,
+    best_method,
+    compare_decompositions,
+)
+from repro.platforms import CRAY_J90, CRAY_T3E
+
+
+def app(**kw):
+    defaults = dict(molecule=MEDIUM, steps=10, servers=4, cutoff=10.0)
+    defaults.update(kw)
+    return ApplicationParams(**defaults)
+
+
+@pytest.fixture
+def j90_params():
+    return ModelPlatformParams.from_spec(CRAY_J90)
+
+
+@pytest.fixture
+def t3e_params():
+    return ModelPlatformParams.from_spec(CRAY_T3E)
+
+
+def test_rd_matches_the_papers_model(j90_params):
+    """The RD method IS the paper's model: comm must coincide exactly."""
+    from repro.core.model import OpalPerformanceModel
+
+    a = app()
+    rd = ReplicatedData(j90_params)
+    paper = OpalPerformanceModel(j90_params)
+    assert rd.t_comm(a) == pytest.approx(paper.t_comm(a))
+    assert rd.t_comp(a) == pytest.approx(paper.t_par_comp(a))
+
+
+def test_computation_identical_across_methods(j90_params):
+    a = app()
+    comps = {cls.method: cls(j90_params).t_comp(a)
+             for cls in (ReplicatedData, SpaceDecomposition, ForceDecomposition)}
+    assert len(set(round(v, 12) for v in comps.values())) == 1
+
+
+def test_rd_comm_grows_sd_comm_shrinks_with_p(j90_params):
+    rd = ReplicatedData(j90_params)
+    sd = SpaceDecomposition(j90_params)
+    assert rd.t_comm(app(servers=8)) > rd.t_comm(app(servers=2))
+    assert sd.t_comm(app(servers=8)) <= sd.t_comm(app(servers=2)) * 1.01
+
+
+def test_fd_comm_scales_inverse_sqrt_p(t3e_params):
+    fd = ForceDecomposition(t3e_params)
+    # on the low-latency T3E the bandwidth term dominates: quadrupling p
+    # halves the exchanged volume (modulo the log-p latency stages)
+    t4 = fd.t_comm(app(servers=4))
+    t16 = fd.t_comm(app(servers=16))
+    assert t16 < 0.75 * t4
+    assert t16 > t4 / 4.0
+
+
+def test_fd_latency_bound_on_j90(j90_params):
+    # with b1 = 10 ms the log-p stage latency dominates FD on the J90:
+    # comm does NOT shrink when going from 4 to 16 processors
+    fd = ForceDecomposition(j90_params)
+    assert fd.t_comm(app(servers=16)) >= fd.t_comm(app(servers=4))
+
+
+def test_sd_degenerates_without_cutoff(j90_params):
+    sd = SpaceDecomposition(j90_params)
+    a = app(cutoff=None, servers=8)
+    assert sd.halo_atoms(a) == a.n  # import everyone
+
+
+def test_sd_halo_smaller_than_domain_at_large_p(j90_params):
+    sd = SpaceDecomposition(j90_params)
+    a = app(molecule=LARGE, cutoff=10.0, servers=8)
+    assert sd.halo_atoms(a) < a.n
+
+
+def test_memory_hierarchy_rd_largest(j90_params):
+    a = app(servers=16, molecule=LARGE)
+    rd = ReplicatedData(j90_params).memory_bytes(a)
+    sd = SpaceDecomposition(j90_params).memory_bytes(a)
+    fd = ForceDecomposition(j90_params).memory_bytes(a)
+    assert rd >= fd >= sd
+
+
+def test_compare_structure(j90_params):
+    out = compare_decompositions(j90_params, app(), servers=(1, 2, 4))
+    assert set(out) == {"RD", "SD", "FD"}
+    for rows in out.values():
+        assert len(rows) == 3
+        assert all(r.total > 0 for r in rows)
+
+
+def test_rd_fine_at_low_p_everywhere(t3e_params):
+    # at p=1..2 the methods barely differ: RD's simplicity is justified
+    a = app(servers=1)
+    totals = {
+        cls.method: cls(t3e_params).predict(a).total
+        for cls in (ReplicatedData, SpaceDecomposition, ForceDecomposition)
+    }
+    spread = max(totals.values()) / min(totals.values())
+    assert spread < 1.25
+
+
+def test_sd_or_fd_wins_at_scale_on_slow_networks(j90_params):
+    # the J90's 3 MB/s middleware makes RD's p*n coordinate traffic the
+    # bottleneck; the scalable decompositions win clearly at p=7
+    a = app(servers=7, cutoff=10.0)
+    assert best_method(j90_params, a) in ("SD", "FD")
+    rd = ReplicatedData(j90_params).predict(a).total
+    winner = min(
+        cls(j90_params).predict(a).total
+        for cls in (SpaceDecomposition, ForceDecomposition)
+    )
+    assert winner < rd / 2
+
+
+def test_fast_network_keeps_rd_competitive():
+    params = ModelPlatformParams.from_spec(CRAY_T3E)
+    a = app(servers=7, cutoff=10.0)
+    rd = ReplicatedData(params).predict(a).total
+    sd = SpaceDecomposition(params).predict(a).total
+    assert rd < 2 * sd  # no catastrophic gap on 100 MB/s MPI

@@ -1,0 +1,100 @@
+"""Unit tests for the pseudo-random pair distribution (even-p anomaly)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.opal.distribution import PairDistribution
+
+
+def test_validation():
+    with pytest.raises(WorkloadError):
+        PairDistribution(servers=0)
+    with pytest.raises(WorkloadError):
+        PairDistribution(servers=2, block=0)
+    with pytest.raises(WorkloadError):
+        PairDistribution(servers=2, defect=1.5)
+
+
+def test_shares_sum_to_total():
+    for p in range(1, 9):
+        d = PairDistribution(servers=p, seed=3)
+        for total in (1, 255, 256, 1000, 123456, 9_195_616):
+            s = d.shares(total)
+            assert s.sum() == pytest.approx(total)
+            assert len(s) == p
+            assert np.all(s >= 0)
+
+
+def test_single_server_gets_everything():
+    d = PairDistribution(servers=1)
+    assert d.shares(1000).tolist() == [1000.0]
+
+
+def test_zero_pairs():
+    d = PairDistribution(servers=3)
+    assert d.shares(0).tolist() == [0.0, 0.0, 0.0]
+
+
+def test_deterministic_by_seed():
+    a = PairDistribution(servers=5, seed=1).shares(100000)
+    b = PairDistribution(servers=5, seed=1).shares(100000)
+    c = PairDistribution(servers=5, seed=2).shares(100000)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_odd_server_counts_well_balanced():
+    for p in (3, 5, 7):
+        d = PairDistribution(servers=p, seed=0)
+        imb = d.imbalance(5_000_000)
+        assert imb < 1.03, f"p={p} imbalance {imb}"
+
+
+def test_even_server_counts_imbalanced():
+    # the paper's anomaly: even p shows systematic imbalance ~ 1+defect
+    for p in (2, 4, 6):
+        d = PairDistribution(servers=p, seed=0, defect=0.1)
+        imb = d.imbalance(5_000_000)
+        assert 1.05 < imb < 1.2, f"p={p} imbalance {imb}"
+
+
+def test_even_excess_on_even_indexed_servers():
+    d = PairDistribution(servers=4, seed=0, defect=0.1)
+    s = d.shares(5_000_000)
+    even_mean = s[::2].mean()
+    odd_mean = s[1::2].mean()
+    assert even_mean > odd_mean * 1.05
+
+
+def test_zero_defect_balances_even_p():
+    d = PairDistribution(servers=4, seed=0, defect=0.0)
+    assert d.imbalance(5_000_000) < 1.02
+
+
+def test_expected_imbalance_formula():
+    assert PairDistribution(servers=3, defect=0.1).expected_imbalance() == 1.0
+    assert PairDistribution(servers=4, defect=0.1).expected_imbalance() == pytest.approx(1.1)
+    assert PairDistribution(servers=1, defect=0.9).expected_imbalance() == 1.0
+
+
+def test_observed_matches_expected_imbalance():
+    for p in (2, 4, 6, 8):
+        d = PairDistribution(servers=p, seed=5, defect=0.2)
+        observed = d.imbalance(20_000_000)
+        assert observed == pytest.approx(d.expected_imbalance(), abs=0.03)
+
+
+def test_assign_blocks_range():
+    d = PairDistribution(servers=6, seed=1)
+    owners = d.assign_blocks(10_000)
+    assert owners.min() >= 0 and owners.max() < 6
+    assert len(np.unique(owners)) == 6
+
+
+def test_negative_inputs_rejected():
+    d = PairDistribution(servers=2)
+    with pytest.raises(WorkloadError):
+        d.shares(-5)
+    with pytest.raises(WorkloadError):
+        d.assign_blocks(-1)

@@ -1,0 +1,94 @@
+"""Unit tests for velocity-Verlet dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.opal.complexes import ComplexSpec
+from repro.opal.dynamics import KB, VelocityVerlet
+from repro.opal.minimize import steepest_descent
+from repro.opal.pairlist import VerletPairList
+from repro.opal.system import build_system
+
+
+@pytest.fixture
+def relaxed():
+    spec = ComplexSpec("md", protein_atoms=12, waters=24, density=0.033)
+    sys_ = build_system(spec, seed=4)
+    vpl = VerletPairList(sys_, cutoff=7.0, update_interval=2)
+    steepest_descent(sys_, vpl, max_steps=120)
+    return sys_, vpl
+
+
+def test_energy_conservation_nve(relaxed):
+    sys_, vpl = relaxed
+    md = VelocityVerlet(sys_, vpl, dt=0.0005, temperature=30.0, seed=1)
+    result = md.run(60)
+    assert abs(result.energy_drift()) < 5e-3
+
+
+def test_smaller_dt_conserves_better(relaxed):
+    sys_, vpl = relaxed
+    base = sys_.copy()
+
+    drifts = {}
+    for dt in (0.002, 0.0005):
+        s = base.copy()
+        v = VerletPairList(s, cutoff=7.0, update_interval=2)
+        md = VelocityVerlet(s, v, dt=dt, temperature=30.0, seed=1)
+        drifts[dt] = abs(md.run(40).energy_drift())
+    assert drifts[0.0005] <= drifts[0.002] + 1e-12
+
+
+def test_initial_temperature_near_target(relaxed):
+    sys_, vpl = relaxed
+    md = VelocityVerlet(sys_, vpl, dt=0.001, temperature=300.0, seed=0)
+    assert md.temperature() == pytest.approx(300.0, rel=0.35)
+
+
+def test_thermostat_holds_temperature(relaxed):
+    sys_, vpl = relaxed
+    md = VelocityVerlet(
+        sys_, vpl, dt=0.001, temperature=100.0, thermostat=True, seed=0
+    )
+    result = md.run(30)
+    assert result.records[-1].temperature == pytest.approx(100.0, rel=0.05)
+
+
+def test_zero_momentum(relaxed):
+    sys_, vpl = relaxed
+    md = VelocityVerlet(sys_, vpl, dt=0.001, temperature=200.0, seed=3)
+    p = (sys_.masses[:, None] * md.velocities).sum(axis=0)
+    assert np.abs(p).max() < 1e-9
+
+
+def test_records_contain_paper_observables(relaxed):
+    sys_, vpl = relaxed
+    md = VelocityVerlet(sys_, vpl, dt=0.001, temperature=50.0)
+    rec = md.run(3).records[-1]
+    # Opal displays energy, volume, pressure, temperature per step
+    assert rec.energy_total == pytest.approx(
+        rec.energy_potential + rec.energy_kinetic
+    )
+    assert rec.volume == pytest.approx(sys_.volume)
+    assert np.isfinite(rec.pressure)
+    assert rec.temperature >= 0.0
+
+
+def test_invalid_dt():
+    spec = ComplexSpec("x", protein_atoms=3, waters=0, density=0.03)
+    sys_ = build_system(spec, seed=0)
+    vpl = VerletPairList(sys_, cutoff=None)
+    with pytest.raises(WorkloadError):
+        VelocityVerlet(sys_, vpl, dt=0.0)
+
+
+def test_invalid_steps(relaxed):
+    sys_, vpl = relaxed
+    md = VelocityVerlet(sys_, vpl, dt=0.001)
+    with pytest.raises(WorkloadError):
+        md.run(0)
+
+
+def test_kb_value():
+    assert KB == pytest.approx(1.987e-3, rel=1e-3)

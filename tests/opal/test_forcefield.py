@@ -1,0 +1,160 @@
+"""Unit tests for the force field: analytic gradients vs numerical."""
+
+import numpy as np
+import pytest
+
+from repro.opal import forcefield as ff
+from repro.opal.complexes import ComplexSpec
+from repro.opal.system import COULOMB_K, build_system
+
+
+@pytest.fixture(scope="module")
+def sys_():
+    spec = ComplexSpec("ff", protein_atoms=12, waters=18, density=0.03)
+    return build_system(spec, seed=3)
+
+
+@pytest.fixture(scope="module")
+def all_pairs(sys_):
+    n = sys_.n
+    return np.array([(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def numerical_gradient(f, x, h=1e-6):
+    g = np.zeros_like(x)
+    for a in range(x.shape[0]):
+        for c in range(3):
+            xp = x.copy()
+            xp[a, c] += h
+            xm = x.copy()
+            xm[a, c] -= h
+            g[a, c] = (f(xp) - f(xm)) / (2 * h)
+    return g
+
+
+@pytest.mark.parametrize(
+    "name,fn",
+    [
+        ("bond", ff.bond_energy),
+        ("angle", ff.angle_energy),
+        ("dihedral", ff.dihedral_energy),
+        ("improper", ff.improper_energy),
+    ],
+)
+def test_bonded_gradients_match_numerical(sys_, name, fn):
+    # perturb away from any equilibrium so every term has a real gradient
+    rng = np.random.default_rng(0)
+    x0 = sys_.coords + 0.05 * rng.standard_normal(sys_.coords.shape)
+    _, g = fn(sys_, x0)
+    gn = numerical_gradient(lambda x: fn(sys_, x)[0], x0)
+    scale = max(np.abs(gn).max(), 1e-10)
+    assert np.abs(g - gn).max() / scale < 1e-6, name
+
+
+def test_nonbonded_gradient_matches_numerical(sys_, all_pairs):
+    x0 = sys_.coords.copy()
+
+    def energy(x):
+        ev, ec, _ = ff.nonbonded_energy(sys_, all_pairs, x)
+        return ev + ec
+
+    _, _, g = ff.nonbonded_energy(sys_, all_pairs, x0)
+    gn = numerical_gradient(energy, x0, h=1e-7)
+    scale = max(np.abs(gn).max(), 1e-10)
+    assert np.abs(g - gn).max() / scale < 1e-5
+
+
+def test_bond_energy_zero_at_equilibrium():
+    spec = ComplexSpec("eq", protein_atoms=4, waters=0, density=0.03)
+    sys_ = build_system(spec, seed=0)
+    # place the chain exactly at b0 along a line
+    b0 = sys_.topology.bond_b0[0]
+    sys_.coords[:] = 0.0
+    sys_.coords[:, 0] = np.arange(4) * b0
+    e, g = ff.bond_energy(sys_)
+    assert e == pytest.approx(0.0, abs=1e-12)
+    assert np.abs(g).max() == pytest.approx(0.0, abs=1e-12)
+
+
+def test_bond_energy_quadratic_in_stretch():
+    spec = ComplexSpec("eq", protein_atoms=2, waters=0, density=0.03)
+    sys_ = build_system(spec, seed=0)
+    b0 = sys_.topology.bond_b0[0]
+    k = sys_.topology.bond_k[0]
+    sys_.coords[:] = 0.0
+    sys_.coords[1, 0] = b0 + 0.2
+    e, _ = ff.bond_energy(sys_)
+    assert e == pytest.approx(0.5 * k * 0.04)
+
+
+def test_coulomb_sign_and_magnitude():
+    spec = ComplexSpec("q", protein_atoms=2, waters=0, density=0.03)
+    sys_ = build_system(spec, seed=0)
+    sys_.coords[:] = 0.0
+    sys_.coords[1, 0] = 5.0
+    sys_.charges[:] = [0.5, -0.5]
+    sys_.eps[:] = 0.0  # kill LJ
+    ev, ec, _ = ff.nonbonded_energy(sys_, np.array([[0, 1]]))
+    assert ev == 0.0
+    assert ec == pytest.approx(COULOMB_K * 0.5 * -0.5 / 5.0)
+
+
+def test_lj_minimum_location():
+    # LJ minimum at r = 2^(1/6) sigma with depth -eps
+    spec = ComplexSpec("lj", protein_atoms=2, waters=0, density=0.03)
+    sys_ = build_system(spec, seed=0)
+    sys_.charges[:] = 0.0
+    sigma, eps = 3.0, 0.2
+    sys_.sigma[:] = sigma
+    sys_.eps[:] = eps
+    rmin = 2 ** (1 / 6) * sigma
+    sys_.coords[:] = 0.0
+    sys_.coords[1, 0] = rmin
+    ev, _, grad = ff.nonbonded_energy(sys_, np.array([[0, 1]]))
+    assert ev == pytest.approx(-eps, rel=1e-9)
+    assert np.abs(grad).max() < 1e-9
+
+
+def test_empty_pair_list():
+    spec = ComplexSpec("e", protein_atoms=3, waters=0, density=0.03)
+    sys_ = build_system(spec, seed=0)
+    ev, ec, g = ff.nonbonded_energy(sys_, np.zeros((0, 2), dtype=int))
+    assert ev == ec == 0.0
+    assert np.all(g == 0.0)
+
+
+def test_bad_pair_shape_rejected():
+    spec = ComplexSpec("e", protein_atoms=3, waters=0, density=0.03)
+    sys_ = build_system(spec, seed=0)
+    with pytest.raises(Exception):
+        ff.nonbonded_energy(sys_, np.array([0, 1, 2]))
+
+
+def test_total_energy_decomposition(sys_, all_pairs):
+    report, grad = ff.total_energy(sys_, all_pairs)
+    assert report.total == pytest.approx(report.bonded + report.nonbonded)
+    assert report.bonded == pytest.approx(
+        report.bond + report.angle + report.dihedral + report.improper
+    )
+    # gradient is the sum of the term gradients
+    parts = [
+        ff.bond_energy(sys_)[1],
+        ff.angle_energy(sys_)[1],
+        ff.dihedral_energy(sys_)[1],
+        ff.improper_energy(sys_)[1],
+        ff.nonbonded_energy(sys_, all_pairs)[2],
+    ]
+    assert np.allclose(grad, sum(parts))
+
+
+def test_translation_invariance(sys_, all_pairs):
+    report0, _ = ff.total_energy(sys_, all_pairs)
+    shifted = sys_.coords + np.array([10.0, -5.0, 3.0])
+    report1, _ = ff.total_energy(sys_, all_pairs, shifted)
+    assert report1.total == pytest.approx(report0.total, rel=1e-9)
+
+
+def test_gradient_sums_to_zero(sys_, all_pairs):
+    # internal forces: no net force on the system
+    _, grad = ff.total_energy(sys_, all_pairs)
+    assert np.abs(grad.sum(axis=0)).max() < 1e-6

@@ -1,0 +1,75 @@
+"""Unit tests for energy minimization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.opal.complexes import ComplexSpec
+from repro.opal.minimize import minimize_lbfgs, steepest_descent
+from repro.opal.pairlist import VerletPairList
+from repro.opal.system import build_system
+
+
+@pytest.fixture
+def setup():
+    spec = ComplexSpec("min", protein_atoms=16, waters=30, density=0.033)
+    sys_ = build_system(spec, seed=2)
+    vpl = VerletPairList(sys_, cutoff=7.0, update_interval=3)
+    return sys_, vpl
+
+
+def test_energy_monotonically_nonincreasing(setup):
+    sys_, vpl = setup
+    res = steepest_descent(sys_, vpl, max_steps=40)
+    e = np.array(res.energies)
+    assert np.all(np.diff(e) <= 1e-9)
+    assert res.final_energy < res.initial_energy
+
+
+def test_apply_updates_system_coords(setup):
+    sys_, vpl = setup
+    before = sys_.coords.copy()
+    steepest_descent(sys_, vpl, max_steps=20, apply=True)
+    assert not np.array_equal(before, sys_.coords)
+
+
+def test_apply_false_leaves_system(setup):
+    sys_, vpl = setup
+    before = sys_.coords.copy()
+    res = steepest_descent(sys_, vpl, max_steps=20, apply=False)
+    assert np.array_equal(before, sys_.coords)
+    assert res.final_coords is not None
+
+
+def test_invalid_max_steps(setup):
+    sys_, vpl = setup
+    with pytest.raises(WorkloadError):
+        steepest_descent(sys_, vpl, max_steps=0)
+
+
+def test_lbfgs_reaches_lower_energy_than_start(setup):
+    sys_, vpl = setup
+    res = minimize_lbfgs(sys_, vpl, max_steps=80)
+    assert res.final_energy < res.initial_energy
+    assert res.iterations > 0
+
+
+def test_gradient_norm_reported(setup):
+    sys_, vpl = setup
+    res = steepest_descent(sys_, vpl, max_steps=30)
+    assert np.isfinite(res.gradient_norm)
+
+
+def test_converges_on_already_minimal_system():
+    # a two-atom bond at equilibrium with no other terms
+    spec = ComplexSpec("flat", protein_atoms=2, waters=0, density=0.03)
+    sys_ = build_system(spec, seed=0)
+    sys_.charges[:] = 0.0
+    sys_.eps[:] = 0.0
+    b0 = sys_.topology.bond_b0[0]
+    sys_.coords[:] = 0.0
+    sys_.coords[1, 0] = b0
+    vpl = VerletPairList(sys_, cutoff=None)
+    res = steepest_descent(sys_, vpl, max_steps=10, gtol=1e-6)
+    assert res.converged
+    assert res.final_energy == pytest.approx(0.0, abs=1e-12)

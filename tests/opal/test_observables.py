@@ -1,0 +1,110 @@
+"""Unit tests for MD trajectory observables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.opal.complexes import ComplexSpec
+from repro.opal.observables import (
+    mean_square_displacement,
+    radial_distribution,
+    running_averages,
+)
+from repro.opal.serial import OpalSerial
+from repro.opal.system import build_system
+
+
+@pytest.fixture(scope="module")
+def water_system():
+    spec = ComplexSpec("obs", protein_atoms=10, waters=220, density=0.033)
+    return build_system(spec, seed=9)
+
+
+class TestRdf:
+    def test_shape_and_positivity(self, water_system):
+        rdf = radial_distribution(water_system, bins=60)
+        assert len(rdf.r) == len(rdf.g) == 60
+        assert np.all(rdf.g >= 0)
+        assert rdf.n_pairs > 0
+
+    def test_excluded_volume_hole_at_small_r(self, water_system):
+        # grid-built waters keep a minimum separation: g(r) ~ 0 below it
+        rdf = radial_distribution(water_system, bins=60)
+        assert np.all(rdf.g[rdf.r < 1.2] == 0.0)
+
+    def test_structured_fluid_has_a_peak(self, water_system):
+        rdf = radial_distribution(water_system, bins=60)
+        pos, height = rdf.first_peak()
+        # jittered-grid waters peak near the grid spacing, above 1
+        assert 1.5 < pos < 6.0
+        assert height > 1.0
+
+    def test_ideal_gas_is_flat(self):
+        # uniform random points: g(r) ~ 1 away from the edges
+        rng = np.random.default_rng(0)
+        spec = ComplexSpec("ig", protein_atoms=2, waters=600, density=0.02)
+        sys_ = build_system(spec, seed=0)
+        sys_.coords[2:] = rng.uniform(0, sys_.box_edge, size=(600, 3))
+        rdf = radial_distribution(sys_, bins=40, r_max=sys_.box_edge / 4)
+        mid = (rdf.r > 2.0) & (rdf.r < rdf.r[-1] * 0.9)
+        assert np.mean(rdf.g[mid]) == pytest.approx(1.0, abs=0.35)
+
+    def test_coordination_number_scales_with_rmax(self, water_system):
+        rdf = radial_distribution(water_system, bins=80)
+        density = water_system.n_waters / (
+            (4 / 3) * np.pi * (water_system.box_edge / 2) ** 3
+        )
+        c_small = rdf.coordination_number(3.0, density)
+        c_large = rdf.coordination_number(6.0, density)
+        assert 0 <= c_small < c_large
+
+    def test_validation(self, water_system):
+        with pytest.raises(WorkloadError):
+            radial_distribution(water_system, selection=np.zeros(water_system.n, bool))
+        with pytest.raises(WorkloadError):
+            radial_distribution(water_system, bins=1)
+
+
+class TestMsd:
+    def test_static_frames_zero_msd(self, water_system):
+        frames = [water_system.coords.copy()] * 4
+        res = mean_square_displacement(frames, dt=0.1)
+        assert np.allclose(res.msd, 0.0)
+
+    def test_ballistic_motion_quadratic(self):
+        rng = np.random.default_rng(1)
+        x0 = rng.uniform(0, 10, size=(50, 3))
+        v = rng.standard_normal((50, 3))
+        frames = [x0 + v * (k * 0.5) for k in range(6)]
+        res = mean_square_displacement(frames, dt=0.5)
+        # MSD(t) = <v^2> t^2: ratio between t=2dt and t=dt is 4
+        assert res.msd[2] / res.msd[1] == pytest.approx(4.0, rel=1e-9)
+
+    def test_diffusion_coefficient_of_linear_msd(self):
+        time = np.arange(6) * 1.0
+        frames = [np.zeros((10, 3))]
+        # construct frames whose displacements give MSD = 6 D t, D = 2
+        for t in time[1:]:
+            disp = np.sqrt(6 * 2.0 * t / 3.0)
+            frames.append(np.full((10, 3), disp))
+        res = mean_square_displacement(frames, dt=1.0)
+        assert res.diffusion_coefficient() == pytest.approx(2.0, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            mean_square_displacement([np.zeros((3, 3))], dt=0.1)
+        with pytest.raises(WorkloadError):
+            mean_square_displacement([np.zeros((3, 3))] * 2, dt=0.0)
+
+
+class TestRunningAverages:
+    def test_windows_and_keys(self):
+        spec = ComplexSpec("ra", protein_atoms=12, waters=24, density=0.033)
+        drv = OpalSerial(spec, cutoff=7.0, seed=3)
+        drv.run_minimization(max_steps=60)
+        result = drv.run_dynamics(steps=12, dt=0.0005, temperature=40.0)
+        avg = running_averages(result, window=4)
+        assert set(avg) == {"energy_total", "temperature", "pressure"}
+        assert len(avg["energy_total"]) == 12 - 4 + 1
+        with pytest.raises(WorkloadError):
+            running_averages(result, window=0)

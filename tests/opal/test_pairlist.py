@@ -1,0 +1,114 @@
+"""Unit tests for cut-off pair lists and periodic updates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.opal.complexes import ComplexSpec
+from repro.opal.pairlist import PairListBuilder, VerletPairList
+from repro.opal.system import build_system
+
+
+@pytest.fixture(scope="module")
+def sys_():
+    spec = ComplexSpec("pl", protein_atoms=30, waters=120, density=0.033)
+    return build_system(spec, seed=7)
+
+
+def brute_reference(coords, cutoff):
+    n = len(coords)
+    out = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            if cutoff is None or np.linalg.norm(coords[i] - coords[j]) <= cutoff:
+                out.append((i, j))
+    return np.array(out, dtype=np.int64)
+
+
+def test_brute_matches_reference(sys_):
+    got = PairListBuilder(cutoff=6.0).build(sys_.coords)
+    excl = {tuple(r) for r in sys_.topology.excluded_pairs().tolist()}
+    want = np.array(
+        [p for p in brute_reference(sys_.coords, 6.0).tolist() if tuple(p) not in excl]
+    )
+    # builder applied no exclusions here
+    got_plain = PairListBuilder(cutoff=6.0).build(sys_.coords)
+    assert np.array_equal(got_plain, brute_reference(sys_.coords, 6.0))
+
+
+def test_cells_matches_brute(sys_):
+    for cutoff in (4.0, 6.0, 9.0):
+        b = PairListBuilder(cutoff=cutoff, method="brute").build(sys_.coords)
+        c = PairListBuilder(cutoff=cutoff, method="cells").build(sys_.coords)
+        assert np.array_equal(b, c), f"cutoff={cutoff}"
+
+
+def test_no_cutoff_gives_all_pairs(sys_):
+    pairs = PairListBuilder(cutoff=None).build(sys_.coords)
+    n = sys_.n
+    assert len(pairs) == n * (n - 1) // 2
+
+
+def test_exclusions_removed(sys_):
+    excl = sys_.topology.excluded_pairs()
+    pairs = PairListBuilder(cutoff=None, exclusions=excl).build(sys_.coords)
+    codes = set(map(tuple, pairs.tolist()))
+    for e in map(tuple, excl.tolist()):
+        assert e not in codes
+
+
+def test_pairs_sorted_i_lt_j(sys_):
+    pairs = PairListBuilder(cutoff=5.0).build(sys_.coords)
+    assert np.all(pairs[:, 0] < pairs[:, 1])
+
+
+def test_invalid_args():
+    with pytest.raises(WorkloadError):
+        PairListBuilder(cutoff=-1.0)
+    with pytest.raises(WorkloadError):
+        PairListBuilder(method="quantum")
+
+
+def test_candidates_counted_quadratically(sys_):
+    b = PairListBuilder(cutoff=5.0)
+    b.build(sys_.coords)
+    n = sys_.n
+    assert b.stats.candidates_checked == n * (n - 1) // 2
+
+
+# ----------------------------------------------------------------------
+class TestVerletPairList:
+    def test_update_interval_controls_rebuilds(self, sys_):
+        vpl = VerletPairList(sys_, cutoff=6.0, update_interval=5)
+        for step in range(10):
+            vpl.pairs_for_step(step)
+        assert vpl.stats.updates == 2  # steps 0 and 5
+
+    def test_full_update_rebuilds_every_step(self, sys_):
+        vpl = VerletPairList(sys_, cutoff=6.0, update_interval=1)
+        for step in range(10):
+            vpl.pairs_for_step(step)
+        assert vpl.stats.updates == 10
+
+    def test_stale_list_reused_between_updates(self, sys_):
+        vpl = VerletPairList(sys_, cutoff=6.0, update_interval=10)
+        p0 = vpl.pairs_for_step(0)
+        moved = sys_.coords + 100.0  # even after moving, no rebuild at step 1
+        p1 = vpl.pairs_for_step(1, moved)
+        assert p1 is p0
+
+    def test_pairs_evaluated_accumulates(self, sys_):
+        vpl = VerletPairList(sys_, cutoff=6.0, update_interval=1)
+        total = 0
+        for step in range(3):
+            total += len(vpl.pairs_for_step(step))
+        assert vpl.pairs_evaluated == total
+
+    def test_invalid_interval(self, sys_):
+        with pytest.raises(WorkloadError):
+            VerletPairList(sys_, cutoff=6.0, update_interval=0)
+
+    def test_excludes_bonded_neighbours(self, sys_):
+        vpl = VerletPairList(sys_, cutoff=6.0)
+        pairs = set(map(tuple, vpl.pairs_for_step(0).tolist()))
+        assert (0, 1) not in pairs  # bonded neighbours excluded

@@ -1,0 +1,129 @@
+"""Integration-grade unit tests for the parallel Opal driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import OpalPerformanceModel
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.opal.complexes import MEDIUM, SMALL
+from repro.opal.parallel import make_opal_interface, run_parallel_opal
+from repro.platforms import CRAY_J90, FAST_COPS, SMP_COPS
+
+
+def small_app(**kw):
+    defaults = dict(molecule=SMALL, steps=4, servers=3, cutoff=10.0)
+    defaults.update(kw)
+    return ApplicationParams(**defaults)
+
+
+def test_interface_declares_both_procedures():
+    iface = make_opal_interface()
+    assert set(iface.names()) == {"update_lists", "eval_nonbonded"}
+
+
+def test_run_produces_additive_breakdown():
+    r = run_parallel_opal(small_app(), CRAY_J90)
+    b = r.breakdown
+    assert r.wall_time == pytest.approx(b.total, rel=1e-9)
+    assert b.update > 0 and b.nbint > 0 and b.comm > 0 and b.sync > 0
+
+
+def test_single_server_matches_model_closely():
+    app = small_app(servers=1, steps=6)
+    r = run_parallel_opal(app, CRAY_J90)
+    model = OpalPerformanceModel(ModelPlatformParams.from_spec(CRAY_J90))
+    assert r.wall_time == pytest.approx(model.predict_total(app), rel=0.05)
+
+
+def test_more_servers_less_compute_per_server():
+    r2 = run_parallel_opal(small_app(servers=2, cutoff=None), CRAY_J90)
+    r6 = run_parallel_opal(small_app(servers=6, cutoff=None), CRAY_J90)
+    assert r6.breakdown.nbint < r2.breakdown.nbint
+    assert r6.breakdown.comm > r2.breakdown.comm
+
+
+def test_even_p_shows_more_idle_than_odd():
+    r4 = run_parallel_opal(small_app(servers=4, cutoff=None), CRAY_J90)
+    r5 = run_parallel_opal(small_app(servers=5, cutoff=None), CRAY_J90)
+    assert r4.breakdown.idle > r5.breakdown.idle
+    assert r4.imbalance > r5.imbalance
+
+
+def test_partial_update_reduces_update_time():
+    full = run_parallel_opal(small_app(update_interval=1, steps=10), CRAY_J90)
+    part = run_parallel_opal(small_app(update_interval=10, steps=10), CRAY_J90)
+    assert part.breakdown.update < full.breakdown.update
+    assert part.breakdown.comm < full.breakdown.comm
+
+
+def test_cutoff_reduces_energy_time():
+    with_cut = run_parallel_opal(small_app(cutoff=10.0), CRAY_J90)
+    without = run_parallel_opal(small_app(cutoff=None), CRAY_J90)
+    assert with_cut.breakdown.nbint < without.breakdown.nbint
+
+
+def test_overlapped_mode_is_faster_but_unaccounted():
+    app = small_app(steps=6)
+    acc = run_parallel_opal(app, CRAY_J90, sync_mode="accounted")
+    ovl = run_parallel_opal(app, CRAY_J90, sync_mode="overlapped")
+    assert ovl.wall_time <= acc.wall_time
+    assert ovl.breakdown.sync == 0.0
+    assert ovl.barriers_executed == 0
+    assert acc.barriers_executed > 0
+
+
+def test_accounting_overhead_below_paper_bound():
+    # the paper accepts < 5% slowdown for exact accounting; on compute-
+    # bound runs the overhead should stay in that band
+    app = ApplicationParams(molecule=MEDIUM, steps=5, servers=4, cutoff=None)
+    acc = run_parallel_opal(app, FAST_COPS, sync_mode="accounted")
+    ovl = run_parallel_opal(app, FAST_COPS, sync_mode="overlapped")
+    slowdown = (acc.wall_time - ovl.wall_time) / ovl.wall_time
+    assert 0.0 <= slowdown < 0.05
+
+
+def test_flops_counted_with_inflation():
+    app = small_app(servers=2, steps=3)
+    r = run_parallel_opal(app, CRAY_J90)
+    # counted = algorithmic x J90 inflation (~1.527)
+    from repro.opal.workload import OpalWorkload
+
+    algo = OpalWorkload(app).total_algorithmic_flops()
+    assert r.flops_counted == pytest.approx(algo * CRAY_J90.flop_inflation, rel=1e-6)
+
+
+def test_smp_placement_two_servers_per_node():
+    app = small_app(servers=4)
+    r = run_parallel_opal(app, SMP_COPS, keep_cluster=True)
+    # 5 processes on 2-cpu nodes -> 3 nodes
+    assert len(r.cluster.nodes) == 3
+
+
+def test_jitter_changes_wall_time_but_not_much():
+    app = small_app(steps=5)
+    r0 = run_parallel_opal(app, CRAY_J90, jitter_sigma=0.0)
+    r1 = run_parallel_opal(app, CRAY_J90, jitter_sigma=0.004, seed=1)
+    assert r0.wall_time != r1.wall_time
+    assert abs(r1.wall_time - r0.wall_time) / r0.wall_time < 0.05
+
+
+def test_deterministic_without_jitter():
+    app = small_app()
+    a = run_parallel_opal(app, CRAY_J90, seed=0)
+    b = run_parallel_opal(app, CRAY_J90, seed=0)
+    assert a.wall_time == b.wall_time
+
+
+def test_server_seconds_lists_have_p_entries():
+    app = small_app(servers=5)
+    r = run_parallel_opal(app, CRAY_J90)
+    assert len(r.server_update_seconds) == 5
+    assert len(r.server_energy_seconds) == 5
+    assert all(s > 0 for s in r.server_energy_seconds)
+
+
+def test_client_phases_cover_rpc_components():
+    r = run_parallel_opal(small_app(), CRAY_J90)
+    for key in ("comm:call_upd", "comm:return_upd", "comm:call_nbi",
+                "comm:return_nbi", "seq_comp"):
+        assert key in r.client_phases, key

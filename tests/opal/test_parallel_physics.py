@@ -1,0 +1,137 @@
+"""Tests for the physics-mode parallel Opal (real MD over the middleware)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.opal.complexes import ComplexSpec
+from repro.opal.dynamics import VelocityVerlet
+from repro.opal.forcefield import total_energy
+from repro.opal.minimize import steepest_descent
+from repro.opal.pairlist import VerletPairList
+from repro.opal.parallel_physics import (
+    partition_candidate_pairs,
+    run_parallel_opal_physics,
+)
+from repro.opal.system import build_system
+from repro.platforms import CRAY_J90, FAST_COPS
+
+
+@pytest.fixture(scope="module")
+def relaxed_system():
+    spec = ComplexSpec("pp", protein_atoms=16, waters=44, density=0.033)
+    sys_ = build_system(spec, seed=5)
+    vpl = VerletPairList(sys_, cutoff=None)
+    steepest_descent(sys_, vpl, max_steps=120)
+    return sys_
+
+
+# ----------------------------------------------------------------------
+class TestPartition:
+    def test_partitions_are_disjoint_and_complete(self, relaxed_system):
+        sys_ = relaxed_system
+        parts = partition_candidate_pairs(sys_, servers=4, seed=1)
+        assert len(parts) == 4
+        n = sys_.n
+        all_codes = np.concatenate([p[:, 0] * n + p[:, 1] for p in parts])
+        assert len(all_codes) == len(np.unique(all_codes))
+        expected = n * (n - 1) // 2 - len(sys_.topology.excluded_pairs())
+        assert len(all_codes) == expected
+
+    def test_excluded_pairs_never_assigned(self, relaxed_system):
+        sys_ = relaxed_system
+        parts = partition_candidate_pairs(sys_, servers=3, seed=0)
+        n = sys_.n
+        excl = set(
+            (sys_.topology.excluded_pairs()[:, 0] * n
+             + sys_.topology.excluded_pairs()[:, 1]).tolist()
+        )
+        for p in parts:
+            codes = set((p[:, 0] * n + p[:, 1]).tolist())
+            assert not codes & excl
+
+    def test_single_server_gets_all(self, relaxed_system):
+        parts = partition_candidate_pairs(relaxed_system, servers=1)
+        n = relaxed_system.n
+        assert len(parts[0]) == n * (n - 1) // 2 - len(
+            relaxed_system.topology.excluded_pairs()
+        )
+
+
+# ----------------------------------------------------------------------
+class TestPhysicsRun:
+    def test_parallel_energy_matches_direct_evaluation(self, relaxed_system):
+        sys_ = relaxed_system
+        result = run_parallel_opal_physics(
+            sys_.copy(), servers=3, platform=CRAY_J90, steps=1, dt=0.0,
+            cutoff=None,
+        )
+        rec = result.records[-1]
+        vpl = VerletPairList(sys_, cutoff=None)
+        report, _ = total_energy(sys_, vpl.pairs_for_step(0))
+        assert rec.e_vdw + rec.e_coul == pytest.approx(report.nonbonded, rel=1e-9)
+        assert rec.e_bonded == pytest.approx(report.bonded, rel=1e-9)
+
+    def test_parallel_trajectory_matches_serial(self, relaxed_system):
+        sys_par = relaxed_system.copy()
+        sys_ser = relaxed_system.copy()
+        steps, dt = 4, 0.0005
+        result = run_parallel_opal_physics(
+            sys_par, servers=3, platform=CRAY_J90, steps=steps, dt=dt,
+            cutoff=None, temperature=None,
+        )
+        vpl = VerletPairList(sys_ser, cutoff=None)
+        md = VelocityVerlet(sys_ser, vpl, dt=dt, temperature=None)
+        serial = md.run(steps)
+        assert np.allclose(result.final_coords, serial.final_coords, atol=1e-9)
+        assert result.records[-1].e_total == pytest.approx(
+            serial.records[-1].energy_total, rel=1e-9
+        )
+
+    def test_server_count_does_not_change_physics(self, relaxed_system):
+        finals = []
+        for p in (1, 2, 5):
+            r = run_parallel_opal_physics(
+                relaxed_system.copy(), servers=p, platform=FAST_COPS,
+                steps=3, dt=0.0005, cutoff=8.0,
+            )
+            finals.append(r.final_coords)
+        assert np.allclose(finals[0], finals[1], atol=1e-8)
+        assert np.allclose(finals[0], finals[2], atol=1e-8)
+
+    def test_cutoff_reduces_evaluated_pairs(self, relaxed_system):
+        full = run_parallel_opal_physics(
+            relaxed_system.copy(), servers=2, platform=CRAY_J90, steps=1,
+            dt=0.0, cutoff=None,
+        )
+        cut = run_parallel_opal_physics(
+            relaxed_system.copy(), servers=2, platform=CRAY_J90, steps=1,
+            dt=0.0, cutoff=6.0,
+        )
+        assert sum(cut.server_pair_counts) < sum(full.server_pair_counts)
+
+    def test_wall_time_reflects_platform(self, relaxed_system):
+        slow = run_parallel_opal_physics(
+            relaxed_system.copy(), servers=2, platform=CRAY_J90, steps=2,
+            dt=0.0005,
+        )
+        fast = run_parallel_opal_physics(
+            relaxed_system.copy(), servers=2, platform=FAST_COPS, steps=2,
+            dt=0.0005,
+        )
+        assert fast.wall_time < slow.wall_time
+
+    def test_nve_energy_conserved(self, relaxed_system):
+        r = run_parallel_opal_physics(
+            relaxed_system.copy(), servers=3, platform=FAST_COPS, steps=20,
+            dt=0.0005, temperature=25.0, seed=2,
+        )
+        e = r.energies
+        drift = abs(e[-1] - e[0]) / max(abs(e[0]), 1e-9)
+        assert drift < 5e-3
+
+    def test_validation(self, relaxed_system):
+        with pytest.raises(WorkloadError):
+            run_parallel_opal_physics(relaxed_system, 0, CRAY_J90)
+        with pytest.raises(WorkloadError):
+            run_parallel_opal_physics(relaxed_system, 2, CRAY_J90, steps=0)

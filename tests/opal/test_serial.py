@@ -1,0 +1,65 @@
+"""Unit tests for the serial Opal driver."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.opal.complexes import ComplexSpec
+from repro.opal.serial import OpalSerial
+from repro.opal.system import build_system
+
+
+@pytest.fixture
+def spec():
+    return ComplexSpec("ser", protein_atoms=18, waters=42, density=0.033)
+
+
+def test_accepts_spec_or_system(spec):
+    drv1 = OpalSerial(spec, cutoff=7.0)
+    sys_ = build_system(spec, seed=0)
+    drv2 = OpalSerial(sys_, cutoff=7.0)
+    assert drv1.system.n == drv2.system.n == spec.n
+    with pytest.raises(WorkloadError):
+        OpalSerial("not-a-system")
+
+
+def test_minimization_then_dynamics(spec):
+    drv = OpalSerial(spec, cutoff=7.0, update_interval=2, seed=1)
+    mres = drv.run_minimization(max_steps=80)
+    assert mres.final_energy < mres.initial_energy
+    dres = drv.run_dynamics(steps=10, dt=0.0005, temperature=30.0)
+    assert len(dres.records) == 10
+
+
+def test_stats_reflect_update_interval(spec):
+    drv = OpalSerial(spec, cutoff=7.0, update_interval=5, seed=1)
+    drv.run_dynamics(steps=10, dt=0.0005, temperature=10.0)
+    st = drv.stats()
+    # step 0 builds once, then rebuilds at steps 5, 10 (VelocityVerlet
+    # evaluates at construction + after each step)
+    assert st.updates == 3
+    n = spec.n
+    assert st.candidates_per_update() == n * (n - 1) / 2
+
+
+def test_no_cutoff_evaluates_all_pairs(spec):
+    drv = OpalSerial(spec, cutoff=None, seed=1)
+    drv.run_dynamics(steps=2, dt=0.0005, temperature=10.0)
+    st = drv.stats()
+    n = spec.n
+    expected = n * (n - 1) / 2 - len(drv.system.topology.excluded_pairs())
+    assert st.active_pairs_last == expected
+
+
+def test_cutoff_reduces_active_pairs(spec):
+    full = OpalSerial(spec, cutoff=None, seed=1)
+    full.run_dynamics(steps=1, dt=0.0005, temperature=10.0)
+    cut = OpalSerial(spec, cutoff=6.0, seed=1)
+    cut.run_dynamics(steps=1, dt=0.0005, temperature=10.0)
+    assert cut.stats().active_pairs_last < full.stats().active_pairs_last
+
+
+def test_united_water_reduces_problem_size(spec):
+    united = OpalSerial(spec, united_water=True)
+    explicit = OpalSerial(spec, united_water=False)
+    assert united.system.n < explicit.system.n
+    assert explicit.system.n == spec.n_explicit

@@ -1,0 +1,92 @@
+"""Unit tests for synthetic molecular systems."""
+
+import numpy as np
+import pytest
+
+from repro.opal.complexes import ComplexSpec
+from repro.opal.system import build_system
+
+
+@pytest.fixture
+def spec():
+    return ComplexSpec("t", protein_atoms=20, waters=40, density=0.033)
+
+
+def test_counts_match_spec(spec):
+    sys_ = build_system(spec, seed=0)
+    assert sys_.n == spec.n
+    assert sys_.n_protein == 20
+    assert sys_.n_waters == 40
+
+
+def test_explicit_water_three_sites(spec):
+    sys_ = build_system(spec, seed=0, united_water=False)
+    assert sys_.n == spec.n_explicit == 20 + 120
+
+
+def test_deterministic_by_seed(spec):
+    a = build_system(spec, seed=5)
+    b = build_system(spec, seed=5)
+    assert np.array_equal(a.coords, b.coords)
+    c = build_system(spec, seed=6)
+    assert not np.array_equal(a.coords, c.coords)
+
+
+def test_solute_is_neutral(spec):
+    sys_ = build_system(spec, seed=0)
+    assert abs(sys_.charges[~sys_.is_water].sum()) < 1e-12
+
+
+def test_explicit_waters_neutral(spec):
+    sys_ = build_system(spec, seed=0, united_water=False)
+    assert abs(sys_.charges[sys_.is_water].sum()) < 1e-9
+
+
+def test_united_waters_uncharged(spec):
+    sys_ = build_system(spec, seed=0)
+    assert np.all(sys_.charges[sys_.is_water] == 0.0)
+
+
+def test_no_severe_protein_water_overlap(spec):
+    sys_ = build_system(spec, seed=0)
+    prot = sys_.coords[~sys_.is_water]
+    wat = sys_.coords[sys_.is_water]
+    d = wat[:, None, :] - prot[None, :, :]
+    rmin = np.sqrt(np.einsum("wij,wij->wi", d, d).min())
+    assert rmin > 2.0
+
+
+def test_bond_lengths_near_nominal(spec):
+    sys_ = build_system(spec, seed=1)
+    topo = sys_.topology
+    i, j = topo.bonds[:, 0], topo.bonds[:, 1]
+    lengths = np.linalg.norm(sys_.coords[i] - sys_.coords[j], axis=1)
+    assert np.allclose(lengths, 1.5, atol=1e-9)
+
+
+def test_density_close_to_spec(spec):
+    sys_ = build_system(spec, seed=0)
+    assert sys_.density() == pytest.approx(spec.density, rel=1e-9)
+
+
+def test_lj_combination_rule(spec):
+    sys_ = build_system(spec, seed=0)
+    i = np.array([0])
+    j = np.array([spec.protein_atoms])  # protein with water
+    c12, c6 = sys_.lj_c12_c6(i, j)
+    eps = np.sqrt(sys_.eps[0] * sys_.eps[j[0]])
+    sig = 0.5 * (sys_.sigma[0] + sys_.sigma[j[0]])
+    assert c6[0] == pytest.approx(4 * eps * sig**6)
+    assert c12[0] == pytest.approx(4 * eps * sig**12)
+
+
+def test_copy_is_deep_for_mutables(spec):
+    sys_ = build_system(spec, seed=0)
+    cp = sys_.copy()
+    cp.coords[0, 0] += 1.0
+    assert sys_.coords[0, 0] != cp.coords[0, 0]
+
+
+def test_masses_positive(spec):
+    sys_ = build_system(spec, seed=0)
+    assert np.all(sys_.masses > 0)

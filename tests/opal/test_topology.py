@@ -1,0 +1,83 @@
+"""Unit tests for molecular topology."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.opal.topology import Topology, chain_topology
+
+
+def test_chain_term_counts():
+    topo = chain_topology(10)
+    assert len(topo.bonds) == 9
+    assert len(topo.angles) == 8
+    assert len(topo.dihedrals) == 7
+    assert len(topo.impropers) == 2  # every 5th quadruple of 7
+
+
+def test_chain_minimum_size():
+    with pytest.raises(WorkloadError):
+        chain_topology(1)
+    topo = chain_topology(2)
+    assert len(topo.bonds) == 1
+    assert len(topo.angles) == 0
+
+
+def test_offset_shifts_indices():
+    topo = chain_topology(5, offset=100)
+    assert topo.bonds.min() == 100
+    assert topo.bonds.max() == 104
+    assert topo.n_atoms == 105
+
+
+def test_index_out_of_range_rejected():
+    with pytest.raises(WorkloadError):
+        Topology(
+            n_atoms=3,
+            bonds=np.array([[0, 5]]),
+            bond_k=np.array([1.0]),
+            bond_b0=np.array([1.0]),
+        )
+
+
+def test_parameter_length_mismatch_rejected():
+    with pytest.raises(WorkloadError):
+        Topology(
+            n_atoms=3,
+            bonds=np.array([[0, 1]]),
+            bond_k=np.array([1.0, 2.0]),
+            bond_b0=np.array([1.0]),
+        )
+
+
+def test_repeated_atom_in_term_rejected():
+    with pytest.raises(WorkloadError):
+        Topology(
+            n_atoms=3,
+            bonds=np.array([[1, 1]]),
+            bond_k=np.array([1.0]),
+            bond_b0=np.array([1.0]),
+        )
+
+
+def test_excluded_pairs_cover_12_and_13():
+    topo = chain_topology(5)
+    excl = {tuple(r) for r in topo.excluded_pairs().tolist()}
+    # 1-2 neighbours
+    assert (0, 1) in excl and (3, 4) in excl
+    # 1-3 via angles
+    assert (0, 2) in excl and (2, 4) in excl
+    # 1-4 NOT excluded
+    assert (0, 3) not in excl
+
+
+def test_excluded_pairs_unique_and_sorted():
+    topo = chain_topology(8)
+    excl = topo.excluded_pairs()
+    assert np.all(excl[:, 0] < excl[:, 1])
+    assert len(np.unique(excl, axis=0)) == len(excl)
+
+
+def test_n_bonded_terms():
+    topo = chain_topology(10)
+    assert topo.n_bonded_terms == 9 + 8 + 7 + 2

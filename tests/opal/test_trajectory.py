@@ -1,0 +1,92 @@
+"""Unit tests for trajectory recording and XYZ I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.opal.complexes import ComplexSpec
+from repro.opal.pairlist import VerletPairList
+from repro.opal.system import build_system
+from repro.opal.trajectory import Trajectory, record_dynamics
+
+
+@pytest.fixture
+def system():
+    spec = ComplexSpec("traj", protein_atoms=8, waters=12, density=0.033)
+    return build_system(spec, seed=1)
+
+
+def test_labels_from_system(system):
+    traj = Trajectory.for_system(system)
+    assert traj.n_atoms == system.n
+    assert traj.element_labels[:8] == ["C"] * 8
+    assert traj.element_labels[8:] == ["O"] * 12
+
+
+def test_append_validates_shape(system):
+    traj = Trajectory.for_system(system)
+    with pytest.raises(WorkloadError):
+        traj.append(np.zeros((3, 3)))
+
+
+def test_append_copies(system):
+    traj = Trajectory.for_system(system)
+    traj.append(system.coords)
+    system.coords[0, 0] += 99.0
+    assert traj.frames[0][0, 0] != system.coords[0, 0]
+
+
+def test_xyz_roundtrip(tmp_path, system):
+    traj = Trajectory.for_system(system)
+    traj.append(system.coords, comment="frame one")
+    traj.append(system.coords + 0.5, comment="frame two")
+    path = tmp_path / "out.xyz"
+    traj.write_xyz(path)
+    back = Trajectory.read_xyz(path)
+    assert len(back) == 2
+    assert back.element_labels == traj.element_labels
+    assert back.comments == ["frame one", "frame two"]
+    assert np.allclose(back.frames[1], traj.frames[1], atol=1e-6)
+
+
+def test_write_empty_rejected(system):
+    with pytest.raises(WorkloadError):
+        Trajectory.for_system(system).write_xyz("/tmp/never.xyz")
+
+
+def test_read_rejects_garbage(tmp_path):
+    bad = tmp_path / "bad.xyz"
+    bad.write_text("not-a-count\nhello\n")
+    with pytest.raises(WorkloadError):
+        Trajectory.read_xyz(bad)
+    bad.write_text("3\ncomment\nC 0 0 0\n")
+    with pytest.raises(WorkloadError, match="truncated"):
+        Trajectory.read_xyz(bad)
+    bad.write_text("")
+    with pytest.raises(WorkloadError, match="no frames"):
+        Trajectory.read_xyz(bad)
+
+
+def test_record_dynamics_stride(system):
+    vpl = VerletPairList(system, cutoff=6.0, update_interval=2)
+    traj = record_dynamics(
+        system, vpl, steps=6, dt=0.0005, temperature=20.0, stride=2
+    )
+    # initial frame + steps 2, 4, 6
+    assert len(traj) == 4
+    assert traj.comments[0] == "step 0"
+    assert "E=" in traj.comments[-1]
+    with pytest.raises(WorkloadError):
+        record_dynamics(system, vpl, steps=2, stride=0)
+
+
+def test_recorded_trajectory_feeds_msd(system):
+    from repro.opal.observables import mean_square_displacement
+
+    vpl = VerletPairList(system, cutoff=6.0)
+    traj = record_dynamics(
+        system, vpl, steps=5, dt=0.0005, temperature=50.0
+    )
+    res = mean_square_displacement(traj.frames, dt=0.0005)
+    assert res.msd[0] == 0.0
+    assert res.msd[-1] > 0.0

@@ -1,0 +1,48 @@
+"""Unit tests for the united-water model comparison."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.opal.complexes import MEDIUM
+from repro.opal.water import (
+    compare_water_models,
+    dipole_truncation_error,
+)
+
+
+def test_united_water_reduces_workload():
+    cmp_ = compare_water_models(MEDIUM, cutoff=10.0)
+    # claim (i): reduced workload of the servers
+    assert cmp_.workload_reduction > 0.5
+    # claim (ii): smaller lists
+    assert cmp_.list_size_reduction > 0.5
+    assert cmp_.update_reduction > 0.5
+
+
+def test_explicit_model_has_more_sites():
+    cmp_ = compare_water_models(MEDIUM, cutoff=10.0)
+    assert cmp_.n_explicit == MEDIUM.n_explicit > cmp_.n_united == MEDIUM.n
+
+
+def test_accuracy_claim_small_cutoff():
+    # claim (iii): better accuracy at small cutoff radii
+    assert dipole_truncation_error(8.0, united=True) < dipole_truncation_error(
+        8.0, united=False
+    )
+
+
+def test_accuracy_gap_shrinks_with_cutoff():
+    gap_small = dipole_truncation_error(8.0, united=False) - dipole_truncation_error(
+        8.0, united=True
+    )
+    gap_large = dipole_truncation_error(30.0, united=False) - dipole_truncation_error(
+        30.0, united=True
+    )
+    assert gap_large < gap_small
+
+
+def test_invalid_cutoffs():
+    with pytest.raises(WorkloadError):
+        compare_water_models(MEDIUM, cutoff=0.0)
+    with pytest.raises(WorkloadError):
+        dipole_truncation_error(-1.0, united=True)

@@ -1,0 +1,114 @@
+"""Unit tests for the operation-count workload model."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import (
+    ApplicationParams,
+    energy_pair_work,
+    update_pair_work,
+)
+from repro.errors import WorkloadError
+from repro.opal import costs
+from repro.opal.complexes import MEDIUM, SMALL
+from repro.opal.workload import OpalWorkload
+
+
+def make_app(**kw):
+    defaults = dict(molecule=MEDIUM, steps=10, servers=4, cutoff=10.0)
+    defaults.update(kw)
+    return ApplicationParams(**defaults)
+
+
+def test_totals_match_model_complexities():
+    app = make_app()
+    w = OpalWorkload(app)
+    assert w.update_pairs_total == update_pair_work(app.n, app.gamma)
+    assert w.energy_pairs_total == energy_pair_work(app.n, app.n_tilde)
+
+
+def test_no_cutoff_energy_pairs_quadratic():
+    app = make_app(cutoff=None)
+    w = OpalWorkload(app)
+    assert w.energy_pairs_total == app.n * (app.n - 1) / 2
+
+
+def test_updates_total_respects_interval():
+    assert OpalWorkload(make_app(update_interval=1)).updates_total == 10
+    assert OpalWorkload(make_app(update_interval=10)).updates_total == 1
+    assert OpalWorkload(make_app(update_interval=3)).updates_total == 4
+
+
+def test_server_shares_sum_to_totals():
+    app = make_app(servers=5)
+    w = OpalWorkload(app)
+    assert w.server_update_pairs().sum() == pytest.approx(w.update_pairs_total)
+    assert w.server_energy_pairs().sum() == pytest.approx(w.energy_pairs_total)
+
+
+def test_flops_are_pairs_times_cost():
+    app = make_app(servers=3)
+    w = OpalWorkload(app)
+    assert np.allclose(
+        w.server_energy_flops(), w.server_energy_pairs() * costs.NB_PAIR_FLOPS
+    )
+    assert np.allclose(
+        w.server_update_flops(), w.server_update_pairs() * costs.UPDATE_PAIR_FLOPS
+    )
+
+
+def test_even_p_imbalance_visible():
+    w4 = OpalWorkload(make_app(servers=4, cutoff=None))
+    w5 = OpalWorkload(make_app(servers=5, cutoff=None))
+    assert w4.imbalance() > 1.05
+    assert w5.imbalance() < 1.05
+
+
+def test_message_sizes_match_paper_alpha():
+    app = make_app()
+    w = OpalWorkload(app)
+    assert w.coords_nbytes == 24 * app.n
+    assert w.result_nbytes == 16 + 24 * app.n
+    assert w.ack_nbytes == 0
+
+
+def test_seq_flops_linear_in_n():
+    small = OpalWorkload(make_app(molecule=SMALL))
+    medium = OpalWorkload(make_app(molecule=MEDIUM))
+    ratio = medium.seq_flops_per_step / small.seq_flops_per_step
+    assert ratio == pytest.approx(MEDIUM.n / SMALL.n)
+
+
+def test_share_noise_validation():
+    with pytest.raises(WorkloadError):
+        OpalWorkload(make_app(), share_noise=0.6)
+
+
+def test_zero_noise_matches_raw_distribution():
+    app = make_app(servers=3)
+    w = OpalWorkload(app, share_noise=0.0)
+    raw = w._dist.shares(w.energy_pairs_total)
+    assert np.array_equal(w.server_energy_pairs(), raw)
+
+
+def test_working_sets_positive_and_ordered():
+    app = make_app(servers=2)
+    w = OpalWorkload(app)
+    assert w.server_working_set() > w.client_working_set() > 0
+
+
+def test_total_flops_composition():
+    app = make_app(servers=1, update_interval=1, cutoff=None)
+    w = OpalWorkload(app)
+    expected = (
+        10 * w.update_pairs_total * costs.UPDATE_PAIR_FLOPS
+        + 10 * w.energy_pairs_total * costs.NB_PAIR_FLOPS
+        + 10 * w.seq_flops_per_step
+    )
+    assert w.total_algorithmic_flops() == pytest.approx(expected)
+
+
+def test_deterministic_by_seed():
+    a = OpalWorkload(make_app(), seed=3).server_energy_pairs()
+    b = OpalWorkload(make_app(), seed=3).server_energy_pairs()
+    assert np.array_equal(a, b)

@@ -1,0 +1,96 @@
+"""Unit tests for the five-paper-platform catalog."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.opal import costs
+from repro.platforms import (
+    ALL_PLATFORMS,
+    CRAY_J90,
+    CRAY_T3E,
+    FAST_COPS,
+    REFERENCE_PLATFORM,
+    SLOW_COPS,
+    SMP_COPS,
+    TABLE1_MEASUREMENTS,
+    get_platform,
+)
+
+
+def test_catalog_contains_five_platforms():
+    assert len(ALL_PLATFORMS) == 5
+    assert {p.name for p in ALL_PLATFORMS} == {
+        "j90", "t3e", "slow-cops", "smp-cops", "fast-cops",
+    }
+
+
+def test_reference_is_j90():
+    assert REFERENCE_PLATFORM is CRAY_J90
+
+
+def test_lookup():
+    assert get_platform("t3e") is CRAY_T3E
+    with pytest.raises(PlatformError):
+        get_platform("sx4")
+
+
+def test_cpu_rates_reproduce_table1_times():
+    # kernel flops / per-node rate must equal the Table 1 execution time
+    for spec in ALL_PLATFORMS:
+        time, _ = TABLE1_MEASUREMENTS[spec.name]
+        assert costs.KERNEL_FLOPS / spec.node_rate() == pytest.approx(time)
+
+
+def test_flop_inflations_reproduce_table1_counts():
+    for spec in ALL_PLATFORMS:
+        _, counted = TABLE1_MEASUREMENTS[spec.name]
+        assert costs.KERNEL_FLOPS * spec.flop_inflation == pytest.approx(counted)
+
+
+def test_vector_machines_inflate_most():
+    assert CRAY_T3E.flop_inflation > CRAY_J90.flop_inflation > 1.0
+    assert FAST_COPS.flop_inflation == 1.0  # the best-compiler anchor
+
+
+def test_table2_communication_data():
+    assert CRAY_T3E.net_bw == 100e6 and CRAY_T3E.net_latency == pytest.approx(12e-6)
+    assert CRAY_J90.net_bw == 3e6 and CRAY_J90.net_latency == pytest.approx(10e-3)
+    assert SLOW_COPS.net_bw == 3e6
+    assert SMP_COPS.net_bw == 15e6
+    assert FAST_COPS.net_bw == 30e6
+
+
+def test_interconnect_kinds():
+    assert SLOW_COPS.net_kind == "shared"  # shared Ethernet segment
+    assert SMP_COPS.net_kind == "switched"
+    assert FAST_COPS.net_kind == "switched"
+    assert CRAY_J90.net_kind == "crossbar"
+
+
+def test_j90_middleware_pathology_encoded():
+    # observed bandwidth is ~3 orders below the crossbar peak, and the
+    # fast local path is disabled (PVM ignores the shared memory)
+    assert CRAY_J90.net_peak_bw / CRAY_J90.net_bw > 100
+    assert not CRAY_J90.fast_local_path
+
+
+def test_smp_nodes_have_two_cpus():
+    assert SMP_COPS.cpus_per_node == 2
+    assert all(
+        p.cpus_per_node == 1 for p in ALL_PLATFORMS if p.name != "smp-cops"
+    )
+
+
+def test_j90_supports_paper_experiment_sizes():
+    # client + 7 servers on the 8-CPU J90
+    assert CRAY_J90.total_cpus == 8
+
+
+def test_j90_has_no_cache_tier():
+    assert CRAY_J90.memory.cache_bytes == 0.0
+    assert CRAY_J90.memory.cache_factor == 1.0
+
+
+def test_costs_ordered_big_iron_expensive():
+    assert CRAY_T3E.approx_cost_kusd > CRAY_J90.approx_cost_kusd
+    assert CRAY_J90.approx_cost_kusd > 10 * FAST_COPS.approx_cost_kusd

@@ -1,0 +1,84 @@
+"""Unit tests for the parameter-extraction microbenchmarks."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platforms import (
+    ALL_PLATFORMS,
+    CRAY_J90,
+    FAST_COPS,
+    SMP_COPS,
+    barrier_bench,
+    extract_model_params,
+    kernel_bench,
+    ping_pong,
+)
+
+
+class TestPingPong:
+    def test_recovers_bandwidth_and_latency(self):
+        for spec in (CRAY_J90, FAST_COPS):
+            r = ping_pong(spec)
+            assert r.a1 == pytest.approx(spec.net_bw, rel=1e-3)
+            assert r.b1 == pytest.approx(spec.net_latency, rel=1e-3)
+
+    def test_time_for_is_linear_model(self):
+        r = ping_pong(FAST_COPS)
+        assert r.time_for(0) == pytest.approx(r.b1)
+        assert r.time_for(r.a1) == pytest.approx(r.b1 + 1.0)
+
+    def test_needs_two_sizes(self):
+        with pytest.raises(PlatformError):
+            ping_pong(FAST_COPS, sizes=[100])
+
+    def test_measures_across_nodes_not_local(self):
+        # SMP nodes have a fast local path; the bench must use two nodes
+        r = ping_pong(SMP_COPS)
+        assert r.a1 == pytest.approx(SMP_COPS.net_bw, rel=1e-3)
+
+
+class TestKernelBench:
+    @pytest.mark.parametrize("spec", ALL_PLATFORMS, ids=lambda s: s.name)
+    def test_reproduces_table1_row(self, spec):
+        from repro.platforms import TABLE1_MEASUREMENTS
+
+        time, counted = TABLE1_MEASUREMENTS[spec.name]
+        r = kernel_bench(spec)
+        assert r.exec_time == pytest.approx(time, rel=1e-6)
+        assert r.flops_counted == pytest.approx(counted, rel=1e-6)
+
+    def test_rates(self):
+        r = kernel_bench(CRAY_J90)
+        assert r.rate == pytest.approx(80.5e6, rel=0.01)
+        assert r.algorithmic_rate == pytest.approx(52.7e6, rel=0.01)
+
+    def test_smp_uses_both_cpus(self):
+        r = kernel_bench(SMP_COPS)
+        # 5.00 s only achievable with the work split over two CPUs
+        assert r.exec_time == pytest.approx(5.00, rel=1e-6)
+
+
+class TestBarrierBench:
+    def test_recovers_sync_cost(self):
+        for spec in (CRAY_J90, FAST_COPS):
+            b5 = barrier_bench(spec, n_procs=4, reps=8)
+            assert b5 == pytest.approx(spec.sync_cost, rel=0.01)
+
+    def test_needs_two_processes(self):
+        with pytest.raises(PlatformError):
+            barrier_bench(FAST_COPS, n_procs=1)
+
+
+class TestExtraction:
+    def test_full_pipeline_close_to_spec_derivation(self):
+        from repro.core.parameters import ModelPlatformParams
+
+        for spec in (CRAY_J90, FAST_COPS):
+            measured = extract_model_params(spec)
+            derived = ModelPlatformParams.from_spec(spec)
+            assert measured.a1 == pytest.approx(derived.a1, rel=0.01)
+            assert measured.b1 == pytest.approx(derived.b1, rel=0.01)
+            assert measured.a2 == pytest.approx(derived.a2, rel=0.01)
+            assert measured.a3 == pytest.approx(derived.a3, rel=0.01)
+            assert measured.a4 == pytest.approx(derived.a4, rel=0.01)
+            assert measured.b5 == pytest.approx(derived.b5, rel=0.01)

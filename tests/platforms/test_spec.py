@@ -1,0 +1,113 @@
+"""Unit tests for platform specifications."""
+
+import pytest
+
+from repro.core.memhier import MemoryHierarchy
+from repro.errors import PlatformError
+from repro.netsim import CrossbarFabric, SharedMediumFabric, SwitchedFabric
+from repro.platforms import CRAY_J90, SLOW_COPS, SMP_COPS, PlatformSpec
+
+
+def make_spec(**kw):
+    defaults = dict(
+        name="test",
+        label="test platform",
+        clock_mhz=100,
+        cpu_rate=50e6,
+        flop_inflation=1.0,
+        cpus_per_node=1,
+        max_nodes=4,
+        memory=MemoryHierarchy(base_rate=50e6),
+        net_kind="switched",
+        net_peak_bw=100e6,
+        net_bw=30e6,
+        net_latency=15e-6,
+        sync_cost=30e-6,
+    )
+    defaults.update(kw)
+    return PlatformSpec(**defaults)
+
+
+def test_validation():
+    with pytest.raises(PlatformError):
+        make_spec(cpu_rate=0.0)
+    with pytest.raises(PlatformError):
+        make_spec(flop_inflation=0.9)
+    with pytest.raises(PlatformError):
+        make_spec(net_kind="tokenring")
+    with pytest.raises(PlatformError):
+        make_spec(net_bw=200e6)  # observed above peak
+    with pytest.raises(PlatformError):
+        make_spec(overhead_fraction=1.5)
+
+
+def test_overhead_split():
+    spec = make_spec(net_latency=10e-6, overhead_fraction=0.7)
+    assert spec.net_overhead == pytest.approx(7e-6)
+    assert spec.net_wire_latency == pytest.approx(3e-6)
+    assert spec.net_overhead + spec.net_wire_latency == pytest.approx(10e-6)
+
+
+def test_node_rate_aggregates_cpus():
+    spec = make_spec(cpus_per_node=2)
+    assert spec.node_rate() == 2 * spec.cpu_rate
+    assert spec.total_cpus == 8
+
+
+def test_fabric_kind_mapping():
+    assert isinstance(
+        make_spec(net_kind="switched").make_fabric(_engine()), SwitchedFabric
+    )
+    assert isinstance(
+        make_spec(net_kind="shared").make_fabric(_engine()), SharedMediumFabric
+    )
+    assert isinstance(
+        make_spec(net_kind="crossbar").make_fabric(_engine()), CrossbarFabric
+    )
+
+
+def _engine():
+    from repro.netsim import Engine
+
+    return Engine()
+
+
+def test_slow_local_path_for_j90():
+    fabric = CRAY_J90.make_fabric(_engine())
+    # PVM on the J90 pays the full middleware path even intra-node
+    assert fabric.local_bandwidth == CRAY_J90.net_bw
+    fast = make_spec().make_fabric(_engine())
+    assert fast.local_bandwidth > make_spec().net_bw
+
+
+def test_build_cluster_node_count():
+    cluster = SMP_COPS.build_cluster(5)  # 5 processes on twin-CPU nodes
+    assert len(cluster.nodes) == 3
+    cluster2 = SLOW_COPS.build_cluster(5)
+    assert len(cluster2.nodes) == 5
+
+
+def test_build_cluster_respects_max_nodes():
+    spec = make_spec(max_nodes=2)
+    with pytest.raises(PlatformError):
+        spec.build_cluster(3)
+
+
+def test_placement_node_major():
+    cluster = SMP_COPS.build_cluster(4)
+    assert SMP_COPS.place(cluster, 0) is cluster.nodes[0]
+    assert SMP_COPS.place(cluster, 1) is cluster.nodes[0]
+    assert SMP_COPS.place(cluster, 2) is cluster.nodes[1]
+
+
+def test_with_creates_variant():
+    spec = make_spec()
+    fast = spec.with_(net_bw=60e6)
+    assert fast.net_bw == 60e6 and spec.net_bw == 30e6
+
+
+def test_jitter_enabled_cluster():
+    cluster = make_spec().build_cluster(2, jitter_sigma=0.01)
+    assert all(n.jitter is not None for n in cluster.nodes)
+    cluster2 = make_spec().build_cluster(2, jitter_sigma=0.0)
+    assert all(n.jitter is None for n in cluster2.nodes)

@@ -1,0 +1,84 @@
+"""Tests reproducing the paper's Tables 1 and 2."""
+
+import pytest
+
+from repro.platforms import format_table1, format_table2, table1, table2
+
+#: Paper Table 1: (exec time, MFlop counted, rate, adjusted rate).
+PAPER_TABLE1 = {
+    "t3e": (9.56, 811.71, 85, 52),
+    "j90": (6.18, 497.55, 80, 80),
+    "slow-cops": (10.00, 327.40, 32, 50),
+    "smp-cops": (5.00, 327.40, 65, 100),
+    "fast-cops": (4.85, 325.80, 67, 102),
+}
+
+#: Paper Table 2: (peak MB/s, observed MB/s, latency seconds).
+PAPER_TABLE2 = {
+    "t3e": (350, 100, 12e-6),
+    "j90": (2000, 3, 10e-3),
+    "slow-cops": (10, 3, 10e-3),
+    "smp-cops": (50, 15, 25e-6),
+    "fast-cops": (125, 30, 15e-6),
+}
+
+
+@pytest.fixture(scope="module")
+def t1rows():
+    return {r.platform: r for r in table1()}
+
+
+@pytest.fixture(scope="module")
+def t2rows():
+    return {r.platform: r for r in table2()}
+
+
+def test_table1_execution_times(t1rows):
+    for name, (time, *_rest) in PAPER_TABLE1.items():
+        assert t1rows[name].exec_time == pytest.approx(time, rel=1e-6), name
+
+
+def test_table1_counted_mflop(t1rows):
+    for name, (_t, counted, *_rest) in PAPER_TABLE1.items():
+        assert t1rows[name].mflop_counted == pytest.approx(counted, rel=1e-6)
+
+
+def test_table1_rates_within_rounding(t1rows):
+    for name, (_t, _c, rate, _adj) in PAPER_TABLE1.items():
+        assert t1rows[name].rate_mflops == pytest.approx(rate, abs=0.8), name
+
+
+def test_table1_adjusted_rates_within_rounding(t1rows):
+    for name, (_t, _c, _r, adj) in PAPER_TABLE1.items():
+        assert t1rows[name].adjusted_rate_mflops == pytest.approx(adj, abs=1.0), name
+
+
+def test_table1_reference_relative_is_100(t1rows):
+    assert t1rows["j90"].relative_time_pct == pytest.approx(100.0)
+
+
+def test_table1_t3e_relative_self_consistent(t1rows):
+    # documented deviation: the paper prints 138% but its own adjusted
+    # rate implies 163% (= 811.71 / 497.55); we compute the consistent one
+    assert t1rows["t3e"].relative_time_pct == pytest.approx(163.0, abs=1.0)
+
+
+def test_table2_all_rows(t2rows):
+    for name, (peak, observed, latency) in PAPER_TABLE2.items():
+        row = t2rows[name]
+        assert row.peak_mbps == pytest.approx(peak)
+        assert row.observed_mbps == pytest.approx(observed, rel=0.01)
+        assert row.latency_s == pytest.approx(latency, rel=0.01)
+
+
+def test_table2_spec_mode_skips_measurement():
+    rows = {r.platform: r for r in table2(measured=False)}
+    for name, (peak, observed, latency) in PAPER_TABLE2.items():
+        assert rows[name].observed_mbps == pytest.approx(observed)
+
+
+def test_formatting_smoke(t1rows, t2rows):
+    s1 = format_table1(list(t1rows.values()))
+    s2 = format_table2(list(t2rows.values()))
+    assert "Cray J90" in s1 and "MFl/s" in s1
+    assert "Myrinet" in s2 and ("ms" in s2 and "us" in s2)

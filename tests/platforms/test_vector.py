@@ -1,0 +1,76 @@
+"""Unit tests for the Hockney vector performance model."""
+
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platforms.vector import J90_VECTOR, VectorModel
+
+
+@pytest.fixture
+def model():
+    return VectorModel(r_inf=60e6, n_half=30.0, scalar_rate=8e6)
+
+
+def test_validation():
+    with pytest.raises(PlatformError):
+        VectorModel(r_inf=0.0, n_half=10, scalar_rate=1.0)
+    with pytest.raises(PlatformError):
+        VectorModel(r_inf=10.0, n_half=-1, scalar_rate=1.0)
+    with pytest.raises(PlatformError):
+        VectorModel(r_inf=10.0, n_half=10, scalar_rate=20.0)
+
+
+def test_half_performance_at_n_half(model):
+    assert model.rate(30.0) == pytest.approx(30e6)
+
+
+def test_rate_monotone_and_saturating(model):
+    rates = [model.rate(n) for n in (1, 10, 100, 1000, 100000)]
+    assert all(a <= b for a, b in zip(rates, rates[1:]))
+    assert rates[-1] < model.r_inf
+    assert rates[-1] > 0.999 * model.r_inf
+
+
+def test_short_vectors_floor_at_scalar_rate(model):
+    # rate never drops below what scalar issue achieves
+    assert model.rate(0.1) == model.scalar_rate
+
+
+def test_vectorized_flag(model):
+    assert model.rate(10000, vectorized=False) == model.scalar_rate
+
+
+def test_speedup_over_scalar(model):
+    assert model.speedup_over_scalar(100000) == pytest.approx(
+        model.r_inf / model.scalar_rate, rel=0.01
+    )
+
+
+def test_break_even_length(model):
+    n_be = model.break_even_length()
+    assert model.rate(n_be) == pytest.approx(model.scalar_rate, rel=1e-9)
+    assert model.rate(2 * n_be) > model.scalar_rate
+
+
+def test_invalid_length(model):
+    with pytest.raises(PlatformError):
+        model.rate(0.0)
+
+
+def test_calibrated_constructor():
+    m = VectorModel.calibrated(
+        observed_rate=50e6, reference_length=1000, n_half=35, vector_speedup=7
+    )
+    assert m.rate(1000) == pytest.approx(50e6, rel=1e-9)
+    assert m.scalar_rate == pytest.approx(50e6 / 7)
+    with pytest.raises(PlatformError):
+        VectorModel.calibrated(50e6, -1, 35, 7)
+    with pytest.raises(PlatformError):
+        VectorModel.calibrated(50e6, 1000, 35, 0.5)
+
+
+def test_j90_vector_matches_table1_rate():
+    # at Opal's streaming lengths the J90 runs at its Table 1 rate
+    assert J90_VECTOR.rate(1000) == pytest.approx(52.72e6, rel=1e-6)
+    assert J90_VECTOR.speedup_over_scalar(1000) == pytest.approx(7.0, rel=1e-6)

@@ -1,0 +1,66 @@
+"""Property-based tests: calibration recovers arbitrary true platforms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calibration import calibrate
+from repro.core.model import OpalPerformanceModel
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.opal.complexes import LARGE, MEDIUM, SMALL
+
+
+@st.composite
+def true_platforms(draw):
+    return ModelPlatformParams(
+        name="truth",
+        a1=draw(st.floats(1e6, 2e8)),
+        b1=draw(st.floats(1e-6, 2e-2)),
+        a2=draw(st.floats(1e-9, 5e-7)),
+        a3=draw(st.floats(1e-8, 2e-6)),
+        a4=draw(st.floats(1e-8, 1e-5)),
+        b5=draw(st.floats(1e-6, 2e-2)),
+    )
+
+
+def design_observations(model):
+    obs = []
+    for mol in (SMALL, MEDIUM, LARGE):
+        for cutoff in (None, 10.0):
+            for interval in (1, 10):
+                for p in (1, 4, 7):
+                    app = ApplicationParams(
+                        molecule=mol, steps=10, servers=p, cutoff=cutoff,
+                        update_interval=interval,
+                    )
+                    obs.append((app, model.breakdown(app)))
+    return obs
+
+
+@given(true_platforms())
+@settings(max_examples=25, deadline=None)
+def test_calibration_inverts_the_model(truth):
+    """calibrate(model(theta)) == theta for any admissible theta."""
+    model = OpalPerformanceModel(truth)
+    result = calibrate(design_observations(model))
+    fitted = result.params
+    assert abs(fitted.a1 - truth.a1) / truth.a1 < 1e-6
+    assert abs(fitted.b1 - truth.b1) / max(truth.b1, 1e-12) < 1e-4
+    assert abs(fitted.a2 - truth.a2) / truth.a2 < 1e-6
+    assert abs(fitted.a3 - truth.a3) / truth.a3 < 1e-6
+    assert abs(fitted.a4 - truth.a4) / truth.a4 < 1e-6
+    assert abs(fitted.b5 - truth.b5) / max(truth.b5, 1e-12) < 1e-6
+    assert result.mean_relative_error() < 1e-9
+
+
+@given(true_platforms())
+@settings(max_examples=15, deadline=None)
+def test_calibrated_model_extrapolates(truth):
+    """A fit on the design predicts configurations outside it exactly."""
+    model = OpalPerformanceModel(truth)
+    result = calibrate(design_observations(model))
+    unseen = ApplicationParams(
+        molecule=MEDIUM, steps=25, servers=6, cutoff=15.0, update_interval=3
+    )
+    assert abs(
+        result.model.predict_total(unseen) - model.predict_total(unseen)
+    ) / model.predict_total(unseen) < 1e-6

@@ -1,0 +1,103 @@
+"""Property-based tests for the parallelization-alternative models."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.opal.complexes import ComplexSpec
+from repro.opal.decomposition import (
+    ALL_METHODS,
+    ForceDecomposition,
+    ReplicatedData,
+    SpaceDecomposition,
+)
+
+
+@st.composite
+def platforms(draw):
+    return ModelPlatformParams(
+        name="h",
+        a1=draw(st.floats(1e6, 2e8)),
+        b1=draw(st.floats(1e-6, 2e-2)),
+        a2=draw(st.floats(1e-9, 5e-7)),
+        a3=draw(st.floats(1e-8, 2e-6)),
+        a4=draw(st.floats(1e-8, 1e-5)),
+        b5=draw(st.floats(0.0, 2e-2)),
+    )
+
+
+@st.composite
+def apps(draw):
+    mol = ComplexSpec(
+        "h",
+        protein_atoms=draw(st.integers(50, 3000)),
+        waters=draw(st.integers(0, 6000)),
+        density=draw(st.floats(0.02, 0.07)),
+    )
+    return ApplicationParams(
+        molecule=mol,
+        steps=draw(st.integers(1, 20)),
+        servers=draw(st.integers(1, 32)),
+        update_interval=draw(st.integers(1, 10)),
+        cutoff=draw(st.one_of(st.none(), st.floats(5.0, 30.0))),
+    )
+
+
+@given(platforms(), apps())
+@settings(max_examples=100, deadline=None)
+def test_all_methods_finite_positive(platform, app):
+    for cls in ALL_METHODS:
+        pred = cls(platform).predict(app)
+        assert pred.total > 0 and math.isfinite(pred.total)
+        assert pred.t_comm >= 0
+        assert pred.memory_bytes > 0
+
+
+@given(platforms(), apps())
+@settings(max_examples=80, deadline=None)
+def test_identical_compute_across_methods(platform, app):
+    comps = {cls(platform).t_comp(app) for cls in ALL_METHODS}
+    assert max(comps) - min(comps) < 1e-9 * max(comps)
+
+
+@given(platforms(), apps())
+@settings(max_examples=80, deadline=None)
+def test_rd_comm_strictly_monotone_in_p(platform, app):
+    rd = ReplicatedData(platform)
+    if app.p >= 2:
+        assert rd.t_comm(app) > rd.t_comm(app.with_(servers=app.p - 1))
+
+
+@given(platforms(), apps())
+@settings(max_examples=80, deadline=None)
+def test_sd_halo_bounded_by_n(platform, app):
+    sd = SpaceDecomposition(platform)
+    halo = sd.halo_atoms(app)
+    assert 0 <= halo <= app.n
+
+
+@given(platforms(), apps())
+@settings(max_examples=80, deadline=None)
+def test_sd_memory_never_exceeds_rd(platform, app):
+    sd = SpaceDecomposition(platform).memory_bytes(app)
+    rd = ReplicatedData(platform).memory_bytes(app)
+    # SD holds a subdomain + halo <= full replica + same pair-list share
+    assert sd <= rd * (1 + 1e-9) + 1e-6
+
+
+@given(platforms(), apps())
+@settings(max_examples=80, deadline=None)
+def test_fd_memory_never_exceeds_rd(platform, app):
+    fd = ForceDecomposition(platform).memory_bytes(app)
+    rd = ReplicatedData(platform).memory_bytes(app)
+    assert fd <= rd * (1 + 1e-9) + 1e-6
+
+
+@given(platforms(), apps())
+@settings(max_examples=60, deadline=None)
+def test_single_processor_in_place_methods_have_no_comm(platform, app):
+    a1 = app.with_(servers=1)
+    assert SpaceDecomposition(platform).t_comm(a1) == 0.0
+    assert ForceDecomposition(platform).t_comm(a1) == 0.0

@@ -1,0 +1,77 @@
+"""Property-based tests for experimental-design machinery."""
+
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.factorial import (
+    Factor,
+    design_size,
+    fractional_factorial,
+    full_factorial,
+    sign_table_effects,
+)
+
+
+@st.composite
+def factor_lists(draw):
+    k = draw(st.integers(1, 4))
+    factors = []
+    for i in range(k):
+        n_levels = draw(st.integers(1, 4))
+        factors.append(Factor(f"f{i}", tuple(range(n_levels))))
+    return factors
+
+
+@given(factor_lists())
+@settings(max_examples=80, deadline=None)
+def test_full_factorial_size_and_uniqueness(factors):
+    rows = full_factorial(factors)
+    assert len(rows) == design_size(factors)
+    as_tuples = {tuple(sorted(r.items())) for r in rows}
+    assert len(as_tuples) == len(rows)
+
+
+@given(factor_lists())
+@settings(max_examples=80, deadline=None)
+def test_full_factorial_covers_every_level(factors):
+    rows = full_factorial(factors)
+    for f in factors:
+        seen = {r[f.name] for r in rows}
+        assert seen == set(f.levels)
+
+
+@given(st.integers(2, 5))
+@settings(max_examples=20, deadline=None)
+def test_half_fraction_properties(k):
+    factors = [Factor(chr(ord("A") + i), (-1, 1)) for i in range(k)]
+    generator = f"{factors[-1].name}=" + "*".join(f.name for f in factors[:-1])
+    rows = fractional_factorial(factors, generators=[generator])
+    # half the runs of the full design
+    assert len(rows) == 2 ** (k - 1)
+    # defining relation holds on every row
+    for r in rows:
+        prod = 1
+        for f in factors[:-1]:
+            prod *= r[f.name]
+        assert r[factors[-1].name] == prod
+    # base projection is a full factorial (orthogonality)
+    base = {tuple(r[f.name] for f in factors[:-1]) for r in rows}
+    assert len(base) == 2 ** (k - 1)
+
+
+@given(
+    st.floats(-10, 10),
+    st.floats(-10, 10),
+    st.floats(-10, 10),
+    st.floats(-10, 10),
+)
+@settings(max_examples=80, deadline=None)
+def test_sign_table_recovers_linear_coefficients(mean, ca, cb, cab):
+    factors = [Factor("A", (-1, 1)), Factor("B", (-1, 1))]
+    rows = full_factorial(factors)
+    y = [mean + ca * r["A"] + cb * r["B"] + cab * r["A"] * r["B"] for r in rows]
+    effects = {e.name: e.effect for e in sign_table_effects(factors, rows, y)}
+    assert abs(effects["A"] - ca) < 1e-9
+    assert abs(effects["B"] - cb) < 1e-9
+    assert abs(effects["A*B"] - cab) < 1e-9

@@ -1,0 +1,133 @@
+"""Property-based tests of the analytical model's structural invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import OpalPerformanceModel
+from repro.core.parameters import (
+    ApplicationParams,
+    ModelPlatformParams,
+    energy_pair_work,
+    update_pair_work,
+)
+from repro.opal.complexes import ComplexSpec
+
+
+@st.composite
+def platforms(draw):
+    return ModelPlatformParams(
+        name="h",
+        a1=draw(st.floats(1e5, 1e9)),
+        b1=draw(st.floats(0.0, 0.1)),
+        a2=draw(st.floats(1e-9, 1e-6)),
+        a3=draw(st.floats(1e-9, 1e-6)),
+        a4=draw(st.floats(1e-9, 1e-5)),
+        b5=draw(st.floats(0.0, 0.05)),
+    )
+
+
+@st.composite
+def complexes(draw):
+    protein = draw(st.integers(10, 3000))
+    waters = draw(st.integers(0, 6000))
+    density = draw(st.floats(0.01, 0.08))
+    return ComplexSpec("h", protein_atoms=protein, waters=waters, density=density)
+
+
+@st.composite
+def apps(draw):
+    return ApplicationParams(
+        molecule=draw(complexes()),
+        steps=draw(st.integers(1, 50)),
+        servers=draw(st.integers(1, 16)),
+        update_interval=draw(st.integers(1, 20)),
+        cutoff=draw(st.one_of(st.none(), st.floats(1.0, 80.0))),
+    )
+
+
+@given(platforms(), apps())
+@settings(max_examples=120, deadline=None)
+def test_all_components_nonnegative_and_finite(platform, app):
+    model = OpalPerformanceModel(platform)
+    b = model.breakdown(app)
+    for value in b.as_dict().values():
+        assert value >= 0.0
+        assert math.isfinite(value)
+    assert b.total > 0.0
+
+
+@given(platforms(), apps())
+@settings(max_examples=80, deadline=None)
+def test_parallel_compute_divides_by_p(platform, app):
+    model = OpalPerformanceModel(platform)
+    t1 = model.t_par_comp(app.with_(servers=1))
+    tp = model.t_par_comp(app)
+    assert tp * app.p > t1 * (1 - 1e-9)
+    assert tp * app.p < t1 * (1 + 1e-9)
+
+
+@given(platforms(), apps())
+@settings(max_examples=80, deadline=None)
+def test_comm_increases_with_p(platform, app):
+    model = OpalPerformanceModel(platform)
+    if app.p >= 2:
+        assert model.t_comm(app) > model.t_comm(app.with_(servers=app.p - 1))
+
+
+@given(platforms(), apps())
+@settings(max_examples=80, deadline=None)
+def test_cutoff_never_increases_total(platform, app):
+    model = OpalPerformanceModel(platform)
+    with_cut = model.predict_total(app.with_(cutoff=10.0))
+    without = model.predict_total(app.with_(cutoff=None))
+    assert with_cut <= without * (1 + 1e-12)
+
+
+@given(platforms(), apps())
+@settings(max_examples=80, deadline=None)
+def test_partial_update_never_increases_total(platform, app):
+    model = OpalPerformanceModel(platform)
+    full = model.predict_total(app.with_(update_interval=1))
+    partial = model.predict_total(app.with_(update_interval=10))
+    assert partial <= full * (1 + 1e-12)
+
+
+@given(platforms(), apps(), st.integers(2, 4))
+@settings(max_examples=60, deadline=None)
+def test_faster_cpu_never_slower(platform, app, factor):
+    slow = OpalPerformanceModel(platform.scaled_compute(float(factor)))
+    fast = OpalPerformanceModel(platform)
+    assert fast.predict_total(app) <= slow.predict_total(app) * (1 + 1e-12)
+
+
+@given(platforms(), apps())
+@settings(max_examples=60, deadline=None)
+def test_more_steps_proportional(platform, app):
+    # every component is linear in s, so total must be too
+    model = OpalPerformanceModel(platform)
+    t1 = model.predict_total(app.with_(steps=app.steps))
+    t2 = model.predict_total(app.with_(steps=2 * app.steps))
+    assert t2 / t1 == pytest_approx(2.0)
+
+
+def pytest_approx(x, rel=1e-9):
+    import pytest
+
+    return pytest.approx(x, rel=rel)
+
+
+@given(st.integers(2, 100_000), st.floats(0.0, 0.95))
+@settings(max_examples=200, deadline=None)
+def test_update_pair_work_positive(n, gamma):
+    w = update_pair_work(n, gamma)
+    assert w >= n  # never below a linear scan
+    assert math.isfinite(w)
+
+
+@given(st.integers(2, 100_000), st.floats(1.0, 1e6))
+@settings(max_examples=200, deadline=None)
+def test_energy_pair_work_bounded_by_all_pairs(n, n_tilde):
+    w = energy_pair_work(n, n_tilde)
+    assert 0 <= w <= n * (n - 1) / 2 + 1e-9

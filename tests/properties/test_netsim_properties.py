@@ -1,0 +1,130 @@
+"""Property-based tests of discrete-event simulator invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import (
+    Barrier,
+    Cluster,
+    Compute,
+    Node,
+    Recv,
+    Send,
+    SwitchedFabric,
+    constant_rate,
+)
+
+
+def build_cluster(n_nodes, latency=1e-4, bandwidth=1e7):
+    cluster = Cluster(
+        lambda e: SwitchedFabric(e, latency=latency, bandwidth=bandwidth), seed=0
+    )
+    nodes = [
+        cluster.add_node(Node(cluster.engine, i, constant_rate(1e8)))
+        for i in range(n_nodes)
+    ]
+    return cluster, nodes
+
+
+@given(
+    st.lists(st.floats(0.0, 2.0), min_size=1, max_size=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_independent_computes_finish_at_max(durations):
+    """Processes on distinct nodes run concurrently: makespan = max."""
+    cluster, nodes = build_cluster(len(durations))
+
+    def body(ctx, d):
+        yield Compute(seconds=d)
+
+    for i, d in enumerate(durations):
+        cluster.spawn(f"p{i}", nodes[i], body, d)
+    assert cluster.run() == max(durations)
+
+
+@given(
+    st.lists(st.floats(0.01, 1.0), min_size=2, max_size=6),
+    st.floats(0.0, 0.1),
+)
+@settings(max_examples=50, deadline=None)
+def test_barrier_release_is_last_arrival_plus_cost(delays, cost):
+    cluster, nodes = build_cluster(len(delays))
+    releases = {}
+
+    def body(ctx, d):
+        yield Compute(seconds=d)
+        yield Barrier("b", count=len(delays), cost=cost)
+        releases[ctx.name] = ctx.now
+
+    for i, d in enumerate(delays):
+        cluster.spawn(f"p{i}", nodes[i], body, d)
+    cluster.run()
+    expected = max(delays) + cost
+    assert all(abs(t - expected) < 1e-12 for t in releases.values())
+
+
+@given(st.lists(st.integers(1, 200_000), min_size=1, max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_fifo_message_order_preserved(sizes):
+    """Messages between one sender/receiver pair arrive in send order."""
+    cluster, nodes = build_cluster(2)
+    received = []
+
+    def receiver(ctx, count):
+        for _ in range(count):
+            msg = yield Recv(tag=1)
+            received.append(msg.payload)
+
+    def sender(ctx, dest):
+        for k, size in enumerate(sizes):
+            yield Send(dest, nbytes=size, tag=1, payload=k)
+
+    r = cluster.spawn("r", nodes[1], receiver, len(sizes))
+    cluster.spawn("s", nodes[0], sender, r.tid)
+    cluster.run()
+    assert received == list(range(len(sizes)))
+
+
+@given(st.integers(1, 12), st.integers(1, 100_000))
+@settings(max_examples=40, deadline=None)
+def test_gather_time_scales_with_senders(n_senders, nbytes):
+    """p concurrent transfers into one receiver serialize at its port."""
+    cluster, nodes = build_cluster(n_senders + 1, latency=0.0)
+    bw = cluster.fabric.bandwidth
+
+    def receiver(ctx, count):
+        for _ in range(count):
+            yield Recv(tag=1)
+
+    def sender(ctx, dest):
+        yield Send(dest, nbytes=nbytes, tag=1)
+
+    r = cluster.spawn("r", nodes[0], receiver, n_senders)
+    for i in range(n_senders):
+        cluster.spawn(f"s{i}", nodes[i + 1], sender, r.tid)
+    t = cluster.run()
+    assert abs(t - n_senders * (nbytes / bw)) < 1e-9
+
+
+@given(st.integers(0, 2**31), st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_simulation_deterministic_across_runs(seed, n_procs):
+    def run_once():
+        cluster, nodes = build_cluster(n_procs)
+        done = []
+
+        def body(ctx, i):
+            yield Compute(seconds=0.1 * (i + 1))
+            if i > 0:
+                yield Send(1, nbytes=1000 * i, tag=1)
+            else:
+                for _ in range(n_procs - 1):
+                    yield Recv(tag=1)
+            done.append(ctx.now)
+
+        for i in range(n_procs):
+            cluster.spawn(f"p{i}", nodes[i], body, i)
+        cluster.run()
+        return done
+
+    assert run_once() == run_once()

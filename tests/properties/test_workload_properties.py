@@ -1,0 +1,79 @@
+"""Property-based tests of workload distribution and space invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.space import SpaceModel
+from repro.opal.complexes import ComplexSpec
+from repro.opal.distribution import PairDistribution
+
+
+@given(
+    st.integers(1, 16),
+    st.integers(0, 2**20),
+    st.integers(0, 1000),
+    st.floats(0.0, 0.5),
+)
+@settings(max_examples=150, deadline=None)
+def test_shares_conserve_work(servers, total, seed, defect):
+    d = PairDistribution(servers=servers, seed=seed, defect=defect)
+    s = d.shares(float(total))
+    assert len(s) == servers
+    assert np.all(s >= -1e-9)
+    assert s.sum() == np.float64(total)
+
+
+@given(st.integers(1, 15, ), st.integers(0, 100))
+@settings(max_examples=60, deadline=None)
+def test_odd_p_defect_invisible(servers, seed):
+    if servers % 2 == 0:
+        servers += 1
+    clean = PairDistribution(servers=servers, seed=seed, defect=0.0)
+    dirty = PairDistribution(servers=servers, seed=seed, defect=0.3)
+    total = 10_000_000
+    # for odd p the defective fast path is still uniform, so the dirty
+    # dealer is no worse than the clean one beyond multinomial noise
+    # (max-of-p-cells fluctuation ~ sqrt(p / n_blocks))
+    import math
+
+    n_blocks = total / clean.block
+    noise_bound = 1.0 + 5.0 * math.sqrt(servers / n_blocks)
+    assert dirty.imbalance(total) < noise_bound
+    assert clean.imbalance(total) < noise_bound
+
+
+@given(st.integers(2, 16).filter(lambda p: p % 2 == 0), st.floats(0.05, 0.4))
+@settings(max_examples=60, deadline=None)
+def test_even_p_imbalance_tracks_defect(servers, defect):
+    d = PairDistribution(servers=servers, seed=1, defect=defect)
+    observed = d.imbalance(20_000_000)
+    assert abs(observed - (1.0 + defect)) < 0.05
+
+
+@given(
+    st.integers(2, 5000),
+    st.integers(0, 10_000),
+    st.floats(0.01, 0.08),
+    st.integers(1, 64),
+)
+@settings(max_examples=100, deadline=None)
+def test_space_model_invariants(protein, waters, density, servers):
+    spec = ComplexSpec("h", protein_atoms=protein, waters=waters, density=density)
+    model = SpaceModel(spec)
+    assert model.pair_list_total() >= 0
+    assert model.pair_list_per_server(servers) <= model.pair_list_total() + 1e-9
+    # working set decreases monotonically with servers
+    assert model.server_working_set(servers) <= model.server_working_set(1) + 1e-9
+    # the client never needs more than a server with one share
+    assert model.client_working_set() <= model.server_working_set(1)
+
+
+@given(st.integers(2, 5000), st.integers(0, 10_000), st.floats(0.5, 60.0))
+@settings(max_examples=100, deadline=None)
+def test_active_pairs_monotone_in_cutoff(protein, waters, cutoff):
+    spec = ComplexSpec("h", protein_atoms=protein, waters=waters)
+    smaller = spec.active_pairs(cutoff)
+    larger = spec.active_pairs(cutoff * 1.5)
+    assert smaller <= larger + 1e-9
+    assert larger <= spec.n * (spec.n - 1) / 2 + 1e-9

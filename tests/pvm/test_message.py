@@ -1,0 +1,41 @@
+"""Unit tests for PVM-style pack buffers."""
+
+import pytest
+
+from repro.pvm import PackBuffer, coordinates_nbytes
+
+
+def test_typed_sizes():
+    buf = PackBuffer().pack_double(10).pack_int(5).pack_bytes(3)
+    assert buf.nbytes == 10 * 8 + 5 * 4 + 3
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(ValueError):
+        PackBuffer().pack("quaternion", 1)
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        PackBuffer().pack_double(-1)
+
+
+def test_payload_attachment():
+    buf = PackBuffer().pack_double(3).put("coords", [1, 2, 3])
+    assert buf.payload == {"coords": [1, 2, 3]}
+    assert buf.nbytes == 24
+
+
+def test_chaining_returns_buffer():
+    buf = PackBuffer()
+    assert buf.pack_int(1) is buf
+
+
+def test_coordinates_nbytes_matches_alpha():
+    # the paper's alpha: 24 bytes per mass center (3 doubles)
+    assert coordinates_nbytes(1) == 24
+    assert coordinates_nbytes(4289) == 24 * 4289
+
+
+def test_empty_buffer_is_zero_bytes():
+    assert PackBuffer().nbytes == 0

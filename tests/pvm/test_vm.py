@@ -1,0 +1,154 @@
+"""Unit tests for the PVM layer: tasks, groups, barriers."""
+
+import pytest
+
+from repro.errors import PvmError
+from repro.netsim import Cluster, Node, SwitchedFabric, constant_rate
+from repro.pvm import PackBuffer, PvmSystem
+
+
+def make_pvm(barrier_cost=0.0, n_nodes=3):
+    cluster = Cluster(
+        lambda e: SwitchedFabric(e, latency=1e-3, bandwidth=1e6), seed=0
+    )
+    nodes = [
+        cluster.add_node(Node(cluster.engine, i, constant_rate(1e6)))
+        for i in range(n_nodes)
+    ]
+    return PvmSystem(cluster, barrier_cost=barrier_cost), nodes
+
+
+def test_negative_barrier_cost_rejected():
+    cluster = Cluster(lambda e: SwitchedFabric(e, 1e-3, 1e6))
+    with pytest.raises(PvmError):
+        PvmSystem(cluster, barrier_cost=-1.0)
+
+
+def test_send_recv_between_tasks():
+    pvm, nodes = make_pvm()
+    got = {}
+
+    def server(task):
+        msg = yield from task.recv(tag=5)
+        got["data"] = msg.payload
+        got["nbytes"] = msg.nbytes
+
+    def client(task, dest):
+        buf = PackBuffer().pack_double(10).put("v", 7)
+        yield from task.send(dest, tag=5, nbytes=buf, payload=buf.payload)
+
+    sp = pvm.spawn("server", nodes[0], server)
+    pvm.spawn("client", nodes[1], client, sp.tid)
+    pvm.run()
+    assert got["data"] == {"v": 7}
+    assert got["nbytes"] == 80
+
+
+def test_mcast_serializes_at_sender():
+    pvm, nodes = make_pvm()
+    arrivals = {}
+
+    def receiver(task):
+        yield from task.recv(tag=1)
+        arrivals[task.name] = task.now
+
+    r0 = pvm.spawn("r0", nodes[0], receiver)
+    r1 = pvm.spawn("r1", nodes[1], receiver)
+
+    def sender(task, dests):
+        yield from task.mcast(dests, tag=1, nbytes=1e6)
+
+    pvm.spawn("s", nodes[2], sender, [r0.tid, r1.tid])
+    pvm.run()
+    # 1 MB at 1 MB/s each: second receiver one second later
+    assert arrivals["r1"] - arrivals["r0"] == pytest.approx(1.0)
+
+
+def test_joingroup_and_barrier():
+    pvm, nodes = make_pvm(barrier_cost=0.25)
+    release = {}
+
+    def member(task, delay):
+        task.joingroup("workers")
+        yield from task.delay(delay)
+        yield from task.barrier("workers")
+        release[task.name] = task.now
+
+    pvm.spawn("a", nodes[0], member, 1.0)
+    pvm.spawn("b", nodes[1], member, 2.0)
+    pvm.run()
+    assert release["a"] == release["b"] == pytest.approx(2.25)
+
+
+def test_joingroup_returns_instance_numbers():
+    pvm, nodes = make_pvm()
+    numbers = {}
+
+    def member(task):
+        numbers[task.name] = task.joingroup("g")
+        yield from task.delay(0.0)
+
+    pvm.spawn("a", nodes[0], member)
+    pvm.spawn("b", nodes[1], member)
+    pvm.run()
+    assert sorted(numbers.values()) == [0, 1]
+
+
+def test_double_joingroup_rejected():
+    pvm, nodes = make_pvm()
+
+    def member(task):
+        task.joingroup("g")
+        task.joingroup("g")
+        yield from task.delay(0.0)
+
+    pvm.spawn("a", nodes[0], member)
+    with pytest.raises(Exception):
+        pvm.run()
+
+
+def test_barrier_unknown_group_rejected():
+    pvm, nodes = make_pvm()
+
+    def member(task):
+        yield from task.barrier("ghosts")
+
+    pvm.spawn("a", nodes[0], member)
+    with pytest.raises(Exception):
+        pvm.run()
+
+
+def test_explicit_barrier_count():
+    pvm, nodes = make_pvm()
+    done = {}
+
+    def member(task):
+        yield from task.barrier("adhoc", count=2)
+        done[task.name] = task.now
+
+    pvm.spawn("a", nodes[0], member)
+    pvm.spawn("b", nodes[1], member)
+    pvm.run()
+    assert len(done) == 2
+
+
+def test_compute_through_task():
+    pvm, nodes = make_pvm()
+
+    def body(task):
+        yield from task.compute(flops=2e6)
+
+    pvm.spawn("t", nodes[0], body)
+    assert pvm.run() == pytest.approx(2.0)
+
+
+def test_tasks_registry():
+    pvm, nodes = make_pvm()
+
+    def body(task):
+        yield from task.delay(0.0)
+
+    proc = pvm.spawn("t", nodes[0], body)
+    pvm.run()
+    assert proc.tid in pvm.tasks
+    assert pvm.tasks[proc.tid].name == "t"

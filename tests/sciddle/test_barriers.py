@@ -1,0 +1,68 @@
+"""Unit tests for the accounting-barrier discipline (Section 3.3)."""
+
+import pytest
+
+from repro.netsim import Cluster, Node, SwitchedFabric, constant_rate
+from repro.pvm import PvmSystem
+from repro.sciddle import SyncDiscipline, overlap_slowdown
+
+
+def make_pvm(barrier_cost=0.1):
+    cluster = Cluster(lambda e: SwitchedFabric(e, 1e-3, 1e6), seed=0)
+    nodes = [
+        cluster.add_node(Node(cluster.engine, i, constant_rate(1e6)))
+        for i in range(2)
+    ]
+    return PvmSystem(cluster, barrier_cost=barrier_cost), nodes
+
+
+def test_bad_mode_rejected():
+    with pytest.raises(ValueError):
+        SyncDiscipline("sometimes", "g", 2)
+
+
+def test_bad_count_rejected():
+    with pytest.raises(ValueError):
+        SyncDiscipline("accounted", "g", 0)
+
+
+def test_overlapped_barriers_are_noops():
+    pvm, nodes = make_pvm()
+    sync = SyncDiscipline("overlapped", "g", 2)
+    done = {}
+
+    def body(task, delay):
+        yield from task.delay(delay)
+        yield from sync.phase_barrier(task, "phase1")
+        done[task.name] = task.now
+
+    pvm.spawn("a", nodes[0], body, 1.0)
+    pvm.spawn("b", nodes[1], body, 3.0)
+    pvm.run()
+    # no rendezvous: each finishes at its own time
+    assert done["a"] == pytest.approx(1.0)
+    assert done["b"] == pytest.approx(3.0)
+    assert sync.barriers_executed == 0
+
+
+def test_accounted_barriers_synchronize():
+    pvm, nodes = make_pvm(barrier_cost=0.5)
+    sync = SyncDiscipline("accounted", "g", 2)
+    done = {}
+
+    def body(task, delay):
+        yield from task.delay(delay)
+        yield from sync.phase_barrier(task, "phase1")
+        done[task.name] = task.now
+
+    pvm.spawn("a", nodes[0], body, 1.0)
+    pvm.spawn("b", nodes[1], body, 3.0)
+    pvm.run()
+    assert done["a"] == done["b"] == pytest.approx(3.5)
+    assert sync.barriers_executed == 2  # each member counts its arrival
+
+
+def test_overlap_slowdown_metric():
+    assert overlap_slowdown(1.04, 1.0) == pytest.approx(0.04)
+    with pytest.raises(ValueError):
+        overlap_slowdown(1.0, 0.0)

@@ -1,0 +1,40 @@
+"""Unit tests for the Sciddle interface specification."""
+
+import pytest
+
+from repro.errors import SciddleError
+from repro.sciddle import SciddleInterface
+
+
+def test_declare_and_lookup():
+    iface = SciddleInterface("opal")
+    spec = iface.procedure("update_lists", doc="rebuild lists")
+    assert iface.spec("update_lists") is spec
+    assert "update_lists" in iface
+    assert iface.names() == ["update_lists"]
+
+
+def test_duplicate_rejected():
+    iface = SciddleInterface("x")
+    iface.procedure("f")
+    with pytest.raises(SciddleError):
+        iface.procedure("f")
+
+
+def test_reserved_names_rejected():
+    iface = SciddleInterface("x")
+    with pytest.raises(SciddleError):
+        iface.procedure("__shutdown__")
+
+
+def test_unknown_lookup_raises_with_candidates():
+    iface = SciddleInterface("x")
+    iface.procedure("known")
+    with pytest.raises(SciddleError, match="known"):
+        iface.spec("unknown")
+
+
+def test_size_rules_attached():
+    iface = SciddleInterface("x")
+    iface.procedure("f", in_size=lambda args: 24 * args["n"])
+    assert iface.spec("f").in_size({"n": 10}) == 240

@@ -1,0 +1,263 @@
+"""Unit tests for the Sciddle RPC runtime."""
+
+import pytest
+
+from repro.errors import SciddleError
+from repro.hpm import PhaseAccountant
+from repro.netsim import Cluster, Node, SwitchedFabric, constant_rate
+from repro.pvm import PvmSystem
+from repro.sciddle import (
+    HEADER_BYTES,
+    RpcReply,
+    SciddleClient,
+    SciddleInterface,
+    SciddleServer,
+)
+
+
+def setup_rpc(n_servers=2, handler=None, bandwidth=1e6, latency=1e-3):
+    cluster = Cluster(
+        lambda e: SwitchedFabric(e, latency=latency, bandwidth=bandwidth), seed=0
+    )
+    nodes = [
+        cluster.add_node(Node(cluster.engine, i, constant_rate(1e6)))
+        for i in range(n_servers + 1)
+    ]
+    pvm = PvmSystem(cluster)
+    iface = SciddleInterface("test")
+    iface.procedure("work")
+
+    if handler is None:
+
+        def handler(task, args):
+            yield from task.compute(seconds=1.0)
+            return RpcReply(nbytes=100, payload={"done": True, "args": args})
+
+    def server_body(task):
+        server = SciddleServer(task, iface)
+        server.bind("work", handler)
+        yield from server.run()
+
+    server_procs = [
+        pvm.spawn(f"server{i}", nodes[i + 1], server_body) for i in range(n_servers)
+    ]
+    return cluster, pvm, iface, nodes, server_procs
+
+
+def test_basic_call_and_reply():
+    cluster, pvm, iface, nodes, servers = setup_rpc(n_servers=1)
+    result = {}
+
+    def client_body(task, server_tids):
+        client = SciddleClient(task, iface, server_tids)
+        h = yield from client.call_async(server_tids[0], "work", args={"x": 1}, nbytes=50)
+        result["reply"] = yield from client.wait(h)
+        yield from client.shutdown()
+
+    pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
+    pvm.run()
+    assert result["reply"] == {"done": True, "args": {"x": 1}}
+
+
+def test_call_all_wait_all_order():
+    cluster, pvm, iface, nodes, servers = setup_rpc(n_servers=3)
+    result = {}
+
+    def handler(task, args):
+        yield from task.compute(seconds=0.5)
+        return RpcReply(nbytes=10, payload=args["i"])
+
+    # rebuild with our handler
+    cluster, pvm, iface, nodes, servers = setup_rpc(n_servers=3, handler=handler)
+
+    def client_body(task, tids):
+        client = SciddleClient(task, iface, tids)
+        handles = yield from client.call_all(
+            "work", args_for=lambda i, tid: {"i": i}, nbytes=10
+        )
+        result["replies"] = yield from client.wait_all(handles)
+        yield from client.shutdown()
+
+    pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
+    pvm.run()
+    assert result["replies"] == [0, 1, 2]
+
+
+def test_unbound_procedure_raises():
+    cluster = Cluster(lambda e: SwitchedFabric(e, 1e-3, 1e6), seed=0)
+    nodes = [
+        cluster.add_node(Node(cluster.engine, i, constant_rate(1e6)))
+        for i in range(2)
+    ]
+    pvm = PvmSystem(cluster)
+    iface = SciddleInterface("t")
+    iface.procedure("declared_but_unbound")
+
+    def server_body(task):
+        server = SciddleServer(task, iface)
+        yield from server.run()
+
+    def client_body(task, tid):
+        client = SciddleClient(task, iface, [tid])
+        h = yield from client.call_async(tid, "declared_but_unbound", nbytes=0)
+        yield from client.wait(h)
+
+    sp = pvm.spawn("server", nodes[1], server_body)
+    pvm.spawn("client", nodes[0], client_body, sp.tid)
+    with pytest.raises(Exception, match="no binding"):
+        pvm.run()
+
+
+def test_undeclared_procedure_rejected_client_side():
+    cluster, pvm, iface, nodes, servers = setup_rpc(n_servers=1)
+
+    def client_body(task, tids):
+        client = SciddleClient(task, iface, tids)
+        with pytest.raises(SciddleError):
+            yield from client.call_async(tids[0], "nonexistent", nbytes=0)
+        yield from client.shutdown()
+
+    pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
+    pvm.run()
+
+
+def test_in_size_rule_used_for_message_size():
+    cluster = Cluster(lambda e: SwitchedFabric(e, latency=0.0, bandwidth=1e6), seed=0)
+    nodes = [
+        cluster.add_node(Node(cluster.engine, i, constant_rate(1e9)))
+        for i in range(2)
+    ]
+    pvm = PvmSystem(cluster)
+    iface = SciddleInterface("t")
+    iface.procedure("f", in_size=lambda args: 1e6)  # 1 MB => 1 s at 1 MB/s
+
+    def handler(task, args):
+        return RpcReply()
+        yield  # pragma: no cover
+
+    def server_body(task):
+        server = SciddleServer(task, iface)
+        server.bind("f", handler)
+        yield from server.run()
+
+    times = {}
+
+    def client_body(task, tid):
+        client = SciddleClient(task, iface, [tid])
+        t0 = task.now
+        h = yield from client.call_async(tid, "f")
+        times["send"] = task.now - t0
+        yield from client.wait(h)
+        yield from client.shutdown()
+
+    sp = pvm.spawn("server", nodes[1], server_body)
+    pvm.spawn("client", nodes[0], client_body, sp.tid)
+    pvm.run()
+    assert times["send"] == pytest.approx((1e6 + HEADER_BYTES) / 1e6)
+
+
+def test_missing_size_rule_requires_nbytes():
+    cluster, pvm, iface, nodes, servers = setup_rpc(n_servers=1)
+
+    def client_body(task, tids):
+        client = SciddleClient(task, iface, tids)
+        with pytest.raises(SciddleError, match="in_size"):
+            yield from client.call_async(tids[0], "work")
+        yield from client.shutdown()
+
+    pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
+    pvm.run()
+
+
+def test_handler_must_return_rpc_reply():
+    def handler(task, args):
+        yield from task.compute(seconds=0.1)
+        return {"not": "a reply"}
+
+    cluster, pvm, iface, nodes, servers = setup_rpc(n_servers=1, handler=handler)
+
+    def client_body(task, tids):
+        client = SciddleClient(task, iface, tids)
+        h = yield from client.call_async(tids[0], "work", nbytes=0)
+        yield from client.wait(h)
+
+    pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
+    with pytest.raises(Exception, match="RpcReply"):
+        pvm.run()
+
+
+def test_handler_none_means_empty_reply():
+    def handler(task, args):
+        yield from task.compute(seconds=0.1)
+        return None
+
+    cluster, pvm, iface, nodes, servers = setup_rpc(n_servers=1, handler=handler)
+    result = {}
+
+    def client_body(task, tids):
+        client = SciddleClient(task, iface, tids)
+        h = yield from client.call_async(tids[0], "work", nbytes=0)
+        result["reply"] = yield from client.wait(h)
+        yield from client.shutdown()
+
+    pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
+    pvm.run()
+    assert result["reply"] is None
+
+
+def test_shutdown_terminates_servers():
+    cluster, pvm, iface, nodes, servers = setup_rpc(n_servers=2)
+
+    def client_body(task, tids):
+        client = SciddleClient(task, iface, tids)
+        yield from client.shutdown()
+
+    pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
+    pvm.run()
+    assert all(s.finished for s in servers)
+
+
+def test_client_needs_servers():
+    cluster, pvm, iface, nodes, servers = setup_rpc(n_servers=1)
+    with pytest.raises(SciddleError):
+        SciddleClient(None, iface, [])
+
+
+def test_accountant_categories_recorded():
+    cluster, pvm, iface, nodes, servers = setup_rpc(n_servers=1)
+    acct_holder = {}
+
+    def client_body(task, tids):
+        acct = PhaseAccountant(lambda: task.now)
+        acct_holder["acct"] = acct
+        client = SciddleClient(task, iface, tids, accountant=acct)
+        h = yield from client.call_async(
+            tids[0], "work", nbytes=1000, category="comm:call"
+        )
+        yield from client.wait(h, category="comm:return")
+        yield from client.shutdown()
+
+    pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
+    pvm.run()
+    acct = acct_holder["acct"]
+    assert acct.seconds("comm:call") > 0
+    assert acct.seconds("comm:return") > 0
+
+
+def test_calls_served_counter():
+    cluster, pvm, iface, nodes, servers = setup_rpc(n_servers=1)
+    counts = {}
+
+    def server_probe(task):
+        # reuse the serverbody already spawned; just run the client twice
+        yield from task.delay(0.0)
+
+    def client_body(task, tids):
+        client = SciddleClient(task, iface, tids)
+        for _ in range(3):
+            h = yield from client.call_async(tids[0], "work", nbytes=0)
+            yield from client.wait(h)
+        yield from client.shutdown()
+
+    pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
+    pvm.run()

@@ -1,0 +1,132 @@
+"""Unit tests for the Sciddle stub compiler."""
+
+import pytest
+
+from repro.errors import SciddleError
+from repro.sciddle.stubgen import OPAL_IDL, compile_idl
+
+
+def test_compile_opal_idl():
+    compiled = compile_idl(OPAL_IDL)
+    assert compiled.name == "opal"
+    assert set(compiled.procedures) == {"update_lists", "eval_nonbonded"}
+
+
+def test_message_sizes_match_paper_alpha():
+    compiled = compile_idl(OPAL_IDL)
+    n = 4289
+    upd = compiled.procedures["update_lists"]
+    # alpha * n: three doubles per mass center
+    assert upd.in_nbytes({"n": n}) == 24 * n
+    assert upd.out_nbytes({"n": n}) == 0  # eq. (8): bare completion
+    nbi = compiled.procedures["eval_nonbonded"]
+    assert nbi.in_nbytes({"n": n}) == 24 * n
+    # eq. (9): gradients (alpha n) + two energies (16 bytes)
+    assert nbi.out_nbytes({"n": n}) == 24 * n + 16
+
+
+def test_runtime_interface_sizes_calls():
+    iface = compile_idl(OPAL_IDL).runtime_interface()
+    spec = iface.spec("eval_nonbonded")
+    assert spec.in_size({"n": 100}) == 2400
+    assert spec.out_size({"n": 100}) == 2416
+
+
+def test_scalar_arguments():
+    compiled = compile_idl(
+        "interface t { f(in x: double, in k: int, out y: double[k]); }"
+    )
+    f = compiled.procedures["f"]
+    assert f.in_nbytes({"k": 5}) == 8 + 4
+    assert f.out_nbytes({"k": 5}) == 40
+
+
+def test_arithmetic_length_expressions():
+    compiled = compile_idl(
+        "interface t { f(in m: double[(a+1)*b - 2]); }"
+    )
+    assert compiled.procedures["f"].in_nbytes({"a": 3, "b": 10}) == 8 * 38
+
+
+def test_comments_ignored():
+    compiled = compile_idl(
+        """interface t { // trailing
+        f(in x: int); // per-call
+        }"""
+    )
+    assert "f" in compiled.procedures
+
+
+def test_missing_parameter_reported():
+    compiled = compile_idl("interface t { f(in m: double[3*n]); }")
+    with pytest.raises(SciddleError, match="needs parameter 'n'"):
+        compiled.procedures["f"].in_nbytes({})
+
+
+def test_rejects_bad_sources():
+    with pytest.raises(SciddleError, match="interface"):
+        compile_idl("module x {}")
+    with pytest.raises(SciddleError, match="no procedures"):
+        compile_idl("interface empty { }")
+    with pytest.raises(SciddleError, match="bad argument"):
+        compile_idl("interface t { f(inout x: double); }")
+    with pytest.raises(SciddleError, match="unknown type"):
+        compile_idl("interface t { f(in x: quaternion); }")
+    with pytest.raises(SciddleError, match="duplicate procedure"):
+        compile_idl("interface t { f(in x: int); f(in y: int); }")
+    with pytest.raises(SciddleError, match="duplicate argument"):
+        compile_idl("interface t { f(in x: int, out x: int); }")
+    with pytest.raises(SciddleError, match="remnants"):
+        compile_idl("interface t { f(in x: int); gibberish }")
+
+
+def test_length_expression_sandbox():
+    with pytest.raises(SciddleError, match="forbidden"):
+        compile_idl(
+            "interface t { f(in x: double[__import__('os').getpid()]); }"
+        ).procedures["f"].in_nbytes({})
+    with pytest.raises(SciddleError):
+        compile_idl("interface t { f(in x: double[n-10]); }").procedures[
+            "f"
+        ].in_nbytes({"n": 3})
+
+
+def test_compiled_interface_drives_real_rpc():
+    """End to end: IDL-compiled sizes flow into actual message timing."""
+    from repro.netsim import Cluster, Node, SwitchedFabric, constant_rate
+    from repro.pvm import PvmSystem
+    from repro.sciddle import HEADER_BYTES, RpcReply, SciddleClient, SciddleServer
+
+    compiled = compile_idl("interface t { f(in data: double[n]); }")
+    iface = compiled.runtime_interface()
+    cluster = Cluster(lambda e: SwitchedFabric(e, 0.0, 1e6), seed=0)
+    nodes = [
+        cluster.add_node(Node(cluster.engine, i, constant_rate(1e9)))
+        for i in range(2)
+    ]
+    pvm = PvmSystem(cluster)
+
+    def handler(task, args):
+        return RpcReply()
+        yield  # pragma: no cover
+
+    def server_body(task):
+        server = SciddleServer(task, iface)
+        server.bind("f", handler)
+        yield from server.run()
+
+    times = {}
+
+    def client_body(task, tid):
+        client = SciddleClient(task, iface, [tid])
+        t0 = task.now
+        h = yield from client.call_async(tid, "f", args={"n": 125_000})
+        times["send"] = task.now - t0
+        yield from client.wait(h)
+        yield from client.shutdown()
+
+    sp = pvm.spawn("server", nodes[1], server_body)
+    pvm.spawn("client", nodes[0], client_body, sp.tid)
+    pvm.run()
+    # 1 MB of doubles at 1 MB/s plus the RPC header
+    assert times["send"] == pytest.approx((1e6 + HEADER_BYTES) / 1e6)

@@ -1,0 +1,128 @@
+"""Tests of the top-level public API, units and error hierarchy."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro import errors, units
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_docstring_example():
+    from repro import (
+        ApplicationParams,
+        MEDIUM,
+        ModelPlatformParams,
+        OpalPerformanceModel,
+        get_platform,
+    )
+
+    app = ApplicationParams(molecule=MEDIUM, steps=10, servers=4, cutoff=10.0)
+    model = OpalPerformanceModel(
+        ModelPlatformParams.from_spec(get_platform("j90"))
+    )
+    assert round(model.predict_total(app), 1) == pytest.approx(7.6, abs=0.2)
+
+
+def test_lazy_opal_exports():
+    import repro.opal
+
+    assert callable(repro.opal.run_parallel_opal)
+    assert callable(repro.opal.run_parallel_opal_physics)
+    with pytest.raises(AttributeError):
+        repro.opal.definitely_not_a_symbol
+
+
+# ----------------------------------------------------------------------
+def test_error_hierarchy():
+    assert issubclass(errors.SimulationError, errors.ReproError)
+    assert issubclass(errors.DeadlockError, errors.SimulationError)
+    assert issubclass(errors.CalibrationError, errors.ModelError)
+    for name in (
+        "PvmError",
+        "SciddleError",
+        "PlatformError",
+        "WorkloadError",
+        "DesignError",
+    ):
+        assert issubclass(getattr(errors, name), errors.ReproError)
+
+
+def test_library_raises_only_repro_errors_for_bad_input():
+    from repro import ApplicationParams, MEDIUM
+
+    with pytest.raises(errors.ReproError):
+        ApplicationParams(molecule=MEDIUM, steps=-1)
+    from repro.platforms import get_platform
+
+    with pytest.raises(errors.ReproError):
+        get_platform("deep-thought")
+
+
+# ----------------------------------------------------------------------
+def test_unit_conversions_roundtrip():
+    assert units.to_mbyte_per_s(units.mbyte_per_s(30)) == pytest.approx(30)
+    assert units.to_mflop_per_s(units.mflop_per_s(85)) == pytest.approx(85)
+    assert units.usec(12) == pytest.approx(12e-6)
+    assert units.msec(10) == pytest.approx(1e-2)
+    assert units.ALPHA_BYTES_PER_ATOM == 24
+
+
+# ----------------------------------------------------------------------
+class TestCli:
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+
+    def test_platforms_command(self):
+        out = self.run_cli("platforms")
+        assert out.returncode == 0
+        assert "Cray J90" in out.stdout and "Myrinet" in out.stdout
+
+    def test_predict_command(self):
+        out = self.run_cli("predict", "--cutoff", "10", "--servers", "3")
+        assert out.returncode == 0
+        assert "relative speedup" in out.stdout
+        assert "j90" in out.stdout
+
+    def test_measure_command(self):
+        out = self.run_cli(
+            "measure", "--molecule", "small", "--servers", "2", "--steps", "3"
+        )
+        assert out.returncode == 0
+        assert "measured breakdown" in out.stdout
+
+    def test_tables_command(self):
+        out = self.run_cli("tables")
+        assert out.returncode == 0
+        assert "497.55" in out.stdout  # J90 counted MFlop
+
+    def test_calibrate_command(self):
+        out = self.run_cli("calibrate")
+        assert out.returncode == 0
+        assert "mean relative error" in out.stdout
+        assert "a1 = 3.000" in out.stdout
+
+    def test_campaign_command(self):
+        out = self.run_cli("campaign", "--servers", "3")
+        assert out.returncode == 0
+        assert "verdict:" in out.stdout
+        assert "cost effectiveness" in out.stdout
+
+    def test_bad_command_fails(self):
+        out = self.run_cli("frobnicate")
+        assert out.returncode != 0

@@ -1,0 +1,76 @@
+"""Documentation completeness: every public item carries a docstring.
+
+Deliverable (e) demands doc comments on every public item; this test
+enforces it mechanically so the guarantee survives future edits.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SKIP_MODULES = {"repro.__main__"}
+
+
+def all_modules():
+    mods = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name not in SKIP_MODULES:
+            mods.append(info.name)
+    return mods
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", all_modules())
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-export; documented at its definition site
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            missing.append(name)
+        if inspect.isclass(obj):
+            for mname, member in vars(obj).items():
+                if mname.startswith("_"):
+                    continue
+                if not (
+                    inspect.isfunction(member) or isinstance(member, property)
+                ):
+                    continue
+                doc = (
+                    member.fget.__doc__
+                    if isinstance(member, property)
+                    else member.__doc__
+                )
+                if not (doc and doc.strip()):
+                    missing.append(f"{name}.{mname}")
+    assert not missing, f"{module_name}: undocumented public items: {missing}"
+
+
+def test_every_subpackage_reachable():
+    names = set(all_modules())
+    for pkg in (
+        "repro.core",
+        "repro.netsim",
+        "repro.pvm",
+        "repro.sciddle",
+        "repro.hpm",
+        "repro.platforms",
+        "repro.opal",
+        "repro.experiments",
+        "repro.analysis",
+    ):
+        assert pkg in names
