@@ -17,6 +17,20 @@ import sys
 from . import __version__
 
 
+def _add_execution(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="run design cells over N worker processes (default: serial)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="reuse simulated cells from this on-disk result cache",
+    )
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--molecule",
@@ -107,12 +121,19 @@ def cmd_measure(args) -> int:
 
 def cmd_calibrate(args) -> int:
     from .core.calibration import calibrate
-    from .experiments import ExperimentRunner, reduced_design
+    from .experiments import ExperimentRunner, export_jsonl, reduced_design
     from .platforms import get_platform
 
     platform = get_platform(args.platform)
-    runner = ExperimentRunner(platform)
-    observations = runner.observations(reduced_design())
+    runner = ExperimentRunner(
+        platform, workers=args.workers, cache_dir=args.cache_dir
+    )
+    design = reduced_design()
+    records = runner.run_design(design)
+    if args.export_jsonl:
+        n = export_jsonl(records, args.export_jsonl)
+        print(f"wrote {n} cell records to {args.export_jsonl}")
+    observations = [r.observation() for r in records]
     result = calibrate(observations, name=f"{platform.name}-fit")
     p = result.params
     print(f"calibrated on {len(observations)} simulated experiments:")
@@ -120,6 +141,10 @@ def cmd_calibrate(args) -> int:
     print(f"  a2 = {p.a2:.3e} s    a3 = {p.a3:.3e} s    a4 = {p.a4:.3e} s")
     print(f"  b5 = {p.b5 * 1e3:.3f} ms")
     print(f"  mean relative error: {100 * result.mean_relative_error():.2f}%")
+    print(f"  simulations executed: {runner.simulations_run}", end="")
+    if runner.cache_stats is not None:
+        print(f" (cache: {runner.cache_stats})", end="")
+    print()
     return 0
 
 
@@ -133,6 +158,8 @@ def cmd_campaign(args) -> int:
         candidates=list(ALL_PLATFORMS),
         molecule=get_complex(args.molecule),
         servers=tuple(range(1, args.servers + 1)),
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     print(render_campaign(report))
     return 0
@@ -179,6 +206,12 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("calibrate", help="run the reduced design and fit")
     p.add_argument("--platform", default="j90")
+    p.add_argument(
+        "--export-jsonl",
+        default=None,
+        help="also write per-cell records as JSON lines to this path",
+    )
+    _add_execution(p)
     p.set_defaults(func=cmd_calibrate)
 
     p = sub.add_parser(
@@ -188,6 +221,7 @@ def main(argv=None) -> int:
     p.add_argument("--molecule", choices=("small", "medium", "large"),
                    default="medium")
     p.add_argument("--servers", type=int, default=7)
+    _add_execution(p)
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("tables", help="regenerate Tables 1 and 2")

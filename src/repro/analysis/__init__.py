@@ -5,6 +5,8 @@ from .export import (
     breakdowns_to_csv,
     curves_from_csv,
     curves_to_csv,
+    records_from_jsonl,
+    records_to_jsonl,
     residuals_to_csv,
     to_csv_string,
 )
@@ -51,6 +53,8 @@ __all__ = [
     "SensitivityReport",
     "elasticity",
     "payload_bytes",
+    "records_from_jsonl",
+    "records_to_jsonl",
     "residuals_table",
     "run_metrics",
     "sensitivity_report",

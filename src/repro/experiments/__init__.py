@@ -1,6 +1,7 @@
 """Systematic experimental design and execution (Jain ch. 16; Sec 2.3)."""
 
 from .anova import AnovaEffect, AnovaResult, replicated_anova
+from .cache import CacheStats, ResultCache, export_jsonl, load_jsonl
 from .campaign import CampaignReport, render as render_campaign, run_campaign
 from .cases import (
     CUTOFF_EFFECTIVE,
@@ -24,11 +25,19 @@ from .factorial import (
     sign_table_effects,
 )
 from .measurement import MeasurementStats, repeat, summarize
-from .runner import DEFAULT_JITTER, ExperimentRecord, ExperimentRunner
+from .parallel import default_workers, run_design_parallel
+from .runner import (
+    DEFAULT_JITTER,
+    ExperimentRecord,
+    ExperimentRunner,
+    derive_cell_seed,
+    measure_case,
+)
 
 __all__ = [
     "AnovaEffect",
     "AnovaResult",
+    "CacheStats",
     "CampaignReport",
     "CUTOFF_EFFECTIVE",
     "CUTOFF_INEFFECTIVE",
@@ -39,21 +48,28 @@ __all__ = [
     "ExperimentRunner",
     "Factor",
     "MeasurementStats",
+    "ResultCache",
     "SERVER_RANGE",
     "STEPS",
     "UPDATE_FULL",
     "UPDATE_PARTIAL",
     "breakdown_chart_cases",
+    "default_workers",
+    "derive_cell_seed",
     "design_size",
+    "export_jsonl",
     "fractional_factorial",
     "full_design",
     "full_factorial",
+    "load_jsonl",
+    "measure_case",
     "paper_factors",
     "reduced_design",
     "repeat",
     "render_campaign",
     "replicated_anova",
     "run_campaign",
+    "run_design_parallel",
     "sign_table_effects",
     "summarize",
 ]

@@ -1,0 +1,248 @@
+"""Content-addressed on-disk cache for simulated experiment results.
+
+Every design cell is fully determined by its inputs: the
+:class:`~repro.experiments.cases.ExperimentCase`, the platform's key
+data, the measurement protocol (sync mode, jitter, repetitions) and the
+base seed.  A stable SHA-256 digest over that content addresses the
+cell's measured :class:`~repro.experiments.runner.ExperimentRecord` on
+disk, so repeated campaigns, benchmarks and figure scripts skip
+already-simulated cells entirely — serial and parallel runners share
+the same cache and the same keys.
+
+The cache stores plain JSON (one file per cell under ``cache_dir``),
+which doubles as the per-cell record format: :func:`export_jsonl`
+writes a design's records as one JSON line each for the analysis layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..core.breakdown import TimeBreakdown
+from ..opal.complexes import ComplexSpec
+from .cases import ExperimentCase
+from .measurement import MeasurementStats
+
+PathLike = Union[str, pathlib.Path]
+
+#: Bump when the cached payload layout changes; invalidates old entries.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups performed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (for reports and JSON)."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def __str__(self) -> str:
+        return f"{self.hits} hit(s) / {self.misses} miss(es)"
+
+
+# ----------------------------------------------------------------------
+# stable JSON encoding of the record pieces
+# ----------------------------------------------------------------------
+def platform_key_data(platform) -> dict:
+    """The PlatformSpec content that determines simulated results."""
+    return dataclasses.asdict(platform)
+
+
+def cell_key_payload(
+    case: ExperimentCase,
+    platform,
+    sync_mode: str,
+    jitter_sigma: float,
+    seed: int,
+    repetitions: int,
+    kind: str = "cell",
+) -> dict:
+    """The canonical cache-key payload for one design cell.
+
+    The single source of truth for cell addressing: the serial runner
+    and the parallel executor must produce identical keys for the same
+    inputs, or warm-cache runs would re-simulate.
+    """
+    return {
+        "kind": kind,
+        "case": case.key_data(),
+        "platform": platform_key_data(platform),
+        "sync_mode": sync_mode,
+        "jitter_sigma": jitter_sigma,
+        "seed": seed,
+        "repetitions": repetitions,
+    }
+
+
+def case_to_dict(case: ExperimentCase) -> dict:
+    """An ExperimentCase as JSON-able data.
+
+    The key data plus the molecule's (cosmetic, key-irrelevant)
+    description so records round-trip losslessly.
+    """
+    d = case.key_data()
+    d["molecule"]["description"] = case.molecule.description
+    return d
+
+
+def case_from_dict(d: dict) -> ExperimentCase:
+    """Rebuild an ExperimentCase from :func:`case_to_dict` output."""
+    mol = d["molecule"]
+    return ExperimentCase(
+        molecule=ComplexSpec(
+            name=mol["name"],
+            protein_atoms=mol["protein_atoms"],
+            waters=mol["waters"],
+            density=mol["density"],
+            description=mol.get("description", ""),
+        ),
+        servers=d["servers"],
+        cutoff=d["cutoff"],
+        update_interval=d["update_interval"],
+        steps=d["steps"],
+    )
+
+
+def stats_to_dict(stats: MeasurementStats) -> dict:
+    """MeasurementStats as JSON-able data."""
+    return {"values": list(stats.values), "mean": stats.mean, "std": stats.std}
+
+
+def stats_from_dict(d: dict) -> MeasurementStats:
+    """Rebuild MeasurementStats from :func:`stats_to_dict` output."""
+    return MeasurementStats(
+        values=tuple(d["values"]), mean=d["mean"], std=d["std"]
+    )
+
+
+def record_to_dict(record) -> dict:
+    """An ExperimentRecord as plain JSON-able data.
+
+    ``last_result`` is deliberately dropped: it may reference a live
+    cluster and only exists for ``keep_results=True`` debugging runs,
+    which bypass the cache.
+    """
+    return {
+        "case": case_to_dict(record.case),
+        "breakdown": record.breakdown.as_dict(),
+        "wall_stats": stats_to_dict(record.wall_stats),
+    }
+
+
+def record_from_dict(d: dict):
+    """Rebuild an ExperimentRecord from :func:`record_to_dict` output."""
+    from .runner import ExperimentRecord  # avoid an import cycle
+
+    return ExperimentRecord(
+        case=case_from_dict(d["case"]),
+        breakdown=TimeBreakdown(**d["breakdown"]),
+        wall_stats=stats_from_dict(d["wall_stats"]),
+        last_result=None,
+    )
+
+
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed store of simulated cell results.
+
+    Keys are SHA-256 digests over a canonical JSON rendering of the
+    inputs (plus :data:`SCHEMA_VERSION`); values are JSON files named by
+    their key.  The cache never invalidates by time — changing any
+    input, including the base seed or the platform's key data, changes
+    the key and therefore misses.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(payload: dict) -> str:
+        """Stable digest of a JSON-able payload (the cache address)."""
+        material = json.dumps(
+            {"schema": SCHEMA_VERSION, "payload": payload},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def load(self, key: str) -> Optional[dict]:
+        """The stored payload for ``key``, or None on a miss."""
+        path = self._path(key)
+        try:
+            with open(path) as fh:
+                value = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def store(self, key: str, value: dict) -> None:
+        """Persist ``value`` under ``key`` (atomic rename)."""
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(value, fh)
+        tmp.replace(path)
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        n = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            n += 1
+        return n
+
+
+# ----------------------------------------------------------------------
+def export_jsonl(records: Iterable, path: PathLike) -> int:
+    """Write per-cell records as JSON lines; returns the line count."""
+    n = 0
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record_to_dict(record), sort_keys=True))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def load_jsonl(path: PathLike) -> List:
+    """Load records written by :func:`export_jsonl`."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(record_from_dict(json.loads(line)))
+    return records

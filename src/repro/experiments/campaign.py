@@ -32,6 +32,7 @@ from ..core.prediction import (
 )
 from ..errors import DesignError
 from ..opal.complexes import MEDIUM, ComplexSpec
+from .cache import CacheStats
 from .cases import CUTOFF_EFFECTIVE, ExperimentCase, reduced_design
 from .measurement import MeasurementStats
 from .runner import ExperimentRunner
@@ -49,6 +50,11 @@ class CampaignReport:
         default_factory=dict
     )
     cost_ranking: List[CostEffectivenessRow] = field(default_factory=list)
+    #: simulated Opal runs actually executed for this report (a warm
+    #: cache drives this to zero)
+    simulations_run: int = 0
+    #: result-cache counters when a cache_dir was used, else None
+    cache_stats: Optional[CacheStats] = None
 
     # ------------------------------------------------------------------
     @property
@@ -88,6 +94,10 @@ def run_campaign(
     probe_repetitions: int = 6,
     jitter_sigma: float = 0.004,
     seed: int = 0,
+    parallel: bool = False,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    progress=None,
 ) -> CampaignReport:
     """Execute the integrated study.
 
@@ -95,6 +105,11 @@ def run_campaign(
     ``candidates`` the PlatformSpecs predicted for (the reference is
     included automatically).  ``scenarios`` maps labels to cutoffs
     (default: the paper's no-cutoff and 10 Angstrom cases).
+
+    ``workers=N`` fans the design out over N processes; ``cache_dir=``
+    reuses previously simulated cells, so a repeated campaign performs
+    zero new simulations (see ``CampaignReport.simulations_run``).
+    Serial and parallel campaigns produce identical reports.
     """
     if probe_repetitions < 2:
         raise DesignError("the reproducibility probe needs >= 2 repetitions")
@@ -106,7 +121,13 @@ def run_campaign(
     design = reduced_design() if design is None else design
 
     runner = ExperimentRunner(
-        reference, jitter_sigma=jitter_sigma, seed=seed
+        reference,
+        jitter_sigma=jitter_sigma,
+        seed=seed,
+        parallel=parallel,
+        workers=workers,
+        cache_dir=cache_dir,
+        progress=progress,
     )
     probe_case = ExperimentCase(
         molecule=molecule,
@@ -132,6 +153,8 @@ def run_campaign(
         reference_platform=reference.name,
         probe=probe,
         calibration=calibration,
+        simulations_run=runner.simulations_run,
+        cache_stats=runner.cache_stats,
     )
     for label, cutoff in scenarios.items():
         app = ApplicationParams(
@@ -168,8 +191,11 @@ def render(report: CampaignReport) -> str:
         f"model fit: mean relative error "
         f"{100 * report.fit_error:.2f}% "
         f"(R^2 {min(report.calibration.r2.values()):.4f} worst component)",
-        "",
     ]
+    line = f"simulations executed: {report.simulations_run}"
+    if report.cache_stats is not None:
+        line += f" (cache: {report.cache_stats})"
+    lines.extend([line, ""])
     for label, series in report.predictions.items():
         servers = next(iter(series.values())).servers
         lines.append(

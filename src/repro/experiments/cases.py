@@ -66,6 +66,26 @@ class ExperimentCase:
             cutoff=self.cutoff,
         )
 
+    def key_data(self) -> dict:
+        """JSON-able content that fully identifies this cell.
+
+        Used for deterministic per-cell seed derivation and as part of
+        the result-cache key: two cells with the same key data are the
+        same experiment, independent of their position in a design.
+        """
+        return {
+            "molecule": {
+                "name": self.molecule.name,
+                "protein_atoms": self.molecule.protein_atoms,
+                "waters": self.molecule.waters,
+                "density": self.molecule.density,
+            },
+            "servers": self.servers,
+            "cutoff": self.cutoff,
+            "update_interval": self.update_interval,
+            "steps": self.steps,
+        }
+
 
 def paper_factors(
     sizes: Sequence[ComplexSpec] = (SMALL, MEDIUM, LARGE),

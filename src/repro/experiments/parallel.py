@@ -1,0 +1,148 @@
+"""Parallel campaign execution over a process pool.
+
+Every design cell is an independent, pickle-able unit of work: an
+:class:`~repro.experiments.cases.ExperimentCase` plus the platform spec
+and the measurement protocol fully determine a simulated run, and the
+per-cell seed derives from the cell's content
+(:func:`~repro.experiments.runner.derive_cell_seed`), not its position.
+A ``ProcessPoolExecutor`` therefore executes cells in any order on any
+worker and still reproduces the serial runner bit for bit; results are
+re-assembled in design order here.
+
+The optional :class:`~repro.experiments.cache.ResultCache` is consulted
+*before* work is submitted — cache hits never occupy a worker — and
+freshly simulated cells are stored as they complete, so an interrupted
+campaign resumes where it stopped.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import DesignError
+from .cache import (
+    ResultCache,
+    cell_key_payload,
+    record_from_dict,
+    record_to_dict,
+)
+from .cases import ExperimentCase
+
+
+def default_workers() -> int:
+    """Worker count when none is requested: one per available CPU."""
+    return max(os.cpu_count() or 1, 1)
+
+
+@dataclass(frozen=True)
+class CellJob:
+    """One design cell as a pickle-able work unit for a pool worker."""
+
+    index: int
+    case: ExperimentCase
+    platform: object
+    sync_mode: str
+    jitter_sigma: float
+    repetitions: int
+    base_seed: int
+    keep_results: bool = False
+
+
+def run_cell(job: CellJob):
+    """Execute one cell (the pool worker entry point; must be
+    module-level so it pickles)."""
+    from .runner import measure_case
+
+    record = measure_case(
+        job.platform,
+        job.case,
+        sync_mode=job.sync_mode,
+        jitter_sigma=job.jitter_sigma,
+        repetitions=job.repetitions,
+        base_seed=job.base_seed,
+        keep_results=job.keep_results,
+    )
+    return job.index, record
+
+
+def run_design_parallel(
+    cases: Sequence[ExperimentCase],
+    platform,
+    sync_mode: str = "accounted",
+    jitter_sigma: float = 0.004,
+    repetitions: int = 1,
+    base_seed: int = 0,
+    keep_results: bool = False,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    progress=None,
+) -> Tuple[List, int]:
+    """Measure every cell of a design over a process pool.
+
+    Returns ``(records, simulated_cells)`` with records in design order;
+    ``simulated_cells`` counts the cells that actually ran (i.e. were
+    not served from ``cache``).  ``progress(done, total, record)`` fires
+    in completion order as cells finish.
+    """
+    if not cases:
+        raise DesignError("empty design")
+    if workers is not None and workers < 1:
+        raise DesignError("workers must be >= 1")
+    total = len(cases)
+    records: List[Optional[object]] = [None] * total
+    done = 0
+
+    # ---- serve what the cache already has -----------------------------
+    pending: List[Tuple[int, Optional[str]]] = []
+    for i, case in enumerate(cases):
+        key = None
+        if cache is not None:
+            key = ResultCache.key_for(
+                cell_key_payload(
+                    case,
+                    platform,
+                    sync_mode=sync_mode,
+                    jitter_sigma=jitter_sigma,
+                    seed=base_seed,
+                    repetitions=repetitions,
+                )
+            )
+            cached = cache.load(key)
+            if cached is not None:
+                records[i] = record_from_dict(cached)
+                done += 1
+                if progress is not None:
+                    progress(done, total, records[i])
+                continue
+        pending.append((i, key))
+
+    # ---- fan the misses out over the pool -----------------------------
+    if pending:
+        n_workers = min(workers or default_workers(), len(pending))
+        with ProcessPoolExecutor(max_workers=n_workers) as executor:
+            futures = {}
+            for i, key in pending:
+                job = CellJob(
+                    index=i,
+                    case=cases[i],
+                    platform=platform,
+                    sync_mode=sync_mode,
+                    jitter_sigma=jitter_sigma,
+                    repetitions=repetitions,
+                    base_seed=base_seed,
+                    keep_results=keep_results,
+                )
+                futures[executor.submit(run_cell, job)] = key
+            for future in as_completed(futures):
+                index, record = future.result()
+                records[index] = record
+                key = futures[future]
+                if cache is not None and key is not None:
+                    cache.store(key, record_to_dict(record))
+                done += 1
+                if progress is not None:
+                    progress(done, total, record)
+    return records, len(pending)

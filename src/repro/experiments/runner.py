@@ -6,24 +6,70 @@ produces the measured breakdowns the calibration and the breakdown
 figures consume.  Runs execute on a dedicated (simulated) system —
 "therefore there is no overhead on the measurements due to a
 timesharing environment".
+
+Each design cell derives its own seed from a stable hash of the cell's
+content (:func:`derive_cell_seed`), so jitter noise is independent
+across cells and identical no matter where in a design — or on which
+worker process — the cell executes.  ``ExperimentRunner(workers=4)``
+fans cells out over a process pool (see
+:mod:`repro.experiments.parallel`); ``cache_dir=`` adds a
+content-addressed on-disk result cache (:mod:`repro.experiments.cache`)
+shared by both execution paths.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.breakdown import TimeBreakdown
 from ..core.calibration import Observation
 from ..core.parameters import ApplicationParams
 from ..errors import DesignError
 from ..opal.parallel import OpalRunResult, run_parallel_opal
+from .cache import (
+    ResultCache,
+    cell_key_payload,
+    record_from_dict,
+    record_to_dict,
+    stats_from_dict,
+    stats_to_dict,
+)
 from .cases import ExperimentCase
 from .measurement import MeasurementStats, summarize
 
 #: Default multiplicative timing noise of simulated measurements — the
 #: "low variability" the paper confirms on the dedicated J90.
 DEFAULT_JITTER = 0.004
+
+#: Callback invoked after each finished cell: ``progress(done, total,
+#: record)``.  In parallel runs cells complete out of order; ``done`` is
+#: the running completion count, not the cell's design index.
+ProgressCallback = Callable[[int, int, "ExperimentRecord"], None]
+
+_SEED_BITS = 63
+
+
+def derive_cell_seed(
+    base_seed: int, case: ExperimentCase, rep: int, salt: str = "cell"
+) -> int:
+    """Deterministic per-(cell, repetition) seed.
+
+    Hashes the cell's *content* (not its position in the design), so the
+    same cell gets the same seed in any design order, in serial and
+    parallel execution alike, while distinct cells get independent
+    seeds — the correlated-jitter bias of a shared ``seed + 1000*rep``
+    sequence cannot recur.
+    """
+    material = json.dumps(
+        {"base": base_seed, "case": case.key_data(), "rep": rep, "salt": salt},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> (64 - _SEED_BITS)
 
 
 @dataclass
@@ -45,8 +91,53 @@ class ExperimentRecord:
         return (self.app, self.breakdown)
 
 
+def measure_case(
+    platform,
+    case: ExperimentCase,
+    sync_mode: str = "accounted",
+    jitter_sigma: float = DEFAULT_JITTER,
+    repetitions: int = 1,
+    base_seed: int = 0,
+    keep_results: bool = False,
+) -> ExperimentRecord:
+    """Measure one design cell (with repetitions).
+
+    Module-level so the serial runner and the process-pool workers in
+    :mod:`repro.experiments.parallel` execute the exact same protocol.
+    """
+    app = case.app()
+    walls: List[float] = []
+    breakdowns: List[TimeBreakdown] = []
+    last: Optional[OpalRunResult] = None
+    for rep in range(repetitions):
+        result = run_parallel_opal(
+            app,
+            platform,
+            sync_mode=sync_mode,
+            seed=derive_cell_seed(base_seed, case, rep),
+            jitter_sigma=jitter_sigma,
+        )
+        walls.append(result.wall_time)
+        breakdowns.append(result.breakdown)
+        last = result
+    return ExperimentRecord(
+        case=case,
+        breakdown=TimeBreakdown.mean(breakdowns),
+        wall_stats=summarize(walls),
+        last_result=last if keep_results else None,
+    )
+
+
 class ExperimentRunner:
-    """Executes cases on one platform with a fixed measurement protocol."""
+    """Executes cases on one platform with a fixed measurement protocol.
+
+    ``workers=N`` (N > 1) or ``parallel=True`` runs designs over a
+    ``ProcessPoolExecutor``; results are identical to the serial path
+    because every cell's seed derives from its content.  ``cache_dir=``
+    enables the on-disk result cache for both paths; ``progress`` is
+    called after every completed cell.  ``keep_results=True`` bypasses
+    the cache (live :class:`OpalRunResult` objects are not cached).
+    """
 
     def __init__(
         self,
@@ -56,46 +147,103 @@ class ExperimentRunner:
         repetitions: int = 1,
         seed: int = 0,
         keep_results: bool = False,
+        parallel: bool = False,
+        workers: Optional[int] = None,
+        cache_dir=None,
+        progress: Optional[ProgressCallback] = None,
     ) -> None:
         if repetitions < 1:
             raise DesignError("repetitions must be >= 1")
+        if workers is not None and workers < 1:
+            raise DesignError("workers must be >= 1")
         self.platform = platform
         self.sync_mode = sync_mode
         self.jitter_sigma = jitter_sigma
         self.repetitions = repetitions
         self.seed = seed
         self.keep_results = keep_results
+        self.parallel = parallel or (workers is not None and workers > 1)
+        self.workers = workers
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.progress = progress
+        #: simulated Opal runs actually executed (cache hits don't count)
+        self.simulations_run = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_stats(self):
+        """Hit/miss/store counters of the attached cache (or None)."""
+        return self.cache.stats if self.cache is not None else None
+
+    def _key_payload(self, case: ExperimentCase, kind: str, repetitions: int) -> dict:
+        return cell_key_payload(
+            case,
+            self.platform,
+            sync_mode=self.sync_mode,
+            jitter_sigma=self.jitter_sigma,
+            seed=self.seed,
+            repetitions=repetitions,
+            kind=kind,
+        )
+
+    def cell_cache_key(self, case: ExperimentCase) -> str:
+        """The content address of one cell under this runner's protocol."""
+        return ResultCache.key_for(
+            self._key_payload(case, "cell", self.repetitions)
+        )
 
     # ------------------------------------------------------------------
     def run_case(self, case: ExperimentCase) -> ExperimentRecord:
-        """Measure one design cell (with repetitions)."""
-        app = case.app()
-        walls: List[float] = []
-        breakdowns: List[TimeBreakdown] = []
-        last: Optional[OpalRunResult] = None
-        for rep in range(self.repetitions):
-            result = run_parallel_opal(
-                app,
-                self.platform,
-                sync_mode=self.sync_mode,
-                seed=self.seed + 1000 * rep,
-                jitter_sigma=self.jitter_sigma,
-            )
-            walls.append(result.wall_time)
-            breakdowns.append(result.breakdown)
-            last = result
-        return ExperimentRecord(
-            case=case,
-            breakdown=TimeBreakdown.mean(breakdowns),
-            wall_stats=summarize(walls),
-            last_result=last if self.keep_results else None,
+        """Measure one design cell (with repetitions), cache-aware."""
+        use_cache = self.cache is not None and not self.keep_results
+        key = self.cell_cache_key(case) if use_cache else None
+        if use_cache:
+            cached = self.cache.load(key)
+            if cached is not None:
+                return record_from_dict(cached)
+        record = measure_case(
+            self.platform,
+            case,
+            sync_mode=self.sync_mode,
+            jitter_sigma=self.jitter_sigma,
+            repetitions=self.repetitions,
+            base_seed=self.seed,
+            keep_results=self.keep_results,
         )
+        self.simulations_run += self.repetitions
+        if use_cache:
+            self.cache.store(key, record_to_dict(record))
+        return record
 
     def run_design(self, cases: Sequence[ExperimentCase]) -> List[ExperimentRecord]:
-        """Measure every cell of a design, in order."""
+        """Measure every cell of a design; results are in design order
+        regardless of the execution path (serial or process pool)."""
         if not cases:
             raise DesignError("empty design")
-        return [self.run_case(c) for c in cases]
+        if self.parallel:
+            from .parallel import run_design_parallel
+
+            records, simulated_cells = run_design_parallel(
+                list(cases),
+                self.platform,
+                sync_mode=self.sync_mode,
+                jitter_sigma=self.jitter_sigma,
+                repetitions=self.repetitions,
+                base_seed=self.seed,
+                keep_results=self.keep_results,
+                workers=self.workers,
+                cache=None if self.keep_results else self.cache,
+                progress=self.progress,
+            )
+            self.simulations_run += simulated_cells * self.repetitions
+            return records
+        records = []
+        for i, case in enumerate(cases):
+            record = self.run_case(case)
+            records.append(record)
+            if self.progress is not None:
+                self.progress(i + 1, len(cases), record)
+        return records
 
     def observations(self, cases: Sequence[ExperimentCase]) -> List[Observation]:
         """Measured (app, breakdown) pairs ready for calibration."""
@@ -111,15 +259,32 @@ class ExperimentRunner:
     def variability_probe(
         self, case: ExperimentCase, repetitions: int = 10
     ) -> MeasurementStats:
-        """The Section 2.3 reproducibility check for one configuration."""
+        """The Section 2.3 reproducibility check for one configuration.
+
+        Probe repetitions use their own salt so they are independent of
+        the design measurements of the same cell; the whole probe is one
+        cacheable unit.
+        """
+        key = None
+        if self.cache is not None:
+            key = ResultCache.key_for(
+                self._key_payload(case, "probe", repetitions)
+            )
+            cached = self.cache.load(key)
+            if cached is not None:
+                return stats_from_dict(cached)
         walls = []
         for rep in range(repetitions):
             result = run_parallel_opal(
                 case.app(),
                 self.platform,
                 sync_mode=self.sync_mode,
-                seed=self.seed + 7919 * (rep + 1),
+                seed=derive_cell_seed(self.seed, case, rep, salt="probe"),
                 jitter_sigma=self.jitter_sigma,
             )
             walls.append(result.wall_time)
-        return summarize(walls)
+        self.simulations_run += repetitions
+        stats = summarize(walls)
+        if key is not None:
+            self.cache.store(key, stats_to_dict(stats))
+        return stats

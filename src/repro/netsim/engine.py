@@ -54,7 +54,11 @@ class Engine:
     def run(self, until: Optional[float] = None) -> float:
         """Execute events until the queue drains or ``until`` is reached.
 
-        Returns the virtual time at which execution stopped.
+        Returns the virtual time at which execution stopped.  With a
+        horizon, the clock always lands exactly on ``until`` (never
+        before it, even when the queue drains early; never after it) —
+        except when ``until`` already lies in the past, in which case
+        the clock stays put rather than run backwards.
         """
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
@@ -63,7 +67,6 @@ class Engine:
             while self._queue:
                 time, _seq, callback = self._queue[0]
                 if until is not None and time > until:
-                    self._now = until
                     break
                 heapq.heappop(self._queue)
                 if time < self._now:
@@ -71,6 +74,8 @@ class Engine:
                 self._now = time
                 self.events_executed += 1
                 callback()
+            if until is not None and until > self._now:
+                self._now = until
         finally:
             self._running = False
         return self._now

@@ -128,20 +128,13 @@ class PvmSystem:
         **kwargs: Any,
     ) -> SimProcess:
         """Start ``func(task, *args, **kwargs)`` as a PVM task on ``node``."""
-        holder: Dict[str, PvmTask] = {}
 
         def _body(ctx, *a, **kw):
             task = PvmTask(self, ctx, parent.tid if parent is not None else None)
-            holder["task"] = task
             self.tasks[task.tid] = task
-            return func(task, *a, **kw)
+            yield from func(task, *a, **kw)
 
-        # _body must itself be a generator function: delegate.
-        def _genwrap(ctx, *a, **kw):
-            yield from _body(ctx, *a, **kw)
-
-        proc = self.cluster.spawn(name, node, _genwrap, *args, **kwargs)
-        return proc
+        return self.cluster.spawn(name, node, _body, *args, **kwargs)
 
     # ------------------------------------------------------------------
     def joingroup(self, group: str, tid: int) -> int:

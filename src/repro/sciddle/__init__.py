@@ -24,6 +24,7 @@ from .runtime import (
     RpcRequest,
     SciddleClient,
     SciddleServer,
+    allocate_reply_tag,
 )
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "SciddleInterface",
     "SciddleServer",
     "SyncDiscipline",
+    "allocate_reply_tag",
     "compile_idl",
     "TAG_REPLY_BASE",
     "TAG_REQUEST",

@@ -26,6 +26,22 @@ TAG_REQUEST = 900
 #: Reply tags are allocated per call starting here.
 TAG_REPLY_BASE = 10_000
 
+#: Attribute on the PVM task carrying its reply-tag counter.
+_TASK_TAG_ATTR = "_sciddle_next_reply_tag"
+
+
+def allocate_reply_tag(task: PvmTask) -> int:
+    """Allocate the next reply tag for ``task``.
+
+    The counter lives on the *task*, not on the client: a task talking
+    to two server groups through two clients must never hand both the
+    same tag, or a reply from one group could satisfy a wait on the
+    other.
+    """
+    tag = getattr(task, _TASK_TAG_ATTR, TAG_REPLY_BASE)
+    setattr(task, _TASK_TAG_ATTR, tag + 1)
+    return tag
+
 #: Size in bytes of an RPC header / empty request or reply.
 HEADER_BYTES = 64
 
@@ -137,13 +153,10 @@ class SciddleClient:
         self.interface = interface
         self.servers = list(servers)
         self.accountant = accountant
-        self._next_reply_tag = TAG_REPLY_BASE
 
     # ------------------------------------------------------------------
     def _alloc_tag(self) -> int:
-        tag = self._next_reply_tag
-        self._next_reply_tag += 1
-        return tag
+        return allocate_reply_tag(self.task)
 
     def call_async(
         self,

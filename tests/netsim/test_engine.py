@@ -117,3 +117,46 @@ def test_zero_delay_events_fire_at_current_time():
     eng.schedule(1.0, lambda: eng.schedule(0.0, lambda: times.append(eng.now)))
     eng.run()
     assert times == [1.0]
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    # regression: the clock must land on `until` even when no event
+    # exists beyond it — run(until=t) used to return the last event time
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    assert eng.run(until=5.0) == 5.0
+    assert eng.now == 5.0
+
+
+def test_run_until_on_empty_queue_advances_clock():
+    eng = Engine()
+    assert eng.run(until=2.5) == 2.5
+    assert eng.now == 2.5
+
+
+def test_run_until_result_independent_of_later_events():
+    # the two queues below must stop at the same time: the presence of
+    # an event after the horizon may not change the returned clock
+    with_later = Engine()
+    with_later.schedule(1.0, lambda: None)
+    with_later.schedule(9.0, lambda: None)
+    without_later = Engine()
+    without_later.schedule(1.0, lambda: None)
+    assert with_later.run(until=3.0) == without_later.run(until=3.0) == 3.0
+
+
+def test_run_until_in_the_past_does_not_rewind_clock():
+    eng = Engine()
+    eng.schedule(2.0, lambda: None)
+    eng.schedule(10.0, lambda: None)
+    assert eng.run(until=3.0) == 3.0
+    # a second run with an earlier horizon must not go backwards
+    assert eng.run(until=1.0) == 3.0
+    assert eng.now == 3.0
+
+
+def test_run_all_reports_blocked_process_count():
+    eng = Engine()
+    eng.blocked_processes = 2
+    with pytest.raises(DeadlockError, match="2 process"):
+        eng.run_all()

@@ -261,3 +261,53 @@ def test_calls_served_counter():
 
     pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
     pvm.run()
+
+
+def test_two_clients_on_one_task_use_distinct_reply_tags():
+    """Regression: reply-tag allocation is per *task*, not per client.
+
+    Two clients on the same task used to both start at TAG_REPLY_BASE,
+    so two outstanding RPCs to the same server carried identical reply
+    tags and a wait on one client could consume the other's reply.
+    """
+
+    def handler(task, args):
+        yield from task.compute(seconds=0.5)
+        return RpcReply(nbytes=10, payload=args["who"])
+
+    cluster, pvm, iface, nodes, servers = setup_rpc(n_servers=1, handler=handler)
+    result = {}
+
+    def client_body(task, tids):
+        c1 = SciddleClient(task, iface, tids)
+        c2 = SciddleClient(task, iface, tids)
+        h1 = yield from c1.call_async(tids[0], "work", args={"who": "first"}, nbytes=10)
+        h2 = yield from c2.call_async(tids[0], "work", args={"who": "second"}, nbytes=10)
+        result["tags"] = (h1.reply_tag, h2.reply_tag)
+        # wait on the *second* call first: with colliding tags this
+        # would match the first reply instead of the second
+        result["r2"] = yield from c2.wait(h2)
+        result["r1"] = yield from c1.wait(h1)
+        yield from c1.shutdown()
+
+    pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
+    pvm.run()
+    tag1, tag2 = result["tags"]
+    assert tag1 != tag2
+    assert result["r1"] == "first"
+    assert result["r2"] == "second"
+
+
+def test_reply_tags_unique_across_clients_and_shutdown():
+    from repro.sciddle import TAG_REPLY_BASE, allocate_reply_tag
+
+    class FakeTask:
+        pass
+
+    task = FakeTask()
+    a = [allocate_reply_tag(task) for _ in range(3)]
+    b = [allocate_reply_tag(task) for _ in range(3)]
+    assert a == [TAG_REPLY_BASE, TAG_REPLY_BASE + 1, TAG_REPLY_BASE + 2]
+    assert len(set(a + b)) == 6
+    other = FakeTask()
+    assert allocate_reply_tag(other) == TAG_REPLY_BASE
