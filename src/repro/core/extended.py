@@ -19,6 +19,8 @@ paper's model exactly.
 
 from __future__ import annotations
 
+from typing import Dict, Sequence, Tuple
+
 from ..errors import ModelError
 from ..opal.distribution import PairDistribution
 from .breakdown import TimeBreakdown
@@ -63,8 +65,8 @@ class ImbalanceAwareModel(OpalPerformanceModel):
 def residual_improvement(
     basic: OpalPerformanceModel,
     extended: ImbalanceAwareModel,
-    observations,
-) -> dict:
+    observations: Sequence[Tuple[ApplicationParams, TimeBreakdown]],
+) -> Dict[str, float]:
     """Mean |relative error| of both models, split by server parity.
 
     ``observations`` are (ApplicationParams, TimeBreakdown) pairs from

@@ -21,7 +21,7 @@ out-of-core problem sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..errors import PlatformError
 
@@ -88,6 +88,6 @@ class MemoryHierarchy:
         """Sustained algorithmic rate in flop/s at this working set."""
         return self.base_rate * self.factor(working_set)
 
-    def as_rate_model(self):
+    def as_rate_model(self) -> Callable[[Optional[float]], float]:
         """Adapter usable as a :data:`repro.netsim.node.RateModel`."""
         return self.rate

@@ -35,6 +35,14 @@ from .parameters import (
     update_pair_work,
 )
 
+#: The closed vocabulary of platform coefficients appearing in equations
+#: (2)-(10): a1 (communication rate), b1 (per-message overhead), a2
+#: (pair-generation time), a3 (pair-energy time), a4 (sequential
+#: per-mass-center time), b5 (synchronization cost).  simlint rule M301
+#: rejects any other coefficient-shaped identifier in core/platforms so
+#: the code cannot silently drift from the validated model.
+EQUATION_PLATFORM_PARAMETERS = ("a1", "a2", "a3", "a4", "b1", "b5")
+
 
 class OpalPerformanceModel:
     """Evaluate the analytical model for one platform."""

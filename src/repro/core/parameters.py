@@ -10,11 +10,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..errors import ModelError
 from ..opal import costs
 from ..opal.complexes import ComplexSpec
+from ..units import to_mflop_per_s
+
+if TYPE_CHECKING:  # annotation-only; a runtime import would be circular
+    from ..platforms.spec import PlatformSpec
 
 
 @dataclass(frozen=True)
@@ -85,7 +89,7 @@ class ApplicationParams:
         """Whether the cutoff actually reduces the pair count."""
         return self.molecule.cutoff_effective(self.cutoff)
 
-    def with_(self, **changes) -> "ApplicationParams":
+    def with_(self, **changes: object) -> "ApplicationParams":
         """A modified copy, e.g. ``app.with_(servers=4)``."""
         return replace(self, **changes)
 
@@ -121,7 +125,7 @@ class ModelPlatformParams:
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_spec(cls, spec) -> "ModelPlatformParams":
+    def from_spec(cls, spec: "PlatformSpec") -> "ModelPlatformParams":
         """Derive model coefficients from a :class:`PlatformSpec`.
 
         This is the paper's Section 4.1 route: communication figures come
@@ -144,9 +148,9 @@ class ModelPlatformParams:
 
     def compute_rate_mflops(self) -> float:
         """Equivalent algorithmic compute rate implied by a3 [MFlop/s]."""
-        return costs.NB_PAIR_FLOPS / self.a3 / 1e6
+        return to_mflop_per_s(costs.NB_PAIR_FLOPS / self.a3)
 
-    def with_(self, **changes) -> "ModelPlatformParams":
+    def with_(self, **changes: object) -> "ModelPlatformParams":
         """A modified copy, e.g. ``params.with_(a1=7e6)``."""
         return replace(self, **changes)
 

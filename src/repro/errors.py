@@ -45,3 +45,23 @@ class WorkloadError(ReproError):
 
 class DesignError(ReproError):
     """Raised by the experimental-design machinery."""
+
+
+class LintError(ReproError):
+    """Raised by the simlint static analyzer for unusable inputs."""
+
+
+class PastEventError(SimulationError):
+    """Raised when an event is scheduled at an absolute time before now.
+
+    Carries the offending absolute ``time`` and the engine's ``now`` so
+    callers can report the rewind precisely.
+    """
+
+    def __init__(self, time: float, now: float) -> None:
+        super().__init__(
+            f"cannot schedule an event at t={time!r}: the clock is already "
+            f"at now={now!r} (virtual time never runs backwards)"
+        )
+        self.time = time
+        self.now = now

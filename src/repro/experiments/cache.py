@@ -20,7 +20,7 @@ import dataclasses
 import hashlib
 import json
 import pathlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Union
 
 from ..core.breakdown import TimeBreakdown

@@ -1,0 +1,47 @@
+"""simlint — static verification of the package's own invariants.
+
+The paper's methodology works because measurement is *exact*:
+middleware instrumentation separates communication from computation
+(Section 3) and the factorial design assumes every cell is reproducible
+(Section 4).  simlint machine-checks the source-level invariants that
+exactness rests on, in three rule families:
+
+* **determinism** (``D1xx``) — no wall clocks, global RNG state,
+  OS-entropy seeding or hash/identity-ordered iteration in simulation
+  code;
+* **protocol** (``P2xx``) — RPC names resolve in the IDL registry,
+  message tags pair up, phase brackets balance, receives are driven
+  coroutine-style;
+* **model hygiene** (``M3xx``) — platform coefficients come from the
+  equations (2)-(10) registry and unit conversions go through
+  :mod:`repro.units`.
+
+Run it with ``python -m repro.lint [paths]`` (exits non-zero on
+findings) or programmatically via :func:`run_checks`.  Individual
+findings can be waived inline with ``# simlint: disable=CODE`` — see
+``docs/LINTING.md`` for rule codes and rationale.
+"""
+
+from __future__ import annotations
+
+from .core import Finding, ProjectRule, Rule, SourceModule, load_module
+from .registry import all_rules, get_rule
+from .runner import iter_python_files, load_modules, run_checks
+
+# importing the rule modules registers every shipped rule
+from . import determinism as _determinism  # noqa: F401
+from . import hygiene as _hygiene  # noqa: F401
+from . import protocol as _protocol  # noqa: F401
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "ProjectRule",
+    "SourceModule",
+    "all_rules",
+    "get_rule",
+    "iter_python_files",
+    "load_module",
+    "load_modules",
+    "run_checks",
+]

@@ -1,0 +1,74 @@
+"""Command line front end: ``python -m repro.lint [paths]``.
+
+Prints one ``file:line:code message`` line per finding and exits
+non-zero when any finding survives suppression — the contract the CI
+``lint`` job relies on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..errors import LintError
+from .registry import all_rules
+from .runner import run_checks
+
+
+def _default_paths() -> List[str]:
+    """Lint the installed ``repro`` package when no paths are given."""
+    return [str(Path(__file__).resolve().parents[1])]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The simlint argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "simlint: static verification of determinism, protocol and "
+            "model invariants over the repro source (see docs/LINTING.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (default: the repro package)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule code with its summary and exit",
+    )
+    parser.add_argument(
+        "--no-suppress",
+        action="store_true",
+        help="report findings even on '# simlint: disable=' lines",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_cls in all_rules():
+            scope = ",".join(rule_cls.packages) if rule_cls.packages else "all"
+            print(f"{rule_cls.code} {rule_cls.name} [{scope}] — {rule_cls.summary}")
+        return 0
+    paths = args.paths or _default_paths()
+    try:
+        findings = run_checks(
+            paths, respect_suppressions=not args.no_suppress
+        )
+    except LintError as exc:
+        print(f"simlint: error: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.format())
+    print(
+        f"simlint: {len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0

@@ -1,0 +1,232 @@
+"""Core data model of simlint: findings, parsed modules, rule base classes.
+
+simlint is a static-analysis pass over this package's *own* source.  The
+paper's methodology stands on exact, reproducible measurement; the rules
+in :mod:`repro.lint.determinism`, :mod:`repro.lint.protocol` and
+:mod:`repro.lint.hygiene` machine-check the invariants that measurement
+depends on, so they are enforced on every change instead of being
+rediscovered by debugging (see ``docs/LINTING.md``).
+
+This module holds the pieces every rule shares:
+
+* :class:`Finding` — one reported violation (``file:line:code message``);
+* :class:`SourceModule` — a parsed file with its AST (parent-annotated),
+  import-alias map, package scope and ``# simlint: disable=`` lines;
+* :class:`Rule` / :class:`ProjectRule` — the visitor base classes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..errors import LintError
+
+#: Attribute name used to attach parent links to AST nodes.
+_PARENT_ATTR = "_simlint_parent"
+
+#: Inline suppression comment: ``# simlint: disable=CODE[,CODE...]``.
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """Render as the CLI's ``file:line:code message`` output line."""
+        return f"{self.path}:{self.line}:{self.code} {self.message}"
+
+
+@dataclass
+class SourceModule:
+    """A parsed source file plus everything rules need to inspect it."""
+
+    path: Path
+    display: str
+    text: str
+    tree: ast.Module
+    #: dotted-name parts below the ``repro`` package root (e.g.
+    #: ``("netsim", "engine")``), or ``None`` for files outside any
+    #: ``repro`` directory — those are checked against *every* rule.
+    package: Optional[Tuple[str, ...]]
+    #: local alias -> absolute dotted name, from import statements.
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: line number -> set of rule codes disabled on that line.
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @property
+    def subpackage(self) -> Optional[str]:
+        """First package component under ``repro`` (``"netsim"``, ...)."""
+        return self.package[0] if self.package else None
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=self.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=code,
+            message=message,
+        )
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether an inline comment disables this finding's code."""
+        return finding.code in self.suppressions.get(finding.line, set())
+
+    def resolve_call(self, node: ast.AST) -> Optional[str]:
+        """Absolute dotted name of an attribute/name chain, if derivable.
+
+        ``np.random.default_rng`` with ``import numpy as np`` resolves to
+        ``"numpy.random.default_rng"``.  Chains rooted in anything other
+        than an imported module alias (``self.engine.now``, locals, ...)
+        resolve to ``None`` — rules treat that as "not a module call".
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.imports.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    """The syntactic parent of ``node`` (annotated at load time)."""
+    return getattr(node, _PARENT_ATTR, None)
+
+
+def _collect_imports(tree: ast.Module) -> Dict[str, str]:
+    """Map local aliases to absolute dotted names for all imports."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname:
+                    aliases[name.asname] = name.name
+                else:
+                    # `import numpy.random` binds the root name `numpy`.
+                    root = name.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def _collect_suppressions(text: str) -> Dict[int, Set[str]]:
+    """Parse ``# simlint: disable=`` comments, keyed by 1-based line."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m:
+            codes = {c.strip() for c in m.group(1).split(",") if c.strip()}
+            if codes:
+                out[lineno] = codes
+    return out
+
+
+def _package_of(path: Path) -> Optional[Tuple[str, ...]]:
+    """Dotted-path parts below the last ``repro`` directory, if any."""
+    parts = path.resolve().parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            below = parts[i + 1 :]
+            if not below:
+                return None
+            return tuple(below[:-1]) + (Path(below[-1]).stem,)
+    return None
+
+
+def _annotate_parents(tree: ast.Module) -> None:
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            setattr(child, _PARENT_ATTR, parent)
+
+
+def load_module(path: Path, display: Optional[str] = None) -> SourceModule:
+    """Read and parse one source file into a :class:`SourceModule`."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {path}: {exc}") from None
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        raise LintError(f"cannot parse {path}: {exc}") from None
+    _annotate_parents(tree)
+    return SourceModule(
+        path=path,
+        display=display if display is not None else str(path),
+        text=text,
+        tree=tree,
+        package=_package_of(path),
+        imports=_collect_imports(tree),
+        suppressions=_collect_suppressions(text),
+    )
+
+
+class Rule:
+    """Base class for a per-file lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``packages=None`` means the rule applies everywhere; otherwise it
+    names the top-level ``repro`` subpackages it is scoped to.  Files
+    outside any ``repro`` package (fixtures, scratch scripts) are checked
+    against every rule.
+    """
+
+    #: unique rule code, e.g. ``"D101"``.
+    code: str = ""
+    #: short kebab-case rule name.
+    name: str = ""
+    #: one-line summary shown by ``--list-rules`` and the docs.
+    summary: str = ""
+    #: top-level subpackages the rule is scoped to (None = all files).
+    packages: Optional[Tuple[str, ...]] = None
+
+    def applies_to(self, module: SourceModule) -> bool:
+        """Whether this rule inspects ``module`` at all."""
+        if self.packages is None or module.package is None:
+            return True
+        return module.subpackage in self.packages
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that needs cross-file state (declared-vs-used registries).
+
+    The runner calls :meth:`collect` once per applicable module, then
+    :meth:`finalize` once after all modules were seen.
+    """
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Project rules report from :meth:`finalize`, not per file."""
+        return iter(())
+
+    def collect(self, module: SourceModule) -> None:
+        """Gather per-module facts into rule state."""
+        raise NotImplementedError
+
+    def finalize(self) -> Iterator[Finding]:
+        """Yield findings derived from the whole-project state."""
+        raise NotImplementedError

@@ -1,0 +1,303 @@
+"""Determinism rules (codes ``D1xx``).
+
+The paper's factorial methodology (Sections 3-4) assumes every design
+cell is exactly reproducible: re-running a configuration must give the
+same virtual-time measurement, or effects and interactions computed by
+the ANOVA are biased by hidden variability.  These rules ban the source
+constructs that smuggle nondeterminism into simulated runs:
+
+* wall-clock reads and global RNG state inside the simulation packages;
+* OS-entropy seeding (argless ``np.random.default_rng()``);
+* iteration orders that depend on hashing or object identity in
+  scheduling code paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from .core import Finding, Rule, SourceModule
+from .registry import rule
+
+#: Subpackages whose code runs inside (or drives) simulations.
+SIMULATION_PACKAGES: Tuple[str, ...] = ("netsim", "pvm", "sciddle", "experiments")
+
+#: Wall-clock callables banned from simulation code (virtual time only).
+_WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: numpy legacy global-state RNG entry points (module-level state).
+_NUMPY_GLOBAL_RNG = frozenset(
+    {
+        "numpy.random.seed",
+        "numpy.random.rand",
+        "numpy.random.randn",
+        "numpy.random.random",
+        "numpy.random.random_sample",
+        "numpy.random.randint",
+        "numpy.random.choice",
+        "numpy.random.shuffle",
+        "numpy.random.permutation",
+        "numpy.random.uniform",
+        "numpy.random.normal",
+        "numpy.random.standard_normal",
+    }
+)
+
+
+@rule
+class WallClockRule(Rule):
+    """D101: no wall-clock reads inside simulation code."""
+
+    code = "D101"
+    name = "wall-clock-read"
+    summary = (
+        "time.time()/datetime.now() etc. in simulation packages; "
+        "use the engine's virtual clock (Engine.now)"
+    )
+    packages = SIMULATION_PACKAGES
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag calls resolving to wall-clock functions."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                dotted = module.resolve_call(node.func)
+                if dotted in _WALLCLOCK_CALLS:
+                    yield module.finding(
+                        node,
+                        self.code,
+                        f"wall-clock call {dotted}(): simulated measurements "
+                        "must use virtual time (Engine.now) to stay exactly "
+                        "reproducible",
+                    )
+
+
+@rule
+class GlobalRngRule(Rule):
+    """D102: no module-level RNG state inside simulation code."""
+
+    code = "D102"
+    name = "global-rng"
+    summary = (
+        "stdlib `random` module or numpy legacy global RNG in simulation "
+        "packages; draw from a named netsim.rng.RngRegistry stream"
+    )
+    packages = SIMULATION_PACKAGES
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag `random` imports and numpy global-state RNG calls."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    if name.name == "random" or name.name.startswith("random."):
+                        yield module.finding(
+                            node,
+                            self.code,
+                            "stdlib `random` uses hidden global state; use a "
+                            "named stream from netsim.rng.RngRegistry",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield module.finding(
+                        node,
+                        self.code,
+                        "stdlib `random` uses hidden global state; use a "
+                        "named stream from netsim.rng.RngRegistry",
+                    )
+            elif isinstance(node, ast.Call):
+                dotted = module.resolve_call(node.func)
+                if dotted in _NUMPY_GLOBAL_RNG:
+                    yield module.finding(
+                        node,
+                        self.code,
+                        f"{dotted}() draws from numpy's global RNG state; "
+                        "use a Generator from netsim.rng.RngRegistry",
+                    )
+
+
+@rule
+class ArglessDefaultRngRule(Rule):
+    """D103: every Generator must be seeded deterministically."""
+
+    code = "D103"
+    name = "argless-default-rng"
+    summary = (
+        "np.random.default_rng() with no seed draws OS entropy; derive "
+        "seeds through netsim.rng (RngRegistry / spawn_generator)"
+    )
+    packages = None  # applies to the whole package
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag `default_rng()` calls without an explicit seed."""
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and not node.args
+                and not node.keywords
+                and module.resolve_call(node.func) == "numpy.random.default_rng"
+            ):
+                yield module.finding(
+                    node,
+                    self.code,
+                    "np.random.default_rng() without a seed is seeded from "
+                    "OS entropy; derive the seed via netsim.rng.RngRegistry "
+                    "so runs are reproducible",
+                )
+
+
+@rule
+class HardcodedSeedRule(Rule):
+    """D106: no hard-coded seed literals in simulated stochastic paths."""
+
+    code = "D106"
+    name = "hardcoded-seed"
+    summary = (
+        "np.random.default_rng/SeedSequence called with an integer "
+        "literal; per-entity seeds must derive from the run seed via "
+        "netsim.rng.RngRegistry"
+    )
+    packages = SIMULATION_PACKAGES + ("opal",)
+
+    _SEEDED_CALLS = frozenset(
+        {"numpy.random.default_rng", "numpy.random.SeedSequence"}
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag integer literals inside Generator/SeedSequence seeds."""
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and module.resolve_call(node.func) in self._SEEDED_CALLS
+            ):
+                continue
+            for arg in node.args:
+                if any(
+                    isinstance(sub, ast.Constant)
+                    and isinstance(sub.value, int)
+                    and not isinstance(sub.value, bool)
+                    for sub in ast.walk(arg)
+                ):
+                    yield module.finding(
+                        node,
+                        self.code,
+                        "hard-coded seed literal: streams seeded this way "
+                        "ignore the run seed and correlate across entities "
+                        "(PR 1's per-cell seed bug); derive the stream from "
+                        "netsim.rng.RngRegistry instead",
+                    )
+                    break
+
+
+def _is_unordered_iterable(node: ast.AST) -> bool:
+    """Whether an iteration target has hash-dependent order."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@rule
+class UnorderedIterationRule(Rule):
+    """D104: no hash-ordered iteration in scheduling paths."""
+
+    code = "D104"
+    name = "unordered-iteration"
+    summary = (
+        "iteration over a set (or dict.popitem) in scheduling code; "
+        "event order must not depend on hash seeds"
+    )
+    packages = SIMULATION_PACKAGES
+
+    _MSG = (
+        "iterating a set yields hash-dependent order, which perturbs "
+        "event scheduling across runs; iterate a list or wrap in sorted()"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag for-loops/comprehensions over sets and .popitem() calls."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if _is_unordered_iterable(node.iter):
+                    yield module.finding(node.iter, self.code, self._MSG)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _is_unordered_iterable(gen.iter):
+                        yield module.finding(gen.iter, self.code, self._MSG)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "popitem"
+            ):
+                yield module.finding(
+                    node,
+                    self.code,
+                    "dict.popitem() pops an end-of-insertion item and is an "
+                    "order smell in scheduling code; pop an explicit key",
+                )
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+    )
+
+
+@rule
+class IdOrderingRule(Rule):
+    """D105: never order anything by object identity."""
+
+    code = "D105"
+    name = "id-ordering"
+    summary = (
+        "sorting or comparing by id(): CPython addresses vary per run; "
+        "order by an explicit deterministic key (tid, seq, name)"
+    )
+    packages = None
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag key=id sort keys and id() ordering comparisons."""
+        ordering_ops = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if (
+                        kw.arg == "key"
+                        and isinstance(kw.value, ast.Name)
+                        and kw.value.id == "id"
+                    ):
+                        yield module.finding(
+                            node,
+                            self.code,
+                            "key=id orders by memory address, which differs "
+                            "between runs; use a deterministic key",
+                        )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                if any(isinstance(op, ordering_ops) for op in node.ops) and any(
+                    _is_id_call(o) for o in operands
+                ):
+                    yield module.finding(
+                        node,
+                        self.code,
+                        "ordering comparison on id(): memory addresses are "
+                        "not stable across runs; compare a deterministic key",
+                    )

@@ -1,0 +1,118 @@
+"""Model-hygiene rules (codes ``M3xx``).
+
+The analytical model (Section 2.2, equations (2)-(10)) has a closed
+vocabulary of platform coefficients — ``a1`` (communication rate), ``b1``
+(per-message overhead), ``a2``-``a4`` (compute coefficients), ``b5``
+(synchronization cost) — registered in
+:data:`repro.core.model.EQUATION_PLATFORM_PARAMETERS`.  A typo'd or
+invented coefficient silently decouples code from the equations the
+paper validates.  Likewise the paper's tables mix us/ms/MByte/s/MFlop/s
+(Section 4.1); every conversion must go through :mod:`repro.units` so a
+magnitude is defined exactly once.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Tuple
+
+from .core import Finding, Rule, SourceModule
+from .registry import rule
+
+#: Subpackages holding the analytical model and platform data.
+MODEL_PACKAGES: Tuple[str, ...] = ("core", "platforms")
+
+#: Identifier shape of a model coefficient (a1, b5, ...).
+_PARAM_RE = re.compile(r"^[ab]\d+$")
+
+#: Literal magnitudes that duplicate a units constant.
+_UNIT_LITERALS = {
+    1e-6: "units.MICROSECOND (or units.usec)",
+    1e-3: "units.MILLISECOND (or units.msec)",
+    1e3: "division by units.MILLISECOND",
+    1e6: "units.MBYTE / units.MFLOP (or the units helpers)",
+}
+
+
+def _registered_parameters() -> Tuple[str, ...]:
+    """The equation (2)-(10) coefficient registry from core.model."""
+    from ..core.model import EQUATION_PLATFORM_PARAMETERS
+
+    return EQUATION_PLATFORM_PARAMETERS
+
+
+@rule
+class UnknownModelParameterRule(Rule):
+    """M301: platform coefficients come from the equation registry."""
+
+    code = "M301"
+    name = "unknown-model-parameter"
+    summary = (
+        "an identifier shaped like a model coefficient (a7, b2, ...) is "
+        "not in core.model.EQUATION_PLATFORM_PARAMETERS"
+    )
+    packages = MODEL_PACKAGES
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag coefficient-shaped names outside the registry."""
+        registry = set(_registered_parameters())
+
+        def bad(name: str) -> bool:
+            return bool(_PARAM_RE.match(name)) and name not in registry
+
+        def msg(name: str) -> str:
+            return (
+                f"{name!r} is not a platform parameter of equations "
+                f"(2)-(10); registered: {', '.join(sorted(registry))} "
+                "(see core.model.EQUATION_PLATFORM_PARAMETERS)"
+            )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and bad(node.attr):
+                yield module.finding(node, self.code, msg(node.attr))
+            elif isinstance(node, ast.Name) and bad(node.id):
+                yield module.finding(node, self.code, msg(node.id))
+            elif isinstance(node, ast.keyword) and node.arg and bad(node.arg):
+                yield module.finding(node.value, self.code, msg(node.arg))
+            elif isinstance(node, ast.arg) and bad(node.arg):
+                yield module.finding(node, self.code, msg(node.arg))
+
+
+@rule
+class MagicUnitLiteralRule(Rule):
+    """M302: unit conversions go through repro.units, not literals."""
+
+    code = "M302"
+    name = "magic-unit-literal"
+    summary = (
+        "a bare 1e-6/1e-3/1e3/1e6 in arithmetic duplicates a units "
+        "constant; convert through repro.units"
+    )
+    packages = MODEL_PACKAGES
+
+    def _flag(
+        self, module: SourceModule, node: ast.AST
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            value = float(node.value)
+            if not isinstance(node.value, bool) and value in _UNIT_LITERALS:
+                yield module.finding(
+                    node,
+                    self.code,
+                    f"magic unit literal {node.value!r}: use "
+                    f"{_UNIT_LITERALS[value]} so the paper's mixed units "
+                    "(Section 4.1 tables) are converted in exactly one place",
+                )
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag unit-magnitude constants in arithmetic or comparisons."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Mult, ast.Div)
+            ):
+                yield from self._flag(module, node.left)
+                yield from self._flag(module, node.right)
+            elif isinstance(node, ast.Compare):
+                for operand in (node.left, *node.comparators):
+                    yield from self._flag(module, operand)

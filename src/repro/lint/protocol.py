@@ -1,0 +1,324 @@
+"""Protocol rules (codes ``P2xx``).
+
+The middleware stack (PVM messages under Sciddle RPC, Section 2.1 of the
+paper) only measures correctly when the communication protocol is
+air-tight: a request naming a procedure no server exports, a message tag
+with no matching receive, or an unbalanced phase bracket all either
+deadlock the run or—worse—silently misattribute time between the
+communication/computation/synchronization categories the whole
+methodology separates (Section 3.3).  These rules check the protocol
+statically:
+
+* ``P201`` — every RPC procedure referenced by a client stub, server
+  binding or spec lookup is declared in a :class:`SciddleInterface`
+  registry or a textual IDL block;
+* ``P202`` — every PVM tag constant sent is also received (and vice
+  versa) somewhere in the project;
+* ``P203`` — phase accounting (``.begin``/``.end``) and phase barriers
+  (``*_start@`` / ``*_end@``) are balanced within each function;
+* ``P204`` — blocking mailbox receives only appear driven by
+  ``yield``/``yield from`` inside a :mod:`repro.netsim.process`
+  coroutine.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .core import Finding, ProjectRule, Rule, SourceModule, parent_of
+from .registry import rule
+
+#: Procedure declarations inside a textual IDL block (see stubgen).
+_IDL_PROC_RE = re.compile(r"(\w+)\s*\([^)]*\)\s*;", re.DOTALL)
+
+#: Names that look like PVM tag constants (module convention).
+_TAG_NAME_RE = re.compile(r"^_?TAG")
+
+
+def _const_str(node: Optional[ast.AST]) -> Optional[str]:
+    """The value of a string constant node, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _call_arg(
+    node: ast.Call, index: int, keyword: Optional[str] = None
+) -> Optional[ast.AST]:
+    """Positional argument ``index`` or keyword ``keyword`` of a call."""
+    if keyword is not None:
+        for kw in node.keywords:
+            if kw.arg == keyword:
+                return kw.value
+    if len(node.args) > index:
+        return node.args[index]
+    return None
+
+
+@rule
+class UnknownProcedureRule(ProjectRule):
+    """P201: RPC procedure references must resolve in the IDL registry."""
+
+    code = "P201"
+    name = "unknown-rpc-procedure"
+    summary = (
+        "client stub / server binding references a procedure that no "
+        "SciddleInterface or IDL block declares"
+    )
+    packages = None
+
+    def __init__(self) -> None:
+        self._declared: Set[str] = set()
+        self._references: List[Tuple[SourceModule, ast.Call, str]] = []
+
+    def collect(self, module: SourceModule) -> None:
+        """Gather declared procedure names and literal references."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Assign):
+                # textual IDL blocks by convention live in *_IDL constants
+                targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+                source = _const_str(node.value)
+                if source is not None and any(t.endswith("_IDL") for t in targets):
+                    self._declared.update(_IDL_PROC_RE.findall(source))
+                continue
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            attr = node.func.attr
+            if attr == "procedure":
+                name = _const_str(_call_arg(node, 0, "name"))
+                if name is not None:
+                    self._declared.add(name)
+            elif attr in ("bind", "spec"):
+                name = _const_str(_call_arg(node, 0, "name"))
+                if name is not None and not name.startswith("__"):
+                    self._references.append((module, node, name))
+            elif attr == "call_async":
+                name = _const_str(_call_arg(node, 1, "proc"))
+                if name is not None and not name.startswith("__"):
+                    self._references.append((module, node, name))
+            elif attr == "call_all":
+                name = _const_str(_call_arg(node, 0, "proc"))
+                if name is not None and not name.startswith("__"):
+                    self._references.append((module, node, name))
+
+    def finalize(self) -> Iterator[Finding]:
+        """Report references whose name no registry declares."""
+        for module, node, name in self._references:
+            if name not in self._declared:
+                declared = ", ".join(sorted(self._declared)) or "<none>"
+                yield module.finding(
+                    node,
+                    self.code,
+                    f"RPC procedure {name!r} is not declared in any "
+                    f"SciddleInterface/IDL registry (declared: {declared}); "
+                    "the server dispatcher would reject this call at runtime",
+                )
+
+
+@rule
+class TagMismatchRule(ProjectRule):
+    """P202: every sent PVM tag constant has a matching receive."""
+
+    code = "P202"
+    name = "unmatched-message-tag"
+    summary = (
+        "a TAG_* constant is used only on the send (or only on the recv) "
+        "side; the partner would block forever"
+    )
+    packages = None
+
+    def __init__(self) -> None:
+        #: tag constant name -> first (module, node) send site
+        self._sends: Dict[str, Tuple[SourceModule, ast.AST]] = {}
+        self._recvs: Dict[str, Tuple[SourceModule, ast.AST]] = {}
+
+    @staticmethod
+    def _tag_names(expr: Optional[ast.AST]) -> Set[str]:
+        if expr is None:
+            return set()
+        return {
+            n.id
+            for n in ast.walk(expr)
+            if isinstance(n, ast.Name) and _TAG_NAME_RE.match(n.id)
+        }
+
+    def collect(self, module: SourceModule) -> None:
+        """Record tag constants appearing at send and receive sites."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            tag_expr: Optional[ast.AST] = None
+            direction: Optional[str] = None
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in ("send", "mcast"):
+                    tag_expr = _call_arg(node, 1, "tag")
+                    direction = "send"
+                elif func.attr == "recv":
+                    tag_expr = _call_arg(node, 1, "tag")
+                    direction = "recv"
+            elif isinstance(func, ast.Name):
+                if func.id == "Send":
+                    tag_expr = _call_arg(node, 2, "tag")
+                    direction = "send"
+                elif func.id == "Recv":
+                    tag_expr = _call_arg(node, 1, "tag")
+                    direction = "recv"
+            if direction is None:
+                continue
+            sites = self._sends if direction == "send" else self._recvs
+            for name in self._tag_names(tag_expr):
+                sites.setdefault(name, (module, node))
+
+    def finalize(self) -> Iterator[Finding]:
+        """Report tag constants seen on only one side of the protocol."""
+        for name in sorted(set(self._sends) - set(self._recvs)):
+            module, node = self._sends[name]
+            yield module.finding(
+                node,
+                self.code,
+                f"tag constant {name} is sent but never received anywhere; "
+                "the receiver side of this protocol is missing",
+            )
+        for name in sorted(set(self._recvs) - set(self._sends)):
+            module, node = self._recvs[name]
+            yield module.finding(
+                node,
+                self.code,
+                f"tag constant {name} is received but never sent anywhere; "
+                "this Recv would block forever",
+            )
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested functions."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _phase_label(node: ast.Call) -> Optional[str]:
+    """Leading constant text of a phase_barrier label argument."""
+    label = _call_arg(node, 1, "phase")
+    if label is None:
+        return None
+    if isinstance(label, ast.JoinedStr) and label.values:
+        label = label.values[0]
+    return _const_str(label)
+
+
+@rule
+class UnbalancedPhaseRule(Rule):
+    """P203: phase brackets balance within every function."""
+
+    code = "P203"
+    name = "unbalanced-phase-bracket"
+    summary = (
+        "accountant .begin()/.end() counts or *_start@/*_end@ phase "
+        "barriers do not balance inside a function"
+    )
+    packages = None
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Check begin/end counts and start/end barrier labels per function."""
+        for func in _functions(module.tree):
+            begins: Dict[str, int] = {}
+            ends: Dict[str, int] = {}
+            labels: List[str] = []
+            for node in _own_nodes(func):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                ):
+                    continue
+                receiver = ast.dump(node.func.value)
+                if node.func.attr == "begin":
+                    begins[receiver] = begins.get(receiver, 0) + 1
+                elif node.func.attr == "end":
+                    ends[receiver] = ends.get(receiver, 0) + 1
+                elif node.func.attr == "phase_barrier":
+                    text = _phase_label(node)
+                    if text is not None:
+                        labels.append(text)
+            for receiver in sorted(set(begins) | set(ends)):
+                b, e = begins.get(receiver, 0), ends.get(receiver, 0)
+                if b != e:
+                    yield module.finding(
+                        func,
+                        self.code,
+                        f"function {func.name!r} opens {b} accounting "
+                        f"phase(s) with .begin() but closes {e} with .end(); "
+                        "unbalanced brackets misattribute measured time",
+                    )
+            for text in labels:
+                if "_start" in text:
+                    base = text.split("_start")[0]
+                    if not any("_end" in t and t.split("_end")[0] == base for t in labels):
+                        yield module.finding(
+                            func,
+                            self.code,
+                            f"function {func.name!r} enters phase barrier "
+                            f"{text!r} but never reaches the matching "
+                            f"{base}_end barrier",
+                        )
+                elif "_end" in text:
+                    base = text.split("_end")[0]
+                    if not any(
+                        "_start" in t and t.split("_start")[0] == base for t in labels
+                    ):
+                        yield module.finding(
+                            func,
+                            self.code,
+                            f"function {func.name!r} exits phase barrier "
+                            f"{text!r} without the matching {base}_start "
+                            "barrier",
+                        )
+
+
+@rule
+class RecvOutsideCoroutineRule(Rule):
+    """P204: blocking receives only inside driven simulation coroutines."""
+
+    code = "P204"
+    name = "recv-outside-coroutine"
+    summary = (
+        "a blocking mailbox recv that is not driven by yield/yield from "
+        "inside a netsim.process coroutine never actually runs"
+    )
+    packages = None
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag undriven task.recv(...) calls and bare Recv() requests."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "recv":
+                if not isinstance(parent_of(node), ast.YieldFrom):
+                    yield module.finding(
+                        node,
+                        self.code,
+                        "task.recv(...) returns a generator: it must be "
+                        "driven with `yield from` inside a netsim.process "
+                        "coroutine, or the receive never executes",
+                    )
+            elif isinstance(func, ast.Name) and func.id == "Recv":
+                if not isinstance(parent_of(node), (ast.Yield, ast.YieldFrom)):
+                    yield module.finding(
+                        node,
+                        self.code,
+                        "a Recv request object does nothing unless yielded "
+                        "to the engine from a simulation coroutine",
+                    )

@@ -1,0 +1,35 @@
+"""Rule registry: every simlint rule registers itself here by code.
+
+Rules self-register via the :func:`rule` class decorator at import time;
+:func:`all_rules` is the single source the runner, the CLI's
+``--list-rules`` listing and the documentation tests enumerate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from ..errors import LintError
+from .core import Rule
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def rule(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator registering a rule under its ``code``."""
+    if not cls.code or not cls.name or not cls.summary:
+        raise LintError(f"rule {cls.__name__} must define code, name and summary")
+    if cls.code in _REGISTRY:
+        raise LintError(f"duplicate rule code {cls.code!r}")
+    _REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Registered rule classes, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Optional[Type[Rule]]:
+    """Look one rule class up by its code (None if unknown)."""
+    return _REGISTRY.get(code)

@@ -1,0 +1,80 @@
+"""simlint driver: file discovery, rule execution, suppression filtering.
+
+:func:`run_checks` is the public entry point — it is what both the
+``python -m repro.lint`` CLI and the test suite call.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Type, Union
+
+from ..errors import LintError
+from .core import Finding, ProjectRule, Rule, SourceModule, load_module
+from .registry import all_rules
+
+PathLike = Union[str, Path]
+
+
+def iter_python_files(paths: Sequence[PathLike]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    # de-duplicate while keeping a deterministic order
+    seen = set()
+    unique: List[Path] = []
+    for f in sorted(files):
+        key = f.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(f)
+    return unique
+
+
+def load_modules(paths: Sequence[PathLike]) -> List[SourceModule]:
+    """Parse every Python file under ``paths`` into source modules."""
+    return [load_module(f, display=str(f)) for f in iter_python_files(paths)]
+
+
+def run_checks(
+    paths: Sequence[PathLike],
+    rules: Optional[Iterable[Type[Rule]]] = None,
+    respect_suppressions: bool = True,
+) -> List[Finding]:
+    """Run simlint over ``paths`` and return the surviving findings.
+
+    ``paths`` may mix files and directories.  ``rules`` defaults to every
+    registered rule; pass a subset to check specific codes.  Findings on
+    lines carrying a matching ``# simlint: disable=CODE`` comment are
+    dropped unless ``respect_suppressions`` is False.  The result is
+    sorted by (file, line, code).
+    """
+    modules = load_modules(paths)
+    by_path = {m.display: m for m in modules}
+    findings: List[Finding] = []
+    for rule_cls in rules if rules is not None else all_rules():
+        instance = rule_cls()
+        if isinstance(instance, ProjectRule):
+            for module in modules:
+                if instance.applies_to(module):
+                    instance.collect(module)
+            findings.extend(instance.finalize())
+        else:
+            for module in modules:
+                if instance.applies_to(module):
+                    findings.extend(instance.check(module))
+    if respect_suppressions:
+        findings = [
+            f
+            for f in findings
+            if f.path not in by_path or not by_path[f.path].is_suppressed(f)
+        ]
+    findings.sort(key=lambda f: (f.path, f.line, f.code, f.col))
+    return findings

@@ -20,7 +20,7 @@ from .network import (
 from .node import Node, RateModel, constant_rate
 from .process import BarrierManager, Mailbox, SimProcess
 from .resources import Resource
-from .rng import Jitter, RngStreams
+from .rng import Jitter, RngRegistry, RngStreams, derive_seed, spawn_generator
 from .trace import Tracer, TraceRecord
 
 __all__ = [
@@ -40,7 +40,10 @@ __all__ = [
     "RateModel",
     "Recv",
     "Resource",
+    "RngRegistry",
     "RngStreams",
+    "derive_seed",
+    "spawn_generator",
     "Send",
     "SharedMediumFabric",
     "SimProcess",

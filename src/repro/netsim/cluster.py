@@ -17,7 +17,7 @@ from .events import Message
 from .network import Fabric
 from .node import Node
 from .process import BarrierManager, Mailbox, SimProcess
-from .rng import RngStreams
+from .rng import RngRegistry
 from .trace import Tracer
 
 
@@ -70,7 +70,7 @@ class Cluster:
         self.engine = Engine()
         self.tracer = Tracer(enabled=trace)
         self.barriers = BarrierManager(self.engine)
-        self.rng = RngStreams(seed)
+        self.rng = RngRegistry(seed)
         self.fabric = fabric_factory(self.engine)
         self.nodes: List[Node] = []
         self._procs_by_tid: Dict[int, SimProcess] = {}

@@ -12,7 +12,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Tuple
 
-from ..errors import DeadlockError, SimulationError
+from ..errors import DeadlockError, PastEventError, SimulationError
 
 
 class Engine:
@@ -47,7 +47,15 @@ class Engine:
         heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` at absolute virtual ``time``."""
+        """Schedule ``callback`` at absolute virtual ``time``.
+
+        Raises :class:`~repro.errors.PastEventError` when ``time`` lies
+        before the current clock, naming both instants — far easier to
+        act on than the relative ``delay=-x`` complaint ``schedule``
+        would otherwise produce.
+        """
+        if time < self._now:
+            raise PastEventError(time, self._now)
         self.schedule(time - self._now, callback)
 
     # ------------------------------------------------------------------

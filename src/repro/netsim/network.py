@@ -33,10 +33,13 @@ disjoint, multi-resource holds cannot deadlock.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from .engine import Engine
 from .resources import Resource
+
+if TYPE_CHECKING:  # imported for annotations only; no runtime cycle
+    from .node import Node
 
 
 class Fabric:
@@ -73,15 +76,15 @@ class Fabric:
         """Time the bottleneck resources are held for one message."""
         return self.overhead + nbytes / self.bandwidth
 
-    def path_resources(self, src: "Node", dst: "Node") -> List[Resource]:  # noqa: F821
+    def path_resources(self, src: Node, dst: Node) -> List[Resource]:
         """The contended resources one transfer must hold."""
         raise NotImplementedError
 
     # ------------------------------------------------------------------
     def transfer(
         self,
-        src: "Node",  # noqa: F821
-        dst: "Node",  # noqa: F821
+        src: Node,
+        dst: Node,
         nbytes: float,
         on_injected: Callable[[], None],
         on_delivered: Callable[[], None],
@@ -122,11 +125,13 @@ class Fabric:
 class SharedMediumFabric(Fabric):
     """A single contended medium (shared Ethernet segment)."""
 
-    def __init__(self, engine: Engine, latency: float, bandwidth: float, **kw) -> None:
+    def __init__(
+        self, engine: Engine, latency: float, bandwidth: float, **kw: float
+    ) -> None:
         super().__init__(engine, latency, bandwidth, **kw)
         self.medium = Resource(engine, capacity=1, name="shared-medium")
 
-    def path_resources(self, src, dst):
+    def path_resources(self, src: Node, dst: Node) -> List[Resource]:
         """The single shared medium."""
         return [self.medium]
 
@@ -134,7 +139,7 @@ class SharedMediumFabric(Fabric):
 class SwitchedFabric(Fabric):
     """Full-duplex switched network (Myrinet, SCI): per-port contention."""
 
-    def path_resources(self, src, dst):
+    def path_resources(self, src: Node, dst: Node) -> List[Resource]:
         """Sender tx port and receiver rx port."""
         return [src.tx, dst.rx]
 
@@ -147,7 +152,7 @@ class CrossbarFabric(Fabric):
     client's receive port is the serialization point.
     """
 
-    def path_resources(self, src, dst):
+    def path_resources(self, src: Node, dst: Node) -> List[Resource]:
         """Receiver rx port only."""
         return [dst.rx]
 
@@ -159,7 +164,9 @@ FABRIC_KINDS = {
 }
 
 
-def make_fabric(kind: str, engine: Engine, latency: float, bandwidth: float, **kw) -> Fabric:
+def make_fabric(
+    kind: str, engine: Engine, latency: float, bandwidth: float, **kw: float
+) -> Fabric:
     """Instantiate a fabric by kind name (``shared``/``switched``/``crossbar``)."""
     try:
         cls = FABRIC_KINDS[kind]

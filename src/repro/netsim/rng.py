@@ -4,6 +4,12 @@ Every stochastic element of a simulation (compute-time jitter per node,
 workload randomization, measurement repetition) draws from its own named
 stream spawned from one root seed, so that runs are exactly reproducible
 and adding a new consumer never perturbs existing streams.
+
+:func:`derive_seed` is the single place a (root seed, stream name) pair
+turns into seed material; every consumer — the cached
+:class:`RngRegistry` streams and the one-shot :func:`spawn_generator`
+generators alike — goes through it, so no module hand-rolls its own
+seed arithmetic (simlint rule D106 rejects hard-coded seed literals).
 """
 
 from __future__ import annotations
@@ -14,8 +20,34 @@ from typing import Dict
 import numpy as np
 
 
-class RngStreams:
-    """A registry of independent, named :class:`numpy.random.Generator`."""
+def derive_seed(root_seed: int, name: str) -> np.random.SeedSequence:
+    """Seed material for the stream ``name`` under ``root_seed``.
+
+    The key is ``(root seed, crc32(name))`` so stream identity depends
+    only on the name, never on creation order or a caller-invented
+    constant.
+    """
+    return np.random.SeedSequence([int(root_seed), zlib.crc32(name.encode())])
+
+
+def spawn_generator(root_seed: int, name: str) -> np.random.Generator:
+    """A fresh generator for ``name`` under ``root_seed``.
+
+    Unlike :meth:`RngRegistry.stream` this does not cache: calling it
+    twice with the same arguments restarts the identical stream.  Use it
+    where a computation must be re-derivable on demand (e.g. the
+    workload's noisy per-server shares, recomputed per accessor call).
+    """
+    return np.random.default_rng(derive_seed(root_seed, name))
+
+
+class RngRegistry:
+    """A registry of independent, named :class:`numpy.random.Generator`.
+
+    This is the package's one sanctioned source of simulation
+    randomness: components ask for ``registry.stream("jitter/node3")``
+    and never construct generators from ad-hoc seed expressions.
+    """
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = int(seed)
@@ -24,15 +56,19 @@ class RngStreams:
     def stream(self, name: str) -> np.random.Generator:
         """Return the generator for ``name``, creating it on first use.
 
-        The stream key is derived from (root seed, crc32(name)) so stream
+        The stream key comes from :func:`derive_seed`, so stream
         identity depends only on the name, not on creation order.
         """
         gen = self._streams.get(name)
         if gen is None:
-            child = np.random.SeedSequence([self.seed, zlib.crc32(name.encode())])
-            gen = np.random.default_rng(child)
+            gen = spawn_generator(self.seed, name)
             self._streams[name] = gen
         return gen
+
+
+#: Backwards-compatible alias; the class was named RngStreams before the
+#: registry became the package-wide seed-derivation authority.
+RngStreams = RngRegistry
 
 
 class Jitter:

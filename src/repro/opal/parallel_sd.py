@@ -74,13 +74,13 @@ def _sd_peer(
     accountant: PhaseAccountant,
     sync_cost: float,
     work_noise: float,
+    rng: np.random.Generator,
     result_slot: dict,
 ):
     """One SPMD peer of the slab-decomposed main loop."""
     p = app.p
     halo = sd_halo_atoms(app)
     local_n = app.n / p + halo
-    rng = np.random.default_rng([index, 1234])
 
     # per-step pair work: this slab's share of the global active pairs
     from ..core.parameters import energy_pair_work, update_pair_work
@@ -191,6 +191,7 @@ def run_parallel_opal_sd(
             accountants[i],
             platform.sync_cost,
             work_noise,
+            cluster.rng.stream(f"sd/peer{i}/work-noise"),
             slot,
         )
         procs.append(proc)

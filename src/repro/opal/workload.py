@@ -13,7 +13,6 @@ and everything temporal emerge from the discrete-event simulation.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,6 +24,7 @@ from ..core.parameters import (
 )
 from ..core.space import SpaceModel
 from ..errors import WorkloadError
+from ..netsim.rng import spawn_generator
 from ..sciddle import HEADER_BYTES
 from . import costs
 from .distribution import DEFAULT_DEFECT, PairDistribution
@@ -72,7 +72,9 @@ class OpalWorkload:
     def _noisy(self, shares: np.ndarray, label: str) -> np.ndarray:
         if self.share_noise == 0:
             return shares
-        rng = np.random.default_rng([self.seed, zlib.crc32(label.encode())])
+        # one-shot stream: the same (seed, label) pair must restart the
+        # identical noise every time an accessor recomputes the shares
+        rng = spawn_generator(self.seed, label)
         factors = 1.0 + self.share_noise * rng.standard_normal(len(shares))
         noisy = shares * np.clip(factors, 0.5, 1.5)
         total = shares.sum()

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..units import to_mbyte_per_s, to_mflop_per_s
+from ..units import MICROSECOND, MILLISECOND, to_mbyte_per_s, to_mflop_per_s
 from .catalog import ALL_PLATFORMS, REFERENCE_PLATFORM
 from .microbench import KernelResult, PingPongResult, kernel_bench, ping_pong
 from .spec import PlatformSpec
@@ -82,10 +82,10 @@ class Table2Row:
 
     def formatted(self) -> str:
         """The row rendered in Table 2 layout."""
-        if self.latency_s >= 1e-3:
-            lat = f"{self.latency_s * 1e3:6.1f} ms"
+        if self.latency_s >= MILLISECOND:
+            lat = f"{self.latency_s / MILLISECOND:6.1f} ms"
         else:
-            lat = f"{self.latency_s * 1e6:6.1f} us"
+            lat = f"{self.latency_s / MICROSECOND:6.1f} us"
         return (
             f"{self.label:<48s} {self.peak_mbps:7.0f} "
             f"{self.observed_mbps:9.1f} {lat}"

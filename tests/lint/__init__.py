@@ -1,0 +1,1 @@
+"""Tests for the simlint static-analysis pass (repro.lint)."""

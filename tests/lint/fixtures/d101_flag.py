@@ -1,0 +1,9 @@
+"""Fixture: wall-clock read inside simulation code (D101 fires)."""
+
+import time
+
+
+def measure_round_trip(task):
+    start = time.time()
+    task.ping()
+    return time.time() - start

@@ -1,0 +1,12 @@
+"""Fixture near-miss: virtual-time reads and non-module .time() calls."""
+
+
+def measure_round_trip(engine, task):
+    start = engine.now
+    task.ping()
+    return engine.now - start
+
+
+def stamp(recorder):
+    # a method named time() on a local object is not the time module
+    return recorder.time()

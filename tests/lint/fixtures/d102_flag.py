@@ -1,0 +1,8 @@
+"""Fixture: stdlib random's hidden global state (D102 fires)."""
+
+import random
+
+
+def shuffle_peers(peers):
+    random.shuffle(peers)
+    return peers

@@ -1,0 +1,9 @@
+"""Fixture near-miss: explicit Generator instance, no global state."""
+
+import numpy as np
+
+
+def shuffle_peers(peers, seed):
+    rng = np.random.default_rng(seed)
+    rng.shuffle(peers)
+    return peers

@@ -1,0 +1,7 @@
+"""Fixture: OS-entropy seeding (D103 fires)."""
+
+import numpy as np
+
+
+def make_rng():
+    return np.random.default_rng()

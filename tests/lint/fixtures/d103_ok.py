@@ -1,0 +1,7 @@
+"""Fixture near-miss: an explicitly seeded Generator."""
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)

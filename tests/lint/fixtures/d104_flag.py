@@ -1,0 +1,6 @@
+"""Fixture: hash-ordered iteration in scheduling code (D104 fires)."""
+
+
+def drain(ready):
+    for proc in set(ready):
+        proc.step()

@@ -1,0 +1,12 @@
+"""Fixture near-miss: deterministic iteration orders over the same data."""
+
+
+def drain(ready):
+    for proc in sorted(ready):
+        proc.step()
+
+
+def drain_unique(ready):
+    members = sorted(set(ready))
+    for proc in members:
+        proc.step()

@@ -1,0 +1,5 @@
+"""Fixture: ordering by object identity (D105 fires)."""
+
+
+def order(procs):
+    return sorted(procs, key=id)

@@ -1,0 +1,10 @@
+"""Fixture near-miss: deterministic sort key; id() equality is fine."""
+
+
+def order(procs):
+    return sorted(procs, key=lambda p: p.tid)
+
+
+def is_same_object(a, b):
+    # equality (not ordering) on id() does not depend on address layout
+    return id(a) == id(b)

@@ -1,0 +1,7 @@
+"""Fixture: hard-coded seed literal ignoring the run seed (D106 fires)."""
+
+import numpy as np
+
+
+def peer_rng(index):
+    return np.random.default_rng([index, 1234])

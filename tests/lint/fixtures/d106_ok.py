@@ -1,0 +1,11 @@
+"""Fixture near-miss: per-entity streams derived from the run seed."""
+
+import numpy as np
+
+
+def peer_rng(registry, index):
+    return registry.stream(f"peer{index}/work-noise")
+
+
+def derived_sequence(root_seed, salt):
+    return np.random.SeedSequence([root_seed, salt])

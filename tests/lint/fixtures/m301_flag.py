@@ -1,0 +1,5 @@
+"""Fixture: a coefficient name outside equations (2)-(10) (M301 fires)."""
+
+
+def predict(params):
+    return params.a7 * params.a1

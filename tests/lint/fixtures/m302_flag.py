@@ -1,0 +1,5 @@
+"""Fixture: a unit-magnitude literal in arithmetic (M302 fires)."""
+
+
+def to_milliseconds(seconds):
+    return seconds * 1e3

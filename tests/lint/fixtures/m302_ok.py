@@ -1,0 +1,7 @@
+"""Fixture near-miss: non-unit magnitudes and non-arithmetic contexts."""
+
+BUFFER_BYTES = 1e6  # a bare assignment is not a conversion
+
+
+def scaled(seconds):
+    return seconds * 5e3

@@ -1,0 +1,5 @@
+"""Fixture: RPC reference to a procedure nobody declares (P201 fires)."""
+
+
+def client_body(task, client, server_tid):
+    client.call_async(server_tid, "mystery_proc", b"payload")

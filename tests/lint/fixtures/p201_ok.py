@@ -1,0 +1,16 @@
+"""Fixture near-miss: every referenced procedure is declared somewhere."""
+
+SERVER_IDL = """
+compute_energy(in coords, out energy);
+update_pairlist(in coords, out ack);
+"""
+
+
+def declare(iface):
+    iface.procedure("gather_forces")
+
+
+def client_body(client, server_tid, tids):
+    client.call_async(server_tid, "compute_energy", b"payload")
+    client.call_all(proc="update_pairlist")
+    client.call_all("gather_forces")

@@ -1,0 +1,7 @@
+"""Fixture: a tag constant sent but never received (P202 fires)."""
+
+_TAG_ORPHAN = 77
+
+
+def peer(task, dest):
+    task.send(dest, _TAG_ORPHAN)

@@ -1,0 +1,12 @@
+"""Fixture near-miss: the tag constant appears on both protocol sides."""
+
+_TAG_PAIRED = 78
+
+
+def sender(task, dest):
+    task.send(dest, _TAG_PAIRED)
+
+
+def receiver(task, source):
+    msg = yield from task.recv(source, _TAG_PAIRED)
+    return msg

@@ -1,0 +1,6 @@
+"""Fixture: an accounting phase opened but never closed (P203 fires)."""
+
+
+def step(accountant, work):
+    accountant.begin("comm")
+    work()

@@ -1,0 +1,16 @@
+"""Fixture near-miss: balanced brackets and paired phase barriers."""
+
+
+def step(accountant, work):
+    accountant.begin("comm")
+    work()
+    accountant.end()
+    accountant.begin("compute")
+    work()
+    accountant.end()
+
+
+def synced_step(sync, work):
+    sync.phase_barrier(0, "update_start@3")
+    work()
+    sync.phase_barrier(0, "update_end@3")

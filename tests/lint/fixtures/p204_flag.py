@@ -1,0 +1,6 @@
+"""Fixture: a blocking receive that nothing ever drives (P204 fires)."""
+
+
+def handler(task):
+    msg = task.recv(source=0)
+    return msg

@@ -1,0 +1,9 @@
+"""Fixture near-miss: receives correctly driven from a coroutine."""
+
+from repro.netsim import Recv
+
+
+def handler(task):
+    msg = yield from task.recv(source=0)
+    raw = yield Recv(source=0)
+    return msg, raw

@@ -1,0 +1,67 @@
+"""End-to-end tests of the ``python -m repro.lint`` command line."""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_simlint(*args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+
+
+def test_shipped_source_is_clean():
+    # the acceptance contract: the package lints itself with no findings
+    out = run_simlint("src")
+    assert out.returncode == 0, out.stdout + out.stderr
+    assert out.stdout == ""
+    assert "0 finding(s)" in out.stderr
+
+
+def test_default_path_is_the_repro_package():
+    out = run_simlint()
+    assert out.returncode == 0, out.stdout + out.stderr
+
+
+def test_findings_set_exit_code_and_format():
+    out = run_simlint(str(FIXTURES / "d101_flag.py"))
+    assert out.returncode == 1
+    for line in out.stdout.splitlines():
+        assert re.match(r"^.+\.py:\d+:D101 ", line), line
+    assert "2 finding(s)" in out.stderr
+
+
+def test_list_rules_shows_every_code():
+    out = run_simlint("--list-rules")
+    assert out.returncode == 0
+    for code in ("D101", "D106", "P201", "P204", "M301", "M302"):
+        assert code in out.stdout
+
+
+def test_no_suppress_flag(tmp_path):
+    src = "import time\nt = time.time()  # simlint: disable=D101\n"
+    path = tmp_path / "mod.py"
+    path.write_text(src)
+    assert run_simlint(str(path)).returncode == 0
+    out = run_simlint("--no-suppress", str(path))
+    assert out.returncode == 1
+    assert ":2:D101" in out.stdout
+
+
+def test_bad_path_exits_2():
+    out = run_simlint("definitely/not/a/path.py")
+    assert out.returncode == 2
+    assert "simlint: error:" in out.stderr

@@ -1,0 +1,120 @@
+"""Tests of the simlint driver: suppression, scoping, sorting, errors."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    Finding,
+    get_rule,
+    iter_python_files,
+    load_module,
+    run_checks,
+)
+
+WALLCLOCK_SRC = "import time\n\n\ndef f():\n    return time.time()\n"
+
+
+def write(root: Path, relative: str, text: str) -> Path:
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+# -- suppression --------------------------------------------------------
+def test_inline_suppression_drops_the_finding(tmp_path):
+    src = "import time\n\n\ndef f():\n    return time.time()  # simlint: disable=D101\n"
+    path = write(tmp_path, "repro/netsim/mod.py", src)
+    assert run_checks([path]) == []
+
+
+def test_no_suppress_reports_suppressed_findings(tmp_path):
+    src = "import time\n\n\ndef f():\n    return time.time()  # simlint: disable=D101\n"
+    path = write(tmp_path, "repro/netsim/mod.py", src)
+    findings = run_checks([path], respect_suppressions=False)
+    assert [f.code for f in findings] == ["D101"]
+
+
+def test_suppression_is_per_code(tmp_path):
+    # disabling an unrelated code must not silence the real finding
+    src = "import time\n\n\ndef f():\n    return time.time()  # simlint: disable=D102\n"
+    path = write(tmp_path, "repro/netsim/mod.py", src)
+    assert [f.code for f in run_checks([path])] == ["D101"]
+
+
+def test_suppression_accepts_code_lists(tmp_path):
+    src = (
+        "import time\nimport random\n\n\ndef f():  # noqa\n"
+        "    return time.time()  # simlint: disable=D101,D102\n"
+    )
+    path = write(tmp_path, "repro/netsim/mod.py", src)
+    # the import line still flags D102; only the call line is suppressed
+    assert [f.code for f in run_checks([path])] == ["D102"]
+
+
+# -- package scoping ----------------------------------------------------
+def test_simulation_rule_skips_model_packages(tmp_path):
+    flagged = write(tmp_path, "a/repro/netsim/mod.py", WALLCLOCK_SRC)
+    skipped = write(tmp_path, "b/repro/core/mod.py", WALLCLOCK_SRC)
+    assert [f.code for f in run_checks([flagged])] == ["D101"]
+    assert run_checks([skipped]) == []
+
+
+def test_files_outside_repro_see_every_rule(tmp_path):
+    path = write(tmp_path, "scratch.py", WALLCLOCK_SRC)
+    assert [f.code for f in run_checks([path])] == ["D101"]
+
+
+def test_rule_subset_runs_only_those_rules(tmp_path):
+    src = "import time\nimport random\nt = time.time()\n"
+    path = write(tmp_path, "scratch.py", src)
+    findings = run_checks([path], rules=[get_rule("D102")])
+    assert {f.code for f in findings} == {"D102"}
+
+
+# -- ordering and discovery ---------------------------------------------
+def test_findings_sorted_by_file_line_code(tmp_path):
+    one = write(tmp_path, "a.py", "import time\nt1 = time.time()\nt2 = time.time()\n")
+    two = write(tmp_path, "b.py", "import random\n")
+    findings = run_checks([two, one])
+    keys = [(f.path, f.line, f.code) for f in findings]
+    assert keys == sorted(keys)
+    assert [f.line for f in findings if f.path.endswith("a.py")] == [2, 3]
+
+
+def test_iter_python_files_deduplicates(tmp_path):
+    path = write(tmp_path, "pkg/mod.py", "x = 1\n")
+    files = iter_python_files([tmp_path, path, path])
+    assert [f.resolve() for f in files] == [path.resolve()]
+
+
+def test_missing_path_raises_lint_error(tmp_path):
+    with pytest.raises(LintError):
+        run_checks([tmp_path / "no_such_dir"])
+
+
+def test_unparseable_file_raises_lint_error(tmp_path):
+    path = write(tmp_path, "broken.py", "def broken(:\n")
+    with pytest.raises(LintError):
+        run_checks([path])
+
+
+# -- module model --------------------------------------------------------
+def test_load_module_extracts_package_and_imports(tmp_path):
+    path = write(
+        tmp_path,
+        "repro/platforms/mod.py",
+        "import numpy as np\nfrom repro.units import MBYTE\n",
+    )
+    module = load_module(path)
+    assert module.package == ("platforms", "mod")
+    assert module.subpackage == "platforms"
+    assert module.imports["np"] == "numpy"
+    assert module.imports["MBYTE"] == "repro.units.MBYTE"
+
+
+def test_finding_format_contract():
+    f = Finding(path="src/x.py", line=7, col=4, code="D101", message="boom")
+    assert f.format() == "src/x.py:7:D101 boom"

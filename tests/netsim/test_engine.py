@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, PastEventError, SimulationError
 from repro.netsim.engine import Engine
 
 
@@ -79,6 +79,24 @@ def test_schedule_at_absolute_time():
     eng.schedule(1.0, lambda: eng.schedule_at(4.0, lambda: seen.append(eng.now)))
     eng.run()
     assert seen == [4.0]
+
+
+def test_schedule_at_past_raises_dedicated_error():
+    eng = Engine()
+    eng.schedule(2.0, lambda: None)
+    eng.run()
+    with pytest.raises(PastEventError, match=r"t=1\.0.*now=2\.0") as excinfo:
+        eng.schedule_at(1.0, lambda: None)
+    assert excinfo.value.time == 1.0
+    assert excinfo.value.now == 2.0
+
+
+def test_schedule_at_current_time_allowed():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda: eng.schedule_at(eng.now, lambda: fired.append(eng.now)))
+    eng.run()
+    assert fired == [1.0]
 
 
 def test_events_executed_counter():

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.netsim.rng import Jitter, RngStreams
+from repro.netsim.rng import (
+    Jitter,
+    RngRegistry,
+    RngStreams,
+    derive_seed,
+    spawn_generator,
+)
 
 
 def test_streams_are_deterministic_by_name():
@@ -33,6 +39,29 @@ def test_different_seeds_differ():
 def test_stream_is_cached():
     s = RngStreams(0)
     assert s.stream("x") is s.stream("x")
+
+
+def test_rng_streams_is_an_alias_of_rng_registry():
+    # old name kept for callers written before the rename
+    assert RngStreams is RngRegistry
+
+
+def test_derive_seed_is_deterministic_and_name_sensitive():
+    assert derive_seed(3, "x").entropy == derive_seed(3, "x").entropy
+    assert derive_seed(3, "x").entropy != derive_seed(3, "y").entropy
+    assert derive_seed(3, "x").entropy != derive_seed(4, "x").entropy
+
+
+def test_spawn_generator_restarts_identically():
+    a = spawn_generator(9, "noise").random(4)
+    b = spawn_generator(9, "noise").random(4)
+    assert (a == b).all()
+
+
+def test_registry_streams_match_spawned_generators():
+    # the registry is the cached form of the same derivation
+    registry = RngRegistry(seed=13)
+    assert registry.stream("w").random() == spawn_generator(13, "w").random()
 
 
 def test_jitter_zero_sigma_is_identity():

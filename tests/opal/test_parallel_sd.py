@@ -75,6 +75,20 @@ class TestSdRun:
         r2 = run_parallel_opal_sd(a, CRAY_J90, seed=3)
         assert r1.wall_time == r2.wall_time
 
+    def test_work_noise_follows_run_seed(self):
+        # regression: peer work-noise streams were seeded from a
+        # hard-coded literal and ignored the run seed entirely
+        a = app()
+        r1 = run_parallel_opal_sd(a, CRAY_J90, seed=1)
+        r2 = run_parallel_opal_sd(a, CRAY_J90, seed=2)
+        assert r1.wall_time != r2.wall_time
+
+    def test_zero_work_noise_is_seed_independent(self):
+        a = app()
+        r1 = run_parallel_opal_sd(a, CRAY_J90, seed=1, work_noise=0.0)
+        r2 = run_parallel_opal_sd(a, CRAY_J90, seed=2, work_noise=0.0)
+        assert r1.wall_time == r2.wall_time
+
     def test_invalid_servers_rejected_at_params(self):
         from repro.errors import ModelError
 

@@ -47,7 +47,9 @@ def test_lazy_opal_exports():
 def test_error_hierarchy():
     assert issubclass(errors.SimulationError, errors.ReproError)
     assert issubclass(errors.DeadlockError, errors.SimulationError)
+    assert issubclass(errors.PastEventError, errors.SimulationError)
     assert issubclass(errors.CalibrationError, errors.ModelError)
+    assert issubclass(errors.LintError, errors.ReproError)
     for name in (
         "PvmError",
         "SciddleError",
@@ -56,6 +58,23 @@ def test_error_hierarchy():
         "DesignError",
     ):
         assert issubclass(getattr(errors, name), errors.ReproError)
+
+
+def test_past_event_error_names_both_instants():
+    err = errors.PastEventError(1.5, 2.0)
+    assert err.time == 1.5
+    assert err.now == 2.0
+    assert "1.5" in str(err) and "2.0" in str(err)
+
+
+def test_lint_public_api():
+    from repro.lint import Finding, all_rules, run_checks
+
+    assert callable(run_checks)
+    codes = {cls.code for cls in all_rules()}
+    assert {"D101", "P201", "M301"} <= codes
+    f = Finding(path="x.py", line=3, col=0, code="D101", message="m")
+    assert f.format() == "x.py:3:D101 m"
 
 
 def test_library_raises_only_repro_errors_for_bad_input():
