@@ -13,20 +13,39 @@ Runs the same Opal configuration twice over the Sciddle middleware:
 Then prints a Gantt chart of the accounted run — the even-server-count
 load imbalance is visible as idle stripes — and the hardware-counter
 readings that expose the platform-dependent flop counts of Section 3.2.
+Both runs are also captured through the observability layer and written
+as ``middleware_tracing.trace.json``, a Chrome trace-event file you can
+drop into https://ui.perfetto.dev to see the spans and the causal
+send->recv arrows (see ``docs/OBSERVABILITY.md``).
 """
 
+import pathlib
+
 from repro import ApplicationParams, MEDIUM
+from repro.obs import ObsSession
 from repro.opal import run_parallel_opal
 from repro.platforms import CRAY_J90, FAST_COPS
 from repro.sciddle import overlap_slowdown
 
+TRACE_PATH = pathlib.Path(__file__).with_name("middleware_tracing.trace.json")
+
 
 def main() -> None:
     app = ApplicationParams(molecule=MEDIUM, steps=3, servers=4, cutoff=None)
+    obs = ObsSession(label="middleware_tracing")
 
     print("-- overlap vs accounting (Section 3.3) -----------------------")
-    ovl = run_parallel_opal(app, CRAY_J90, sync_mode="overlapped")
-    acc = run_parallel_opal(app, CRAY_J90, sync_mode="accounted", keep_cluster=True)
+    ovl = run_parallel_opal(
+        app, CRAY_J90, sync_mode="overlapped", obs=obs, run_label="overlapped"
+    )
+    acc = run_parallel_opal(
+        app,
+        CRAY_J90,
+        sync_mode="accounted",
+        keep_cluster=True,
+        obs=obs,
+        run_label="accounted",
+    )
     slow = overlap_slowdown(acc.wall_time, ovl.wall_time)
     print(f"overlapped wall time: {ovl.wall_time:7.3f} s "
           f"(barriers executed: {ovl.barriers_executed})")
@@ -57,6 +76,15 @@ def main() -> None:
         print(f"  {platform.label:<48s} counted {r.flops_counted/1e6:9.1f} MFlop")
     print("identical results, different counted operations — vectorizing")
     print("transformations and intrinsics expand differently per platform.")
+
+    obs.export_chrome(TRACE_PATH)
+    print("\n-- observability ---------------------------------------------")
+    print(f"wrote {TRACE_PATH.name}: {len(obs.tracer.spans)} spans, "
+          f"{len(obs.tracer.flows)} causal message edges across "
+          f"{len(obs.tracer.runs())} runs")
+    print("open it in https://ui.perfetto.dev (or chrome://tracing);")
+    print("inspect it offline with: python -m repro.obs summarize "
+          + TRACE_PATH.name)
 
 
 if __name__ == "__main__":

@@ -31,6 +31,39 @@ def _add_execution(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_out(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        help="export a merged observability trace of every simulated run "
+        "(.json = Chrome/Perfetto trace events, .jsonl = lossless dump)",
+    )
+
+
+def _make_obs(args):
+    if getattr(args, "trace_out", None) is None:
+        return None
+    from .obs import ObsSession
+
+    return ObsSession(label=args.command)
+
+
+def _finish_obs(args, obs) -> None:
+    if obs is None:
+        return
+    path = args.trace_out
+    if str(path).endswith(".jsonl"):
+        obs.export_jsonl(path)
+    else:
+        obs.export_chrome(path)
+    print()
+    print(obs.summary())
+    if obs.model_params is not None:
+        print()
+        print(obs.model_report())
+    print(f"\ntrace written to {path}")
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--molecule",
@@ -99,6 +132,7 @@ def cmd_measure(args) -> int:
     from .platforms import get_platform
 
     platform = get_platform(args.platform)
+    obs = _make_obs(args)
     rows = {}
     for p in range(1, args.servers + 1):
         app = ApplicationParams(
@@ -108,7 +142,7 @@ def cmd_measure(args) -> int:
             cutoff=args.cutoff,
             update_interval=args.update_interval,
         )
-        rows[p] = run_parallel_opal(app, platform).breakdown
+        rows[p] = run_parallel_opal(app, platform, obs=obs).breakdown
     print(
         breakdown_table(
             rows,
@@ -116,6 +150,7 @@ def cmd_measure(args) -> int:
             f"({args.molecule}, cutoff={args.cutoff})",
         )
     )
+    _finish_obs(args, obs)
     return 0
 
 
@@ -153,6 +188,7 @@ def cmd_campaign(args) -> int:
     from .opal.complexes import get_complex
     from .platforms import ALL_PLATFORMS, get_platform
 
+    obs = _make_obs(args)
     report = run_campaign(
         reference=get_platform(args.platform),
         candidates=list(ALL_PLATFORMS),
@@ -160,8 +196,10 @@ def cmd_campaign(args) -> int:
         servers=tuple(range(1, args.servers + 1)),
         workers=args.workers,
         cache_dir=args.cache_dir,
+        obs=obs,
     )
     print(render_campaign(report))
+    _finish_obs(args, obs)
     return 0
 
 
@@ -202,6 +240,7 @@ def main(argv=None) -> int:
     p = sub.add_parser("measure", help="simulated measured breakdown")
     _add_common(p)
     p.add_argument("--platform", default="j90")
+    _add_trace_out(p)
     p.set_defaults(func=cmd_measure)
 
     p = sub.add_parser("calibrate", help="run the reduced design and fit")
@@ -222,6 +261,7 @@ def main(argv=None) -> int:
                    default="medium")
     p.add_argument("--servers", type=int, default=7)
     _add_execution(p)
+    _add_trace_out(p)
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("tables", help="regenerate Tables 1 and 2")

@@ -98,6 +98,7 @@ def run_campaign(
     workers: Optional[int] = None,
     cache_dir=None,
     progress=None,
+    obs=None,
 ) -> CampaignReport:
     """Execute the integrated study.
 
@@ -110,6 +111,11 @@ def run_campaign(
     reuses previously simulated cells, so a repeated campaign performs
     zero new simulations (see ``CampaignReport.simulations_run``).
     Serial and parallel campaigns produce identical reports.
+
+    ``obs=`` (an :class:`~repro.obs.ObsSession`) captures every
+    simulated run — probe and design, serial or pooled — into one
+    merged trace; the freshly calibrated coefficients are attached so
+    ``obs.model_report()`` joins measurement against the model.
     """
     if probe_repetitions < 2:
         raise DesignError("the reproducibility probe needs >= 2 repetitions")
@@ -128,6 +134,7 @@ def run_campaign(
         workers=workers,
         cache_dir=cache_dir,
         progress=progress,
+        obs=obs,
     )
     probe_case = ExperimentCase(
         molecule=molecule,
@@ -144,6 +151,9 @@ def run_campaign(
 
     observations = runner.observations(design)
     calibration = calibrate(observations, name=f"{reference.name}-calibrated")
+    if obs is not None:
+        obs.set_model_params(calibration.params)
+        obs.absorb_cache_stats(runner.cache_stats)
 
     all_platforms = list(candidates)
     if all(p.name != reference.name for p in all_platforms):

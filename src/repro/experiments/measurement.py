@@ -17,8 +17,21 @@ import numpy as np
 
 from ..errors import DesignError
 
-#: two-sided 95% normal quantile (the runs are many and independent)
+#: two-sided 95% normal quantile — the n -> inf limit of the Student-t
+#: quantile actually used (kept for reference and as a fallback).
 _Z95 = 1.959963984540054
+
+
+def _t95(df: int) -> float:
+    """Two-sided 95% Student-t quantile with ``df`` degrees of freedom.
+
+    Probe repetitions are few (the paper repeats "a few" times), so the
+    normal z = 1.96 understates the interval badly: at n = 3 the correct
+    multiplier is 4.30.  scipy is already a hard dependency.
+    """
+    from scipy.stats import t as student_t
+
+    return float(student_t.ppf(0.975, df))
 
 
 @dataclass(frozen=True)
@@ -43,10 +56,15 @@ class MeasurementStats:
 
     @property
     def confidence_halfwidth(self) -> float:
-        """Half-width of the ~95% confidence interval of the mean."""
+        """Half-width of the 95% confidence interval of the mean.
+
+        Uses the Student-t quantile with n - 1 degrees of freedom, which
+        is what small-sample repetitions require; it converges to the
+        normal z = 1.96 as n grows.
+        """
         if self.n < 2:
             return float("inf")
-        return _Z95 * self.std / math.sqrt(self.n)
+        return _t95(self.n - 1) * self.std / math.sqrt(self.n)
 
     def reproducible(self, cv_threshold: float = 0.02) -> bool:
         """The paper's criterion: variability low enough for one timing."""

@@ -49,13 +49,26 @@ class CellJob:
     repetitions: int
     base_seed: int
     keep_results: bool = False
+    #: capture observability in the worker and ship it back as a payload
+    capture: bool = False
 
 
 def run_cell(job: CellJob):
     """Execute one cell (the pool worker entry point; must be
-    module-level so it pickles)."""
+    module-level so it pickles).
+
+    Returns ``(index, record, obs_payload)``; the payload is ``None``
+    unless ``job.capture`` — workers hold a local
+    :class:`~repro.obs.ObsSession` and serialize it for the parent to
+    absorb, so a parallel campaign still exports one merged trace.
+    """
     from .runner import measure_case
 
+    obs = None
+    if job.capture:
+        from ..obs.session import ObsSession
+
+        obs = ObsSession(label=f"cell{job.index}")
     record = measure_case(
         job.platform,
         job.case,
@@ -64,8 +77,9 @@ def run_cell(job: CellJob):
         repetitions=job.repetitions,
         base_seed=job.base_seed,
         keep_results=job.keep_results,
+        obs=obs,
     )
-    return job.index, record
+    return job.index, record, None if obs is None else obs.to_payload()
 
 
 def run_design_parallel(
@@ -79,13 +93,19 @@ def run_design_parallel(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     progress=None,
+    obs=None,
 ) -> Tuple[List, int]:
     """Measure every cell of a design over a process pool.
 
     Returns ``(records, simulated_cells)`` with records in design order;
     ``simulated_cells`` counts the cells that actually ran (i.e. were
     not served from ``cache``).  ``progress(done, total, record)`` fires
-    in completion order as cells finish.
+    in completion order as cells finish.  With ``obs=`` (an
+    :class:`~repro.obs.ObsSession`) each worker captures its runs'
+    observability locally and the payloads are merged here in design
+    order (not completion order, so serial and parallel sessions list
+    identical runs) — cache hits skip the simulation and therefore
+    contribute no spans.
     """
     if not cases:
         raise DesignError("empty design")
@@ -134,15 +154,22 @@ def run_design_parallel(
                     repetitions=repetitions,
                     base_seed=base_seed,
                     keep_results=keep_results,
+                    capture=obs is not None,
                 )
                 futures[executor.submit(run_cell, job)] = key
+            payloads: List[Tuple[int, object]] = []
             for future in as_completed(futures):
-                index, record = future.result()
+                index, record, payload = future.result()
                 records[index] = record
+                if payload is not None:
+                    payloads.append((index, payload))
                 key = futures[future]
                 if cache is not None and key is not None:
                     cache.store(key, record_to_dict(record))
                 done += 1
                 if progress is not None:
                     progress(done, total, record)
+        if obs is not None:
+            for _index, payload in sorted(payloads, key=lambda item: item[0]):
+                obs.absorb_payload(payload)
     return records, len(pending)

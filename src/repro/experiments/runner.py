@@ -28,6 +28,8 @@ from ..core.breakdown import TimeBreakdown
 from ..core.calibration import Observation
 from ..core.parameters import ApplicationParams
 from ..errors import DesignError
+from ..obs.session import ObsSession
+from ..obs.session import run_label as _obs_run_label
 from ..opal.parallel import OpalRunResult, run_parallel_opal
 from .cache import (
     ResultCache,
@@ -99,23 +101,29 @@ def measure_case(
     repetitions: int = 1,
     base_seed: int = 0,
     keep_results: bool = False,
+    obs: Optional[ObsSession] = None,
 ) -> ExperimentRecord:
     """Measure one design cell (with repetitions).
 
     Module-level so the serial runner and the process-pool workers in
     :mod:`repro.experiments.parallel` execute the exact same protocol.
+    With ``obs=`` every repetition's trace and metrics land in that
+    session under a per-repetition run label.
     """
     app = case.app()
     walls: List[float] = []
     breakdowns: List[TimeBreakdown] = []
     last: Optional[OpalRunResult] = None
     for rep in range(repetitions):
+        seed = derive_cell_seed(base_seed, case, rep)
         result = run_parallel_opal(
             app,
             platform,
             sync_mode=sync_mode,
-            seed=derive_cell_seed(base_seed, case, rep),
+            seed=seed,
             jitter_sigma=jitter_sigma,
+            obs=obs,
+            run_label=_obs_run_label(platform.name, app, seed, rep=rep),
         )
         walls.append(result.wall_time)
         breakdowns.append(result.breakdown)
@@ -151,12 +159,17 @@ class ExperimentRunner:
         workers: Optional[int] = None,
         cache_dir=None,
         progress: Optional[ProgressCallback] = None,
+        obs: Optional[ObsSession] = None,
     ) -> None:
         if repetitions < 1:
             raise DesignError("repetitions must be >= 1")
         if workers is not None and workers < 1:
             raise DesignError("workers must be >= 1")
         self.platform = platform
+        #: observability session fed by every simulated run (cache hits
+        #: contribute their cell stats but, having skipped the
+        #: simulation, no spans)
+        self.obs = obs
         self.sync_mode = sync_mode
         self.jitter_sigma = jitter_sigma
         self.repetitions = repetitions
@@ -209,6 +222,7 @@ class ExperimentRunner:
             repetitions=self.repetitions,
             base_seed=self.seed,
             keep_results=self.keep_results,
+            obs=self.obs,
         )
         self.simulations_run += self.repetitions
         if use_cache:
@@ -234,8 +248,10 @@ class ExperimentRunner:
                 workers=self.workers,
                 cache=None if self.keep_results else self.cache,
                 progress=self.progress,
+                obs=self.obs,
             )
             self.simulations_run += simulated_cells * self.repetitions
+            self._observe_cells(records)
             return records
         records = []
         for i, case in enumerate(cases):
@@ -243,7 +259,15 @@ class ExperimentRunner:
             records.append(record)
             if self.progress is not None:
                 self.progress(i + 1, len(cases), record)
+        self._observe_cells(records)
         return records
+
+    def _observe_cells(self, records: Sequence[ExperimentRecord]) -> None:
+        if self.obs is None:
+            return
+        for record in records:
+            self.obs.observe_cell(record.wall_stats.mean)
+        self.obs.absorb_cache_stats(self.cache_stats)
 
     def observations(self, cases: Sequence[ExperimentCase]) -> List[Observation]:
         """Measured (app, breakdown) pairs ready for calibration."""
@@ -275,12 +299,16 @@ class ExperimentRunner:
                 return stats_from_dict(cached)
         walls = []
         for rep in range(repetitions):
+            probe_seed = derive_cell_seed(self.seed, case, rep, salt="probe")
             result = run_parallel_opal(
                 case.app(),
                 self.platform,
                 sync_mode=self.sync_mode,
-                seed=derive_cell_seed(self.seed, case, rep, salt="probe"),
+                seed=probe_seed,
                 jitter_sigma=self.jitter_sigma,
+                obs=self.obs,
+                run_label="probe:"
+                + _obs_run_label(self.platform.name, case.app(), probe_seed, rep=rep),
             )
             walls.append(result.wall_time)
         self.simulations_run += repetitions

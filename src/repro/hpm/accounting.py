@@ -10,10 +10,13 @@ process.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from ..errors import SimulationError
 from .counters import HpmCounter, HpmSnapshot
+
+if TYPE_CHECKING:
+    from ..obs.spans import SpanTracer
 
 
 @dataclass
@@ -37,13 +40,26 @@ class PhaseAccountant:
 
     ``clock`` is any zero-argument callable returning the current time —
     in simulated runs it is ``lambda: cluster.engine.now``.
+
+    When constructed with ``tracer=`` and ``proc=``, every begin/end
+    bracket also opens/closes a span on that tracer, so the raw netsim
+    records emitted inside the phase (compute, send, recv_wait) become
+    its children — the hierarchy the observability layer exports.
     """
 
-    def __init__(self, clock: Callable[[], float], counter: Optional[HpmCounter] = None):
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        counter: Optional[HpmCounter] = None,
+        tracer: Optional["SpanTracer"] = None,
+        proc: str = "",
+    ):
         self._clock = clock
         self._counter = counter
         self._open: Optional[tuple] = None
         self.totals: Dict[str, PhaseTotals] = {}
+        self._tracer = tracer
+        self._proc = proc
 
     def begin(self, category: str) -> None:
         """Open a phase: record the clock and a counter snapshot."""
@@ -53,6 +69,8 @@ class PhaseAccountant:
             )
         snap = self._counter.snapshot() if self._counter is not None else None
         self._open = (category, self._clock(), snap)
+        if self._tracer is not None:
+            self._tracer.begin(self._proc, category, time=self._open[1])
 
     def end(self, category: Optional[str] = None) -> float:
         """Close the open phase, returning its wall duration."""
@@ -65,6 +83,8 @@ class PhaseAccountant:
             )
         self._open = None
         duration = self._clock() - start
+        if self._tracer is not None:
+            self._tracer.end(self._proc, time=start + duration, category=open_cat)
         totals = self.totals.setdefault(open_cat, PhaseTotals())
         totals.seconds += duration
         totals.intervals += 1

@@ -14,7 +14,10 @@ exactness rests on, in three rule families:
   coroutine-style;
 * **model hygiene** (``M3xx``) — platform coefficients come from the
   equations (2)-(10) registry and unit conversions go through
-  :mod:`repro.units`.
+  :mod:`repro.units`;
+* **observability** (``O4xx``) — span tracer ``begin()``/``end()``
+  brackets balance (or use the ``scope()`` context manager), so no
+  span leaks out of the exported traces.
 
 Run it with ``python -m repro.lint [paths]`` (exits non-zero on
 findings) or programmatically via :func:`run_checks`.  Individual
@@ -31,6 +34,7 @@ from .runner import iter_python_files, load_modules, run_checks
 # importing the rule modules registers every shipped rule
 from . import determinism as _determinism  # noqa: F401
 from . import hygiene as _hygiene  # noqa: F401
+from . import observability as _observability  # noqa: F401
 from . import protocol as _protocol  # noqa: F401
 
 __all__ = [

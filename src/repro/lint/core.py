@@ -109,6 +109,19 @@ def parent_of(node: ast.AST) -> Optional[ast.AST]:
     return getattr(node, _PARENT_ATTR, None)
 
 
+def receiver_is_tracerish(expr: ast.AST) -> bool:
+    """Whether a ``.begin``/``.end`` receiver looks like a span tracer.
+
+    Span brackets (``tracer.begin`` / ``obs.tracer.begin`` / …) belong
+    to the observability rules (``O401``); accounting brackets on other
+    receivers stay with the protocol rules (``P203``).  The split keys
+    off the receiver expression's source text so the two rule families
+    never double-report one call site.
+    """
+    src = ast.unparse(expr).lower()
+    return any(key in src for key in ("trace", "span", "obs"))
+
+
 def _collect_imports(tree: ast.Module) -> Dict[str, str]:
     """Map local aliases to absolute dotted names for all imports."""
     aliases: Dict[str, str] = {}

@@ -1,0 +1,86 @@
+"""Observability rules (codes ``O4xx``).
+
+The :mod:`repro.obs` span tracer brackets simulated time with
+``begin()``/``end()`` pairs (or the ``scope()`` context manager).  A
+``begin()`` that never reaches its ``end()`` leaks an open span: the
+interval silently vanishes from every exported trace and from the
+per-category totals the model join consumes — the observability
+counterpart of the unbalanced accounting brackets ``P203`` guards
+against.
+
+* ``O401`` — span ``begin()``/``end()`` calls on tracer-like receivers
+  balance within each function; prefer ``with tracer.scope(...)`` when
+  the bracket spans one block.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List
+
+from .core import Finding, Rule, SourceModule, receiver_is_tracerish
+from .protocol import _functions, _own_nodes
+from .registry import rule
+
+#: Delegation wrappers: a method literally named like the bracket it
+#: forwards (PhaseAccountant.begin -> tracer.begin) is legitimately
+#: one-sided — its partner lives in the sibling method.
+_WRAPPER_NAMES = frozenset(
+    {"begin", "end", "scope", "__enter__", "__exit__", "record"}
+)
+
+
+@rule
+class SpanLeakRule(Rule):
+    """O401: span brackets balance within every function."""
+
+    code = "O401"
+    name = "leaked-span-bracket"
+    summary = (
+        "a span tracer .begin() without a matching .end() in the same "
+        "function leaks an open span; use end() or `with tracer.scope(...)`"
+    )
+    packages = None
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Count begin/end per tracer-ish receiver in each function."""
+        for func in _functions(module.tree):
+            if func.name in _WRAPPER_NAMES:
+                continue
+            begins: Dict[str, List[ast.AST]] = {}
+            ends: Dict[str, int] = {}
+            for node in _own_nodes(func):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                ):
+                    continue
+                if node.func.attr not in ("begin", "end"):
+                    continue
+                if not receiver_is_tracerish(node.func.value):
+                    continue
+                receiver = ast.unparse(node.func.value)
+                if node.func.attr == "begin":
+                    begins.setdefault(receiver, []).append(node)
+                else:
+                    ends[receiver] = ends.get(receiver, 0) + 1
+            for receiver in sorted(set(begins) | set(ends)):
+                b = len(begins.get(receiver, ()))
+                e = ends.get(receiver, 0)
+                if b == e:
+                    continue
+                anchor = begins[receiver][0] if begins.get(receiver) else func
+                if b > e:
+                    message = (
+                        f"function {func.name!r} opens {b} span(s) with "
+                        f"{receiver}.begin() but closes {e} with .end(); the "
+                        "leaked span never reaches any exported trace — close "
+                        f"it or bracket with `with {receiver}.scope(...):`"
+                    )
+                else:
+                    message = (
+                        f"function {func.name!r} calls {receiver}.end() "
+                        f"{e} time(s) but .begin() only {b}; closing a span "
+                        "that is not open raises at runtime"
+                    )
+                yield module.finding(anchor, self.code, message)

@@ -27,7 +27,14 @@ import ast
 import re
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from .core import Finding, ProjectRule, Rule, SourceModule, parent_of
+from .core import (
+    Finding,
+    ProjectRule,
+    Rule,
+    SourceModule,
+    parent_of,
+    receiver_is_tracerish,
+)
 from .registry import rule
 
 #: Procedure declarations inside a textual IDL block (see stubgen).
@@ -242,6 +249,11 @@ class UnbalancedPhaseRule(Rule):
                     isinstance(node, ast.Call)
                     and isinstance(node.func, ast.Attribute)
                 ):
+                    continue
+                if node.func.attr in ("begin", "end") and receiver_is_tracerish(
+                    node.func.value
+                ):
+                    # span brackets belong to the observability rule O401
                     continue
                 receiver = ast.dump(node.func.value)
                 if node.func.attr == "begin":

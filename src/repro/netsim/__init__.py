@@ -21,7 +21,7 @@ from .node import Node, RateModel, constant_rate
 from .process import BarrierManager, Mailbox, SimProcess
 from .resources import Resource
 from .rng import Jitter, RngRegistry, RngStreams, derive_seed, spawn_generator
-from .trace import Tracer, TraceRecord
+from .trace import FlowEdge, Span, Tracer, TraceRecord
 
 __all__ = [
     "ANY",
@@ -32,6 +32,8 @@ __all__ = [
     "CrossbarFabric",
     "Engine",
     "Fabric",
+    "FlowEdge",
+    "Span",
     "Jitter",
     "Mailbox",
     "Message",

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from ..errors import SimulationError
+from ..obs.metrics import MetricsRegistry
 from .engine import Engine
 from .events import Message
 from .network import Fabric
@@ -68,7 +69,10 @@ class Cluster:
         trace: bool = True,
     ) -> None:
         self.engine = Engine()
-        self.tracer = Tracer(enabled=trace)
+        self.tracer = Tracer(enabled=trace, clock=lambda: self.engine.now)
+        #: run-local metrics fed by the middleware layers; harvested by
+        #: :meth:`repro.obs.ObsSession.absorb_opal_run`.
+        self.metrics = MetricsRegistry()
         self.barriers = BarrierManager(self.engine)
         self.rng = RngRegistry(seed)
         self.fabric = fabric_factory(self.engine)

@@ -32,6 +32,9 @@ class Engine:
         #: (mailbox, barrier, resource); used for deadlock detection.
         self.blocked_processes = 0
         self.events_executed = 0
+        self.events_scheduled = 0
+        #: high-water mark of the event queue length (obs metric)
+        self.max_queue_depth = 0
 
     # ------------------------------------------------------------------
     @property
@@ -45,6 +48,9 @@ class Engine:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
+        self.events_scheduled += 1
+        if len(self._queue) > self.max_queue_depth:
+            self.max_queue_depth = len(self._queue)
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at absolute virtual ``time``.

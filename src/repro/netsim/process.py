@@ -84,12 +84,15 @@ class BarrierManager:
         self.engine = engine
         self._waiting: Dict[str, List[Tuple[float, "SimProcess"]]] = {}
         self._generation: Dict[str, int] = {}
+        self.arrivals = 0
+        self.releases = 0
 
     def arrive(self, name: str, count: int, cost: float, proc: "SimProcess") -> None:
         """Register one arrival; release everyone on the last."""
         key = f"{name}#{self._generation.get(name, 0)}"
         group = self._waiting.setdefault(key, [])
         group.append((self.engine.now, proc))
+        self.arrivals += 1
         if len(group) > count:
             raise SimulationError(
                 f"barrier {name!r} overflow: {len(group)} arrivals for count={count}"
@@ -97,6 +100,7 @@ class BarrierManager:
         if len(group) == count:
             self._generation[name] = self._generation.get(name, 0) + 1
             del self._waiting[key]
+            self.releases += 1
             last_arrival = self.engine.now
             release = last_arrival + cost
             for arrived_at, member in group:
@@ -255,6 +259,22 @@ class SimProcess:
             now = self.engine.now
             if now > start:
                 self.trace("recv_wait", start, now, detail=f"tag={msg.tag}")
+            # Causal edge: the sender's injection instant to this
+            # receive completion.  Every PVM send/recv — and therefore
+            # every Sciddle RPC leg — lands here exactly once.
+            try:
+                src_name = self.cluster.process_by_tid(msg.source).name
+            except SimulationError:
+                src_name = f"tid{msg.source}"
+            self.cluster.tracer.flow(
+                fid=msg.seq,
+                src_proc=src_name,
+                src_time=msg.sent_at,
+                dst_proc=self.name,
+                dst_time=now,
+                nbytes=msg.nbytes,
+                tag=msg.tag,
+            )
             self._unblock()
             # Resume in a fresh event so delivery callbacks unwind first.
             self.engine.schedule(0.0, lambda: self._step(msg))

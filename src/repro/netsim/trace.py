@@ -5,86 +5,64 @@ story: middleware and application layers emit begin/end records for
 phases (compute, send, recv, barrier wait, idle) and the analysis code
 reduces a trace to the per-category time breakdown the paper measures
 (Sections 2.4 and 3).
+
+Since the :mod:`repro.obs` observability layer landed, the real
+machinery lives in :class:`repro.obs.spans.SpanTracer`: hierarchical
+begin/end spans, causal flow edges between sender and receiver, and
+model response-variable rollups.  :class:`Tracer` is the thin
+netsim-facing view of it, preserving the original flat-record API
+(``records``, ``intervals``, ``span()``, ``makespan``, ``gantt``) that
+the analysis and hpm code was written against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..obs.spans import FlowEdge, Span, SpanTracer
+
+#: Spans are the trace records now; the old name stays importable.
+TraceRecord = Span
+
+__all__ = ["FlowEdge", "Span", "TraceRecord", "Tracer"]
 
 
-@dataclass(frozen=True)
-class TraceRecord:
-    """One phase interval observed on one process."""
+class Tracer(SpanTracer):
+    """Accumulates :class:`TraceRecord` entries for one simulated run.
 
-    proc: str
-    category: str
-    start: float
-    end: float
-    detail: str = ""
+    A :class:`~repro.obs.spans.SpanTracer` whose ``records`` attribute
+    aliases the span list, so existing reductions keep working while
+    span hierarchy and flow edges accumulate alongside.
+    """
+
+    def __init__(
+        self, enabled: bool = True, clock: Optional[Callable[[], float]] = None
+    ) -> None:
+        super().__init__(enabled=enabled, clock=clock)
 
     @property
-    def duration(self) -> float:
-        """end - start, seconds."""
-        return self.end - self.start
-
-
-class Tracer:
-    """Accumulates :class:`TraceRecord` entries for one simulated run."""
-
-    def __init__(self, enabled: bool = True) -> None:
-        self.enabled = enabled
-        self.records: List[TraceRecord] = []
-
-    def record(
-        self, proc: str, category: str, start: float, end: float, detail: str = ""
-    ) -> None:
-        """Append one phase interval (no-op when disabled)."""
-        if not self.enabled:
-            return
-        if end < start:
-            raise ValueError(f"trace interval ends before it starts: {start}..{end}")
-        self.records.append(TraceRecord(proc, category, start, end, detail))
-
-    # ------------------------------------------------------------------
-    def by_category(self) -> Dict[str, float]:
-        """Total duration per category across all processes."""
-        out: Dict[str, float] = {}
-        for r in self.records:
-            out[r.category] = out.get(r.category, 0.0) + r.duration
-        return out
-
-    def by_process(self) -> Dict[str, Dict[str, float]]:
-        """Per-process totals per category."""
-        out: Dict[str, Dict[str, float]] = {}
-        for r in self.records:
-            out.setdefault(r.proc, {})
-            out[r.proc][r.category] = out[r.proc].get(r.category, 0.0) + r.duration
-        return out
+    def records(self) -> List[Span]:
+        """The recorded spans (legacy name)."""
+        return self.spans
 
     def intervals(
         self, proc: Optional[str] = None, category: Optional[str] = None
-    ) -> List[TraceRecord]:
+    ) -> List[Span]:
         """Filtered view of the raw records."""
         return [
             r
-            for r in self.records
+            for r in self.spans
             if (proc is None or r.proc == proc)
             and (category is None or r.category == category)
         ]
 
     def span(self) -> Tuple[float, float]:
         """(earliest start, latest end) over all records."""
-        if not self.records:
-            return (0.0, 0.0)
-        return (
-            min(r.start for r in self.records),
-            max(r.end for r in self.records),
-        )
+        return self.span_bounds()
 
     def makespan(self) -> float:
         """Duration from the earliest start to the latest end."""
-        lo, hi = self.span()
+        lo, hi = self.span_bounds()
         return hi - lo
 
     # ------------------------------------------------------------------
@@ -96,20 +74,23 @@ class Tracer:
         Useful for eyeballing load imbalance (the paper's even-p anomaly
         shows up as long runs of idle on half the servers).
         """
-        lo, hi = self.span()
+        lo, hi = self.span_bounds()
         if hi <= lo:
             return "(empty trace)"
         wanted = set(categories) if categories is not None else None
-        procs = sorted({r.proc for r in self.records})
+        # One pass to group by process: the old per-row rescan cost
+        # O(processes x records) on big traces.
+        per_proc: Dict[str, List[Span]] = {}
+        for r in self.spans:
+            if wanted is not None and r.category not in wanted:
+                continue
+            per_proc.setdefault(r.proc, []).append(r)
+        procs = sorted({r.proc for r in self.spans})
         dt = (hi - lo) / width
         lines = []
         for p in procs:
-            buckets = [{} for _ in range(width)]
-            for r in self.records:
-                if r.proc != p:
-                    continue
-                if wanted is not None and r.category not in wanted:
-                    continue
+            buckets: List[Dict[str, float]] = [{} for _ in range(width)]
+            for r in per_proc.get(p, ()):
                 b0 = int((r.start - lo) / dt)
                 b1 = int((r.end - lo) / dt)
                 for b in range(max(b0, 0), min(b1 + 1, width)):
@@ -121,7 +102,8 @@ class Tracer:
                             buckets[b].get(r.category, 0.0) + overlap
                         )
             row = "".join(
-                max(cell, key=cell.get)[0] if cell else "." for cell in buckets
+                max(cell, key=cell.__getitem__)[0] if cell else "."
+                for cell in buckets
             )
             lines.append(f"{p:>12s} |{row}|")
         return "\n".join(lines)

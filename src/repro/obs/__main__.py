@@ -1,0 +1,17 @@
+"""``python -m repro.obs`` dispatch."""
+
+import os
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+    except BrokenPipeError:
+        # downstream pager/head closed the pipe: not an error, but the
+        # interpreter would otherwise print a traceback while flushing
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        code = 0
+    sys.exit(code)

@@ -1,0 +1,202 @@
+"""``python -m repro.obs`` — trace tooling: summarize, convert, diff.
+
+Works on both on-disk formats:
+
+* ``*.jsonl`` — the lossless JSONL dump (:func:`repro.obs.write_jsonl`)
+* ``*.json`` — Chrome trace-event JSON (:func:`write_chrome_trace`)
+
+``summarize`` prints span/flow counts and per-category totals and exits
+0 on any well-formed trace; ``convert`` turns a JSONL dump into a
+Perfetto-loadable Chrome trace; ``diff`` compares two traces' category
+totals and exits 1 when drift exceeds ``--tolerance``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .export import (
+    count_flow_events,
+    load_jsonl,
+    read_chrome_totals,
+    read_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .spans import SpanTracer, response_variable
+
+
+def _is_jsonl(path: pathlib.Path) -> bool:
+    """True when the file holds one JSON object per line (JSONL dump)."""
+    if path.suffix == ".jsonl":
+        return True
+    if path.suffix == ".json":
+        return False
+    with open(path, encoding="utf-8") as fh:
+        head = fh.readline().strip()
+    try:
+        first = json.loads(head)
+    except json.JSONDecodeError:
+        return False
+    return isinstance(first, dict) and first.get("type") == "meta"
+
+
+def _load_any(path: pathlib.Path) -> Tuple[Optional[SpanTracer], Dict[str, float]]:
+    """Load either format; returns (tracer-or-None, category totals [s]).
+
+    Chrome traces come back as totals only — the complete-event list is
+    a lossy projection, so no tracer is reconstructed for them.
+    """
+    if _is_jsonl(path):
+        tracer, _metrics = load_jsonl(path)
+        return tracer, tracer.by_category()
+    return None, read_chrome_totals(path)
+
+
+def _cmd_summarize(args: argparse.Namespace) -> int:
+    path = pathlib.Path(args.trace)
+    if not path.exists():
+        print(f"error: no such trace file: {path}")
+        return 2
+    if _is_jsonl(path):
+        tracer, metrics = load_jsonl(path)
+        lo, hi = tracer.span_bounds()
+        print(f"trace: {path} (jsonl)")
+        print(
+            f"  spans: {len(tracer.spans)}  flows: {len(tracer.flows)}  "
+            f"procs: {len(tracer.procs())}  runs: {len(tracer.runs())}"
+        )
+        print(f"  makespan: {hi - lo:.6f} s")
+        totals = tracer.by_category()
+        _print_totals(totals)
+        print("  response-variable rollup [s]:")
+        for variable, seconds in sorted(tracer.by_response_variable().items()):
+            print(f"    {variable:<20s} {seconds:12.6f}")
+        rendered = metrics.render(indent="    ")
+        if rendered:
+            print("  metrics:")
+            print(rendered)
+        return 0
+    document = read_chrome_trace(path)
+    events = document.get("traceEvents", [])
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    pids = {e.get("pid") for e in events}
+    print(f"trace: {path} (chrome trace-event json)")
+    print(
+        f"  spans: {spans}  flows: {count_flow_events(path)}  "
+        f"tracks: {len(pids)}"
+    )
+    totals = read_chrome_totals(path)
+    _print_totals(totals)
+    print("  response-variable rollup [s]:")
+    rollup: Dict[str, float] = {}
+    for category, seconds in totals.items():
+        variable = response_variable(category) or "(other)"
+        rollup[variable] = rollup.get(variable, 0.0) + seconds
+    for variable, seconds in sorted(rollup.items()):
+        print(f"    {variable:<20s} {seconds:12.6f}")
+    return 0
+
+
+def _print_totals(totals: Dict[str, float]) -> None:
+    print("  category totals [s]:")
+    for category, seconds in sorted(totals.items()):
+        print(f"    {category:<20s} {seconds:12.6f}")
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    src = pathlib.Path(args.input)
+    dst = pathlib.Path(args.output)
+    if not src.exists():
+        print(f"error: no such trace file: {src}")
+        return 2
+    if not _is_jsonl(src):
+        print("error: convert expects a JSONL dump as input (chrome json is lossy)")
+        return 2
+    tracer, metrics = load_jsonl(src)
+    if dst.suffix == ".jsonl":
+        write_jsonl(tracer, dst, metrics=metrics)
+    else:
+        write_chrome_trace(tracer, dst, metrics=metrics)
+    print(
+        f"wrote {dst} ({len(tracer.spans)} spans, {len(tracer.flows)} flows)"
+    )
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    path_a = pathlib.Path(args.a)
+    path_b = pathlib.Path(args.b)
+    for path in (path_a, path_b):
+        if not path.exists():
+            print(f"error: no such trace file: {path}")
+            return 2
+    _tracer_a, totals_a = _load_any(path_a)
+    _tracer_b, totals_b = _load_any(path_b)
+    categories = sorted(set(totals_a) | set(totals_b))
+    print(f"diff: {path_a} vs {path_b} (tolerance {args.tolerance:g} s)")
+    print(
+        f"  {'category':<20s} {'a[s]':>12s} {'b[s]':>12s} {'delta[s]':>12s}"
+    )
+    worst = 0.0
+    for category in categories:
+        a = totals_a.get(category, 0.0)
+        b = totals_b.get(category, 0.0)
+        delta = b - a
+        worst = max(worst, abs(delta))
+        flag = "  !" if abs(delta) > args.tolerance else ""
+        print(f"  {category:<20s} {a:12.6f} {b:12.6f} {delta:12.6f}{flag}")
+    if worst > args.tolerance:
+        print(f"traces differ: worst category delta {worst:g} s")
+        return 1
+    print("traces agree within tolerance")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.obs`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect and convert repro.obs trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser(
+        "summarize", help="print span/flow counts and category totals"
+    )
+    p_sum.add_argument("trace", help="trace file (.jsonl or chrome .json)")
+    p_sum.set_defaults(func=_cmd_summarize)
+
+    p_conv = sub.add_parser(
+        "convert", help="convert a JSONL dump to Chrome trace-event JSON"
+    )
+    p_conv.add_argument("input", help="source JSONL dump")
+    p_conv.add_argument("output", help="destination (.json for chrome, .jsonl)")
+    p_conv.set_defaults(func=_cmd_convert)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare category totals of two traces"
+    )
+    p_diff.add_argument("a", help="first trace file")
+    p_diff.add_argument("b", help="second trace file")
+    p_diff.add_argument(
+        "--tolerance",
+        type=float,
+        default=1e-9,
+        help="max per-category absolute delta in seconds (default 1e-9)",
+    )
+    p_diff.set_defaults(func=_cmd_diff)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    result: int = args.func(args)
+    return result
+
+
+__all__: List[str] = ["build_parser", "main"]

@@ -1,0 +1,193 @@
+"""Metrics registry: counters, gauges and histograms.
+
+Deliberately simulation-friendly: nothing here reads a wall clock or
+any other ambient state — values are pushed by the instrumented
+components (event engine, Sciddle runtime, hpm accountants, experiment
+cache), so identical runs produce identical metric dumps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+MetricValue = Union[int, float]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing total."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, MetricValue]:
+        """JSON-able snapshot."""
+        return {"value": self.value}
+
+
+@dataclass
+class Gauge:
+    """Last-set value with running extrema."""
+
+    name: str
+    value: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+    samples: int = 0
+
+    def set(self, value: float) -> None:
+        """Record the current level of the tracked quantity."""
+        self.value = value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.samples += 1
+
+    def as_dict(self) -> Dict[str, MetricValue]:
+        """JSON-able snapshot (inf extrema of an unset gauge -> 0)."""
+        if self.samples == 0:
+            return {"value": 0.0, "min": 0.0, "max": 0.0, "samples": 0}
+        return {
+            "value": self.value,
+            "min": self.min,
+            "max": self.max,
+            "samples": self.samples,
+        }
+
+
+@dataclass
+class Histogram:
+    """Streaming summary of observed values (count/sum/min/max/mean)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, MetricValue]:
+        """JSON-able snapshot."""
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+@dataclass
+class MetricsRegistry:
+    """Named counters/gauges/histograms with get-or-create access."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    gauges: Dict[str, Gauge] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name)
+        return metric
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Dict[str, Dict[str, MetricValue]]]:
+        """Every metric as plain JSON-able data, sorted by name."""
+        return {
+            "counters": {n: self.counters[n].as_dict() for n in sorted(self.counters)},
+            "gauges": {n: self.gauges[n].as_dict() for n in sorted(self.gauges)},
+            "histograms": {
+                n: self.histograms[n].as_dict() for n in sorted(self.histograms)
+            },
+        }
+
+    def merge_payload(
+        self, payload: Dict[str, Dict[str, Dict[str, MetricValue]]]
+    ) -> None:
+        """Fold an :meth:`as_dict` payload into this registry.
+
+        Counters and histograms add; gauges keep the widest extrema and
+        the most recently merged value.
+        """
+        for name, data in payload.get("counters", {}).items():
+            self.counter(name).inc(float(data["value"]))
+        for name, data in payload.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            if int(data.get("samples", 0)) > 0:
+                gauge.value = float(data["value"])
+                gauge.min = min(gauge.min, float(data["min"]))
+                gauge.max = max(gauge.max, float(data["max"]))
+                gauge.samples += int(data["samples"])
+        for name, data in payload.get("histograms", {}).items():
+            hist = self.histogram(name)
+            count = int(data.get("count", 0))
+            if count > 0:
+                hist.count += count
+                hist.total += float(data["total"])
+                hist.min = min(hist.min, float(data["min"]))
+                hist.max = max(hist.max, float(data["max"]))
+
+    def render(self, indent: str = "  ") -> str:
+        """A sorted human-readable dump of every metric."""
+        lines: List[str] = []
+        for name in sorted(self.counters):
+            lines.append(f"{indent}{name} = {self.counters[name].value:g}")
+        for name in sorted(self.gauges):
+            g = self.gauges[name]
+            if g.samples:
+                lines.append(
+                    f"{indent}{name} = {g.value:g} (min {g.min:g}, max {g.max:g})"
+                )
+        for name in sorted(self.histograms):
+            h = self.histograms[name]
+            lines.append(
+                f"{indent}{name}: n={h.count} mean={h.mean:g} "
+                f"min={0.0 if not h.count else h.min:g} "
+                f"max={0.0 if not h.count else h.max:g}"
+            )
+        return "\n".join(lines)
+
+
+def merge_registries(
+    into: MetricsRegistry, source: Optional[MetricsRegistry]
+) -> MetricsRegistry:
+    """Fold ``source`` (if any) into ``into``; returns ``into``."""
+    if source is not None:
+        into.merge_payload(source.as_dict())
+    return into

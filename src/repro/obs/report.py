@@ -1,0 +1,132 @@
+"""The measured-vs-model join: residuals per response variable.
+
+The whole point of the paper's instrumentation (Sections 2.4 and 3.2)
+is that measured category totals can be compared against the
+eq. (2)-(10) analytical prediction *per response variable* — update,
+nbint, seq_comp, comm, sync — instead of only at the wall-clock level
+where compensating errors hide.  This module renders that comparison
+for one run or a whole campaign and flags residual drift, the failure
+mode Cornebize & Legrand (2021) show makes simulation-based prediction
+go wrong silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..core.breakdown import TimeBreakdown
+from ..core.model import OpalPerformanceModel
+from ..core.parameters import ApplicationParams, ModelPlatformParams
+
+#: The response variables joined against the model (idle has no model
+#: term: predicted 0 by construction, shown for completeness).
+RESPONSE_VARIABLES = ("update", "nbint", "seq_comp", "comm", "sync", "idle")
+
+#: One joined row: a run label plus its configuration and measurement.
+RunRow = Tuple[str, ApplicationParams, TimeBreakdown]
+
+
+@dataclass(frozen=True)
+class Residual:
+    """Measured vs predicted seconds for one variable of one run."""
+
+    run: str
+    variable: str
+    measured: float
+    predicted: float
+
+    @property
+    def residual(self) -> float:
+        """measured - predicted, seconds."""
+        return self.measured - self.predicted
+
+    @property
+    def relative(self) -> float:
+        """Residual relative to the larger magnitude (0 when both ~ 0)."""
+        scale = max(abs(self.measured), abs(self.predicted))
+        if scale <= 0:
+            return 0.0
+        return self.residual / scale
+
+
+def join_residuals(
+    rows: Sequence[RunRow], params: ModelPlatformParams
+) -> List[Residual]:
+    """Per-variable residuals of every run against the model."""
+    model = OpalPerformanceModel(params)
+    out: List[Residual] = []
+    for run, app, measured in rows:
+        predicted = model.breakdown(app)
+        for variable in RESPONSE_VARIABLES:
+            out.append(
+                Residual(
+                    run=run,
+                    variable=variable,
+                    measured=getattr(measured, variable),
+                    predicted=getattr(predicted, variable),
+                )
+            )
+    return out
+
+
+def residual_report(
+    rows: Sequence[RunRow],
+    params: ModelPlatformParams,
+    threshold: float = 0.10,
+    per_run: bool = True,
+) -> str:
+    """The per-run text report joining measurement against the model.
+
+    Every response variable of every run prints measured, predicted,
+    residual and relative drift; rows beyond ``threshold`` relative
+    drift are flagged with ``!``.  A campaign-level mean absolute
+    drift per variable closes the report.
+    """
+    residuals = join_residuals(rows, params)
+    lines: List[str] = [
+        f"measured vs model ({params.name}), "
+        f"drift flag at {100 * threshold:.0f}%",
+        "",
+    ]
+    header = (
+        f"  {'variable':<10s} {'measured[s]':>12s} {'predicted[s]':>12s} "
+        f"{'residual[s]':>12s} {'drift':>8s}"
+    )
+    if per_run:
+        by_run: List[Tuple[str, List[Residual]]] = []
+        for r in residuals:
+            if not by_run or by_run[-1][0] != r.run:
+                by_run.append((r.run, []))
+            by_run[-1][1].append(r)
+        for run, items in by_run:
+            lines.append(f"run: {run or '(unlabelled)'}")
+            lines.append(header)
+            for r in items:
+                flag = " !" if abs(r.relative) > threshold else ""
+                lines.append(
+                    f"  {r.variable:<10s} {r.measured:12.6f} {r.predicted:12.6f} "
+                    f"{r.residual:12.6f} {100 * r.relative:7.2f}%{flag}"
+                )
+            lines.append("")
+    lines.append("mean absolute drift per response variable:")
+    flagged = 0
+    for variable in RESPONSE_VARIABLES:
+        items = [r for r in residuals if r.variable == variable]
+        if not items:
+            continue
+        mean_drift = sum(abs(r.relative) for r in items) / len(items)
+        flag = ""
+        if mean_drift > threshold:
+            flag = "  <- exceeds threshold"
+            flagged += 1
+        lines.append(f"  {variable:<10s} {100 * mean_drift:7.2f}%{flag}")
+    lines.append(
+        "verdict: "
+        + (
+            "model and measurement agree within tolerance"
+            if flagged == 0
+            else f"{flagged} response variable(s) drifted beyond tolerance"
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,383 @@
+"""Structured spans and causal flow edges.
+
+A **span** is one attributed interval of simulated time on one process:
+a category (the raw tracer vocabulary — ``compute``, ``send``,
+``recv_wait``, ``sync``, ``idle``, or an accountant phase such as
+``comm:call_nbi``), an optional display name, and an optional parent
+span for hierarchy.  Spans are either *recorded* complete (start and
+end known, the flat :meth:`SpanTracer.record` path the simulator
+kernel uses) or *bracketed* live with :meth:`SpanTracer.begin` /
+:meth:`SpanTracer.end`, which nests: a span recorded while a bracket
+is open becomes its child.
+
+A **flow edge** links a send on one process to the matching receive on
+another — the causal arrow the paper's cross-process accounting needs
+to reconstruct critical paths through the middleware.
+
+This module is dependency-free (stdlib only) so that
+:mod:`repro.netsim` can build its tracer on it without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+#: The model's response variables (eq. 2-10): every raw span category
+#: rolls up into exactly one of these (see :func:`response_variable`).
+MODEL_CATEGORIES = ("par_comp", "seq_comp", "comm", "sync", "idle")
+
+#: Raw category -> response variable.  Prefix rules are applied after
+#: exact matches; anything unmatched reports as None (unattributed).
+_EXACT_RESPONSE = {
+    # the response variables themselves are fixed points, so a trace
+    # whose categories are already rolled up summarizes unchanged
+    "par_comp": "par_comp",
+    "comm": "comm",
+    "seq_comp": "seq_comp",
+    "sync": "sync",
+    "idle": "idle",
+    "compute": "par_comp",
+    "cpu_wait": "idle",
+    "recv_wait": "idle",
+    "sleep": "idle",
+    "send": "comm",
+    "recv": "comm",
+}
+_PREFIX_RESPONSE = (
+    ("par:", "par_comp"),
+    ("comm:", "comm"),
+    ("service:", "par_comp"),
+    ("reply:", "comm"),
+    ("seq", "seq_comp"),
+)
+
+
+def response_variable(category: str) -> Optional[str]:
+    """The model response variable a raw span category rolls up into.
+
+    Returns ``None`` for categories outside the model vocabulary (they
+    stay visible in traces but are excluded from the model join).
+    """
+    exact = _EXACT_RESPONSE.get(category)
+    if exact is not None:
+        return exact
+    for prefix, variable in _PREFIX_RESPONSE:
+        if category.startswith(prefix):
+            return variable
+    return None
+
+
+@dataclass(frozen=True)
+class Span:
+    """One attributed interval of simulated time on one process.
+
+    Field order keeps positional compatibility with the original
+    ``TraceRecord(proc, category, start, end, detail)``.
+    """
+
+    proc: str
+    category: str
+    start: float
+    end: float
+    detail: str = ""
+    name: str = ""
+    #: span id, unique within one tracer (0 = unassigned)
+    sid: int = 0
+    #: sid of the enclosing span, or None at top level
+    parent: Optional[int] = None
+    #: run label for merged multi-run traces ("" = single run)
+    run: str = ""
+
+    @property
+    def duration(self) -> float:
+        """end - start, seconds."""
+        return self.end - self.start
+
+    @property
+    def label(self) -> str:
+        """Display name (falls back to the category)."""
+        return self.name or self.category
+
+
+@dataclass(frozen=True)
+class FlowEdge:
+    """A causal arrow from a send on one process to its receive."""
+
+    fid: int
+    src_proc: str
+    src_time: float
+    dst_proc: str
+    dst_time: float
+    kind: str = "msg"
+    nbytes: float = 0.0
+    tag: Optional[int] = None
+    run: str = ""
+
+
+@dataclass
+class _OpenSpan:
+    """Book-keeping for one live begin()/end() bracket."""
+
+    sid: int
+    category: str
+    start: float
+    name: str
+    detail: str
+    parent: Optional[int]
+
+
+class SpanTracer:
+    """Accumulates spans and flow edges for one (or many merged) runs.
+
+    ``clock`` is an optional zero-argument callable returning current
+    simulated time; when set, :meth:`begin`/:meth:`end`/:meth:`scope`
+    may omit their explicit ``time`` argument.
+    """
+
+    def __init__(
+        self, enabled: bool = True, clock: Optional[Callable[[], float]] = None
+    ) -> None:
+        self.enabled = enabled
+        self.clock = clock
+        self.spans: List[Span] = []
+        self.flows: List[FlowEdge] = []
+        self._open: Dict[str, List[_OpenSpan]] = {}
+        self._next_sid = 1
+
+    # -- recording ------------------------------------------------------
+    def _alloc_sid(self) -> int:
+        sid = self._next_sid
+        self._next_sid += 1
+        return sid
+
+    def _current_parent(self, proc: str) -> Optional[int]:
+        stack = self._open.get(proc)
+        return stack[-1].sid if stack else None
+
+    def record(
+        self,
+        proc: str,
+        category: str,
+        start: float,
+        end: float,
+        detail: str = "",
+        name: str = "",
+    ) -> Optional[Span]:
+        """Append one complete span (no-op when disabled).
+
+        A span recorded while a :meth:`begin` bracket is open on the
+        same process becomes that bracket's child.
+        """
+        if not self.enabled:
+            return None
+        if end < start:
+            raise ValueError(f"trace interval ends before it starts: {start}..{end}")
+        span = Span(
+            proc,
+            category,
+            start,
+            end,
+            detail=detail,
+            name=name,
+            sid=self._alloc_sid(),
+            parent=self._current_parent(proc),
+        )
+        self.spans.append(span)
+        return span
+
+    def begin(
+        self,
+        proc: str,
+        category: str,
+        time: Optional[float] = None,
+        name: str = "",
+        detail: str = "",
+    ) -> int:
+        """Open a nested span on ``proc``; returns its span id."""
+        if not self.enabled:
+            return 0
+        if time is None:
+            if self.clock is None:
+                raise ValueError("begin() needs time= when the tracer has no clock")
+            time = self.clock()
+        sid = self._alloc_sid()
+        stack = self._open.setdefault(proc, [])
+        stack.append(
+            _OpenSpan(
+                sid=sid,
+                category=category,
+                start=time,
+                name=name,
+                detail=detail,
+                parent=stack[-1].sid if stack else None,
+            )
+        )
+        return sid
+
+    def end(
+        self,
+        proc: str,
+        time: Optional[float] = None,
+        category: Optional[str] = None,
+    ) -> Optional[Span]:
+        """Close the innermost open span on ``proc``."""
+        if not self.enabled:
+            return None
+        stack = self._open.get(proc)
+        if not stack:
+            raise ValueError(f"no span is open on process {proc!r}")
+        if time is None:
+            if self.clock is None:
+                raise ValueError("end() needs time= when the tracer has no clock")
+            time = self.clock()
+        top = stack[-1]
+        if category is not None and category != top.category:
+            raise ValueError(
+                f"closing span {category!r} on {proc!r} but {top.category!r} is open"
+            )
+        if time < top.start:
+            raise ValueError(f"span ends before it starts: {top.start}..{time}")
+        stack.pop()
+        span = Span(
+            proc,
+            top.category,
+            top.start,
+            time,
+            detail=top.detail,
+            name=top.name,
+            sid=top.sid,
+            parent=top.parent,
+        )
+        self.spans.append(span)
+        return span
+
+    def scope(
+        self, proc: str, category: str, name: str = "", detail: str = ""
+    ) -> "_SpanScope":
+        """Context manager bracketing a span via the tracer's clock."""
+        return _SpanScope(self, proc, category, name, detail)
+
+    def open_spans(self, proc: Optional[str] = None) -> int:
+        """Number of spans still open (unbalanced begin() brackets)."""
+        if proc is not None:
+            return len(self._open.get(proc, ()))
+        return sum(len(stack) for stack in self._open.values())
+
+    # -- flow edges -----------------------------------------------------
+    def flow(
+        self,
+        fid: int,
+        src_proc: str,
+        src_time: float,
+        dst_proc: str,
+        dst_time: float,
+        kind: str = "msg",
+        nbytes: float = 0.0,
+        tag: Optional[int] = None,
+    ) -> Optional[FlowEdge]:
+        """Record one causal send->recv edge (no-op when disabled)."""
+        if not self.enabled:
+            return None
+        if dst_time < src_time:
+            raise ValueError(
+                f"flow arrives before it departs: {src_time}..{dst_time}"
+            )
+        edge = FlowEdge(fid, src_proc, src_time, dst_proc, dst_time, kind, nbytes, tag)
+        self.flows.append(edge)
+        return edge
+
+    # -- aggregation ----------------------------------------------------
+    def by_category(self) -> Dict[str, float]:
+        """Total duration per category across all processes and runs."""
+        out: Dict[str, float] = {}
+        for s in self.spans:
+            out[s.category] = out.get(s.category, 0.0) + s.duration
+        return out
+
+    def by_process(self) -> Dict[str, Dict[str, float]]:
+        """Per-process totals per category."""
+        out: Dict[str, Dict[str, float]] = {}
+        for s in self.spans:
+            row = out.setdefault(s.proc, {})
+            row[s.category] = row.get(s.category, 0.0) + s.duration
+        return out
+
+    def by_response_variable(self) -> Dict[str, float]:
+        """Category totals rolled up into the model's response variables.
+
+        Categories outside the model vocabulary accumulate under
+        ``"(other)"`` so nothing silently disappears from a summary.
+        """
+        out: Dict[str, float] = {}
+        for category, seconds in self.by_category().items():
+            variable = response_variable(category) or "(other)"
+            out[variable] = out.get(variable, 0.0) + seconds
+        return out
+
+    def span_bounds(self) -> Tuple[float, float]:
+        """(earliest start, latest end) over all spans."""
+        if not self.spans:
+            return (0.0, 0.0)
+        return (
+            min(s.start for s in self.spans),
+            max(s.end for s in self.spans),
+        )
+
+    def procs(self) -> List[str]:
+        """Sorted (run, proc)-unique process names."""
+        return sorted({s.proc for s in self.spans})
+
+    def runs(self) -> List[str]:
+        """Distinct run labels, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.run, None)
+        for f in self.flows:
+            seen.setdefault(f.run, None)
+        return list(seen)
+
+    def children(self, sid: int) -> Iterator[Span]:
+        """Spans whose parent is ``sid``."""
+        return (s for s in self.spans if s.parent == sid)
+
+    # -- merging --------------------------------------------------------
+    def absorb(self, other: "SpanTracer", run: str = "") -> None:
+        """Copy another tracer's spans and flows into this one.
+
+        Span ids are re-allocated (parent links preserved); every copied
+        span/flow is stamped with ``run`` so multi-run traces stay
+        separable.  Open brackets on ``other`` are not copied.
+        """
+        remap: Dict[int, int] = {}
+        for s in other.spans:
+            remap[s.sid] = self._alloc_sid()
+        for s in other.spans:
+            parent = remap.get(s.parent) if s.parent is not None else None
+            self.spans.append(
+                replace(s, sid=remap[s.sid], parent=parent, run=run or s.run)
+            )
+        for f in other.flows:
+            self.flows.append(replace(f, run=run or f.run))
+
+
+@dataclass
+class _SpanScope:
+    """``with tracer.scope(...):`` — begin on entry, end on exit."""
+
+    tracer: SpanTracer
+    proc: str
+    category: str
+    name: str = ""
+    detail: str = ""
+    sid: int = field(default=0, init=False)
+
+    def __enter__(self) -> "_SpanScope":
+        self.sid = self.tracer.begin(
+            self.proc, self.category, name=self.name, detail=self.detail
+        )
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if self.tracer.enabled:
+            self.tracer.end(self.proc, category=self.category)

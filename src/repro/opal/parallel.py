@@ -34,6 +34,8 @@ from ..core.breakdown import TimeBreakdown
 from ..core.parameters import ApplicationParams
 from ..hpm import PhaseAccountant
 from ..netsim import Cluster
+from ..obs.session import ObsSession
+from ..obs.session import run_label as _make_run_label
 from ..pvm import PvmSystem, PvmTask
 from ..sciddle import (
     RpcReply,
@@ -195,6 +197,8 @@ def run_parallel_opal(
     defect: float = 0.1,
     share_noise: float = 0.01,
     keep_cluster: bool = False,
+    obs: Optional[ObsSession] = None,
+    run_label: Optional[str] = None,
 ) -> OpalRunResult:
     """Simulate one full Opal run on ``platform`` (a PlatformSpec).
 
@@ -204,6 +208,10 @@ def run_parallel_opal(
     (see module docstring).  In ``overlapped`` mode the per-category
     breakdown degenerates: everything un-attributable lands in ``idle``
     (which is precisely the paper's complaint about plain Sciddle).
+
+    With ``obs=`` the run's trace, flow edges, metrics and measured
+    breakdown are folded into that :class:`~repro.obs.ObsSession` under
+    ``run_label`` (a deterministic label is derived when omitted).
     """
     p = app.servers
     workload = OpalWorkload(app, seed=seed, defect=defect, share_noise=share_noise)
@@ -214,12 +222,16 @@ def run_parallel_opal(
 
     clock = lambda: cluster.engine.now  # noqa: E731
     client_node = platform.place(cluster, 0)
-    client_acct = PhaseAccountant(clock, client_node.hpm)
+    client_acct = PhaseAccountant(
+        clock, client_node.hpm, tracer=cluster.tracer, proc="opal-client"
+    )
     server_accts = []
     server_procs = []
     for i in range(p):
         node = platform.place(cluster, i + 1)
-        acct = PhaseAccountant(clock, node.hpm)
+        acct = PhaseAccountant(
+            clock, node.hpm, tracer=cluster.tracer, proc=f"server{i}"
+        )
         server_accts.append(acct)
         proc = pvm.spawn(
             f"server{i}", node, _server_body, iface, sync, workload, i, acct
@@ -267,7 +279,7 @@ def run_parallel_opal(
         idle=t_idle,
     )
     flops_counted = sum(n.hpm.flops_counted for n in cluster.nodes)
-    return OpalRunResult(
+    result = OpalRunResult(
         app=app,
         platform_name=platform.name,
         sync_mode=sync_mode,
@@ -280,3 +292,7 @@ def run_parallel_opal(
         barriers_executed=sync.barriers_executed,
         cluster=cluster if keep_cluster else None,
     )
+    if obs is not None:
+        label = run_label or _make_run_label(platform.name, app, seed)
+        obs.absorb_opal_run(label, cluster, result)
+    return result

@@ -90,6 +90,9 @@ class SciddleServer:
         self.accountant = accountant
         self._handlers: Dict[str, Handler] = {}
         self.calls_served = 0
+        metrics = task.ctx.cluster.metrics
+        self._m_served = metrics.counter("sciddle.calls_served")
+        self._m_reply_bytes = metrics.counter("sciddle.reply_bytes")
 
     def bind(self, name: str, handler: Handler) -> None:
         """Attach the implementation of a declared procedure."""
@@ -125,6 +128,8 @@ class SciddleServer:
                     f"got {type(reply).__name__}"
                 )
             self.calls_served += 1
+            self._m_served.inc()
+            self._m_reply_bytes.inc(HEADER_BYTES + reply.nbytes)
             if self.accountant is not None:
                 self.accountant.begin(f"reply:{request.proc}")
             yield from self.task.send(
@@ -153,6 +158,10 @@ class SciddleClient:
         self.interface = interface
         self.servers = list(servers)
         self.accountant = accountant
+        metrics = task.ctx.cluster.metrics
+        self._m_rpcs = metrics.counter("sciddle.rpcs_issued")
+        self._m_request_bytes = metrics.counter("sciddle.request_bytes")
+        self._m_waits = metrics.counter("sciddle.waits")
 
     # ------------------------------------------------------------------
     def _alloc_tag(self) -> int:
@@ -175,6 +184,8 @@ class SciddleClient:
                 )
             nbytes = spec.in_size(args)
         tag = self._alloc_tag()
+        self._m_rpcs.inc()
+        self._m_request_bytes.inc(HEADER_BYTES + nbytes)
         if self.accountant is not None and category is not None:
             self.accountant.begin(category)
         yield from self.task.send(
@@ -189,6 +200,7 @@ class SciddleClient:
 
     def wait(self, handle: CallHandle, category: Optional[str] = None) -> Generator:
         """Block until the RPC reply arrives; returns the reply payload."""
+        self._m_waits.inc()
         if self.accountant is not None and category is not None:
             self.accountant.begin(category)
         msg = yield from self.task.recv(source=handle.server, tag=handle.reply_tag)

@@ -1,0 +1,6 @@
+"""O401 flag fixture: a span begin() that never reaches its end()."""
+
+
+def leaky_phase(tracer):
+    sid = tracer.begin("p0", "compute", time=0.0)
+    return sid

@@ -1,0 +1,17 @@
+"""O401 near-miss fixture: balanced brackets and scope() usage."""
+
+
+def balanced_phase(tracer):
+    tracer.begin("p0", "compute", time=0.0)
+    tracer.end("p0", time=1.0)
+
+
+def scoped_phase(tracer):
+    with tracer.scope("p0", "compute"):
+        pass
+
+
+def accounting_is_not_a_span(accountant):
+    # non-tracer receivers stay with P203, which sees balance here too
+    accountant.begin("seq_comp")
+    accountant.end("seq_comp")

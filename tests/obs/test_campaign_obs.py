@@ -1,0 +1,101 @@
+"""Acceptance: a full campaign exports one coherent merged trace.
+
+The issue's bar: ``run_campaign`` over the small complex with an
+``ObsSession`` attached must produce a single Chrome trace-event file
+whose per-category totals agree with ``SpanTracer.by_category()`` to
+within 1e-9, containing at least one flow edge per Sciddle RPC, plus a
+measured-vs-model residual report — and ``python -m repro.obs
+summarize`` must accept the file.
+"""
+
+import pytest
+
+from repro.experiments import run_campaign
+from repro.obs import ObsSession
+from repro.obs.cli import main as obs_main
+from repro.obs.export import count_flow_events, read_chrome_totals
+from repro.opal import SMALL
+from repro.platforms import CRAY_J90, FAST_COPS
+
+
+@pytest.fixture(scope="module")
+def observed_campaign():
+    obs = ObsSession(label="campaign")
+    report = run_campaign(
+        reference=CRAY_J90,
+        candidates=[FAST_COPS],
+        molecule=SMALL,
+        probe_repetitions=2,
+        servers=(1, 2),
+        obs=obs,
+    )
+    return obs, report
+
+
+def test_campaign_is_fully_captured(observed_campaign):
+    obs, report = observed_campaign
+    # every simulated run (probe + design cells) landed in the session
+    assert len(obs.runs) >= report.simulations_run > 0
+    assert any(run.startswith("probe:") for run in obs.runs)
+    assert len(obs.tracer.spans) > 0
+    assert obs.tracer.open_spans() == 0
+
+
+def test_merged_chrome_export_matches_by_category(observed_campaign, tmp_path):
+    obs, _report = observed_campaign
+    path = tmp_path / "campaign.trace.json"
+    obs.export_chrome(path)
+    exported = read_chrome_totals(path)
+    expected = obs.tracer.by_category()
+    assert set(exported) == set(expected)
+    for category, seconds in expected.items():
+        assert abs(exported[category] - seconds) <= 1e-9
+
+
+def test_at_least_one_flow_edge_per_rpc(observed_campaign, tmp_path):
+    obs, _report = observed_campaign
+    path = tmp_path / "campaign.trace.json"
+    obs.export_chrome(path)
+    rpcs = obs.metrics.counter("sciddle.rpcs_issued").value
+    assert rpcs > 0
+    assert count_flow_events(path) >= rpcs
+
+
+def test_calibrated_model_report_is_attached(observed_campaign):
+    obs, report = observed_campaign
+    assert obs.model_params is not None
+    assert obs.model_params == report.calibration.params
+    text = obs.model_report()
+    assert "measured vs model" in text
+    assert "mean absolute drift per response variable" in text
+    assert "verdict:" in text
+
+
+def test_summarize_cli_accepts_the_export(observed_campaign, tmp_path, capsys):
+    obs, _report = observed_campaign
+    path = tmp_path / "campaign.trace.json"
+    obs.export_chrome(path)
+    assert obs_main(["summarize", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "chrome trace-event json" in out
+    assert "response-variable rollup" in out
+
+
+def test_parallel_campaign_capture_matches_serial(tmp_path):
+    kwargs = dict(
+        reference=CRAY_J90,
+        candidates=[FAST_COPS],
+        molecule=SMALL,
+        probe_repetitions=2,
+        servers=(1, 2),
+    )
+    serial, pooled = ObsSession("serial"), ObsSession("pooled")
+    run_campaign(obs=serial, **kwargs)
+    run_campaign(obs=pooled, workers=2, **kwargs)
+    # identical runs in identical (design) order, whatever order the
+    # pool's cells happened to complete in
+    assert serial.runs == pooled.runs
+    assert serial.tracer.by_category() == pytest.approx(
+        pooled.tracer.by_category()
+    )
+    assert len(serial.tracer.flows) == len(pooled.tracer.flows)

@@ -1,0 +1,93 @@
+"""python -m repro.obs: summarize / convert / diff exit codes and output."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, SpanTracer, write_chrome_trace, write_jsonl
+from repro.obs.cli import main
+
+
+@pytest.fixture
+def traces(tmp_path):
+    tr = SpanTracer()
+    tr.record("client", "compute", 0.0, 1.0)
+    tr.record("client", "send", 1.0, 1.25)
+    tr.record("server0", "recv_wait", 0.0, 1.25)
+    tr.flow(1, "client", 1.25, "server0", 1.3, nbytes=64.0)
+    reg = MetricsRegistry()
+    reg.counter("sciddle.rpcs_issued").inc(1)
+    jsonl = tmp_path / "t.trace.jsonl"
+    chrome = tmp_path / "t.trace.json"
+    write_jsonl(tr, jsonl, metrics=reg)
+    write_chrome_trace(tr, chrome, metrics=reg)
+    return tr, jsonl, chrome
+
+
+class TestSummarize:
+    def test_jsonl_exits_zero(self, traces, capsys):
+        _tr, jsonl, _chrome = traces
+        assert main(["summarize", str(jsonl)]) == 0
+        out = capsys.readouterr().out
+        assert "spans: 3" in out and "flows: 1" in out
+        assert "response-variable rollup" in out
+        assert "sciddle.rpcs_issued" in out
+
+    def test_chrome_exits_zero(self, traces, capsys):
+        _tr, _jsonl, chrome = traces
+        assert main(["summarize", str(chrome)]) == 0
+        out = capsys.readouterr().out
+        assert "chrome trace-event json" in out
+        assert "spans: 3" in out and "flows: 1" in out
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["summarize", str(tmp_path / "nope.json")]) == 2
+        assert "no such trace file" in capsys.readouterr().out
+
+
+class TestConvert:
+    def test_jsonl_to_chrome_preserves_totals(self, traces, tmp_path, capsys):
+        tr, jsonl, _chrome = traces
+        out_path = tmp_path / "converted.trace.json"
+        assert main(["convert", str(jsonl), str(out_path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        document = json.loads(out_path.read_text())
+        totals = {}
+        for event in document["traceEvents"]:
+            if event.get("ph") == "X":
+                cat = event["cat"]
+                totals[cat] = totals.get(cat, 0.0) + event["dur"] / 1e6
+        for category, seconds in tr.by_category().items():
+            assert abs(totals[category] - seconds) <= 1e-9
+
+    def test_chrome_input_is_rejected(self, traces, tmp_path, capsys):
+        _tr, _jsonl, chrome = traces
+        code = main(["convert", str(chrome), str(tmp_path / "x.json")])
+        assert code == 2
+        assert "lossy" in capsys.readouterr().out
+
+
+class TestDiff:
+    def test_identical_formats_agree(self, traces, capsys):
+        _tr, jsonl, chrome = traces
+        assert main(["diff", str(jsonl), str(chrome)]) == 0
+        assert "agree within tolerance" in capsys.readouterr().out
+
+    def test_drift_beyond_tolerance_exits_one(self, traces, tmp_path, capsys):
+        tr, jsonl, _chrome = traces
+        drifted = SpanTracer()
+        for s in tr.spans:
+            drifted.record(s.proc, s.category, s.start, s.end + 1e-6)
+        other = tmp_path / "drifted.trace.jsonl"
+        write_jsonl(drifted, other)
+        assert main(["diff", str(jsonl), str(other)]) == 1
+        assert "traces differ" in capsys.readouterr().out
+
+    def test_tolerance_flag_loosens_the_gate(self, traces, tmp_path):
+        tr, jsonl, _chrome = traces
+        drifted = SpanTracer()
+        for s in tr.spans:
+            drifted.record(s.proc, s.category, s.start, s.end + 1e-6)
+        other = tmp_path / "drifted.trace.jsonl"
+        write_jsonl(drifted, other)
+        assert main(["diff", str(jsonl), str(other), "--tolerance", "1e-3"]) == 0

@@ -1,0 +1,125 @@
+"""Exporters: Chrome trace round-trip fidelity and JSONL losslessness."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, SpanTracer
+from repro.obs.export import (
+    count_flow_events,
+    load_jsonl,
+    read_chrome_totals,
+    read_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def make_tracer():
+    tr = SpanTracer()
+    outer = tr.begin("client", "comm:call_nbi", time=0.0)
+    tr.record("client", "send", 0.0, 0.125, detail="tag=900")
+    tr.end("client", time=1.0)
+    tr.record("server0", "compute", 0.2, 0.7)
+    tr.record("server0", "recv_wait", 0.0, 0.2)
+    tr.flow(1, "client", 0.125, "server0", 0.2, nbytes=64.0, tag=900)
+    tr.flow(2, "server0", 0.7, "client", 0.9, nbytes=1024.0, tag=10_001)
+    assert outer == 1
+    return tr
+
+
+class TestChrome:
+    def test_totals_agree_with_by_category_to_1e9(self, tmp_path):
+        tr = make_tracer()
+        path = tmp_path / "t.trace.json"
+        write_chrome_trace(tr, path)
+        exported = read_chrome_totals(path)
+        expected = tr.by_category()
+        assert set(exported) == set(expected)
+        for category, seconds in expected.items():
+            assert abs(exported[category] - seconds) <= 1e-9
+
+    def test_flow_events_pair_up(self, tmp_path):
+        tr = make_tracer()
+        path = tmp_path / "t.trace.json"
+        write_chrome_trace(tr, path)
+        assert count_flow_events(path) == len(tr.flows) == 2
+
+    def test_timestamps_are_simulated_microseconds(self, tmp_path):
+        tr = SpanTracer()
+        tr.record("p0", "compute", 1.5, 2.0)
+        path = tmp_path / "t.trace.json"
+        write_chrome_trace(tr, path)
+        (event,) = [
+            e
+            for e in read_chrome_trace(path)["traceEvents"]
+            if e.get("ph") == "X"
+        ]
+        assert event["ts"] == pytest.approx(1.5e6)
+        assert event["dur"] == pytest.approx(0.5e6)
+
+    def test_track_metadata_names_runs_and_procs(self, tmp_path):
+        tr = make_tracer()
+        host = SpanTracer()
+        host.absorb(tr, run="run-a")
+        host.absorb(tr, run="run-b")
+        path = tmp_path / "t.trace.json"
+        write_chrome_trace(host, path)
+        events = read_chrome_trace(path)["traceEvents"]
+        process_names = {
+            e["args"]["name"] for e in events if e["name"] == "process_name"
+        }
+        thread_names = {
+            e["args"]["name"] for e in events if e["name"] == "thread_name"
+        }
+        assert process_names == {"run-a", "run-b"}
+        assert thread_names == {"client", "server0"}
+
+    def test_metrics_ride_along_in_other_data(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("sciddle.rpcs_issued").inc(5)
+        path = tmp_path / "t.trace.json"
+        write_chrome_trace(make_tracer(), path, metrics=reg)
+        doc = read_chrome_trace(path)
+        counters = doc["otherData"]["metrics"]["counters"]
+        assert counters["sciddle.rpcs_issued"]["value"] == 5
+
+    def test_bare_list_form_is_accepted(self, tmp_path):
+        path = tmp_path / "bare.json"
+        events = [{"ph": "X", "cat": "compute", "ts": 0.0, "dur": 1e6}]
+        path.write_text(json.dumps(events))
+        assert read_chrome_totals(path) == {"compute": pytest.approx(1.0)}
+
+
+class TestJsonl:
+    def test_round_trip_is_lossless(self, tmp_path):
+        tr = make_tracer()
+        reg = MetricsRegistry()
+        reg.counter("events").inc(3)
+        path = tmp_path / "t.trace.jsonl"
+        lines = write_jsonl(tr, path, metrics=reg)
+        # meta + spans + flows + metrics
+        assert lines == 1 + len(tr.spans) + len(tr.flows) + 1
+        loaded, metrics = load_jsonl(path)
+        assert loaded.spans == tr.spans
+        assert loaded.flows == tr.flows
+        assert metrics.counter("events").value == 3
+
+    def test_loaded_tracer_keeps_allocating_fresh_sids(self, tmp_path):
+        tr = make_tracer()
+        path = tmp_path / "t.trace.jsonl"
+        write_jsonl(tr, path)
+        loaded, _metrics = load_jsonl(path)
+        new = loaded.record("p9", "compute", 0.0, 1.0)
+        assert new.sid > max(s.sid for s in tr.spans)
+
+    def test_jsonl_then_chrome_preserves_totals(self, tmp_path):
+        tr = make_tracer()
+        jsonl = tmp_path / "t.trace.jsonl"
+        chrome = tmp_path / "t.trace.json"
+        write_jsonl(tr, jsonl)
+        loaded, _metrics = load_jsonl(jsonl)
+        write_chrome_trace(loaded, chrome)
+        exported = read_chrome_totals(chrome)
+        for category, seconds in tr.by_category().items():
+            assert abs(exported[category] - seconds) <= 1e-9

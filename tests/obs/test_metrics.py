@@ -1,0 +1,80 @@
+"""Metrics registry: counters, gauges, histograms, lossless merging."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import merge_registries
+
+
+class TestPrimitives:
+    def test_counter_is_monotone(self):
+        reg = MetricsRegistry()
+        c = reg.counter("rpcs")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_counter_is_get_or_create(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_gauge_tracks_extrema(self):
+        g = MetricsRegistry().gauge("depth")
+        for v in (3.0, 1.0, 7.0):
+            g.set(v)
+        assert (g.value, g.min, g.max, g.samples) == (7.0, 1.0, 7.0, 3)
+
+    def test_unset_gauge_snapshots_clean(self):
+        g = MetricsRegistry().gauge("depth")
+        assert g.as_dict() == {"value": 0.0, "min": 0.0, "max": 0.0, "samples": 0}
+
+    def test_histogram_summary(self):
+        h = MetricsRegistry().histogram("wall")
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(2.0)
+        assert (h.min, h.max) == (1.0, 3.0)
+
+
+class TestMerging:
+    def _registry(self):
+        reg = MetricsRegistry()
+        reg.counter("events").inc(10)
+        reg.gauge("depth").set(5.0)
+        reg.histogram("wall").observe(2.0)
+        return reg
+
+    def test_merge_payload_adds_counters_and_histograms(self):
+        a, b = self._registry(), self._registry()
+        a.merge_payload(b.as_dict())
+        assert a.counter("events").value == 20
+        assert a.histogram("wall").count == 2
+        assert a.histogram("wall").total == pytest.approx(4.0)
+
+    def test_merge_keeps_gauge_extrema(self):
+        a = MetricsRegistry()
+        a.gauge("depth").set(3.0)
+        b = MetricsRegistry()
+        b.gauge("depth").set(9.0)
+        merge_registries(a, b)
+        g = a.gauge("depth")
+        assert (g.value, g.min, g.max, g.samples) == (9.0, 3.0, 9.0, 2)
+
+    def test_merge_none_is_noop(self):
+        a = self._registry()
+        merge_registries(a, None)
+        assert a.counter("events").value == 10
+
+    def test_as_dict_round_trips_exactly(self):
+        a = self._registry()
+        b = MetricsRegistry()
+        b.merge_payload(a.as_dict())
+        assert b.as_dict() == a.as_dict()
+
+    def test_render_mentions_every_metric(self):
+        text = self._registry().render()
+        for name in ("events", "depth", "wall"):
+            assert name in text

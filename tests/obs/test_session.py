@@ -1,0 +1,127 @@
+"""ObsSession: the obs= hook, payload transport, model report."""
+
+import pytest
+
+from repro import ApplicationParams, ModelPlatformParams
+from repro.obs import ObsSession, run_label
+from repro.obs.session import app_from_dict, app_to_dict
+from repro.opal import SMALL, run_parallel_opal
+from repro.platforms import CRAY_J90
+
+
+def small_app(**overrides):
+    kwargs = dict(molecule=SMALL, steps=3, servers=2, cutoff=None)
+    kwargs.update(overrides)
+    return ApplicationParams(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def captured():
+    """One observed Opal run shared by the read-only assertions."""
+    obs = ObsSession(label="t")
+    result = run_parallel_opal(small_app(), CRAY_J90, obs=obs, run_label="demo")
+    return obs, result
+
+
+class TestRunLabel:
+    def test_label_encodes_the_cell(self):
+        label = run_label("j90", small_app(cutoff=10.0), seed=7)
+        assert label == "j90/small/p2/u1/cut10/s3/seed7"
+
+    def test_rep_suffix_and_no_cutoff(self):
+        label = run_label("j90", small_app(), seed=0, rep=2)
+        assert label.endswith("/cutnone/s3/seed0/r2")
+
+    def test_app_round_trips_through_dict(self):
+        app = small_app(cutoff=10.0)
+        assert app_from_dict(app_to_dict(app)) == app
+
+
+class TestAbsorbOpalRun:
+    def test_spans_and_flows_are_captured(self, captured):
+        obs, _result = captured
+        assert obs.runs == ["demo"]
+        assert all(s.run == "demo" for s in obs.tracer.spans)
+        assert len(obs.tracer.spans) > 0
+        # every Sciddle RPC produced at least one causal edge
+        rpcs = obs.metrics.counter("sciddle.rpcs_issued").value
+        assert rpcs > 0
+        assert len(obs.tracer.flows) >= rpcs
+
+    def test_metrics_are_harvested_across_the_stack(self, captured):
+        obs, result = captured
+        m = obs.metrics
+        assert m.counter("netsim.events_executed").value > 0
+        assert m.counter("netsim.barrier_arrivals").value > 0
+        assert m.counter("sciddle.calls_served").value > 0
+        assert m.counter("hpm.flops_counted").value == result.flops_counted
+        assert m.counter("opal.runs").value == 1
+        assert m.histogram("opal.wall_time").mean == pytest.approx(
+            result.wall_time
+        )
+
+    def test_phase_spans_nest_kernel_records(self, captured):
+        obs, _result = captured
+        with_parent = [s for s in obs.tracer.spans if s.parent is not None]
+        assert with_parent, "accountant phase brackets should nest kernel spans"
+        sids = {s.sid for s in obs.tracer.spans}
+        assert all(s.parent in sids for s in with_parent)
+
+    def test_default_label_is_derived_when_not_given(self):
+        obs = ObsSession()
+        run_parallel_opal(small_app(), CRAY_J90, obs=obs)
+        assert obs.runs == [run_label("j90", small_app(), seed=0)]
+
+    def test_unobserved_run_is_unchanged(self, captured):
+        _obs, observed = captured
+        plain = run_parallel_opal(small_app(), CRAY_J90)
+        assert plain.wall_time == observed.wall_time
+        assert plain.breakdown.as_dict() == observed.breakdown.as_dict()
+
+
+class TestPayloadTransport:
+    def test_round_trip_preserves_everything(self, captured):
+        obs, _result = captured
+        clone = ObsSession(label="clone")
+        clone.absorb_payload(obs.to_payload())
+        assert clone.runs == obs.runs
+        assert len(clone.tracer.spans) == len(obs.tracer.spans)
+        assert len(clone.tracer.flows) == len(obs.tracer.flows)
+        assert clone.tracer.by_category() == pytest.approx(
+            obs.tracer.by_category()
+        )
+        assert clone.metrics.as_dict() == obs.metrics.as_dict()
+        assert clone.run_rows[0][1] == obs.run_rows[0][1]
+        assert clone.run_rows[0][2].as_dict() == obs.run_rows[0][2].as_dict()
+
+    def test_empty_payload_is_noop(self):
+        obs = ObsSession()
+        obs.absorb_payload(None)
+        obs.absorb_payload({})
+        assert obs.runs == [] and obs.tracer.spans == []
+
+
+class TestModelReport:
+    def test_report_requires_params(self, captured):
+        obs, _result = captured
+        assert "no model parameters" in ObsSession().model_report()
+        fresh = ObsSession()
+        fresh.set_model_params(ModelPlatformParams.from_spec(CRAY_J90))
+        assert "no runs absorbed" in fresh.model_report()
+
+    def test_report_joins_measured_against_model(self, captured):
+        obs, _result = captured
+        obs.set_model_params(ModelPlatformParams.from_spec(CRAY_J90))
+        report = obs.model_report()
+        assert "measured vs model" in report
+        assert "run: demo" in report
+        for variable in ("seq_comp", "comm", "sync"):
+            assert variable in report
+        assert "verdict:" in report
+
+    def test_summary_mentions_counts_and_categories(self, captured):
+        obs, _result = captured
+        text = obs.summary()
+        assert "1 run(s)" in text
+        assert "response-variable rollup" in text
+        assert "comm" in text

@@ -1,0 +1,176 @@
+"""Span tracer semantics: nesting, balance, rollup, merging."""
+
+import pytest
+
+from repro.obs import MODEL_CATEGORIES, SpanTracer, response_variable
+
+
+class TestRecording:
+    def test_record_appends_complete_span(self):
+        tr = SpanTracer()
+        span = tr.record("p0", "compute", 1.0, 3.5, detail="nbi")
+        assert span.duration == 2.5
+        assert span.label == "compute"
+        assert tr.spans == [span]
+
+    def test_record_rejects_negative_interval(self):
+        tr = SpanTracer()
+        with pytest.raises(ValueError, match="ends before it starts"):
+            tr.record("p0", "compute", 2.0, 1.0)
+
+    def test_disabled_tracer_records_nothing(self):
+        tr = SpanTracer(enabled=False)
+        assert tr.record("p0", "compute", 0.0, 1.0) is None
+        assert tr.begin("p0", "compute", time=0.0) == 0
+        assert tr.end("p0", time=1.0) is None
+        assert tr.flow(1, "a", 0.0, "b", 1.0) is None
+        assert tr.spans == [] and tr.flows == []
+
+
+class TestNesting:
+    def test_begin_end_balance(self):
+        tr = SpanTracer()
+        sid = tr.begin("p0", "comm:call_nbi", time=0.0)
+        assert tr.open_spans() == 1
+        span = tr.end("p0", time=2.0)
+        assert tr.open_spans() == 0
+        assert span.sid == sid and span.duration == 2.0
+
+    def test_record_nests_under_open_bracket(self):
+        tr = SpanTracer()
+        outer = tr.begin("p0", "comm:call_nbi", time=0.0)
+        child = tr.record("p0", "send", 0.1, 0.4)
+        tr.end("p0", time=1.0)
+        assert child.parent == outer
+        assert [s.sid for s in tr.children(outer)] == [child.sid]
+
+    def test_brackets_nest_per_process(self):
+        tr = SpanTracer()
+        outer = tr.begin("p0", "service:nbi", time=0.0)
+        inner = tr.begin("p0", "compute", time=0.2)
+        other = tr.begin("p1", "compute", time=0.0)  # separate stack
+        inner_span = tr.end("p0", time=0.8)
+        outer_span = tr.end("p0", time=1.0)
+        assert inner_span.parent == outer
+        assert outer_span.parent is None
+        assert tr.open_spans("p1") == 1 and tr.open_spans() == 1
+        assert tr.end("p1", time=0.5).sid == other
+
+    def test_end_without_open_span_raises(self):
+        tr = SpanTracer()
+        with pytest.raises(ValueError, match="no span is open"):
+            tr.end("p0", time=1.0)
+
+    def test_end_category_mismatch_raises(self):
+        tr = SpanTracer()
+        tr.begin("p0", "compute", time=0.0)
+        with pytest.raises(ValueError, match="is open"):
+            tr.end("p0", time=1.0, category="sync")
+
+    def test_end_before_start_raises(self):
+        tr = SpanTracer()
+        tr.begin("p0", "compute", time=5.0)
+        with pytest.raises(ValueError, match="ends before it starts"):
+            tr.end("p0", time=4.0)
+
+    def test_scope_context_manager_balances(self):
+        clock = iter([0.0, 2.0])
+        tr = SpanTracer(clock=lambda: next(clock))
+        with tr.scope("p0", "sync", name="phase-barrier"):
+            assert tr.open_spans("p0") == 1
+        assert tr.open_spans() == 0
+        assert tr.spans[0].name == "phase-barrier"
+        assert tr.spans[0].duration == 2.0
+
+    def test_begin_without_clock_or_time_raises(self):
+        tr = SpanTracer()
+        with pytest.raises(ValueError, match="clock"):
+            tr.begin("p0", "compute")
+
+
+class TestRollup:
+    def test_every_model_category_is_covered(self):
+        for category in MODEL_CATEGORIES:
+            assert response_variable(category) in MODEL_CATEGORIES
+
+    @pytest.mark.parametrize(
+        "category,variable",
+        [
+            ("compute", "par_comp"),
+            ("service:return_nbi", "par_comp"),
+            ("send", "comm"),
+            ("recv", "comm"),
+            ("comm:call_nbi", "comm"),
+            ("reply:nbi", "comm"),
+            ("sync", "sync"),
+            ("idle", "idle"),
+            ("recv_wait", "idle"),
+            ("cpu_wait", "idle"),
+            ("seq_comp", "seq_comp"),
+        ],
+    )
+    def test_rollup_table(self, category, variable):
+        assert response_variable(category) == variable
+
+    def test_unknown_category_is_unattributed(self):
+        assert response_variable("frobnicate") is None
+
+    def test_by_response_variable_keeps_other_bucket(self):
+        tr = SpanTracer()
+        tr.record("p0", "compute", 0.0, 1.0)
+        tr.record("p0", "frobnicate", 1.0, 1.5)
+        rollup = tr.by_response_variable()
+        assert rollup["par_comp"] == pytest.approx(1.0)
+        assert rollup["(other)"] == pytest.approx(0.5)
+        # nothing disappears: rollup total == category total
+        assert sum(rollup.values()) == pytest.approx(sum(tr.by_category().values()))
+
+
+class TestAggregationAndMerge:
+    def _filled(self):
+        tr = SpanTracer()
+        tr.record("p0", "compute", 0.0, 1.0)
+        tr.record("p1", "compute", 0.0, 2.0)
+        tr.record("p0", "send", 1.0, 1.25)
+        tr.flow(7, "p0", 1.25, "p1", 1.5, nbytes=64.0, tag=900)
+        return tr
+
+    def test_by_process_and_bounds(self):
+        tr = self._filled()
+        per = tr.by_process()
+        assert per["p0"] == {"compute": 1.0, "send": 0.25}
+        assert tr.span_bounds() == (0.0, 2.0)
+        assert tr.procs() == ["p0", "p1"]
+
+    def test_flow_rejects_time_travel(self):
+        tr = SpanTracer()
+        with pytest.raises(ValueError, match="arrives before it departs"):
+            tr.flow(1, "a", 2.0, "b", 1.0)
+
+    def test_absorb_remaps_sids_and_stamps_run(self):
+        host = SpanTracer()
+        host.record("x", "compute", 0.0, 1.0)
+        donor = SpanTracer()
+        parent = donor.begin("p0", "service:nbi", time=0.0)
+        donor.record("p0", "compute", 0.1, 0.9)
+        donor.end("p0", time=1.0)
+        donor.flow(3, "p0", 0.5, "p1", 0.6)
+        host.absorb(donor, run="run-a")
+
+        copied = [s for s in host.spans if s.run == "run-a"]
+        assert len(copied) == 2
+        child = next(s for s in copied if s.category == "compute")
+        outer = next(s for s in copied if s.category == "service:nbi")
+        # parent link survives the sid remap, ids stay unique in the host
+        assert child.parent == outer.sid and outer.sid != parent
+        assert len({s.sid for s in host.spans}) == len(host.spans)
+        assert host.flows[-1].run == "run-a"
+        assert host.runs() == ["", "run-a"]
+
+    def test_absorb_merges_totals_additively(self):
+        host, donor = self._filled(), self._filled()
+        before = host.by_category()
+        host.absorb(donor, run="b")
+        after = host.by_category()
+        for category, seconds in before.items():
+            assert after[category] == pytest.approx(2 * seconds)
