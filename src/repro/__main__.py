@@ -31,6 +31,27 @@ def _add_execution(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_chaos(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help="inject faults and run with the resilient middleware; SPEC is "
+        "comma-separated key=value pairs, e.g. "
+        "'drop=0.01,delay=0.05,crash=2@1.5,timeout=5' "
+        "(see docs/ROBUSTNESS.md for the full grammar)",
+    )
+
+
+def _parse_chaos(args):
+    spec = getattr(args, "chaos", None)
+    if spec is None:
+        return None
+    from .netsim import FaultSpec
+
+    return FaultSpec.parse(spec)
+
+
 def _add_trace_out(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--trace-out",
@@ -132,8 +153,10 @@ def cmd_measure(args) -> int:
     from .platforms import get_platform
 
     platform = get_platform(args.platform)
+    faults = _parse_chaos(args)
     obs = _make_obs(args)
     rows = {}
+    degraded = {}
     for p in range(1, args.servers + 1):
         app = ApplicationParams(
             molecule=get_complex(args.molecule),
@@ -142,14 +165,23 @@ def cmd_measure(args) -> int:
             cutoff=args.cutoff,
             update_interval=args.update_interval,
         )
-        rows[p] = run_parallel_opal(app, platform, obs=obs).breakdown
-    print(
-        breakdown_table(
-            rows,
-            title=f"measured breakdown on {platform.label} "
-            f"({args.molecule}, cutoff={args.cutoff})",
-        )
+        result = run_parallel_opal(app, platform, obs=obs, faults=faults)
+        rows[p] = result.breakdown
+        if result.servers_failed:
+            degraded[p] = result
+    title = (
+        f"measured breakdown on {platform.label} "
+        f"({args.molecule}, cutoff={args.cutoff})"
     )
+    if faults is not None:
+        title += " [chaos]"
+    print(breakdown_table(rows, title=title))
+    for p, result in degraded.items():
+        print(
+            f"  p={p}: degraded — servers {result.servers_failed} died, "
+            f"{result.failovers} failover(s), {result.rpc_retries} RPC "
+            f"retries, {result.rpc_timeouts} timeouts"
+        )
     _finish_obs(args, obs)
     return 0
 
@@ -197,6 +229,7 @@ def cmd_campaign(args) -> int:
         workers=args.workers,
         cache_dir=args.cache_dir,
         obs=obs,
+        faults=_parse_chaos(args),
     )
     print(render_campaign(report))
     _finish_obs(args, obs)
@@ -240,6 +273,7 @@ def main(argv=None) -> int:
     p = sub.add_parser("measure", help="simulated measured breakdown")
     _add_common(p)
     p.add_argument("--platform", default="j90")
+    _add_chaos(p)
     _add_trace_out(p)
     p.set_defaults(func=cmd_measure)
 
@@ -261,6 +295,7 @@ def main(argv=None) -> int:
                    default="medium")
     p.add_argument("--servers", type=int, default=7)
     _add_execution(p)
+    _add_chaos(p)
     _add_trace_out(p)
     p.set_defaults(func=cmd_campaign)
 

@@ -19,12 +19,48 @@ class DeadlockError(SimulationError):
     """Raised when the event queue drains while processes are still blocked."""
 
 
+class FaultError(SimulationError):
+    """Raised for invalid fault-injection specifications (``--chaos``)."""
+
+
 class PvmError(ReproError):
     """Raised by the PVM-like message passing layer."""
 
 
 class SciddleError(ReproError):
     """Raised by the Sciddle-like RPC middleware."""
+
+
+class RpcTimeoutError(SciddleError):
+    """An RPC wait exceeded its deadline (and its retry budget).
+
+    Carries the procedure name, the server tid and the per-attempt
+    deadline so the caller can decide between failover and abort.
+    """
+
+    def __init__(self, proc: str, server: int, deadline: float) -> None:
+        super().__init__(
+            f"RPC {proc!r} to server tid {server} timed out "
+            f"(deadline {deadline}s per attempt)"
+        )
+        self.proc = proc
+        self.server = server
+        self.deadline = deadline
+
+
+class ServerDeadError(SciddleError):
+    """A Sciddle server was declared dead.
+
+    Either the cluster reported its node crashed, or the health tracker
+    saw ``death_threshold`` consecutive RPC timeouts.  ``tid`` is the
+    dead server's task id.
+    """
+
+    def __init__(self, tid: int, reason: str = "") -> None:
+        detail = f": {reason}" if reason else ""
+        super().__init__(f"server tid {tid} is dead{detail}")
+        self.tid = tid
+        self.reason = reason
 
 
 class ModelError(ReproError):

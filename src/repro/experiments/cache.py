@@ -76,14 +76,18 @@ def cell_key_payload(
     seed: int,
     repetitions: int,
     kind: str = "cell",
+    faults=None,
 ) -> dict:
     """The canonical cache-key payload for one design cell.
 
     The single source of truth for cell addressing: the serial runner
     and the parallel executor must produce identical keys for the same
-    inputs, or warm-cache runs would re-simulate.
+    inputs, or warm-cache runs would re-simulate.  A chaos spec
+    (``faults``, a :class:`~repro.netsim.FaultSpec`) joins the key only
+    when present, so fault-free keys — and any cache populated before
+    chaos campaigns existed — stay exactly as they were.
     """
-    return {
+    payload = {
         "kind": kind,
         "case": case.key_data(),
         "platform": platform_key_data(platform),
@@ -92,6 +96,9 @@ def cell_key_payload(
         "seed": seed,
         "repetitions": repetitions,
     }
+    if faults is not None:
+        payload["chaos"] = faults.as_dict()
+    return payload
 
 
 def case_to_dict(case: ExperimentCase) -> dict:

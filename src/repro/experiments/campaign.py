@@ -99,6 +99,7 @@ def run_campaign(
     cache_dir=None,
     progress=None,
     obs=None,
+    faults=None,
 ) -> CampaignReport:
     """Execute the integrated study.
 
@@ -116,6 +117,12 @@ def run_campaign(
     simulated run — probe and design, serial or pooled — into one
     merged trace; the freshly calibrated coefficients are attached so
     ``obs.model_report()`` joins measurement against the model.
+
+    ``faults=`` (a :class:`~repro.netsim.FaultSpec`) turns this into a
+    chaos campaign: every design cell runs under fault injection with
+    the resilient middleware.  The reproducibility probe always runs
+    unfaulted — it certifies the measurement protocol on the dedicated
+    system, which is a precondition of, not part of, the experiment.
     """
     if probe_repetitions < 2:
         raise DesignError("the reproducibility probe needs >= 2 repetitions")
@@ -135,6 +142,7 @@ def run_campaign(
         cache_dir=cache_dir,
         progress=progress,
         obs=obs,
+        faults=faults,
     )
     probe_case = ExperimentCase(
         molecule=molecule,

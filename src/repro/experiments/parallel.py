@@ -51,6 +51,9 @@ class CellJob:
     keep_results: bool = False
     #: capture observability in the worker and ship it back as a payload
     capture: bool = False
+    #: chaos spec (FaultSpec) to inject during this cell's runs; frozen
+    #: and pickle-able, so it travels to pool workers like the rest
+    faults: object = None
 
 
 def run_cell(job: CellJob):
@@ -78,6 +81,7 @@ def run_cell(job: CellJob):
         base_seed=job.base_seed,
         keep_results=job.keep_results,
         obs=obs,
+        faults=job.faults,
     )
     return job.index, record, None if obs is None else obs.to_payload()
 
@@ -94,6 +98,7 @@ def run_design_parallel(
     cache: Optional[ResultCache] = None,
     progress=None,
     obs=None,
+    faults=None,
 ) -> Tuple[List, int]:
     """Measure every cell of a design over a process pool.
 
@@ -128,6 +133,7 @@ def run_design_parallel(
                     jitter_sigma=jitter_sigma,
                     seed=base_seed,
                     repetitions=repetitions,
+                    faults=faults,
                 )
             )
             cached = cache.load(key)
@@ -155,6 +161,7 @@ def run_design_parallel(
                     base_seed=base_seed,
                     keep_results=keep_results,
                     capture=obs is not None,
+                    faults=faults,
                 )
                 futures[executor.submit(run_cell, job)] = key
             payloads: List[Tuple[int, object]] = []

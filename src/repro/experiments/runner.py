@@ -102,13 +102,18 @@ def measure_case(
     base_seed: int = 0,
     keep_results: bool = False,
     obs: Optional[ObsSession] = None,
+    faults=None,
 ) -> ExperimentRecord:
     """Measure one design cell (with repetitions).
 
     Module-level so the serial runner and the process-pool workers in
     :mod:`repro.experiments.parallel` execute the exact same protocol.
     With ``obs=`` every repetition's trace and metrics land in that
-    session under a per-repetition run label.
+    session under a per-repetition run label.  ``faults=`` (a
+    :class:`~repro.netsim.FaultSpec`) runs the cell under chaos with
+    the resilient middleware; crash specs naming nodes this cell's
+    cluster does not have are skipped, so one campaign-wide spec applies
+    cleanly across server counts.
     """
     app = case.app()
     walls: List[float] = []
@@ -124,6 +129,7 @@ def measure_case(
             jitter_sigma=jitter_sigma,
             obs=obs,
             run_label=_obs_run_label(platform.name, app, seed, rep=rep),
+            faults=faults,
         )
         walls.append(result.wall_time)
         breakdowns.append(result.breakdown)
@@ -160,12 +166,17 @@ class ExperimentRunner:
         cache_dir=None,
         progress: Optional[ProgressCallback] = None,
         obs: Optional[ObsSession] = None,
+        faults=None,
     ) -> None:
         if repetitions < 1:
             raise DesignError("repetitions must be >= 1")
         if workers is not None and workers < 1:
             raise DesignError("workers must be >= 1")
         self.platform = platform
+        #: chaos spec applied to every design cell (the variability
+        #: probe always runs unfaulted: it certifies the measurement
+        #: protocol, not the fault tolerance)
+        self.faults = faults
         #: observability session fed by every simulated run (cache hits
         #: contribute their cell stats but, having skipped the
         #: simulation, no spans)
@@ -197,6 +208,7 @@ class ExperimentRunner:
             seed=self.seed,
             repetitions=repetitions,
             kind=kind,
+            faults=self.faults if kind == "cell" else None,
         )
 
     def cell_cache_key(self, case: ExperimentCase) -> str:
@@ -223,6 +235,7 @@ class ExperimentRunner:
             base_seed=self.seed,
             keep_results=self.keep_results,
             obs=self.obs,
+            faults=self.faults,
         )
         self.simulations_run += self.repetitions
         if use_cache:
@@ -249,6 +262,7 @@ class ExperimentRunner:
                 cache=None if self.keep_results else self.cache,
                 progress=self.progress,
                 obs=self.obs,
+                faults=self.faults,
             )
             self.simulations_run += simulated_cells * self.repetitions
             self._observe_cells(records)

@@ -4,7 +4,7 @@ The paper's methodology works because measurement is *exact*:
 middleware instrumentation separates communication from computation
 (Section 3) and the factorial design assumes every cell is reproducible
 (Section 4).  simlint machine-checks the source-level invariants that
-exactness rests on, in three rule families:
+exactness rests on, in five rule families:
 
 * **determinism** (``D1xx``) — no wall clocks, global RNG state,
   OS-entropy seeding or hash/identity-ordered iteration in simulation
@@ -17,7 +17,10 @@ exactness rests on, in three rule families:
   :mod:`repro.units`;
 * **observability** (``O4xx``) — span tracer ``begin()``/``end()``
   brackets balance (or use the ``scope()`` context manager), so no
-  span leaks out of the exported traces.
+  span leaks out of the exported traces;
+* **resilience** (``R5xx``) — receives in the Sciddle/Opal layers
+  carry ``timeout=`` deadlines, so a lost message or dead peer cannot
+  wedge a chaos-campaign run.
 
 Run it with ``python -m repro.lint [paths]`` (exits non-zero on
 findings) or programmatically via :func:`run_checks`.  Individual
@@ -36,6 +39,7 @@ from . import determinism as _determinism  # noqa: F401
 from . import hygiene as _hygiene  # noqa: F401
 from . import observability as _observability  # noqa: F401
 from . import protocol as _protocol  # noqa: F401
+from . import resilience as _resilience  # noqa: F401
 
 __all__ = [
     "Finding",

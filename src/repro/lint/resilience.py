@@ -1,0 +1,63 @@
+"""Resilience rules (codes ``R5xx``).
+
+The chaos campaigns (:mod:`repro.netsim.faults`) assume the middleware
+and the application client can always make progress: a receive with no
+deadline turns one lost peer into a wedged run, which the resilient
+Sciddle stack (:mod:`repro.sciddle.resilient`) exists to prevent.
+
+* ``R501`` — ``yield from ...recv(...)`` in the Sciddle middleware or
+  the Opal application layer must pass a ``timeout=`` deadline (the
+  ``pvm_trecv`` discipline).  Service loops that block indefinitely *by
+  design* — a server waits for work or shutdown forever — carry an
+  inline ``# simlint: disable=R501`` stating that intent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .core import Finding, Rule, SourceModule, parent_of
+from .registry import rule
+
+
+@rule
+class UnboundedRecvRule(Rule):
+    """R501: middleware/application receives carry a deadline."""
+
+    code = "R501"
+    name = "unbounded-middleware-recv"
+    summary = (
+        "a yield-from mailbox recv in the Sciddle/Opal layers has no "
+        "timeout= deadline; one lost message or dead peer wedges the run"
+    )
+    packages = ("sciddle", "opal")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag driven ``recv`` calls without a real ``timeout=``."""
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "recv"
+            ):
+                continue
+            # undriven receives are P204's problem, not a deadline issue
+            if not isinstance(parent_of(node), ast.YieldFrom):
+                continue
+            timeout = next(
+                (kw.value for kw in node.keywords if kw.arg == "timeout"), None
+            )
+            explicit_none = isinstance(timeout, ast.Constant) and (
+                timeout.value is None
+            )
+            if timeout is not None and not explicit_none:
+                continue
+            yield module.finding(
+                node,
+                self.code,
+                "this recv can wait forever: pass timeout= (the pvm_trecv "
+                "discipline) so a dropped message or dead peer cannot wedge "
+                "the run, or mark a deliberately-unbounded service loop "
+                "with `# simlint: disable=R501`",
+            )

@@ -9,7 +9,8 @@ performance counters.
 
 from .cluster import Cluster, ProcContext
 from .engine import Engine
-from .events import ANY, Barrier, Compute, Message, Recv, Send, Timeout
+from .events import ANY, Barrier, Compute, Message, Recv, RecvTimeout, Send, Timeout
+from .faults import FaultPlan, FaultSpec, NodeCrash, NodeSlowdown
 from .network import (
     CrossbarFabric,
     Fabric,
@@ -32,7 +33,12 @@ __all__ = [
     "CrossbarFabric",
     "Engine",
     "Fabric",
+    "FaultPlan",
+    "FaultSpec",
     "FlowEdge",
+    "NodeCrash",
+    "NodeSlowdown",
+    "RecvTimeout",
     "Span",
     "Jitter",
     "Mailbox",

@@ -82,6 +82,9 @@ class Cluster:
         self._next_tid = 1
         self._msg_seq = 0
         self.failures: List[tuple] = []
+        #: callbacks fired (after the detection latency) for each
+        #: process killed by a node crash — the pvm_notify analogue
+        self._death_listeners: List[Callable[[SimProcess], None]] = []
 
     # ------------------------------------------------------------------
     def add_node(self, node: Node) -> Node:
@@ -133,8 +136,54 @@ class Cluster:
         return self._msg_seq
 
     def deliver(self, proc: SimProcess, msg: Message) -> None:
-        """Deliver a message into a process's mailbox."""
+        """Deliver a message into a process's mailbox.
+
+        Messages addressed to a finished (in particular: crashed)
+        process are dead-lettered — dropped and counted — instead of
+        piling up in a mailbox nobody will ever read.
+        """
+        if proc.finished:
+            self.metrics.counter("faults.dead_letters").inc()
+            return
         self._mailboxes[proc.tid].deliver(msg)
+
+    # ------------------------------------------------------------------
+    def add_death_listener(self, listener: Callable[[SimProcess], None]) -> None:
+        """Register a callback fired once per process killed by
+        :meth:`crash_node`, after the spec's detection latency."""
+        self._death_listeners.append(listener)
+
+    def crash_node(
+        self, node_id: int, detection_latency: float = 0.0, reason: str = "crash"
+    ) -> List[SimProcess]:
+        """Kill every live process on a node, as a fault event.
+
+        The victims die *now* (generators closed, mailbox waiters and
+        barrier arrivals withdrawn, in-flight messages to them
+        dead-lettered); ``detection_latency`` seconds later the death
+        listeners fire and waiting barriers are re-checked against
+        their (possibly shrunk) live counts.  Returns the victims.
+        """
+        node = self.node(node_id)
+        node.crashed = True
+        victims = [
+            p
+            for p in self._procs_by_tid.values()
+            if p.node is node and not p.finished
+        ]
+        for proc in victims:
+            proc.kill(reason)
+        if victims:
+            self.metrics.counter("faults.crashes").inc()
+
+        def _notify() -> None:
+            for proc in victims:
+                for listener in list(self._death_listeners):
+                    listener(proc)
+            self.barriers.recheck()
+
+        self.engine.schedule(max(detection_latency, 0.0), _notify)
+        return victims
 
     # ------------------------------------------------------------------
     def _process_finished(self, proc: SimProcess) -> None:

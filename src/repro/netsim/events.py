@@ -20,7 +20,10 @@ passing runtime like PVM needs:
     contended resource); delivery happens one latency later.
 ``Recv``
     block until a message matching ``(source, tag)`` is in the process
-    mailbox; wildcards supported.
+    mailbox; wildcards supported.  With ``timeout=`` the wait is bounded
+    (the ``pvm_trecv`` analogue): if nothing matched within the deadline
+    the process resumes with a :class:`RecvTimeout` instead of a
+    :class:`Message`.
 ``Barrier``
     block until all members of a barrier group arrived; everyone is
     released ``cost`` seconds after the last arrival.
@@ -85,10 +88,34 @@ class Send:
 
 @dataclass(frozen=True)
 class Recv:
-    """Block until a matching message arrives; resumes with a Message."""
+    """Block until a matching message arrives; resumes with a Message.
+
+    ``timeout=None`` blocks forever (classic ``pvm_recv``); a finite
+    ``timeout`` bounds the wait and resumes with :class:`RecvTimeout`
+    if the deadline expires first.
+    """
 
     source: Optional[int] = ANY
     tag: Optional[int] = ANY
+    timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout < 0:
+            raise ValueError(f"Recv timeout must be >= 0, got {self.timeout}")
+
+
+@dataclass(frozen=True)
+class RecvTimeout:
+    """Resumption value of a :class:`Recv` whose deadline expired.
+
+    Echoes the receive's match pattern and deadline; ``at`` is the
+    virtual time the deadline fired.
+    """
+
+    source: Optional[int] = ANY
+    tag: Optional[int] = ANY
+    timeout: float = 0.0
+    at: float = 0.0
 
 
 @dataclass(frozen=True)

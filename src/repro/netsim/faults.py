@@ -1,0 +1,363 @@
+"""Seed-deterministic fault injection for simulated runs.
+
+The paper measured on real, imperfect platforms — a shared Ethernet
+segment drops and delays frames, a timeshared J90 slows down under
+load, nodes crash.  This module perturbs a simulated cluster the same
+way, *deterministically*: every stochastic draw comes from named
+:class:`~repro.netsim.rng.RngRegistry` streams, so one seed yields one
+fault schedule, bit for bit, serial or pooled.
+
+Two layers:
+
+:class:`FaultSpec`
+    the pure, frozen *design factor*: drop/delay probabilities, outage
+    process, crash and slowdown events, plus the resilience knobs the
+    Sciddle retry layer derives its :class:`RetryPolicy` from.  It
+    parses from the CLI ``--chaos`` grammar and serializes stably for
+    cache keys.
+:class:`FaultPlan`
+    one realisation of a spec against one cluster: it attaches to the
+    fabric (message fates), schedules node crashes and slowdown
+    windows on the engine, and counts what it injected.
+
+Message-loss semantics follow PVM-over-TCP: a dropped frame is
+retransmitted by the transport, so the *application* observes an extra
+delay of ``rto * (2^k - 1)`` for ``k`` consecutive losses, never a
+silently missing message.  Genuinely lost messages happen only when
+the destination node crashed — the cluster dead-letters them — which
+keeps faulted runs deadlock-free: barriers shrink via the crash
+notification path instead of waiting forever.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+from ..errors import FaultError
+from .rng import RngRegistry
+
+if TYPE_CHECKING:  # imported for annotations only; no runtime cycle
+    from .cluster import Cluster
+    from .node import Node
+
+#: Cap on consecutive simulated retransmissions of one message; bounds
+#: the exponential backoff walk for pathological drop rates.
+MAX_RETRANSMITS = 32
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """Kill every process on ``node`` at virtual time ``time``."""
+
+    node: int
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultError(f"crash node must be >= 0, got {self.node}")
+        if self.time < 0:
+            raise FaultError(f"crash time must be >= 0, got {self.time}")
+
+
+@dataclass(frozen=True)
+class NodeSlowdown:
+    """Scale compute durations on ``node`` by ``factor`` for a window."""
+
+    node: int
+    start: float
+    duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise FaultError(f"slowdown node must be >= 0, got {self.node}")
+        if self.start < 0 or self.duration <= 0:
+            raise FaultError(
+                f"slowdown window must satisfy start >= 0, duration > 0, "
+                f"got start={self.start} duration={self.duration}"
+            )
+        if self.factor < 1.0:
+            raise FaultError(f"slowdown factor must be >= 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A chaos scenario as a pure design factor.
+
+    All fields have safe defaults; a default-constructed spec injects
+    nothing (``enabled`` is False) and exists only to carry resilience
+    knobs.  Probabilities must stay strictly below 1.
+    """
+
+    #: per-transmission probability a message copy is lost (and
+    #: retransmitted after an RTO backoff)
+    drop: float = 0.0
+    #: probability a message suffers an extra delay spike
+    delay: float = 0.0
+    #: mean of the exponential delay-spike distribution [s]
+    delay_scale: float = 0.1
+    #: link outages per second of virtual time (Poisson process)
+    outage_rate: float = 0.0
+    #: duration of each link outage [s]
+    outage_duration: float = 0.5
+    #: node crash events
+    crashes: Tuple[NodeCrash, ...] = ()
+    #: node slowdown windows
+    slowdowns: Tuple[NodeSlowdown, ...] = ()
+    #: crash-to-notification latency (the pvm_notify analogue) [s]
+    detection_latency: float = 0.05
+    #: base retransmission timeout for dropped message copies [s]
+    retransmit_rto: float = 0.1
+    # ---- resilience knobs (consumed by sciddle.resilient) ------------
+    #: per-attempt RPC reply deadline [s]
+    rpc_timeout: float = 30.0
+    #: resend attempts before an RPC wait gives up
+    rpc_max_retries: int = 5
+    #: first retry backoff [s]; doubles per attempt
+    backoff_base: float = 0.05
+    #: backoff ceiling [s]
+    backoff_cap: float = 1.0
+    #: fractional jitter applied to each backoff (RNG-registry stream)
+    backoff_jitter: float = 0.25
+    #: consecutive timeouts before a server is declared dead
+    death_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "delay"):
+            p = float(getattr(self, name))
+            if not 0.0 <= p < 1.0:
+                raise FaultError(f"{name} must be a probability in [0, 1), got {p}")
+        for name in (
+            "delay_scale",
+            "outage_rate",
+            "outage_duration",
+            "detection_latency",
+            "backoff_jitter",
+        ):
+            v = float(getattr(self, name))
+            if v < 0 or not math.isfinite(v):
+                raise FaultError(f"{name} must be finite and >= 0, got {v}")
+        for name in ("retransmit_rto", "rpc_timeout", "backoff_base", "backoff_cap"):
+            v = float(getattr(self, name))
+            if v <= 0 or not math.isfinite(v):
+                raise FaultError(f"{name} must be finite and > 0, got {v}")
+        if self.rpc_max_retries < 0:
+            raise FaultError("rpc_max_retries must be >= 0")
+        if self.death_threshold < 1:
+            raise FaultError("death_threshold must be >= 1")
+        if self.outage_rate > 0 and self.outage_duration <= 0:
+            raise FaultError("outage_duration must be > 0 when outage_rate is set")
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether this spec injects any fault at all."""
+        return bool(
+            self.drop > 0
+            or self.delay > 0
+            or self.outage_rate > 0
+            or self.crashes
+            or self.slowdowns
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        """Stable plain-data form (cache keys, reports, JSON)."""
+        out: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "crashes":
+                value = [[c.node, c.time] for c in self.crashes]
+            elif f.name == "slowdowns":
+                value = [
+                    [s.node, s.start, s.duration, s.factor] for s in self.slowdowns
+                ]
+            out[f.name] = value
+        return out
+
+    # ------------------------------------------------------------------
+    #: ``--chaos`` grammar: short key -> spec field (scalar floats/ints)
+    _PARSE_KEYS = {
+        "drop": "drop",
+        "delay": "delay",
+        "delay_scale": "delay_scale",
+        "outage_rate": "outage_rate",
+        "outage_duration": "outage_duration",
+        "detect": "detection_latency",
+        "rto": "retransmit_rto",
+        "timeout": "rpc_timeout",
+        "retries": "rpc_max_retries",
+        "backoff": "backoff_base",
+        "backoff_cap": "backoff_cap",
+        "jitter": "backoff_jitter",
+        "deaths": "death_threshold",
+    }
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the CLI chaos grammar into a spec.
+
+        Comma-separated ``key=value`` items, e.g.::
+
+            drop=0.01,delay=0.05,delay_scale=0.2,timeout=0.5,
+            crash=3@1.5,slowdown=2@0.5+2.0x4
+
+        ``crash=NODE@TIME`` and ``slowdown=NODE@START+DURATIONxFACTOR``
+        may repeat.  Unknown keys raise :class:`FaultError`.
+        """
+        kwargs: Dict[str, Union[float, int]] = {}
+        crashes: List[NodeCrash] = []
+        slowdowns: List[NodeSlowdown] = []
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise FaultError(f"chaos item {item!r} is not key=value")
+            key, _, value = item.partition("=")
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key == "crash":
+                    node_s, _, time_s = value.partition("@")
+                    crashes.append(NodeCrash(int(node_s), float(time_s)))
+                elif key == "slowdown":
+                    node_s, _, window = value.partition("@")
+                    start_s, _, rest = window.partition("+")
+                    dur_s, _, factor_s = rest.partition("x")
+                    slowdowns.append(
+                        NodeSlowdown(
+                            int(node_s), float(start_s), float(dur_s), float(factor_s)
+                        )
+                    )
+                elif key in cls._PARSE_KEYS:
+                    field_name = cls._PARSE_KEYS[key]
+                    if field_name in ("rpc_max_retries", "death_threshold"):
+                        kwargs[field_name] = int(value)
+                    else:
+                        kwargs[field_name] = float(value)
+                else:
+                    raise FaultError(
+                        f"unknown chaos key {key!r}; expected one of "
+                        f"{sorted(cls._PARSE_KEYS)} plus crash=, slowdown="
+                    )
+            except (TypeError, ValueError) as exc:
+                raise FaultError(f"cannot parse chaos item {item!r}: {exc}") from None
+        return cls(
+            crashes=tuple(crashes), slowdowns=tuple(slowdowns), **kwargs  # type: ignore[arg-type]
+        )
+
+
+class FaultPlan:
+    """One seed-deterministic realisation of a :class:`FaultSpec`.
+
+    Draws from the registry streams ``faults/messages`` (per-message
+    drop and delay fates, in message order) and ``faults/outages`` (the
+    outage renewal process).  Usable standalone for unit tests;
+    :meth:`install` attaches it to a cluster's fabric, engine and
+    nodes.
+    """
+
+    def __init__(self, spec: FaultSpec, rng: RngRegistry) -> None:
+        self.spec = spec
+        self._msg_stream = rng.stream("faults/messages")
+        self._outage_stream = rng.stream("faults/outages")
+        if spec.outage_rate > 0:
+            start = float(self._outage_stream.exponential(1.0 / spec.outage_rate))
+            self._outage_start = start
+            self._outage_end = start + spec.outage_duration
+        else:
+            self._outage_start = math.inf
+            self._outage_end = math.inf
+        self.drops = 0
+        self.delays = 0
+        self.outage_hits = 0
+        self.crashes_fired = 0
+        self._cluster: Optional["Cluster"] = None
+
+    # ------------------------------------------------------------------
+    def _advance_outages(self, now: float) -> None:
+        rate = self.spec.outage_rate
+        while self._outage_end <= now:
+            gap = float(self._outage_stream.exponential(1.0 / rate))
+            self._outage_start = self._outage_end + gap
+            self._outage_end = self._outage_start + self.spec.outage_duration
+
+    def _fault_span(self, detail: str) -> None:
+        if self._cluster is not None:
+            now = self._cluster.engine.now
+            self._cluster.tracer.record("fabric", "fault", now, now, detail=detail)
+
+    def _count(self, metric: str, amount: float = 1.0) -> None:
+        if self._cluster is not None:
+            self._cluster.metrics.counter(metric).inc(amount)
+
+    def transfer_penalty(self, now: float, src: "Node", dst: "Node", nbytes: float) -> float:
+        """Extra delivery delay for one message injected at ``now``.
+
+        Draw order per message is fixed (drop walk, then delay spike,
+        then outage check) so the fate sequence depends only on the
+        message order, which the engine makes deterministic.
+        """
+        spec = self.spec
+        extra = 0.0
+        if spec.drop > 0.0:
+            k = 0
+            while (
+                k < MAX_RETRANSMITS and float(self._msg_stream.random()) < spec.drop
+            ):
+                k += 1
+            if k:
+                self.drops += k
+                extra += spec.retransmit_rto * float(2**k - 1)
+                self._count("faults.drops", k)
+                self._fault_span(f"drop x{k} {src.name}->{dst.name}")
+        if spec.delay > 0.0:
+            if float(self._msg_stream.random()) < spec.delay:
+                spike = float(self._msg_stream.exponential(spec.delay_scale))
+                extra += spike
+                self.delays += 1
+                self._count("faults.delays")
+                self._fault_span(f"delay +{spike:.4f}s {src.name}->{dst.name}")
+        if spec.outage_rate > 0.0:
+            self._advance_outages(now)
+            if self._outage_start <= now < self._outage_end:
+                wait = self._outage_end - now
+                extra += wait
+                self.outage_hits += 1
+                self._count("faults.outage_hits")
+                self._fault_span(f"outage +{wait:.4f}s {src.name}->{dst.name}")
+        return extra
+
+    # ------------------------------------------------------------------
+    def install(self, cluster: "Cluster") -> None:
+        """Attach this plan to a cluster (after its nodes exist).
+
+        Crash events targeting node ids the cluster does not have are
+        skipped — a campaign-wide crash spec may name a rank that only
+        large cells possess.
+        """
+        self._cluster = cluster
+        cluster.fabric.faults = self
+        node_ids = {n.node_id for n in cluster.nodes}
+        for sd in self.spec.slowdowns:
+            if sd.node in node_ids:
+                cluster.node(sd.node).add_slowdown(
+                    sd.start, sd.start + sd.duration, sd.factor
+                )
+        for crash in self.spec.crashes:
+            if crash.node not in node_ids:
+                continue
+
+            def _fire(event: NodeCrash = crash) -> None:
+                self.crashes_fired += 1
+                cluster.crash_node(
+                    event.node,
+                    detection_latency=self.spec.detection_latency,
+                    reason="fault",
+                )
+
+            cluster.engine.schedule_at(
+                max(crash.time, cluster.engine.now), _fire
+            )

@@ -39,6 +39,7 @@ from .engine import Engine
 from .resources import Resource
 
 if TYPE_CHECKING:  # imported for annotations only; no runtime cycle
+    from .faults import FaultPlan
     from .node import Node
 
 
@@ -70,6 +71,9 @@ class Fabric:
         )
         self.messages_transferred = 0
         self.bytes_transferred = 0.0
+        #: optional fault plan consulted per transfer (see netsim.faults);
+        #: None leaves the delivery arithmetic exactly as modelled
+        self.faults: Optional["FaultPlan"] = None
 
     # ------------------------------------------------------------------
     def occupancy(self, nbytes: float) -> float:
@@ -106,6 +110,14 @@ class Fabric:
 
         resources = self.path_resources(src, dst)
         hold = self.occupancy(nbytes)
+        # Fault fates are drawn at injection time, in message order, so a
+        # fixed seed yields one deterministic fault schedule.  Drops and
+        # delay spikes manifest as extra delivery latency (the transport
+        # retransmits); only a crashed destination truly loses messages
+        # (the cluster dead-letters those on delivery).
+        penalty = 0.0
+        if self.faults is not None:
+            penalty = self.faults.transfer_penalty(self.engine.now, src, dst, nbytes)
 
         def acquire_chain(i: int) -> None:
             if i == len(resources):
@@ -115,7 +127,7 @@ class Fabric:
                     on_injected()
 
                 self.engine.schedule(hold, _finish)
-                self.engine.schedule(hold + self.latency, on_delivered)
+                self.engine.schedule(hold + self.latency + penalty, on_delivered)
                 return
             resources[i].acquire(lambda: acquire_chain(i + 1))
 

@@ -15,7 +15,7 @@ A node bundles everything the process runner needs to execute a
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..hpm import HpmCounter
 from .engine import Engine
@@ -63,6 +63,19 @@ class Node:
         self.rx = Resource(engine, capacity=1, name=f"{self.name}.rx")
         self.hpm = HpmCounter(flop_inflation=flop_inflation)
         self.jitter = jitter
+        #: fault-injection state: timeshared/overloaded windows scaling
+        #: compute durations, and whether the node has crashed
+        self.slowdowns: List[Tuple[float, float, float]] = []
+        self.crashed = False
+
+    def add_slowdown(self, start: float, end: float, factor: float) -> None:
+        """Scale compute durations by ``factor`` for requests issued in
+        ``[start, end)`` of virtual time (a timesharing burst)."""
+        if end <= start:
+            raise ValueError("slowdown window must have end > start")
+        if factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1")
+        self.slowdowns.append((start, end, factor))
 
     def effective_rate(self, working_set: Optional[float] = None) -> float:
         """Flop/s the node sustains at the given working-set size."""
@@ -79,6 +92,11 @@ class Node:
             duration = flops / rate
         if self.jitter is not None:
             duration = self.jitter.apply(duration)
+        if self.slowdowns:
+            now = self.engine.now
+            for start, end, factor in self.slowdowns:
+                if start <= now < end:
+                    duration *= factor
         return duration, flops
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -21,7 +21,7 @@ from typing import Any, Callable, Deque, Dict, Generator, List, Optional, Tuple
 
 from ..errors import SimulationError
 from .engine import Engine
-from .events import ANY, Barrier, Compute, Message, Recv, Send, Timeout
+from .events import ANY, Barrier, Compute, Message, Recv, RecvTimeout, Send, Timeout
 
 
 class Mailbox:
@@ -67,6 +67,13 @@ class Mailbox:
         self._pending = (source, tag, resume)
         return False
 
+    def cancel_pending(self) -> None:
+        """Drop the registered waiter (recv deadline expiry, process kill).
+
+        Messages arriving afterwards buffer normally.
+        """
+        self._pending = None
+
     def __len__(self) -> int:
         return len(self._messages)
 
@@ -78,14 +85,36 @@ class BarrierManager:
     process is *idle* from its own arrival until the last arrival, then
     all members are *synchronizing* for ``cost`` seconds, after which all
     resume simultaneously.
+
+    Fault tolerance hooks: a *count provider* maps a barrier-name prefix
+    to a live group size (so a crashed member stops being expected),
+    :meth:`purge` removes a killed process's arrivals, and
+    :meth:`recheck` re-evaluates waiting groups after either changed —
+    the cluster calls both when a crash notification fires.
     """
 
     def __init__(self, engine: Engine) -> None:
         self.engine = engine
         self._waiting: Dict[str, List[Tuple[float, "SimProcess"]]] = {}
         self._generation: Dict[str, int] = {}
+        self._counts: Dict[str, int] = {}
+        self._costs: Dict[str, float] = {}
+        self._providers: List[Tuple[str, Callable[[], int]]] = []
         self.arrivals = 0
         self.releases = 0
+
+    def set_count_provider(self, prefix: str, provider: Callable[[], int]) -> None:
+        """Barriers whose name starts with ``prefix`` expect
+        ``provider()`` members instead of the count they were yielded
+        with — the hook that lets a group shrink when members die."""
+        self._providers.append((prefix, provider))
+
+    def _expected(self, key: str) -> int:
+        name = key.rsplit("#", 1)[0]
+        for prefix, provider in self._providers:
+            if name.startswith(prefix):
+                return max(int(provider()), 1)
+        return self._counts[key]
 
     def arrive(self, name: str, count: int, cost: float, proc: "SimProcess") -> None:
         """Register one arrival; release everyone on the last."""
@@ -93,13 +122,28 @@ class BarrierManager:
         group = self._waiting.setdefault(key, [])
         group.append((self.engine.now, proc))
         self.arrivals += 1
-        if len(group) > count:
+        self._counts[key] = count
+        self._costs[key] = cost
+        self._maybe_release(key)
+
+    def _maybe_release(self, key: str) -> None:
+        group = self._waiting.get(key)
+        if not group:
+            return
+        expected = self._expected(key)
+        if len(group) > expected:
+            name = key.rsplit("#", 1)[0]
             raise SimulationError(
-                f"barrier {name!r} overflow: {len(group)} arrivals for count={count}"
+                f"barrier {name!r} overflow: {len(group)} arrivals "
+                f"for count={expected}"
             )
-        if len(group) == count:
+        if len(group) == expected:
+            name = key.rsplit("#", 1)[0]
+            cost = self._costs[key]
             self._generation[name] = self._generation.get(name, 0) + 1
             del self._waiting[key]
+            del self._counts[key]
+            del self._costs[key]
             self.releases += 1
             last_arrival = self.engine.now
             release = last_arrival + cost
@@ -107,6 +151,25 @@ class BarrierManager:
                 member.trace("idle", arrived_at, last_arrival, detail=name)
                 member.trace("sync", last_arrival, release, detail=name)
                 self.engine.schedule_at(release, member.make_resume(None))
+
+    def purge(self, proc: "SimProcess") -> None:
+        """Remove a (killed) process's arrivals from all waiting groups."""
+        for key in list(self._waiting):
+            group = self._waiting[key]
+            filtered = [(t, member) for t, member in group if member is not proc]
+            if len(filtered) != len(group):
+                if filtered:
+                    self._waiting[key] = filtered
+                else:
+                    del self._waiting[key]
+                    del self._counts[key]
+                    del self._costs[key]
+
+    def recheck(self) -> None:
+        """Release any waiting group its (possibly shrunk) count now
+        satisfies; called after a crash notification."""
+        for key in list(self._waiting):
+            self._maybe_release(key)
 
 
 class SimProcess:
@@ -126,6 +189,7 @@ class SimProcess:
         self.node = node
         self._gen = gen
         self.finished = False
+        self.killed = False
         self.failed: Optional[BaseException] = None
         self.result: Any = None
         self._blocked = False
@@ -164,7 +228,31 @@ class SimProcess:
         """Schedule the first step of the generator at t(now)."""
         self.engine.schedule(0.0, lambda: self._step(None))
 
+    def kill(self, reason: str = "") -> None:
+        """Terminate this process immediately (node crash).
+
+        The generator is closed, the process unblocked (so the engine's
+        deadlock check does not count it), and its mailbox waiter and
+        barrier arrivals are withdrawn.  Idempotent; a finished process
+        is left alone.
+        """
+        if self.finished:
+            return
+        self.finished = True
+        self.killed = True
+        try:
+            self._gen.close()
+        except RuntimeError:  # generator swallowed GeneratorExit
+            pass
+        self._unblock()
+        self.cluster.mailbox_of(self.tid).cancel_pending()
+        self.cluster.barriers.purge(self)
+        now = self.engine.now
+        self.trace("fault", now, now, detail=f"killed:{reason}" if reason else "killed")
+
     def _step(self, value: Any) -> None:
+        if self.finished:  # killed while an old resume event was in flight
+            return
         try:
             request = self._gen.send(value)
         except StopIteration as stop:
@@ -208,12 +296,17 @@ class SimProcess:
         self._block()
 
         def _granted() -> None:
+            if self.finished:  # killed while waiting for the CPU
+                node.cpus.release()
+                return
             start = self.engine.now
             if start > start_wait:
                 self.trace("cpu_wait", start_wait, start)
 
             def _finish() -> None:
                 node.cpus.release()
+                if self.finished:  # killed mid-compute
+                    return
                 node.hpm.add(flops=flops, busy=duration)
                 self.trace("compute", start, self.engine.now)
                 self._unblock()
@@ -254,8 +347,12 @@ class SimProcess:
         start = self.engine.now
         mailbox = self.cluster.mailbox_of(self.tid)
         self._block()
+        state = {"done": False}
 
         def _resume(msg: Message) -> None:
+            if self.finished:  # killed while waiting
+                return
+            state["done"] = True
             now = self.engine.now
             if now > start:
                 self.trace("recv_wait", start, now, detail=f"tag={msg.tag}")
@@ -279,4 +376,26 @@ class SimProcess:
             # Resume in a fresh event so delivery callbacks unwind first.
             self.engine.schedule(0.0, lambda: self._step(msg))
 
-        mailbox.take(request.source, request.tag, _resume)
+        satisfied = mailbox.take(request.source, request.tag, _resume)
+        if request.timeout is None or satisfied or state["done"]:
+            return
+
+        deadline = request.timeout
+
+        def _expire() -> None:
+            # No-op if the message arrived (or the process died) first;
+            # the expired timer event is harmless.
+            if state["done"] or self.finished:
+                return
+            state["done"] = True
+            mailbox.cancel_pending()
+            now = self.engine.now
+            if now > start:
+                self.trace("recv_wait", start, now, detail="timeout")
+            self._unblock()
+            result = RecvTimeout(
+                source=request.source, tag=request.tag, timeout=deadline, at=now
+            )
+            self.engine.schedule(0.0, lambda: self._step(result))
+
+        self.engine.schedule(deadline, _expire)

@@ -40,6 +40,7 @@ class OpalWorkload:
     #: per-server multiplicative randomization noise of the pair shares
     share_noise: float = 0.01
     _dist: PairDistribution = field(init=False, repr=False)
+    _shares: dict = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.share_noise < 0 or self.share_noise >= 0.5:
@@ -49,6 +50,7 @@ class OpalWorkload:
             "_dist",
             PairDistribution(self.app.servers, seed=self.seed, defect=self.defect),
         )
+        object.__setattr__(self, "_shares", {})
 
     # -- totals (paper complexities) --------------------------------------
     @property
@@ -82,13 +84,32 @@ class OpalWorkload:
             noisy *= total / noisy.sum()
         return noisy
 
+    def _split(self, total: float, label: str) -> np.ndarray:
+        # the split is a pure function of (app, seed, defect, noise), so
+        # every recomputation yields the same array; memoize it — the
+        # servers and the resilient client each ask per run, and the
+        # distribution walk dominates an accessor call.  The cached
+        # array is shared, hence frozen against mutation.
+        cached = self._shares.get(label)
+        if cached is None:
+            cached = self._noisy(self._dist.shares(total), label)
+            cached.setflags(write=False)
+            self._shares[label] = cached
+        return cached
+
     def server_update_pairs(self) -> np.ndarray:
-        """Per-server candidate pairs for one update, shape (p,)."""
-        return self._noisy(self._dist.shares(self.update_pairs_total), "update")
+        """Per-server candidate pairs for one update, shape (p,).
+
+        The returned array is cached and read-only; copy before writing.
+        """
+        return self._split(self.update_pairs_total, "update")
 
     def server_energy_pairs(self) -> np.ndarray:
-        """Per-server active pairs for one energy evaluation, shape (p,)."""
-        return self._noisy(self._dist.shares(self.energy_pairs_total), "energy")
+        """Per-server active pairs for one energy evaluation, shape (p,).
+
+        The returned array is cached and read-only; copy before writing.
+        """
+        return self._split(self.energy_pairs_total, "energy")
 
     def server_update_flops(self) -> np.ndarray:
         """Per-server update flops for one list rebuild."""

@@ -66,9 +66,34 @@ class PvmTask:
             nbytes = nbytes.nbytes
         yield Send(dest, nbytes=nbytes, tag=tag, payload=payload)
 
-    def recv(self, source: Optional[int] = ANY, tag: Optional[int] = ANY) -> Generator:
-        """Blocking receive; returns the :class:`Message`."""
-        msg = yield Recv(source=source, tag=tag)
+    def recv(
+        self,
+        source: Optional[int] = ANY,
+        tag: Optional[int] = ANY,
+        timeout: Optional[float] = None,
+    ) -> Generator:
+        """Blocking receive; returns the :class:`Message`.
+
+        With ``timeout=`` the wait is bounded: if no matching message
+        arrives within the deadline the call returns a
+        :class:`~repro.netsim.RecvTimeout` instead — callers opting
+        into deadlines must check the result type.
+        """
+        msg = yield Recv(source=source, tag=tag, timeout=timeout)
+        return msg
+
+    def trecv(
+        self,
+        source: Optional[int] = ANY,
+        tag: Optional[int] = ANY,
+        timeout: float = 0.0,
+    ) -> Generator:
+        """``pvm_trecv`` analogue: a receive with a mandatory deadline.
+
+        ``timeout=0`` polls the mailbox without waiting.  Returns the
+        :class:`Message` or a :class:`~repro.netsim.RecvTimeout`.
+        """
+        msg = yield from self.recv(source, tag, timeout=timeout)
         return msg
 
     def mcast(

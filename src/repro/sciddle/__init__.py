@@ -15,6 +15,7 @@ from .stubgen import (
     CompiledProcedure,
     compile_idl,
 )
+from .resilient import ResilientSciddleClient, RetryPolicy, ServerHealth
 from .runtime import (
     HEADER_BYTES,
     TAG_REPLY_BASE,
@@ -35,9 +36,12 @@ __all__ = [
     "OPAL_IDL",
     "HEADER_BYTES",
     "ProcedureSpec",
+    "ResilientSciddleClient",
+    "RetryPolicy",
     "RpcReply",
     "RpcRequest",
     "SciddleClient",
+    "ServerHealth",
     "SciddleInterface",
     "SciddleServer",
     "SyncDiscipline",

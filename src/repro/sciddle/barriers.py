@@ -13,7 +13,7 @@ run either way and quantify the overlap they gave up.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Set
 
 from ..pvm import PvmTask
 
@@ -40,17 +40,29 @@ class SyncDiscipline:
         self.group = group
         self.count = count
         self.barriers_executed = 0
+        #: tids declared dead (crashed or ostracized after timeouts);
+        #: they no longer count toward phase barriers
+        self._dead: Set[int] = set()
 
     @property
     def accounted(self) -> bool:
         """Whether phase barriers are real (accounted mode)."""
         return self.mode == "accounted"
 
+    @property
+    def live_count(self) -> int:
+        """Barrier arrival count after removing dead members."""
+        return max(self.count - len(self._dead), 1)
+
+    def mark_dead(self, tid: int) -> None:
+        """Shrink the barrier group: ``tid`` will never arrive again."""
+        self._dead.add(tid)
+
     def phase_barrier(self, task: PvmTask, phase: str) -> Generator:
         """Synchronize the group at a phase boundary (no-op if overlapped)."""
         if self.accounted:
             self.barriers_executed += 1
-            yield from task.barrier(f"{self.group}:{phase}", count=self.count)
+            yield from task.barrier(f"{self.group}:{phase}", count=self.live_count)
 
 
 def overlap_slowdown(t_accounted: float, t_overlapped: float) -> float:

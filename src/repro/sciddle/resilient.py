@@ -1,0 +1,327 @@
+"""Resilient Sciddle RPC: timeouts, retries with backoff, health tracking.
+
+The paper's Sciddle assumes a dedicated, reliable machine; this module
+adds the middleware-level fault tolerance needed to run the same
+client/server protocol on a cluster with message loss, delay spikes and
+node failures (the chaos campaigns of :mod:`repro.netsim.faults`):
+
+* :class:`RetryPolicy` — per-RPC deadline, capped exponential backoff
+  with seeded jitter, and the ostracism threshold;
+* :class:`ServerHealth` — consecutive-timeout bookkeeping that declares
+  a server dead and notifies listeners (the failover hook);
+* :class:`ResilientSciddleClient` — a drop-in :class:`SciddleClient`
+  whose ``wait`` retransmits idempotent requests (sequence-numbered, so
+  the server deduplicates and handlers run at most once) until a reply
+  arrives, the retry budget is exhausted, or the server is declared
+  dead.
+
+Everything stochastic (the backoff jitter) draws from the cluster's
+:class:`~repro.netsim.RngRegistry`, so a fixed seed yields an exactly
+reproducible retry schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..errors import RpcTimeoutError, SciddleError, ServerDeadError
+from ..hpm import PhaseAccountant
+from ..netsim import RecvTimeout
+from ..netsim.faults import FaultSpec
+from ..pvm import PvmTask
+from .idl import SciddleInterface
+from .runtime import (
+    _SHUTDOWN,
+    HEADER_BYTES,
+    TAG_REQUEST,
+    CallHandle,
+    RpcRequest,
+    SciddleClient,
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a resilient client waits, retries and gives up on a server."""
+
+    #: virtual seconds an individual reply wait may take before the
+    #: request is retransmitted (the ``pvm_trecv`` deadline)
+    timeout: float = 30.0
+    #: retransmissions after the first attempt before RpcTimeoutError
+    max_retries: int = 5
+    #: first backoff interval; doubles per retry (capped)
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    #: +/- fractional jitter applied to each backoff draw
+    backoff_jitter: float = 0.25
+    #: consecutive timeouts from one server before it is declared dead
+    death_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError("need 0 <= backoff_base <= backoff_cap")
+        if not 0 <= self.backoff_jitter < 1:
+            raise ValueError("backoff_jitter must be in [0, 1)")
+        if self.death_threshold < 1:
+            raise ValueError("death_threshold must be >= 1")
+
+    @classmethod
+    def from_spec(cls, spec: FaultSpec) -> "RetryPolicy":
+        """Derive the policy from a fault-injection spec's resilience knobs."""
+        return cls(
+            timeout=spec.rpc_timeout,
+            max_retries=spec.rpc_max_retries,
+            backoff_base=spec.backoff_base,
+            backoff_cap=spec.backoff_cap,
+            backoff_jitter=spec.backoff_jitter,
+            death_threshold=spec.death_threshold,
+        )
+
+    def backoff(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retransmission ``attempt`` (0-based), jittered."""
+        base = min(self.backoff_base * (2.0**attempt), self.backoff_cap)
+        if self.backoff_jitter == 0.0 or base == 0.0:
+            return base
+        return float(base * (1.0 + self.backoff_jitter * rng.uniform(-1.0, 1.0)))
+
+
+class ServerHealth:
+    """Consecutive-timeout health tracking for a set of servers.
+
+    A server is *dead* once ``death_threshold`` consecutive waits on it
+    time out, or when :meth:`mark_dead` is called directly (e.g. from a
+    cluster crash-detection listener).  Death is permanent and fires
+    each registered listener exactly once per server.
+    """
+
+    def __init__(self, death_threshold: int = 3) -> None:
+        if death_threshold < 1:
+            raise ValueError("death_threshold must be >= 1")
+        self.death_threshold = death_threshold
+        self._consecutive: Dict[int, int] = {}
+        self._dead: Set[int] = set()
+        self._listeners: List[Callable[[int], None]] = []
+
+    def on_death(self, listener: Callable[[int], None]) -> None:
+        """Register a callback fired once per server declared dead."""
+        self._listeners.append(listener)
+
+    def is_dead(self, tid: int) -> bool:
+        """Whether ``tid`` has been declared dead."""
+        return tid in self._dead
+
+    @property
+    def dead(self) -> Set[int]:
+        """The set of dead server tids."""
+        return set(self._dead)
+
+    def record_success(self, tid: int) -> None:
+        """A reply arrived: reset the consecutive-timeout counter."""
+        self._consecutive[tid] = 0
+
+    def record_timeout(self, tid: int) -> bool:
+        """One wait on ``tid`` timed out; returns True if it is now dead."""
+        if tid in self._dead:
+            return True
+        count = self._consecutive.get(tid, 0) + 1
+        self._consecutive[tid] = count
+        if count >= self.death_threshold:
+            self.mark_dead(tid)
+        return tid in self._dead
+
+    def mark_dead(self, tid: int) -> None:
+        """Declare ``tid`` dead (idempotent); fires death listeners."""
+        if tid in self._dead:
+            return
+        self._dead.add(tid)
+        for listener in list(self._listeners):
+            listener(tid)
+
+
+class ResilientSciddleClient(SciddleClient):
+    """A :class:`SciddleClient` that survives lost replies and dead servers.
+
+    Requests carry idempotency sequence numbers; the server runs each
+    (client, seq) handler at most once and replays the cached reply for
+    retransmitted duplicates, so retrying is always safe — in particular
+    the server-side phase barriers of the accounted discipline are never
+    entered twice for one logical call.
+    """
+
+    def __init__(
+        self,
+        task: PvmTask,
+        interface: SciddleInterface,
+        servers: List[int],
+        policy: Optional[RetryPolicy] = None,
+        health: Optional[ServerHealth] = None,
+        accountant: Optional[PhaseAccountant] = None,
+    ) -> None:
+        super().__init__(task, interface, servers, accountant=accountant)
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.health = (
+            health
+            if health is not None
+            else ServerHealth(self.policy.death_threshold)
+        )
+        self._rng = task.ctx.cluster.rng.stream(f"resilience/backoff/{task.name}")
+        self._next_seq = 0
+        #: outstanding requests by reply tag (unique per task, cheaper
+        #: to hash than the handle): (total wire bytes, request) —
+        #: exactly what a retransmission must resend
+        self._pending: Dict[int, Tuple[float, RpcRequest]] = {}
+        metrics = task.ctx.cluster.metrics
+        self._m_retries = metrics.counter("sciddle.retries")
+        self._m_timeouts = metrics.counter("sciddle.rpc_timeouts")
+        self._m_deaths = metrics.counter("sciddle.server_deaths")
+
+    # ------------------------------------------------------------------
+    def call_async(
+        self,
+        server: int,
+        proc: str,
+        args: Any = None,
+        nbytes: Optional[float] = None,
+        category: Optional[str] = None,
+    ) -> Generator:
+        """Issue one idempotent RPC; returns a :class:`CallHandle`."""
+        if self.health.is_dead(server):
+            raise ServerDeadError(server, reason=f"cannot issue {proc!r}")
+        spec = self.interface.spec(proc)
+        if nbytes is None:
+            if spec.in_size is None:
+                raise SciddleError(
+                    f"procedure {proc!r} has no in_size rule; pass nbytes="
+                )
+            nbytes = spec.in_size(args)
+        tag = self._alloc_tag()
+        self._next_seq += 1
+        request = RpcRequest(proc, tag, args, seq=self._next_seq)
+        wire_bytes = HEADER_BYTES + nbytes
+        self._m_rpcs.inc()
+        self._m_request_bytes.inc(wire_bytes)
+        bracket = self.accountant is not None and category is not None
+        if bracket:
+            self.accountant.begin(category)
+        try:
+            yield from self.task.send(
+                server, TAG_REQUEST, nbytes=wire_bytes, payload=request
+            )
+        finally:
+            if bracket:
+                self.accountant.end()
+        handle = CallHandle(server, proc, tag)
+        self._pending[handle.reply_tag] = (wire_bytes, request)
+        return handle
+
+    def wait(
+        self,
+        handle: CallHandle,
+        category: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> Generator:
+        """Wait for a reply, retransmitting on timeout per the policy.
+
+        Raises :class:`~repro.errors.ServerDeadError` when the server is
+        (or becomes) dead, and :class:`~repro.errors.RpcTimeoutError`
+        when the retry budget runs out on a server still considered
+        alive.  ``deadline=`` overrides the per-wait timeout.
+        """
+        bracket = self.accountant is not None and category is not None
+        if bracket:
+            self.accountant.begin(category)
+        try:
+            timeout = self.policy.timeout if deadline is None else deadline
+            for attempt in range(self.policy.max_retries + 1):
+                if self.health.is_dead(handle.server):
+                    raise ServerDeadError(
+                        handle.server, reason=f"waiting on {handle.proc!r}"
+                    )
+                self._m_waits.inc()
+                msg = yield from self.task.recv(
+                    source=handle.server, tag=handle.reply_tag, timeout=timeout
+                )
+                if not isinstance(msg, RecvTimeout):
+                    self.health.record_success(handle.server)
+                    self._pending.pop(handle.reply_tag, None)
+                    return msg.payload
+                self._m_timeouts.inc()
+                if self.health.record_timeout(handle.server):
+                    self._m_deaths.inc()
+                    raise ServerDeadError(
+                        handle.server,
+                        reason=(
+                            f"no reply to {handle.proc!r} after "
+                            f"{self.health.death_threshold} consecutive timeouts"
+                        ),
+                    )
+                if attempt >= self.policy.max_retries:
+                    break
+                start = self.task.now
+                yield from self.task.delay(self.policy.backoff(attempt, self._rng))
+                pending = self._pending.get(handle.reply_tag)
+                if pending is not None:
+                    wire_bytes, request = pending
+                    yield from self.task.send(
+                        handle.server, TAG_REQUEST, nbytes=wire_bytes, payload=request
+                    )
+                self._m_retries.inc()
+                self.task.ctx.trace(
+                    "retry",
+                    start,
+                    self.task.now,
+                    detail=f"{handle.proc} -> tid{handle.server} attempt {attempt + 1}",
+                )
+            raise RpcTimeoutError(handle.proc, handle.server, timeout)
+        finally:
+            if bracket:
+                self.accountant.end()
+
+    # ------------------------------------------------------------------
+    def quarantine(self, server: int) -> Generator:
+        """Fire-and-forget shutdown of an ostracized (dead-declared) server.
+
+        If the server is merely slow rather than crashed, this makes it
+        exit its service loop instead of serving stale requests whose
+        replies nobody waits for.  No acknowledgement is awaited.
+        """
+        tag = self._alloc_tag()
+        yield from self.task.send(
+            server,
+            TAG_REQUEST,
+            nbytes=HEADER_BYTES,
+            payload=RpcRequest(_SHUTDOWN, tag, None),
+        )
+
+    def remove_server(self, tid: int) -> None:
+        """Drop ``tid`` from the server list used by ``call_all``."""
+        if tid in self.servers:
+            self.servers.remove(tid)
+
+    def shutdown(self) -> Generator:
+        """Terminate the surviving servers; tolerate deaths mid-shutdown."""
+        handles = []
+        for server in self.servers:
+            if self.health.is_dead(server):
+                continue
+            tag = self._alloc_tag()
+            yield from self.task.send(
+                server,
+                TAG_REQUEST,
+                nbytes=HEADER_BYTES,
+                payload=RpcRequest(_SHUTDOWN, tag, None),
+            )
+            handles.append(CallHandle(server, _SHUTDOWN, tag))
+        for handle in handles:
+            # the ack is advisory: a server crashing between the request
+            # and its ack must not wedge the whole run at teardown
+            yield from self.task.recv(
+                source=handle.server, tag=handle.reply_tag, timeout=self.policy.timeout
+            )

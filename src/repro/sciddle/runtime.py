@@ -14,10 +14,11 @@ paper's plea (Section 3.2) for instrumentation *inside* the middleware.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Generator, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
-from ..errors import SciddleError
+from ..errors import RpcTimeoutError, SciddleError
 from ..hpm import PhaseAccountant
+from ..netsim import RecvTimeout
 from ..pvm import PvmTask
 from .idl import SciddleInterface
 
@@ -53,6 +54,11 @@ class RpcRequest:
     proc: str
     reply_tag: int
     args: Any
+    #: idempotency sequence number set by the resilient client: the
+    #: server runs a (source, seq) pair's handler at most once and
+    #: resends the cached reply for retransmitted duplicates.  None
+    #: (the plain client) disables dedup.
+    seq: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -90,9 +96,13 @@ class SciddleServer:
         self.accountant = accountant
         self._handlers: Dict[str, Handler] = {}
         self.calls_served = 0
+        #: replies already computed, by (client tid, request seq) — the
+        #: server side of the resilient client's idempotent retries
+        self._completed: Dict[Tuple[int, int], RpcReply] = {}
         metrics = task.ctx.cluster.metrics
         self._m_served = metrics.counter("sciddle.calls_served")
         self._m_reply_bytes = metrics.counter("sciddle.reply_bytes")
+        self._m_dups = metrics.counter("sciddle.dup_requests")
 
     def bind(self, name: str, handler: Handler) -> None:
         """Attach the implementation of a declared procedure."""
@@ -102,13 +112,28 @@ class SciddleServer:
     def run(self) -> Generator:
         """Main service loop; drive with ``yield from`` inside a task body."""
         while True:
-            msg = yield from self.task.recv(tag=TAG_REQUEST)
+            # the service loop blocks indefinitely by design: work may
+            # arrive at any time, and shutdown is an explicit request
+            msg = yield from self.task.recv(tag=TAG_REQUEST)  # simlint: disable=R501
             request: RpcRequest = msg.payload
             if request.proc == _SHUTDOWN:
                 yield from self.task.send(
                     msg.source, request.reply_tag, nbytes=HEADER_BYTES
                 )
                 return
+            if request.seq is not None:
+                cached = self._completed.get((msg.source, request.seq))
+                if cached is not None:
+                    # retransmitted duplicate: the handler (and its phase
+                    # barriers) must not run twice — resend the reply
+                    self._m_dups.inc()
+                    yield from self.task.send(
+                        msg.source,
+                        request.reply_tag,
+                        nbytes=HEADER_BYTES + cached.nbytes,
+                        payload=cached.payload,
+                    )
+                    continue
             handler = self._handlers.get(request.proc)
             if handler is None:
                 raise SciddleError(
@@ -130,6 +155,8 @@ class SciddleServer:
             self.calls_served += 1
             self._m_served.inc()
             self._m_reply_bytes.inc(HEADER_BYTES + reply.nbytes)
+            if request.seq is not None:
+                self._completed[(msg.source, request.seq)] = reply
             if self.accountant is not None:
                 self.accountant.begin(f"reply:{request.proc}")
             yield from self.task.send(
@@ -198,14 +225,33 @@ class SciddleClient:
             self.accountant.end()
         return CallHandle(server, proc, tag)
 
-    def wait(self, handle: CallHandle, category: Optional[str] = None) -> Generator:
-        """Block until the RPC reply arrives; returns the reply payload."""
+    def wait(
+        self,
+        handle: CallHandle,
+        category: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> Generator:
+        """Block until the RPC reply arrives; returns the reply payload.
+
+        ``deadline=`` bounds the wait: on expiry the accounting bracket
+        is closed and :class:`~repro.errors.RpcTimeoutError` raised.
+        ``None`` preserves the classic wait-forever behaviour (use
+        :class:`~repro.sciddle.resilient.ResilientSciddleClient` for
+        retries instead of a bare error).
+        """
         self._m_waits.inc()
-        if self.accountant is not None and category is not None:
+        bracket = self.accountant is not None and category is not None
+        if bracket:
             self.accountant.begin(category)
-        msg = yield from self.task.recv(source=handle.server, tag=handle.reply_tag)
-        if self.accountant is not None and category is not None:
-            self.accountant.end()
+        try:
+            msg = yield from self.task.recv(
+                source=handle.server, tag=handle.reply_tag, timeout=deadline
+            )
+        finally:
+            if bracket:
+                self.accountant.end()
+        if isinstance(msg, RecvTimeout):
+            raise RpcTimeoutError(handle.proc, handle.server, deadline or 0.0)
         return msg.payload
 
     # ------------------------------------------------------------------

@@ -8,5 +8,5 @@ def sender(task, dest):
 
 
 def receiver(task, source):
-    msg = yield from task.recv(source, _TAG_PAIRED)
+    msg = yield from task.recv(source, _TAG_PAIRED, timeout=1.0)
     return msg

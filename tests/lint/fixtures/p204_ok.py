@@ -4,6 +4,6 @@ from repro.netsim import Recv
 
 
 def handler(task):
-    msg = yield from task.recv(source=0)
+    msg = yield from task.recv(source=0, timeout=1.0)
     raw = yield Recv(source=0)
     return msg, raw

@@ -1,0 +1,6 @@
+"""Fixture violation: a driven receive with no deadline (R501)."""
+
+
+def wait_for_reply(task, server):
+    msg = yield from task.recv(source=server)
+    return msg.payload

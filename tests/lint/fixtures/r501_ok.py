@@ -1,0 +1,13 @@
+"""Fixture near-misses: deadline-bounded and deliberately-unbounded recvs."""
+
+
+def wait_with_deadline(task, server, deadline):
+    msg = yield from task.recv(source=server, timeout=5.0)
+    ack = yield from task.recv(source=server, timeout=deadline)
+    return msg, ack
+
+
+def service_loop(task):
+    # a server waits for work forever by design; the waiver records that
+    msg = yield from task.recv(source=0)  # simlint: disable=R501
+    return msg

@@ -1,0 +1,244 @@
+"""Unit tests for seed-deterministic fault injection."""
+
+import pytest
+
+from repro.errors import FaultError
+from repro.netsim import (
+    Cluster,
+    Node,
+    RecvTimeout,
+    SwitchedFabric,
+    constant_rate,
+)
+from repro.netsim.faults import FaultPlan, FaultSpec, NodeCrash, NodeSlowdown
+from repro.netsim.rng import RngRegistry
+from repro.pvm import PvmSystem
+
+
+def make_cluster(n_nodes=2, latency=1e-3, bandwidth=1e6, seed=0):
+    cluster = Cluster(
+        lambda e: SwitchedFabric(e, latency=latency, bandwidth=bandwidth),
+        seed=seed,
+    )
+    nodes = [
+        cluster.add_node(Node(cluster.engine, i, constant_rate(1e6)))
+        for i in range(n_nodes)
+    ]
+    return cluster, nodes
+
+
+# ---------------------------------------------------------------------------
+# FaultSpec: validation, parsing, serialization
+# ---------------------------------------------------------------------------
+
+def test_default_spec_injects_nothing():
+    spec = FaultSpec()
+    assert not spec.enabled
+
+
+def test_each_fault_kind_enables_the_spec():
+    assert FaultSpec(drop=0.1).enabled
+    assert FaultSpec(delay=0.1).enabled
+    assert FaultSpec(outage_rate=0.5).enabled
+    assert FaultSpec(crashes=(NodeCrash(1, 2.0),)).enabled
+    assert FaultSpec(slowdowns=(NodeSlowdown(1, 0.0, 1.0, 2.0),)).enabled
+    # resilience knobs alone do not make a spec faulted
+    assert not FaultSpec(rpc_timeout=0.5, rpc_max_retries=2).enabled
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"drop": 1.0},
+        {"drop": -0.1},
+        {"delay": 1.5},
+        {"delay_scale": -1.0},
+        {"retransmit_rto": 0.0},
+        {"rpc_timeout": -2.0},
+        {"rpc_max_retries": -1},
+        {"death_threshold": 0},
+    ],
+)
+def test_invalid_spec_fields_raise(kwargs):
+    with pytest.raises(FaultError):
+        FaultSpec(**kwargs)
+
+
+def test_invalid_crash_and_slowdown_events_raise():
+    with pytest.raises(FaultError):
+        NodeCrash(-1, 1.0)
+    with pytest.raises(FaultError):
+        NodeCrash(0, -1.0)
+    with pytest.raises(FaultError):
+        NodeSlowdown(0, 0.0, 0.0, 2.0)
+    with pytest.raises(FaultError):
+        NodeSlowdown(0, 0.0, 1.0, 0.5)
+
+
+def test_parse_full_grammar():
+    spec = FaultSpec.parse(
+        "drop=0.01, delay=0.05, delay_scale=0.2, outage_rate=0.1,"
+        "outage_duration=0.4, detect=0.02, rto=0.3, timeout=2.5,"
+        "retries=4, backoff=0.1, backoff_cap=0.8, jitter=0.5, deaths=2,"
+        "crash=3@1.5, crash=1@0.25, slowdown=2@0.5+2.0x4"
+    )
+    assert spec.drop == 0.01
+    assert spec.delay == 0.05
+    assert spec.delay_scale == 0.2
+    assert spec.outage_rate == 0.1
+    assert spec.outage_duration == 0.4
+    assert spec.detection_latency == 0.02
+    assert spec.retransmit_rto == 0.3
+    assert spec.rpc_timeout == 2.5
+    assert spec.rpc_max_retries == 4
+    assert spec.backoff_base == 0.1
+    assert spec.backoff_cap == 0.8
+    assert spec.backoff_jitter == 0.5
+    assert spec.death_threshold == 2
+    assert spec.crashes == (NodeCrash(3, 1.5), NodeCrash(1, 0.25))
+    assert spec.slowdowns == (NodeSlowdown(2, 0.5, 2.0, 4.0),)
+
+
+def test_parse_rejects_unknown_and_malformed_items():
+    with pytest.raises(FaultError, match="unknown chaos key"):
+        FaultSpec.parse("dorp=0.1")
+    with pytest.raises(FaultError, match="key=value"):
+        FaultSpec.parse("drop")
+    with pytest.raises(FaultError, match="cannot parse"):
+        FaultSpec.parse("crash=three@1.5")
+
+
+def test_as_dict_is_stable_and_json_plain():
+    import json
+
+    spec = FaultSpec.parse("drop=0.01,crash=2@1.5,slowdown=0@0.1+1.0x2")
+    d1, d2 = spec.as_dict(), spec.as_dict()
+    assert d1 == d2
+    assert d1["crashes"] == [[2, 1.5]]
+    assert d1["slowdowns"] == [[0, 0.1, 1.0, 2.0]]
+    json.dumps(d1)  # must serialize without a custom encoder
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan: determinism and fault arithmetic
+# ---------------------------------------------------------------------------
+
+def penalty_sequence(spec, seed, n=64):
+    cluster, nodes = make_cluster()
+    plan = FaultPlan(spec, RngRegistry(seed))
+    return [
+        plan.transfer_penalty(0.01 * i, nodes[0], nodes[1], 100.0)
+        for i in range(n)
+    ]
+
+
+def test_fault_plan_is_seed_deterministic():
+    spec = FaultSpec(drop=0.2, delay=0.3, outage_rate=0.5, outage_duration=0.1)
+    assert penalty_sequence(spec, seed=7) == penalty_sequence(spec, seed=7)
+    assert penalty_sequence(spec, seed=7) != penalty_sequence(spec, seed=8)
+
+
+def test_zero_fault_plan_charges_nothing():
+    assert penalty_sequence(FaultSpec(), seed=0) == [0.0] * 64
+
+
+def test_drop_penalty_follows_rto_backoff():
+    # drop -> retransmit-delay, never silent loss: k consecutive losses
+    # cost rto * (2^k - 1) extra seconds
+    spec = FaultSpec(drop=0.5, retransmit_rto=0.1)
+    plan = FaultPlan(spec, RngRegistry(3))
+    cluster, nodes = make_cluster()
+    penalties = [
+        plan.transfer_penalty(0.0, nodes[0], nodes[1], 10.0) for _ in range(200)
+    ]
+    assert plan.drops > 0
+    allowed = {spec.retransmit_rto * (2**k - 1) for k in range(33)}
+    for p in penalties:
+        assert min(abs(p - a) for a in allowed) < 1e-12
+
+
+def test_install_skips_crashes_on_absent_nodes():
+    cluster, nodes = make_cluster(n_nodes=2)
+    spec = FaultSpec(crashes=(NodeCrash(17, 0.5),))
+    FaultPlan(spec, cluster.rng).install(cluster)
+    cluster.engine.run()  # no event may blow up on the missing node
+    assert all(not n.crashed for n in cluster.nodes)
+
+
+# ---------------------------------------------------------------------------
+# recv deadlines and crash delivery through the stack
+# ---------------------------------------------------------------------------
+
+def test_recv_timeout_returns_recv_timeout_marker():
+    cluster, nodes = make_cluster()
+    pvm = PvmSystem(cluster)
+    seen = {}
+
+    def body(task):
+        msg = yield from task.recv(source=99, timeout=0.75)
+        seen["msg"] = msg
+        seen["when"] = task.now
+
+    pvm.spawn("waiter", nodes[0], body)
+    pvm.run()
+    assert isinstance(seen["msg"], RecvTimeout)
+    assert seen["when"] == pytest.approx(0.75)
+
+
+def test_trecv_delivers_message_that_arrives_in_time():
+    cluster, nodes = make_cluster()
+    pvm = PvmSystem(cluster)
+    seen = {}
+
+    def sender(task, dest):
+        yield from task.delay(0.2)
+        yield from task.send(dest, 5, nbytes=10, payload="hi")
+
+    def receiver(task):
+        msg = yield from task.trecv(source=None, tag=5, timeout=2.0)
+        seen["payload"] = msg.payload
+
+    rp = pvm.spawn("rx", nodes[0], receiver)
+    pvm.spawn("tx", nodes[1], sender, rp.tid)
+    pvm.run()
+    assert seen["payload"] == "hi"
+
+
+def test_crash_node_kills_processes_and_fires_listeners():
+    cluster, nodes = make_cluster(n_nodes=2)
+    pvm = PvmSystem(cluster)
+    deaths = []
+    cluster.add_death_listener(lambda proc: deaths.append(proc.name))
+
+    def victim(task):
+        yield from task.delay(100.0)
+
+    def survivor(task):
+        yield from task.delay(0.1)
+
+    pvm.spawn("victim", nodes[1], victim)
+    pvm.spawn("survivor", nodes[0], survivor)
+    cluster.engine.schedule_at(
+        0.5, lambda: cluster.crash_node(1, detection_latency=0.05)
+    )
+    cluster.engine.run()
+    assert deaths == ["victim"]
+    assert cluster.node(1).crashed
+
+
+def test_send_to_crashed_node_is_dead_lettered():
+    cluster, nodes = make_cluster(n_nodes=2)
+    pvm = PvmSystem(cluster)
+
+    def victim(task):
+        yield from task.delay(100.0)
+
+    def talker(task, dest):
+        yield from task.delay(1.0)  # after the crash below
+        yield from task.send(dest, 7, nbytes=10, payload="lost")
+
+    vp = pvm.spawn("victim", nodes[1], victim)
+    pvm.spawn("talker", nodes[0], talker, vp.tid)
+    cluster.engine.schedule_at(0.5, lambda: cluster.crash_node(1))
+    cluster.engine.run()
+    assert cluster.metrics.counters["faults.dead_letters"].value >= 1

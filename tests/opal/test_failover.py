@@ -1,0 +1,98 @@
+"""Failover and degradation tests for the parallel Opal driver.
+
+The graceful-degradation contract: a mid-run server crash costs work
+redistribution, never correctness — the run completes on the survivors,
+the accountant identity (wall = sum of response variables) still holds
+exactly, and the degradation is visible in the result and in the
+observability layer.
+"""
+
+import pytest
+
+from repro.core.parameters import ApplicationParams, ModelPlatformParams
+from repro.errors import FaultError
+from repro.netsim.faults import FaultSpec, NodeCrash
+from repro.obs import ObsSession
+from repro.opal.complexes import MEDIUM, SMALL
+from repro.opal.parallel import run_parallel_opal
+from repro.platforms import CRAY_J90
+from repro.sciddle import RetryPolicy
+
+
+def crash_app(**kw):
+    defaults = dict(molecule=MEDIUM, steps=6, servers=4, update_interval=3)
+    defaults.update(kw)
+    return ApplicationParams(**defaults)
+
+
+CRASH_SPEC = FaultSpec(crashes=(NodeCrash(2, 1.5),), rpc_timeout=5.0)
+
+
+def test_zero_fault_resilient_run_is_bit_identical_to_plain():
+    app = ApplicationParams(molecule=SMALL, steps=4, servers=3, cutoff=10.0)
+    plain = run_parallel_opal(app, CRAY_J90, seed=0)
+    resilient = run_parallel_opal(
+        app, CRAY_J90, seed=0, retry_policy=RetryPolicy()
+    )
+    assert resilient.wall_time == plain.wall_time
+    assert resilient.breakdown == plain.breakdown
+    assert resilient.servers_failed == []
+    assert resilient.failovers == 0
+    assert resilient.rpc_retries == 0
+
+
+def test_mid_run_crash_degrades_gracefully():
+    result = run_parallel_opal(crash_app(), CRAY_J90, faults=CRASH_SPEC)
+    assert result.servers_failed, "the crashed server must be recorded"
+    assert result.failovers >= 1
+    # the accountant identity survives degradation: every wall second is
+    # attributed to exactly one response variable
+    assert result.wall_time == pytest.approx(result.breakdown.total, rel=1e-9)
+    # the run costs more than the healthy one (work was redistributed)
+    healthy = run_parallel_opal(crash_app(), CRAY_J90)
+    assert result.wall_time > healthy.wall_time
+
+
+def test_crash_failover_is_seed_deterministic():
+    a = run_parallel_opal(crash_app(), CRAY_J90, faults=CRASH_SPEC)
+    b = run_parallel_opal(crash_app(), CRAY_J90, faults=CRASH_SPEC)
+    assert a.wall_time == b.wall_time
+    assert a.breakdown == b.breakdown
+    assert a.servers_failed == b.servers_failed
+    assert a.failovers == b.failovers
+
+
+def test_crashing_the_client_node_is_rejected():
+    spec = FaultSpec(crashes=(NodeCrash(0, 1.0),))
+    with pytest.raises(FaultError, match="coordinator"):
+        run_parallel_opal(crash_app(), CRAY_J90, faults=spec)
+
+
+def test_degraded_run_is_flagged_in_the_residual_report():
+    obs = ObsSession(label="failover-test")
+    obs.set_model_params(ModelPlatformParams.from_spec(CRAY_J90))
+    run_parallel_opal(crash_app(), CRAY_J90, faults=CRASH_SPEC, obs=obs)
+    report = obs.model_report(threshold=0.10)
+    # a degraded cell drifts far off the healthy-machine model; the
+    # residual join must flag it rather than average it away
+    assert " !" in report
+    assert "drifted beyond tolerance" in report
+
+
+def test_failover_emits_spans_matching_counters():
+    obs = ObsSession(label="failover-spans")
+    result = run_parallel_opal(crash_app(), CRAY_J90, faults=CRASH_SPEC, obs=obs)
+    failover_spans = [
+        s for s in obs.tracer.spans if s.category == "failover" and s.detail
+    ]
+    assert len(failover_spans) == result.failovers
+    retry_spans = [s for s in obs.tracer.spans if s.category == "retry"]
+    assert len(retry_spans) == result.rpc_retries
+
+
+def test_plain_run_metrics_stay_free_of_resilience_rows():
+    app = ApplicationParams(molecule=SMALL, steps=3, servers=2, cutoff=10.0)
+    result = run_parallel_opal(app, CRAY_J90, keep_cluster=True)
+    names = set(result.cluster.metrics.counters)
+    assert "sciddle.retries" not in names
+    assert "opal.failovers" not in names

@@ -1,0 +1,314 @@
+"""Unit tests for the resilient Sciddle client: retries, dedup, health."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RpcTimeoutError, ServerDeadError
+from repro.netsim import Cluster, Node, SwitchedFabric, constant_rate
+from repro.netsim.faults import FaultSpec
+from repro.pvm import PvmSystem
+from repro.sciddle import (
+    ResilientSciddleClient,
+    RetryPolicy,
+    RpcReply,
+    SciddleInterface,
+    SciddleServer,
+    ServerHealth,
+)
+
+
+def setup_rpc(n_servers=1, handler=None, latency=1e-4, bandwidth=1e7):
+    cluster = Cluster(
+        lambda e: SwitchedFabric(e, latency=latency, bandwidth=bandwidth), seed=0
+    )
+    nodes = [
+        cluster.add_node(Node(cluster.engine, i, constant_rate(1e6)))
+        for i in range(n_servers + 1)
+    ]
+    pvm = PvmSystem(cluster)
+    iface = SciddleInterface("test")
+    iface.procedure("work")
+
+    if handler is None:
+
+        def handler(task, args):
+            yield from task.compute(seconds=0.05)
+            return RpcReply(nbytes=10, payload={"ok": True})
+
+    def server_body(task):
+        server = SciddleServer(task, iface)
+        server.bind("work", handler)
+        yield from server.run()
+
+    servers = [
+        pvm.spawn(f"server{i}", nodes[i + 1], server_body)
+        for i in range(n_servers)
+    ]
+    return cluster, pvm, iface, nodes, servers
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+def test_policy_from_spec_copies_resilience_knobs():
+    spec = FaultSpec(
+        rpc_timeout=2.0,
+        rpc_max_retries=7,
+        backoff_base=0.2,
+        backoff_cap=3.0,
+        backoff_jitter=0.5,
+        death_threshold=4,
+    )
+    policy = RetryPolicy.from_spec(spec)
+    assert policy.timeout == 2.0
+    assert policy.max_retries == 7
+    assert policy.backoff_base == 0.2
+    assert policy.backoff_cap == 3.0
+    assert policy.backoff_jitter == 0.5
+    assert policy.death_threshold == 4
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"timeout": 0.0},
+        {"max_retries": -1},
+        {"backoff_base": 0.5, "backoff_cap": 0.1},
+        {"backoff_jitter": 1.0},
+        {"death_threshold": 0},
+    ],
+)
+def test_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+def test_backoff_doubles_caps_and_jitters_within_band():
+    policy = RetryPolicy(backoff_base=0.1, backoff_cap=0.5, backoff_jitter=0.25)
+    rng = np.random.default_rng(0)
+    for attempt in range(8):
+        base = min(0.1 * 2**attempt, 0.5)
+        b = policy.backoff(attempt, rng)
+        assert base * 0.75 <= b <= base * 1.25
+
+
+def test_backoff_without_jitter_is_exact():
+    policy = RetryPolicy(backoff_base=0.1, backoff_cap=0.5, backoff_jitter=0.0)
+    rng = np.random.default_rng(0)
+    assert [policy.backoff(a, rng) for a in range(4)] == [0.1, 0.2, 0.4, 0.5]
+
+
+def test_backoff_is_seed_deterministic():
+    policy = RetryPolicy()
+    a = [policy.backoff(i, np.random.default_rng(5)) for i in range(5)]
+    b = [policy.backoff(i, np.random.default_rng(5)) for i in range(5)]
+    assert a == b
+
+
+# ---------------------------------------------------------------------------
+# ServerHealth
+# ---------------------------------------------------------------------------
+
+def test_health_declares_death_after_threshold():
+    health = ServerHealth(death_threshold=3)
+    assert not health.record_timeout(7)
+    assert not health.record_timeout(7)
+    assert health.record_timeout(7)
+    assert health.is_dead(7)
+    assert health.dead == {7}
+
+
+def test_health_success_resets_the_streak():
+    health = ServerHealth(death_threshold=2)
+    health.record_timeout(7)
+    health.record_success(7)
+    assert not health.record_timeout(7)
+    assert health.record_timeout(7)
+
+
+def test_health_listeners_fire_once_per_server():
+    health = ServerHealth(death_threshold=1)
+    fired = []
+    health.on_death(fired.append)
+    health.mark_dead(3)
+    health.mark_dead(3)
+    health.record_timeout(3)
+    health.mark_dead(4)
+    assert fired == [3, 4]
+
+
+# ---------------------------------------------------------------------------
+# ResilientSciddleClient end to end
+# ---------------------------------------------------------------------------
+
+def test_retry_resend_is_deduplicated_and_handler_runs_once():
+    """A reply slower than the per-wait timeout triggers retransmission;
+    the server dedups the duplicates and the handler runs exactly once."""
+    handler_runs = []
+
+    def slow_handler(task, args):
+        handler_runs.append(task.now)
+        yield from task.compute(seconds=0.6)
+        return RpcReply(nbytes=10, payload="done")
+
+    cluster, pvm, iface, nodes, servers = setup_rpc(handler=slow_handler)
+    policy = RetryPolicy(
+        timeout=0.25,
+        max_retries=6,
+        backoff_base=0.01,
+        backoff_cap=0.05,
+        backoff_jitter=0.0,
+        death_threshold=10,
+    )
+    result = {}
+
+    def client_body(task, tids):
+        client = ResilientSciddleClient(task, iface, tids, policy=policy)
+        h = yield from client.call_async(tids[0], "work", nbytes=10)
+        result["reply"] = yield from client.wait(h)
+        yield from client.shutdown()
+
+    pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
+    pvm.run()
+    assert result["reply"] == "done"
+    assert len(handler_runs) == 1
+    assert cluster.metrics.counters["sciddle.retries"].value >= 1
+    assert cluster.metrics.counters["sciddle.dup_requests"].value >= 1
+
+
+def test_silent_server_is_declared_dead():
+    def mute_handler(task, args):
+        yield from task.compute(seconds=1e6)
+        return RpcReply()
+
+    cluster, pvm, iface, nodes, servers = setup_rpc(handler=mute_handler)
+    policy = RetryPolicy(
+        timeout=0.1, max_retries=10, backoff_base=0.01, death_threshold=3
+    )
+    outcome = {}
+
+    def client_body(task, tids):
+        client = ResilientSciddleClient(task, iface, tids, policy=policy)
+        h = yield from client.call_async(tids[0], "work", nbytes=10)
+        try:
+            yield from client.wait(h)
+        except ServerDeadError as exc:
+            outcome["error"] = exc
+        outcome["dead"] = client.health.dead
+        # ostracized servers get a fire-and-forget shutdown so a merely
+        # slow (rather than crashed) one exits its service loop
+        yield from client.quarantine(tids[0])
+
+    pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
+    pvm.run()
+    assert isinstance(outcome["error"], ServerDeadError)
+    assert outcome["dead"] == {servers[0].tid}
+    assert cluster.metrics.counters["sciddle.server_deaths"].value == 1
+    assert cluster.metrics.counters["sciddle.rpc_timeouts"].value == 3
+
+
+def test_exhausted_retry_budget_raises_rpc_timeout():
+    def mute_handler(task, args):
+        yield from task.compute(seconds=1e6)
+        return RpcReply()
+
+    cluster, pvm, iface, nodes, servers = setup_rpc(handler=mute_handler)
+    # budget (2 timeouts) runs out before the death threshold (5)
+    policy = RetryPolicy(
+        timeout=0.1, max_retries=1, backoff_base=0.01, death_threshold=5
+    )
+    outcome = {}
+
+    def client_body(task, tids):
+        client = ResilientSciddleClient(task, iface, tids, policy=policy)
+        h = yield from client.call_async(tids[0], "work", nbytes=10)
+        try:
+            yield from client.wait(h)
+        except RpcTimeoutError as exc:
+            outcome["error"] = exc
+        yield from client.quarantine(tids[0])
+
+    pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
+    pvm.run()
+    assert isinstance(outcome["error"], RpcTimeoutError)
+
+
+def test_calls_to_dead_servers_are_rejected():
+    cluster, pvm, iface, nodes, servers = setup_rpc()
+    caught = {}
+
+    def client_body(task, tids):
+        health = ServerHealth()
+        health.mark_dead(tids[0])
+        client = ResilientSciddleClient(task, iface, tids, health=health)
+        try:
+            yield from client.call_async(tids[0], "work", nbytes=10)
+        except ServerDeadError as exc:
+            caught["error"] = exc
+        # the server still needs a shutdown so the run drains; it is
+        # dead to the *client*, so send the quarantine path instead
+        yield from client.quarantine(tids[0])
+
+    pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
+    pvm.run()
+    assert isinstance(caught["error"], ServerDeadError)
+
+
+def test_zero_fault_behaviour_matches_plain_client():
+    """With no faults and ample timeouts the resilient client is a
+    drop-in: same replies, same virtual-time cost as SciddleClient."""
+    from repro.sciddle import SciddleClient
+
+    def run(client_cls):
+        cluster, pvm, iface, nodes, servers = setup_rpc(n_servers=2)
+        result = {}
+
+        def client_body(task, tids):
+            client = client_cls(task, iface, tids)
+            handles = []
+            for tid in tids:
+                h = yield from client.call_async(tid, "work", nbytes=10)
+                handles.append(h)
+            result["replies"] = []
+            for h in handles:
+                r = yield from client.wait(h)
+                result["replies"].append(r)
+            yield from client.shutdown()
+            result["t"] = task.now
+
+        pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
+        pvm.run()
+        return result
+
+    plain = run(SciddleClient)
+    resilient = run(ResilientSciddleClient)
+    assert plain["replies"] == resilient["replies"]
+    assert plain["t"] == resilient["t"]
+
+
+def test_retry_schedule_is_seed_deterministic():
+    def slow_handler(task, args):
+        yield from task.compute(seconds=0.6)
+        return RpcReply(nbytes=10, payload="done")
+
+    policy = RetryPolicy(
+        timeout=0.2, max_retries=8, backoff_base=0.02, death_threshold=20
+    )
+
+    def run():
+        cluster, pvm, iface, nodes, servers = setup_rpc(handler=slow_handler)
+        times = {}
+
+        def client_body(task, tids):
+            client = ResilientSciddleClient(task, iface, tids, policy=policy)
+            h = yield from client.call_async(tids[0], "work", nbytes=10)
+            yield from client.wait(h)
+            yield from client.shutdown()
+            times["t"] = task.now
+
+        pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
+        pvm.run()
+        return times["t"], cluster.metrics.counters["sciddle.retries"].value
+
+    assert run() == run()
