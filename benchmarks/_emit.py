@@ -1,0 +1,53 @@
+"""Machine-readable benchmark output shared by every bench_*.py.
+
+Each benchmark writes, alongside its human-readable ``out/<id>.txt``
+artifact, an ``out/<id>.json`` holding a flat list of metric records:
+
+    {"experiment": "FIG1_breakdown_medium",
+     "records": [{"name": "...", "metric": "...", "value": 1.23,
+                  "units": "s"}, ...]}
+
+so CI jobs and dashboards can consume results without screen-scraping
+the rendered tables.  Keep records scalar: one (name, metric, value,
+units) tuple per measured quantity.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, Union
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+_FIELDS = ("name", "metric", "value", "units")
+
+
+def record(
+    name: str, metric: str, value: Union[int, float], units: str
+) -> Dict[str, Union[str, float]]:
+    """One measured quantity as a JSON-able dict."""
+    return {
+        "name": str(name),
+        "metric": str(metric),
+        "value": float(value),
+        "units": str(units),
+    }
+
+
+def emit(
+    experiment_id: str, records: Iterable[Dict[str, Union[str, float]]]
+) -> pathlib.Path:
+    """Write ``out/<experiment_id>.json`` and return its path."""
+    rows = list(records)
+    if not rows:
+        raise ValueError("a benchmark must emit at least one record")
+    for row in rows:
+        missing = [field for field in _FIELDS if field not in row]
+        if missing:
+            raise ValueError(f"record {row!r} is missing {missing}")
+    payload = {"experiment": experiment_id, "records": rows}
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{experiment_id}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -7,6 +7,7 @@ platforms by best predicted time x rough acquisition cost for both
 workload regimes.
 """
 
+from _emit import emit, record
 from repro.core.parameters import ApplicationParams
 from repro.core.prediction import cost_effectiveness, predict_platforms
 from repro.opal.complexes import MEDIUM
@@ -42,6 +43,12 @@ def render(out) -> str:
 def test_bench_ablation_cost(benchmark, artifact):
     out = benchmark.pedantic(build, rounds=1, iterations=1)
     artifact("ABL5_cost_effectiveness", render(out))
+    emit(
+        "ABL5_cost_effectiveness",
+        [record(f"{label}/{r.platform}", "time_cost_product",
+                r.time_cost_product, "s*kUSD")
+         for label, rows in out.items() for r in rows],
+    )
 
     for rows in out.values():
         ranking = [r.platform for r in rows]

@@ -7,6 +7,7 @@ one, showing the idle-time signature appears only with the defect and
 only at even server counts.
 """
 
+from _emit import emit, record
 from repro.core.parameters import ApplicationParams
 from repro.opal.complexes import MEDIUM
 from repro.opal.parallel import run_parallel_opal
@@ -42,6 +43,11 @@ def render(out) -> str:
 def test_bench_ablation_imbalance(benchmark, artifact):
     out = benchmark.pedantic(build, rounds=1, iterations=1)
     artifact("ABL4_imbalance", render(out))
+    emit(
+        "ABL4_imbalance",
+        [record(f"{label}/p={p}", "idle_fraction", idle_frac, "fraction")
+         for label, rows in out.items() for p, idle_frac, _ in rows],
+    )
 
     defective = {p: (idle, imb) for p, idle, imb in out["defective dealer"]}
     repaired = {p: (idle, imb) for p, idle, imb in out["repaired dealer"]}

@@ -9,6 +9,7 @@ synthetic RPC, and a hypothetical zero-copy MPI at 10% of the crossbar's
 2 GB/s with 100x lower message overhead.
 """
 
+from _emit import emit, record
 from repro.core.parameters import ApplicationParams, ModelPlatformParams
 from repro.core.prediction import predict_series
 from repro.opal.complexes import MEDIUM
@@ -51,6 +52,13 @@ def render(series) -> str:
 def test_bench_ablation_middleware(benchmark, artifact):
     series = benchmark.pedantic(build, rounds=1, iterations=1)
     artifact("ABL3_middleware_whatif", render(series))
+    emit(
+        "ABL3_middleware_whatif",
+        [record(label, "best_time", s.best_time, "s")
+         for label, s in series.items()]
+        + [record(label, "saturation", s.saturation, "servers")
+           for label, s in series.items()],
+    )
 
     stock = series["stock PVM/Sciddle (3 MB/s)"]
     tuned = series["tuned Sciddle (7 MB/s)"]

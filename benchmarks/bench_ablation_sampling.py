@@ -12,6 +12,7 @@ distrust, quantified.
 
 import numpy as np
 
+from _emit import emit, record
 from repro.core.parameters import ApplicationParams
 from repro.hpm.sampling import SamplingMonitor, counter_rate
 from repro.opal.complexes import SMALL
@@ -64,6 +65,14 @@ def render(truth, estimates) -> str:
 def test_bench_ablation_sampling(benchmark, artifact):
     truth, estimates = benchmark.pedantic(build, rounds=1, iterations=1)
     artifact("ABL7_sampling_vs_counting", render(truth, estimates))
+    emit(
+        "ABL7_sampling_vs_counting",
+        [record("counter-ratio", "compute_rate", truth, "Flop/s")]
+        + [record(label.split(" ")[0], "sampled_rate_mean", mean, "Flop/s")
+           for label, (mean, _) in estimates.items()]
+        + [record(label.split(" ")[0], "sampled_rate_spread", std, "Flop/s")
+           for label, (_, std) in estimates.items()],
+    )
 
     fine_mean, fine_std = estimates["fine (1000 samples/s)"]
     coarse_mean, coarse_std = estimates["coarse (2 samples/s)"]

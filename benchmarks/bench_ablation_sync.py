@@ -6,6 +6,7 @@ accepted in exchange for separable response variables, as a function of
 the server count.
 """
 
+from _emit import emit, record
 from repro.core.parameters import ApplicationParams
 from repro.opal.parallel import run_parallel_opal
 from repro.opal.complexes import LARGE
@@ -47,6 +48,11 @@ def render(rows) -> str:
 def test_bench_ablation_sync(benchmark, artifact):
     rows = benchmark.pedantic(build, rounds=1, iterations=1)
     artifact("ABL2_sync_overhead", render(rows))
+    emit(
+        "ABL2_sync_overhead",
+        [record(f"p={p}", "accounting_slowdown", slow, "fraction")
+         for p, _, _, slow in rows],
+    )
 
     by_p = {p: slow for p, _, _, slow in rows}
     assert all(slow >= -1e-9 for slow in by_p.values())

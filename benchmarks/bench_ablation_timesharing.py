@@ -10,6 +10,7 @@ variance explodes, breaking the single-timing measurement protocol.
 
 import numpy as np
 
+from _emit import emit, record
 from repro.core.parameters import ApplicationParams
 from repro.netsim import Compute, Timeout
 from repro.opal.complexes import SMALL
@@ -107,6 +108,15 @@ def render(dedicated, shared) -> str:
 def test_bench_ablation_timesharing(benchmark, artifact):
     dedicated, shared = benchmark.pedantic(build, rounds=1, iterations=1)
     artifact("ABL8_timesharing", render(dedicated, shared))
+    emit(
+        "ABL8_timesharing",
+        [record("dedicated", "mean_wall_time", dedicated.mean(), "s"),
+         record("shared", "mean_wall_time", shared.mean(), "s"),
+         record("dedicated", "coefficient_of_variation",
+                dedicated.std() / dedicated.mean(), "fraction"),
+         record("shared", "coefficient_of_variation",
+                shared.std() / shared.mean(), "fraction")],
+    )
 
     # contention inflates the runtime materially
     assert shared.mean() > 1.15 * dedicated.mean()

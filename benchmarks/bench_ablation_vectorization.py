@@ -9,6 +9,7 @@ platform comparison would look like if the J90 could not vectorize —
 quantifying how much of the J90's standing is its vector pipelines.
 """
 
+from _emit import emit, record
 from repro.core.parameters import ApplicationParams, ModelPlatformParams
 from repro.core.prediction import predict_series
 from repro.opal.complexes import MEDIUM
@@ -69,6 +70,14 @@ def test_bench_ablation_vectorization(benchmark, artifact):
         build, rounds=1, iterations=1
     )
     artifact("ABL6_vectorization", render(curve, scenarios, scalar_factor))
+    emit(
+        "ABL6_vectorization",
+        [record(f"n={n}", "hockney_rate", r, "MFlop/s")
+         for n, r in curve.items()]
+        + [record(label, "time_at_1", s.times[0], "s")
+           for label, s in scenarios.items()]
+        + [record("opal-lengths", "vector_speedup", scalar_factor, "ratio")],
+    )
 
     # Hockney curve is monotone and saturates
     rates = list(curve.values())

@@ -6,6 +6,7 @@ pair lists, better accuracy at small cutoff radii — and verifies the
 workload claim mechanically on the real physics engine.
 """
 
+from _emit import emit, record
 from repro.opal import ComplexSpec, OpalSerial, compare_water_models
 from repro.opal.complexes import LARGE, MEDIUM
 from repro.opal.water import dipole_truncation_error
@@ -52,6 +53,14 @@ def render(analytic, counts) -> str:
 def test_bench_ablation_water(benchmark, artifact):
     analytic, counts = benchmark.pedantic(build, rounds=1, iterations=1)
     artifact("ABL1_water_model", render(analytic, counts))
+    emit(
+        "ABL1_water_model",
+        [record(name, "workload_reduction", cmp_.workload_reduction,
+                "fraction")
+         for name, cmp_ in analytic.items()]
+        + [record(f"united={united}", "active_pairs", count, "pairs")
+           for united, count in counts.items()],
+    )
 
     for cmp_ in analytic.values():
         assert cmp_.workload_reduction > 0.5

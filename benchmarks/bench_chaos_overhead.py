@@ -14,6 +14,7 @@ scheduler hiccups but not sustained load).
 
 import time
 
+from _emit import emit, record
 from repro.experiments import ExperimentRunner, reduced_design
 from repro.netsim.faults import FaultSpec
 from repro.platforms import CRAY_J90
@@ -84,6 +85,16 @@ def test_bench_chaos_overhead(benchmark, artifact):
     )
     artifact(
         "CHAOS_overhead", render(design, timings, plain_records, chaos_records)
+    )
+    emit(
+        "CHAOS_overhead",
+        [record(label, "wall_time", seconds, "s")
+         for label, seconds in timings.items()]
+        + [record(
+            "zero-fault", "resilience_overhead",
+            timings["resilient, zero faults"] / timings["plain client"] - 1,
+            "fraction",
+        )],
     )
 
     # the resilient stub with faults disabled is a bit-exact drop-in

@@ -10,6 +10,7 @@ servers, and when does it stop being one?
 
 import pytest
 
+from _emit import emit, record
 from repro.core.parameters import ApplicationParams, ModelPlatformParams
 from repro.opal.complexes import MEDIUM
 from repro.opal.decomposition import best_method, compare_decompositions
@@ -63,6 +64,13 @@ def render(out, winners) -> str:
 def test_bench_ext_decomposition(benchmark, artifact):
     out, winners = benchmark.pedantic(build, rounds=1, iterations=1)
     artifact("EXT2_decomposition", render(out, winners))
+    emit(
+        "EXT2_decomposition",
+        [record(f"{name}/{method}/p=7", "predicted_total",
+                {p: r.total for p, r in zip(SERVERS, rows)}[7], "s")
+         for name, methods in out.items()
+         for method, rows in methods.items()],
+    )
 
     # at p=1 the in-place methods (SD, FD) coincide; RD additionally pays
     # its client<->server coordinate traffic even with one server

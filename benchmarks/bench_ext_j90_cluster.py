@@ -13,6 +13,7 @@ The paper never evaluates that machine; we do.  Two views:
   cannot express.
 """
 
+from _emit import emit, record
 from repro.core.parameters import ApplicationParams, ModelPlatformParams
 from repro.core.prediction import predict_series
 from repro.opal.complexes import MEDIUM
@@ -69,6 +70,13 @@ def test_bench_ext_j90_cluster(benchmark, artifact):
         build, rounds=1, iterations=1
     )
     artifact("EXT3_j90_cluster", render(flat_model, simulated, single_j90))
+    emit(
+        "EXT3_j90_cluster",
+        [record(f"simulated/p={p}", "wall_time", t, "s")
+         for p, t in simulated.items()]
+        + [record(f"flat-model/p={p}", "wall_time", t, "s")
+           for p, t in zip(SERVERS, flat_model.times)],
+    )
 
     # the cluster scales past a single box for the compute-bound workload
     assert simulated[15] < simulated[7]

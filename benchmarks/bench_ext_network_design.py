@@ -11,6 +11,7 @@ that say *which* knob matters in each corner.
 
 import numpy as np
 
+from _emit import emit, record
 from repro.analysis.sensitivity import sensitivity_report
 from repro.core.model import OpalPerformanceModel
 from repro.core.parameters import ApplicationParams, ModelPlatformParams
@@ -74,6 +75,12 @@ def render(grid, j90_t7, sens) -> str:
 def test_bench_ext_network_design(benchmark, artifact):
     grid, j90_t7, sens = benchmark.pedantic(build, rounds=1, iterations=1)
     artifact("EXT5_network_design", render(grid, j90_t7, sens))
+    emit(
+        "EXT5_network_design",
+        [record(f"bw={bw}MB/lat={lat:g}", "predicted_t7", t, "s")
+         for (bw, lat), t in grid.items()]
+        + [record("j90-reference", "predicted_t7", j90_t7, "s")],
+    )
 
     # monotone in both knobs
     for lat in LATENCIES:

@@ -10,6 +10,7 @@ platform comparison predicts.
 
 import numpy as np
 
+from _emit import emit, record
 from repro.opal.complexes import ComplexSpec
 from repro.opal.minimize import steepest_descent
 from repro.opal.pairlist import VerletPairList
@@ -58,6 +59,11 @@ def render(runs) -> str:
 def test_bench_ext_physics_parallel(benchmark, artifact):
     runs = benchmark.pedantic(build, rounds=1, iterations=1)
     artifact("EXT4_physics_parallel", render(runs))
+    emit(
+        "EXT4_physics_parallel",
+        [record(f"{name}/p={p}", "virtual_wall_time", r.wall_time, "s")
+         for (name, p), r in runs.items()],
+    )
 
     energies = [r.records[-1].e_total for r in runs.values()]
     # the physics is independent of p and platform

@@ -8,6 +8,7 @@ points, and computes each platform's isoefficiency function (problem
 size required to hold 50% efficiency).
 """
 
+from _emit import emit, record
 from repro.core.isoefficiency import isoefficiency_curve
 from repro.core.model import OpalPerformanceModel
 from repro.core.parameters import ApplicationParams, ModelPlatformParams
@@ -59,6 +60,11 @@ def render(curves, iso) -> str:
 def test_bench_ext_scaling(benchmark, artifact):
     curves, iso = benchmark.pedantic(build, rounds=1, iterations=1)
     artifact("EXT1_scaling", render(curves, iso))
+    emit(
+        "EXT1_scaling",
+        [record(f"{label}/{name}", "saturation", s.saturation, "servers")
+         for label, series in curves.items() for name, s in series.items()],
+    )
 
     med = curves["medium"]
     # the predicted saturation exists for every platform by p=32

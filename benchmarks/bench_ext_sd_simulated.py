@@ -8,6 +8,7 @@ while the neighbour-exchange program keeps improving — Section 2.1's
 alternatives made executable.
 """
 
+from _emit import emit, record
 from repro.core.parameters import ApplicationParams
 from repro.opal.complexes import LARGE
 from repro.opal.parallel import run_parallel_opal
@@ -65,6 +66,13 @@ def render(out) -> str:
 def test_bench_ext_sd_simulated(benchmark, artifact):
     out = benchmark.pedantic(build, rounds=1, iterations=1)
     artifact("EXT6_sd_simulated", render(out))
+    emit(
+        "EXT6_sd_simulated",
+        [record(f"{name}/{method}/p={p}", "wall_time", runs[p].wall_time, "s")
+         for name, (rd_runs, sd_runs) in out.items()
+         for method, runs in (("RD", rd_runs), ("SD", sd_runs))
+         for p in SERVERS],
+    )
 
     rd, sd = out["j90"]
     # RD: linear comm growth and a turnover

@@ -6,6 +6,7 @@ medium molecule (n = 4289) on the simulated Cray J90, for 1..7 servers,
 {no cutoff, 10 A} x {full update, partial update}.
 """
 
+from _emit import emit, record
 from repro.analysis import PANEL_TITLES, breakdown_chart, breakdown_table, figure_breakdown
 from repro.opal.complexes import MEDIUM
 
@@ -25,6 +26,18 @@ def test_bench_fig1(benchmark, artifact):
         lambda: figure_breakdown(MEDIUM), rounds=1, iterations=1
     )
     artifact("FIG1_breakdown_medium", render(panels))
+    emit(
+        "FIG1_breakdown_medium",
+        [
+            record(f"panel-{key}/p={p}", "total_time", panels[key][p].total, "s")
+            for key in "abcd"
+            for p in (1, 4, 7)
+        ]
+        + [
+            record("panel-a/p=7", "comm_share",
+                   panels["a"][7].comm / panels["a"][7].total, "fraction"),
+        ],
+    )
 
     # shape assertions (see DESIGN.md acceptance criteria)
     a, c = panels["a"], panels["c"]

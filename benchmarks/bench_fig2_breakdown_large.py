@@ -5,6 +5,7 @@ The paper's observation: execution times roughly double, the behaviour
 of the components stays the same.
 """
 
+from _emit import emit, record
 from repro.analysis import PANEL_TITLES, breakdown_table, figure_breakdown
 from repro.opal.complexes import LARGE, MEDIUM
 
@@ -28,6 +29,14 @@ def test_bench_fig2(benchmark, artifact):
     # "the order of the measured execution time doubles when we increase
     # the problem size ... the behavior of the components remains the same"
     ratio = panels["a"][1].total / medium["a"][1].total
+    emit(
+        "FIG2_breakdown_large",
+        [
+            record(f"panel-a/p={p}", "total_time", panels["a"][p].total, "s")
+            for p in (1, 4, 7)
+        ]
+        + [record("large-vs-medium", "time_ratio", ratio, "ratio")],
+    )
     assert 1.8 < ratio < 2.6
     for p in (1, 4, 7):
         frac_large = panels["a"][p].fractions()

@@ -7,6 +7,7 @@ factor analysis showing which factors dominate the response (the paper's
 "maximum information with the minimum number of experiments" argument).
 """
 
+from _emit import emit, record
 from repro.analysis.figures import figure3_parameter_space
 from repro.core.model import OpalPerformanceModel
 from repro.core.parameters import ApplicationParams, ModelPlatformParams
@@ -73,6 +74,14 @@ def render(full, reduced, effects) -> str:
 def test_bench_fig3(benchmark, artifact):
     full, reduced, effects = benchmark.pedantic(build, rounds=1, iterations=1)
     artifact("FIG3_parameter_space", render(full, reduced, effects))
+    emit(
+        "FIG3_parameter_space",
+        [record("full-factorial", "design_cells", len(full), "experiments"),
+         record("reduced", "design_cells", len(reduced), "experiments")]
+        + [record(e.name, "variation_explained", e.variation_explained,
+                  "fraction")
+           for e in effects[:6]],
+    )
 
     assert len(full) == 84
     assert len(reduced) == 28

@@ -9,6 +9,7 @@ the measurement ... is excellent".
 
 import numpy as np
 
+from _emit import emit, record
 from repro.analysis import residuals_table
 from repro.analysis.figures import figure4_calibration
 
@@ -40,6 +41,13 @@ def test_bench_fig4(benchmark, artifact):
         figure4_calibration, rounds=1, iterations=1
     )
     artifact("FIG4_calibration", render(result, rows))
+    emit(
+        "FIG4_calibration",
+        [record("reduced-design", "mean_relative_error",
+                result.mean_relative_error(), "fraction")]
+        + [record(f"component-{k}", "r_squared", v, "dimensionless")
+           for k, v in sorted(result.r2.items())],
+    )
 
     assert len(rows) == 28
     assert result.mean_relative_error() < 0.08

@@ -5,6 +5,7 @@ predict 10-iteration execution times and relative speedups for 1..7
 servers — panels a/b without cutoff, c/d with the effective 10 A cutoff.
 """
 
+from _emit import emit, record
 from repro.analysis import curve_table
 from repro.analysis.figures import figure5
 from repro.core.speedup import slows_down
@@ -40,6 +41,13 @@ def render(out) -> str:
 def test_bench_fig5(benchmark, artifact):
     out = benchmark.pedantic(figure5, rounds=1, iterations=1)
     artifact("FIG5_predict_medium", render(out))
+    emit(
+        "FIG5_predict_medium",
+        [record(f"{regime}/{name}", "best_time", s.best_time, "s")
+         for regime, series in out.items() for name, s in series.items()]
+        + [record(f"cutoff/{name}", "speedup_at_7", s.speedups[-1], "ratio")
+           for name, s in out["cutoff"].items()],
+    )
 
     nocut, cut = out["no_cutoff"], out["cutoff"]
     # 5a/5b: compute bound, good speedup for everyone, node speed decides

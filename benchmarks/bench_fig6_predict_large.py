@@ -5,6 +5,7 @@ pushes the communication break-down point outwards and slightly improves
 speedups.
 """
 
+from _emit import emit, record
 from repro.analysis import curve_table
 from repro.analysis.figures import figure5, figure6
 
@@ -39,6 +40,11 @@ def render(out) -> str:
 def test_bench_fig6(benchmark, artifact):
     out = benchmark.pedantic(figure6, rounds=1, iterations=1)
     artifact("FIG6_predict_large", render(out))
+    emit(
+        "FIG6_predict_large",
+        [record(f"{regime}/{name}", "best_time", s.best_time, "s")
+         for regime, series in out.items() for name, s in series.items()],
+    )
 
     f5 = figure5()
     # behaviour "remains quite similar to the medium size problem"

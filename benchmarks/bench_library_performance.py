@@ -10,6 +10,7 @@ in the code paths every experiment leans on.
 
 import numpy as np
 
+from _emit import emit, record
 from repro.core.model import OpalPerformanceModel
 from repro.core.parameters import ApplicationParams, ModelPlatformParams
 from repro.netsim import Cluster, Node, SwitchedFabric, constant_rate
@@ -36,6 +37,11 @@ def test_perf_model_evaluation(benchmark):
 
     result = benchmark(evaluate)
     assert result > 0
+    emit(
+        "PERF_model_evaluation",
+        [record("breakdown-evaluation", "configs_per_second",
+                len(apps) / benchmark.stats.stats.mean, "configs/s")],
+    )
 
 
 def test_perf_pair_distribution(benchmark):
@@ -44,6 +50,11 @@ def test_perf_pair_distribution(benchmark):
 
     shares = benchmark(dist.shares, 9_195_616)
     assert shares.sum() == 9_195_616
+    emit(
+        "PERF_pair_distribution",
+        [record("deal-9.2M-pairs", "wall_time",
+                benchmark.stats.stats.mean, "s")],
+    )
 
 
 def test_perf_pairlist_build(benchmark):
@@ -54,6 +65,11 @@ def test_perf_pairlist_build(benchmark):
 
     pairs = benchmark(builder.build, system.coords)
     assert len(pairs) > 0
+    emit(
+        "PERF_pairlist_build",
+        [record("cell-list-1000-centers", "wall_time",
+                benchmark.stats.stats.mean, "s")],
+    )
 
 
 def test_perf_force_evaluation(benchmark):
@@ -68,6 +84,11 @@ def test_perf_force_evaluation(benchmark):
 
     total = benchmark(evaluate)
     assert np.isfinite(total)
+    emit(
+        "PERF_force_evaluation",
+        [record("force-energy-40k-pairs", "wall_time",
+                benchmark.stats.stats.mean, "s")],
+    )
 
 
 def test_perf_des_event_throughput(benchmark):
@@ -103,6 +124,11 @@ def test_perf_des_event_throughput(benchmark):
 
     events = benchmark(run_ping_pong)
     assert events > 8000
+    emit(
+        "PERF_des_event_throughput",
+        [record("ping-pong", "event_rate",
+                events / benchmark.stats.stats.mean, "events/s")],
+    )
 
 
 def test_perf_full_simulated_run(benchmark):
@@ -111,3 +137,10 @@ def test_perf_full_simulated_run(benchmark):
 
     result = benchmark(run_parallel_opal, app, CRAY_J90)
     assert result.wall_time > 0
+    emit(
+        "PERF_full_simulated_run",
+        [record("fig1-unit-of-work", "host_wall_time",
+                benchmark.stats.stats.mean, "s"),
+         record("fig1-unit-of-work", "virtual_wall_time",
+                result.wall_time, "s")],
+    )

@@ -10,6 +10,7 @@ warm cache performs zero new simulations.
 import tempfile
 import time
 
+from _emit import emit, record
 from repro.experiments import ExperimentRunner, reduced_design
 from repro.platforms import CRAY_J90
 
@@ -63,6 +64,13 @@ def test_bench_parallel_campaign(benchmark, artifact):
             )
         )
         artifact("PARALLEL_campaign", render(design, timings, warm))
+        emit(
+            "PARALLEL_campaign",
+            [record(label, "wall_time", seconds, "s")
+             for label, seconds in timings.items()]
+            + [record("warm-cache", "simulations_run",
+                      warm.simulations_run, "count")],
+        )
 
         for a, b in zip(serial_records, parallel_records):
             assert a.breakdown == b.breakdown

@@ -8,6 +8,7 @@ the best compiler — regenerating every column of Table 1.
 
 import pytest
 
+from _emit import emit, record
 from repro.platforms import format_table1, table1
 
 #: Paper values: exec time, MFlop counted, rate, adjusted rate.
@@ -45,6 +46,12 @@ def render(rows) -> str:
 def test_bench_table1(benchmark, artifact):
     rows = benchmark.pedantic(table1, rounds=1, iterations=1)
     artifact("TAB1_compute_speed", render(rows))
+    emit(
+        "TAB1_compute_speed",
+        [record(r.platform, "adjusted_rate", r.adjusted_rate_mflops, "MFlop/s")
+         for r in rows]
+        + [record(r.platform, "kernel_time", r.exec_time, "s") for r in rows],
+    )
 
     by_name = {r.platform: r for r in rows}
     for name, (time, counted, rate, adjusted) in PAPER.items():

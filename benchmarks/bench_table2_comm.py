@@ -7,6 +7,7 @@ observed columns of Table 2 next to the hardware peaks.
 
 import pytest
 
+from _emit import emit, record
 from repro.platforms import format_table2, table2
 
 #: Paper values: (peak MB/s, observed MB/s, observed latency seconds).
@@ -33,6 +34,13 @@ def render(rows) -> str:
 def test_bench_table2(benchmark, artifact):
     rows = benchmark.pedantic(table2, rounds=1, iterations=1)
     artifact("TAB2_comm_speed", render(rows))
+    emit(
+        "TAB2_comm_speed",
+        [record(r.platform, "observed_bandwidth", r.observed_mbps, "MB/s")
+         for r in rows]
+        + [record(r.platform, "message_latency", r.latency_s, "s")
+           for r in rows],
+    )
 
     by_name = {r.platform: r for r in rows}
     for name, (peak, observed, latency) in PAPER.items():

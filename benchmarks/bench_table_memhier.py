@@ -9,6 +9,7 @@ the paper's complexes.
 
 import pytest
 
+from _emit import emit, record
 from repro.core.space import SpaceModel
 from repro.netsim import Compute
 from repro.opal.complexes import LARGE
@@ -62,6 +63,11 @@ def render(rates) -> str:
 def test_bench_table_memhier(benchmark, artifact):
     rates = benchmark.pedantic(run_probe, rounds=1, iterations=1)
     artifact("T26B_memhier_table", render(rates))
+    emit(
+        "T26B_memhier_table",
+        [record(label.replace(" ", "-"), "compute_rate", rate, "MFlop/s")
+         for label, rate in rates.items()],
+    )
 
     # the paper's 35 / 32 / 8 MFlop/s row
     for label, expected in PAPER_RATES.items():

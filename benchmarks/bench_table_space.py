@@ -7,6 +7,7 @@ tables, energy values — and the per-server scaling the paper highlights.
 
 import pytest
 
+from _emit import emit, record
 from repro.core.space import SpaceModel
 from repro.opal.complexes import LARGE, MEDIUM, SMALL
 
@@ -45,6 +46,14 @@ def render(models) -> str:
 def test_bench_table_space(benchmark, artifact):
     models = benchmark.pedantic(build, rounds=1, iterations=1)
     artifact("T26A_space_table", render(models))
+    emit(
+        "T26A_space_table",
+        [record(name, "pair_list_total", m.pair_list_total(), "bytes")
+         for name, m in models.items()]
+        + [record(f"large/p={p}", "pair_list_per_server",
+                  models["large"].pair_list_per_server(p), "bytes")
+           for p in (1, 2, 4, 8)],
+    )
 
     large = models["large"]
     # the paper's printed example: pair list ~160 MB at 6290 centers

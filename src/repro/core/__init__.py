@@ -26,8 +26,10 @@ from .model import OpalPerformanceModel
 from .parameters import (
     ApplicationParams,
     ModelPlatformParams,
+    WorkloadTerms,
     energy_pair_work,
     update_pair_work,
+    workload_terms,
 )
 from .prediction import (
     CostEffectivenessRow,
@@ -62,6 +64,7 @@ __all__ = [
     "SpaceModel",
     "TimeBreakdown",
     "WhatIfStudy",
+    "WorkloadTerms",
     "amdahl_bound",
     "ParameterInterval",
     "bootstrap_calibration",
@@ -85,4 +88,5 @@ __all__ = [
     "speedup_curve",
     "update_nbint_crossover_n",
     "update_pair_work",
+    "workload_terms",
 ]

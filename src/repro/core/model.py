@@ -31,8 +31,7 @@ from .breakdown import TimeBreakdown
 from .parameters import (
     ApplicationParams,
     ModelPlatformParams,
-    energy_pair_work,
-    update_pair_work,
+    workload_terms,
 )
 
 #: The closed vocabulary of platform coefficients appearing in equations
@@ -54,14 +53,14 @@ class OpalPerformanceModel:
     def t_update(self, app: ApplicationParams) -> float:
         """Total pair-list update time over the run (eq. 3)."""
         pl = self.platform
-        per_update_pairs = update_pair_work(app.n, app.gamma)
-        return pl.a2 * (app.s * app.update_rate / app.p) * per_update_pairs
+        terms = workload_terms(app.molecule, app.cutoff)
+        return pl.a2 * (app.s * app.update_rate / app.p) * terms.update_pairs
 
     def t_nbint(self, app: ApplicationParams) -> float:
         """Total non-bonded energy evaluation time (eq. 4)."""
         pl = self.platform
-        pairs = energy_pair_work(app.n, app.n_tilde)
-        return pl.a3 * (app.s / app.p) * pairs
+        terms = workload_terms(app.molecule, app.cutoff)
+        return pl.a3 * (app.s / app.p) * terms.energy_pairs
 
     def t_par_comp(self, app: ApplicationParams) -> float:
         """Total parallel computation time (eq. 2)."""

@@ -87,6 +87,22 @@ class LintError(ReproError):
     """Raised by the simlint static analyzer for unusable inputs."""
 
 
+class ServeError(ReproError):
+    """Raised by the prediction service for rejected requests.
+
+    Carries an HTTP-style ``status`` (400 invalid request, 404 unknown
+    platform or molecule, 429 shed by admission control, 504 deadline
+    expired, 500 internal) and a short machine-readable ``reason`` that
+    lands verbatim in the error response's ``error.reason`` field.
+    """
+
+    def __init__(self, status: int, reason: str, detail: str = "") -> None:
+        super().__init__(detail or reason)
+        self.status = status
+        self.reason = reason
+        self.detail = detail or reason
+
+
 class PastEventError(SimulationError):
     """Raised when an event is scheduled at an absolute time before now.
 

@@ -20,6 +20,8 @@ import dataclasses
 import hashlib
 import json
 import pathlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Union
 
@@ -36,11 +38,12 @@ SCHEMA_VERSION = 1
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters for one cache instance."""
+    """Hit/miss/store/eviction counters for one cache instance."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -54,7 +57,12 @@ class CacheStats:
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dict (for reports and JSON)."""
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
 
     def __str__(self) -> str:
         return f"{self.hits} hit(s) / {self.misses} miss(es)"
@@ -177,12 +185,31 @@ class ResultCache:
     their key.  The cache never invalidates by time — changing any
     input, including the base seed or the platform's key data, changes
     the key and therefore misses.
+
+    ``max_entries`` bounds the on-disk entry count with least-recently
+    used eviction: a hit refreshes an entry's recency, a store of a new
+    entry beyond the bound evicts the coldest one(s) (counted in
+    ``stats.evictions``).  Recency is seeded from file modification
+    times on open, so a bounded cache keeps behaving LRU across
+    processes.  Corrupt entries (truncated writes, garbage payloads)
+    are treated as misses, never as errors; stats updates are guarded
+    by a lock so concurrent readers observe consistent hit/miss counts.
     """
 
-    def __init__(self, root: PathLike) -> None:
+    def __init__(self, root: PathLike, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
         self.stats = CacheStats()
+        self._lock = threading.Lock()
+        #: key -> None, in least-recently-used-first order
+        self._recency: "OrderedDict[str, None]" = OrderedDict()
+        for path in sorted(
+            self.root.glob("*.json"), key=lambda p: (p.stat().st_mtime, p.name)
+        ):
+            self._recency[path.stem] = None
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -200,25 +227,57 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def load(self, key: str) -> Optional[dict]:
-        """The stored payload for ``key``, or None on a miss."""
+        """The stored payload for ``key``, or None on a miss.
+
+        A file that cannot be read or parsed — a torn write, a truncated
+        copy, garbage bytes — is a miss, exactly as if the cell had
+        never been simulated; a payload that is not a JSON object is
+        rejected the same way so a corrupted entry can never leak a
+        non-record into the runner.
+        """
         path = self._path(key)
         try:
             with open(path) as fh:
                 value = json.load(fh)
-        except (OSError, json.JSONDecodeError):
-            self.stats.misses += 1
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            with self._lock:
+                self.stats.misses += 1
             return None
-        self.stats.hits += 1
+        if not isinstance(value, dict):
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            self.stats.hits += 1
+            self._touch(key)
         return value
 
     def store(self, key: str, value: dict) -> None:
-        """Persist ``value`` under ``key`` (atomic rename)."""
+        """Persist ``value`` under ``key`` (atomic rename, LRU-bounded)."""
         path = self._path(key)
         tmp = path.with_suffix(".tmp")
         with open(tmp, "w") as fh:
             json.dump(value, fh)
         tmp.replace(path)
-        self.stats.stores += 1
+        with self._lock:
+            self.stats.stores += 1
+            self._touch(key)
+            self._evict_over_bound()
+
+    def _touch(self, key: str) -> None:
+        """Mark ``key`` most recently used (caller holds the lock)."""
+        self._recency.pop(key, None)
+        self._recency[key] = None
+
+    def _evict_over_bound(self) -> None:
+        """Drop least-recently-used entries beyond ``max_entries``."""
+        if self.max_entries is None:
+            return
+        while len(self._recency) > self.max_entries:
+            coldest = next(iter(self._recency))  # insertion order = LRU first
+            del self._recency[coldest]
+            self._path(coldest).unlink(missing_ok=True)
+            self.stats.evictions += 1
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
@@ -229,6 +288,8 @@ class ResultCache:
         for path in self.root.glob("*.json"):
             path.unlink()
             n += 1
+        with self._lock:
+            self._recency.clear()
         return n
 
 

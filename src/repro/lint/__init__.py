@@ -4,7 +4,7 @@ The paper's methodology works because measurement is *exact*:
 middleware instrumentation separates communication from computation
 (Section 3) and the factorial design assumes every cell is reproducible
 (Section 4).  simlint machine-checks the source-level invariants that
-exactness rests on, in five rule families:
+exactness rests on, in six rule families:
 
 * **determinism** (``D1xx``) — no wall clocks, global RNG state,
   OS-entropy seeding or hash/identity-ordered iteration in simulation
@@ -20,7 +20,11 @@ exactness rests on, in five rule families:
   span leaks out of the exported traces;
 * **resilience** (``R5xx``) — receives in the Sciddle/Opal layers
   carry ``timeout=`` deadlines, so a lost message or dead peer cannot
-  wedge a chaos-campaign run.
+  wedge a chaos-campaign run;
+* **async hygiene** (``S6xx``) — the serving layer's event loop is
+  never stalled by blocking calls inside ``async def`` bodies, and
+  module-local coroutines are always awaited or scheduled rather than
+  silently discarded.
 
 Run it with ``python -m repro.lint [paths]`` (exits non-zero on
 findings) or programmatically via :func:`run_checks`.  Individual
@@ -35,6 +39,7 @@ from .registry import all_rules, get_rule
 from .runner import iter_python_files, load_modules, run_checks
 
 # importing the rule modules registers every shipped rule
+from . import async_hygiene as _async_hygiene  # noqa: F401
 from . import determinism as _determinism  # noqa: F401
 from . import hygiene as _hygiene  # noqa: F401
 from . import observability as _observability  # noqa: F401

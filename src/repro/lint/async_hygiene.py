@@ -1,0 +1,168 @@
+"""Async hygiene rules (codes ``S6xx``) for the serving layer.
+
+The prediction service promises bounded latency under concurrency: the
+event loop must never stall on a synchronous call, and every coroutine
+must actually be driven.  Both failure modes are silent — a blocking
+call just makes *other* clients' p99 explode, and an un-awaited
+coroutine vanishes without executing — so they are machine-checked:
+
+* **S601** — no blocking calls (``time.sleep``, ``subprocess.run``,
+  synchronous ``urllib``/``socket`` connects, ...) inside ``async def``
+  bodies in the serve package; off-load to an executor instead
+  (``loop.run_in_executor``), exactly as the service does for model
+  evaluation and calibration fits.
+* **S602** — a call to a module-local ``async def`` used as a bare
+  expression statement without ``await`` never runs; await it or hand
+  it to ``create_task``/``gather``.
+
+Both rules resolve only what static analysis can see: S601 matches
+module-qualified calls (via the import-alias map), S602 matches calls
+to ``async def`` names defined in the same file.  Receiver-rooted calls
+(``self.cache.load(...)``) are invisible to S601 by design — reviewers
+own those; the lint owns the unambiguous cases.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from .core import Finding, Rule, SourceModule
+from .registry import rule
+
+#: Packages whose async code paths are latency-critical.
+ASYNC_PACKAGES = ("serve",)
+
+#: Module-level callables that block the calling thread.
+_BLOCKING_CALLS = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.wait",
+        "os.waitpid",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "subprocess.Popen",
+        "urllib.request.urlopen",
+        "socket.create_connection",
+        "socket.getaddrinfo",
+        "requests.get",
+        "requests.post",
+        "requests.request",
+    }
+)
+
+
+def _async_body_calls(func: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Call nodes executing on the coroutine's own stack.
+
+    Descends the async function's body but not into nested function or
+    class definitions — a sync helper *defined* inside a coroutine does
+    not run on the event loop until called, and a nested ``async def``
+    is its own S601 subject when visited at the top of the walk.
+    """
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@rule
+class BlockingInAsyncRule(Rule):
+    """S601: no blocking calls on the event loop."""
+
+    code = "S601"
+    name = "blocking-in-async"
+    summary = (
+        "time.sleep/subprocess/sync-socket call inside an `async def` in "
+        "the serve package; use asyncio.sleep or loop.run_in_executor"
+    )
+    packages = ASYNC_PACKAGES
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag blocking module-level calls inside coroutine bodies."""
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in _async_body_calls(node):
+                dotted = module.resolve_call(call.func)
+                if dotted in _BLOCKING_CALLS:
+                    yield module.finding(
+                        call,
+                        self.code,
+                        f"{dotted}() blocks the event loop inside "
+                        f"`async def {node.name}`: every concurrent request "
+                        "stalls behind it; await the async equivalent or "
+                        "off-load via loop.run_in_executor",
+                    )
+
+
+def _local_async_names(tree: ast.Module) -> Set[str]:
+    """Names of every ``async def`` defined anywhere in the module."""
+    return {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.AsyncFunctionDef)
+    }
+
+
+def _called_async_name(call: ast.Call, async_names: Set[str]) -> str:
+    """The local async-def name a call targets, or '' if none.
+
+    Attribute calls only count when rooted at ``self`` — a bare method
+    name on an arbitrary receiver (``writer.close()``) routinely
+    collides with unrelated synchronous APIs.
+    """
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in async_names:
+        return func.id
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in async_names
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    ):
+        return func.attr
+    return ""
+
+
+@rule
+class UnawaitedCoroutineRule(Rule):
+    """S602: a coroutine called as a statement never runs."""
+
+    code = "S602"
+    name = "unawaited-coroutine"
+    summary = (
+        "bare-statement call of a module-local `async def` without "
+        "await; the coroutine object is discarded unexecuted"
+    )
+    packages = ASYNC_PACKAGES
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag expression statements that call a local async def."""
+        async_names = _local_async_names(module.tree)
+        if not async_names:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Expr) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            name = _called_async_name(node.value, async_names)
+            if name:
+                yield module.finding(
+                    node,
+                    self.code,
+                    f"{name}() is an `async def`: calling it only builds a "
+                    "coroutine object, which is discarded here without ever "
+                    "running; await it or schedule it with "
+                    "asyncio.create_task",
+                )

@@ -1,0 +1,63 @@
+"""Prediction-as-a-service: async serving of what-if model queries.
+
+The paper's punchline is that the calibrated model answers platform
+what-if questions *without* porting the application; this subpackage
+turns that into a long-running service.  Concurrent point queries are
+coalesced by a micro-batcher into vectorized model evaluations,
+admission control sheds overload deterministically (token buckets run
+on the load generator's virtual arrival stamps), and fitted calibration
+parameters are cached content-addressed — in memory, and optionally on
+disk via the same keying as campaign cells.
+
+Layers: :mod:`~repro.serve.api` (wire schema) →
+:mod:`~repro.serve.admission` → :mod:`~repro.serve.batcher` →
+:mod:`~repro.serve.service` (the pipeline core) →
+:mod:`~repro.serve.server` (asyncio TCP/HTTP transports), with
+:mod:`~repro.serve.calibstore` feeding calibrated coefficients and
+:mod:`~repro.serve.loadgen` driving reproducible campaigns.
+See docs/SERVING.md for the architecture and ops runbook.
+"""
+
+from .admission import AdmissionController, AdmissionStats, TokenBucket
+from .api import (
+    Query,
+    Request,
+    WIRE_VERSION,
+    canonical,
+    error_response,
+    is_ok,
+    ok_response,
+    parse_request,
+)
+from .batcher import MicroBatcher
+from .calibstore import CalibrationStore
+from .loadgen import LoadSpec, LoadgenReport, build_schedule, run_open_loop
+from .server import ServeClient, ServeServer, TcpServeClient, http_get, http_post
+from .service import PredictionService, ServeConfig
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "CalibrationStore",
+    "LoadSpec",
+    "LoadgenReport",
+    "MicroBatcher",
+    "PredictionService",
+    "Query",
+    "Request",
+    "ServeClient",
+    "ServeConfig",
+    "ServeServer",
+    "TcpServeClient",
+    "TokenBucket",
+    "WIRE_VERSION",
+    "build_schedule",
+    "canonical",
+    "error_response",
+    "http_get",
+    "http_post",
+    "is_ok",
+    "ok_response",
+    "parse_request",
+    "run_open_loop",
+]

@@ -1,0 +1,124 @@
+"""Admission control: token-bucket rate limiting and queue bounds.
+
+The service sheds load *before* it queues work, per client, with a
+classic token bucket: each client earns ``rate`` tokens per second up
+to a ``burst`` ceiling, and each admitted request spends one.  A
+request arriving with an empty bucket is rejected with a 429-style
+``shed:rate`` error; a request arriving while the service queue is at
+``max_queue_depth`` is rejected with ``shed:queue``.
+
+Determinism: buckets advance on whatever clock the caller passes to
+:meth:`TokenBucket.admit`.  The load generator stamps each request with
+a *virtual* arrival time from its seeded open-loop schedule, and the
+service rates stamped requests by that virtual time — so the admit/shed
+decision for a given (seed, rate, burst) workload is a pure function of
+the schedule, independent of wall-clock jitter or event-loop
+interleaving.  Unstamped (interactive) requests are rated by the event
+loop's monotonic clock instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class TokenBucket:
+    """One client's token bucket.
+
+    ``rate`` tokens accrue per second of (virtual or wall) time, capped
+    at ``burst``; the bucket starts full so a client's first ``burst``
+    requests always pass.  Time never runs backwards: a stale timestamp
+    is clamped to the last one seen, so out-of-order arrivals within
+    one client cannot mint extra tokens.
+    """
+
+    rate: float
+    burst: float
+    tokens: float = field(init=False)
+    last: Optional[float] = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate!r}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst!r}")
+        self.tokens = float(self.burst)
+
+    def admit(self, now: float) -> bool:
+        """Spend one token at time ``now``; False means shed."""
+        if self.last is None:
+            self.last = now
+        elif now > self.last:
+            self.tokens = min(
+                float(self.burst), self.tokens + (now - self.last) * self.rate
+            )
+            self.last = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass
+class AdmissionStats:
+    """Counters for admission decisions."""
+
+    admitted: int = 0
+    shed_rate: int = 0
+    shed_queue: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (for reports and JSON)."""
+        return {
+            "admitted": self.admitted,
+            "shed_rate": self.shed_rate,
+            "shed_queue": self.shed_queue,
+        }
+
+
+class AdmissionController:
+    """Per-client rate limiting plus a global queue bound.
+
+    ``decide`` returns ``None`` to admit, or the shed reason
+    (``"rate"`` or ``"queue"``) to reject.  Queue-bound shedding
+    consults the live queue depth supplied by the caller, so it
+    reflects backpressure from the compute stage; rate shedding is a
+    pure function of the per-client request timeline.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: int = 1024,
+        rate: float = 200.0,
+        burst: int = 50,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth!r}"
+            )
+        self.max_queue_depth = max_queue_depth
+        self.rate = rate
+        self.burst = burst
+        self.stats = AdmissionStats()
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def bucket_for(self, client: str) -> TokenBucket:
+        """The (lazily created) token bucket for one client."""
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(rate=self.rate, burst=self.burst)
+            self._buckets[client] = bucket
+        return bucket
+
+    def decide(self, client: str, now: float, queue_depth: int) -> Optional[str]:
+        """Admit (None) or shed ("rate" / "queue") one request."""
+        if queue_depth >= self.max_queue_depth:
+            self.stats.shed_queue += 1
+            return "queue"
+        if not self.bucket_for(client).admit(now):
+            self.stats.shed_rate += 1
+            return "rate"
+        self.stats.admitted += 1
+        return None

@@ -1,0 +1,230 @@
+"""Calibration store: content-addressed caching of fitted parameters.
+
+A ``calibrated=True`` query wants model coefficients *fitted to
+measurements* (the paper's Section 3 protocol) rather than derived from
+the platform's Table 1/2 key data.  Fitting means running a reduced
+campaign — 28 simulated cells — which takes far too long to sit on a
+request's critical path, so the store caches fitted
+:class:`~repro.core.parameters.ModelPlatformParams` three ways:
+
+* **in memory**, an LRU of the last ``max_entries`` platforms fitted;
+* **on disk** (optional ``cache_dir``), reusing
+  :class:`~repro.experiments.cache.ResultCache` — the same
+  content-addressed keying as campaign cells, so a store survives
+  restarts and two services over one directory share fits;
+* **by refresh policy** when a fit is missing or stale: ``"none"``
+  falls back to key-data parameters, ``"background"`` falls back *now*
+  and schedules the fit off the event loop for future requests,
+  ``"blocking"`` awaits the fit (off-loop, in an executor).
+
+The content key covers the platform's key data, the design, and the
+measurement protocol — change any of them and the old fit misses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from concurrent.futures import Executor
+from typing import Dict, List, Optional, Tuple
+
+from ..core.calibration import calibrate
+from ..core.parameters import ModelPlatformParams
+from ..experiments.cache import ResultCache, platform_key_data
+from ..experiments.cases import ExperimentCase, reduced_design
+from ..experiments.runner import DEFAULT_JITTER, ExperimentRunner
+
+#: Where a query's parameters came from (reported in every response).
+SOURCE_KEY_DATA = "key-data"
+SOURCE_CALIBRATED = "calibrated"
+
+#: Accepted refresh policies for :meth:`CalibrationStore.resolve`.
+REFRESH_MODES = ("none", "background", "blocking")
+
+
+def params_to_dict(params: ModelPlatformParams) -> Dict[str, object]:
+    """Fitted parameters as JSON-able wire/cache data."""
+    return {
+        "name": params.name,
+        "a1": params.a1,
+        "b1": params.b1,
+        "a2": params.a2,
+        "a3": params.a3,
+        "a4": params.a4,
+        "b5": params.b5,
+    }
+
+
+def params_from_dict(data: Dict[str, object]) -> ModelPlatformParams:
+    """Rebuild fitted parameters from :func:`params_to_dict` output."""
+    return ModelPlatformParams(
+        name=str(data["name"]),
+        a1=float(data["a1"]),  # type: ignore[arg-type]
+        b1=float(data["b1"]),  # type: ignore[arg-type]
+        a2=float(data["a2"]),  # type: ignore[arg-type]
+        a3=float(data["a3"]),  # type: ignore[arg-type]
+        a4=float(data["a4"]),  # type: ignore[arg-type]
+        b5=float(data["b5"]),  # type: ignore[arg-type]
+    )
+
+
+class CalibrationStore:
+    """LRU + disk cache of fitted platform parameters.
+
+    ``design`` defaults to the paper's reduced fraction; ``seed``,
+    ``jitter_sigma`` and ``repetitions`` fix the measurement protocol
+    (and enter the content key).  ``stale_after`` ages in-memory fits
+    out after that many seconds on the supplied monotonic ``clock`` —
+    a stale entry still serves, but triggers a background refit when
+    the refresh policy allows one.
+    """
+
+    def __init__(
+        self,
+        design: Optional[List[ExperimentCase]] = None,
+        seed: int = 0,
+        jitter_sigma: float = DEFAULT_JITTER,
+        repetitions: int = 1,
+        max_entries: int = 8,
+        cache_dir=None,
+        stale_after: Optional[float] = None,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries!r}")
+        self.design = list(design) if design is not None else reduced_design()
+        self.seed = seed
+        self.jitter_sigma = jitter_sigma
+        self.repetitions = repetitions
+        self.max_entries = max_entries
+        self.stale_after = stale_after
+        self.disk = ResultCache(cache_dir) if cache_dir is not None else None
+        self._executor = executor
+        #: key -> (params, fitted_at), least-recently-used first
+        self._entries: "OrderedDict[str, Tuple[ModelPlatformParams, float]]" = (
+            OrderedDict()
+        )
+        self._inflight: Dict[str, "asyncio.Task[ModelPlatformParams]"] = {}
+        self.hits = 0
+        self.misses = 0
+        self.fits = 0
+        self.refreshes = 0
+
+    # ------------------------------------------------------------------
+    def key_for_platform(self, spec) -> str:
+        """Content address of one platform's fit under this protocol."""
+        return ResultCache.key_for(
+            {
+                "kind": "calibration",
+                "platform": platform_key_data(spec),
+                "design": [case.key_data() for case in self.design],
+                "protocol": {
+                    "seed": self.seed,
+                    "jitter_sigma": self.jitter_sigma,
+                    "repetitions": self.repetitions,
+                    "sync_mode": "accounted",
+                },
+            }
+        )
+
+    def fit(self, spec) -> ModelPlatformParams:
+        """Run the reduced campaign and fit parameters (synchronous).
+
+        This is the expensive path — a full simulated campaign — and is
+        only ever called off the event loop (via an executor) or from
+        synchronous tools like the CLI.
+        """
+        runner = ExperimentRunner(
+            spec,
+            jitter_sigma=self.jitter_sigma,
+            repetitions=self.repetitions,
+            seed=self.seed,
+        )
+        result = calibrate(
+            runner.observations(self.design), name=f"{spec.name}-serve-fit"
+        )
+        self.fits += 1
+        return result.params
+
+    # ------------------------------------------------------------------
+    def _remember(self, key: str, params: ModelPlatformParams, now: float) -> None:
+        self._entries.pop(key, None)
+        self._entries[key] = (params, now)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        if self.disk is not None:
+            self.disk.store(key, params_to_dict(params))
+
+    def _lookup(self, key: str, now: float) -> Optional[ModelPlatformParams]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            params, fitted_at = entry
+            if self.stale_after is not None and now - fitted_at > self.stale_after:
+                return None  # stale: caller decides whether to refit
+            return params
+        if self.disk is not None:
+            data = self.disk.load(key)
+            if data is not None:
+                try:
+                    params = params_from_dict(data)
+                except (KeyError, TypeError, ValueError):
+                    return None  # corrupt disk entry = miss
+                self._remember(key, params, now)
+                return params
+        return None
+
+    async def _fit_off_loop(self, spec, key: str, now: float) -> ModelPlatformParams:
+        loop = asyncio.get_running_loop()
+        params = await loop.run_in_executor(self._executor, self.fit, spec)
+        self._remember(key, params, now)
+        return params
+
+    def _spawn_refresh(self, spec, key: str, now: float) -> None:
+        """Schedule a background (re)fit, deduplicating in-flight keys."""
+        if key in self._inflight:
+            return
+        self.refreshes += 1
+
+        async def refresh() -> ModelPlatformParams:
+            try:
+                return await self._fit_off_loop(spec, key, now)
+            finally:
+                self._inflight.pop(key, None)
+
+        self._inflight[key] = asyncio.get_running_loop().create_task(refresh())
+
+    async def drain(self) -> None:
+        """Await all in-flight background fits (tests and shutdown)."""
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight.values()))
+
+    # ------------------------------------------------------------------
+    async def resolve(
+        self, spec, now: float, refresh: str = "background"
+    ) -> Tuple[ModelPlatformParams, str]:
+        """Fitted parameters for ``spec``, or the key-data fallback.
+
+        Returns ``(params, source)`` where source is
+        :data:`SOURCE_CALIBRATED` when a (fresh enough) fit was found or
+        produced, and :data:`SOURCE_KEY_DATA` when the store fell back
+        to Table 1/2-derived parameters under the given policy.
+        """
+        if refresh not in REFRESH_MODES:
+            raise ValueError(
+                f"refresh must be one of {REFRESH_MODES}, got {refresh!r}"
+            )
+        key = self.key_for_platform(spec)
+        params = self._lookup(key, now)
+        if params is not None:
+            self.hits += 1
+            return params, SOURCE_CALIBRATED
+        self.misses += 1
+        if refresh == "blocking":
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                return await asyncio.shield(inflight), SOURCE_CALIBRATED
+            return await self._fit_off_loop(spec, key, now), SOURCE_CALIBRATED
+        if refresh == "background":
+            self._spawn_refresh(spec, key, now)
+        return ModelPlatformParams.from_spec(spec), SOURCE_KEY_DATA

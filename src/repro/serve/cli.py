@@ -1,0 +1,258 @@
+"""``python -m repro.serve`` — serve, query and bench commands.
+
+Commands
+--------
+``serve``  run the TCP/HTTP prediction server in the foreground
+``query``  answer one query (in-process by default, or against a server)
+``bench``  drive a seeded load-generator campaign and report/assert
+
+``bench`` is also the CI smoke runner: ``--fail-on-shed`` and
+``--p99-budget`` turn the report into assertions, and ``--json`` emits
+the machine-readable result the workflow archives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import Any, Dict, Optional
+
+from . import api
+from .calibstore import CalibrationStore
+from .loadgen import LoadSpec, build_schedule, run_open_loop
+from .server import ServeClient, ServeServer, TcpServeClient
+from .service import PredictionService, ServeConfig
+
+
+def _add_service_opts(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="micro-batch size cap (1 = sequential serving)")
+    p.add_argument("--max-linger", type=float, default=0.002,
+                   help="seconds to wait for stragglers in a partial batch")
+    p.add_argument("--queue-depth", type=int, default=1024,
+                   help="max queued requests before shedding (429 shed:queue)")
+    p.add_argument("--admit-rate", type=float, default=200.0,
+                   help="per-client token-bucket refill rate (req/s)")
+    p.add_argument("--burst", type=int, default=50,
+                   help="per-client token-bucket burst capacity")
+    p.add_argument("--cache-dir", default=None,
+                   help="on-disk calibration cache directory")
+    p.add_argument("--refresh", choices=("none", "background", "blocking"),
+                   default="background",
+                   help="calibration refresh policy on a cache miss")
+
+
+def _build_service(args: argparse.Namespace) -> PredictionService:
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_linger=args.max_linger,
+        max_queue_depth=args.queue_depth,
+        rate=args.admit_rate,
+        burst=args.burst,
+        refresh=args.refresh,
+    )
+    store = CalibrationStore(cache_dir=args.cache_dir)
+    obs = None
+    if getattr(args, "trace_out", None) is not None:
+        from ..obs import ObsSession
+
+        obs = ObsSession(label="serve")
+    return PredictionService(config=config, calibrations=store, obs=obs)
+
+
+def _finish_trace(args: argparse.Namespace, service: PredictionService) -> None:
+    path = getattr(args, "trace_out", None)
+    if path is None or service.obs is None:
+        return
+    if str(path).endswith(".jsonl"):
+        service.obs.export_jsonl(path)
+    else:
+        service.obs.export_chrome(path)
+    print(f"trace written to {path}", file=sys.stderr)
+
+
+# ----------------------------------------------------------------------
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the prediction server until interrupted."""
+
+    async def run() -> None:
+        service = _build_service(args)
+        async with ServeServer(service, host=args.host, port=args.port) as server:
+            print(
+                f"serving on {args.host}:{server.bound_port} "
+                f"(NDJSON + HTTP; POST /v1/query, GET /healthz)",
+                flush=True,
+            )
+            await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
+def _query_envelope(args: argparse.Namespace) -> Dict[str, Any]:
+    envelope: Dict[str, Any] = {
+        "v": api.WIRE_VERSION,
+        "id": "cli",
+        "client": "cli",
+        "kind": args.kind,
+    }
+    if args.kind in ("predict", "sweep"):
+        query: Dict[str, Any] = {
+            "platform": args.platform,
+            "molecule": args.molecule,
+            "update_interval": args.update_interval,
+            "cutoff": args.cutoff,
+            "steps": args.steps,
+            "calibrated": args.calibrated,
+        }
+        if args.kind == "predict":
+            query["servers"] = args.servers
+        else:
+            query["servers"] = list(range(1, args.servers + 1))
+        envelope["query"] = query
+    return envelope
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Answer one query and print the response envelope as JSON."""
+
+    async def run() -> Dict[str, Any]:
+        envelope = _query_envelope(args)
+        if args.connect is not None:
+            host, _, port = args.connect.partition(":")
+            async with TcpServeClient(host, int(port)) as client:
+                return await client.request(envelope)
+        service = _build_service(args)
+        async with service:
+            return await ServeClient(service).request(envelope)
+
+    response = asyncio.run(run())
+    print(api.canonical(response) if args.compact else json.dumps(response, indent=2))
+    return 0 if api.is_ok(response) else 1
+
+
+# ----------------------------------------------------------------------
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run a seeded load campaign in-process; report and assert."""
+    spec = LoadSpec(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        rate=args.load_rate,
+        seed=args.seed,
+        sweep_fraction=args.sweep_fraction,
+        calibrated=args.calibrated,
+        deadline=args.deadline,
+    )
+
+    async def run() -> Dict[str, Any]:
+        service = _build_service(args)
+        async with service:
+            schedule = build_schedule(spec)
+            report = await run_open_loop(
+                ServeClient(service).request, schedule, pace=args.pace
+            )
+        result: Dict[str, Any] = report.summary()
+        result["latency"] = service.latency_quantiles()
+        result["service"] = service.report()
+        result["shed_ids"] = report.shed_ids()
+        _finish_trace(args, service)
+        return result
+
+    result = asyncio.run(run())
+    failures = []
+    if args.fail_on_shed and (result["shed_rate"] or result["shed_queue"]):
+        failures.append(
+            f"shed {result['shed_rate']} by rate + "
+            f"{result['shed_queue']} by queue at nominal load"
+        )
+    if args.p99_budget is not None and result["latency"]["p99"] > args.p99_budget:
+        failures.append(
+            f"p99 {result['latency']['p99']:.6f}s over budget {args.p99_budget}s"
+        )
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        lat = result["latency"]
+        print(
+            f"sent {result['sent']}  ok {result['ok']}  "
+            f"shed {result['shed_rate']}+{result['shed_queue']}  "
+            f"expired {result['expired']}  errors {result['errors']}"
+        )
+        print(
+            f"wall {result['wall_s']:.3f}s  throughput {result['throughput_rps']:.1f} "
+            f"req/s  p50 {lat['p50'] * 1e3:.2f}ms  p95 {lat['p95'] * 1e3:.2f}ms  "
+            f"p99 {lat['p99'] * 1e3:.2f}ms"
+        )
+        occupancy = result["service"]["mean_occupancy"]
+        print(f"batches {result['service']['batches']}  mean occupancy {occupancy:.1f}")
+    for failure in failures:
+        print(f"BENCH FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+def main(argv: Optional[list] = None) -> int:
+    """Entry point for ``python -m repro.serve``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="prediction-as-a-service: what-if queries over the model",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("serve", help="run the TCP/HTTP server in the foreground")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8123)
+    _add_service_opts(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("query", help="answer one query and print JSON")
+    p.add_argument("--kind", choices=api.KINDS, default="predict")
+    p.add_argument("--platform", default="j90")
+    p.add_argument("--molecule", choices=("small", "medium", "large"),
+                   default="medium")
+    p.add_argument("--servers", type=int, default=4,
+                   help="server count (predict) or max of the 1..N sweep")
+    p.add_argument("--cutoff", type=float, default=None)
+    p.add_argument("--update-interval", type=int, default=1)
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--calibrated", action="store_true",
+                   help="resolve coefficients through the calibration store")
+    p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                   help="query a running server over NDJSON instead of in-process")
+    p.add_argument("--compact", action="store_true",
+                   help="print canonical single-line JSON")
+    _add_service_opts(p)
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("bench", help="seeded load campaign with assertions")
+    p.add_argument("--clients", type=int, default=16)
+    p.add_argument("--requests", type=int, default=25,
+                   help="requests per client")
+    p.add_argument("--load-rate", type=float, default=100.0,
+                   help="per-client mean request rate (req/s)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sweep-fraction", type=float, default=0.1)
+    p.add_argument("--calibrated", action="store_true")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request latency budget in seconds")
+    p.add_argument("--pace", action="store_true",
+                   help="pace submissions on the virtual arrival schedule")
+    p.add_argument("--fail-on-shed", action="store_true",
+                   help="exit non-zero if any request was shed")
+    p.add_argument("--p99-budget", type=float, default=None,
+                   help="exit non-zero if p99 latency exceeds this (seconds)")
+    p.add_argument("--trace-out", default=None,
+                   help="export the serve-side observability trace here")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report")
+    _add_service_opts(p)
+    p.set_defaults(func=cmd_bench)
+
+    args = parser.parse_args(argv)
+    return args.func(args)

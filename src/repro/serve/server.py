@@ -1,0 +1,345 @@
+"""Transports: asyncio TCP server (NDJSON + HTTP) and clients.
+
+The network face of :class:`~repro.serve.service.PredictionService`,
+hand-rolled on :func:`asyncio.start_server` — no ``http.server``, no
+threads.  One listener speaks two protocols, sniffed from the first
+line of each connection:
+
+* **NDJSON** (the native protocol): one request envelope per line, one
+  response envelope per line, pipelined — a client may write many
+  requests before reading; responses carry the request's ``id`` and
+  may arrive out of submission order (batching reorders).
+* **HTTP/1.1** (curl-friendly): ``POST /v1/query`` with a JSON
+  envelope body, ``GET /healthz`` for liveness, ``GET /v1/platforms``
+  for the catalog.  Connections are ``Connection: close``.
+
+:class:`ServeClient` is the in-process client — it submits directly to
+the service and is what the load generator and most tests use;
+:class:`TcpServeClient` speaks NDJSON over a real socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from . import api
+from .service import PredictionService
+
+#: Largest accepted request line/body in bytes (anti-foot-gun bound).
+MAX_REQUEST_BYTES = 1 << 20
+
+
+class ServeClient:
+    """In-process client: zero-copy path straight into the service."""
+
+    def __init__(self, service: PredictionService) -> None:
+        self.service = service
+
+    async def request(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit one envelope and await its response."""
+        return await self.service.submit(envelope)
+
+    async def ping(self) -> bool:
+        """Liveness probe."""
+        response = await self.request({"kind": "ping", "id": "ping"})
+        return api.is_ok(response)
+
+
+class TcpServeClient:
+    """NDJSON client over a real TCP connection."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> None:
+        """Open the connection (idempotent)."""
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+
+    async def close(self) -> None:
+        """Close the connection."""
+        if self._writer is not None:
+            self._writer.close()
+            await self._writer.wait_closed()
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "TcpServeClient":
+        """Async context manager: connect on enter."""
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        """Async context manager: close on exit."""
+        await self.close()
+
+    async def request(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit one envelope and await one response line."""
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(api.canonical(envelope).encode("utf-8") + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+
+class ServeServer:
+    """The asyncio TCP listener wrapping one service instance."""
+
+    def __init__(
+        self,
+        service: PredictionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def bound_port(self) -> int:
+        """The actually bound port (resolves ``port=0`` after start)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    async def start(self) -> None:
+        """Start the service and begin listening."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+
+    async def stop(self) -> None:
+        """Stop listening, drain in-flight work, stop the service."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def __aenter__(self) -> "ServeServer":
+        """Async context manager: start on enter."""
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        """Async context manager: stop on exit."""
+        await self.stop()
+
+    async def serve_forever(self) -> None:
+        """Block until cancelled (the CLI's foreground mode)."""
+        assert self._server is not None
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Sniff the protocol from the first line and dispatch."""
+        try:
+            first = await reader.readline()
+            if not first:
+                return
+            if first.startswith((b"POST ", b"GET ", b"HEAD ")):
+                await self._handle_http(first, reader, writer)
+            else:
+                await self._handle_ndjson(first, reader, writer)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):  # pragma: no cover
+                pass
+
+    # -- NDJSON ---------------------------------------------------------
+    async def _handle_ndjson(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """One envelope per line; responses written as they complete."""
+        tasks: List["asyncio.Task[None]"] = []
+        lock = asyncio.Lock()
+
+        async def answer(line: bytes) -> None:
+            try:
+                envelope = json.loads(line)
+            except json.JSONDecodeError:
+                response = api.error_response(
+                    "", api.BAD_REQUEST, "invalid-json", "unparseable request line"
+                )
+            else:
+                response = await self.service.submit(envelope)
+            async with lock:  # one response line at a time
+                writer.write(api.canonical(response).encode("utf-8") + b"\n")
+                await writer.drain()
+
+        line = first
+        while line:
+            stripped = line.strip()
+            if stripped:
+                if len(stripped) > MAX_REQUEST_BYTES:
+                    break
+                tasks.append(asyncio.get_running_loop().create_task(answer(stripped)))
+            line = await reader.readline()
+        if tasks:
+            await asyncio.gather(*tasks)
+
+    # -- HTTP -----------------------------------------------------------
+    async def _handle_http(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Minimal HTTP/1.1: one request, one JSON response, close."""
+        try:
+            method, target, _version = first.decode("latin-1").split(" ", 2)
+        except ValueError:
+            await self._http_reply(
+                writer,
+                api.BAD_REQUEST,
+                api.error_response("", api.BAD_REQUEST, "bad-request-line"),
+            )
+            return
+        headers = await self._read_headers(reader)
+        if method == "GET" and target == "/healthz":
+            await self._http_reply(writer, api.OK, {"status": "ok"})
+            return
+        if method == "GET" and target == "/v1/platforms":
+            response = await self.service.submit(
+                {"kind": "platforms", "id": "http"}
+            )
+            await self._http_reply(writer, response["status"], response)
+            return
+        if method == "POST" and target == "/v1/query":
+            length = int(headers.get("content-length", "0"))
+            if length <= 0 or length > MAX_REQUEST_BYTES:
+                await self._http_reply(
+                    writer,
+                    api.BAD_REQUEST,
+                    api.error_response(
+                        "", api.BAD_REQUEST, "invalid-length",
+                        "POST /v1/query needs a JSON body with Content-Length",
+                    ),
+                )
+                return
+            body = await reader.readexactly(length)
+            try:
+                envelope = json.loads(body)
+            except json.JSONDecodeError:
+                await self._http_reply(
+                    writer,
+                    api.BAD_REQUEST,
+                    api.error_response("", api.BAD_REQUEST, "invalid-json"),
+                )
+                return
+            response = await self.service.submit(envelope)
+            await self._http_reply(writer, response["status"], response)
+            return
+        await self._http_reply(
+            writer,
+            api.NOT_FOUND,
+            api.error_response(
+                "", api.NOT_FOUND, "unknown-endpoint",
+                f"no handler for {method} {target}",
+            ),
+        )
+
+    @staticmethod
+    async def _read_headers(reader: asyncio.StreamReader) -> Dict[str, str]:
+        """Read HTTP headers up to the blank line (names lowercased)."""
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                return headers
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+    @staticmethod
+    async def _http_reply(
+        writer: asyncio.StreamWriter, status: int, payload: Dict[str, Any]
+    ) -> None:
+        """Write one JSON response and flush."""
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   429: "Too Many Requests", 500: "Internal Server Error",
+                   504: "Gateway Timeout"}
+        body = api.canonical(payload).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+
+async def http_get(host: str, port: int, path: str) -> Tuple[int, Dict[str, Any]]:
+    """Tiny HTTP GET helper (tests and the CLI's health probe)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n\r\n".encode("latin-1")
+        )
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        body = await reader.readexactly(length) if length else b"{}"
+        return status, json.loads(body)
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+async def http_post(
+    host: str, port: int, path: str, payload: Dict[str, Any]
+) -> Tuple[int, Dict[str, Any]]:
+    """Tiny HTTP POST helper (tests and ``repro serve query --http``)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = api.canonical(payload).encode("utf-8")
+        head = (
+            f"POST {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        status = int(status_line.split()[1])
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            if line.lower().startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+        response = await reader.readexactly(length) if length else b"{}"
+        return status, json.loads(response)
+    finally:
+        writer.close()
+        await writer.wait_closed()

@@ -1,0 +1,447 @@
+"""The prediction service: admit → queue → batch → compute → reply.
+
+:class:`PredictionService` is the transport-independent core.  One
+request enters as a decoded JSON envelope via :meth:`submit` and leaves
+as a response envelope; between the two it passes admission control
+(:mod:`repro.serve.admission`), a bounded queue, the micro-batcher
+(:mod:`repro.serve.batcher`) and a vectorized model evaluation that is
+off-loaded to a single worker thread so the event loop keeps accepting
+requests while the model computes.
+
+Batching exploits the model's structure: all requests in a batch that
+share a (platform, calibration, molecule, cutoff, update, steps) cell
+reuse one calibration resolve, one
+:class:`~repro.core.model.OpalPerformanceModel` and the memoized
+workload terms; each point is then evaluated by exactly the same
+per-point code path as an unbatched request, so responses are
+bit-identical whether a query was served alone or in a batch of 64.
+
+Every stage is observable: with ``obs=`` the service records per-stage
+spans (``admit``/``queue``/``compute``/``reply`` on the ``serve``
+process) and feeds the session's metrics registry; without it a private
+registry collects the same counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.model import OpalPerformanceModel
+from ..core.parameters import ApplicationParams, ModelPlatformParams
+from ..core.prediction import predict_series
+from ..errors import ServeError
+from ..obs.metrics import MetricsRegistry
+from ..obs.session import ObsSession
+from ..opal.complexes import get_complex
+from ..platforms import PLATFORMS, get_platform
+from . import api
+from .admission import AdmissionController
+from .batcher import MicroBatcher
+from .calibstore import SOURCE_KEY_DATA, CalibrationStore
+
+#: Span process name for every serve-side span.
+SERVE_PROC = "serve"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunable knobs of one service instance.
+
+    ``max_batch=1`` turns the service into a sequential server through
+    the identical pipeline (the throughput benchmark's baseline).
+    ``refresh`` is the calibration policy passed to
+    :meth:`~repro.serve.calibstore.CalibrationStore.resolve`.
+    """
+
+    max_batch: int = 64
+    max_linger: float = 0.002
+    max_queue_depth: int = 1024
+    rate: float = 200.0
+    burst: int = 50
+    refresh: str = "background"
+    #: run model evaluation in a worker thread (keeps the loop live)
+    offload: bool = True
+
+
+def _build_app(query: api.Query, servers: int) -> ApplicationParams:
+    """The ApplicationParams for one concrete (query, server count)."""
+    return ApplicationParams(
+        molecule=get_complex(query.molecule),
+        steps=query.steps,
+        servers=servers,
+        update_interval=query.update_interval,
+        cutoff=query.cutoff,
+    )
+
+
+def _evaluate_point(
+    params: ModelPlatformParams, query: api.Query, source: str
+) -> Dict[str, Any]:
+    """One point prediction — the single code path both modes share.
+
+    Every response value is produced here with a fixed operation
+    order, so a point's numbers cannot depend on which batch (if any)
+    it rode in.
+    """
+    model = OpalPerformanceModel(params)
+    servers = int(query.servers)  # point queries carry a single count
+    breakdown = model.breakdown(_build_app(query, servers))
+    t1 = model.breakdown(_build_app(query, 1)).total
+    total = breakdown.total
+    return {
+        "kind": "predict",
+        "platform": query.platform,
+        "molecule": query.molecule,
+        "servers": servers,
+        "time": total,
+        "speedup": t1 / total,
+        "breakdown": breakdown.as_dict(),
+        "calibration": source,
+    }
+
+
+def _evaluate_sweep(
+    params: ModelPlatformParams, query: api.Query, source: str
+) -> Dict[str, Any]:
+    """One sweep prediction over the query's server range."""
+    servers = (
+        query.servers
+        if isinstance(query.servers, tuple)
+        else (int(query.servers),)
+    )
+    series = predict_series(params, _build_app(query, servers[0]), servers)
+    return {
+        "kind": "sweep",
+        "platform": query.platform,
+        "molecule": query.molecule,
+        "servers": list(series.servers),
+        "times": list(series.times),
+        "speedups": list(series.speedups),
+        "best_time": series.best_time,
+        "saturation": series.saturation,
+        "calibration": source,
+    }
+
+
+#: One compute job: (kind, query, fitted params, calibration source).
+_Job = Tuple[str, api.Query, ModelPlatformParams, str]
+
+
+def _evaluate_jobs(jobs: List[_Job]) -> List[Dict[str, Any]]:
+    """Evaluate a batch of jobs (pure; runs on the worker thread).
+
+    Identical point jobs are evaluated once and shared: within one
+    batch, a (compute cell, server count) pair maps to exactly one
+    parameter set, and :func:`_evaluate_point` is a pure function of
+    it, so reuse returns the same bytes the duplicate evaluation would
+    have.  This is where batched serving wins its throughput: a batch
+    of coalesced single-point queries collapses to its distinct cells,
+    while the sequential mode (batch size 1) pays full price per
+    request — and both still emit bit-identical responses.
+    """
+    results = []
+    cache: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+    for kind, query, params, source in jobs:
+        cache_key = (kind, query.compute_key, source, query.servers)
+        hit = cache.get(cache_key)
+        if hit is None:
+            evaluate = _evaluate_sweep if kind == "sweep" else _evaluate_point
+            hit = cache[cache_key] = evaluate(params, query, source)
+        results.append(hit)
+    return results
+
+
+class _Pending:
+    """One admitted request waiting in the pipeline."""
+
+    __slots__ = ("request", "future", "enqueued", "expires")
+
+    def __init__(
+        self,
+        request: api.Request,
+        future: "asyncio.Future[Dict[str, Any]]",
+        enqueued: float,
+        expires: Optional[float],
+    ) -> None:
+        self.request = request
+        self.future = future
+        self.enqueued = enqueued
+        self.expires = expires
+
+
+class PredictionService:
+    """Transport-independent prediction-as-a-service core."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        calibrations: Optional[CalibrationStore] = None,
+        obs: Optional[ObsSession] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.calibrations = calibrations or CalibrationStore()
+        self.obs = obs
+        self.metrics: MetricsRegistry = (
+            obs.metrics if obs is not None else MetricsRegistry()
+        )
+        self.admission = AdmissionController(
+            max_queue_depth=self.config.max_queue_depth,
+            rate=self.config.rate,
+            burst=self.config.burst,
+        )
+        self.batcher = MicroBatcher(
+            self._dispatch,
+            max_batch=self.config.max_batch,
+            max_linger=self.config.max_linger,
+        )
+        #: raw reply latencies in seconds (admit -> reply), for quantiles
+        self.latencies: List[float] = []
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the batch loop (must run inside the event loop)."""
+        if self._started:
+            return
+        if self.config.offload:
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="serve-compute"
+            )
+        self.batcher.start()
+        self._started = True
+
+    async def stop(self) -> None:
+        """Drain the queue, stop the batch loop, release the worker."""
+        if not self._started:
+            return
+        await self.batcher.stop()
+        await self.calibrations.drain()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._started = False
+
+    async def __aenter__(self) -> "PredictionService":
+        """Async context manager: start on enter."""
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        """Async context manager: stop on exit."""
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    def _span(self, category: str, start: float, end: float, detail: str = "") -> None:
+        if self.obs is not None:
+            self.obs.tracer.record(SERVE_PROC, category, start, end, detail=detail)
+
+    def _reply(
+        self, pending: _Pending, response: Dict[str, Any], now: float
+    ) -> None:
+        """Resolve one pending request and account its latency."""
+        if pending.future.done():  # pragma: no cover - cancelled client
+            return
+        pending.future.set_result(response)
+        latency = now - pending.enqueued
+        self.latencies.append(latency)
+        self.metrics.histogram("serve.latency_s").observe(latency)
+        self._span("reply", now, now, detail=pending.request.id)
+
+    # ------------------------------------------------------------------
+    async def submit(self, envelope: Any) -> Dict[str, Any]:
+        """Serve one decoded request envelope; always returns a response.
+
+        The synchronous prefix — parse, validate, admission — runs
+        before the first ``await``, so requests submitted in order are
+        admitted in order regardless of event-loop interleaving (this
+        is what makes seeded overload runs shed deterministically).
+        """
+        loop = asyncio.get_running_loop()
+        t_admit = loop.time()
+        self.metrics.counter("serve.requests").inc()
+        try:
+            request = api.parse_request(envelope)
+        except ServeError as exc:
+            self.metrics.counter("serve.errors").inc()
+            return api.error_response(
+                str(envelope.get("id", "")) if isinstance(envelope, dict) else "",
+                exc.status,
+                exc.reason,
+                exc.detail,
+            )
+
+        # admission: rate by the stamped virtual arrival when present,
+        # by the wall clock otherwise; queue bound by live queue depth
+        admit_clock = request.arrival if request.arrival is not None else t_admit
+        verdict = self.admission.decide(
+            request.client, admit_clock, self.batcher.depth
+        )
+        self._span("admit", t_admit, loop.time(), detail=request.id)
+        if verdict is not None:
+            self.metrics.counter(f"serve.shed_{verdict}").inc()
+            return api.error_response(
+                request.id,
+                api.SHED,
+                f"shed:{verdict}",
+                f"request shed by admission control ({verdict})",
+            )
+
+        if request.kind == "ping":
+            self.metrics.counter("serve.ok").inc()
+            return api.ok_response(request.id, {"kind": "pong"})
+        if request.kind == "platforms":
+            self.metrics.counter("serve.ok").inc()
+            return api.ok_response(request.id, self._platform_catalog())
+
+        expires = t_admit + request.deadline if request.deadline is not None else None
+        pending = _Pending(
+            request, loop.create_future(), enqueued=t_admit, expires=expires
+        )
+        self.batcher.put(pending)
+        self.metrics.gauge("serve.queue_depth").set(float(self.batcher.depth))
+        response = await pending.future
+        if api.is_ok(response):
+            self.metrics.counter("serve.ok").inc()
+        return response
+
+    def _platform_catalog(self) -> Dict[str, Any]:
+        """The catalog listing served for ``kind="platforms"``."""
+        return {
+            "kind": "platforms",
+            "platforms": [
+                {
+                    "name": name,
+                    "cost_kusd": PLATFORMS[name].approx_cost_kusd,
+                }
+                for name in sorted(PLATFORMS)
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    async def _dispatch(self, batch: List[_Pending]) -> None:
+        """Serve one micro-batch: expire, group, evaluate, reply."""
+        loop = asyncio.get_running_loop()
+        t_batch = loop.time()
+        self.metrics.counter("serve.batches").inc()
+        self.metrics.histogram("serve.batch_occupancy").observe(len(batch))
+        for pending in batch:
+            self._span("queue", pending.enqueued, t_batch, detail=pending.request.id)
+
+        live: List[_Pending] = []
+        for pending in batch:
+            if pending.expires is not None and t_batch > pending.expires:
+                self.metrics.counter("serve.deadline_expired").inc()
+                self._reply(
+                    pending,
+                    api.error_response(
+                        pending.request.id,
+                        api.DEADLINE_EXPIRED,
+                        "deadline-expired",
+                        "request outlived its deadline before compute",
+                    ),
+                    t_batch,
+                )
+            else:
+                live.append(pending)
+        if not live:
+            return
+
+        try:
+            jobs = await self._resolve_jobs(live, t_batch)
+            t_compute = loop.time()
+            if self._executor is not None:
+                results = await loop.run_in_executor(
+                    self._executor, _evaluate_jobs, jobs
+                )
+            else:
+                results = _evaluate_jobs(jobs)
+            t_done = loop.time()
+            self._span(
+                "compute",
+                t_compute,
+                t_done,
+                detail=f"points={len(jobs)} batch={len(batch)}",
+            )
+            self.metrics.counter("serve.compute_points").inc(len(jobs))
+            for pending, result in zip(live, results):
+                self._reply(
+                    pending, api.ok_response(pending.request.id, result), t_done
+                )
+        except Exception as exc:  # noqa: BLE001 - must never wedge clients
+            self.metrics.counter("serve.errors").inc(len(live))
+            now = loop.time()
+            for pending in live:
+                if not pending.future.done():
+                    self._reply(
+                        pending,
+                        api.error_response(
+                            pending.request.id,
+                            api.INTERNAL,
+                            "internal-error",
+                            f"{type(exc).__name__}: {exc}",
+                        ),
+                        now,
+                    )
+
+    async def _resolve_jobs(
+        self, live: List[_Pending], now: float
+    ) -> List[_Job]:
+        """Resolve calibration once per compute group, preserving order."""
+        resolved: Dict[Tuple[Any, ...], Tuple[ModelPlatformParams, str]] = {}
+        jobs: List[_Job] = []
+        for pending in live:
+            query = pending.request.query
+            assert query is not None  # predict/sweep always carry one
+            group = query.compute_key
+            if group not in resolved:
+                spec = get_platform(query.platform)
+                if query.calibrated:
+                    resolved[group] = await self.calibrations.resolve(
+                        spec, now, refresh=self.config.refresh
+                    )
+                else:
+                    resolved[group] = (
+                        ModelPlatformParams.from_spec(spec),
+                        SOURCE_KEY_DATA,
+                    )
+            params, source = resolved[group]
+            jobs.append((pending.request.kind, query, params, source))
+        return jobs
+
+    # ------------------------------------------------------------------
+    def latency_quantiles(self) -> Dict[str, float]:
+        """p50/p95/p99 over every reply latency so far (0 when empty)."""
+        if not self.latencies:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        ordered = sorted(self.latencies)
+        last = len(ordered) - 1
+
+        def q(frac: float) -> float:
+            return ordered[min(last, int(round(frac * last)))]
+
+        return {"p50": q(0.50), "p95": q(0.95), "p99": q(0.99)}
+
+    def report(self) -> Dict[str, Any]:
+        """Operational snapshot: admission, batching, latency, cache."""
+        quantiles = self.latency_quantiles()
+        return {
+            "admission": self.admission.stats.as_dict(),
+            "batches": self.batcher.batches,
+            "batched_items": self.batcher.items,
+            "mean_occupancy": (
+                self.batcher.items / self.batcher.batches
+                if self.batcher.batches
+                else 0.0
+            ),
+            "latency": quantiles,
+            "calibration": {
+                "hits": self.calibrations.hits,
+                "misses": self.calibrations.misses,
+                "fits": self.calibrations.fits,
+                "refreshes": self.calibrations.refreshes,
+            },
+        }

@@ -81,3 +81,61 @@ def test_whatif_validation():
         study.vary("warp_factor", [1.0])
     with pytest.raises(ModelError):
         study.vary("a1", [0.0])
+
+
+def test_sweep_hoists_invariant_workload_terms(monkeypatch):
+    """Regression: a server sweep computes the per-cell invariants once.
+
+    predict_series used to recompute n_tilde and the pair workloads for
+    every server count (and predict_platforms for every platform) even
+    though neither depends on p; the memoized workload_terms hoists
+    them, so one (molecule, cutoff) cell pays exactly one evaluation.
+    """
+    from repro.core import parameters as P
+    from repro.opal.complexes import ComplexSpec
+
+    calls = {"n_tilde": 0, "update": 0, "energy": 0}
+    real_n_tilde = ComplexSpec.n_tilde
+    real_update = P.update_pair_work
+    real_energy = P.energy_pair_work
+
+    def counting_n_tilde(self, cutoff):
+        calls["n_tilde"] += 1
+        return real_n_tilde(self, cutoff)
+
+    def counting_update(n, gamma):
+        calls["update"] += 1
+        return real_update(n, gamma)
+
+    def counting_energy(n, n_tilde):
+        calls["energy"] += 1
+        return real_energy(n, n_tilde)
+
+    monkeypatch.setattr(ComplexSpec, "n_tilde", counting_n_tilde)
+    monkeypatch.setattr(P, "update_pair_work", counting_update)
+    monkeypatch.setattr(P, "energy_pair_work", counting_energy)
+    P.workload_terms.cache_clear()
+    try:
+        series = predict_platforms(list(ALL_PLATFORMS), app(), range(1, 8))
+    finally:
+        P.workload_terms.cache_clear()  # drop entries built from the mocks
+
+    assert len(series) == len(ALL_PLATFORMS)
+    # one cell -> one evaluation of each invariant, across the whole
+    # 7-server x all-platforms sweep
+    assert calls == {"n_tilde": 1, "update": 1, "energy": 1}
+
+
+def test_workload_terms_match_direct_evaluation():
+    from repro.core.parameters import (
+        energy_pair_work,
+        update_pair_work,
+        workload_terms,
+    )
+
+    terms = workload_terms(MEDIUM, 10.0)
+    assert terms.n == MEDIUM.n
+    assert terms.gamma == MEDIUM.gamma
+    assert terms.n_tilde == MEDIUM.n_tilde(10.0)
+    assert terms.update_pairs == update_pair_work(MEDIUM.n, MEDIUM.gamma)
+    assert terms.energy_pairs == energy_pair_work(MEDIUM.n, terms.n_tilde)

@@ -1,0 +1,158 @@
+"""Eviction, corruption and concurrency behaviour of the result cache.
+
+The on-disk cache sits under every campaign, benchmark and the serve
+layer's calibration store; these tests pin down the paths that only
+show up in production use: bounded caches evicting cold entries, torn
+or corrupted entry files, and many threads hitting one instance.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.experiments.cache import ResultCache
+
+
+def entry(i):
+    return {"payload": i}
+
+
+def key(i):
+    return ResultCache.key_for({"cell": i})
+
+
+class TestEviction:
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(50):
+            cache.store(key(i), entry(i))
+        assert len(cache) == 50
+        assert cache.stats.evictions == 0
+
+    def test_lru_eviction_drops_coldest_entry(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=3)
+        for i in range(3):
+            cache.store(key(i), entry(i))
+        # touch entry 0 so entry 1 is now the coldest
+        assert cache.load(key(0)) == entry(0)
+        cache.store(key(3), entry(3))
+        assert len(cache) == 3
+        assert cache.stats.evictions == 1
+        assert cache.load(key(1)) is None  # evicted
+        assert cache.load(key(0)) == entry(0)
+        assert cache.load(key(3)) == entry(3)
+
+    def test_restoring_an_entry_counts_as_a_fresh_store(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        cache.store(key(0), entry(0))
+        cache.store(key(1), entry(1))
+        cache.store(key(0), entry(100))  # overwrite refreshes recency
+        cache.store(key(2), entry(2))  # evicts 1, not 0
+        assert cache.load(key(1)) is None
+        assert cache.load(key(0)) == entry(100)
+
+    def test_recency_is_seeded_from_disk_across_instances(self, tmp_path):
+        first = ResultCache(tmp_path)
+        for i in range(4):
+            first.store(key(i), entry(i))
+        # a new bounded instance over the same directory evicts by age
+        second = ResultCache(tmp_path, max_entries=4)
+        second.store(key(99), entry(99))
+        assert second.stats.evictions == 1
+        assert second.load(key(0)) is None  # the oldest file went first
+        assert second.load(key(3)) == entry(3)
+
+    def test_max_entries_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path, max_entries=0)
+
+
+class TestCorruption:
+    def test_truncated_payload_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(key(0), entry(0))
+        path = tmp_path / f"{key(0)}.json"
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # torn write
+        assert cache.load(key(0)) is None
+        assert cache.stats.misses == 1
+
+    def test_garbage_bytes_are_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = tmp_path / f"{key(1)}.json"
+        path.write_bytes(b"\xff\xfe\x00 not json at all \x9c")
+        assert cache.load(key(1)) is None
+        assert cache.stats.misses == 1
+
+    def test_non_object_json_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = tmp_path / f"{key(2)}.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        assert cache.load(key(2)) is None
+        assert cache.stats.misses == 1
+
+    def test_corrupt_entry_can_be_overwritten_and_hit_again(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(key(0), entry(0))
+        (tmp_path / f"{key(0)}.json").write_text("{ truncated")
+        assert cache.load(key(0)) is None
+        cache.store(key(0), entry(0))
+        assert cache.load(key(0)) == entry(0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+
+class TestConcurrency:
+    def test_stats_stay_consistent_under_concurrent_readers(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        present = 8
+        for i in range(present):
+            cache.store(key(i), entry(i))
+        # half the lookups hit, half miss, across many racing threads
+        readers, per_reader = 8, 160  # per_reader % (2 * present) == 0
+        errors = []
+
+        def read(tid):
+            try:
+                for j in range(per_reader):
+                    i = (tid + j) % (2 * present)
+                    value = cache.load(key(i))
+                    if i < present:
+                        assert value == entry(i)
+                    else:
+                        assert value is None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=read, args=(t,)) for t in range(readers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        total = readers * per_reader
+        assert cache.stats.lookups == total
+        assert cache.stats.hits + cache.stats.misses == total
+        assert cache.stats.hits == total // 2
+        assert cache.stats.misses == total // 2
+
+    def test_concurrent_hits_on_bounded_cache_keep_entry_count(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=4)
+        for i in range(4):
+            cache.store(key(i), entry(i))
+
+        def hammer(tid):
+            for j in range(100):
+                cache.load(key((tid + j) % 4))
+
+        threads = [threading.Thread(target=hammer, args=(t,)) for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) == 4
+        assert cache.stats.evictions == 0
+        assert cache.stats.misses == 0

@@ -1,0 +1,8 @@
+"""S601 flag fixture: a coroutine that blocks the event loop."""
+
+import time
+
+
+async def handle_request(payload):
+    time.sleep(0.1)  # blocks every other client on the loop
+    return payload

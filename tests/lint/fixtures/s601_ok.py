@@ -1,0 +1,14 @@
+"""S601 near-miss fixture: async code that yields, sync code that sleeps."""
+
+import asyncio
+import time
+
+
+async def handle_request(payload):
+    await asyncio.sleep(0.1)  # cooperative: other clients keep running
+    return payload
+
+
+def warm_up():
+    # blocking is fine off the event loop (e.g. inside an executor)
+    time.sleep(0.1)

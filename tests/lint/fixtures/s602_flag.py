@@ -1,0 +1,9 @@
+"""S602 flag fixture: a coroutine called but never awaited."""
+
+
+async def flush_queue():
+    return 0
+
+
+async def shutdown():
+    flush_queue()  # builds a coroutine object and drops it: never runs

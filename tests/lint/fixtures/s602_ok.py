@@ -1,0 +1,13 @@
+"""S602 near-miss fixture: coroutines that are awaited or scheduled."""
+
+import asyncio
+
+
+async def flush_queue():
+    return 0
+
+
+async def shutdown():
+    await flush_queue()
+    task = asyncio.ensure_future(flush_queue())  # scheduled, not dropped
+    await task

@@ -29,6 +29,8 @@ ALL_CODES = [
     "M302",
     "O401",
     "R501",
+    "S601",
+    "S602",
 ]
 
 
@@ -57,7 +59,7 @@ def test_near_miss_fixture_is_clean(code):
 def test_rule_metadata_is_complete():
     for cls in all_rules():
         assert cls.code and cls.name and cls.summary, cls
-        assert cls.code[0] in "DPMOR" and cls.code[1:].isdigit()
+        assert cls.code[0] in "DPMORS" and cls.code[1:].isdigit()
 
 
 def test_finding_locations_point_at_the_violation():

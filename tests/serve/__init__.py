@@ -1,0 +1,1 @@
+"""Tests for the prediction service (repro.serve)."""

@@ -1,0 +1,81 @@
+"""Token-bucket rate limiting and queue-bound shedding."""
+
+import pytest
+
+from repro.serve.admission import AdmissionController, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_starve(self):
+        bucket = TokenBucket(rate=10.0, burst=3)
+        assert [bucket.admit(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_tokens_refill_with_time(self):
+        bucket = TokenBucket(rate=10.0, burst=1)
+        assert bucket.admit(0.0)
+        assert not bucket.admit(0.0)
+        assert bucket.admit(0.1)  # one token earned in 0.1s at 10/s
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        bucket.admit(0.0)
+        bucket.admit(0.0)
+        # a long quiet period earns at most `burst` tokens
+        assert bucket.admit(100.0)
+        assert bucket.admit(100.0)
+        assert not bucket.admit(100.0)
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(rate=1000.0, burst=1)
+        assert bucket.admit(5.0)
+        # a stale stamp must not mint tokens
+        assert not bucket.admit(4.0)
+        assert not bucket.admit(5.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+class TestAdmissionController:
+    def test_clients_have_independent_buckets(self):
+        ctrl = AdmissionController(rate=10.0, burst=1)
+        assert ctrl.decide("a", 0.0, 0) is None
+        assert ctrl.decide("a", 0.0, 0) == "rate"
+        # a different client still has its full burst
+        assert ctrl.decide("b", 0.0, 0) is None
+
+    def test_queue_bound_sheds_before_rate(self):
+        ctrl = AdmissionController(max_queue_depth=4, rate=1000.0, burst=100)
+        assert ctrl.decide("a", 0.0, 3) is None
+        assert ctrl.decide("a", 0.0, 4) == "queue"
+        assert ctrl.decide("a", 0.0, 5) == "queue"
+
+    def test_stats_track_every_decision(self):
+        ctrl = AdmissionController(max_queue_depth=1, rate=10.0, burst=1)
+        ctrl.decide("a", 0.0, 0)   # admitted
+        ctrl.decide("a", 0.0, 0)   # rate-shed
+        ctrl.decide("a", 0.0, 1)   # queue-shed
+        assert ctrl.stats.as_dict() == {
+            "admitted": 1,
+            "shed_rate": 1,
+            "shed_queue": 1,
+        }
+
+    def test_decisions_are_a_pure_function_of_the_timeline(self):
+        # the determinism contract: same per-client (time, order) ->
+        # same verdicts, no matter when the calls actually happen
+        timeline = [("a", 0.00), ("a", 0.01), ("b", 0.00), ("a", 0.30),
+                    ("b", 0.02), ("a", 0.31), ("b", 0.50)]
+
+        def verdicts():
+            ctrl = AdmissionController(rate=5.0, burst=1)
+            return [ctrl.decide(c, t, 0) for c, t in timeline]
+
+        assert verdicts() == verdicts()
+
+    def test_rejects_bad_queue_depth(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=0)

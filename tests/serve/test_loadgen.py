@@ -1,0 +1,143 @@
+"""Seeded load generation: schedules, pacing and report accounting."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import api
+from repro.serve.loadgen import (
+    LoadSpec,
+    LoadgenReport,
+    build_schedule,
+    run_open_loop,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        spec = LoadSpec(clients=4, requests_per_client=10, seed=5)
+        assert build_schedule(spec) == build_schedule(spec)
+
+    def test_different_seeds_differ(self):
+        a = build_schedule(LoadSpec(clients=4, requests_per_client=10, seed=1))
+        b = build_schedule(LoadSpec(clients=4, requests_per_client=10, seed=2))
+        assert a != b
+
+    def test_arrivals_sorted_and_per_client_ordered(self):
+        schedule = build_schedule(LoadSpec(clients=5, requests_per_client=20))
+        arrivals = [e["arrival"] for e in schedule]
+        assert arrivals == sorted(arrivals)
+        per_client = {}
+        for envelope in schedule:
+            seq = int(envelope["id"].split("-")[1])
+            last = per_client.get(envelope["client"], -1)
+            assert seq == last + 1  # in-order within each client
+            per_client[envelope["client"]] = seq
+
+    def test_ids_are_unique(self):
+        schedule = build_schedule(LoadSpec(clients=3, requests_per_client=7))
+        ids = [e["id"] for e in schedule]
+        assert len(set(ids)) == len(ids) == 21
+
+    def test_sweep_fraction_controls_the_mix(self):
+        all_points = build_schedule(
+            LoadSpec(clients=2, requests_per_client=20, sweep_fraction=0.0)
+        )
+        all_sweeps = build_schedule(
+            LoadSpec(clients=2, requests_per_client=20, sweep_fraction=1.0)
+        )
+        assert all(e["kind"] == "predict" for e in all_points)
+        assert all(e["kind"] == "sweep" for e in all_sweeps)
+
+    def test_deadline_is_stamped_when_requested(self):
+        schedule = build_schedule(
+            LoadSpec(clients=1, requests_per_client=3, deadline=0.5)
+        )
+        assert all(e["deadline"] == 0.5 for e in schedule)
+
+    def test_every_envelope_parses(self):
+        for envelope in build_schedule(
+            LoadSpec(clients=3, requests_per_client=10, sweep_fraction=0.3)
+        ):
+            api.parse_request(envelope)  # must not raise
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            LoadSpec(clients=0)
+        with pytest.raises(ValueError):
+            LoadSpec(rate=0.0)
+        with pytest.raises(ValueError):
+            LoadSpec(sweep_fraction=1.5)
+
+
+class TestRunOpenLoop:
+    def test_report_accounts_every_status(self):
+        responses = {
+            "a": api.ok_response("a", {"kind": "pong"}),
+            "b": api.error_response("b", api.SHED, "shed:rate"),
+            "c": api.error_response("c", api.SHED, "shed:queue"),
+            "d": api.error_response("d", api.DEADLINE_EXPIRED, "deadline-expired"),
+            "e": api.error_response("e", api.INTERNAL, "internal-error"),
+        }
+
+        async def submit(envelope):
+            return responses[envelope["id"]]
+
+        schedule = [
+            {"id": rid, "client": "c0", "kind": "ping", "arrival": i * 0.01}
+            for i, rid in enumerate(responses)
+        ]
+        report = run(run_open_loop(submit, schedule))
+        assert report.sent == 5
+        assert (report.ok, report.shed_rate, report.shed_queue) == (1, 1, 1)
+        assert (report.expired, report.errors) == (1, 1)
+        assert report.shed_ids() == ["b", "c"]
+        assert len(report.latencies) == 5
+
+    def test_canonical_responses_is_order_independent(self):
+        report_a = LoadgenReport()
+        report_b = LoadgenReport()
+        first = api.ok_response("x", {"v": 1})
+        second = api.ok_response("y", {"v": 2})
+        report_a._account({"id": "x"}, first)
+        report_a._account({"id": "y"}, second)
+        report_b._account({"id": "y"}, second)
+        report_b._account({"id": "x"}, first)
+        assert report_a.canonical_responses() == report_b.canonical_responses()
+
+    def test_paced_run_respects_the_virtual_schedule(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            stamps = []
+
+            async def submit(envelope):
+                stamps.append((envelope["id"], loop.time()))
+                return api.ok_response(envelope["id"], {"kind": "pong"})
+
+            schedule = [
+                {"id": f"r{i}", "client": "c0", "kind": "ping",
+                 "arrival": 0.3 * i}
+                for i in range(3)
+            ]
+            t0 = loop.time()
+            # time_scale=10 -> virtual 0.3s gaps replay as 0.03s
+            await run_open_loop(submit, schedule, pace=True, time_scale=10.0)
+            return [(rid, t - t0) for rid, t in stamps]
+
+        stamps = run(scenario())
+        assert [rid for rid, _ in stamps] == ["r0", "r1", "r2"]
+        assert stamps[2][1] >= 0.06  # last request waited for its slot
+
+    def test_summary_is_json_able(self):
+        async def submit(envelope):
+            return api.ok_response(envelope["id"], {"kind": "pong"})
+
+        schedule = [{"id": "a", "client": "c0", "kind": "ping", "arrival": 0.0}]
+        report = run(run_open_loop(submit, schedule))
+        summary = report.summary()
+        assert summary["sent"] == 1 and summary["ok"] == 1
+        assert summary["throughput_rps"] == report.throughput

@@ -1,0 +1,160 @@
+"""TCP transports: NDJSON pipelining and the hand-rolled HTTP face."""
+
+import asyncio
+import json
+
+from repro.serve import (
+    PredictionService,
+    ServeConfig,
+    ServeServer,
+    TcpServeClient,
+    http_get,
+    http_post,
+)
+
+WIDE_OPEN = dict(max_queue_depth=100000, rate=1e9, burst=10**6)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def predict_envelope(rid, servers=4):
+    return {
+        "kind": "predict",
+        "id": rid,
+        "client": "tcp",
+        "query": {"platform": "j90", "molecule": "medium", "servers": servers},
+    }
+
+
+async def with_server(scenario, **config):
+    service = PredictionService(ServeConfig(**(config or WIDE_OPEN)))
+    async with ServeServer(service, port=0) as server:
+        return await scenario(server.bound_port)
+
+
+class TestNdjson:
+    def test_request_response_round_trip(self):
+        async def scenario(port):
+            async with TcpServeClient("127.0.0.1", port) as client:
+                pong = await client.request({"kind": "ping", "id": "p"})
+                answer = await client.request(predict_envelope("q"))
+            return pong, answer
+
+        pong, answer = run(with_server(scenario))
+        assert pong["status"] == 200 and pong["result"] == {"kind": "pong"}
+        assert answer["status"] == 200 and answer["result"]["servers"] == 4
+
+    def test_pipelined_requests_all_answered(self):
+        async def scenario(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            n = 10
+            for i in range(n):
+                line = json.dumps(predict_envelope(f"r{i}", servers=1 + i % 7))
+                writer.write(line.encode() + b"\n")
+            await writer.drain()
+            writer.write_eof()
+            responses = []
+            for _ in range(n):
+                responses.append(json.loads(await reader.readline()))
+            writer.close()
+            await writer.wait_closed()
+            return responses
+
+        responses = run(with_server(scenario))
+        assert {r["id"] for r in responses} == {f"r{i}" for i in range(10)}
+        assert all(r["status"] == 200 for r in responses)
+
+    def test_unparseable_line_gets_an_error_response(self):
+        async def scenario(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            writer.write_eof()
+            response = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            return response
+
+        response = run(with_server(scenario))
+        assert response["status"] == 400
+        assert response["error"]["reason"] == "invalid-json"
+
+
+class TestHttp:
+    def test_healthz(self):
+        async def scenario(port):
+            return await http_get("127.0.0.1", port, "/healthz")
+
+        status, body = run(with_server(scenario))
+        assert status == 200 and body == {"status": "ok"}
+
+    def test_post_query(self):
+        async def scenario(port):
+            return await http_post(
+                "127.0.0.1", port, "/v1/query", predict_envelope("h1")
+            )
+
+        status, body = run(with_server(scenario))
+        assert status == 200
+        assert body["result"]["platform"] == "j90"
+
+    def test_platform_catalog_endpoint(self):
+        async def scenario(port):
+            return await http_get("127.0.0.1", port, "/v1/platforms")
+
+        status, body = run(with_server(scenario))
+        assert status == 200
+        assert any(p["name"] == "j90" for p in body["result"]["platforms"])
+
+    def test_unknown_endpoint_is_404(self):
+        async def scenario(port):
+            return await http_get("127.0.0.1", port, "/nope")
+
+        status, body = run(with_server(scenario))
+        assert status == 404
+        assert body["error"]["reason"] == "unknown-endpoint"
+
+    def test_error_statuses_propagate_to_http(self):
+        async def scenario(port):
+            bad = {"kind": "predict", "id": "x", "client": "h",
+                   "query": {"platform": "vax", "molecule": "medium",
+                             "servers": 1}}
+            return await http_post("127.0.0.1", port, "/v1/query", bad)
+
+        status, body = run(with_server(scenario))
+        assert status == 404
+        assert body["error"]["reason"] == "unknown-platform"
+
+    def test_post_without_body_is_rejected(self):
+        async def scenario(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"POST /v1/query HTTP/1.1\r\nHost: x\r\n\r\n")
+            await writer.drain()
+            status_line = await reader.readline()
+            writer.close()
+            await writer.wait_closed()
+            return int(status_line.split()[1])
+
+        assert run(with_server(scenario)) == 400
+
+
+class TestLifecycle:
+    def test_port_zero_binds_an_ephemeral_port(self):
+        async def scenario():
+            service = PredictionService(ServeConfig(**WIDE_OPEN))
+            async with ServeServer(service, port=0) as server:
+                return server.bound_port
+
+        assert run(scenario()) > 0
+
+    def test_stop_is_idempotent(self):
+        async def scenario():
+            service = PredictionService(ServeConfig(**WIDE_OPEN))
+            server = ServeServer(service, port=0)
+            await server.start()
+            await server.stop()
+            await server.stop()
+
+        run(scenario())
