@@ -3,22 +3,38 @@
 Each benchmark writes, alongside its human-readable ``out/<id>.txt``
 artifact, an ``out/<id>.json`` holding a flat list of metric records:
 
-    {"experiment": "FIG1_breakdown_medium",
+    {"schema": "repro-bench/1",
+     "experiment": "FIG1_breakdown_medium",
      "records": [{"name": "...", "metric": "...", "value": 1.23,
                   "units": "s"}, ...]}
 
 so CI jobs and dashboards can consume results without screen-scraping
 the rendered tables.  Keep records scalar: one (name, metric, value,
 units) tuple per measured quantity.
+
+Two robustness guarantees for downstream consumers (in particular
+``benchmarks/check_regression.py``):
+
+* **atomic writes** — the payload lands in a same-directory temp file
+  first and is moved into place with ``os.replace``, so a reader can
+  never observe a torn, half-written JSON file;
+* **schema tagging** — every file carries ``"schema": "repro-bench/1"``;
+  consumers reject files with a missing or different tag instead of
+  silently comparing against stale or foreign data.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
 from typing import Dict, Iterable, Union
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Version tag stamped into (and required from) every emitted file.
+SCHEMA = "repro-bench/1"
 
 _FIELDS = ("name", "metric", "value", "units")
 
@@ -38,7 +54,7 @@ def record(
 def emit(
     experiment_id: str, records: Iterable[Dict[str, Union[str, float]]]
 ) -> pathlib.Path:
-    """Write ``out/<experiment_id>.json`` and return its path."""
+    """Write ``out/<experiment_id>.json`` atomically and return its path."""
     rows = list(records)
     if not rows:
         raise ValueError("a benchmark must emit at least one record")
@@ -46,8 +62,45 @@ def emit(
         missing = [field for field in _FIELDS if field not in row]
         if missing:
             raise ValueError(f"record {row!r} is missing {missing}")
-    payload = {"experiment": experiment_id, "records": rows}
+    payload = {"schema": SCHEMA, "experiment": experiment_id, "records": rows}
     OUT_DIR.mkdir(exist_ok=True)
     path = OUT_DIR / f"{experiment_id}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    # write-temp-then-rename: a crash mid-write leaves the previous file
+    # intact, and no reader ever sees a partial payload
+    fd, tmp_name = tempfile.mkstemp(
+        dir=OUT_DIR, prefix=f".{experiment_id}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
+
+
+def load(path: Union[str, pathlib.Path]) -> Dict:
+    """Read one emitted file, validating its schema tag.
+
+    Raises ``ValueError`` for unparseable (e.g. torn, pre-atomic-write)
+    files and for payloads whose schema tag is missing or unexpected.
+    """
+    p = pathlib.Path(path)
+    try:
+        payload = json.loads(p.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{p}: not valid JSON (torn or corrupt file?): {exc}")
+    if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{p}: missing or unexpected schema tag "
+            f"{payload.get('schema') if isinstance(payload, dict) else None!r} "
+            f"(expected {SCHEMA!r}); refusing to compare stale data"
+        )
+    for key in ("experiment", "records"):
+        if key not in payload:
+            raise ValueError(f"{p}: payload has no {key!r} field")
+    return payload

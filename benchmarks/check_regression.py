@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Compare fresh benchmark emissions against committed baselines.
+
+The perf gate of this repository: every ``PERF_*`` benchmark emits a
+schema-tagged JSON file into ``benchmarks/out/`` (see ``_emit.py``);
+the blessed numbers live in ``benchmarks/baselines/``.  This script
+pairs records by ``(name, metric)`` within each experiment and fails
+when a metric regressed beyond the tolerance.
+
+Direction is inferred from the record's units:
+
+* units ending in ``/s`` (rates: ``events/s``, ``configs/s``) —
+  **higher is better**; a regression is a *drop* beyond tolerance;
+* everything else (``s`` wall times, byte counts) — **lower is
+  better**; a regression is a *rise* beyond tolerance.
+
+Modes:
+
+* default / ``--strict`` — exit 1 on any regression (the local runbook
+  mode, see docs/PERFORMANCE.md);
+* ``--advisory`` — print the same report but always exit 0 except for
+  structural errors (the shared-CI-runner mode, where machine noise
+  must not fail the build).
+
+Structural problems — torn or schema-less JSON, a baseline with no
+fresh measurement, mismatched records — always exit 2: a gate that
+silently compares nothing is worse than no gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from _emit import OUT_DIR, load  # noqa: E402
+
+BASELINE_DIR = pathlib.Path(__file__).parent / "baselines"
+
+#: Allowed relative slowdown before a metric counts as regressed.
+DEFAULT_TOLERANCE = 0.15
+
+
+def higher_is_better(units: str) -> bool:
+    """Rates are maximized, times/sizes are minimized."""
+    return units.endswith("/s")
+
+
+def index_records(payload: Dict) -> Dict[Tuple[str, str], Dict]:
+    """Records of one emission, keyed by (name, metric)."""
+    out: Dict[Tuple[str, str], Dict] = {}
+    for row in payload["records"]:
+        out[(str(row["name"]), str(row["metric"]))] = row
+    return out
+
+
+def compare_experiment(
+    baseline_path: pathlib.Path,
+    out_dir: pathlib.Path,
+    tolerance: float,
+) -> Tuple[List[str], List[str], List[str]]:
+    """Returns (regressions, improvements/ok lines, structural errors)."""
+    regressions: List[str] = []
+    report: List[str] = []
+    errors: List[str] = []
+
+    experiment = baseline_path.stem
+    current_path = out_dir / baseline_path.name
+    try:
+        base = load(baseline_path)
+    except ValueError as exc:
+        return [], [], [f"baseline unreadable: {exc}"]
+    if not current_path.exists():
+        return [], [], [
+            f"{experiment}: no fresh measurement at {current_path} "
+            "(run the PERF benchmarks first)"
+        ]
+    try:
+        cur = load(current_path)
+    except ValueError as exc:
+        return [], [], [f"measurement unreadable: {exc}"]
+
+    base_rows = index_records(base)
+    cur_rows = index_records(cur)
+    for key, brow in sorted(base_rows.items()):
+        crow = cur_rows.get(key)
+        name, metric = key
+        label = f"{experiment}:{name}:{metric}"
+        if crow is None:
+            errors.append(f"{label}: present in baseline but not measured")
+            continue
+        if str(crow["units"]) != str(brow["units"]):
+            errors.append(
+                f"{label}: units changed "
+                f"({brow['units']!r} -> {crow['units']!r})"
+            )
+            continue
+        bval = float(brow["value"])
+        cval = float(crow["value"])
+        units = str(brow["units"])
+        if bval == 0:
+            report.append(f"  ok       {label}: baseline is 0, skipped")
+            continue
+        if higher_is_better(units):
+            change = (cval - bval) / bval  # positive = faster
+        else:
+            change = (bval - cval) / bval  # positive = faster
+        pct = 100.0 * change
+        detail = (
+            f"{label}: {bval:.6g} -> {cval:.6g} {units} "
+            f"({pct:+.1f}% {'better' if change >= 0 else 'worse'})"
+        )
+        if change < -tolerance:
+            regressions.append(f"  REGRESSED {detail}")
+        elif change > tolerance:
+            report.append(f"  improved {detail} — consider refreshing baseline")
+        else:
+            report.append(f"  ok       {detail}")
+    return regressions, report, errors
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to check (default: every committed baseline)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"allowed relative slowdown (default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=pathlib.Path,
+        default=BASELINE_DIR,
+        help="directory of blessed emissions",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=OUT_DIR,
+        help="directory of fresh emissions",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on regressions (the default; flag kept for the runbook)",
+    )
+    mode.add_argument(
+        "--advisory",
+        action="store_true",
+        help="report regressions but exit 0 (noisy shared runners)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baselines.is_dir():
+        print(f"error: baseline directory {args.baselines} does not exist")
+        return 2
+    paths = sorted(args.baselines.glob("*.json"))
+    if args.experiments:
+        wanted = set(args.experiments)
+        paths = [p for p in paths if p.stem in wanted]
+        unknown = wanted - {p.stem for p in paths}
+        if unknown:
+            print(f"error: no baseline for {sorted(unknown)}")
+            return 2
+    if not paths:
+        print("error: no baselines to check")
+        return 2
+
+    all_regressions: List[str] = []
+    all_errors: List[str] = []
+    for path in paths:
+        regs, report, errs = compare_experiment(path, args.out, args.tolerance)
+        print(f"{path.stem}:")
+        for line in report + regs + [f"  error    {e}" for e in errs]:
+            print(line)
+        all_regressions.extend(regs)
+        all_errors.extend(errs)
+
+    if all_errors:
+        print(f"\n{len(all_errors)} structural error(s) — gate unusable")
+        return 2
+    if all_regressions:
+        print(
+            f"\n{len(all_regressions)} metric(s) regressed beyond "
+            f"{100 * args.tolerance:.0f}% tolerance"
+        )
+        if args.advisory:
+            print("advisory mode: not failing the build")
+            return 0
+        return 1
+    print("\nperf gate: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

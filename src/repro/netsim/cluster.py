@@ -115,7 +115,9 @@ class Cluster:
         ctx = ProcContext(self, proc)
         proc._gen = genfunc(ctx, *args, **kwargs)
         self._procs_by_tid[tid] = proc
-        self._mailboxes[tid] = Mailbox()
+        mailbox = Mailbox()
+        self._mailboxes[tid] = mailbox
+        proc._mailbox = mailbox
         proc.start()
         return proc
 
@@ -145,7 +147,10 @@ class Cluster:
         if proc.finished:
             self.metrics.counter("faults.dead_letters").inc()
             return
-        self._mailboxes[proc.tid].deliver(msg)
+        mailbox = proc._mailbox
+        if mailbox is None:
+            mailbox = self._mailboxes[proc.tid]
+        mailbox.deliver(msg)
 
     # ------------------------------------------------------------------
     def add_death_listener(self, listener: Callable[[SimProcess], None]) -> None:

@@ -1,18 +1,42 @@
 """Discrete-event simulation kernel.
 
 A minimal, dependency-free event engine in the style of SimPy, tuned for
-the message-passing cluster models in this package.  The engine owns a
-binary heap of ``(time, seq, callback)`` entries; determinism is
-guaranteed by the tie-breaking sequence number — two events scheduled for
-the same instant fire in scheduling order.
+the message-passing cluster models in this package.  Two interchangeable
+schedulers are provided:
+
+``calendar`` (the default)
+    An array-backed calendar queue: events are bucketed by time instant
+    (a dict mapping each pending timestamp to a Python-list bucket) and
+    a small binary heap orders only the *distinct* timestamps.  Within a
+    bucket events drain FIFO, which — because the engine hands out
+    monotonically increasing sequence numbers at scheduling time — is
+    exactly the ``(time, seq)`` order of the classic heap.  Message
+    passing workloads schedule many events at identical instants
+    (barrier releases, zero-delay resumes, same-hold transfers), so the
+    heap shrinks from one entry per event to one entry per instant and
+    the per-event cost drops to a dict lookup plus a list append.
+
+``heap``
+    The original binary heap of ``(time, seq, callback)`` entries, kept
+    for differential testing: both schedulers must produce bit-identical
+    event orderings (see ``tests/netsim/test_engine.py`` and the
+    randomized differential property test).
+
+Determinism is guaranteed by the tie-breaking sequence number — two
+events scheduled for the same instant fire in scheduling order under
+either scheduler.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import DeadlockError, PastEventError, SimulationError
+
+#: Scheduler implementations selectable via ``Engine(scheduler=...)``.
+SCHEDULERS = ("calendar", "heap")
 
 
 class Engine:
@@ -23,8 +47,34 @@ class Engine:
     :mod:`repro.netsim.network`).
     """
 
-    def __init__(self) -> None:
+    __slots__ = (
+        "scheduler",
+        "_calendar",
+        "_queue",
+        "_buckets",
+        "_times",
+        "_pending",
+        "_seq",
+        "_now",
+        "_running",
+        "blocked_processes",
+        "events_executed",
+        "max_queue_depth",
+    )
+
+    def __init__(self, scheduler: str = "calendar") -> None:
+        if scheduler not in SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
+            )
+        self.scheduler = scheduler
+        self._calendar = scheduler == "calendar"
+        # heap path: one (time, seq, callback) entry per event
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        # calendar path: bucket per pending instant + heap of instants
+        self._buckets: Dict[float, List[Callable[[], None]]] = {}
+        self._times: List[float] = []
+        self._pending = 0
         self._seq = 0
         self._now = 0.0
         self._running = False
@@ -32,7 +82,6 @@ class Engine:
         #: (mailbox, barrier, resource); used for deadlock detection.
         self.blocked_processes = 0
         self.events_executed = 0
-        self.events_scheduled = 0
         #: high-water mark of the event queue length (obs metric)
         self.max_queue_depth = 0
 
@@ -42,15 +91,31 @@ class Engine:
         """Current virtual time in seconds."""
         return self._now
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (the sequence counter)."""
+        return self._seq
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, callback))
-        self.events_scheduled += 1
-        if len(self._queue) > self.max_queue_depth:
-            self.max_queue_depth = len(self._queue)
+        time = self._now + delay
+        if self._calendar:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [callback]
+                heappush(self._times, time)
+            else:
+                bucket.append(callback)
+            self._pending += 1
+            depth = self._pending
+        else:
+            heappush(self._queue, (time, self._seq, callback))
+            depth = len(self._queue)
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` at absolute virtual ``time``.
@@ -72,27 +137,71 @@ class Engine:
         horizon, the clock always lands exactly on ``until`` (never
         before it, even when the queue drains early; never after it) —
         except when ``until`` already lies in the past, in which case
-        the clock stays put rather than run backwards.
+        the clock stays put rather than run backwards.  An event
+        scheduled exactly *at* ``until`` fires before the clock parks
+        on the horizon.
         """
         if self._running:
             raise SimulationError("engine is already running (re-entrant run())")
         self._running = True
         try:
-            while self._queue:
-                time, _seq, callback = self._queue[0]
-                if until is not None and time > until:
-                    break
-                heapq.heappop(self._queue)
-                if time < self._now:
-                    raise SimulationError("event queue time went backwards")
-                self._now = time
-                self.events_executed += 1
-                callback()
+            if self._calendar:
+                self._run_calendar(until)
+            else:
+                self._run_heap(until)
             if until is not None and until > self._now:
                 self._now = until
         finally:
             self._running = False
         return self._now
+
+    def _run_heap(self, until: Optional[float]) -> None:
+        queue = self._queue
+        while queue:
+            time, _seq, callback = queue[0]
+            if until is not None and time > until:
+                break
+            heappop(queue)
+            if time < self._now:
+                raise SimulationError("event queue time went backwards")
+            self._now = time
+            self.events_executed += 1
+            callback()
+
+    def _run_calendar(self, until: Optional[float]) -> None:
+        times = self._times
+        buckets = self._buckets
+        horizon = float("inf") if until is None else until
+        while times:
+            time = times[0]
+            if time > horizon:
+                break
+            if time < self._now:
+                raise SimulationError("event queue time went backwards")
+            self._now = time
+            bucket = buckets[time]
+            # Drain with the list iterator: a callback scheduling a
+            # zero-delay event appends to this same bucket and the
+            # iterator picks it up in-order, so FIFO-within-instant
+            # equals the heap's (time, seq) order.  ``i`` advances
+            # before each invocation so an executed-but-raising
+            # callback is not replayed by the trim below.
+            i = 0
+            try:
+                for callback in bucket:
+                    i += 1
+                    self._pending -= 1
+                    callback()
+            finally:
+                # Counted in bulk per bucket; a raising callback still
+                # counts as executed (the heap path increments before
+                # invoking), and nothing reads the counter mid-run.
+                self.events_executed += i
+                if i < len(bucket):  # callback raised mid-bucket
+                    buckets[time] = bucket[i:]
+                else:
+                    del buckets[time]
+                    heappop(times)
 
     def run_all(self) -> float:
         """Run to quiescence and fail loudly if processes remain blocked.
@@ -111,4 +220,6 @@ class Engine:
 
     def pending(self) -> int:
         """Number of events still queued."""
+        if self._calendar:
+            return self._pending
         return len(self._queue)

@@ -38,7 +38,7 @@ from typing import Any, Optional
 ANY = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Timeout:
     """Sleep for ``delay`` seconds of virtual time."""
 
@@ -49,7 +49,7 @@ class Timeout:
             raise ValueError(f"Timeout delay must be >= 0, got {self.delay}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     """Occupy a CPU of the owning node.
 
@@ -72,7 +72,7 @@ class Compute:
             raise ValueError("Compute flops must be >= 0")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Send:
     """Inject a message of ``nbytes`` for task ``dest`` into the fabric."""
 
@@ -86,7 +86,7 @@ class Send:
             raise ValueError("Send nbytes must be >= 0")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Recv:
     """Block until a matching message arrives; resumes with a Message.
 
@@ -104,7 +104,7 @@ class Recv:
             raise ValueError(f"Recv timeout must be >= 0, got {self.timeout}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecvTimeout:
     """Resumption value of a :class:`Recv` whose deadline expired.
 
@@ -118,7 +118,7 @@ class RecvTimeout:
     at: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Barrier:
     """Block on the named barrier until ``count`` processes arrived."""
 
@@ -133,9 +133,13 @@ class Barrier:
             raise ValueError("Barrier cost must be >= 0")
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
-    """A delivered message, handed to the process that issued ``Recv``."""
+    """A delivered message, handed to the process that issued ``Recv``.
+
+    Slotted: one is allocated per simulated send, which makes its
+    construction part of the engine's per-event budget.
+    """
 
     source: int
     dest: int

@@ -33,7 +33,7 @@ disjoint, multi-resource holds cannot deadlock.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 from .engine import Engine
 from .resources import Resource
@@ -80,7 +80,7 @@ class Fabric:
         """Time the bottleneck resources are held for one message."""
         return self.overhead + nbytes / self.bandwidth
 
-    def path_resources(self, src: Node, dst: Node) -> List[Resource]:
+    def path_resources(self, src: Node, dst: Node) -> Sequence[Resource]:
         """The contended resources one transfer must hold."""
         raise NotImplementedError
 
@@ -109,7 +109,7 @@ class Fabric:
             return
 
         resources = self.path_resources(src, dst)
-        hold = self.occupancy(nbytes)
+        hold = self.overhead + nbytes / self.bandwidth  # occupancy(), inlined
         # Fault fates are drawn at injection time, in message order, so a
         # fixed seed yields one deterministic fault schedule.  Drops and
         # delay spikes manifest as extra delivery latency (the transport
@@ -119,15 +119,50 @@ class Fabric:
         if self.faults is not None:
             penalty = self.faults.transfer_penalty(self.engine.now, src, dst, nbytes)
 
+        engine = self.engine
+
+        def _finish() -> None:
+            # Resource.release, inlined: two releases bracket every
+            # simulated transfer.  Waiter hand-off still goes through a
+            # fresh zero-delay event, exactly as release() does.
+            now = engine._now
+            for r in reversed(resources):
+                in_use = r._in_use
+                if in_use <= 0:
+                    raise RuntimeError(f"release of idle resource {r.name!r}")
+                r._busy_time += in_use * (now - r._last_change)
+                r._last_change = now
+                r._in_use = in_use - 1
+                if r._waiters:
+                    r._in_use = in_use
+                    engine.schedule(0.0, r._waiters.popleft())
+            on_injected()
+
+        # Fast path: every resource free right now.  Grabbing them inline
+        # is exactly what the acquire chain would do (each acquire calls
+        # its grant callback immediately), minus one call per hop; the
+        # slot bookkeeping below mirrors Resource.acquire for the
+        # uncontended case (a free slot contributes nothing to the
+        # busy-time integral, so only the timestamp advances).
+        for r in resources:
+            if r._in_use >= r.capacity:
+                break
+        else:
+            now = engine._now
+            for r in resources:
+                in_use = r._in_use
+                if in_use:
+                    r._busy_time += in_use * (now - r._last_change)
+                r._last_change = now
+                r._in_use = in_use + 1
+            engine.schedule(hold, _finish)
+            engine.schedule(hold + self.latency + penalty, on_delivered)
+            return
+
         def acquire_chain(i: int) -> None:
             if i == len(resources):
-                def _finish() -> None:
-                    for r in reversed(resources):
-                        r.release()
-                    on_injected()
-
-                self.engine.schedule(hold, _finish)
-                self.engine.schedule(hold + self.latency + penalty, on_delivered)
+                engine.schedule(hold, _finish)
+                engine.schedule(hold + self.latency + penalty, on_delivered)
                 return
             resources[i].acquire(lambda: acquire_chain(i + 1))
 
@@ -143,17 +178,17 @@ class SharedMediumFabric(Fabric):
         super().__init__(engine, latency, bandwidth, **kw)
         self.medium = Resource(engine, capacity=1, name="shared-medium")
 
-    def path_resources(self, src: Node, dst: Node) -> List[Resource]:
+    def path_resources(self, src: Node, dst: Node) -> Tuple[Resource]:
         """The single shared medium."""
-        return [self.medium]
+        return (self.medium,)
 
 
 class SwitchedFabric(Fabric):
     """Full-duplex switched network (Myrinet, SCI): per-port contention."""
 
-    def path_resources(self, src: Node, dst: Node) -> List[Resource]:
+    def path_resources(self, src: Node, dst: Node) -> Tuple[Resource, Resource]:
         """Sender tx port and receiver rx port."""
-        return [src.tx, dst.rx]
+        return (src.tx, dst.rx)
 
 
 class CrossbarFabric(Fabric):
@@ -164,9 +199,9 @@ class CrossbarFabric(Fabric):
     client's receive port is the serialization point.
     """
 
-    def path_resources(self, src: Node, dst: Node) -> List[Resource]:
+    def path_resources(self, src: Node, dst: Node) -> Tuple[Resource]:
         """Receiver rx port only."""
-        return [dst.rx]
+        return (dst.rx,)
 
 
 FABRIC_KINDS = {

@@ -27,6 +27,8 @@ from .events import ANY, Barrier, Compute, Message, Recv, RecvTimeout, Send, Tim
 class Mailbox:
     """Per-process FIFO of delivered messages with (source, tag) matching."""
 
+    __slots__ = ("_messages", "_pending")
+
     def __init__(self) -> None:
         self._messages: Deque[Message] = deque()
         self._pending: Optional[Tuple[Optional[int], Optional[int], Callable[[Message], None]]] = None
@@ -41,7 +43,10 @@ class Mailbox:
         """Hand a message to the waiting receiver or buffer it."""
         if self._pending is not None:
             source, tag, resume = self._pending
-            if self._matches(msg, source, tag):
+            # _matches(), inlined: one delivery per simulated message
+            if (source is ANY or msg.source == source) and (
+                tag is ANY or msg.tag == tag
+            ):
                 self._pending = None
                 resume(msg)
                 return
@@ -58,7 +63,9 @@ class Mailbox:
         Returns ``True`` if a message was immediately available.
         """
         for i, msg in enumerate(self._messages):
-            if self._matches(msg, source, tag):
+            if (source is ANY or msg.source == source) and (
+                tag is ANY or msg.tag == tag
+            ):
                 del self._messages[i]
                 resume(msg)
                 return True
@@ -175,6 +182,22 @@ class BarrierManager:
 class SimProcess:
     """Runner wrapping one application generator."""
 
+    __slots__ = (
+        "cluster",
+        "name",
+        "tid",
+        "node",
+        "_gen",
+        "finished",
+        "killed",
+        "failed",
+        "result",
+        "_blocked",
+        "engine",
+        "_tracer",
+        "_mailbox",
+    )
+
     def __init__(
         self,
         cluster: "Cluster",  # noqa: F821 - forward ref, see cluster.py
@@ -193,16 +216,18 @@ class SimProcess:
         self.failed: Optional[BaseException] = None
         self.result: Any = None
         self._blocked = False
+        #: cached collaborators — these are on the per-event hot path,
+        #: so the attribute chases are paid once at spawn time
+        self.engine: Engine = cluster.engine
+        self._tracer = cluster.tracer
+        #: this process's mailbox; wired by Cluster.spawn right after
+        #: construction (the mailbox registry owns the instance)
+        self._mailbox: Optional[Mailbox] = None
 
     # ------------------------------------------------------------------
-    @property
-    def engine(self) -> Engine:
-        """The owning engine."""
-        return self.cluster.engine
-
     def trace(self, category: str, start: float, end: float, detail: str = "") -> None:
         """Emit a trace record attributed to this process."""
-        self.cluster.tracer.record(self.name, category, start, end, detail)
+        self._tracer.record(self.name, category, start, end, detail)
 
     def make_resume(self, value: Any) -> Callable[[], None]:
         """A zero-arg callback resuming this process with ``value``."""
@@ -265,25 +290,28 @@ class SimProcess:
             self.failed = exc
             self.cluster._process_failed(self, exc)
             return
-        self._dispatch(request)
-
-    # ------------------------------------------------------------------
-    def _dispatch(self, request: Any) -> None:
-        if isinstance(request, Timeout):
-            start = self.engine.now
-            self.trace("sleep", start, start + request.delay)
-            self.engine.schedule(request.delay, lambda: self._step(None))
-        elif isinstance(request, Compute):
-            self._do_compute(request)
-        elif isinstance(request, Send):
+        # Dispatch, inlined (one per event).  Exact-type checks first:
+        # the request vocabulary is closed and the event classes are
+        # slotted finals in practice, so `is` beats the isinstance
+        # chain on the per-event hot path.  The isinstance fallback
+        # keeps subclasses working.
+        cls = request.__class__
+        if cls is Send or isinstance(request, Send):
             self._do_send(request)
-        elif isinstance(request, Recv):
+        elif cls is Recv or isinstance(request, Recv):
             self._do_recv(request)
-        elif isinstance(request, Barrier):
+        elif cls is Compute or isinstance(request, Compute):
+            self._do_compute(request)
+        elif cls is Barrier or isinstance(request, Barrier):
             self._block()
             self.cluster.barriers.arrive(
                 request.name, request.count, request.cost, self
             )
+        elif cls is Timeout or isinstance(request, Timeout):
+            if self._tracer.enabled:
+                start = self.engine.now
+                self.trace("sleep", start, start + request.delay)
+            self.engine.schedule(request.delay, lambda: self._step(None))
         else:
             raise SimulationError(
                 f"process {self.name!r} yielded unsupported request {request!r}"
@@ -291,15 +319,16 @@ class SimProcess:
 
     def _do_compute(self, request: Compute) -> None:
         node = self.node
+        engine = self.engine
         duration, flops = node.compute_duration(request)
-        start_wait = self.engine.now
+        start_wait = engine.now
         self._block()
 
         def _granted() -> None:
             if self.finished:  # killed while waiting for the CPU
                 node.cpus.release()
                 return
-            start = self.engine.now
+            start = engine.now
             if start > start_wait:
                 self.trace("cpu_wait", start_wait, start)
 
@@ -308,18 +337,28 @@ class SimProcess:
                 if self.finished:  # killed mid-compute
                     return
                 node.hpm.add(flops=flops, busy=duration)
-                self.trace("compute", start, self.engine.now)
+                if self._tracer.enabled:
+                    self.trace("compute", start, engine.now)
                 self._unblock()
                 self._step(None)
 
-            self.engine.schedule(duration, _finish)
+            engine.schedule(duration, _finish)
 
         node.cpus.acquire(_granted)
 
     def _do_send(self, request: Send) -> None:
-        start = self.engine.now
-        self._block()
-        dest_proc = self.cluster.process_by_tid(request.dest)
+        cluster = self.cluster
+        engine = self.engine
+        start = engine._now
+        if not self._blocked:
+            self._blocked = True
+            engine.blocked_processes += 1
+        dest_proc = cluster._procs_by_tid.get(request.dest)
+        if dest_proc is None:
+            dest_proc = cluster.process_by_tid(request.dest)  # raises
+        dest_mailbox = dest_proc._mailbox
+        # next_msg_seq(), inlined (one per simulated message)
+        cluster._msg_seq = seq = cluster._msg_seq + 1
         msg = Message(
             source=self.tid,
             dest=request.dest,
@@ -327,57 +366,79 @@ class SimProcess:
             nbytes=request.nbytes,
             payload=request.payload,
             sent_at=start,
-            seq=self.cluster.next_msg_seq(),
+            seq=seq,
         )
 
         def _injected() -> None:
-            self.trace("send", start, self.engine.now, detail=f"tag={request.tag}")
-            self._unblock()
+            if self._tracer.enabled:
+                self.trace("send", start, engine.now, detail=f"tag={request.tag}")
+            if self._blocked:
+                self._blocked = False
+                engine.blocked_processes -= 1
             self._step(None)
 
         def _delivered() -> None:
-            msg.delivered_at = self.engine.now
-            self.cluster.deliver(dest_proc, msg)
+            # Cluster.deliver, inlined (one per simulated message).
+            msg.delivered_at = engine._now
+            if dest_proc.finished:
+                cluster.metrics.counter("faults.dead_letters").inc()
+                return
+            if dest_mailbox is not None:
+                dest_mailbox.deliver(msg)
+            else:  # spawned outside Cluster.spawn (tests)
+                cluster.mailbox_of(dest_proc.tid).deliver(msg)
 
-        self.cluster.fabric.transfer(
+        cluster.fabric.transfer(
             self.node, dest_proc.node, request.nbytes, _injected, _delivered
         )
 
     def _do_recv(self, request: Recv) -> None:
-        start = self.engine.now
-        mailbox = self.cluster.mailbox_of(self.tid)
-        self._block()
-        state = {"done": False}
+        engine = self.engine
+        start = engine._now
+        mailbox = self._mailbox
+        if mailbox is None:  # spawned outside Cluster.spawn (tests)
+            mailbox = self.cluster.mailbox_of(self.tid)
+        if not self._blocked:
+            self._blocked = True
+            engine.blocked_processes += 1
+        # The shared completion flag is only needed to adjudicate the
+        # message-vs-deadline race, so the common untimed receive skips
+        # the allocation entirely.
+        state = None if request.timeout is None else {"done": False}
 
         def _resume(msg: Message) -> None:
             if self.finished:  # killed while waiting
                 return
-            state["done"] = True
-            now = self.engine.now
-            if now > start:
-                self.trace("recv_wait", start, now, detail=f"tag={msg.tag}")
-            # Causal edge: the sender's injection instant to this
-            # receive completion.  Every PVM send/recv — and therefore
-            # every Sciddle RPC leg — lands here exactly once.
-            try:
-                src_name = self.cluster.process_by_tid(msg.source).name
-            except SimulationError:
-                src_name = f"tid{msg.source}"
-            self.cluster.tracer.flow(
-                fid=msg.seq,
-                src_proc=src_name,
-                src_time=msg.sent_at,
-                dst_proc=self.name,
-                dst_time=now,
-                nbytes=msg.nbytes,
-                tag=msg.tag,
-            )
-            self._unblock()
+            if state is not None:
+                state["done"] = True
+            now = engine._now
+            if self._tracer.enabled:
+                if now > start:
+                    self.trace("recv_wait", start, now, detail=f"tag={msg.tag}")
+                # Causal edge: the sender's injection instant to this
+                # receive completion.  Every PVM send/recv — and therefore
+                # every Sciddle RPC leg — lands here exactly once.
+                try:
+                    src_name = self.cluster.process_by_tid(msg.source).name
+                except SimulationError:
+                    src_name = f"tid{msg.source}"
+                self._tracer.flow(
+                    fid=msg.seq,
+                    src_proc=src_name,
+                    src_time=msg.sent_at,
+                    dst_proc=self.name,
+                    dst_time=now,
+                    nbytes=msg.nbytes,
+                    tag=msg.tag,
+                )
+            if self._blocked:
+                self._blocked = False
+                engine.blocked_processes -= 1
             # Resume in a fresh event so delivery callbacks unwind first.
-            self.engine.schedule(0.0, lambda: self._step(msg))
+            engine.schedule(0.0, lambda: self._step(msg))
 
         satisfied = mailbox.take(request.source, request.tag, _resume)
-        if request.timeout is None or satisfied or state["done"]:
+        if state is None or satisfied or state["done"]:
             return
 
         deadline = request.timeout

@@ -20,6 +20,16 @@ from .engine import Engine
 class Resource:
     """A counted resource with FIFO admission."""
 
+    __slots__ = (
+        "engine",
+        "capacity",
+        "name",
+        "_in_use",
+        "_waiters",
+        "_busy_time",
+        "_last_change",
+    )
+
     def __init__(self, engine: Engine, capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
             raise ValueError("Resource capacity must be >= 1")
@@ -43,8 +53,12 @@ class Resource:
         """Requests waiting for a slot."""
         return len(self._waiters)
 
+    def free(self) -> bool:
+        """Whether a slot is available right now (no queueing implied)."""
+        return self._in_use < self.capacity
+
     def _account(self) -> None:
-        now = self.engine.now
+        now = self.engine._now
         self._busy_time += self._in_use * (now - self._last_change)
         self._last_change = now
 
@@ -60,19 +74,30 @@ class Resource:
     def acquire(self, granted: Callable[[], None]) -> None:
         """Request a slot; ``granted`` is called (possibly immediately)
         once a slot is assigned.  The holder must call :meth:`release`."""
-        if self._in_use < self.capacity:
-            self._account()
-            self._in_use += 1
+        in_use = self._in_use
+        if in_use < self.capacity:
+            # _account() inlined: acquire/release bracket every simulated
+            # transfer and compute grant, so the call overhead adds up.
+            # A fully idle resource contributes nothing to the busy-time
+            # integral, so only the timestamp needs to advance.
+            now = self.engine._now
+            if in_use:
+                self._busy_time += in_use * (now - self._last_change)
+            self._last_change = now
+            self._in_use = in_use + 1
             granted()
         else:
             self._waiters.append(granted)
 
     def release(self) -> None:
         """Return a slot; the longest-waiting requester is granted next."""
-        if self._in_use <= 0:
+        in_use = self._in_use
+        if in_use <= 0:
             raise RuntimeError(f"release of idle resource {self.name!r}")
-        self._account()
-        self._in_use -= 1
+        now = self.engine._now
+        self._busy_time += in_use * (now - self._last_change)
+        self._last_change = now
+        self._in_use = in_use - 1
         if self._waiters:
             nxt = self._waiters.popleft()
             self._in_use += 1

@@ -132,16 +132,22 @@ class VelocityVerlet:
             if t_now > 0:
                 self.velocities *= np.sqrt(self.target_temperature / t_now)
 
+        # one kinetic-energy pass per step: temperature and pressure are
+        # derived from the same ke with exactly the formulas of
+        # temperature() / pressure(), so the record is bit-identical to
+        # calling each method (which would redo the v^2 reduction).
         ke = self.kinetic_energy()
         pe = self._report.total
+        dof = max(3 * sys_.n - 3, 1)
+        virial = -float(np.einsum("ij,ij->", sys_.coords, self._grad))
         return StepRecord(
             step=self._step_index,
             energy_total=pe + ke,
             energy_potential=pe,
             energy_kinetic=ke,
             volume=sys_.volume,
-            pressure=self.pressure(),
-            temperature=self.temperature(),
+            pressure=(2.0 * ke + virial) / (3.0 * sys_.volume),
+            temperature=2.0 * ke / (dof * KB),
             report=self._report,
         )
 

@@ -21,6 +21,21 @@ from .system import COULOMB_K, MolecularSystem
 _EPS = 1e-12
 
 
+def _scatter_add(grad: np.ndarray, idx: np.ndarray, g: np.ndarray) -> None:
+    """``grad[idx] += g`` row-wise, via per-column ``np.bincount``.
+
+    ``np.ufunc.at`` is unbuffered and an order of magnitude slower than
+    a bincount reduction.  Each atom's contributions are still summed in
+    pair order (bincount scans the input in order), so the result agrees
+    with ``np.add.at`` to floating-point associativity; the vectorized
+    vs. scalar equivalence tests pin the agreement at 1e-12.
+    """
+    n = grad.shape[0]
+    grad[:, 0] += np.bincount(idx, weights=g[:, 0], minlength=n)
+    grad[:, 1] += np.bincount(idx, weights=g[:, 1], minlength=n)
+    grad[:, 2] += np.bincount(idx, weights=g[:, 2], minlength=n)
+
+
 # ----------------------------------------------------------------------
 def bond_energy(system: MolecularSystem, coords: Optional[np.ndarray] = None):
     """Covalent bond stretching: sum 1/2 K_b (b - b0)^2."""
@@ -35,8 +50,8 @@ def bond_energy(system: MolecularSystem, coords: Optional[np.ndarray] = None):
     db = b - topo.bond_b0
     energy = float(0.5 * np.sum(topo.bond_k * db * db))
     g = (topo.bond_k * db / np.maximum(b, _EPS))[:, None] * d
-    np.add.at(grad, i, g)
-    np.add.at(grad, j, -g)
+    _scatter_add(grad, i, g)
+    _scatter_add(grad, j, -g)
     return energy, grad
 
 
@@ -63,9 +78,9 @@ def angle_energy(system: MolecularSystem, coords: Optional[np.ndarray] = None):
     coef = topo.angle_k * dtheta / np.maximum(s, _EPS)
     gi = -coef[:, None] * (vh - c[:, None] * uh) / np.maximum(nu, _EPS)[:, None]
     gk = -coef[:, None] * (uh - c[:, None] * vh) / np.maximum(nv, _EPS)[:, None]
-    np.add.at(grad, i, gi)
-    np.add.at(grad, k, gk)
-    np.add.at(grad, j, -(gi + gk))
+    _scatter_add(grad, i, gi)
+    _scatter_add(grad, k, gk)
+    _scatter_add(grad, j, -(gi + gk))
     return energy, grad
 
 
@@ -117,7 +132,7 @@ def dihedral_energy(system: MolecularSystem, coords: Optional[np.ndarray] = None
     energy = float(np.sum(topo.dihedral_k * (1.0 + np.cos(arg))))
     dEdphi = -topo.dihedral_k * topo.dihedral_mult * np.sin(arg)
     for atom_idx, g in zip(idx, grads):
-        np.add.at(grad, atom_idx, dEdphi[:, None] * g)
+        _scatter_add(grad, atom_idx, dEdphi[:, None] * g)
     return energy, grad
 
 
@@ -134,7 +149,7 @@ def improper_energy(system: MolecularSystem, coords: Optional[np.ndarray] = None
     energy = float(0.5 * np.sum(topo.improper_k * dxi * dxi))
     dEdxi = topo.improper_k * dxi
     for atom_idx, g in zip(idx, grads):
-        np.add.at(grad, atom_idx, dEdxi[:, None] * g)
+        _scatter_add(grad, atom_idx, dEdxi[:, None] * g)
     return energy, grad
 
 
@@ -172,8 +187,8 @@ def nonbonded_energy(
     # dE/dr for both terms, then project on the separation vector
     dEdr = (-12.0 * c12 * inv_r6 * inv_r6 + 6.0 * c6 * inv_r6) / r - qq * inv_r2
     g = (dEdr / r)[:, None] * d
-    np.add.at(grad, i, g)
-    np.add.at(grad, j, -g)
+    _scatter_add(grad, i, g)
+    _scatter_add(grad, j, -g)
     return e_vdw, e_coul, grad
 
 

@@ -12,7 +12,7 @@ cross-check for large systems.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -22,9 +22,61 @@ from .system import MolecularSystem
 #: i-block size for the blocked O(n^2) scan (keeps peak memory ~ block*n).
 _BLOCK = 512
 
+#: The 13 lexicographically positive cell offsets.  Together with the
+#: self cell they cover each cell pair exactly once: for in-bounds
+#: neighbours the flat-index delta of a lexicographically positive
+#: offset is strictly positive, so "visit only v > u" reduces to this
+#: half stencil.
+_HALF_STENCIL = [
+    (dx, dy, dz)
+    for dx in (-1, 0, 1)
+    for dy in (-1, 0, 1)
+    for dz in (-1, 0, 1)
+    if (dx, dy, dz) > (0, 0, 0)
+]
+
 
 def _encode(i: np.ndarray, j: np.ndarray, n: int) -> np.ndarray:
     return i.astype(np.int64) * n + j.astype(np.int64)
+
+
+def _cross_blocks(
+    a_start: np.ndarray,
+    a_len: np.ndarray,
+    b_start: np.ndarray,
+    b_len: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Index arrays of every (A x B) combination over K aligned blocks.
+
+    Given K blocks where block k spans ``a_start[k] : a_start[k]+a_len[k]``
+    on one side and ``b_start[k] : b_start[k]+b_len[k]`` on the other,
+    returns ``(ia, ib)`` enumerating all ``sum(a_len*b_len)`` cross
+    combinations without a Python-level loop over blocks.
+    """
+    if a_len.sum() == 0 or (a_len * b_len).sum() == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    k = len(a_len)
+    # every A slot, blocks concatenated (ranges via the arange-offset
+    # trick: integer add/subtract only, no per-element division)
+    na = int(a_len.sum())
+    a_block = np.repeat(np.arange(k), a_len)
+    a_cum = np.concatenate(([0], np.cumsum(a_len)[:-1]))
+    a_slots = np.arange(na, dtype=np.int64) - a_cum[a_block] + a_start[a_block]
+    # each A slot meets its block's whole B range
+    ia = np.repeat(a_slots, b_len[a_block])
+    # B ranges, one copy per A slot of the same block
+    nb_rep = b_len[a_block]
+    total = int(nb_rep.sum())
+    b_cum = np.concatenate(([0], np.cumsum(nb_rep)[:-1]))
+    rep_block = np.repeat(a_block, nb_rep)
+    slot_of = np.repeat(np.arange(na), nb_rep)
+    ib = (
+        np.arange(total, dtype=np.int64)
+        - b_cum[slot_of]
+        + b_start[rep_block]
+    )
+    return ia, ib
 
 
 @dataclass
@@ -51,18 +103,21 @@ class PairListBuilder:
             raise WorkloadError("method must be 'brute' or 'cells'")
         self.cutoff = cutoff
         self.method = method
-        self._excluded: Optional[Set[int]] = None
+        #: sorted, unique encoded exclusion codes (int64), built lazily —
+        #: an array rather than a Python set so the membership test in
+        #: :meth:`build` is one vectorized ``np.isin`` over sorted input
+        self._excluded: Optional[np.ndarray] = None
         self._exclusions = exclusions
         self.stats = PairListStats()
 
     # ------------------------------------------------------------------
-    def _exclusion_codes(self, n: int) -> Set[int]:
+    def _exclusion_codes(self, n: int) -> np.ndarray:
         if self._excluded is None:
             if self._exclusions is None or len(self._exclusions) == 0:
-                self._excluded = set()
+                self._excluded = np.zeros(0, dtype=np.int64)
             else:
                 e = np.sort(np.asarray(self._exclusions), axis=1)
-                self._excluded = set(_encode(e[:, 0], e[:, 1], n).tolist())
+                self._excluded = np.unique(_encode(e[:, 0], e[:, 1], n))
         return self._excluded
 
     def build(self, coords: np.ndarray) -> np.ndarray:
@@ -74,9 +129,11 @@ class PairListBuilder:
             pairs = self._build_brute(coords)
         self.stats.updates += 1
         excl = self._exclusion_codes(n)
-        if excl and len(pairs):
+        if excl.size and len(pairs):
             codes = _encode(pairs[:, 0], pairs[:, 1], n)
-            keep = ~np.isin(codes, np.fromiter(excl, dtype=np.int64))
+            # both sides are unique: codes come from distinct (i < j)
+            # pairs and the exclusion table is deduplicated above
+            keep = ~np.isin(codes, excl, assume_unique=True)
             pairs = pairs[keep]
         self.stats.active_pairs_last = len(pairs)
         return pairs
@@ -106,67 +163,109 @@ class PairListBuilder:
         ).astype(np.int64)
 
     def _build_cells(self, coords: np.ndarray) -> np.ndarray:
+        """Cell-list scan, vectorized over *all* cells at once.
+
+        Atoms are binned into cubic cells of edge ``cutoff`` and sorted
+        by cell; a cell's atoms then form one contiguous slice.  Every
+        (cell, neighbour-cell) block — the self cell plus the 13 cells
+        of the half stencil — is expanded into candidate index pairs in
+        a single :func:`_cross_blocks` call per offset, so no Python
+        loop ever runs over individual cells.  The result is identical
+        to the brute scan: each unordered pair is generated at most
+        once, canonicalized to (min, max), and lexsorted.
+        """
         c = self.cutoff
         lo = coords.min(axis=0)
         cell_idx = np.floor((coords - lo) / c).astype(np.int64)
         dims = cell_idx.max(axis=0) + 1
-        flat = (
-            cell_idx[:, 0] * dims[1] * dims[2]
-            + cell_idx[:, 1] * dims[2]
-            + cell_idx[:, 2]
-        )
+        d1d2 = int(dims[1] * dims[2])
+        flat = cell_idx[:, 0] * d1d2 + cell_idx[:, 1] * dims[2] + cell_idx[:, 2]
         order = np.argsort(flat, kind="stable")
         sorted_flat = flat[order]
-        # cell -> slice of `order`
-        uniq, starts = np.unique(sorted_flat, return_index=True)
-        cell_of = {int(u): (int(s), int(e)) for u, s, e in zip(
-            uniq, starts, np.append(starts[1:], len(order))
-        )}
-        neighbour_offsets = [
-            (dx, dy, dz)
-            for dx in (-1, 0, 1)
-            for dy in (-1, 0, 1)
-            for dz in (-1, 0, 1)
-        ]
+        xs = coords[order]  # cell-contiguous coordinates
+        # occupied cell -> (start, count) slice of the sorted arrays
+        uniq, starts, counts = np.unique(
+            sorted_flat, return_index=True, return_counts=True
+        )
+        occ = np.stack(
+            [uniq // d1d2, (uniq // dims[2]) % dims[1], uniq % dims[2]], axis=1
+        )
         c2 = c * c
+        checked = 0
         out_i, out_j = [], []
-        for u in uniq:
-            s, e = cell_of[int(u)]
-            a = order[s:e]
-            ux = int(u) // (dims[1] * dims[2])
-            uy = (int(u) // dims[2]) % dims[1]
-            uz = int(u) % dims[2]
-            for dx, dy, dz in neighbour_offsets:
-                # explicit 3-D bounds: flat-offset arithmetic would alias
-                # neighbours when a grid dimension is 1 or 2 cells wide
-                vx, vy, vz = ux + dx, uy + dy, uz + dz
-                if not (0 <= vx < dims[0] and 0 <= vy < dims[1] and 0 <= vz < dims[2]):
-                    continue
-                v = vx * dims[1] * dims[2] + vy * dims[2] + vz
-                if v < int(u) or v not in cell_of:
-                    continue  # each cell pair handled once
-                s2, e2 = cell_of[v]
-                b = order[s2:e2]
-                d = coords[a][:, None, :] - coords[b][None, :, :]
-                r2 = np.einsum("xij,xij->xi", d, d)
-                self.stats.candidates_checked += r2.size
-                ii, jj = np.nonzero(r2 <= c2)
-                gi, gj = a[ii], b[jj]
-                if v == int(u):
-                    keep = gj > gi
-                    gi, gj = gi[keep], gj[keep]
-                lo_ = np.minimum(gi, gj)
-                hi_ = np.maximum(gi, gj)
-                out_i.append(lo_)
-                out_j.append(hi_)
-        if not out_i:
+
+        x0, x1, x2 = xs[:, 0].copy(), xs[:, 1].copy(), xs[:, 2].copy()
+
+        def _emit(ia: np.ndarray, ib: np.ndarray, triangular: bool) -> None:
+            """Distance-filter candidate slots and record original ids."""
+            if triangular:
+                # self-cell block: the stable sort keeps original ids
+                # ascending within a cell, so ia < ib both picks each
+                # unordered pair once and pre-canonicalizes it
+                keep = ia < ib
+                ia, ib = ia[keep], ib[keep]
+            # per-axis arithmetic on contiguous columns: no (m, 3)
+            # gather temporaries, same r^2 to the last bit
+            d = x0[ia] - x0[ib]
+            r2 = d * d
+            d = x1[ia] - x1[ib]
+            r2 += d * d
+            d = x2[ia] - x2[ib]
+            r2 += d * d
+            hit = r2 <= c2
+            gi, gj = order[ia[hit]], order[ib[hit]]
+            out_i.append(np.minimum(gi, gj))
+            out_j.append(np.maximum(gi, gj))
+
+        # self-cell pairs of every occupied cell at once; the full n*n
+        # block is what the per-cell scan checked, hence the counter
+        checked += int(np.sum(counts * counts))
+        _emit(*_cross_blocks(starts, counts, starts, counts), triangular=True)
+
+        # resolve all 13 offsets' (cell, neighbour) block lists first,
+        # then expand every cross-cell block in one _cross_blocks call
+        u_blocks, v_blocks = [], []
+        for dx, dy, dz in _HALF_STENCIL:
+            # explicit 3-D bounds: flat-offset arithmetic would alias
+            # neighbours when a grid dimension is 1 or 2 cells wide
+            vx = occ[:, 0] + dx
+            vy = occ[:, 1] + dy
+            vz = occ[:, 2] + dz
+            valid = (
+                (vx >= 0) & (vx < dims[0])
+                & (vy >= 0) & (vy < dims[1])
+                & (vz >= 0) & (vz < dims[2])
+            )
+            if not valid.any():
+                continue
+            target = vx[valid] * d1d2 + vy[valid] * dims[2] + vz[valid]
+            # occupied neighbours only (binary search into the cell table)
+            k = np.searchsorted(uniq, target)
+            k_ok = k < len(uniq)
+            k = k[k_ok]
+            hit = uniq[k] == target[k_ok]
+            u_blocks.append(np.nonzero(valid)[0][k_ok][hit])
+            v_blocks.append(k[hit])
+        if u_blocks:
+            u_sel = np.concatenate(u_blocks)
+            v_sel = np.concatenate(v_blocks)
+            if len(u_sel):
+                a_start, a_len = starts[u_sel], counts[u_sel]
+                b_start, b_len = starts[v_sel], counts[v_sel]
+                checked += int(np.sum(a_len * b_len))
+                _emit(
+                    *_cross_blocks(a_start, a_len, b_start, b_len),
+                    triangular=False,
+                )
+
+        self.stats.candidates_checked += checked
+        pairs_i = np.concatenate(out_i) if out_i else np.zeros(0, dtype=np.int64)
+        if len(pairs_i) == 0:
             return np.zeros((0, 2), dtype=np.int64)
-        pairs = np.stack(
-            [np.concatenate(out_i), np.concatenate(out_j)], axis=1
-        ).astype(np.int64)
+        pairs = np.stack([pairs_i, np.concatenate(out_j)], axis=1).astype(np.int64)
         # canonical order for reproducibility
-        order = np.lexsort((pairs[:, 1], pairs[:, 0]))
-        return pairs[order]
+        perm = np.lexsort((pairs[:, 1], pairs[:, 0]))
+        return pairs[perm]
 
 
 # ----------------------------------------------------------------------

@@ -179,6 +179,10 @@ def _client_body(
 
         for step in range(app.steps):
             is_update_step = step % app.update_interval == 0
+            # one shared payload shell per phase: the handlers only read
+            # the args, so every server can carry the same dict instead
+            # of p per-call allocations
+            phase_args = {"step": step}
 
             if is_update_step:
                 # ---- pair-list update phase ------------------------------
@@ -188,7 +192,7 @@ def _client_body(
                 # the end barrier separates computation from the returns.
                 handles = yield from client.call_all(
                     "update_lists",
-                    args_for=lambda i, tid: {"step": step},
+                    args_for=lambda i, tid: phase_args,
                     nbytes=workload.coords_nbytes,
                     category="comm:call_upd",
                 )
@@ -199,7 +203,7 @@ def _client_body(
             # ---- non-bonded energy evaluation phase ----------------------
             handles = yield from client.call_all(
                 "eval_nonbonded",
-                args_for=lambda i, tid: {"step": step},
+                args_for=lambda i, tid: phase_args,
                 nbytes=workload.coords_nbytes,
                 category="comm:call_nbi",
             )
