@@ -1,0 +1,104 @@
+"""PERF — simlint whole-program analysis, cold versus incremental.
+
+The linter's CI cost is dominated by parsing and re-deriving the
+project index (symbol table, import graph, call graph) for every file
+on every run.  The content-hash cache (``repro.lint.cache``) is
+supposed to make the common case — nothing changed — almost free: a
+warm run re-hashes each file, finds every digest and component key in
+the cache, and replays recorded findings without parsing a single AST.
+
+This benchmark times both paths over the real ``src/`` tree and emits
+two experiments so the perf gate tracks them independently:
+
+* ``PERF_lint_full`` — cold analysis, empty cache (seconds);
+* ``PERF_lint_incremental`` — warm analysis, fully-primed cache
+  (seconds).
+
+Both are min-of-3 wall times, lower is better.  The headline
+criterion, also asserted here, is that the warm run is at least
+``MIN_SPEEDUP``x faster than the cold run — if the cache stops paying
+for itself, the incremental CI story (docs/LINTING.md) is broken.
+"""
+
+import pathlib
+import shutil
+import tempfile
+import time
+
+from _emit import emit, record
+from repro.lint import analyze
+
+SRC = pathlib.Path(__file__).parent.parent / "src"
+ROUNDS = 3
+#: warm/cold wall-time ratio the cache must deliver on the src tree
+MIN_SPEEDUP = 5.0
+
+
+def timed_analyze(cache_dir):
+    start = time.perf_counter()
+    result = analyze([SRC], cache_dir=cache_dir)
+    return time.perf_counter() - start, result
+
+
+def render(cold, warm, speedup, stats_cold, stats_warm) -> str:
+    lines = [
+        "simlint over src/: cold vs incremental (min of "
+        f"{ROUNDS}, seconds)",
+        "",
+        f"  cold (empty cache):   {cold:8.3f} s  "
+        f"({stats_cold.files_checked}/{stats_cold.files_total} files, "
+        f"{stats_cold.components_reanalyzed}/{stats_cold.components_total}"
+        " components)",
+        f"  warm (primed cache):  {warm:8.3f} s  "
+        f"({stats_warm.files_checked}/{stats_warm.files_total} files, "
+        f"{stats_warm.components_reanalyzed}/{stats_warm.components_total}"
+        " components)",
+        f"  speedup:              {speedup:8.1f} x  "
+        f"(required >= {MIN_SPEEDUP:.0f}x)",
+    ]
+    return "\n".join(lines)
+
+
+def test_perf_lint_cold_vs_incremental(artifact):
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = pathlib.Path(tmp) / "simlint-cache"
+
+        cold_times = []
+        for _ in range(ROUNDS):
+            shutil.rmtree(cache, ignore_errors=True)
+            elapsed, cold_result = timed_analyze(cache)
+            cold_times.append(elapsed)
+        # the last cold round left a fully-primed cache behind
+        warm_times = []
+        for _ in range(ROUNDS):
+            elapsed, warm_result = timed_analyze(cache)
+            warm_times.append(elapsed)
+
+    cold, warm = min(cold_times), min(warm_times)
+    speedup = cold / warm
+
+    # the two paths must agree byte-for-byte before the timing means
+    # anything: a fast cache that replays the wrong findings is a bug,
+    # not a speedup
+    assert warm_result.findings == cold_result.findings
+    assert cold_result.stats.files_checked == cold_result.stats.files_total > 0
+    assert warm_result.stats.files_checked == 0
+    assert warm_result.stats.components_reanalyzed == 0
+
+    emit(
+        "PERF_lint_full",
+        [record("src-tree", "cold_analysis", cold, "s")],
+    )
+    emit(
+        "PERF_lint_incremental",
+        [record("src-tree", "warm_analysis", warm, "s")],
+    )
+    artifact(
+        "PERF_lint",
+        render(cold, warm, speedup, cold_result.stats, warm_result.stats),
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"incremental lint is only {speedup:.1f}x faster than cold "
+        f"(required >= {MIN_SPEEDUP:.0f}x)"
+    )

@@ -4,14 +4,23 @@ The paper's methodology works because measurement is *exact*:
 middleware instrumentation separates communication from computation
 (Section 3) and the factorial design assumes every cell is reproducible
 (Section 4).  simlint machine-checks the source-level invariants that
-exactness rests on, in six rule families:
+exactness rests on.  Since v2 it is a *whole-program* analyzer: a
+project index (symbol table, import graph, call graph — :mod:`.index`)
+feeds interprocedural passes (:mod:`.dataflow`) alongside the per-file
+rule pack, with an incremental content-hash cache, a checked-in
+baseline, severity profiles and SARIF export.  The rule families:
 
-* **determinism** (``D1xx``) — no wall clocks, global RNG state,
-  OS-entropy seeding or hash/identity-ordered iteration in simulation
-  code;
-* **protocol** (``P2xx``) — RPC names resolve in the IDL registry,
-  message tags pair up, phase brackets balance, receives are driven
-  coroutine-style;
+* **determinism** (``D1xx`` per-file, ``D2xx`` interprocedural) — no
+  wall clocks, global RNG state, OS-entropy seeding or
+  hash/identity-ordered iteration in simulation code; ``D2xx`` track
+  seed literals and wall-clock reads *through* call chains and report
+  the witness path;
+* **protocol** (``P2xx`` per-file, ``P3xx`` graph) — RPC names resolve
+  in the IDL registry, message tags pair up, phase brackets balance,
+  receives are driven coroutine-style; ``P3xx`` check the cross-function
+  view: reply tags are consumed, called procedures are bound somewhere,
+  and timeout-less recv-then-send orders form no wait cycle (deadlock
+  candidates);
 * **model hygiene** (``M3xx``) — platform coefficients come from the
   equations (2)-(10) registry and unit conversions go through
   :mod:`repro.units`;
@@ -21,40 +30,68 @@ exactness rests on, in six rule families:
 * **resilience** (``R5xx``) — receives in the Sciddle/Opal layers
   carry ``timeout=`` deadlines, so a lost message or dead peer cannot
   wedge a chaos-campaign run;
-* **async hygiene** (``S6xx``) — the serving layer's event loop is
-  never stalled by blocking calls inside ``async def`` bodies, and
-  module-local coroutines are always awaited or scheduled rather than
-  silently discarded.
+* **async hygiene** (``S6xx`` per-file, ``S7xx`` whole-program) — the
+  serving layer's event loop is never stalled by blocking calls inside
+  ``async def`` bodies, and module-local coroutines are always awaited
+  or scheduled rather than silently discarded; ``S701`` follows the
+  call graph to find *transitively* blocking calls, ``S702`` (warn
+  tier) flags unlocked check-then-await interleavings on shared
+  mutable attributes.
 
-Run it with ``python -m repro.lint [paths]`` (exits non-zero on
-findings) or programmatically via :func:`run_checks`.  Individual
-findings can be waived inline with ``# simlint: disable=CODE`` — see
-``docs/LINTING.md`` for rule codes and rationale.
+Run it with ``python -m repro.lint [paths]`` (exit 1 only on fresh
+error-tier findings) or programmatically via :func:`analyze` /
+:func:`run_checks`.  Individual findings can be waived inline with
+``# simlint: disable=CODE``; known debt lives in
+``.simlint-baseline.json`` — see ``docs/LINTING.md`` for rule codes,
+tiers, profiles, cache and SARIF usage.
 """
 
 from __future__ import annotations
 
-from .core import Finding, ProjectRule, Rule, SourceModule, load_module
+from .baseline import load_baseline, partition, write_baseline
+from .core import (
+    Finding,
+    GraphRule,
+    ProjectRule,
+    Rule,
+    SourceModule,
+    load_module,
+)
+from .profiles import PROFILES, Profile, get_profile
 from .registry import all_rules, get_rule
-from .runner import iter_python_files, load_modules, run_checks
+from .runner import (
+    AnalysisResult,
+    AnalysisStats,
+    analyze,
+    iter_python_files,
+    load_modules,
+    run_checks,
+)
+from .sarif import to_sarif
 
-# importing the rule modules registers every shipped rule
-from . import async_hygiene as _async_hygiene  # noqa: F401
-from . import determinism as _determinism  # noqa: F401
-from . import hygiene as _hygiene  # noqa: F401
-from . import observability as _observability  # noqa: F401
-from . import protocol as _protocol  # noqa: F401
-from . import resilience as _resilience  # noqa: F401
+# importing the rule package registers every shipped rule
+from . import rules as _rules  # noqa: F401
 
 __all__ = [
+    "AnalysisResult",
+    "AnalysisStats",
     "Finding",
-    "Rule",
+    "GraphRule",
+    "PROFILES",
+    "Profile",
     "ProjectRule",
+    "Rule",
     "SourceModule",
     "all_rules",
+    "analyze",
+    "get_profile",
     "get_rule",
     "iter_python_files",
+    "load_baseline",
     "load_module",
     "load_modules",
+    "partition",
     "run_checks",
+    "to_sarif",
+    "write_baseline",
 ]

@@ -1,0 +1,81 @@
+"""Finding baselines: freezing existing debt without hiding new debt.
+
+A baseline file maps ``path::code`` keys to accepted finding counts.
+On every run the surviving findings are partitioned: for each key, up
+to the recorded count are *baselined* (reported in SARIF as externally
+suppressed, never printed, never the exit code) and everything beyond
+is *fresh*.  A fix that removes findings simply leaves baseline slack;
+a change that adds one makes it fresh immediately — counts can only be
+re-frozen deliberately via ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from ..errors import LintError
+from .core import Finding
+
+BASELINE_VERSION = "simlint-baseline/1"
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Read a baseline file into its ``path::code -> count`` map."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise LintError(f"baseline {path} is not valid JSON: {exc}") from None
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise LintError(
+            f"baseline {path} has unsupported version "
+            f"{data.get('version') if isinstance(data, dict) else data!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    entries = data.get("entries", {})
+    if not isinstance(entries, dict):
+        raise LintError(f"baseline {path}: 'entries' must be an object")
+    out: Dict[str, int] = {}
+    for key, count in entries.items():
+        if not isinstance(count, int) or count < 0:
+            raise LintError(f"baseline {path}: bad count for {key!r}")
+        out[key] = count
+    return out
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> Dict[str, int]:
+    """Freeze the given findings into a baseline file at ``path``."""
+    entries: Dict[str, int] = {}
+    for f in findings:
+        entries[f.baseline_key] = entries.get(f.baseline_key, 0) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": {k: entries[k] for k in sorted(entries)},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return entries
+
+
+def partition(
+    findings: List[Finding], entries: Dict[str, int]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(fresh, baselined)`` against a baseline.
+
+    Findings are consumed in their (already sorted) order: the first
+    ``entries[key]`` findings of each key are baselined, the overflow is
+    fresh.
+    """
+    remaining = dict(entries)
+    fresh: List[Finding] = []
+    baselined: List[Finding] = []
+    for f in findings:
+        left = remaining.get(f.baseline_key, 0)
+        if left > 0:
+            remaining[f.baseline_key] = left - 1
+            baselined.append(f)
+        else:
+            fresh.append(f)
+    return fresh, baselined

@@ -1,0 +1,158 @@
+"""Incremental analysis cache, keyed by file content hashes.
+
+One JSON document (``simlint-cache.json`` under ``--cache-dir``) with:
+
+* a **config signature** — rule codes, profile and suppression mode; a
+  mismatch discards the whole cache, so results never leak across
+  configurations;
+* a **per-file entry** per analyzed file: content hash, module key,
+  imported names and the per-file rule findings.  Unchanged files skip
+  parsing entirely on warm runs — the import graph is rebuilt from the
+  cached key/import lists;
+* a **per-component entry** keyed by the hash of the component's sorted
+  ``(display, content-hash)`` pairs — the cross-module passes (project
+  and graph rules) re-run only for import-graph slices that contain at
+  least one changed file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .core import Finding
+
+CACHE_VERSION = "simlint-cache/1"
+CACHE_FILENAME = "simlint-cache.json"
+
+
+def content_hash(data: bytes) -> str:
+    """Hex sha256 of a file's raw bytes — the cache key ingredient."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def config_signature(
+    rule_codes: Iterable[str], profile: str, respect_suppressions: bool
+) -> str:
+    """Digest of the analysis configuration; a mismatch discards the cache."""
+    blob = json.dumps(
+        {
+            "rules": sorted(rule_codes),
+            "profile": profile,
+            "respect_suppressions": respect_suppressions,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def component_key(members: Sequence[Tuple[str, str]]) -> str:
+    """Identity of one import-graph component: sorted (display, hash)."""
+    blob = json.dumps(sorted(members))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _encode(findings: Iterable[Finding]) -> List[List[object]]:
+    return [
+        [f.path, f.line, f.col, f.code, f.message, f.severity] for f in findings
+    ]
+
+
+def _decode(rows: Iterable[Sequence[object]]) -> List[Finding]:
+    return [
+        Finding(
+            path=str(row[0]),
+            line=int(row[1]),  # type: ignore[arg-type]
+            col=int(row[2]),  # type: ignore[arg-type]
+            code=str(row[3]),
+            message=str(row[4]),
+            severity=str(row[5]),
+        )
+        for row in rows
+    ]
+
+
+class AnalysisCache:
+    """Load/query/update one cache file; best-effort on read errors."""
+
+    def __init__(self, directory: Path, signature: str) -> None:
+        self.path = directory / CACHE_FILENAME
+        self.signature = signature
+        self.files: Dict[str, Dict[str, object]] = {}
+        self.components: Dict[str, List[List[object]]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != CACHE_VERSION
+            or data.get("config") != self.signature
+        ):
+            return  # stale layout or different configuration: start cold
+        files = data.get("files", {})
+        components = data.get("components", {})
+        if isinstance(files, dict):
+            self.files = files
+        if isinstance(components, dict):
+            self.components = components
+
+    # -- queries --------------------------------------------------------
+    def file_entry(self, display: str, digest: str) -> Optional[Dict[str, object]]:
+        """Cached entry for a file, or None on a miss or changed digest."""
+        entry = self.files.get(display)
+        if entry and entry.get("hash") == digest:
+            return entry
+        return None
+
+    def file_findings(self, entry: Dict[str, object]) -> List[Finding]:
+        """Decode the per-file findings recorded in a cache entry."""
+        return _decode(entry.get("findings", []))  # type: ignore[arg-type]
+
+    def component_findings(self, key: str) -> Optional[List[Finding]]:
+        """Decode cached component-scope findings, or None on a miss."""
+        rows = self.components.get(key)
+        return _decode(rows) if rows is not None else None
+
+    # -- updates --------------------------------------------------------
+    def record_file(
+        self,
+        display: str,
+        digest: str,
+        module_key: str,
+        imported_names: Iterable[str],
+        findings: Iterable[Finding],
+    ) -> None:
+        """Store a file's digest, module key, imports and findings."""
+        self.files[display] = {
+            "hash": digest,
+            "key": module_key,
+            "imports": sorted(imported_names),
+            "findings": _encode(findings),
+        }
+
+    def record_component(self, key: str, findings: Iterable[Finding]) -> None:
+        """Store the component-scope findings under the component key."""
+        self.components[key] = _encode(findings)
+
+    def save(self, live_files: Iterable[str], live_components: Iterable[str]) -> None:
+        """Persist, dropping entries for files/components not in this run."""
+        keep_f = set(live_files)
+        keep_c = set(live_components)
+        payload = {
+            "version": CACHE_VERSION,
+            "config": self.signature,
+            "files": {k: v for k, v in self.files.items() if k in keep_f},
+            "components": {
+                k: v for k, v in self.components.items() if k in keep_c
+            },
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(self.path)

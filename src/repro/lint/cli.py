@@ -1,20 +1,26 @@
 """Command line front end: ``python -m repro.lint [paths]``.
 
-Prints one ``file:line:code message`` line per finding and exits
-non-zero when any finding survives suppression — the contract the CI
-``lint`` job relies on.
+Prints one ``file:line:code message`` line per *fresh* finding and
+exits non-zero only when a fresh **error**-tier finding survives — the
+contract the CI ``lint`` job relies on.  Baselined findings
+(``--baseline``) are counted on stderr and exported to SARIF as
+externally suppressed, but never printed and never the exit code.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
 
 from ..errors import LintError
+from .baseline import load_baseline, partition, write_baseline
+from .profiles import PROFILES, get_profile
 from .registry import all_rules
-from .runner import run_checks
+from .runner import analyze
+from .sarif import to_sarif
 
 
 def _default_paths() -> List[str]:
@@ -46,6 +52,58 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report findings even on '# simlint: disable=' lines",
     )
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="strict",
+        help=(
+            "severity profile: 'strict' keeps declared tiers, 'relaxed' "
+            "demotes determinism/model-hygiene findings to warnings "
+            "(default: strict)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help=(
+            "JSON baseline of accepted findings; matching findings are "
+            "reported as suppressed instead of failing the run"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="freeze the current findings into FILE and exit 0",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="additionally write a SARIF 2.1.0 report to FILE",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "enable the incremental cache under DIR: unchanged files are "
+            "not re-analyzed, cross-module passes re-run only for changed "
+            "import-graph slices"
+        ),
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="FRAGMENT",
+        help=(
+            "skip files whose path contains FRAGMENT (repeatable; e.g. "
+            "--exclude tests/lint/fixtures)"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print analysis statistics (files, components, cache reuse)",
+    )
     return parser
 
 
@@ -55,20 +113,54 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.list_rules:
         for rule_cls in all_rules():
             scope = ",".join(rule_cls.packages) if rule_cls.packages else "all"
-            print(f"{rule_cls.code} {rule_cls.name} [{scope}] — {rule_cls.summary}")
+            tier = f"/{rule_cls.severity}" if rule_cls.severity != "error" else ""
+            print(
+                f"{rule_cls.code} {rule_cls.name} [{scope}{tier}] — "
+                f"{rule_cls.summary}"
+            )
         return 0
     paths = args.paths or _default_paths()
     try:
-        findings = run_checks(
-            paths, respect_suppressions=not args.no_suppress
+        result = analyze(
+            paths,
+            respect_suppressions=not args.no_suppress,
+            profile=get_profile(args.profile),
+            cache_dir=args.cache_dir,
+            exclude=args.exclude,
+        )
+        baseline_entries = (
+            load_baseline(Path(args.baseline)) if args.baseline else {}
         )
     except LintError as exc:
         print(f"simlint: error: {exc}", file=sys.stderr)
         return 2
-    for finding in findings:
+
+    if args.write_baseline:
+        entries = write_baseline(Path(args.write_baseline), result.findings)
+        print(
+            f"simlint: wrote baseline {args.write_baseline} "
+            f"({sum(entries.values())} finding(s), {len(entries)} key(s))",
+            file=sys.stderr,
+        )
+        return 0
+
+    fresh, baselined = partition(result.findings, baseline_entries)
+    for finding in fresh:
         print(finding.format())
-    print(
-        f"simlint: {len(findings)} finding(s)",
-        file=sys.stderr,
-    )
-    return 1 if findings else 0
+    if args.sarif:
+        document = to_sarif(fresh, baselined, all_rules())
+        Path(args.sarif).write_text(
+            json.dumps(document, indent=2) + "\n", encoding="utf-8"
+        )
+    tail = f", {len(baselined)} baselined" if baselined else ""
+    print(f"simlint: {len(fresh)} finding(s){tail}", file=sys.stderr)
+    if args.stats:
+        s = result.stats
+        print(
+            f"simlint: stats: {s.files_checked}/{s.files_total} file(s) "
+            f"analyzed, {s.components_reanalyzed}/{s.components_total} "
+            f"component(s) reanalyzed",
+            file=sys.stderr,
+        )
+    errors = [f for f in fresh if f.severity == "error"]
+    return 1 if errors else 0

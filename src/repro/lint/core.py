@@ -32,6 +32,11 @@ _PARENT_ATTR = "_simlint_parent"
 _SUPPRESS_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
 
 
+#: Finding severity tiers: ``error`` findings gate CI, ``warn`` findings
+#: are advisory (printed, counted, budgeted — but never the exit code).
+SEVERITIES = ("error", "warn")
+
+
 @dataclass(frozen=True)
 class Finding:
     """One rule violation at a source location."""
@@ -41,10 +46,18 @@ class Finding:
     col: int
     code: str
     message: str
+    #: ``"error"`` (gates CI) or ``"warn"`` (advisory); kept last with a
+    #: default so positional construction stays source-compatible.
+    severity: str = "error"
 
     def format(self) -> str:
         """Render as the CLI's ``file:line:code message`` output line."""
         return f"{self.path}:{self.line}:{self.code} {self.message}"
+
+    @property
+    def baseline_key(self) -> str:
+        """The ``path::code`` key the baseline file freezes debt under."""
+        return f"{self.path}::{self.code}"
 
 
 @dataclass
@@ -69,7 +82,9 @@ class SourceModule:
         """First package component under ``repro`` (``"netsim"``, ...)."""
         return self.package[0] if self.package else None
 
-    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+    def finding(
+        self, node: ast.AST, code: str, message: str, severity: str = "error"
+    ) -> Finding:
         """Build a :class:`Finding` anchored at ``node``."""
         return Finding(
             path=self.display,
@@ -77,6 +92,7 @@ class SourceModule:
             col=getattr(node, "col_offset", 0),
             code=code,
             message=message,
+            severity=severity,
         )
 
     def is_suppressed(self, finding: Finding) -> bool:
@@ -213,6 +229,8 @@ class Rule:
     summary: str = ""
     #: top-level subpackages the rule is scoped to (None = all files).
     packages: Optional[Tuple[str, ...]] = None
+    #: default severity tier of this rule's findings.
+    severity: str = "error"
 
     def applies_to(self, module: SourceModule) -> bool:
         """Whether this rule inspects ``module`` at all."""
@@ -229,7 +247,10 @@ class ProjectRule(Rule):
     """A rule that needs cross-file state (declared-vs-used registries).
 
     The runner calls :meth:`collect` once per applicable module, then
-    :meth:`finalize` once after all modules were seen.
+    :meth:`finalize` once after all modules were seen.  Cross-module
+    passes execute per weakly-connected component of the import graph —
+    cross-file coupling is assumed to flow through imports, which is what
+    lets the incremental cache re-run only the changed slice.
     """
 
     def check(self, module: SourceModule) -> Iterator[Finding]:
@@ -242,4 +263,25 @@ class ProjectRule(Rule):
 
     def finalize(self) -> Iterator[Finding]:
         """Yield findings derived from the whole-project state."""
+        raise NotImplementedError
+
+
+class GraphRule(Rule):
+    """A whole-program rule driven by the project index.
+
+    Instead of per-module visits, the runner hands the rule one
+    :class:`repro.lint.index.ProjectIndex` per import-graph component
+    (symbol table + call graph over that component's modules) and the
+    rule reports from :meth:`check_index`.  ``applies_to`` scoping is the
+    rule's own responsibility — interprocedural findings anchor at a call
+    site whose module decides the scope, while the witness chain may run
+    through helper modules outside it.
+    """
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Graph rules report from :meth:`check_index`, not per file."""
+        return iter(())
+
+    def check_index(self, index: "ProjectIndex") -> Iterator[Finding]:  # noqa: F821
+        """Yield findings derived from one component's project index."""
         raise NotImplementedError

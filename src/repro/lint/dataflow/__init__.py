@@ -1,0 +1,31 @@
+"""Interprocedural dataflow passes over the project index.
+
+Each pass is a pure function from a
+:class:`~repro.lint.index.ProjectIndex` to summaries the graph rules
+consume:
+
+* :mod:`.taint` — determinism taint: which functions *return* wall-clock
+  values, and which parameters flow into RNG seed positions (with the
+  witness chain from entry to primitive);
+* :mod:`.blocking` — which synchronous functions transitively reach a
+  blocking primitive (executor-offload analysis for the serve layer);
+* :mod:`.protocolgraph` — the global send/recv/tag/procedure graph:
+  bind registries and tag wait-order edges for deadlock detection.
+
+All passes are fixpoint computations over the call graph; chains are
+recorded shortest-first so findings cite a minimal witness path.
+"""
+
+from __future__ import annotations
+
+from .blocking import blocking_reachable
+from .protocolgraph import collect_procedure_graph, tag_wait_cycles
+from .taint import seed_sink_params, wallclock_returning
+
+__all__ = [
+    "blocking_reachable",
+    "collect_procedure_graph",
+    "seed_sink_params",
+    "tag_wait_cycles",
+    "wallclock_returning",
+]

@@ -1,0 +1,89 @@
+"""Blocking-call reachability for the await-safety rules.
+
+S601 bans *direct* blocking calls inside ``async def``; this pass finds
+the transitive ones: a coroutine calling a synchronous project function
+that — possibly several frames down — performs blocking work (sleeps,
+subprocesses, synchronous sockets, file I/O).  The event loop stalls
+exactly the same whether the ``open()`` sits in the coroutine or three
+sync helpers away.
+
+Reachability propagates through **synchronous** project functions only:
+an awaited coroutine runs cooperatively and is its own S601/S701
+subject, and a function *reference* handed to ``loop.run_in_executor``
+is never a call site, so the executor off-load pattern stays clean by
+construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+from ..index import ProjectIndex
+from ..index.callgraph import own_body_nodes
+from ..index.symbols import ModuleInfo
+from ..rules.async_hygiene import _BLOCKING_CALLS
+
+#: Attribute calls that hit the filesystem synchronously (pathlib et al).
+FILE_IO_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+def _direct_block(info: ModuleInfo, func) -> Optional[str]:
+    """Label of a blocking primitive this function calls directly."""
+    module = info.module
+    for node in own_body_nodes(func.node):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = module.resolve_call(node.func)
+        if dotted in _BLOCKING_CALLS:
+            return f"{dotted}()"
+        target = node.func
+        if (
+            isinstance(target, ast.Name)
+            and target.id == "open"
+            and target.id not in module.imports
+            and target.id not in info.functions
+        ):
+            return "open()"
+        if isinstance(target, ast.Attribute) and target.attr in FILE_IO_METHODS:
+            return f".{target.attr}()"
+    return None
+
+
+def blocking_reachable(index: ProjectIndex) -> Dict[str, List[str]]:
+    """``qualname -> witness chain`` for blocking synchronous functions.
+
+    Chains read ``[entry, ..., primitive]`` and are shortest-first: a
+    function reached in round *n* keeps its *n*-hop chain even if longer
+    routes exist.
+    """
+    chains: Dict[str, List[str]] = {}
+    for func in index.functions():
+        if func.is_async:
+            continue
+        info = index.module_of(func)
+        if info is None:
+            continue
+        label = _direct_block(info, func)
+        if label is not None:
+            chains[func.qualname] = [func.display, label]
+    changed = True
+    while changed:
+        changed = False
+        for qualname, sites in index.calls.items():
+            if qualname in chains:
+                continue
+            caller = sites[0].caller
+            if caller.is_async:
+                continue
+            for site in sites:
+                if site.callee.is_async:
+                    continue
+                tail = chains.get(site.callee.qualname)
+                if tail is not None:
+                    chains[qualname] = [caller.display, *tail]
+                    changed = True
+                    break
+    return chains

@@ -1,0 +1,178 @@
+"""The global protocol graph: procedure bindings and tag wait-ordering.
+
+Feeds the P3xx rules:
+
+* :func:`collect_procedure_graph` — every ``server.bind(name, ...)``
+  and every client-side procedure reference (``call_async`` /
+  ``call_all``) across the analyzed modules.  P302 reports references
+  with no binding anywhere in the import-graph slice.
+
+* :func:`tag_wait_cycles` — the tag *wait-order* digraph: an edge
+  ``B -> A`` means some function sends tag ``A`` only after an
+  unbounded (timeout-less) receive of tag ``B`` completed.  A cycle in
+  that graph is a deadlock candidate: every participant is waiting for
+  a message only produced after its own — exactly the send/recv
+  matching the MPI deadlock literature checks globally rather than per
+  call site.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..index import ProjectIndex
+from ..index.callgraph import own_body_nodes
+from ..index.symbols import FunctionInfo
+from ..rules.protocol import _call_arg, _const_str
+
+#: Names that look like PVM tag constants (module convention).
+_TAG_NAME_RE = re.compile(r"^_?TAG")
+
+
+def _tag_names(expr: Optional[ast.AST]) -> Set[str]:
+    if expr is None:
+        return set()
+    return {
+        n.id
+        for n in ast.walk(expr)
+        if isinstance(n, ast.Name) and _TAG_NAME_RE.match(n.id)
+    }
+
+
+def collect_procedure_graph(
+    index: ProjectIndex,
+) -> Tuple[Dict[str, Tuple[object, ast.Call]], List[Tuple[object, ast.Call, str]]]:
+    """``(bindings, references)`` over the whole index.
+
+    ``bindings`` maps a procedure name to its first bind site;
+    ``references`` lists client-side calls naming a procedure.  Names
+    with a dunder prefix (``__shutdown__``) are runtime-internal and
+    skipped on both sides.
+    """
+    bindings: Dict[str, Tuple[object, ast.Call]] = {}
+    references: List[Tuple[object, ast.Call, str]] = []
+    for key in sorted(index.modules):
+        module = index.modules[key].module
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            attr = node.func.attr
+            if attr == "bind":
+                name = _const_str(_call_arg(node, 0, "name"))
+                if name is not None and not name.startswith("__"):
+                    bindings.setdefault(name, (module, node))
+            elif attr == "call_async":
+                name = _const_str(_call_arg(node, 1, "proc"))
+                if name is not None and not name.startswith("__"):
+                    references.append((module, node, name))
+            elif attr == "call_all":
+                name = _const_str(_call_arg(node, 0, "proc"))
+                if name is not None and not name.startswith("__"):
+                    references.append((module, node, name))
+    return bindings, references
+
+
+def _ordered_events(
+    func: FunctionInfo,
+) -> List[Tuple[Tuple[int, int], str, Set[str], ast.Call]]:
+    """Recv/send events of one function body in source order."""
+    events = []
+    for node in own_body_nodes(func.node):
+        if not isinstance(node, ast.Call):
+            continue
+        target = node.func
+        kind: Optional[str] = None
+        tag_expr: Optional[ast.AST] = None
+        bounded = False
+        if isinstance(target, ast.Attribute):
+            if target.attr == "recv":
+                kind = "recv"
+                tag_expr = _call_arg(node, 1, "tag")
+                timeout = _call_arg(node, 99, "timeout")
+                bounded = timeout is not None and not (
+                    isinstance(timeout, ast.Constant) and timeout.value is None
+                )
+            elif target.attr in ("send", "mcast"):
+                kind = "send"
+                tag_expr = _call_arg(node, 1, "tag")
+        elif isinstance(target, ast.Name):
+            if target.id == "Recv":
+                kind = "recv"
+                tag_expr = _call_arg(node, 1, "tag")
+                timeout = _call_arg(node, 99, "timeout")
+                bounded = timeout is not None and not (
+                    isinstance(timeout, ast.Constant) and timeout.value is None
+                )
+            elif target.id == "Send":
+                kind = "send"
+                tag_expr = _call_arg(node, 2, "tag")
+        if kind is None:
+            continue
+        tags = _tag_names(tag_expr)
+        if not tags:
+            continue
+        if kind == "recv" and bounded:
+            continue  # a deadline breaks any wait cycle through this edge
+        events.append(((node.lineno, node.col_offset), kind, tags, node))
+    events.sort(key=lambda e: e[0])
+    return events
+
+
+def tag_wait_cycles(
+    index: ProjectIndex,
+) -> List[Tuple[List[str], List[Tuple[FunctionInfo, ast.Call]]]]:
+    """Cycles in the wait-order digraph, with one witness site per edge.
+
+    Returns ``(cycle_tags, witness_sites)`` pairs; ``cycle_tags`` is
+    rotated so the lexicographically smallest tag leads, which makes
+    reports stable and lets callers de-duplicate rotations.
+    """
+    #: waited-tag -> sent-tag -> first witness (function, send site)
+    edges: Dict[str, Dict[str, Tuple[FunctionInfo, ast.Call]]] = {}
+    for func in index.functions():
+        waited: Set[str] = set()
+        for _, kind, tags, node in _ordered_events(func):
+            if kind == "recv":
+                waited |= tags
+            else:
+                for received in sorted(waited):
+                    for sent in sorted(tags):
+                        if received == sent:
+                            continue
+                        edges.setdefault(received, {}).setdefault(
+                            sent, (func, node)
+                        )
+
+    graph = {src: set(dsts) for src, dsts in edges.items()}
+    cycles: List[List[str]] = []
+    seen: Set[Tuple[str, ...]] = set()
+
+    def dfs(start: str, node: str, path: List[str], visited: Set[str]) -> None:
+        for nxt in sorted(graph.get(node, ())):
+            if nxt == start:
+                canonical = tuple(path)  # start is the cycle's minimum
+                if canonical not in seen:
+                    seen.add(canonical)
+                    cycles.append(list(canonical))
+            elif nxt not in visited and nxt > start:
+                # only explore nodes > start: every cycle is found from
+                # its smallest member exactly once
+                visited.add(nxt)
+                dfs(start, nxt, path + [nxt], visited)
+                visited.discard(nxt)
+
+    for start in sorted(graph):
+        dfs(start, start, [start], {start})
+
+    out = []
+    for cycle in cycles:
+        witnesses = []
+        for i, tag in enumerate(cycle):
+            nxt = cycle[(i + 1) % len(cycle)]
+            witnesses.append(edges[tag][nxt])
+        out.append((cycle, witnesses))
+    return out

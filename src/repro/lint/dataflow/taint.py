@@ -1,0 +1,187 @@
+"""Determinism taint: wall-clock returns and seed-position parameters.
+
+Two fixpoint summaries over the call graph:
+
+* :func:`wallclock_returning` — functions whose return value derives
+  from a wall-clock read, directly (``return time.time()``) or through
+  another project function (``return stamp()``).  The D202 rule flags
+  *calls* to such functions from simulation scope, where the per-file
+  D101 rule cannot see the clock.
+
+* :func:`seed_sink_params` — parameters that flow into the seed
+  position of ``numpy.random.default_rng`` / ``SeedSequence``, directly
+  or by being forwarded into another function's seed-sink parameter.
+  The D201 rule flags call sites that pin such a parameter to an
+  integer literal — the interprocedural version of D106's hard-coded
+  seed ban.
+
+Both summaries map a function's qualname to a witness chain
+``[entry, ..., primitive]`` used verbatim in finding messages, so a
+report shows the *path* from source to sink instead of one opaque line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from ..index import ProjectIndex
+from ..index.callgraph import own_body_nodes
+from ..rules.determinism import _WALLCLOCK_CALLS
+
+#: RNG constructors whose first arguments are seed material.
+SEEDED_CALLS = frozenset(
+    {"numpy.random.default_rng", "numpy.random.SeedSequence"}
+)
+
+
+def _return_exprs(func_node: ast.AST) -> List[ast.AST]:
+    return [
+        node.value
+        for node in own_body_nodes(func_node)
+        if isinstance(node, ast.Return) and node.value is not None
+    ]
+
+
+def wallclock_returning(index: ProjectIndex) -> Dict[str, List[str]]:
+    """``qualname -> witness chain`` for wall-clock-returning functions."""
+    chains: Dict[str, List[str]] = {}
+    # base case: a return expression directly calls a wall-clock primitive
+    for func in index.functions():
+        for expr in _return_exprs(func.node):
+            dotted = next(
+                (
+                    d
+                    for node in ast.walk(expr)
+                    if isinstance(node, ast.Call)
+                    for d in [func.module.resolve_call(node.func)]
+                    if d in _WALLCLOCK_CALLS
+                ),
+                None,
+            )
+            if dotted is not None:
+                chains[func.qualname] = [func.display, f"{dotted}()"]
+                break
+    # propagate: a return expression calls a tainted project function
+    changed = True
+    while changed:
+        changed = False
+        for qualname, sites in index.calls.items():
+            if qualname in chains:
+                continue
+            caller = sites[0].caller
+            return_call_ids = {
+                id(node)
+                for expr in _return_exprs(caller.node)
+                for node in ast.walk(expr)
+                if isinstance(node, ast.Call)
+            }
+            for site in sites:
+                tail = chains.get(site.callee.qualname)
+                if tail is not None and id(site.call) in return_call_ids:
+                    chains[qualname] = [caller.display, *tail]
+                    changed = True
+                    break
+    return chains
+
+
+def _has_int_literal(expr: ast.AST) -> bool:
+    """Same literal test as D106: any non-bool integer constant."""
+    return any(
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+        for node in ast.walk(expr)
+    )
+
+
+def _param_names_in(expr: ast.AST, params: Set[str]) -> Set[str]:
+    return {
+        node.id
+        for node in ast.walk(expr)
+        if isinstance(node, ast.Name) and node.id in params
+    }
+
+
+def bind_arguments(func, call: ast.Call) -> Dict[str, ast.AST]:
+    """Map a call's arguments onto the callee's parameter names.
+
+    Positional arguments follow :meth:`FunctionInfo.positional_params`
+    (``self`` already dropped); ``*args``/``**kwargs`` splats are
+    skipped — static binding would be a guess.
+    """
+    bound: Dict[str, ast.AST] = {}
+    positional = func.positional_params()
+    for i, arg in enumerate(call.args):
+        if isinstance(arg, ast.Starred):
+            break
+        if i < len(positional):
+            bound[positional[i]] = arg
+    for kw in call.keywords:
+        if kw.arg is not None:
+            bound[kw.arg] = kw.value
+    return bound
+
+
+def seed_sink_params(index: ProjectIndex) -> Dict[str, Dict[str, List[str]]]:
+    """``qualname -> {param -> witness chain}`` for seed-sink parameters."""
+    sinks: Dict[str, Dict[str, List[str]]] = {}
+    # base case: a parameter appears inside an RNG constructor's seed args
+    for func in index.functions():
+        params = func.all_params()
+        if not params:
+            continue
+        for node in own_body_nodes(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = func.module.resolve_call(node.func)
+            if dotted not in SEEDED_CALLS:
+                continue
+            for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+                for param in sorted(_param_names_in(arg, params)):
+                    sinks.setdefault(func.qualname, {}).setdefault(
+                        param, [f"{func.display}({param})", f"{dotted}"]
+                    )
+    # propagate: forwarding a parameter into a callee's seed-sink position
+    changed = True
+    while changed:
+        changed = False
+        for qualname, sites in index.calls.items():
+            caller = sites[0].caller
+            params = caller.all_params()
+            if not params:
+                continue
+            for site in sites:
+                callee_sinks = sinks.get(site.callee.qualname)
+                if not callee_sinks:
+                    continue
+                bound = bind_arguments(site.callee, site.call)
+                for callee_param, tail in callee_sinks.items():
+                    arg = bound.get(callee_param)
+                    if arg is None:
+                        continue
+                    for param in sorted(_param_names_in(arg, params)):
+                        mine = sinks.setdefault(qualname, {})
+                        if param not in mine:
+                            mine[param] = [f"{caller.display}({param})", *tail]
+                            changed = True
+    return sinks
+
+
+def literal_seed_calls(index: ProjectIndex):
+    """Call sites pinning a seed-sink parameter to an integer literal.
+
+    Yields ``(site, param, chain)`` — the D201 rule applies scoping and
+    formats the finding.
+    """
+    sinks = seed_sink_params(index)
+    for qualname in sorted(index.calls):
+        for site in index.calls[qualname]:
+            callee_sinks = sinks.get(site.callee.qualname)
+            if not callee_sinks:
+                continue
+            bound = bind_arguments(site.callee, site.call)
+            for param in sorted(callee_sinks):
+                arg = bound.get(param)
+                if arg is not None and _has_int_literal(arg):
+                    yield site, param, callee_sinks[param]

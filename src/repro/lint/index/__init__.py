@@ -1,0 +1,114 @@
+"""Project indexer: symbol table, import graph and call graph.
+
+Built once per analysis run (once per import-graph component under the
+incremental cache) and handed to every
+:class:`~repro.lint.core.GraphRule` and dataflow pass.  See
+``symbols.py`` for the per-module symbol table and ``callgraph.py`` for
+call-site resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from ..core import SourceModule
+from .callgraph import CallSite, Resolver, build_call_graph, own_body_nodes
+from .symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    build_module_info,
+    module_key,
+)
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "Resolver",
+    "build_module_info",
+    "module_key",
+    "own_body_nodes",
+    "resolve_import_edges",
+]
+
+
+def resolve_import_edges(
+    imported_names: Set[str], known_keys: Set[str], own_key: str
+) -> Set[str]:
+    """Module keys an import list points at, by longest-prefix match."""
+    edges: Set[str] = set()
+    for dotted in imported_names:
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            key = ".".join(parts[:cut])
+            if key in known_keys:
+                if key != own_key:
+                    edges.add(key)
+                break
+    return edges
+
+
+@dataclass
+class ProjectIndex:
+    """Whole-program view over one set of modules."""
+
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+    #: caller qualname -> resolved call sites, in source order.
+    calls: Dict[str, List[CallSite]] = field(default_factory=dict)
+    #: callee qualname -> call sites targeting it.
+    callers: Dict[str, List[CallSite]] = field(default_factory=dict)
+    #: module key -> imported module keys (within this index only).
+    import_graph: Dict[str, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, modules: Sequence[SourceModule]) -> "ProjectIndex":
+        index = cls()
+        for module in modules:
+            info = build_module_info(module)
+            # a path collision (same dotted name twice) keeps the first
+            # deterministically; later files fall back to their path key
+            if info.key in index.modules:
+                info.key = str(module.path.resolve())
+            index.modules[info.key] = info
+        keys = set(index.modules)
+        for key, info in index.modules.items():
+            index.import_graph[key] = resolve_import_edges(
+                info.imported_names, keys, key
+            )
+        index.calls = build_call_graph(index.modules)
+        for sites in index.calls.values():
+            for site in sites:
+                index.callers.setdefault(site.callee.qualname, []).append(site)
+        return index
+
+    # -- lookups --------------------------------------------------------
+    def functions(self) -> Iterator[FunctionInfo]:
+        """Every indexed function, module key order, stable."""
+        for key in sorted(self.modules):
+            info = self.modules[key]
+            seen: Set[int] = set()
+            for name in sorted(info.functions):
+                func = info.functions[name]
+                if id(func.node) in seen:
+                    continue
+                seen.add(id(func.node))
+                yield func
+
+    def function(self, qualname: str) -> Optional[FunctionInfo]:
+        """Look up a FunctionInfo by qualified name, or None."""
+        key, _, name = qualname.rpartition(":")
+        info = self.modules.get(key)
+        return info.functions.get(name) if info else None
+
+    def module_of(self, func: FunctionInfo) -> Optional[ModuleInfo]:
+        """The ModuleInfo a function was indexed under, or None."""
+        key = func.qualname.rpartition(":")[0]
+        return self.modules.get(key)
+
+    def sites_from(self, qualname: str) -> List[CallSite]:
+        """All resolved call sites whose caller has this qualname."""
+        return self.calls.get(qualname, [])

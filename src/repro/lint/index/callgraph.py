@@ -1,0 +1,226 @@
+"""Call graph: resolving call sites to project functions.
+
+Static resolution is deliberately conservative — an edge exists only
+when the target is unambiguous from the source:
+
+* bare names: module-level functions and classes of the same module;
+* imported names: the alias map (absolute *and* relative imports) back
+  to a function or class of another indexed module;
+* ``self.method(...)``: the enclosing class, walking project-resolvable
+  base classes;
+* ``self.attr.method(...)``: the class inferred for ``attr`` from
+  ``self.attr = ClassName(...)`` assignments;
+* ``var.method(...)``: a local ``var = ClassName(...)`` in the same
+  function;
+* constructors resolve to the class's ``__init__``.
+
+Anything else (parameters of unknown type, dynamic dispatch) resolves
+to nothing — the interprocedural rules would rather miss an edge than
+invent one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set
+
+from .symbols import ClassInfo, FunctionInfo, ModuleInfo, _constructor_candidates
+
+
+@dataclass
+class CallSite:
+    """One resolved call edge: ``caller`` invokes ``callee`` at ``call``."""
+
+    caller: FunctionInfo
+    call: ast.Call
+    callee: FunctionInfo
+
+
+def own_body_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested definitions."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class Resolver:
+    """Cross-module name resolution over a set of indexed modules."""
+
+    def __init__(self, modules: Dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+        self._by_source = {id(info.module): info for info in modules.values()}
+
+    # -- dotted names --------------------------------------------------
+    def module_for(self, dotted: str) -> Optional[ModuleInfo]:
+        """Indexed module owning ``dotted``, by longest-prefix match."""
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            info = self.modules.get(".".join(parts[:cut]))
+            if info is not None:
+                return info
+        return None
+
+    def function_for(self, dotted: str) -> Optional[FunctionInfo]:
+        """Project function/constructor a dotted name denotes, if any."""
+        owner = self.module_for(dotted)
+        if owner is None:
+            return None
+        rest = dotted[len(owner.key) :].lstrip(".")
+        if not rest:
+            return None
+        if rest in owner.functions:
+            return owner.functions[rest]
+        if rest in owner.classes:
+            return owner.classes[rest].methods.get("__init__")
+        return None
+
+    def class_for(self, info: ModuleInfo, name: str) -> Optional[ClassInfo]:
+        """Resolve a class name as written in ``info``'s source."""
+        if name in info.classes:
+            return info.classes[name]
+        head, _, tail = name.partition(".")
+        dotted = info.imports.get(head)
+        if dotted is None:
+            return None
+        if tail:
+            dotted = f"{dotted}.{tail}"
+        owner = self.module_for(dotted)
+        if owner is None:
+            return None
+        rest = dotted[len(owner.key) :].lstrip(".")
+        return owner.classes.get(rest)
+
+    # -- method lookup with base-class walk ----------------------------
+    def method_of(self, cls: ClassInfo, name: str) -> Optional[FunctionInfo]:
+        """Resolve a method by name on a class, walking base classes."""
+        seen: Set[str] = set()
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            ident = f"{current.module.display}:{current.name}"
+            if ident in seen:
+                continue
+            seen.add(ident)
+            if name in current.methods:
+                return current.methods[name]
+            owner = self._by_source.get(id(current.module))
+            if owner is None:
+                continue
+            for base in current.bases:
+                resolved = self.class_for(owner, base)
+                if resolved is not None:
+                    queue.append(resolved)
+        return None
+
+    # -- call-site resolution ------------------------------------------
+    def resolve_call_site(
+        self,
+        info: ModuleInfo,
+        func: FunctionInfo,
+        call: ast.Call,
+        local_types: Dict[str, ClassInfo],
+    ) -> Optional[FunctionInfo]:
+        """The project function a call targets, or None."""
+        target = call.func
+        if isinstance(target, ast.Name):
+            name = target.id
+            if name in info.functions:
+                return info.functions[name]
+            if name in info.classes:
+                return info.classes[name].methods.get("__init__")
+            dotted = info.imports.get(name)
+            if dotted is not None:
+                return self.function_for(dotted)
+            return None
+        if not isinstance(target, ast.Attribute):
+            return None
+        receiver = target.value
+        # self.method(...) / cls.method(...)
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id in ("self", "cls")
+            and func.cls is not None
+        ):
+            cls = info.classes.get(func.cls)
+            if cls is not None:
+                return self.method_of(cls, target.attr)
+            return None
+        # self.attr.method(...) via inferred attribute types
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+            and func.cls is not None
+        ):
+            cls = info.classes.get(func.cls)
+            if cls is not None:
+                attr_cls_name = cls.attr_types.get(receiver.attr)
+                if attr_cls_name is not None:
+                    attr_cls = self.class_for(info, attr_cls_name)
+                    if attr_cls is not None:
+                        return self.method_of(attr_cls, target.attr)
+            return None
+        # var.method(...) where var = ClassName(...) locally
+        if isinstance(receiver, ast.Name) and receiver.id in local_types:
+            return self.method_of(local_types[receiver.id], target.attr)
+        # alias.func(...) / alias.sub.func(...) via the import map
+        dotted = info.module.resolve_call(target)
+        if dotted is None and isinstance(receiver, ast.Name):
+            base = info.imports.get(receiver.id)
+            if base is not None:
+                dotted = f"{base}.{target.attr}"
+        if dotted is not None:
+            return self.function_for(dotted)
+        return None
+
+    def local_var_types(
+        self, info: ModuleInfo, func: FunctionInfo
+    ) -> Dict[str, ClassInfo]:
+        """``var -> class`` for simple local constructor assignments."""
+        out: Dict[str, ClassInfo] = {}
+        for node in own_body_nodes(func.node):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            for candidate in _constructor_candidates(node.value):
+                cls = self.class_for(info, candidate)
+                if cls is not None:
+                    out[target.id] = cls
+                    break
+        return out
+
+
+def build_call_graph(
+    modules: Dict[str, ModuleInfo],
+) -> Dict[str, List[CallSite]]:
+    """Resolved call sites per caller qualname, source order preserved."""
+    resolver = Resolver(modules)
+    edges: Dict[str, List[CallSite]] = {}
+    for info in modules.values():
+        seen_nodes: Set[int] = set()
+        for func in info.functions.values():
+            # methods are indexed twice (by name and Class.name); walk once
+            if id(func.node) in seen_nodes:
+                continue
+            seen_nodes.add(id(func.node))
+            local_types = resolver.local_var_types(info, func)
+            sites: List[CallSite] = []
+            for node in own_body_nodes(func.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = resolver.resolve_call_site(info, func, node, local_types)
+                if callee is not None:
+                    sites.append(CallSite(caller=func, call=node, callee=callee))
+            if sites:
+                sites.sort(key=lambda s: (s.call.lineno, s.call.col_offset))
+                edges[func.qualname] = sites
+    return edges

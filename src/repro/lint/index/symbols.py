@@ -1,0 +1,244 @@
+"""Symbol table: functions, classes and resolved imports per module.
+
+The indexer's first layer.  For every :class:`~repro.lint.core.
+SourceModule` it produces a :class:`ModuleInfo` holding
+
+* a stable **module key** — the dotted ``repro.…`` name for files under
+  a ``repro`` package directory, the resolved path otherwise — which is
+  what the import graph, the call graph and the incremental cache all
+  key on;
+* every top-level function and class (with methods, base-class names
+  and ``self.X = ClassName(...)`` attribute-type inference);
+* an **alias map** covering absolute *and relative* imports, so
+  ``from ..core import model`` resolves to ``repro.core.model`` and the
+  call graph can follow it.
+
+Nested closures are deliberately not indexed: calls inside a nested
+``def`` execute on that closure's stack, not its enclosing function's,
+and none of the interprocedural rules need them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core import SourceModule
+
+
+def module_key(module: SourceModule) -> str:
+    """Stable identity of one module across the project.
+
+    Files under a ``repro`` directory get their dotted import name
+    (``repro.netsim.engine``; a package ``__init__`` collapses onto the
+    package itself).  Files outside any ``repro`` tree — fixtures,
+    scratch scripts — use their resolved path, which keeps keys unique
+    without pretending they are importable.
+    """
+    if module.package is None:
+        return str(module.path.resolve())
+    parts = [p for p in module.package if p != "__init__"]
+    return ".".join(["repro", *parts]) if parts else "repro"
+
+
+@dataclass
+class FunctionInfo:
+    """One indexed function or method."""
+
+    #: global identity: ``<module key>:<name>`` or ``<module key>:<Class>.<name>``.
+    qualname: str
+    module: SourceModule
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    is_async: bool
+    #: owning class name for methods, None for module-level functions.
+    cls: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        """Bare function/method name (the part after the last dot)."""
+        return self.node.name  # type: ignore[attr-defined]
+
+    @property
+    def display(self) -> str:
+        """Human-readable name used in witness chains."""
+        return f"{self.cls}.{self.name}" if self.cls else self.name
+
+    def positional_params(self) -> List[str]:
+        """Parameter names in call-position order (``self`` dropped)."""
+        args = self.node.args  # type: ignore[attr-defined]
+        names = [a.arg for a in [*args.posonlyargs, *args.args]]
+        if self.cls and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        return names
+
+    def all_params(self) -> Set[str]:
+        """Every parameter name, including keyword-only and starred."""
+        args = self.node.args  # type: ignore[attr-defined]
+        names = {a.arg for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]}
+        names.discard("self")
+        names.discard("cls")
+        return names
+
+
+@dataclass
+class ClassInfo:
+    """One indexed class: methods, bases, inferred attribute types."""
+
+    name: str
+    module: SourceModule
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: base-class expressions as source text (resolved lazily by the
+    #: call graph against local classes and the alias map).
+    bases: List[str] = field(default_factory=list)
+    #: ``self.X = ClassName(...)`` assignments: attribute -> class name
+    #: as written (local name or dotted alias chain).
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the whole-program passes know about one module."""
+
+    module: SourceModule
+    key: str
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: local alias -> absolute dotted name, relative imports resolved.
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: absolute dotted names this module imports (for graph edges).
+    imported_names: Set[str] = field(default_factory=set)
+
+
+def _relative_base(module: SourceModule, level: int) -> Optional[List[str]]:
+    """Dotted parts a ``from .``-import of ``level`` dots resolves against."""
+    if module.package is None:
+        return None
+    # the containing package of both plain modules and __init__ files
+    anchor = ["repro", *module.package[:-1]]
+    if level - 1 >= len(anchor):
+        return None
+    return anchor[: len(anchor) - (level - 1)]
+
+
+def resolve_imports(module: SourceModule) -> Tuple[Dict[str, str], Set[str]]:
+    """Alias map and imported-name set, with relative imports resolved."""
+    aliases: Dict[str, str] = {}
+    names: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.name)
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    root = alias.name.split(".")[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base_parts = node.module.split(".") if node.module else None
+            else:
+                base_parts = _relative_base(module, node.level)
+                if base_parts is None:
+                    continue
+                if node.module:
+                    base_parts = base_parts + node.module.split(".")
+            if base_parts is None:
+                continue
+            base = ".".join(base_parts)
+            for alias in node.names:
+                if alias.name == "*":
+                    names.add(base)
+                    continue
+                dotted = f"{base}.{alias.name}"
+                names.add(dotted)
+                aliases[alias.asname or alias.name] = dotted
+    return aliases, names
+
+
+def _callee_name(expr: ast.AST) -> Optional[str]:
+    """Source text of a constructor-ish callee (``Name`` or dotted chain)."""
+    parts: List[str] = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if not isinstance(expr, ast.Name):
+        return None
+    parts.append(expr.id)
+    return ".".join(reversed(parts))
+
+
+def _constructor_candidates(expr: ast.AST) -> List[str]:
+    """Class names possibly constructed by ``expr``.
+
+    Sees through the conditional idioms used for optional collaborators:
+    ``X(...) if flag else None`` and ``given or X(...)``.
+    """
+    out: List[str] = []
+    if isinstance(expr, ast.Call):
+        name = _callee_name(expr.func)
+        if name:
+            out.append(name)
+    elif isinstance(expr, ast.IfExp):
+        out.extend(_constructor_candidates(expr.body))
+        out.extend(_constructor_candidates(expr.orelse))
+    elif isinstance(expr, ast.BoolOp):
+        for value in expr.values:
+            out.extend(_constructor_candidates(value))
+    return out
+
+
+def _index_class(info: ModuleInfo, node: ast.ClassDef) -> ClassInfo:
+    cls = ClassInfo(
+        name=node.name,
+        module=info.module,
+        node=node,
+        bases=[b for b in (_callee_name(base) for base in node.bases) if b],
+    )
+    for child in node.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func = FunctionInfo(
+                qualname=f"{info.key}:{node.name}.{child.name}",
+                module=info.module,
+                node=child,
+                is_async=isinstance(child, ast.AsyncFunctionDef),
+                cls=node.name,
+            )
+            cls.methods[child.name] = func
+    # self.X = ClassName(...) anywhere in the class body (usually __init__)
+    for method in cls.methods.values():
+        for sub in ast.walk(method.node):
+            if not isinstance(sub, ast.Assign) or len(sub.targets) != 1:
+                continue
+            target = sub.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            for candidate in _constructor_candidates(sub.value):
+                cls.attr_types.setdefault(target.attr, candidate)
+                break
+    return cls
+
+
+def build_module_info(module: SourceModule) -> ModuleInfo:
+    """Index one parsed module: symbols plus resolved imports."""
+    info = ModuleInfo(module=module, key=module_key(module))
+    info.imports, info.imported_names = resolve_imports(module)
+    for node in module.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[node.name] = FunctionInfo(
+                qualname=f"{info.key}:{node.name}",
+                module=module,
+                node=node,
+                is_async=isinstance(node, ast.AsyncFunctionDef),
+            )
+        elif isinstance(node, ast.ClassDef):
+            cls = _index_class(info, node)
+            info.classes[node.name] = cls
+            for method in cls.methods.values():
+                info.functions[f"{node.name}.{method.name}"] = method
+    return info

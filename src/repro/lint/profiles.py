@@ -1,0 +1,71 @@
+"""Severity profiles and per-rule budgets.
+
+A profile post-processes finding severities without touching the rules:
+
+* ``strict`` (the default) keeps every rule at its declared tier —
+  shipped simulation source is held to the full contract;
+* ``relaxed`` demotes the determinism (``D``) and model-hygiene
+  (``M``) families to advisory ``warn`` — the right posture for tests,
+  benchmarks and examples, where a hard-coded seed is often the point
+  while protocol and await-safety violations are still real bugs.
+
+Budgets bound accepted debt per rule code: up to ``N`` ``warn``
+findings of a code are tolerated, and every finding of that code beyond
+the budget escalates back to ``error`` so the debt cannot silently
+grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Tuple
+
+from ..errors import LintError
+from .core import Finding
+
+
+@dataclass(frozen=True)
+class Profile:
+    """One named severity policy."""
+
+    name: str
+    #: rule-code prefixes whose findings are demoted to ``warn``.
+    demote: Tuple[str, ...] = ()
+    #: rule code -> number of ``warn`` findings tolerated before the
+    #: overflow escalates to ``error``.
+    budgets: Mapping[str, int] = field(default_factory=dict)
+
+    def apply(self, findings: List[Finding]) -> List[Finding]:
+        """Return findings with this profile's severities applied."""
+        out: List[Finding] = []
+        for f in findings:
+            if f.severity == "error" and f.code.startswith(self.demote):
+                f = replace(f, severity="warn")
+            out.append(f)
+        if not self.budgets:
+            return out
+        seen: Dict[str, int] = {}
+        final: List[Finding] = []
+        for f in out:
+            budget = self.budgets.get(f.code)
+            if budget is not None and f.severity == "warn":
+                seen[f.code] = seen.get(f.code, 0) + 1
+                if seen[f.code] > budget:
+                    f = replace(f, severity="error")
+            final.append(f)
+        return final
+
+
+STRICT = Profile(name="strict")
+RELAXED = Profile(name="relaxed", demote=("D", "M"))
+
+PROFILES: Dict[str, Profile] = {p.name: p for p in (STRICT, RELAXED)}
+
+
+def get_profile(name: str) -> Profile:
+    """Look a profile up by name (:class:`LintError` if unknown)."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise LintError(f"unknown profile {name!r} (known: {known})") from None

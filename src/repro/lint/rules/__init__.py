@@ -1,0 +1,20 @@
+"""Rule packs — importing this package registers every shipped rule.
+
+Per-file families: determinism (``D1xx``), protocol (``P2xx``), model
+hygiene (``M3xx``), observability (``O4xx``), resilience (``R5xx``),
+async hygiene (``S6xx``).  Whole-program families built on the project
+index: interprocedural determinism (``D2xx``), protocol graph
+(``P3xx``), await safety (``S7xx``).
+"""
+
+from __future__ import annotations
+
+from . import async_hygiene as _async_hygiene  # noqa: F401
+from . import await_safety as _await_safety  # noqa: F401
+from . import determinism as _determinism  # noqa: F401
+from . import hygiene as _hygiene  # noqa: F401
+from . import interproc as _interproc  # noqa: F401
+from . import observability as _observability  # noqa: F401
+from . import protocol as _protocol  # noqa: F401
+from . import protocol_graph as _protocol_graph  # noqa: F401
+from . import resilience as _resilience  # noqa: F401

@@ -27,8 +27,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Set
 
-from .core import Finding, Rule, SourceModule
-from .registry import rule
+from ..core import Finding, Rule, SourceModule
+from ..registry import rule
 
 #: Packages whose async code paths are latency-critical.
 ASYNC_PACKAGES = ("serve",)

@@ -1,0 +1,171 @@
+"""Await-safety rules for the serving layer (S7xx).
+
+S601 bans blocking primitives written *directly* inside ``async def``;
+these rules cover the two ways a coroutine stalls the loop anyway: by
+calling a synchronous helper that blocks several frames down, and by
+interleaving around an ``await`` while sharing unguarded mutable state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..core import Finding, GraphRule, Rule, SourceModule
+from ..dataflow.blocking import blocking_reachable
+from ..index import ProjectIndex
+from ..registry import rule
+
+
+@rule
+class TransitivelyBlockingCall(GraphRule):
+    """S701: a coroutine calls a sync function that blocks downstream.
+
+    The event loop stalls identically whether ``open()`` sits in the
+    coroutine (S601's case) or three synchronous helpers away.  This
+    rule follows the sync call graph from every ``async def`` and
+    reports the chain down to the blocking primitive.  Off-loading the
+    *function reference* via ``run_in_executor`` is clean by
+    construction — a reference is not a call site.
+    """
+
+    code = "S701"
+    name = "transitively-blocking-call"
+    summary = (
+        "async def reaches a blocking primitive through synchronous "
+        "project functions"
+    )
+    packages = ("serve",)
+
+    def check_index(self, index: ProjectIndex) -> Iterator[Finding]:
+        """Report async defs whose sync callees reach a blocking primitive."""
+        chains = blocking_reachable(index)
+        if not chains:
+            return
+        seen: Set[Tuple[str, str]] = set()
+        for qualname in sorted(index.calls):
+            sites = index.calls[qualname]
+            caller = sites[0].caller
+            if not caller.is_async:
+                continue
+            module = caller.module
+            if not self.applies_to(module):
+                continue
+            for site in sites:
+                tail = chains.get(site.callee.qualname)
+                if tail is None:
+                    continue
+                key = (qualname, site.callee.qualname)
+                if key in seen:
+                    continue
+                seen.add(key)
+                path = " -> ".join([caller.display, *tail])
+                yield module.finding(
+                    site.call,
+                    self.code,
+                    f"`async def {caller.name}` blocks the event loop: "
+                    f"{path}. Off-load via loop.run_in_executor or make "
+                    f"the chain async.",
+                )
+
+
+def _lockish(expr: ast.AST) -> bool:
+    return "lock" in ast.unparse(expr).lower()
+
+
+def _guarded_by_lock(node: ast.AST, lock_spans: List[Tuple[int, int]]) -> bool:
+    line = getattr(node, "lineno", 0)
+    return any(lo <= line <= hi for lo, hi in lock_spans)
+
+
+def _self_attr(expr: ast.AST) -> str:
+    """``X`` for a ``self.X`` attribute access, else ''."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return ""
+
+
+@rule
+class UnlockedCheckThenAwait(Rule):
+    """S702 (warn): check ``self.X``, await, then write ``self.X``.
+
+    The guard's answer is stale by the time the write runs — any other
+    task may have interleaved at the ``await``.  Wrapping the section in
+    ``async with <lock>:`` (or re-checking after the await) makes the
+    sequence sound; the rule exempts accesses inside a lock's
+    ``async with`` block.
+    """
+
+    code = "S702"
+    name = "unlocked-check-then-await"
+    summary = (
+        "self attribute checked before an await and written after it "
+        "without a lock"
+    )
+    packages = ("serve",)
+    severity = "warn"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag guard-read / await / write interleavings outside a lock."""
+        for func in ast.walk(module.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            lock_spans: List[Tuple[int, int]] = []
+            for node in ast.walk(func):
+                if isinstance(node, ast.AsyncWith) and any(
+                    _lockish(item.context_expr) for item in node.items
+                ):
+                    lock_spans.append(
+                        (node.lineno, node.end_lineno or node.lineno)
+                    )
+            awaits = sorted(
+                node.lineno
+                for node in ast.walk(func)
+                if isinstance(node, ast.Await)
+                and not _guarded_by_lock(node, lock_spans)
+            )
+            if not awaits:
+                continue
+            # guard reads: self.X inside an If/While/IfExp test
+            guard_reads: Dict[str, int] = {}
+            for node in ast.walk(func):
+                if not isinstance(node, (ast.If, ast.While, ast.IfExp)):
+                    continue
+                if _guarded_by_lock(node, lock_spans):
+                    continue
+                for sub in ast.walk(node.test):
+                    attr = _self_attr(sub)
+                    if attr and attr not in guard_reads:
+                        guard_reads[attr] = node.test.lineno
+            if not guard_reads:
+                continue
+            # writes: self.X = ... / self.X += ... after an await
+            for node in ast.walk(func):
+                if _guarded_by_lock(node, lock_spans):
+                    continue
+                targets: List[ast.AST] = []
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, ast.AugAssign):
+                    targets = [node.target]
+                for target in targets:
+                    attr = _self_attr(target)
+                    if not attr or attr not in guard_reads:
+                        continue
+                    read_line = guard_reads[attr]
+                    write_line = node.lineno
+                    if any(read_line < a <= write_line for a in awaits):
+                        yield module.finding(
+                            node,
+                            self.code,
+                            f"`self.{attr}` is checked on line {read_line} "
+                            f"and written here with an await in between; "
+                            f"another task can interleave. Hold a lock "
+                            f"across check and write, or re-check after "
+                            f"the await.",
+                            severity=self.severity,
+                        )

@@ -17,8 +17,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Tuple
 
-from .core import Finding, Rule, SourceModule
-from .registry import rule
+from ..core import Finding, Rule, SourceModule
+from ..registry import rule
 
 #: Subpackages whose code runs inside (or drives) simulations.
 SIMULATION_PACKAGES: Tuple[str, ...] = ("netsim", "pvm", "sciddle", "experiments")

@@ -17,8 +17,8 @@ import ast
 import re
 from typing import Iterator, Tuple
 
-from .core import Finding, Rule, SourceModule
-from .registry import rule
+from ..core import Finding, Rule, SourceModule
+from ..registry import rule
 
 #: Subpackages holding the analytical model and platform data.
 MODEL_PACKAGES: Tuple[str, ...] = ("core", "platforms")
@@ -37,7 +37,7 @@ _UNIT_LITERALS = {
 
 def _registered_parameters() -> Tuple[str, ...]:
     """The equation (2)-(10) coefficient registry from core.model."""
-    from ..core.model import EQUATION_PLATFORM_PARAMETERS
+    from ...core.model import EQUATION_PLATFORM_PARAMETERS
 
     return EQUATION_PLATFORM_PARAMETERS
 

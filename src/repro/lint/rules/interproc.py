@@ -1,0 +1,106 @@
+"""Interprocedural determinism rules (D2xx).
+
+The per-file D1xx rules see one module at a time, so a hard-coded seed
+or a wall-clock read hidden behind a helper function escapes them.  The
+D2xx rules run on the project index instead and report the *witness
+chain* from the offending call site down to the primitive, so the reader
+sees the path, not just the line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set, Tuple
+
+from ..core import Finding, GraphRule
+from ..dataflow.taint import literal_seed_calls, wallclock_returning
+from ..index import ProjectIndex
+from ..registry import rule
+from .determinism import SIMULATION_PACKAGES
+
+
+@rule
+class HardcodedSeedThroughCall(GraphRule):
+    """D201: an integer literal flows into an RNG seed parameter.
+
+    D106 bans ``default_rng(42)`` written directly; this rule follows
+    the seed *through* project functions — ``run(seed=42)`` where
+    ``run`` forwards ``seed`` (possibly via more frames) into
+    ``numpy.random.default_rng``.  The finding cites the full chain.
+    """
+
+    code = "D201"
+    name = "hardcoded-seed-through-call"
+    summary = (
+        "integer literal reaches an RNG seed position through one or "
+        "more project functions"
+    )
+    packages = SIMULATION_PACKAGES + ("opal",)
+
+    def check_index(self, index: ProjectIndex) -> Iterator[Finding]:
+        """Report literal seeds reaching an RNG constructor through calls."""
+        for site, param, chain in literal_seed_calls(index):
+            module = site.caller.module
+            if not self.applies_to(module):
+                continue
+            path = " -> ".join(chain)
+            yield module.finding(
+                site.call,
+                self.code,
+                f"integer literal pinned to seed parameter `{param}` of "
+                f"`{site.callee.display}`; flows {path}. Thread the "
+                f"experiment's SeedSequence instead of a constant.",
+            )
+
+
+@rule
+class WallclockThroughCall(GraphRule):
+    """D202: simulation scope consumes a wall-clock value via a helper.
+
+    D101 flags ``time.time()`` written inside simulation packages; it
+    cannot see ``stamp()`` imported from a utility module outside that
+    scope.  This rule flags the *call* from simulation scope to any
+    function whose return value derives from a wall-clock read, with the
+    chain down to the primitive.
+    """
+
+    code = "D202"
+    name = "wallclock-through-call"
+    summary = (
+        "call from simulation scope to a function returning wall-clock "
+        "time defined outside D101's scope"
+    )
+    packages = SIMULATION_PACKAGES
+
+    def check_index(self, index: ProjectIndex) -> Iterator[Finding]:
+        """Report call chains that pipe wall-clock reads into simulation scope."""
+        chains = wallclock_returning(index)
+        if not chains:
+            return
+        seen: Set[Tuple[str, int, int]] = set()
+        for qualname in sorted(index.calls):
+            for site in index.calls[qualname]:
+                tail = chains.get(site.callee.qualname)
+                if tail is None:
+                    continue
+                caller_module = site.caller.module
+                if not self.applies_to(caller_module):
+                    continue
+                callee_module = site.callee.module
+                # D101 already covers callees inside simulation scope
+                # (and fixture files, which every rule visits) — this
+                # rule exists for the helpers D101 cannot see.
+                if callee_module.package is None:
+                    continue
+                if callee_module.subpackage in self.packages:
+                    continue
+                key = (caller_module.display, site.call.lineno, site.call.col_offset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                path = " -> ".join([site.caller.display, *tail])
+                yield caller_module.finding(
+                    site.call,
+                    self.code,
+                    f"wall-clock time enters simulation scope: {path}. "
+                    f"Use the simulation clock or inject the timestamp.",
+                )

@@ -18,9 +18,9 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List
 
-from .core import Finding, Rule, SourceModule, receiver_is_tracerish
+from ..core import Finding, Rule, SourceModule, receiver_is_tracerish
 from .protocol import _functions, _own_nodes
-from .registry import rule
+from ..registry import rule
 
 #: Delegation wrappers: a method literally named like the bracket it
 #: forwards (PhaseAccountant.begin -> tracer.begin) is legitimately

@@ -27,7 +27,7 @@ import ast
 import re
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from .core import (
+from ..core import (
     Finding,
     ProjectRule,
     Rule,
@@ -35,7 +35,7 @@ from .core import (
     parent_of,
     receiver_is_tracerish,
 )
-from .registry import rule
+from ..registry import rule
 
 #: Procedure declarations inside a textual IDL block (see stubgen).
 _IDL_PROC_RE = re.compile(r"(\w+)\s*\([^)]*\)\s*;", re.DOTALL)

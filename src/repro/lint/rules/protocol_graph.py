@@ -1,0 +1,183 @@
+"""Whole-program protocol rules (P3xx).
+
+The P2xx rules check declarations and tag pairing per registry; these
+rules check the *conversation*: an allocated reply tag must eventually
+be received, a procedure a client names must be bound by some server,
+and the global send-after-wait order must not close into a cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..core import Finding, GraphRule, Rule, SourceModule, parent_of
+from ..dataflow.protocolgraph import collect_procedure_graph, tag_wait_cycles
+from ..index import ProjectIndex
+from ..registry import rule
+from .protocol import _functions, _own_nodes
+
+#: Call names that mint a fresh reply tag.
+_ALLOC_NAMES = frozenset({"allocate_reply_tag", "_alloc_tag"})
+
+
+def _alloc_target(node: ast.AST) -> Optional[str]:
+    """Variable name bound to a fresh reply tag, if this is such a bind."""
+    if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+        return None
+    target = node.targets[0]
+    if not isinstance(target, ast.Name):
+        return None
+    value = node.value
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    name = func.attr if isinstance(func, ast.Attribute) else (
+        func.id if isinstance(func, ast.Name) else None
+    )
+    return target.id if name in _ALLOC_NAMES else None
+
+
+def _classify_use(name_node: ast.Name) -> str:
+    """How one read of a tag variable relates to the protocol.
+
+    ``"payload"`` — embedded in an ``RpcRequest`` (travels to the peer
+    but does not arm a local receive); ``"consume"`` — passed to a
+    ``recv``; ``"escape"`` — returned, yielded, stored or handed to any
+    other call (assume the tag is consumed elsewhere).
+    """
+    node: ast.AST = name_node
+    while True:
+        parent = parent_of(node)
+        if parent is None:
+            return "escape"
+        if isinstance(parent, ast.Call) and node is not parent.func:
+            func = parent.func
+            callee = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else ""
+            )
+            if callee == "RpcRequest":
+                return "payload"
+            if callee == "recv":
+                return "consume"
+            return "escape"
+        if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom, ast.Assign)):
+            return "escape"
+        node = parent
+
+
+@rule
+class LeakedReplyTag(Rule):
+    """P301: a freshly allocated reply tag is sent but never received.
+
+    A tag whose only uses embed it in an ``RpcRequest`` payload arms
+    nothing on the local side — the peer's reply to that tag is
+    undeliverable and the tag counter leaks.  Tags that reach a ``recv``
+    or escape the function (returned, stored in a handle) are assumed
+    consumed by their new owner.
+    """
+
+    code = "P301"
+    name = "leaked-reply-tag"
+    summary = "allocated reply tag embedded in a request but never received"
+    packages = ("sciddle", "opal")
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag allocated reply tags that are sent but never received on."""
+        for func in _functions(module.tree):
+            allocs: List[Tuple[str, ast.AST]] = []
+            for node in _own_nodes(func):
+                var = _alloc_target(node)
+                if var is not None:
+                    allocs.append((var, node))
+            for var, alloc_node in allocs:
+                uses = [
+                    n
+                    for n in _own_nodes(func)
+                    if isinstance(n, ast.Name)
+                    and n.id == var
+                    and isinstance(n.ctx, ast.Load)
+                ]
+                if not uses:
+                    continue
+                kinds = {_classify_use(u) for u in uses}
+                if "payload" in kinds and kinds == {"payload"}:
+                    yield module.finding(
+                        alloc_node,
+                        self.code,
+                        f"reply tag `{var}` is allocated and sent inside an "
+                        f"RpcRequest but never received — the peer's reply is "
+                        f"undeliverable. Receive it, or send a no-reply "
+                        f"sentinel instead of allocating.",
+                    )
+
+
+@rule
+class UnboundProcedure(GraphRule):
+    """P302: a client names a procedure no server in the slice binds.
+
+    P201 checks calls against *declarations* (IDL registries); this rule
+    checks them against actual ``server.bind(...)`` registrations across
+    the import-graph component.  It stays quiet when the component
+    contains no binds at all — client-only modules legitimately talk to
+    servers built elsewhere.
+    """
+
+    code = "P302"
+    name = "unbound-procedure"
+    summary = "procedure is called but never bound by any server in the slice"
+    packages = None
+
+    def check_index(self, index: ProjectIndex) -> Iterator[Finding]:
+        """Flag called procedures with no matching bind in the slice."""
+        bindings, references = collect_procedure_graph(index)
+        if not bindings:
+            return
+        for module, node, name in references:
+            if name in bindings:
+                continue
+            yield module.finding(
+                node,
+                self.code,
+                f"procedure '{name}' is called but no `bind('{name}', ...)` "
+                f"exists in this import slice; known binds: "
+                f"{', '.join(sorted(bindings))}.",
+            )
+
+
+@rule
+class TagWaitCycle(GraphRule):
+    """P303: the tag wait-order graph contains a cycle.
+
+    An edge ``B -> A`` is recorded when a function sends tag ``A`` only
+    after an unbounded receive of tag ``B``.  A cycle means every
+    participant's send is gated on a message only produced after its
+    own — the classic cross-rank deadlock that no single file shows.
+    Bounded receives (any real ``timeout=``) break the edge.
+    """
+
+    code = "P303"
+    name = "tag-wait-cycle"
+    summary = "send-after-unbounded-recv dependencies form a deadlock cycle"
+    packages = None
+
+    def check_index(self, index: ProjectIndex) -> Iterator[Finding]:
+        """Report each distinct tag wait cycle once, at its first send."""
+        reported: Set[Tuple[str, ...]] = set()
+        for cycle, witnesses in tag_wait_cycles(index):
+            key = tuple(cycle)
+            if key in reported:
+                continue
+            reported.add(key)
+            func, send_node = witnesses[0]
+            ring = " -> ".join([*cycle, cycle[0]])
+            where = ", ".join(
+                f"{f.display}:{n.lineno}" for f, n in witnesses
+            )
+            yield func.module.finding(
+                send_node,
+                self.code,
+                f"deadlock candidate: tag wait cycle {ring} (edges at "
+                f"{where}). Add a timeout to one receive or reorder the "
+                f"sends.",
+            )

@@ -17,8 +17,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from .core import Finding, Rule, SourceModule, parent_of
-from .registry import rule
+from ..core import Finding, Rule, SourceModule, parent_of
+from ..registry import rule
 
 
 @rule

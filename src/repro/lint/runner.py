@@ -1,16 +1,30 @@
-"""simlint driver: file discovery, rule execution, suppression filtering.
+"""simlint driver: discovery, component scheduling, rule execution.
 
-:func:`run_checks` is the public entry point — it is what both the
-``python -m repro.lint`` CLI and the test suite call.
+:func:`analyze` is the full engine: it discovers files, builds the
+import graph, splits it into weakly-connected components and runs
+
+* **per-file rules** on each file (cached by content hash),
+* **project and graph rules** once per component (cached by the
+  component's content-hash fingerprint),
+
+so a warm run re-parses nothing and an edit re-runs the cross-module
+passes only for the import-graph slice containing the change.
+
+:func:`run_checks` is the stable convenience wrapper the test suite and
+older callers use — same signature and return type as v1.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Type, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type, Union
 
 from ..errors import LintError
-from .core import Finding, ProjectRule, Rule, SourceModule, load_module
+from .cache import AnalysisCache, component_key, config_signature, content_hash
+from .core import Finding, GraphRule, ProjectRule, Rule, SourceModule, load_module
+from .index import ProjectIndex, build_module_info, resolve_import_edges
+from .profiles import Profile
 from .registry import all_rules
 
 PathLike = Union[str, Path]
@@ -43,6 +57,244 @@ def load_modules(paths: Sequence[PathLike]) -> List[SourceModule]:
     return [load_module(f, display=str(f)) for f in iter_python_files(paths)]
 
 
+@dataclass
+class AnalysisStats:
+    """What one :func:`analyze` run actually had to do."""
+
+    files_total: int = 0
+    #: files whose per-file rules re-ran (content changed or cold cache).
+    files_checked: int = 0
+    components_total: int = 0
+    #: components whose cross-module passes re-ran.
+    components_reanalyzed: int = 0
+
+
+@dataclass
+class AnalysisResult:
+    """Findings plus run statistics."""
+
+    findings: List[Finding] = field(default_factory=list)
+    stats: AnalysisStats = field(default_factory=AnalysisStats)
+
+
+@dataclass
+class _FileState:
+    path: Path
+    display: str
+    digest: str
+    key: str = ""
+    imported_names: List[str] = field(default_factory=list)
+    module: Optional[SourceModule] = None
+    findings: List[Finding] = field(default_factory=list)
+
+    def ensure_module(self) -> SourceModule:
+        if self.module is None:
+            self.module = load_module(self.path, display=self.display)
+        return self.module
+
+
+class _UnionFind:
+    def __init__(self, keys: Iterable[str]) -> None:
+        self.parent = {k: k for k in keys}
+
+    def find(self, k: str) -> str:
+        root = k
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[k] != root:
+            self.parent[k], k = root, self.parent[k]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def _split_rules(
+    rule_classes: Iterable[Type[Rule]],
+) -> Tuple[List[Type[Rule]], List[Type[ProjectRule]], List[Type[GraphRule]]]:
+    per_file: List[Type[Rule]] = []
+    project: List[Type[ProjectRule]] = []
+    graph: List[Type[GraphRule]] = []
+    for cls in rule_classes:
+        if issubclass(cls, GraphRule):
+            graph.append(cls)
+        elif issubclass(cls, ProjectRule):
+            project.append(cls)
+        else:
+            per_file.append(cls)
+    return per_file, project, graph
+
+
+def _filter_suppressed(
+    findings: Iterable[Finding], by_display: Dict[str, SourceModule]
+) -> List[Finding]:
+    return [
+        f
+        for f in findings
+        if f.path not in by_display or not by_display[f.path].is_suppressed(f)
+    ]
+
+
+def _check_file(
+    state: _FileState, per_file: List[Type[Rule]], respect_suppressions: bool
+) -> List[Finding]:
+    module = state.ensure_module()
+    findings: List[Finding] = []
+    for rule_cls in per_file:
+        instance = rule_cls()
+        if instance.applies_to(module):
+            findings.extend(instance.check(module))
+    if respect_suppressions:
+        findings = _filter_suppressed(findings, {module.display: module})
+    findings.sort(key=lambda f: (f.path, f.line, f.code, f.col))
+    return findings
+
+
+def _check_component(
+    states: List[_FileState],
+    project: List[Type[ProjectRule]],
+    graph: List[Type[GraphRule]],
+    respect_suppressions: bool,
+) -> List[Finding]:
+    modules = [s.ensure_module() for s in states]
+    by_display = {m.display: m for m in modules}
+    findings: List[Finding] = []
+    for project_cls in project:
+        instance = project_cls()
+        for module in modules:
+            if instance.applies_to(module):
+                instance.collect(module)
+        findings.extend(instance.finalize())
+    if graph:
+        index = ProjectIndex.build(modules)
+        for graph_cls in graph:
+            findings.extend(graph_cls().check_index(index))
+    if respect_suppressions:
+        findings = _filter_suppressed(findings, by_display)
+    findings.sort(key=lambda f: (f.path, f.line, f.code, f.col))
+    return findings
+
+
+def analyze(
+    paths: Sequence[PathLike],
+    rules: Optional[Iterable[Type[Rule]]] = None,
+    respect_suppressions: bool = True,
+    profile: Optional[Profile] = None,
+    cache_dir: Optional[PathLike] = None,
+    exclude: Sequence[str] = (),
+) -> AnalysisResult:
+    """Run the full analysis and return findings plus statistics.
+
+    ``exclude`` drops any discovered file whose POSIX path contains one
+    of the given fragments (used to skip rule fixtures).  ``cache_dir``
+    opts into the incremental cache; without it every run is cold.
+    """
+    rule_classes = list(rules) if rules is not None else all_rules()
+    per_file, project, graph = _split_rules(rule_classes)
+    files = iter_python_files(paths)
+    if exclude:
+        files = [
+            f
+            for f in files
+            if not any(frag in f.as_posix() for frag in exclude)
+        ]
+
+    cache: Optional[AnalysisCache] = None
+    if cache_dir is not None:
+        signature = config_signature(
+            [cls.code for cls in rule_classes],
+            profile.name if profile is not None else "strict",
+            respect_suppressions,
+        )
+        cache = AnalysisCache(Path(cache_dir), signature)
+
+    stats = AnalysisStats(files_total=len(files))
+    states: List[_FileState] = []
+    for path in files:
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from None
+        state = _FileState(
+            path=path, display=str(path), digest=content_hash(data)
+        )
+        entry = cache.file_entry(state.display, state.digest) if cache else None
+        if entry is not None:
+            state.key = str(entry.get("key", ""))
+            state.imported_names = [str(n) for n in entry.get("imports", [])]
+            state.findings = cache.file_findings(entry)  # type: ignore[union-attr]
+        else:
+            module = state.ensure_module()
+            info = build_module_info(module)
+            state.key = info.key
+            state.imported_names = sorted(info.imported_names)
+            state.findings = _check_file(state, per_file, respect_suppressions)
+            stats.files_checked += 1
+            if cache is not None:
+                cache.record_file(
+                    state.display,
+                    state.digest,
+                    state.key,
+                    state.imported_names,
+                    state.findings,
+                )
+        states.append(state)
+
+    # resolve module-key collisions the way the indexer does: first file
+    # (in sorted order) keeps the dotted key, later ones use their path
+    taken: Set[str] = set()
+    for state in states:
+        if state.key in taken:
+            state.key = str(state.path.resolve())
+        taken.add(state.key)
+
+    # weakly-connected components of the import graph
+    by_key = {state.key: state for state in states}
+    uf = _UnionFind(by_key)
+    for state in states:
+        for target in resolve_import_edges(
+            set(state.imported_names), set(by_key), state.key
+        ):
+            uf.union(state.key, target)
+    groups: Dict[str, List[_FileState]] = {}
+    for state in states:
+        groups.setdefault(uf.find(state.key), []).append(state)
+    components = sorted(
+        groups.values(), key=lambda members: min(s.display for s in members)
+    )
+    stats.components_total = len(components)
+
+    findings: List[Finding] = []
+    for state in states:
+        findings.extend(state.findings)
+    live_components: List[str] = []
+    for members in components:
+        members = sorted(members, key=lambda s: s.display)
+        comp_key = component_key([(s.display, s.digest) for s in members])
+        live_components.append(comp_key)
+        cached = cache.component_findings(comp_key) if cache else None
+        if cached is not None:
+            findings.extend(cached)
+            continue
+        component_findings = _check_component(
+            members, project, graph, respect_suppressions
+        )
+        stats.components_reanalyzed += 1
+        if cache is not None:
+            cache.record_component(comp_key, component_findings)
+        findings.extend(component_findings)
+
+    if cache is not None:
+        cache.save([s.display for s in states], live_components)
+
+    if profile is not None:
+        findings = profile.apply(findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.code, f.col))
+    return AnalysisResult(findings=findings, stats=stats)
+
+
 def run_checks(
     paths: Sequence[PathLike],
     rules: Optional[Iterable[Type[Rule]]] = None,
@@ -56,25 +308,6 @@ def run_checks(
     dropped unless ``respect_suppressions`` is False.  The result is
     sorted by (file, line, code).
     """
-    modules = load_modules(paths)
-    by_path = {m.display: m for m in modules}
-    findings: List[Finding] = []
-    for rule_cls in rules if rules is not None else all_rules():
-        instance = rule_cls()
-        if isinstance(instance, ProjectRule):
-            for module in modules:
-                if instance.applies_to(module):
-                    instance.collect(module)
-            findings.extend(instance.finalize())
-        else:
-            for module in modules:
-                if instance.applies_to(module):
-                    findings.extend(instance.check(module))
-    if respect_suppressions:
-        findings = [
-            f
-            for f in findings
-            if f.path not in by_path or not by_path[f.path].is_suppressed(f)
-        ]
-    findings.sort(key=lambda f: (f.path, f.line, f.code, f.col))
-    return findings
+    return analyze(
+        paths, rules=rules, respect_suppressions=respect_suppressions
+    ).findings

@@ -1,0 +1,93 @@
+"""SARIF 2.1.0 export.
+
+One run object, one ``tool.driver`` describing every registered rule,
+one result per finding.  Severity maps ``error -> "error"`` and
+``warn -> "warning"``; baselined findings carry a
+``suppressions: [{"kind": "external"}]`` entry so SARIF viewers (and
+GitHub code scanning) show them as acknowledged instead of new.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Type
+
+from .core import Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warn": "warning"}
+
+
+def _rule_entry(rule_cls: Type[Rule]) -> Dict[str, object]:
+    scope = ", ".join(rule_cls.packages) if rule_cls.packages else "all files"
+    return {
+        "id": rule_cls.code,
+        "name": rule_cls.name,
+        "shortDescription": {"text": rule_cls.summary},
+        "fullDescription": {"text": f"{rule_cls.summary} (scope: {scope})"},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule_cls.severity, "error")
+        },
+    }
+
+
+def _result(finding: Finding, baselined: bool) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.code,
+        "level": _LEVELS.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if baselined:
+        result["suppressions"] = [{"kind": "external"}]
+    return result
+
+
+def to_sarif(
+    fresh: List[Finding],
+    baselined: List[Finding],
+    rules: Iterable[Type[Rule]],
+) -> Dict[str, object]:
+    """Build the SARIF log document for one analysis run."""
+    results = [_result(f, False) for f in fresh]
+    results += [_result(f, True) for f in baselined]
+    results.sort(
+        key=lambda r: (
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],  # type: ignore[index]
+            r["locations"][0]["physicalLocation"]["region"]["startLine"],  # type: ignore[index]
+            r["ruleId"],
+        )
+    )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": "docs/LINTING.md",
+                        "rules": [
+                            _rule_entry(cls)
+                            for cls in sorted(rules, key=lambda c: c.code)
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -18,6 +18,7 @@ from .stubgen import (
 from .resilient import ResilientSciddleClient, RetryPolicy, ServerHealth
 from .runtime import (
     HEADER_BYTES,
+    NO_REPLY_TAG,
     TAG_REPLY_BASE,
     TAG_REQUEST,
     CallHandle,
@@ -35,6 +36,7 @@ __all__ = [
     "CompiledProcedure",
     "OPAL_IDL",
     "HEADER_BYTES",
+    "NO_REPLY_TAG",
     "ProcedureSpec",
     "ResilientSciddleClient",
     "RetryPolicy",

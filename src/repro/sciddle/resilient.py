@@ -36,6 +36,7 @@ from .idl import SciddleInterface
 from .runtime import (
     _SHUTDOWN,
     HEADER_BYTES,
+    NO_REPLY_TAG,
     TAG_REQUEST,
     CallHandle,
     RpcRequest,
@@ -292,12 +293,15 @@ class ResilientSciddleClient(SciddleClient):
         exit its service loop instead of serving stale requests whose
         replies nobody waits for.  No acknowledgement is awaited.
         """
-        tag = self._alloc_tag()
+        # NO_REPLY_TAG, not a fresh tag: nothing ever receives the ack
+        # for a fire-and-forget shutdown, so allocating one leaks the
+        # reply slot (simlint P301) and makes the server post an
+        # undeliverable message.
         yield from self.task.send(
             server,
             TAG_REQUEST,
             nbytes=HEADER_BYTES,
-            payload=RpcRequest(_SHUTDOWN, tag, None),
+            payload=RpcRequest(_SHUTDOWN, NO_REPLY_TAG, None),
         )
 
     def remove_server(self, tid: int) -> None:

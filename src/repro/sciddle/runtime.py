@@ -48,6 +48,12 @@ HEADER_BYTES = 64
 
 _SHUTDOWN = "__shutdown__"
 
+#: Reply-tag sentinel for fire-and-forget requests: the sender awaits no
+#: reply, so the server must not send one (a reply to a real allocated
+#: tag that nobody receives would sit in the mailbox forever — the leak
+#: simlint's P301 rule exists to catch).
+NO_REPLY_TAG = -1
+
 
 @dataclass(frozen=True)
 class RpcRequest:
@@ -117,9 +123,10 @@ class SciddleServer:
             msg = yield from self.task.recv(tag=TAG_REQUEST)  # simlint: disable=R501
             request: RpcRequest = msg.payload
             if request.proc == _SHUTDOWN:
-                yield from self.task.send(
-                    msg.source, request.reply_tag, nbytes=HEADER_BYTES
-                )
+                if request.reply_tag != NO_REPLY_TAG:
+                    yield from self.task.send(
+                        msg.source, request.reply_tag, nbytes=HEADER_BYTES
+                    )
                 return
             if request.seq is not None:
                 cached = self._completed.get((msg.source, request.seq))

@@ -148,36 +148,60 @@ class CalibrationStore:
 
     # ------------------------------------------------------------------
     def _remember(self, key: str, params: ModelPlatformParams, now: float) -> None:
+        """Insert into the in-memory LRU (disk persistence is separate).
+
+        Memory-only so coroutines never touch the filesystem on-loop:
+        simlint S701 flagged the old combined version because the
+        ``disk.store`` inside it put ``open()`` two frames under
+        ``async def resolve``.
+        """
         self._entries.pop(key, None)
         self._entries[key] = (params, now)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
-        if self.disk is not None:
-            self.disk.store(key, params_to_dict(params))
 
-    def _lookup(self, key: str, now: float) -> Optional[ModelPlatformParams]:
+    def _lookup(
+        self, key: str, now: float
+    ) -> Tuple[Optional[ModelPlatformParams], bool]:
+        """Memory probe: ``(params, disk_may_help)``.
+
+        A stale in-memory entry returns ``(None, False)`` — the disk
+        holds the same aged fit, so resurrecting it would defeat
+        ``stale_after``; the caller should refit instead.
+        """
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
             params, fitted_at = entry
             if self.stale_after is not None and now - fitted_at > self.stale_after:
-                return None  # stale: caller decides whether to refit
-            return params
-        if self.disk is not None:
-            data = self.disk.load(key)
-            if data is not None:
-                try:
-                    params = params_from_dict(data)
-                except (KeyError, TypeError, ValueError):
-                    return None  # corrupt disk entry = miss
-                self._remember(key, params, now)
-                return params
-        return None
+                return None, False  # stale: caller decides whether to refit
+            return params, False
+        return None, self.disk is not None
+
+    async def _load_off_loop(
+        self, key: str, now: float
+    ) -> Optional[ModelPlatformParams]:
+        """Disk probe in the executor; remembers and returns on a hit."""
+        assert self.disk is not None
+        loop = asyncio.get_running_loop()
+        data = await loop.run_in_executor(self._executor, self.disk.load, key)
+        if data is None:
+            return None
+        try:
+            params = params_from_dict(data)
+        except (KeyError, TypeError, ValueError):
+            return None  # corrupt disk entry = miss
+        self._remember(key, params, now)
+        return params
 
     async def _fit_off_loop(self, spec, key: str, now: float) -> ModelPlatformParams:
         loop = asyncio.get_running_loop()
         params = await loop.run_in_executor(self._executor, self.fit, spec)
         self._remember(key, params, now)
+        if self.disk is not None:
+            await loop.run_in_executor(
+                self._executor, self.disk.store, key, params_to_dict(params)
+            )
         return params
 
     def _spawn_refresh(self, spec, key: str, now: float) -> None:
@@ -215,7 +239,9 @@ class CalibrationStore:
                 f"refresh must be one of {REFRESH_MODES}, got {refresh!r}"
             )
         key = self.key_for_platform(spec)
-        params = self._lookup(key, now)
+        params, try_disk = self._lookup(key, now)
+        if params is None and try_disk:
+            params = await self._load_off_loop(key, now)
         if params is not None:
             self.hits += 1
             return params, SOURCE_CALIBRATED

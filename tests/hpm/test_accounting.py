@@ -27,14 +27,14 @@ def test_begin_end_accumulates_wall_time():
     assert acct.totals["comm"].intervals == 2
 
 
-def test_nested_begin_rejected():
+def test_nested_begin_rejected():  # simlint: disable=P203
     acct = PhaseAccountant(FakeClock())
     acct.begin("a")
     with pytest.raises(SimulationError):
         acct.begin("b")
 
 
-def test_end_without_begin_rejected():
+def test_end_without_begin_rejected():  # simlint: disable=P203
     with pytest.raises(SimulationError):
         PhaseAccountant(FakeClock()).end()
 

@@ -1,0 +1,12 @@
+"""D201 flag: an integer literal reaches a seed sink through a call."""
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def run_experiment():
+    rng = make_rng(1234)
+    return rng

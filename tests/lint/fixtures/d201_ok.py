@@ -1,0 +1,12 @@
+"""D201 near-miss: the seed is threaded through, never pinned."""
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def run_experiment(run_seed):
+    rng = make_rng(run_seed)
+    return rng

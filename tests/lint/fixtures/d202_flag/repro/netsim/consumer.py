@@ -1,0 +1,7 @@
+"""Simulation-scope module consuming a wall clock through a helper."""
+
+from ..toolbox.wallclock import stamp
+
+
+def record_event():
+    return stamp()

@@ -1,0 +1,7 @@
+"""Utility module outside D101's scope: returns wall-clock time."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,7 @@
+"""Simulation-scope module: timestamps are injected, not read."""
+
+from ..toolbox.wallclock import duration
+
+
+def record_event(started, finished):
+    return duration(started, finished)

@@ -1,0 +1,5 @@
+"""Utility module: computes with timestamps, never reads a clock."""
+
+
+def duration(started, finished):
+    return finished - started

@@ -1,0 +1,13 @@
+"""P301 flag: a reply tag is allocated, sent, and never received."""
+
+
+class RpcRequest:
+    def __init__(self, proc, reply_tag, args):
+        self.proc = proc
+        self.reply_tag = reply_tag
+        self.args = args
+
+
+def fire_and_forget(client, task, server):
+    tag = client.allocate_reply_tag()
+    yield from task.send(server, 900, payload=RpcRequest("__shutdown__", tag, None))

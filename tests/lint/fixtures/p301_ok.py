@@ -1,0 +1,15 @@
+"""P301 near-miss: the allocated tag is received, closing the exchange."""
+
+
+class RpcRequest:
+    def __init__(self, proc, reply_tag, args):
+        self.proc = proc
+        self.reply_tag = reply_tag
+        self.args = args
+
+
+def round_trip(client, task, server):
+    tag = client.allocate_reply_tag()
+    yield from task.send(server, 900, payload=RpcRequest("compute", tag, None))
+    msg = yield from task.recv(tag=tag, timeout=5.0)
+    return msg

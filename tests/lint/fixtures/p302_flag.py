@@ -1,0 +1,20 @@
+"""P302 flag: a declared procedure is called but no server binds it."""
+
+SERVICE_IDL = """
+compute(x);
+shutdown_now();
+"""
+
+
+def compute_handler(task, args):
+    yield
+    return args
+
+
+def serve(server):
+    server.bind("compute", compute_handler)
+
+
+def client_call(client):
+    handle = client.call_async(0, "shutdown_now")
+    return handle

@@ -1,0 +1,26 @@
+"""P302 near-miss: every called procedure has a server binding."""
+
+SERVICE_IDL = """
+compute(x);
+shutdown_now();
+"""
+
+
+def compute_handler(task, args):
+    yield
+    return args
+
+
+def shutdown_handler(task, args):
+    yield
+    return None
+
+
+def serve(server):
+    server.bind("compute", compute_handler)
+    server.bind("shutdown_now", shutdown_handler)
+
+
+def client_call(client):
+    handle = client.call_async(0, "shutdown_now")
+    return handle

@@ -1,0 +1,14 @@
+"""P303 flag: two workers each send only after the other's send."""
+
+TAG_PING = 1
+TAG_PONG = 2
+
+
+def worker_one(task):
+    msg = yield from task.recv(tag=TAG_PING)  # simlint: disable=R501
+    yield from task.send(0, TAG_PONG, payload=msg)
+
+
+def worker_two(task):
+    msg = yield from task.recv(tag=TAG_PONG)  # simlint: disable=R501
+    yield from task.send(1, TAG_PING, payload=msg)

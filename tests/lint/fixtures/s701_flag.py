@@ -1,0 +1,17 @@
+"""S701 flag: a coroutine blocks through two synchronous helpers."""
+
+import asyncio
+
+
+def save_report(path, payload):
+    with open(path, "w") as fh:
+        fh.write(payload)
+
+
+def persist(path, payload):
+    save_report(path, payload)
+
+
+async def handle_request(path, payload):
+    persist(path, payload)
+    await asyncio.sleep(0)

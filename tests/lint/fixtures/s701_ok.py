@@ -1,0 +1,13 @@
+"""S701 near-miss: the blocking helper runs in an executor."""
+
+import asyncio
+
+
+def save_report(path, payload):
+    with open(path, "w") as fh:
+        fh.write(payload)
+
+
+async def handle_request(path, payload):
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, save_report, path, payload)

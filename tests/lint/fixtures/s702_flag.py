@@ -1,0 +1,13 @@
+"""S702 flag: check self._task, await, then write — no lock held."""
+
+import asyncio
+
+
+class Service:
+    def __init__(self):
+        self._task = None
+
+    async def start(self):
+        if self._task is None:
+            await asyncio.sleep(0)
+            self._task = object()

@@ -1,0 +1,15 @@
+"""S702 near-miss: the check/await/write section holds a lock."""
+
+import asyncio
+
+
+class Service:
+    def __init__(self):
+        self._task = None
+        self._lock = asyncio.Lock()
+
+    async def start(self):
+        async with self._lock:
+            if self._task is None:
+                await asyncio.sleep(0)
+                self._task = object()

@@ -1,0 +1,134 @@
+"""Await safety: transitive blocking reachability and S702 interleaving."""
+
+from repro.lint import get_rule, load_modules, run_checks
+from repro.lint.dataflow import blocking_reachable
+from repro.lint.index import ProjectIndex
+
+
+def build_index(tmp_path, files):
+    for name, text in files.items():
+        p = tmp_path / name
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text)
+    return ProjectIndex.build(load_modules([tmp_path]))
+
+
+def test_blocking_reachability_spans_modules(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "repro/serve/disk.py": (
+                "def write_out(path, data):\n"
+                "    with open(path, 'w') as fh:\n"
+                "        fh.write(data)\n"
+            ),
+            "repro/serve/store.py": (
+                "from .disk import write_out\n"
+                "\n"
+                "\n"
+                "def persist(path, data):\n"
+                "    write_out(path, data)\n"
+            ),
+        },
+    )
+    chains = blocking_reachable(index)
+    assert chains["repro.serve.disk:write_out"] == ["write_out", "open()"]
+    assert chains["repro.serve.store:persist"] == [
+        "persist",
+        "write_out",
+        "open()",
+    ]
+
+
+def test_sleep_and_pathlib_io_count_as_blocking(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "repro/serve/mod.py": (
+                "import time\n"
+                "\n"
+                "\n"
+                "def nap():\n"
+                "    time.sleep(1)\n"
+                "\n"
+                "\n"
+                "def dump(path, data):\n"
+                "    path.write_text(data)\n"
+            )
+        },
+    )
+    chains = blocking_reachable(index)
+    assert chains["repro.serve.mod:nap"] == ["nap", "time.sleep()"]
+    assert chains["repro.serve.mod:dump"] == ["dump", ".write_text()"]
+
+
+def test_async_functions_do_not_propagate_blocking(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "repro/serve/mod.py": (
+                "def slow():\n"
+                "    with open('x') as fh:\n"
+                "        return fh.read()\n"
+                "\n"
+                "\n"
+                "async def shim():\n"
+                "    return slow()\n"
+                "\n"
+                "\n"
+                "def caller_of_async():\n"
+                "    return shim()\n"
+            )
+        },
+    )
+    chains = blocking_reachable(index)
+    # the async def is S701's *subject*, never a link in a sync chain
+    assert "repro.serve.mod:shim" not in chains
+    assert "repro.serve.mod:caller_of_async" not in chains
+
+
+def test_s702_rechecks_only_fire_without_lock(tmp_path):
+    flagged = tmp_path / "flagged.py"
+    flagged.write_text(
+        "import asyncio\n"
+        "\n"
+        "\n"
+        "class S:\n"
+        "    async def start(self):\n"
+        "        if self._task is None:\n"
+        "            await asyncio.sleep(0)\n"
+        "            self._task = 1\n"
+    )
+    findings = run_checks([flagged], rules=[get_rule("S702")])
+    assert [f.code for f in findings] == ["S702"]
+    assert findings[0].severity == "warn"
+
+    locked = tmp_path / "locked.py"
+    locked.write_text(
+        "import asyncio\n"
+        "\n"
+        "\n"
+        "class S:\n"
+        "    async def start(self):\n"
+        "        async with self._lock:\n"
+        "            if self._task is None:\n"
+        "                await asyncio.sleep(0)\n"
+        "                self._task = 1\n"
+    )
+    assert run_checks([locked], rules=[get_rule("S702")]) == []
+
+
+def test_s702_ignores_write_before_the_guard(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(
+        "import asyncio\n"
+        "\n"
+        "\n"
+        "class S:\n"
+        "    async def start(self):\n"
+        "        self._task = 1\n"
+        "        await asyncio.sleep(0)\n"
+        "        if self._task is None:\n"
+        "            return\n"
+    )
+    assert run_checks([path], rules=[get_rule("S702")]) == []

@@ -1,0 +1,59 @@
+"""Baseline files: freezing debt by (path, code) counts."""
+
+import json
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import Finding, load_baseline, partition, write_baseline
+
+
+def f(path, line, code, severity="error"):
+    return Finding(
+        path=path, line=line, col=0, code=code, message="m", severity=severity
+    )
+
+
+def test_write_then_load_round_trips(tmp_path):
+    findings = [f("a.py", 1, "D101"), f("a.py", 9, "D101"), f("b.py", 2, "S702")]
+    target = tmp_path / "baseline.json"
+    write_baseline(target, findings)
+    entries = load_baseline(target)
+    assert entries == {"a.py::D101": 2, "b.py::S702": 1}
+
+
+def test_partition_respects_counts():
+    entries = {"a.py::D101": 1}
+    fresh, baselined = partition(
+        [f("a.py", 1, "D101"), f("a.py", 9, "D101"), f("b.py", 2, "D101")], entries
+    )
+    assert [x.line for x in baselined] == [1]
+    assert [(x.path, x.line) for x in fresh] == [("a.py", 9), ("b.py", 2)]
+
+
+def test_partition_with_empty_baseline_keeps_everything_fresh():
+    findings = [f("a.py", 1, "D101")]
+    fresh, baselined = partition(findings, {})
+    assert fresh == findings and baselined == []
+
+
+def test_unfixed_entries_leave_slack_not_errors():
+    # the baseline names more findings than exist: nothing fresh appears
+    fresh, baselined = partition([f("a.py", 1, "D101")], {"a.py::D101": 5})
+    assert fresh == [] and len(baselined) == 1
+
+
+def test_load_rejects_wrong_version(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text(json.dumps({"version": "something-else", "entries": {}}))
+    with pytest.raises(LintError):
+        load_baseline(target)
+
+
+def test_load_rejects_bad_counts(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text(
+        json.dumps({"version": "simlint-baseline/1", "entries": {"a.py::D101": -2}})
+    )
+    with pytest.raises(LintError):
+        load_baseline(target)

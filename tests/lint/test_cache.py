@@ -1,0 +1,90 @@
+"""Incremental cache: warm-run skips, component granularity, invalidation."""
+
+import json
+
+from repro.lint import all_rules, analyze
+from repro.lint.cache import CACHE_FILENAME
+
+
+MOD_A = "import numpy as np\n\n\ndef make():\n    return np.random.default_rng(7)\n"
+MOD_B = "def helper(x):\n    return x + 1\n"
+
+
+def write_tree(root, files):
+    for name, text in files.items():
+        p = root / name
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text)
+
+
+def test_warm_run_skips_every_file_and_component(tmp_path):
+    src = tmp_path / "src"
+    write_tree(src, {"repro/sim/a.py": MOD_A})
+    cache = tmp_path / "cache"
+
+    cold = analyze([src], cache_dir=cache)
+    assert cold.stats.files_checked == cold.stats.files_total == 1
+    assert cold.stats.components_reanalyzed == 1
+
+    warm = analyze([src], cache_dir=cache)
+    assert warm.stats.files_total == 1
+    assert warm.stats.files_checked == 0
+    assert warm.stats.components_reanalyzed == 0
+    assert warm.findings == cold.findings
+
+
+def test_editing_one_file_reanalyzes_only_its_component(tmp_path):
+    src = tmp_path / "src"
+    write_tree(
+        src,
+        {
+            "repro/sim/a.py": MOD_A,
+            "repro/other/b.py": MOD_B,
+        },
+    )
+    cache = tmp_path / "cache"
+
+    cold = analyze([src], cache_dir=cache)
+    assert cold.stats.components_total == 2
+
+    (src / "repro/other/b.py").write_text(MOD_B + "\n\ndef more(x):\n    return x\n")
+    warm = analyze([src], cache_dir=cache)
+    assert warm.stats.files_checked == 1
+    assert warm.stats.components_reanalyzed == 1
+    assert warm.findings == cold.findings
+
+
+def test_rule_set_change_invalidates_the_cache(tmp_path):
+    src = tmp_path / "src"
+    write_tree(src, {"repro/sim/a.py": MOD_A})
+    cache = tmp_path / "cache"
+
+    analyze([src], cache_dir=cache)
+    narrowed = [r for r in all_rules() if r.code != "D101"]
+    rerun = analyze([src], rules=narrowed, cache_dir=cache)
+    assert rerun.stats.files_checked == 1  # signature mismatch discards the cache
+
+
+def test_cache_file_is_versioned_json(tmp_path):
+    src = tmp_path / "src"
+    write_tree(src, {"repro/sim/a.py": MOD_A})
+    cache = tmp_path / "cache"
+    analyze([src], cache_dir=cache)
+
+    payload = json.loads((cache / CACHE_FILENAME).read_text())
+    assert payload["version"] == "simlint-cache/1"
+    assert len(payload["files"]) == 1
+    assert len(payload["components"]) == 1
+
+
+def test_corrupt_cache_is_discarded_not_fatal(tmp_path):
+    src = tmp_path / "src"
+    write_tree(src, {"repro/sim/a.py": MOD_A})
+    cache = tmp_path / "cache"
+    cache.mkdir()
+    (cache / CACHE_FILENAME).write_text("{not json")
+
+    result = analyze([src], cache_dir=cache)
+    assert result.stats.files_checked == 1
+    # and the bad file was replaced with a valid one
+    json.loads((cache / CACHE_FILENAME).read_text())

@@ -1,0 +1,143 @@
+"""Unit tests for the project indexer: symbols, imports, call graph."""
+
+from repro.lint import load_modules
+from repro.lint.index import ProjectIndex, resolve_import_edges
+
+
+def build_index(tmp_path, files):
+    for name, text in files.items():
+        p = tmp_path / name
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text)
+    return ProjectIndex.build(load_modules([tmp_path]))
+
+
+def test_symbol_table_indexes_functions_classes_and_methods(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "repro/netsim/engine.py": (
+                "def tick():\n"
+                "    pass\n"
+                "\n"
+                "\n"
+                "class Engine:\n"
+                "    def run(self):\n"
+                "        pass\n"
+                "\n"
+                "    async def drain(self):\n"
+                "        pass\n"
+            )
+        },
+    )
+    info = index.modules["repro.netsim.engine"]
+    assert set(info.functions) == {"tick", "Engine.run", "Engine.drain"}
+    assert info.functions["Engine.drain"].is_async
+    assert info.functions["Engine.run"].cls == "Engine"
+    assert info.functions["tick"].qualname == "repro.netsim.engine:tick"
+    assert info.functions["Engine.run"].display == "Engine.run"
+
+
+def test_relative_imports_resolve_to_module_keys(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "repro/toolbox/util.py": "def helper():\n    return 1\n",
+            "repro/netsim/engine.py": (
+                "from ..toolbox.util import helper\n"
+                "\n"
+                "\n"
+                "def run():\n"
+                "    return helper()\n"
+            ),
+        },
+    )
+    assert index.import_graph["repro.netsim.engine"] == {"repro.toolbox.util"}
+    assert index.import_graph["repro.toolbox.util"] == set()
+
+
+def test_resolve_import_edges_longest_prefix():
+    keys = {"repro.netsim", "repro.netsim.engine"}
+    edges = resolve_import_edges(
+        {"repro.netsim.engine.run", "repro.netsim.other"}, keys, "repro.core"
+    )
+    assert edges == {"repro.netsim.engine", "repro.netsim"}
+    # a module never points at itself
+    assert resolve_import_edges({"repro.core.model"}, {"repro.core"}, "repro.core") == set()
+
+
+def test_call_graph_resolves_local_imported_and_method_calls(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "repro/toolbox/util.py": "def helper():\n    return 1\n",
+            "repro/netsim/engine.py": (
+                "from ..toolbox.util import helper\n"
+                "\n"
+                "\n"
+                "class Store:\n"
+                "    def load(self):\n"
+                "        return 2\n"
+                "\n"
+                "\n"
+                "class Engine:\n"
+                "    def __init__(self):\n"
+                "        self.store = Store()\n"
+                "\n"
+                "    def step(self):\n"
+                "        return self.advance()\n"
+                "\n"
+                "    def advance(self):\n"
+                "        local = Store()\n"
+                "        local.load()\n"
+                "        self.store.load()\n"
+                "        return helper()\n"
+            ),
+        },
+    )
+    callees = {
+        site.callee.qualname
+        for site in index.sites_from("repro.netsim.engine:Engine.advance")
+    }
+    assert "repro.netsim.engine:Store.load" in callees  # local var + attr type
+    assert "repro.toolbox.util:helper" in callees  # cross-module import
+    step_callees = {
+        site.callee.qualname
+        for site in index.sites_from("repro.netsim.engine:Engine.step")
+    }
+    assert step_callees == {"repro.netsim.engine:Engine.advance"}  # self.method
+
+
+def test_constructor_calls_resolve_to_init(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "repro/netsim/engine.py": (
+                "class Engine:\n"
+                "    def __init__(self):\n"
+                "        self.t = 0\n"
+                "\n"
+                "\n"
+                "def build():\n"
+                "    return Engine()\n"
+            )
+        },
+    )
+    callees = {
+        site.callee.qualname for site in index.sites_from("repro.netsim.engine:build")
+    }
+    assert callees == {"repro.netsim.engine:Engine.__init__"}
+
+
+def test_unresolvable_dynamic_calls_create_no_edges(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "repro/netsim/engine.py": (
+                "def run(callback, task):\n"
+                "    callback()\n"
+                "    task.recv()\n"
+            )
+        },
+    )
+    assert index.sites_from("repro.netsim.engine:run") == []

@@ -1,0 +1,43 @@
+"""Severity profiles: demotion, budgets, lookup."""
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import Finding, get_profile
+from repro.lint.profiles import PROFILES, Profile
+
+
+def f(code, line=1, severity="error"):
+    return Finding(
+        path="a.py", line=line, col=0, code=code, message="m", severity=severity
+    )
+
+
+def test_strict_keeps_declared_severities():
+    strict = get_profile("strict")
+    findings = [f("D101"), f("S702", severity="warn")]
+    assert [x.severity for x in strict.apply(findings)] == ["error", "warn"]
+
+
+def test_relaxed_demotes_determinism_and_hygiene_only():
+    relaxed = get_profile("relaxed")
+    out = relaxed.apply([f("D101"), f("M301"), f("P303"), f("S701")])
+    assert [x.severity for x in out] == ["warn", "warn", "error", "error"]
+
+
+def test_budgets_escalate_overflow_back_to_error():
+    profile = Profile(name="budgeted", demote=("D",), budgets={"D101": 2})
+    out = profile.apply([f("D101", line=i) for i in range(1, 5)])
+    assert [x.severity for x in out] == ["warn", "warn", "error", "error"]
+
+
+def test_budget_only_counts_matching_code():
+    profile = Profile(name="budgeted", demote=("D",), budgets={"D101": 1})
+    out = profile.apply([f("D102"), f("D101"), f("D102")])
+    assert [x.severity for x in out] == ["warn", "warn", "warn"]
+
+
+def test_unknown_profile_raises():
+    with pytest.raises(LintError):
+        get_profile("nope")
+    assert set(PROFILES) == {"strict", "relaxed"}

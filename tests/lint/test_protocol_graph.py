@@ -1,0 +1,135 @@
+"""Protocol graph: bind registries and tag wait-order cycles."""
+
+from repro.lint import get_rule, load_modules, run_checks
+from repro.lint.dataflow import collect_procedure_graph, tag_wait_cycles
+from repro.lint.index import ProjectIndex
+
+
+def build_index(tmp_path, files):
+    for name, text in files.items():
+        p = tmp_path / name
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text)
+    return ProjectIndex.build(load_modules([tmp_path]))
+
+
+def test_collect_procedure_graph_separates_binds_and_calls(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "repro/sciddle/app.py": (
+                "def serve(server, handler):\n"
+                "    server.bind('compute', handler)\n"
+                "\n"
+                "\n"
+                "def call(client):\n"
+                "    client.call_async(0, 'compute')\n"
+                "    client.call_all('broadcast')\n"
+                "    client.call_async(0, '__shutdown__')\n"
+            )
+        },
+    )
+    bindings, references = collect_procedure_graph(index)
+    assert set(bindings) == {"compute"}
+    assert {name for _, _, name in references} == {"compute", "broadcast"}
+
+
+def test_p302_stays_quiet_in_client_only_slices(tmp_path):
+    path = tmp_path / "client.py"
+    path.write_text(
+        "def call(client):\n    return client.call_async(0, 'compute')\n"
+    )
+    assert run_checks([path], rules=[get_rule("P302")]) == []
+
+
+def test_wait_cycle_detected_across_functions(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "repro/pvm/workers.py": (
+                "TAG_A = 1\n"
+                "TAG_B = 2\n"
+                "\n"
+                "\n"
+                "def one(task):\n"
+                "    yield from task.recv(tag=TAG_A)\n"
+                "    yield from task.send(0, TAG_B)\n"
+                "\n"
+                "\n"
+                "def two(task):\n"
+                "    yield from task.recv(tag=TAG_B)\n"
+                "    yield from task.send(1, TAG_A)\n"
+            )
+        },
+    )
+    cycles = tag_wait_cycles(index)
+    assert len(cycles) == 1
+    tags, witnesses = cycles[0]
+    assert tags == ["TAG_A", "TAG_B"]
+    assert len(witnesses) == 2
+
+
+def test_timeout_breaks_the_wait_edge(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "repro/pvm/workers.py": (
+                "TAG_A = 1\n"
+                "TAG_B = 2\n"
+                "\n"
+                "\n"
+                "def one(task):\n"
+                "    yield from task.recv(tag=TAG_A, timeout=5.0)\n"
+                "    yield from task.send(0, TAG_B)\n"
+                "\n"
+                "\n"
+                "def two(task):\n"
+                "    yield from task.recv(tag=TAG_B)\n"
+                "    yield from task.send(1, TAG_A)\n"
+            )
+        },
+    )
+    assert tag_wait_cycles(index) == []
+
+
+def test_send_before_recv_creates_no_edge(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "repro/pvm/workers.py": (
+                "TAG_A = 1\n"
+                "TAG_B = 2\n"
+                "\n"
+                "\n"
+                "def one(task):\n"
+                "    yield from task.send(0, TAG_B)\n"
+                "    yield from task.recv(tag=TAG_A)\n"
+                "\n"
+                "\n"
+                "def two(task):\n"
+                "    yield from task.send(1, TAG_A)\n"
+                "    yield from task.recv(tag=TAG_B)\n"
+            )
+        },
+    )
+    # sends happen first: nobody's send waits on a recv, no deadlock
+    assert tag_wait_cycles(index) == []
+
+
+def test_three_party_cycle_is_reported_once(tmp_path):
+    body = []
+    tags = ["TAG_X", "TAG_Y", "TAG_Z"]
+    for i, (waits, sends) in enumerate(
+        [("TAG_X", "TAG_Y"), ("TAG_Y", "TAG_Z"), ("TAG_Z", "TAG_X")]
+    ):
+        body.append(
+            f"def worker{i}(task):\n"
+            f"    yield from task.recv(tag={waits})\n"
+            f"    yield from task.send(0, {sends})\n"
+        )
+    source = "\n".join(f"{t} = {i}" for i, t in enumerate(tags))
+    source += "\n\n\n" + "\n\n".join(body)
+    index = build_index(tmp_path, {"repro/pvm/ring.py": source})
+    cycles = tag_wait_cycles(index)
+    assert len(cycles) == 1
+    assert cycles[0][0] == ["TAG_X", "TAG_Y", "TAG_Z"]

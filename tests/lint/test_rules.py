@@ -1,9 +1,11 @@
 """Fixture-driven tests: every rule both fires and stays quiet.
 
-Each rule code has two fixture files under ``fixtures/``: a ``*_flag.py``
-containing a minimal violation and a ``*_ok.py`` containing the nearest
-legitimate construct.  Deleting (or breaking) any shipped rule makes its
-flag fixture come back clean and fails the corresponding test here.
+Each rule code has two fixtures under ``fixtures/``: a ``*_flag``
+containing a minimal violation and a ``*_ok`` containing the nearest
+legitimate construct.  Most are single files; rules that are inherently
+cross-module (D202) use fixture *directories* holding a miniature
+``repro`` package tree.  Deleting (or breaking) any shipped rule makes
+its flag fixture come back clean and fails the corresponding test here.
 """
 
 from pathlib import Path
@@ -21,30 +23,45 @@ ALL_CODES = [
     "D104",
     "D105",
     "D106",
+    "D201",
+    "D202",
     "P201",
     "P202",
     "P203",
     "P204",
+    "P301",
+    "P302",
+    "P303",
     "M301",
     "M302",
     "O401",
     "R501",
     "S601",
     "S602",
+    "S701",
+    "S702",
 ]
+
+
+def fixture_path(code: str, kind: str) -> Path:
+    """The flag/ok fixture for ``code`` — a file or a directory."""
+    directory = FIXTURES / f"{code.lower()}_{kind}"
+    if directory.is_dir():
+        return directory
+    return FIXTURES / f"{code.lower()}_{kind}.py"
 
 
 def test_every_shipped_rule_has_a_fixture_pair():
     codes = {cls.code for cls in all_rules()}
     assert codes == set(ALL_CODES)
     for code in ALL_CODES:
-        assert (FIXTURES / f"{code.lower()}_flag.py").is_file()
-        assert (FIXTURES / f"{code.lower()}_ok.py").is_file()
+        assert fixture_path(code, "flag").exists(), code
+        assert fixture_path(code, "ok").exists(), code
 
 
 @pytest.mark.parametrize("code", ALL_CODES)
 def test_flag_fixture_is_flagged(code):
-    findings = run_checks([FIXTURES / f"{code.lower()}_flag.py"])
+    findings = run_checks([fixture_path(code, "flag")])
     assert findings, f"rule {code} reported nothing on its flag fixture"
     # the fixtures are minimal: nothing else may fire on them either
     assert {f.code for f in findings} == {code}
@@ -52,7 +69,7 @@ def test_flag_fixture_is_flagged(code):
 
 @pytest.mark.parametrize("code", ALL_CODES)
 def test_near_miss_fixture_is_clean(code):
-    findings = run_checks([FIXTURES / f"{code.lower()}_ok.py"])
+    findings = run_checks([fixture_path(code, "ok")])
     assert findings == [], [f.format() for f in findings]
 
 
@@ -60,6 +77,7 @@ def test_rule_metadata_is_complete():
     for cls in all_rules():
         assert cls.code and cls.name and cls.summary, cls
         assert cls.code[0] in "DPMORS" and cls.code[1:].isdigit()
+        assert cls.severity in ("error", "warn"), cls
 
 
 def test_finding_locations_point_at_the_violation():
@@ -69,3 +87,10 @@ def test_finding_locations_point_at_the_violation():
     assert lines == {7, 9}
     for f in findings:
         assert f.format().startswith(f"{f.path}:{f.line}:D101 ")
+
+
+def test_warn_tier_rules_declare_warn_severity():
+    by_code = {cls.code: cls for cls in all_rules()}
+    assert by_code["S702"].severity == "warn"
+    findings = run_checks([fixture_path("S702", "flag")])
+    assert findings and all(f.severity == "warn" for f in findings)

@@ -1,0 +1,63 @@
+"""SARIF export: 2.1.0 document shape, levels and suppressions."""
+
+from repro.lint import Finding, all_rules, to_sarif
+
+
+def f(path, line, code, severity="error"):
+    return Finding(
+        path=path, line=line, col=4, code=code, message="msg", severity=severity
+    )
+
+
+def test_document_shape_matches_sarif_210():
+    doc = to_sarif([f("a.py", 3, "D101")], [], all_rules())
+    assert doc["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0.json" in doc["$schema"]
+    assert len(doc["runs"]) == 1
+    driver = doc["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "simlint"
+    rule_ids = {r["id"] for r in driver["rules"]}
+    assert {"D101", "D201", "P303", "S701", "S702"} <= rule_ids
+    for entry in driver["rules"]:
+        assert entry["shortDescription"]["text"]
+        assert entry["defaultConfiguration"]["level"] in ("error", "warning")
+
+
+def test_results_carry_location_and_level():
+    doc = to_sarif(
+        [f("a.py", 3, "D101"), f("b.py", 7, "S702", severity="warn")],
+        [],
+        all_rules(),
+    )
+    results = doc["runs"][0]["results"]
+    assert len(results) == 2
+    by_rule = {r["ruleId"]: r for r in results}
+    assert by_rule["D101"]["level"] == "error"
+    assert by_rule["S702"]["level"] == "warning"
+    loc = by_rule["D101"]["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "a.py"
+    assert loc["region"]["startLine"] == 3
+    assert loc["region"]["startColumn"] == 5  # SARIF columns are 1-based
+
+
+def test_baselined_results_are_externally_suppressed():
+    doc = to_sarif([f("a.py", 3, "D101")], [f("b.py", 7, "S702")], all_rules())
+    results = {r["ruleId"]: r for r in doc["runs"][0]["results"]}
+    assert "suppressions" not in results["D101"]
+    assert results["S702"]["suppressions"] == [{"kind": "external"}]
+
+
+def test_results_are_sorted_by_location():
+    doc = to_sarif(
+        [f("b.py", 9, "D101"), f("a.py", 3, "D102"), f("a.py", 1, "D101")],
+        [],
+        all_rules(),
+    )
+    keys = [
+        (
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"],
+            r["locations"][0]["physicalLocation"]["region"]["startLine"],
+        )
+        for r in doc["runs"][0]["results"]
+    ]
+    assert keys == sorted(keys)

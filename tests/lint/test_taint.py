@@ -1,0 +1,128 @@
+"""Determinism taint: witness chains, and the D2xx-vs-D1xx regression."""
+
+from repro.lint import get_rule, load_modules, run_checks
+from repro.lint.dataflow import seed_sink_params, wallclock_returning
+from repro.lint.index import ProjectIndex
+
+
+def build_index(tmp_path, files):
+    for name, text in files.items():
+        p = tmp_path / name
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text)
+    return ProjectIndex.build(load_modules([tmp_path]))
+
+
+def test_wallclock_chain_propagates_through_returns(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "repro/toolbox/clock.py": (
+                "import time\n"
+                "\n"
+                "\n"
+                "def raw():\n"
+                "    return time.time()\n"
+                "\n"
+                "\n"
+                "def stamped():\n"
+                "    return raw()\n"
+                "\n"
+                "\n"
+                "def shifted(offset):\n"
+                "    return stamped() + offset\n"
+            )
+        },
+    )
+    chains = wallclock_returning(index)
+    assert chains["repro.toolbox.clock:raw"] == ["raw", "time.time()"]
+    assert chains["repro.toolbox.clock:stamped"] == ["stamped", "raw", "time.time()"]
+    assert chains["repro.toolbox.clock:shifted"][0] == "shifted"
+    assert chains["repro.toolbox.clock:shifted"][-1] == "time.time()"
+
+
+def test_functions_not_returning_clock_values_stay_clean(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "repro/toolbox/clock.py": (
+                "import time\n"
+                "\n"
+                "\n"
+                "def log_and_compute(x):\n"
+                "    t = time.time()  # read but not returned\n"
+                "    print(t)\n"
+                "    return x * 2\n"
+            )
+        },
+    )
+    assert wallclock_returning(index) == {}
+
+
+def test_seed_sink_params_follow_forwarding(tmp_path):
+    index = build_index(
+        tmp_path,
+        {
+            "repro/experiments/rng.py": (
+                "import numpy as np\n"
+                "\n"
+                "\n"
+                "def make(seed):\n"
+                "    return np.random.default_rng(seed)\n"
+                "\n"
+                "\n"
+                "def mid(s):\n"
+                "    return make(s)\n"
+            )
+        },
+    )
+    sinks = seed_sink_params(index)
+    assert "seed" in sinks["repro.experiments.rng:make"]
+    chain = sinks["repro.experiments.rng:mid"]["s"]
+    assert chain == ["mid(s)", "make(seed)", "numpy.random.default_rng"]
+
+
+SEEDED_THROUGH_TWO_CALLS = (
+    "import numpy as np\n"
+    "\n"
+    "\n"
+    "def make(seed):\n"
+    "    return np.random.default_rng(seed)\n"
+    "\n"
+    "\n"
+    "def mid(s):\n"
+    "    return make(s)\n"
+    "\n"
+    "\n"
+    "def run():\n"
+    "    return mid(77)\n"
+)
+
+
+def test_d1xx_is_silent_but_d201_fires_with_full_path(tmp_path):
+    """Regression: the per-file rules cannot see a seed two frames deep.
+
+    D106 only flags an integer literal *inside* the RNG constructor
+    call; here the literal sits two calls away.  The interprocedural
+    D201 must fire — and cite the whole path.
+    """
+    path = tmp_path / "mod.py"
+    path.write_text(SEEDED_THROUGH_TWO_CALLS)
+    old_school = run_checks([path], rules=[get_rule("D106"), get_rule("D103")])
+    assert old_school == []
+    findings = run_checks([path], rules=[get_rule("D201")])
+    assert len(findings) == 1
+    (finding,) = findings
+    assert finding.code == "D201"
+    assert finding.line == 13  # the mid(77) call inside run()
+    assert "mid(s) -> make(seed) -> numpy.random.default_rng" in finding.message
+
+
+def test_d201_quiet_when_seed_is_threaded(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(
+        SEEDED_THROUGH_TWO_CALLS.replace("def run():", "def run(seed):").replace(
+            "mid(77)", "mid(seed)"
+        )
+    )
+    assert run_checks([path], rules=[get_rule("D201")]) == []

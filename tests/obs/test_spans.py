@@ -56,7 +56,7 @@ class TestNesting:
         assert tr.open_spans("p1") == 1 and tr.open_spans() == 1
         assert tr.end("p1", time=0.5).sid == other
 
-    def test_end_without_open_span_raises(self):
+    def test_end_without_open_span_raises(self):  # simlint: disable=P203
         tr = SpanTracer()
         with pytest.raises(ValueError, match="no span is open"):
             tr.end("p0", time=1.0)
@@ -82,7 +82,7 @@ class TestNesting:
         assert tr.spans[0].name == "phase-barrier"
         assert tr.spans[0].duration == 2.0
 
-    def test_begin_without_clock_or_time_raises(self):
+    def test_begin_without_clock_or_time_raises(self):  # simlint: disable=P203
         tr = SpanTracer()
         with pytest.raises(ValueError, match="clock"):
             tr.begin("p0", "compute")

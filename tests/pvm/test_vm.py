@@ -29,7 +29,7 @@ def test_send_recv_between_tasks():
     got = {}
 
     def server(task):
-        msg = yield from task.recv(tag=5)
+        msg = yield from task.recv(tag=5)  # simlint: disable=R501
         got["data"] = msg.payload
         got["nbytes"] = msg.nbytes
 
@@ -49,7 +49,7 @@ def test_mcast_serializes_at_sender():
     arrivals = {}
 
     def receiver(task):
-        yield from task.recv(tag=1)
+        yield from task.recv(tag=1)  # simlint: disable=R501
         arrivals[task.name] = task.now
 
     r0 = pvm.spawn("r0", nodes[0], receiver)

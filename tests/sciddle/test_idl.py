@@ -31,7 +31,7 @@ def test_unknown_lookup_raises_with_candidates():
     iface = SciddleInterface("x")
     iface.procedure("known")
     with pytest.raises(SciddleError, match="known"):
-        iface.spec("unknown")
+        iface.spec("unknown")  # simlint: disable=P201
 
 
 def test_size_rules_attached():

@@ -99,7 +99,7 @@ def test_unbound_procedure_raises():
 
     def client_body(task, tid):
         client = SciddleClient(task, iface, [tid])
-        h = yield from client.call_async(tid, "declared_but_unbound", nbytes=0)
+        h = yield from client.call_async(tid, "declared_but_unbound", nbytes=0)  # simlint: disable=P302
         yield from client.wait(h)
 
     sp = pvm.spawn("server", nodes[1], server_body)
@@ -114,7 +114,7 @@ def test_undeclared_procedure_rejected_client_side():
     def client_body(task, tids):
         client = SciddleClient(task, iface, tids)
         with pytest.raises(SciddleError):
-            yield from client.call_async(tids[0], "nonexistent", nbytes=0)
+            yield from client.call_async(tids[0], "nonexistent", nbytes=0)  # simlint: disable=P201,P302
         yield from client.shutdown()
 
     pvm.spawn("client", nodes[0], client_body, [s.tid for s in servers])
