@@ -21,6 +21,15 @@ Two robustness guarantees for downstream consumers (in particular
 * **schema tagging** — every file carries ``"schema": "repro-bench/1"``;
   consumers reject files with a missing or different tag instead of
   silently comparing against stale or foreign data.
+
+Every emission is also **dual-written** into the columnar telemetry
+store (``repro.obs.store``) as a ``bench`` segment, so benchmark
+history is queryable next to campaign and serve telemetry
+(``python -m repro.obs query <store> bench --where
+'experiment==PERF_store_ingest'``).  The store root defaults to
+``out/telemetry``; override it with ``REPRO_BENCH_STORE=<dir>`` or set
+the variable to an empty string to disable the dual write.  The JSON
+file stays the source of truth: a store failure never fails a bench.
 """
 
 from __future__ import annotations
@@ -80,7 +89,27 @@ def emit(
         except OSError:
             pass
         raise
+    _dual_write(payload)
     return path
+
+
+def _dual_write(payload: Dict) -> None:
+    """Mirror one emission into the telemetry store (best effort)."""
+    store_root = os.environ.get("REPRO_BENCH_STORE", str(OUT_DIR / "telemetry"))
+    if not store_root:
+        return
+    try:
+        from repro.obs.ingest import ingest_bench_payload
+        from repro.obs.store import TelemetryStore
+
+        ingest_bench_payload(
+            TelemetryStore(store_root), payload, meta={"source": "emit"}
+        )
+    except Exception:
+        # the JSON artifact is the source of truth; a store problem
+        # (missing repro on sys.path, foreign manifest) must not fail
+        # the benchmark that produced a perfectly good emission
+        pass
 
 
 def load(path: Union[str, pathlib.Path]) -> Dict:

@@ -1,0 +1,122 @@
+"""BENCH — the flight recorder must cost <5% on the serve hot path.
+
+The acceptance contract of live serve telemetry: wiring a
+:class:`~repro.serve.flight.FlightRecorder` (ring-buffer recording on
+every admission and reply, one store flush at service stop) into the
+throughput campaign of ``bench_serve_throughput`` may cost at most
+``OVERHEAD_BUDGET`` of its throughput.  The rounds interleave the two
+configurations so slow machine drift hits both equally, and each takes
+its best round before comparing.
+
+Fidelity is asserted before the timing means anything: the recorded
+row count must equal the requests sent (nothing dropped), the flushed
+store must hold exactly those rows, and the *answers* must be
+bit-identical with and without the recorder — observability that
+changes the observed system is a bug, not an overhead.
+"""
+
+import asyncio
+import pathlib
+import tempfile
+
+from _emit import emit, record
+from repro.obs.store import TelemetryStore
+from repro.serve.flight import FlightRecorder
+from repro.serve.loadgen import LoadSpec, build_schedule, run_open_loop
+from repro.serve.service import PredictionService, ServeConfig
+
+#: the throughput campaign, scaled to keep 2 x ROUNDS runs fast
+SPEC = LoadSpec(
+    clients=32,
+    requests_per_client=8,
+    seed=2,
+    sweep_fraction=1.0,
+    max_servers=32,
+)
+#: admission wide enough that nothing sheds (throughput mode)
+WIDE_OPEN = dict(max_queue_depth=10**6, rate=1e9, burst=10**6)
+ROUNDS = 5
+#: allowed relative throughput loss with the recorder on
+OVERHEAD_BUDGET = 0.05
+
+
+def run_campaign(store_dir):
+    """One seeded campaign; recorder on iff ``store_dir`` is given."""
+    schedule = build_schedule(SPEC)
+
+    async def go():
+        flight = None
+        if store_dir is not None:
+            flight = FlightRecorder(store=TelemetryStore(store_dir))
+        config = ServeConfig(max_batch=256, **WIDE_OPEN)
+        async with PredictionService(config, flight=flight) as service:
+            report = await run_open_loop(service.submit, schedule)
+        return report, service
+
+    return asyncio.run(go())
+
+
+def run_interleaved(root):
+    """Best-of-ROUNDS for both configurations, interleaved."""
+    plain_best = None
+    flight_best = None
+    for i in range(ROUNDS):
+        plain, _ = run_campaign(None)
+        if plain_best is None or plain.throughput > plain_best.throughput:
+            plain_best = plain
+        report, service = run_campaign(root / f"round-{i}")
+        if flight_best is None or report.throughput > flight_best[0].throughput:
+            flight_best = (report, service)
+    return plain_best, flight_best
+
+
+def render(plain, flight, overhead) -> str:
+    lines = [
+        f"BENCH_serve_flight) {SPEC.clients} clients x "
+        f"{SPEC.requests_per_client} sweep requests (seed {SPEC.seed}), "
+        f"best of {ROUNDS}, interleaved",
+        "",
+        f"  recorder off: {plain.throughput:8.0f} req/s   "
+        f"wall {plain.wall * 1e3:7.1f} ms",
+        f"  recorder on:  {flight.throughput:8.0f} req/s   "
+        f"wall {flight.wall * 1e3:7.1f} ms   (ring + flush at stop)",
+        f"  overhead: {100 * overhead:+.1f}% "
+        f"(budget < {100 * OVERHEAD_BUDGET:.0f}%), "
+        "responses bit-identical with and without",
+    ]
+    return "\n".join(lines)
+
+
+def test_bench_serve_flight_overhead(artifact):
+    with tempfile.TemporaryDirectory() as tmp:
+        plain, (flight_report, service) = run_interleaved(pathlib.Path(tmp))
+
+        # fidelity first: every request recorded, every row flushed
+        recorder = service.flight
+        assert len(recorder) == flight_report.sent
+        assert recorder.dropped == 0
+        assert recorder.pending == 0  # stop() flushed the ring
+        assert recorder.store.rows("serve") == flight_report.sent
+        # observability must not change the answers
+        assert plain.canonical_responses() == flight_report.canonical_responses()
+        for report in (plain, flight_report):
+            assert report.ok == report.sent == len(report.responses)
+
+    overhead = (plain.throughput - flight_report.throughput) / plain.throughput
+
+    artifact("BENCH_serve_flight", render(plain, flight_report, overhead))
+    emit(
+        "BENCH_serve_flight",
+        [
+            record("recorder-off", "throughput", plain.throughput, "req/s"),
+            record(
+                "recorder-on", "throughput", flight_report.throughput, "req/s"
+            ),
+            record("recorder", "overhead", overhead, "ratio"),
+        ],
+    )
+
+    assert overhead < OVERHEAD_BUDGET, (
+        f"flight recorder costs {100 * overhead:.1f}% throughput "
+        f"(budget < {100 * OVERHEAD_BUDGET:.0f}%)"
+    )

@@ -1,0 +1,145 @@
+"""PERF — telemetry store ingest and query throughput.
+
+The columnar store (``repro.obs.store``) is the single sink for every
+telemetry producer in the repo — campaign cells, span rollups,
+residuals, bench emissions, flight-recorded serve requests — so its
+two hot paths get perf-gate coverage of their own:
+
+* ``PERF_store_ingest`` — appending synthetic ``serve``-shaped
+  segments (the widest shipped dataset: 6 float + 3 int columns),
+  measured in rows/s over a fresh store per round;
+* ``PERF_store_query`` — a filter + aggregate + group-by mix over a
+  prebuilt store, measured in queries/s (each query re-scans the
+  store from disk, which is the honest cost the CLI pays).
+
+Both are min-of-``ROUNDS`` rates, higher is better.  The round-trip
+contracts are asserted alongside the timing: two ingest rounds of the
+same rows must produce bit-identical stores (``content_digest``), and
+the timed aggregates must equal direct numpy reductions.
+"""
+
+import pathlib
+import tempfile
+import time
+
+import numpy as np
+
+from _emit import emit, record
+from repro.obs.query import percentile, run_query
+from repro.obs.store import TelemetryStore
+
+#: rows per appended segment (one flight-recorder flush worth)
+ROWS = 20_000
+#: segments per ingest round
+SEGMENTS = 8
+#: timed queries per query round
+QUERIES = 40
+ROUNDS = 3
+
+
+def synthetic_columns(rng, rows):
+    """One serve-shaped segment of plausible per-request telemetry."""
+    return {
+        "t_admit": np.cumsum(rng.exponential(1e-4, rows)),
+        "admit_us": rng.exponential(2.0, rows),
+        "queue_us": rng.exponential(300.0, rows),
+        "compute_us": rng.exponential(800.0, rows),
+        "reply_us": rng.exponential(5.0, rows),
+        "reply_s": rng.exponential(1.5e-3, rows),
+        "depth": rng.integers(0, 512, rows),
+        "status": rng.integers(0, 5, rows),
+        "batch": rng.integers(1, 256, rows),
+    }
+
+
+def build_segments():
+    """The identical row set every ingest round appends."""
+    rng = np.random.default_rng(7)
+    return [synthetic_columns(rng, ROWS) for _ in range(SEGMENTS)]
+
+
+def ingest_round(root, segments):
+    """Append every segment into a fresh store; returns (seconds, store)."""
+    store = TelemetryStore(root)
+    start = time.perf_counter()
+    for columns in segments:
+        store.append("serve", columns)
+    return time.perf_counter() - start, store
+
+
+def query_round(store):
+    """The timed query mix; returns (seconds, last result set)."""
+    start = time.perf_counter()
+    for _ in range(QUERIES):
+        flat = run_query(
+            store,
+            "serve",
+            where="status==0 and depth<=256",
+            agg="count(), mean(compute_us), p99(reply_s)",
+        )
+        grouped = run_query(store, "serve", agg="p50(queue_us)", by="status")
+    return time.perf_counter() - start, (flat, grouped)
+
+
+def render(ingest_rate, query_rate, total_rows) -> str:
+    lines = [
+        f"PERF_store) {SEGMENTS} segments x {ROWS} rows "
+        f"({len(synthetic_columns(np.random.default_rng(0), 1))} columns), "
+        f"min of {ROUNDS}",
+        "",
+        f"  ingest: {ingest_rate:12.0f} rows/s  "
+        f"({total_rows} rows per round, fresh store each)",
+        f"  query:  {query_rate:12.1f} queries/s  "
+        f"(filter + 3 aggregates + group-by, {QUERIES} per round)",
+    ]
+    return "\n".join(lines)
+
+
+def test_perf_store_ingest_and_query(artifact):
+    segments = build_segments()
+    total_rows = SEGMENTS * ROWS
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        ingest_times = []
+        digests = []
+        store = None
+        for i in range(ROUNDS):
+            elapsed, store = ingest_round(root / f"round-{i}", segments)
+            ingest_times.append(elapsed)
+            digests.append(store.content_digest())
+
+        # ingestion is deterministic: same rows, bit-identical store
+        assert len(set(digests)) == 1
+        assert store.rows("serve") == total_rows
+
+        query_times = []
+        for _ in range(ROUNDS):
+            elapsed, (flat, grouped) = query_round(store)
+            query_times.append(elapsed)
+
+        # the timed aggregates must be the true ones, or the rate is
+        # the throughput of a wrong answer
+        table = store.scan("serve")
+        mask = (table["status"] == 0) & (table["depth"] <= 256)
+        assert flat.aggregates["count()"] == float(np.count_nonzero(mask))
+        assert flat.aggregates["mean(compute_us)"] == float(
+            np.mean(table["compute_us"][mask])
+        )
+        assert flat.aggregates["p99(reply_s)"] == percentile(
+            table["reply_s"][mask], 0.99
+        )
+        assert len(grouped.groups) == 5  # one per status code
+
+    ingest_rate = total_rows / min(ingest_times)
+    query_rate = (2 * QUERIES) / min(query_times)
+
+    artifact("PERF_store", render(ingest_rate, query_rate, total_rows))
+    emit(
+        "PERF_store_ingest",
+        [record("synthetic-serve", "ingest_throughput", ingest_rate, "rows/s")],
+    )
+    emit(
+        "PERF_store_query",
+        [record("synthetic-serve", "query_throughput", query_rate, "queries/s")],
+    )

@@ -22,6 +22,12 @@ Modes:
   structural errors (the shared-CI-runner mode, where machine noise
   must not fail the build).
 
+Sources: fresh measurements come from ``benchmarks/out/*.json`` by
+default.  With ``--store DIR`` they are read from the telemetry store's
+``bench`` dataset instead (the dual-write target of ``_emit.py``),
+falling back to the JSON file for any experiment the store has not
+seen — so the gate keeps working mid-migration.
+
 Structural problems — torn or schema-less JSON, a baseline with no
 fresh measurement, mismatched records — always exit 2: a gate that
 silently compares nothing is worse than no gate.
@@ -57,10 +63,44 @@ def index_records(payload: Dict) -> Dict[Tuple[str, str], Dict]:
     return out
 
 
+def store_payload(store_dir: pathlib.Path, experiment: str) -> Dict | None:
+    """The latest dual-written emission of one experiment, or None.
+
+    Rebuilds a ``repro-bench/1`` payload from the newest ``bench``
+    segment whose meta names the experiment; None when the store does
+    not exist or holds no such segment (callers fall back to the file).
+    """
+    try:
+        from repro.obs.store import TelemetryStore
+    except ImportError:
+        return None
+    if not (store_dir / "manifest.json").exists():
+        return None
+    store = TelemetryStore(store_dir)
+    newest = None
+    for entry in store.segments("bench"):
+        if entry.get("meta", {}).get("experiment") == experiment:
+            newest = entry
+    if newest is None:
+        return None
+    columns = store.read_segment(newest["id"])
+    records = [
+        {
+            "name": str(columns["name"][i]),
+            "metric": str(columns["metric"][i]),
+            "value": float(columns["value"][i]),
+            "units": str(columns["units"][i]),
+        }
+        for i in range(int(newest["rows"]))
+    ]
+    return {"schema": "repro-bench/1", "experiment": experiment, "records": records}
+
+
 def compare_experiment(
     baseline_path: pathlib.Path,
     out_dir: pathlib.Path,
     tolerance: float,
+    store_dir: pathlib.Path | None = None,
 ) -> Tuple[List[str], List[str], List[str]]:
     """Returns (regressions, improvements/ok lines, structural errors)."""
     regressions: List[str] = []
@@ -73,15 +113,17 @@ def compare_experiment(
         base = load(baseline_path)
     except ValueError as exc:
         return [], [], [f"baseline unreadable: {exc}"]
-    if not current_path.exists():
-        return [], [], [
-            f"{experiment}: no fresh measurement at {current_path} "
-            "(run the PERF benchmarks first)"
-        ]
-    try:
-        cur = load(current_path)
-    except ValueError as exc:
-        return [], [], [f"measurement unreadable: {exc}"]
+    cur = store_payload(store_dir, experiment) if store_dir is not None else None
+    if cur is None:
+        if not current_path.exists():
+            return [], [], [
+                f"{experiment}: no fresh measurement at {current_path} "
+                "(run the PERF benchmarks first)"
+            ]
+        try:
+            cur = load(current_path)
+        except ValueError as exc:
+            return [], [], [f"measurement unreadable: {exc}"]
 
     base_rows = index_records(base)
     cur_rows = index_records(cur)
@@ -147,6 +189,13 @@ def main(argv: List[str] | None = None) -> int:
         default=OUT_DIR,
         help="directory of fresh emissions",
     )
+    parser.add_argument(
+        "--store",
+        type=pathlib.Path,
+        default=None,
+        help="telemetry store to read fresh measurements from "
+        "(falls back to --out files per experiment)",
+    )
     mode = parser.add_mutually_exclusive_group()
     mode.add_argument(
         "--strict",
@@ -178,7 +227,9 @@ def main(argv: List[str] | None = None) -> int:
     all_regressions: List[str] = []
     all_errors: List[str] = []
     for path in paths:
-        regs, report, errs = compare_experiment(path, args.out, args.tolerance)
+        regs, report, errs = compare_experiment(
+            path, args.out, args.tolerance, store_dir=args.store
+        )
         print(f"{path.stem}:")
         for line in report + regs + [f"  error    {e}" for e in errs]:
             print(line)

@@ -87,6 +87,15 @@ class LintError(ReproError):
     """Raised by the simlint static analyzer for unusable inputs."""
 
 
+class TelemetryError(ReproError):
+    """Raised by the columnar telemetry store for unusable inputs.
+
+    Covers schema violations (ragged columns, dataset column drift, a
+    manifest with a foreign schema tag) and queries over datasets or
+    columns the store does not hold.
+    """
+
+
 class ServeError(ReproError):
     """Raised by the prediction service for rejected requests.
 

@@ -100,6 +100,7 @@ def run_campaign(
     progress=None,
     obs=None,
     faults=None,
+    store_dir=None,
 ) -> CampaignReport:
     """Execute the integrated study.
 
@@ -123,6 +124,14 @@ def run_campaign(
     the resilient middleware.  The reproducibility probe always runs
     unfaulted — it certifies the measurement protocol on the dedicated
     system, which is a precondition of, not part of, the experiment.
+
+    ``store_dir=`` appends the campaign's telemetry to the columnar
+    store rooted there (:mod:`repro.obs.store`): one ``cells`` segment
+    with every measured design cell and one ``residuals`` segment
+    joining them against the freshly calibrated model, so ``python -m
+    repro.obs query|drift`` can interrogate campaign history.  Because
+    records arrive in design order on both execution paths, serial and
+    pooled campaigns append bit-identical segments.
     """
     if probe_repetitions < 2:
         raise DesignError("the reproducibility probe needs >= 2 repetitions")
@@ -157,11 +166,22 @@ def run_campaign(
             "is the system dedicated?"
         )
 
-    observations = runner.observations(design)
+    records = runner.run_design(design)
+    observations = [r.observation() for r in records]
     calibration = calibrate(observations, name=f"{reference.name}-calibrated")
     if obs is not None:
         obs.set_model_params(calibration.params)
         obs.absorb_cache_stats(runner.cache_stats)
+    if store_dir is not None:
+        from ..obs.ingest import ingest_records
+        from ..obs.store import TelemetryStore
+
+        ingest_records(
+            TelemetryStore(store_dir),
+            records,
+            params=calibration.params,
+            meta={"campaign": reference.name, "seed": seed},
+        )
 
     all_platforms = list(candidates)
     if all(p.name != reference.name for p in all_platforms):

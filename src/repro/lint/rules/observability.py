@@ -11,6 +11,12 @@ against.
 * ``O401`` — span ``begin()``/``end()`` calls on tracer-like receivers
   balance within each function; prefer ``with tracer.scope(...)`` when
   the bracket spans one block.
+* ``O402`` — metric instruments come from the registry
+  (``registry.counter("name")``), never from ad-hoc
+  ``Counter()``/``Gauge()``/``Histogram()`` construction: a
+  hand-constructed instrument is invisible to every export, merge and
+  report path, so its numbers silently vanish from the telemetry the
+  model join and the serve SLOs consume.
 """
 
 from __future__ import annotations
@@ -84,3 +90,81 @@ class SpanLeakRule(Rule):
                         "that is not open raises at runtime"
                     )
                 yield module.finding(anchor, self.code, message)
+
+
+#: The instrument classes only the registry may construct.
+_METRIC_CLASSES = frozenset({"Counter", "Gauge", "Histogram"})
+
+#: Modules the instrument classes legitimately come from (the defining
+#: module and the package re-export).
+_METRIC_MODULES = frozenset({"repro.obs.metrics", "repro.obs"})
+
+
+def _metric_aliases(module: SourceModule) -> Dict[str, str]:
+    """Local names bound to metric instrument classes, alias -> class.
+
+    Covers absolute imports via the alias map and relative imports
+    (``from ..obs.metrics import Counter``), which the alias map does
+    not record; a ``Counter`` imported from anywhere else (e.g.
+    ``collections``) is deliberately NOT a metric alias.
+    """
+    aliases: Dict[str, str] = {}
+    for alias, target in module.imports.items():
+        mod, _, attr = target.rpartition(".")
+        if attr in _METRIC_CLASSES and mod in _METRIC_MODULES:
+            aliases[alias] = attr
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.ImportFrom) and node.level > 0 and node.module):
+            continue
+        if not (
+            node.module in ("metrics", "obs", "obs.metrics")
+            or node.module.endswith(".obs.metrics")
+            or node.module.endswith(".obs")
+        ):
+            continue
+        for name in node.names:
+            if name.name in _METRIC_CLASSES:
+                aliases[name.asname or name.name] = name.name
+    return aliases
+
+
+@rule
+class AdHocMetricRule(Rule):
+    """O402: metric instruments are obtained from the registry."""
+
+    code = "O402"
+    name = "ad-hoc-metric-construction"
+    summary = (
+        "metric instruments must come from the MetricsRegistry "
+        "(registry.counter/gauge/histogram); a hand-built Counter()/"
+        "Gauge()/Histogram() is invisible to exports and merges"
+    )
+    packages = None
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag Counter/Gauge/Histogram construction outside metrics.py."""
+        if module.package == ("obs", "metrics"):
+            return  # the defining module: the registry builds them here
+        aliases = _metric_aliases(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            cls = None
+            if isinstance(node.func, ast.Name):
+                cls = aliases.get(node.func.id)
+            else:
+                resolved = module.resolve_call(node.func)
+                if resolved is not None:
+                    mod, _, attr = resolved.rpartition(".")
+                    if attr in _METRIC_CLASSES and mod in _METRIC_MODULES:
+                        cls = attr
+            if cls is None:
+                continue
+            accessor = cls.lower()
+            yield module.finding(
+                node,
+                self.code,
+                f"ad-hoc {cls}() construction bypasses the metrics "
+                f"registry; use registry.{accessor}(name) so the "
+                "instrument participates in export, merge and reports",
+            )

@@ -23,7 +23,19 @@ calibratable.  This package is that claim turned into a subsystem:
 * :mod:`repro.obs.report` — the measured-vs-model join: per response
   variable, the category totals against the eq. (2)-(10) prediction
   with residual-drift flags;
-* ``python -m repro.obs`` — summarize / convert / diff trace files.
+* :mod:`repro.obs.store` — the append-only columnar telemetry store
+  (``repro-telemetry/1``): campaign cells, residuals, span rollups,
+  serve flight records and bench emissions in one queryable place;
+* :mod:`repro.obs.query` — predicate/projection/aggregation over store
+  datasets, sharing one nearest-rank :func:`~repro.obs.query.percentile`
+  with the serve layer;
+* :mod:`repro.obs.monitor` — sliding-window SLO verdicts and
+  EWMA/CUSUM residual drift detection over store history;
+* :mod:`repro.obs.ingest` — adapters feeding legacy telemetry
+  (experiment caches, trace JSONL, bench emissions, loadgen reports)
+  into the store;
+* ``python -m repro.obs`` — summarize / convert / diff trace files,
+  plus query / slo / drift / ingest over a telemetry store.
 
 Import structure: :mod:`spans` and :mod:`metrics` are dependency-free
 (so :mod:`repro.netsim` can build on them without cycles); everything
@@ -56,6 +68,18 @@ _LAZY: Dict[str, Tuple[str, str]] = {
     "load_jsonl": ("repro.obs.export", "load_jsonl"),
     "read_chrome_totals": ("repro.obs.export", "read_chrome_totals"),
     "residual_report": ("repro.obs.report", "residual_report"),
+    "TelemetryStore": ("repro.obs.store", "TelemetryStore"),
+    "run_query": ("repro.obs.query", "run_query"),
+    "percentile": ("repro.obs.query", "percentile"),
+    "SloBudget": ("repro.obs.monitor", "SloBudget"),
+    "evaluate_slo": ("repro.obs.monitor", "evaluate_slo"),
+    "residual_drift": ("repro.obs.monitor", "residual_drift"),
+    "detect_drift": ("repro.obs.monitor", "detect_drift"),
+    "ingest_records": ("repro.obs.ingest", "ingest_records"),
+    "ingest_cache_dir": ("repro.obs.ingest", "ingest_cache_dir"),
+    "ingest_trace_jsonl": ("repro.obs.ingest", "ingest_trace_jsonl"),
+    "ingest_bench_dir": ("repro.obs.ingest", "ingest_bench_dir"),
+    "ingest_loadgen_report": ("repro.obs.ingest", "ingest_loadgen_report"),
 }
 
 __all__ = [
@@ -66,13 +90,25 @@ __all__ = [
     "MetricsRegistry",
     "MODEL_CATEGORIES",
     "ObsSession",
+    "SloBudget",
     "Span",
     "SpanTracer",
+    "TelemetryStore",
+    "detect_drift",
+    "evaluate_slo",
+    "ingest_bench_dir",
+    "ingest_cache_dir",
+    "ingest_loadgen_report",
+    "ingest_records",
+    "ingest_trace_jsonl",
     "load_jsonl",
+    "percentile",
     "read_chrome_totals",
+    "residual_drift",
     "residual_report",
     "response_variable",
     "run_label",
+    "run_query",
     "write_chrome_trace",
     "write_jsonl",
 ]

@@ -1,6 +1,6 @@
-"""``python -m repro.obs`` — trace tooling: summarize, convert, diff.
+"""``python -m repro.obs`` — trace and telemetry-store tooling.
 
-Works on both on-disk formats:
+Trace commands work on both on-disk formats:
 
 * ``*.jsonl`` — the lossless JSONL dump (:func:`repro.obs.write_jsonl`)
 * ``*.json`` — Chrome trace-event JSON (:func:`write_chrome_trace`)
@@ -8,7 +8,23 @@ Works on both on-disk formats:
 ``summarize`` prints span/flow counts and per-category totals and exits
 0 on any well-formed trace; ``convert`` turns a JSONL dump into a
 Perfetto-loadable Chrome trace; ``diff`` compares two traces' category
-totals and exits 1 when drift exceeds ``--tolerance``.
+totals and exits 1 when drift exceeds ``--tolerance`` (and, with
+``--fail-on-drift``, when any response variable's relative drift
+exceeds ``--drift-threshold`` — the CI gate).
+
+Store commands operate on a :mod:`repro.obs.store` directory:
+
+* ``query`` — predicate/projection/aggregation over one dataset
+  (``--where 'cell.servers>=4' --agg 'p99(compute_us)'``);
+* ``slo`` — sliding-window SLO verdicts for the ``serve`` dataset
+  against a ``repro-slo/1`` budget file, exit 1 on any breach;
+* ``drift`` — EWMA/CUSUM drift verdicts over residual history, exit 1
+  when any response variable drifted;
+* ``ingest`` — feed legacy telemetry (cache dirs, trace JSONL, bench
+  emissions) into the store.
+
+``slo``/``drift``/``query`` all take ``--json`` for machine-readable
+verdicts.
 """
 
 from __future__ import annotations
@@ -127,6 +143,15 @@ def _cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _variable_rollup(totals: Dict[str, float]) -> Dict[str, float]:
+    """Category totals folded onto the paper's response variables."""
+    rollup: Dict[str, float] = {}
+    for category, seconds in totals.items():
+        variable = response_variable(category) or "(other)"
+        rollup[variable] = rollup.get(variable, 0.0) + seconds
+    return rollup
+
+
 def _cmd_diff(args: argparse.Namespace) -> int:
     path_a = pathlib.Path(args.a)
     path_b = pathlib.Path(args.b)
@@ -149,10 +174,141 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         worst = max(worst, abs(delta))
         flag = "  !" if abs(delta) > args.tolerance else ""
         print(f"  {category:<20s} {a:12.6f} {b:12.6f} {delta:12.6f}{flag}")
+
+    drifted: List[str] = []
+    if args.fail_on_drift:
+        rollup_a = _variable_rollup(totals_a)
+        rollup_b = _variable_rollup(totals_b)
+        print(
+            f"  response-variable drift (threshold "
+            f"{100 * args.drift_threshold:.0f}%):"
+        )
+        for variable in sorted(set(rollup_a) | set(rollup_b)):
+            a = rollup_a.get(variable, 0.0)
+            b = rollup_b.get(variable, 0.0)
+            scale = max(abs(a), abs(b))
+            drift = abs(b - a) / scale if scale > 0 else 0.0
+            flag = ""
+            if drift > args.drift_threshold:
+                drifted.append(variable)
+                flag = "  <- drift"
+            print(f"    {variable:<18s} {100 * drift:7.2f}%{flag}")
+
     if worst > args.tolerance:
         print(f"traces differ: worst category delta {worst:g} s")
         return 1
+    if drifted:
+        print(
+            "residual drift flagged on: " + ", ".join(drifted)
+        )
+        return 1
     print("traces agree within tolerance")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# telemetry-store commands
+# ----------------------------------------------------------------------
+def _open_store(path: str):
+    """A TelemetryStore for an *existing* store directory, or None."""
+    from .store import TelemetryStore
+
+    root = pathlib.Path(path)
+    if not (root / "manifest.json").exists():
+        print(f"error: no telemetry store at {root} (no manifest.json)")
+        return None
+    return TelemetryStore(root)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from ..errors import TelemetryError
+    from .query import run_query
+
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+    try:
+        result = run_query(
+            store,
+            args.dataset,
+            where=args.where,
+            agg=args.agg,
+            by=args.by,
+            select=args.select.split(",") if args.select else None,
+            limit=args.limit,
+        )
+    except TelemetryError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(json.dumps(result.as_dict(), sort_keys=True) if args.json
+          else result.render())
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from ..errors import TelemetryError
+    from .monitor import SloBudget, evaluate_slo
+
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+    try:
+        budget = SloBudget.from_file(args.budget)
+        report = evaluate_slo(
+            store, budget, window=args.window, step=args.step
+        )
+    except TelemetryError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(json.dumps(report.as_dict(), sort_keys=True) if args.json
+          else report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    from ..errors import TelemetryError
+    from .monitor import residual_drift
+
+    store = _open_store(args.store)
+    if store is None:
+        return 2
+    try:
+        report = residual_drift(
+            store,
+            burn=args.burn,
+            ewma_k=args.ewma_k,
+            cusum_h=args.cusum_h,
+        )
+    except TelemetryError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(json.dumps(report.as_dict(), sort_keys=True) if args.json
+          else report.render())
+    return 0 if report.ok else 1
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from ..errors import TelemetryError
+    from . import ingest as ingest_mod
+    from .store import TelemetryStore
+
+    store = TelemetryStore(args.store)  # ingest may create the store
+    source = pathlib.Path(args.source)
+    try:
+        if args.kind == "cache":
+            segments = ingest_mod.ingest_cache_dir(store, source)
+        elif args.kind == "trace":
+            segments = [ingest_mod.ingest_trace_jsonl(store, source)]
+        else:
+            segments = ingest_mod.ingest_bench_dir(store, source)
+    except TelemetryError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(
+        f"ingested {source} -> {len(segments)} segment(s) "
+        f"({', '.join(segments)}); store now holds "
+        f"{', '.join(f'{d}:{store.rows(d)}' for d in store.datasets())}"
+    )
     return 0
 
 
@@ -188,7 +344,90 @@ def build_parser() -> argparse.ArgumentParser:
         default=1e-9,
         help="max per-category absolute delta in seconds (default 1e-9)",
     )
+    p_diff.add_argument(
+        "--fail-on-drift",
+        action="store_true",
+        help="also exit 1 when any response variable's relative drift "
+        "exceeds --drift-threshold (the CI gate)",
+    )
+    p_diff.add_argument(
+        "--drift-threshold",
+        type=float,
+        default=0.10,
+        help="relative drift per response variable tolerated by "
+        "--fail-on-drift (default 0.10)",
+    )
     p_diff.set_defaults(func=_cmd_diff)
+
+    p_query = sub.add_parser(
+        "query", help="filter and aggregate one telemetry-store dataset"
+    )
+    p_query.add_argument("store", help="telemetry store directory")
+    p_query.add_argument("dataset", help="dataset to scan (e.g. cells, serve)")
+    p_query.add_argument(
+        "--where", help="conjunction of comparisons, e.g. 'cell.servers>=4'"
+    )
+    p_query.add_argument(
+        "--agg", help="aggregate calls, e.g. 'p99(compute_us), count()'"
+    )
+    p_query.add_argument("--by", help="group-by column for --agg")
+    p_query.add_argument(
+        "--select", help="comma-separated columns to project (no --agg)"
+    )
+    p_query.add_argument(
+        "--limit", type=int, help="max projected rows (no --agg)"
+    )
+    p_query.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_query.set_defaults(func=_cmd_query)
+
+    p_slo = sub.add_parser(
+        "slo", help="judge serve history against SLO budgets (exit 1 on breach)"
+    )
+    p_slo.add_argument("store", help="telemetry store directory")
+    p_slo.add_argument("budget", help="repro-slo/1 budget JSON file")
+    p_slo.add_argument(
+        "--window", type=int, default=256, help="requests per window (default 256)"
+    )
+    p_slo.add_argument(
+        "--step", type=int, help="window stride (default: half a window)"
+    )
+    p_slo.add_argument(
+        "--json", action="store_true", help="machine-readable verdicts"
+    )
+    p_slo.set_defaults(func=_cmd_slo)
+
+    p_drift = sub.add_parser(
+        "drift",
+        help="EWMA/CUSUM drift verdicts over residual history (exit 1 on drift)",
+    )
+    p_drift.add_argument("store", help="telemetry store directory")
+    p_drift.add_argument(
+        "--burn", type=int, default=2, help="baseline ingest batches (default 2)"
+    )
+    p_drift.add_argument(
+        "--ewma-k", type=float, default=4.0, help="EWMA z flag level (default 4)"
+    )
+    p_drift.add_argument(
+        "--cusum-h", type=float, default=5.0, help="CUSUM flag level (default 5)"
+    )
+    p_drift.add_argument(
+        "--json", action="store_true", help="machine-readable verdicts"
+    )
+    p_drift.set_defaults(func=_cmd_drift)
+
+    p_ing = sub.add_parser(
+        "ingest", help="feed legacy telemetry files into the store"
+    )
+    p_ing.add_argument("store", help="telemetry store directory (created if new)")
+    p_ing.add_argument(
+        "kind", choices=("cache", "trace", "bench"),
+        help="cache: experiments.cache dir; trace: obs JSONL; "
+        "bench: benchmarks/out dir",
+    )
+    p_ing.add_argument("source", help="path to the legacy telemetry")
+    p_ing.set_defaults(func=_cmd_ingest)
     return parser
 
 

@@ -59,7 +59,15 @@ def _build_service(args: argparse.Namespace) -> PredictionService:
         from ..obs import ObsSession
 
         obs = ObsSession(label="serve")
-    return PredictionService(config=config, calibrations=store, obs=obs)
+    flight = None
+    if getattr(args, "store_out", None) is not None:
+        from ..obs.store import TelemetryStore
+        from .flight import FlightRecorder
+
+        flight = FlightRecorder(store=TelemetryStore(args.store_out))
+    return PredictionService(
+        config=config, calibrations=store, obs=obs, flight=flight
+    )
 
 
 def _finish_trace(args: argparse.Namespace, service: PredictionService) -> None:
@@ -161,6 +169,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         result["latency"] = service.latency_quantiles()
         result["service"] = service.report()
         result["shed_ids"] = report.shed_ids()
+        if service.flight is not None:
+            result["flight"] = {
+                "recorded": len(service.flight),
+                "dropped": service.flight.dropped,
+                "store": args.store_out,
+            }
         _finish_trace(args, service)
         return result
 
@@ -249,6 +263,10 @@ def main(argv: Optional[list] = None) -> int:
                    help="exit non-zero if p99 latency exceeds this (seconds)")
     p.add_argument("--trace-out", default=None,
                    help="export the serve-side observability trace here")
+    p.add_argument("--store-out", default=None, metavar="DIR",
+                   help="flight-record every request into the telemetry "
+                   "store at DIR (flushed at service stop; feed it to "
+                   "'python -m repro.obs slo')")
     p.add_argument("--json", action="store_true",
                    help="emit the machine-readable report")
     _add_service_opts(p)

@@ -1,0 +1,166 @@
+"""Lock-free flight recorder: per-request serve telemetry, live.
+
+A preallocated ring buffer riding inside
+:class:`~repro.serve.service.PredictionService`.  Every request that
+reaches admission leaves one row — per-stage latencies
+(admit/queue/compute/reply, microseconds), the exact reply latency the
+service's own quantile report uses (``reply_s``), the queue depth seen
+at admission, the batch it rode in, and a status code — without locks:
+the service records from the event-loop thread only (single writer),
+and a record is one tuple store into a preallocated list ring, a few
+hundred nanoseconds.  Columnar numpy conversion happens at flush time,
+off the hot path.
+
+Flushing converts the unflushed rows into one ``serve`` segment of a
+:class:`~repro.obs.store.TelemetryStore`.  The async :meth:`flush`
+pushes the file I/O off the event loop via ``run_in_executor`` (the
+S701 rule: no blocking I/O inside ``repro.serve`` coroutines);
+:meth:`flush_sync` is the synchronous core for non-async callers.
+Flush at quiescent points (after a drain, at service stop — the
+shipped hook): a flush racing live traffic can miss rows the ring
+overwrites mid-copy, which is the classic flight-recorder trade —
+bounded memory and zero hot-path cost over lossless capture.
+
+``reply_s`` is bitwise the float appended to
+``PredictionService.latencies``, which is what makes
+``p99(reply_s)`` over ingested rows reproduce
+``latency_quantiles()["p99"]`` exactly (sheds never reply: their rows
+carry ``reply_s = 0`` and a shed status, so filter ``status`` when
+aggregating latencies).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+import numpy as np
+
+#: Status codes of the ``status`` column (mirrored by
+#: :mod:`repro.obs.monitor`, which interprets them store-side).
+STATUS_OK = 0
+STATUS_SHED_RATE = 1
+STATUS_SHED_QUEUE = 2
+STATUS_EXPIRED = 3
+STATUS_ERROR = 4
+
+#: Column layout of one flight row == the ``serve`` dataset's schema.
+FLOAT_COLUMNS = (
+    "t_admit", "admit_us", "queue_us", "compute_us", "reply_us", "reply_s",
+)
+INT_COLUMNS = ("depth", "status", "batch")
+COLUMNS = FLOAT_COLUMNS + INT_COLUMNS
+
+
+class FlightRecorder:
+    """Single-writer ring buffer of per-request serve records.
+
+    ``capacity`` bounds memory; once exceeded, the oldest *unflushed*
+    rows are overwritten and counted in :attr:`dropped`.  ``store``
+    (optional) is where :meth:`flush` appends segments, under
+    ``dataset``.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        store: Optional[object] = None,
+        dataset: str = "serve",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.store = store
+        self.dataset = dataset
+        #: the ring: one COLUMNS-ordered tuple per recorded row
+        self._rows: list = [None] * capacity
+        #: total rows ever recorded (monotone absolute sequence)
+        self._seq = 0
+        #: absolute sequence already flushed to the store
+        self._flushed = 0
+        #: rows lost to ring wraparound before they could flush
+        self.dropped = 0
+
+    # -- recording (event-loop thread only) -----------------------------
+    def record(
+        self,
+        t_admit: float,
+        depth: int,
+        admit_us: float,
+        queue_us: float,
+        compute_us: float,
+        reply_us: float,
+        reply_s: float,
+        status: int,
+        batch: int,
+    ) -> None:
+        """Record one completed (replied) request."""
+        self._rows[self._seq % self.capacity] = (
+            t_admit, admit_us, queue_us, compute_us, reply_us, reply_s,
+            depth, status, batch,
+        )
+        self._seq += 1
+
+    def record_shed(
+        self, t_admit: float, depth: int, admit_us: float, status: int
+    ) -> None:
+        """Record one request shed at admission (it never replies)."""
+        self.record(
+            t_admit=t_admit,
+            depth=depth,
+            admit_us=admit_us,
+            queue_us=0.0,
+            compute_us=0.0,
+            reply_us=0.0,
+            reply_s=0.0,
+            status=status,
+            batch=0,
+        )
+
+    # -- reading / flushing ---------------------------------------------
+    def __len__(self) -> int:
+        return self._seq
+
+    @property
+    def pending(self) -> int:
+        """Unflushed rows still held in the ring (post-wrap survivors)."""
+        return min(self._seq - self._flushed, self.capacity)
+
+    def snapshot(self) -> Dict[str, np.ndarray]:
+        """The unflushed rows as numpy columns, oldest first."""
+        start = max(self._flushed, self._seq - self.capacity)
+        rows = [self._rows[i % self.capacity] for i in range(start, self._seq)]
+        out: Dict[str, np.ndarray] = {}
+        split = len(FLOAT_COLUMNS)
+        for j, name in enumerate(FLOAT_COLUMNS):
+            out[name] = np.array([row[j] for row in rows], dtype=np.float64)
+        for j, name in enumerate(INT_COLUMNS):
+            out[name] = np.array([row[split + j] for row in rows], dtype=np.int64)
+        return out
+
+    def flush_sync(self) -> Optional[str]:
+        """Append unflushed rows to the store; returns the segment id.
+
+        Synchronous (blocking I/O) — call from a worker thread or a
+        non-async context.  No store or no rows: returns None.
+        """
+        if self.store is None:
+            return None
+        start = max(self._flushed, self._seq - self.capacity)
+        self.dropped += start - self._flushed
+        if start == self._seq:
+            self._flushed = self._seq
+            return None
+        columns = self.snapshot()
+        segment = self.store.append(
+            self.dataset,
+            {name: columns[name] for name in COLUMNS},
+            meta={"source": "flight", "dropped": self.dropped},
+        )
+        self._flushed = self._seq
+        return segment
+
+    async def flush(self) -> Optional[str]:
+        """Flush off the event loop (default executor); see flush_sync."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.flush_sync)

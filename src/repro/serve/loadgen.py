@@ -155,6 +155,17 @@ class LoadgenReport:
             "throughput_rps": self.throughput,
         }
 
+    def ingest_into(self, store: Any, meta: Optional[Dict[str, Any]] = None) -> str:
+        """Append this run's client-side latencies to a telemetry store.
+
+        One ``loadgen`` segment: per-answered-request wall latencies in
+        submit order, with :meth:`summary` riding in the segment meta.
+        Returns the new segment id.
+        """
+        from ..obs.ingest import ingest_loadgen_report
+
+        return ingest_loadgen_report(store, self, meta=meta)
+
     def _account(self, envelope: Dict[str, Any], response: Dict[str, Any]) -> None:
         """Classify one response into the counters."""
         self.responses[envelope["id"]] = response

@@ -34,6 +34,7 @@ from ..core.parameters import ApplicationParams, ModelPlatformParams
 from ..core.prediction import predict_series
 from ..errors import ServeError
 from ..obs.metrics import MetricsRegistry
+from ..obs.query import percentile
 from ..obs.session import ObsSession
 from ..opal.complexes import get_complex
 from ..platforms import PLATFORMS, get_platform
@@ -41,6 +42,14 @@ from . import api
 from .admission import AdmissionController
 from .batcher import MicroBatcher
 from .calibstore import SOURCE_KEY_DATA, CalibrationStore
+from .flight import (
+    STATUS_ERROR,
+    STATUS_EXPIRED,
+    STATUS_OK,
+    STATUS_SHED_QUEUE,
+    STATUS_SHED_RATE,
+    FlightRecorder,
+)
 
 #: Span process name for every serve-side span.
 SERVE_PROC = "serve"
@@ -157,7 +166,10 @@ def _evaluate_jobs(jobs: List[_Job]) -> List[Dict[str, Any]]:
 class _Pending:
     """One admitted request waiting in the pipeline."""
 
-    __slots__ = ("request", "future", "enqueued", "expires")
+    __slots__ = (
+        "request", "future", "enqueued", "expires",
+        "depth", "admit_end", "t_batch", "t_compute", "t_done", "batch_size",
+    )
 
     def __init__(
         self,
@@ -165,11 +177,21 @@ class _Pending:
         future: "asyncio.Future[Dict[str, Any]]",
         enqueued: float,
         expires: Optional[float],
+        depth: int = 0,
+        admit_end: float = 0.0,
     ) -> None:
         self.request = request
         self.future = future
         self.enqueued = enqueued
         self.expires = expires
+        #: queue depth observed at admission (flight-recorder column)
+        self.depth = depth
+        #: per-stage timestamps, filled in as the request advances
+        self.admit_end = admit_end
+        self.t_batch = enqueued
+        self.t_compute = enqueued
+        self.t_done = enqueued
+        self.batch_size = 0
 
 
 class PredictionService:
@@ -180,10 +202,13 @@ class PredictionService:
         config: Optional[ServeConfig] = None,
         calibrations: Optional[CalibrationStore] = None,
         obs: Optional[ObsSession] = None,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         self.config = config or ServeConfig()
         self.calibrations = calibrations or CalibrationStore()
         self.obs = obs
+        #: optional flight recorder; every admitted request leaves a row
+        self.flight = flight
         self.metrics: MetricsRegistry = (
             obs.metrics if obs is not None else MetricsRegistry()
         )
@@ -220,6 +245,10 @@ class PredictionService:
             return
         await self.batcher.stop()
         await self.calibrations.drain()
+        if self.flight is not None:
+            # off-loop I/O (run_in_executor inside flush); the pipeline
+            # is drained, so the flush races no further recording
+            await self.flight.flush()
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
@@ -250,6 +279,24 @@ class PredictionService:
         self.latencies.append(latency)
         self.metrics.histogram("serve.latency_s").observe(latency)
         self._span("reply", now, now, detail=pending.request.id)
+        if self.flight is not None:
+            status = response.get("status")
+            code = (
+                STATUS_OK if status == api.OK
+                else STATUS_EXPIRED if status == api.DEADLINE_EXPIRED
+                else STATUS_ERROR
+            )
+            self.flight.record(
+                t_admit=pending.enqueued,
+                depth=pending.depth,
+                admit_us=(pending.admit_end - pending.enqueued) * 1e6,
+                queue_us=(pending.t_batch - pending.enqueued) * 1e6,
+                compute_us=(pending.t_done - pending.t_compute) * 1e6,
+                reply_us=(now - pending.t_done) * 1e6,
+                reply_s=latency,  # bitwise the float latencies[] holds
+                status=code,
+                batch=pending.batch_size,
+            )
 
     # ------------------------------------------------------------------
     async def submit(self, envelope: Any) -> Dict[str, Any]:
@@ -277,12 +324,21 @@ class PredictionService:
         # admission: rate by the stamped virtual arrival when present,
         # by the wall clock otherwise; queue bound by live queue depth
         admit_clock = request.arrival if request.arrival is not None else t_admit
-        verdict = self.admission.decide(
-            request.client, admit_clock, self.batcher.depth
-        )
-        self._span("admit", t_admit, loop.time(), detail=request.id)
+        depth = self.batcher.depth
+        verdict = self.admission.decide(request.client, admit_clock, depth)
+        t_admitted = loop.time()
+        self._span("admit", t_admit, t_admitted, detail=request.id)
         if verdict is not None:
             self.metrics.counter(f"serve.shed_{verdict}").inc()
+            if self.flight is not None:
+                self.flight.record_shed(
+                    t_admit=t_admit,
+                    depth=depth,
+                    admit_us=(t_admitted - t_admit) * 1e6,
+                    status=(
+                        STATUS_SHED_QUEUE if verdict == "queue" else STATUS_SHED_RATE
+                    ),
+                )
             return api.error_response(
                 request.id,
                 api.SHED,
@@ -299,7 +355,12 @@ class PredictionService:
 
         expires = t_admit + request.deadline if request.deadline is not None else None
         pending = _Pending(
-            request, loop.create_future(), enqueued=t_admit, expires=expires
+            request,
+            loop.create_future(),
+            enqueued=t_admit,
+            expires=expires,
+            depth=depth,
+            admit_end=t_admitted,
         )
         self.batcher.put(pending)
         self.metrics.gauge("serve.queue_depth").set(float(self.batcher.depth))
@@ -330,6 +391,10 @@ class PredictionService:
         self.metrics.histogram("serve.batch_occupancy").observe(len(batch))
         for pending in batch:
             self._span("queue", pending.enqueued, t_batch, detail=pending.request.id)
+            pending.t_batch = t_batch
+            pending.t_compute = t_batch
+            pending.t_done = t_batch
+            pending.batch_size = len(batch)
 
         live: List[_Pending] = []
         for pending in batch:
@@ -368,6 +433,8 @@ class PredictionService:
             )
             self.metrics.counter("serve.compute_points").inc(len(jobs))
             for pending, result in zip(live, results):
+                pending.t_compute = t_compute
+                pending.t_done = t_done
                 self._reply(
                     pending, api.ok_response(pending.request.id, result), t_done
                 )
@@ -414,16 +481,17 @@ class PredictionService:
 
     # ------------------------------------------------------------------
     def latency_quantiles(self) -> Dict[str, float]:
-        """p50/p95/p99 over every reply latency so far (0 when empty)."""
-        if not self.latencies:
-            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
-        ordered = sorted(self.latencies)
-        last = len(ordered) - 1
+        """p50/p95/p99 over every reply latency so far (0 when empty).
 
-        def q(frac: float) -> float:
-            return ordered[min(last, int(round(frac * last)))]
-
-        return {"p50": q(0.50), "p95": q(0.95), "p99": q(0.99)}
+        Uses the repo's one nearest-rank rule
+        (:func:`repro.obs.query.percentile`), so a store aggregate over
+        flight-recorded ``reply_s`` reproduces these numbers exactly.
+        """
+        return {
+            "p50": percentile(self.latencies, 0.50),
+            "p95": percentile(self.latencies, 0.95),
+            "p99": percentile(self.latencies, 0.99),
+        }
 
     def report(self) -> Dict[str, Any]:
         """Operational snapshot: admission, batching, latency, cache."""

@@ -197,3 +197,60 @@ def test_committed_baselines_are_schema_tagged():
     for p in baselines:
         payload = emit_mod.load(p)
         assert payload["records"], p
+
+
+# ----------------------------------------------------------------------
+# check_regression: --store mode
+# ----------------------------------------------------------------------
+def store_with(tmp_path, experiment, records):
+    from repro.obs.ingest import ingest_bench_payload
+    from repro.obs.store import TelemetryStore
+
+    root = tmp_path / "telemetry"
+    payload = {"schema": emit_mod.SCHEMA, "experiment": experiment,
+               "records": records}
+    ingest_bench_payload(TelemetryStore(root), payload)
+    return root
+
+
+def test_store_mode_reads_fresh_measurements(dirs, tmp_path):
+    base, out = dirs
+    write_payload(base / "PERF_a.json", [rec("x", "rate", 100.0, "events/s")])
+    store = store_with(tmp_path, "PERF_a", [rec("x", "rate", 101.0, "events/s")])
+    # no out/ file at all: the store is the only source, and it passes
+    assert run_gate(base, out, "--store", str(store)) == 0
+
+
+def test_store_mode_detects_regression(dirs, tmp_path):
+    base, out = dirs
+    write_payload(base / "PERF_a.json", [rec("x", "rate", 100.0, "events/s")])
+    store = store_with(tmp_path, "PERF_a", [rec("x", "rate", 50.0, "events/s")])
+    assert run_gate(base, out, "--store", str(store)) == 1
+
+
+def test_store_mode_falls_back_to_files(dirs, tmp_path):
+    base, out = dirs
+    write_payload(base / "PERF_a.json", [rec("x", "rate", 100.0, "events/s")])
+    write_payload(out / "PERF_a.json", [rec("x", "rate", 100.0, "events/s")])
+    # a store that exists but has never seen PERF_a -> file fallback
+    store = store_with(tmp_path, "PERF_other", [rec("y", "m", 1.0, "s")])
+    assert run_gate(base, out, "--store", str(store)) == 0
+    # a store directory that does not exist at all -> file fallback too
+    assert run_gate(base, out, "--store", str(tmp_path / "nope")) == 0
+
+
+def test_store_mode_uses_latest_emission(dirs, tmp_path):
+    from repro.obs.ingest import ingest_bench_payload
+    from repro.obs.store import TelemetryStore
+
+    base, out = dirs
+    write_payload(base / "PERF_a.json", [rec("x", "rate", 100.0, "events/s")])
+    root = tmp_path / "telemetry"
+    store = TelemetryStore(root)
+    for value in (40.0, 110.0):  # stale regression, then a fresh pass
+        ingest_bench_payload(
+            store,
+            {"schema": emit_mod.SCHEMA, "experiment": "PERF_a",
+             "records": [rec("x", "rate", value, "events/s")]},
+        )
+    assert run_gate(base, out, "--store", str(root)) == 0

@@ -1,0 +1,11 @@
+"""O402 flag fixture: hand-built instruments bypass the registry."""
+
+from repro.obs.metrics import Counter, Histogram
+
+
+def roll_your_own_telemetry():
+    requests = Counter("serve.requests")
+    latencies = Histogram("serve.latency_s")
+    requests.inc()
+    latencies.observe(0.004)
+    return requests, latencies

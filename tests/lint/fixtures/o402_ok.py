@@ -1,0 +1,17 @@
+"""O402 near-miss fixture: registry-obtained instruments and lookalikes."""
+
+from collections import Counter
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def registry_telemetry():
+    registry = MetricsRegistry()
+    registry.counter("serve.requests").inc()
+    registry.histogram("serve.latency_s").observe(0.004)
+    return registry
+
+
+def stdlib_counter_is_not_a_metric(words):
+    # collections.Counter shares the name, not the telemetry contract
+    return Counter(words)

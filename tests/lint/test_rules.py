@@ -35,6 +35,7 @@ ALL_CODES = [
     "M301",
     "M302",
     "O401",
+    "O402",
     "R501",
     "S601",
     "S602",

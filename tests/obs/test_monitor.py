@@ -1,0 +1,186 @@
+"""SLO window evaluation and EWMA/CUSUM drift detection."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.monitor import (
+    STATUS_OK,
+    STATUS_SHED_RATE,
+    SloBudget,
+    detect_drift,
+    evaluate_slo,
+    residual_drift,
+)
+from repro.obs.query import percentile
+from repro.obs.store import TelemetryStore
+
+
+def serve_rows(store, reply_s, status=None, depth=None):
+    n = len(reply_s)
+    store.append(
+        "serve",
+        {
+            "t_admit": [float(i) for i in range(n)],
+            "reply_s": reply_s,
+            "status": status or [STATUS_OK] * n,
+            "depth": depth or [1] * n,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# budgets
+# ----------------------------------------------------------------------
+def test_budget_from_file_roundtrip(tmp_path):
+    path = tmp_path / "budget.json"
+    path.write_text(json.dumps({"schema": "repro-slo/1", "p99_s": 0.5}))
+    budget = SloBudget.from_file(path)
+    assert budget.p99_s == 0.5
+    assert budget.p50_s is None
+    assert budget.as_dict()["p99_s"] == 0.5
+
+
+def test_budget_rejects_foreign_schema(tmp_path):
+    path = tmp_path / "budget.json"
+    path.write_text(json.dumps({"p99_s": 0.5}))
+    with pytest.raises(TelemetryError, match="schema tag"):
+        SloBudget.from_file(path)
+    with pytest.raises(TelemetryError, match="unreadable"):
+        SloBudget.from_file(tmp_path / "missing.json")
+
+
+# ----------------------------------------------------------------------
+# SLO windows
+# ----------------------------------------------------------------------
+def test_clean_history_within_budget_passes(tmp_path):
+    store = TelemetryStore(tmp_path)
+    serve_rows(store, [0.010] * 50)
+    report = evaluate_slo(store, SloBudget(p50_s=0.02, p99_s=0.05), window=20)
+    assert report.ok
+    assert report.windows  # a short history still yields verdicts
+    assert all(w.p99_s == 0.010 for w in report.windows)
+
+
+def test_latency_breach_is_window_local(tmp_path):
+    store = TelemetryStore(tmp_path)
+    # first 40 requests fast, last 10 slow: only trailing windows breach
+    serve_rows(store, [0.010] * 40 + [0.500] * 10)
+    report = evaluate_slo(store, SloBudget(p99_s=0.05), window=10, step=10)
+    assert not report.ok
+    breached = report.breached
+    assert breached and all(w.index >= 4 for w in breached)
+    assert any("p99" in b for w in breached for b in w.breaches)
+
+
+def test_shed_fraction_and_queue_depth_budgets(tmp_path):
+    store = TelemetryStore(tmp_path)
+    serve_rows(
+        store,
+        [0.01, 0.0, 0.01, 0.01],
+        status=[STATUS_OK, STATUS_SHED_RATE, STATUS_OK, STATUS_OK],
+        depth=[1, 900, 2, 1],
+    )
+    report = evaluate_slo(
+        store, SloBudget(shed_fraction=0.10, queue_depth=512), window=4
+    )
+    (window,) = report.windows
+    assert window.shed_fraction == 0.25
+    assert window.max_queue_depth == 900
+    assert len(window.breaches) == 2
+    # sheds never reply: their reply_s must not poison the quantiles
+    assert window.p50_s == 0.01
+
+
+def test_windows_order_by_admission_time(tmp_path):
+    store = TelemetryStore(tmp_path)
+    # appended out of order; t_admit sorting must reunite the burst
+    store.append(
+        "serve",
+        {
+            "t_admit": [3.0, 1.0, 2.0, 0.0],
+            "reply_s": [0.4, 0.01, 0.01, 0.01],
+            "status": [STATUS_OK] * 4,
+            "depth": [1] * 4,
+        },
+    )
+    report = evaluate_slo(store, SloBudget(p99_s=0.05), window=3, step=3)
+    # the first window is the three early arrivals, not the append head
+    assert report.windows[0].p99_s == 0.01
+    assert not report.ok  # the late 0.4s request breaches its window
+
+
+def test_report_shapes(tmp_path):
+    store = TelemetryStore(tmp_path)
+    serve_rows(store, [0.01] * 4)
+    report = evaluate_slo(store, SloBudget(p99_s=0.05), window=4)
+    payload = report.as_dict()
+    assert payload["schema"] == "repro-slo-report/1"
+    assert payload["ok"] is True
+    assert "SLO verdict" in report.render()
+    with pytest.raises(TelemetryError, match="window"):
+        evaluate_slo(store, SloBudget(), window=0)
+
+
+def test_window_quantiles_use_shared_percentile(tmp_path):
+    store = TelemetryStore(tmp_path)
+    values = [0.001 * (i + 1) for i in range(32)]
+    serve_rows(store, values)
+    report = evaluate_slo(store, SloBudget(), window=32)
+    assert report.windows[0].p99_s == percentile(values, 0.99)
+
+
+# ----------------------------------------------------------------------
+# drift
+# ----------------------------------------------------------------------
+def test_detect_drift_quiet_on_constant_history():
+    outcome = detect_drift([0.02] * 8)
+    assert outcome["flagged"] == 0.0
+    assert outcome["ewma_z"] == 0.0
+    assert outcome["cusum"] == 0.0
+
+
+def test_detect_drift_flags_step_change():
+    outcome = detect_drift([0.02] * 4 + [0.2] * 4)
+    assert outcome["flagged"] == 1.0
+    assert "ewma_z" in outcome["reason"] or "cusum" in outcome["reason"]
+
+
+def test_detect_drift_flags_slow_ramp():
+    series = [0.02 + 0.004 * i for i in range(12)]
+    outcome = detect_drift(series, burn=3)
+    assert outcome["flagged"] == 1.0
+
+
+def test_detect_drift_short_history_is_quiet():
+    assert detect_drift([])["flagged"] == 0.0
+    assert detect_drift([0.5])["flagged"] == 0.0
+    assert detect_drift([0.5, 0.6])["flagged"] == 0.0  # all burn-in
+
+
+def test_residual_drift_per_variable(tmp_path):
+    store = TelemetryStore(tmp_path)
+    # three clean batches, then a 10x regression in one variable only
+    for batch in range(4):
+        drifted = batch == 3
+        store.append(
+            "residuals",
+            {
+                "variable": ["comm", "comm", "update", "update"],
+                "relative": [
+                    0.20 if drifted else 0.02,
+                    0.22 if drifted else 0.02,
+                    0.01,
+                    0.01,
+                ],
+                "batch": [batch] * 4,
+            },
+        )
+    report = residual_drift(store, burn=3)
+    flagged = {v.variable for v in report.flagged}
+    assert flagged == {"comm"}
+    assert not report.ok
+    payload = report.as_dict()
+    assert payload["schema"] == "repro-drift-report/1"
+    assert "DRIFT" in report.render()

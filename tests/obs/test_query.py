@@ -1,0 +1,135 @@
+"""The query engine: where parsing, aggregates, group-by, projection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.query import (
+    parse_aggs,
+    parse_where,
+    percentile,
+    run_query,
+)
+from repro.obs.store import TelemetryStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    s = TelemetryStore(tmp_path)
+    s.append(
+        "cells",
+        {
+            "servers": [1, 2, 4, 8],
+            "total_s": [8.0, 4.5, 2.5, 1.5],
+            "cutoff": [10.0, float("nan"), 10.0, float("nan")],
+            "run": ["a", "b", "c", "d"],
+        },
+    )
+    return s
+
+
+def test_percentile_is_nearest_rank():
+    values = [3.0, 1.0, 2.0, 4.0]
+    assert percentile(values, 0.50) == 3.0  # round(0.5 * 3) == 2
+    assert percentile(values, 0.99) == 4.0
+    assert percentile(values, 0.0) == 1.0
+    assert percentile([], 0.99) == 0.0
+
+
+def test_where_conjunction_and_comma_both_split():
+    for text in ("servers>=2 and total_s<4.5", "servers>=2, total_s<4.5"):
+        clauses = parse_where(text)
+        assert [(c.column, c.op, c.value) for c in clauses] == [
+            ("servers", ">=", 2),
+            ("total_s", "<", 4.5),
+        ]
+
+
+def test_where_bad_clause_raises():
+    with pytest.raises(TelemetryError, match="unparseable where"):
+        parse_where("servers ~ 3")
+
+
+def test_agg_parsing_and_validation():
+    aggs = parse_aggs("count(), p99(total_s)")
+    assert [(a.func, a.column) for a in aggs] == [("count", ""), ("p99", "total_s")]
+    with pytest.raises(TelemetryError, match="unknown aggregate"):
+        parse_aggs("median(total_s)")
+    with pytest.raises(TelemetryError, match="needs a column"):
+        parse_aggs("mean()")
+
+
+def test_filter_and_aggregate(store):
+    result = run_query(
+        store, "cells", where="servers>=2", agg="count(), mean(total_s)"
+    )
+    assert result.matched == 3
+    assert result.aggregates["count()"] == 3.0
+    assert result.aggregates["mean(total_s)"] == pytest.approx((4.5 + 2.5 + 1.5) / 3)
+
+
+def test_nan_literal_matches_missing_cells(store):
+    assert run_query(store, "cells", where="cutoff==none").matched == 2
+    assert run_query(store, "cells", where="cutoff!=none").matched == 2
+    with pytest.raises(TelemetryError, match="float column"):
+        run_query(store, "cells", where="servers==none")
+
+
+def test_string_equality(store):
+    result = run_query(store, "cells", where="run==c", agg="max(servers)")
+    assert result.aggregates["max(servers)"] == 4.0
+
+
+def test_dataset_prefix_is_stripped(store):
+    result = run_query(store, "cells", where="cell.servers>=4", agg="count()")
+    assert result.aggregates["count()"] == 2.0
+
+
+def test_unknown_column_names_the_alternatives(store):
+    with pytest.raises(TelemetryError, match="no column"):
+        run_query(store, "cells", where="nope==1")
+
+
+def test_group_by(store):
+    result = run_query(store, "cells", agg="count(), min(total_s)", by="cutoff")
+    # NaN cutoffs group separately from 10.0
+    assert len(result.groups) >= 2
+    keyed = dict(result.groups)
+    assert keyed["10.0"]["count()"] == 2.0
+    assert keyed["10.0"]["min(total_s)"] == 2.5
+
+
+def test_projection_with_select_and_limit(store):
+    result = run_query(
+        store, "cells", select=["run", "total_s"], limit=2
+    )
+    assert list(result.table) == ["run", "total_s"]
+    assert result.table["run"] == ["a", "b"]
+    assert result.table["total_s"] == [8.0, 4.5]
+
+
+def test_aggregate_on_string_column_is_an_error(store):
+    with pytest.raises(TelemetryError, match="not numeric"):
+        run_query(store, "cells", agg="mean(run)")
+
+
+def test_quantile_aggregate_uses_shared_percentile(store):
+    result = run_query(store, "cells", agg="p50(total_s)")
+    table = store.scan("cells")
+    assert result.aggregates["p50(total_s)"] == percentile(table["total_s"], 0.50)
+
+
+def test_empty_match_aggregates_to_zero(store):
+    result = run_query(store, "cells", where="servers>100", agg="p99(total_s), count()")
+    assert result.matched == 0
+    assert result.aggregates["count()"] == 0.0
+    assert result.aggregates["p99(total_s)"] == 0.0
+
+
+def test_render_and_as_dict_cover_both_shapes(store):
+    flat = run_query(store, "cells", agg="count()")
+    assert "count()" in flat.render()
+    assert flat.as_dict()["aggregates"]["count()"] == 4.0
+    rows = run_query(store, "cells", select=["run"])
+    assert rows.as_dict()["rows"]["run"] == ["a", "b", "c", "d"]
+    assert "run" in rows.render()

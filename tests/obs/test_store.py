@@ -1,0 +1,128 @@
+"""TelemetryStore: append/scan round trips, atomicity, bit-identity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.obs.store import SCHEMA, TelemetryStore
+
+
+def test_append_scan_roundtrip_preserves_dtypes(tmp_path):
+    store = TelemetryStore(tmp_path)
+    sid = store.append(
+        "cells",
+        {
+            "servers": [1, 2, 4],
+            "total_s": [1.5, 0.9, 0.6],
+            "run": ["a", "b", "c"],
+        },
+    )
+    assert sid == "seg-000001"
+    table = store.scan("cells")
+    assert table["servers"].dtype.kind == "i"
+    assert table["total_s"].dtype.kind == "f"
+    assert table["run"].dtype.kind == "U"
+    assert list(table["servers"]) == [1, 2, 4]
+    assert list(table["run"]) == ["a", "b", "c"]
+
+
+def test_scan_concatenates_segments_in_append_order(tmp_path):
+    store = TelemetryStore(tmp_path)
+    store.append("serve", {"reply_s": [1.0, 2.0]})
+    store.append("serve", {"reply_s": [3.0]})
+    assert list(store.scan("serve")["reply_s"]) == [1.0, 2.0, 3.0]
+    assert store.rows("serve") == 3
+    assert len(store) == 2
+    assert store.version == 2
+
+
+def test_first_segment_fixes_the_column_set(tmp_path):
+    store = TelemetryStore(tmp_path)
+    store.append("cells", {"servers": [1], "total_s": [2.0]})
+    with pytest.raises(TelemetryError, match="has columns"):
+        store.append("cells", {"servers": [2]})
+
+
+def test_ragged_segment_rejected(tmp_path):
+    with pytest.raises(TelemetryError, match="ragged"):
+        TelemetryStore(tmp_path).append("cells", {"a": [1], "b": [1, 2]})
+
+
+def test_invalid_names_rejected(tmp_path):
+    store = TelemetryStore(tmp_path)
+    with pytest.raises(TelemetryError, match="invalid dataset"):
+        store.append("Cells", {"a": [1]})
+    with pytest.raises(TelemetryError, match="invalid column"):
+        store.append("cells", {"bad.name": [1]})
+
+
+def test_scan_of_missing_dataset_is_an_error(tmp_path):
+    store = TelemetryStore(tmp_path)
+    store.append("cells", {"a": [1]})
+    with pytest.raises(TelemetryError, match="no dataset"):
+        store.scan("serve")
+
+
+def test_reopen_sees_all_segments(tmp_path):
+    TelemetryStore(tmp_path).append("cells", {"a": [1, 2]})
+    again = TelemetryStore(tmp_path)
+    assert again.rows("cells") == 2
+    assert again.datasets() == ["cells"]
+    assert again.columns("cells") == ["a"]
+
+
+def test_foreign_manifest_refused(tmp_path):
+    (tmp_path / "manifest.json").write_text(json.dumps({"schema": "other/9"}))
+    with pytest.raises(TelemetryError, match="schema tag"):
+        TelemetryStore(tmp_path)
+
+
+def test_manifest_is_schema_tagged(tmp_path):
+    store = TelemetryStore(tmp_path)
+    store.append("cells", {"a": [1]})
+    manifest = json.loads((tmp_path / "manifest.json").read_text())
+    assert manifest["schema"] == SCHEMA
+    assert manifest["segments"][0]["dataset"] == "cells"
+    # no temp droppings from the atomic write protocol
+    assert list(tmp_path.glob(".*.tmp")) == []
+    assert list(tmp_path.glob("tmp-*")) == []
+
+
+def test_segment_meta_rides_in_the_manifest(tmp_path):
+    store = TelemetryStore(tmp_path)
+    store.append("bench", {"value": [1.0]}, meta={"experiment": "PERF_x"})
+    (entry,) = store.segments("bench")
+    assert entry["meta"] == {"experiment": "PERF_x"}
+
+
+def test_same_appends_bit_identical_digest(tmp_path):
+    columns = {"reply_s": [0.1, 0.2, 0.3], "status": [0, 0, 1]}
+    a = TelemetryStore(tmp_path / "a")
+    b = TelemetryStore(tmp_path / "b")
+    for store in (a, b):
+        store.append("serve", columns)
+        store.append("serve", columns)
+    assert a.content_digest() == b.content_digest()
+    b.append("serve", columns)
+    assert a.content_digest() != b.content_digest()
+
+
+def test_read_segment_columns_subset(tmp_path):
+    store = TelemetryStore(tmp_path)
+    sid = store.append("cells", {"a": [1], "b": [2.0]})
+    out = store.read_segment(sid, columns=["b"])
+    assert set(out) == {"b"}
+    with pytest.raises(TelemetryError, match="no column"):
+        store.read_segment(sid, columns=["z"])
+    with pytest.raises(TelemetryError, match="no segment"):
+        store.read_segment("seg-999999")
+
+
+def test_bool_columns_land_as_ints(tmp_path):
+    store = TelemetryStore(tmp_path)
+    store.append("cells", {"flag": [True, False]})
+    col = store.scan("cells")["flag"]
+    assert col.dtype == np.int64
+    assert list(col) == [1, 0]

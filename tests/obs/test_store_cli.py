@@ -1,0 +1,195 @@
+"""python -m repro.obs query/slo/drift/ingest and diff --fail-on-drift."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, SpanTracer, write_jsonl
+from repro.obs.cli import main
+from repro.obs.monitor import STATUS_OK
+from repro.obs.store import TelemetryStore
+
+
+@pytest.fixture
+def serve_store(tmp_path):
+    store = TelemetryStore(tmp_path / "store")
+    n = 16
+    store.append(
+        "serve",
+        {
+            "t_admit": [float(i) for i in range(n)],
+            "reply_s": [0.010] * (n - 1) + [0.900],
+            "status": [STATUS_OK] * n,
+            "depth": [2] * n,
+        },
+    )
+    return tmp_path / "store"
+
+
+def budget_file(tmp_path, **kwargs):
+    path = tmp_path / "budget.json"
+    path.write_text(json.dumps({"schema": "repro-slo/1", **kwargs}))
+    return path
+
+
+# ----------------------------------------------------------------------
+# query
+# ----------------------------------------------------------------------
+def test_query_aggregate_json(serve_store, capsys):
+    rc = main(
+        [
+            "query", str(serve_store), "serve",
+            "--where", "status==0",
+            "--agg", "count(), p99(reply_s)",
+            "--json",
+        ]
+    )
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["matched"] == 16
+    assert payload["aggregates"]["count()"] == 16.0
+
+
+def test_query_renders_rows(serve_store, capsys):
+    assert main(["query", str(serve_store), "serve", "--limit", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "matched rows: 16" in out
+
+
+def test_query_bad_where_exits_two(serve_store, capsys):
+    assert main(["query", str(serve_store), "serve", "--where", "x~1"]) == 2
+    assert "error:" in capsys.readouterr().out
+
+
+def test_query_missing_store_exits_two(tmp_path, capsys):
+    assert main(["query", str(tmp_path / "nope"), "serve"]) == 2
+    assert "no telemetry store" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# slo
+# ----------------------------------------------------------------------
+def test_slo_within_budget_exits_zero(serve_store, tmp_path, capsys):
+    budget = budget_file(tmp_path, p99_s=1.0)
+    assert main(["slo", str(serve_store), str(budget)]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_slo_breach_exits_one(serve_store, tmp_path, capsys):
+    budget = budget_file(tmp_path, p99_s=0.05)
+    assert main(["slo", str(serve_store), str(budget), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["schema"] == "repro-slo-report/1"
+
+
+def test_slo_bad_budget_exits_two(serve_store, tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"p99_s": 1.0}))
+    assert main(["slo", str(serve_store), str(bad)]) == 2
+    assert "error:" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# drift
+# ----------------------------------------------------------------------
+def residual_store(tmp_path, drifted):
+    store = TelemetryStore(tmp_path / "residuals")
+    for batch in range(5):
+        value = 0.3 if (drifted and batch >= 3) else 0.02
+        store.append(
+            "residuals",
+            {
+                "variable": ["comm", "update"],
+                "relative": [value, 0.01],
+                "batch": [batch, batch],
+            },
+        )
+    return tmp_path / "residuals"
+
+
+def test_drift_quiet_exits_zero(tmp_path, capsys):
+    root = residual_store(tmp_path, drifted=False)
+    assert main(["drift", str(root)]) == 0
+    assert "quiet" in capsys.readouterr().out
+
+
+def test_drift_flagged_exits_one(tmp_path, capsys):
+    root = residual_store(tmp_path, drifted=True)
+    assert main(["drift", str(root), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    flagged = [v for v in payload["variables"] if v["flagged"]]
+    assert [v["variable"] for v in flagged] == ["comm"]
+
+
+# ----------------------------------------------------------------------
+# ingest
+# ----------------------------------------------------------------------
+def test_ingest_bench_dir(tmp_path, capsys):
+    payload = {
+        "schema": "repro-bench/1",
+        "experiment": "PERF_x",
+        "records": [{"name": "a", "metric": "m", "value": 1.0, "units": "s"}],
+    }
+    src = tmp_path / "out"
+    src.mkdir()
+    (src / "PERF_x.json").write_text(json.dumps(payload))
+    root = tmp_path / "store"
+    assert main(["ingest", str(root), "bench", str(src)]) == 0
+    assert "bench:1" in capsys.readouterr().out
+    assert TelemetryStore(root).rows("bench") == 1
+
+
+def test_ingest_trace(tmp_path, capsys):
+    tracer = SpanTracer()
+    tracer.record("client", "compute", 0.0, 1.0)
+    trace = tmp_path / "t.trace.jsonl"
+    write_jsonl(tracer, trace, metrics=MetricsRegistry())
+    root = tmp_path / "store"
+    assert main(["ingest", str(root), "trace", str(trace)]) == 0
+    assert TelemetryStore(root).rows("spans") == 1
+
+
+def test_ingest_error_exits_two(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["ingest", str(tmp_path / "s"), "bench", str(empty)]) == 2
+    assert "error:" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# diff --fail-on-drift
+# ----------------------------------------------------------------------
+def trace_file(tmp_path, name, comm_seconds):
+    tracer = SpanTracer()
+    tracer.record("client", "compute", 0.0, 1.0)
+    tracer.record("client", "send", 1.0, 1.0 + comm_seconds)
+    path = tmp_path / name
+    write_jsonl(tracer, path, metrics=MetricsRegistry())
+    return path
+
+
+def test_diff_fail_on_drift_flags_shifted_variable(tmp_path, capsys):
+    a = trace_file(tmp_path, "a.trace.jsonl", comm_seconds=0.25)
+    b = trace_file(tmp_path, "b.trace.jsonl", comm_seconds=0.50)
+    rc = main(
+        ["diff", str(a), str(b), "--tolerance", "10", "--fail-on-drift"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "residual drift flagged on: comm" in out
+
+
+def test_diff_fail_on_drift_quiet_on_identical(tmp_path, capsys):
+    a = trace_file(tmp_path, "a.trace.jsonl", comm_seconds=0.25)
+    b = trace_file(tmp_path, "b.trace.jsonl", comm_seconds=0.25)
+    rc = main(["diff", str(a), str(b), "--fail-on-drift"])
+    assert rc == 0
+    assert "traces agree" in capsys.readouterr().out
+
+
+def test_diff_without_flag_ignores_drift(tmp_path):
+    a = trace_file(tmp_path, "a.trace.jsonl", comm_seconds=0.25)
+    b = trace_file(tmp_path, "b.trace.jsonl", comm_seconds=0.50)
+    assert main(["diff", str(a), str(b), "--tolerance", "10"]) == 0

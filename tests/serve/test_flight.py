@@ -1,0 +1,166 @@
+"""Flight recorder: ring semantics, flush, and live-service fidelity."""
+
+import asyncio
+
+import pytest
+
+from repro.obs.query import percentile, run_query
+from repro.obs.store import TelemetryStore
+from repro.serve import (
+    LoadSpec,
+    PredictionService,
+    ServeConfig,
+    build_schedule,
+    run_open_loop,
+)
+from repro.serve.flight import (
+    COLUMNS,
+    STATUS_OK,
+    STATUS_SHED_RATE,
+    FlightRecorder,
+)
+
+WIDE_OPEN = dict(max_queue_depth=100000, rate=1e9, burst=10**6)
+
+
+def fill(recorder, n, reply_s=0.01):
+    for i in range(n):
+        recorder.record(
+            t_admit=float(i), depth=i, admit_us=1.0, queue_us=2.0,
+            compute_us=3.0, reply_us=4.0, reply_s=reply_s, status=STATUS_OK,
+            batch=1,
+        )
+
+
+# ----------------------------------------------------------------------
+# ring semantics
+# ----------------------------------------------------------------------
+def test_snapshot_returns_rows_oldest_first():
+    r = FlightRecorder(capacity=8)
+    fill(r, 3)
+    snap = r.snapshot()
+    assert set(snap) == set(COLUMNS)
+    assert list(snap["t_admit"]) == [0.0, 1.0, 2.0]
+    assert list(snap["depth"]) == [0, 1, 2]
+    assert len(r) == 3 and r.pending == 3
+
+
+def test_wraparound_keeps_newest_and_counts_drops(tmp_path):
+    r = FlightRecorder(capacity=4, store=TelemetryStore(tmp_path))
+    fill(r, 6)
+    assert list(r.snapshot()["t_admit"]) == [2.0, 3.0, 4.0, 5.0]
+    r.flush_sync()
+    assert r.dropped == 2
+    assert r.pending == 0
+    assert r.store.rows("serve") == 4
+
+
+def test_record_shed_rows_never_reply():
+    r = FlightRecorder(capacity=4)
+    r.record_shed(t_admit=1.0, depth=7, admit_us=2.0, status=STATUS_SHED_RATE)
+    snap = r.snapshot()
+    assert snap["status"][0] == STATUS_SHED_RATE
+    assert snap["reply_s"][0] == 0.0
+    assert snap["batch"][0] == 0
+
+
+def test_flush_without_store_or_rows_is_a_noop(tmp_path):
+    assert FlightRecorder().flush_sync() is None
+    r = FlightRecorder(store=TelemetryStore(tmp_path))
+    assert r.flush_sync() is None  # nothing recorded yet
+    fill(r, 2)
+    first = r.flush_sync()
+    assert first is not None
+    assert r.flush_sync() is None  # nothing new since
+    fill(r, 1)
+    assert r.store.rows("serve") == 2
+    r.flush_sync()
+    assert r.store.rows("serve") == 3
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError, match="capacity"):
+        FlightRecorder(capacity=0)
+
+
+def test_async_flush_runs_off_loop(tmp_path):
+    r = FlightRecorder(store=TelemetryStore(tmp_path))
+    fill(r, 5)
+
+    async def go():
+        return await r.flush()
+
+    assert asyncio.run(go()) is not None
+    assert r.store.rows("serve") == 5
+
+
+# ----------------------------------------------------------------------
+# live service fidelity
+# ----------------------------------------------------------------------
+def run_flight_campaign(tmp_path, config_kwargs, spec):
+    store = TelemetryStore(tmp_path)
+    flight = FlightRecorder(store=store)
+
+    async def go():
+        config = ServeConfig(**config_kwargs)
+        async with PredictionService(config, flight=flight) as service:
+            report = await run_open_loop(service.submit, build_schedule(spec))
+            return report, service
+
+    report, service = asyncio.run(go())
+    return store, flight, report, service
+
+
+def test_store_quantiles_equal_service_report(tmp_path):
+    spec = LoadSpec(clients=8, requests_per_client=10, seed=5, sweep_fraction=0.3)
+    store, flight, report, service = run_flight_campaign(
+        tmp_path, dict(max_batch=64, **WIDE_OPEN), spec
+    )
+    assert len(flight) == report.sent
+    assert flight.pending == 0  # service stop flushed the ring
+    assert store.rows("serve") == report.sent
+
+    # the acceptance contract: store aggregates reproduce the service's
+    # own quantile report exactly (shared percentile, bitwise reply_s)
+    served = service.latency_quantiles()
+    result = run_query(
+        store,
+        "serve",
+        where="status!=1 and status!=2",
+        agg="p50(reply_s), p95(reply_s), p99(reply_s), count()",
+    )
+    assert result.aggregates["p50(reply_s)"] == served["p50"]
+    assert result.aggregates["p95(reply_s)"] == served["p95"]
+    assert result.aggregates["p99(reply_s)"] == served["p99"]
+    assert result.aggregates["count()"] == float(len(service.latencies))
+    assert result.aggregates["p99(reply_s)"] == percentile(service.latencies, 0.99)
+
+
+def test_shed_requests_leave_shed_rows(tmp_path):
+    spec = LoadSpec(clients=8, requests_per_client=10, seed=2)
+    store, flight, report, _service = run_flight_campaign(
+        tmp_path,
+        dict(max_batch=64, max_queue_depth=100000, rate=40.0, burst=4),
+        spec,
+    )
+    assert report.shed_rate > 0
+    table = store.scan("serve")
+    shed = run_query(store, "serve", where="status==1", agg="count()")
+    assert shed.aggregates["count()"] == float(report.shed_rate)
+    assert store.rows("serve") == report.sent
+    # shed rows never reply
+    assert float(table["reply_s"][table["status"] == 1].max()) == 0.0
+
+
+def test_flight_recording_does_not_change_answers(tmp_path):
+    spec = LoadSpec(clients=6, requests_per_client=6, seed=9, sweep_fraction=0.5)
+
+    async def plain():
+        async with PredictionService(ServeConfig(max_batch=64, **WIDE_OPEN)) as s:
+            return await run_open_loop(s.submit, build_schedule(spec))
+
+    baseline = asyncio.run(plain())
+    _store, _flight, report, _service = run_flight_campaign(
+        tmp_path, dict(max_batch=64, **WIDE_OPEN), spec
+    )
+    assert baseline.canonical_responses() == report.canonical_responses()
