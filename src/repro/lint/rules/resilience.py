@@ -10,6 +10,13 @@ Sciddle stack (:mod:`repro.sciddle.resilient`) exists to prevent.
   ``pvm_trecv`` discipline).  Service loops that block indefinitely *by
   design* — a server waits for work or shutdown forever — carry an
   inline ``# simlint: disable=R501`` stating that intent.
+* ``R502`` — the same discipline lifted to the serve fleet: an awaited
+  RPC in the router/fleet modules (forwarding a request, pinging a
+  worker, opening or reading a worker link) must be bounded — wrapped
+  in ``asyncio.wait_for(...)`` or carrying a ``timeout=`` argument —
+  because one wedged worker must cost the router a timeout, not the
+  whole front door.  Deliberately-unbounded reader loops carry inline
+  ``# simlint: disable=R502`` waivers.
 """
 
 from __future__ import annotations
@@ -60,4 +67,61 @@ class UnboundedRecvRule(Rule):
                 "discipline) so a dropped message or dead peer cannot wedge "
                 "the run, or mark a deliberately-unbounded service loop "
                 "with `# simlint: disable=R501`",
+            )
+
+
+#: Call names that cross a process boundary from the fleet router.
+_FLEET_RPC_METHODS = frozenset(
+    {
+        "request",
+        "ping",
+        "open_connection",
+        "readline",
+        "readexactly",
+        "readuntil",
+    }
+)
+
+#: Module stems R502 patrols (the fleet front-door layer).
+_FLEET_MODULE_STEMS = frozenset({"fleet", "router"})
+
+
+@rule
+class UnboundedFleetRpcRule(Rule):
+    """R502: router/fleet RPC awaits carry a timeout bound."""
+
+    code = "R502"
+    name = "unbounded-fleet-rpc"
+    summary = (
+        "an awaited worker RPC in the fleet router layer is not bounded "
+        "by asyncio.wait_for or a timeout=; one wedged worker stalls "
+        "the whole front door"
+    )
+    packages = ("serve",)
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag bare ``await x.rpc(...)`` in the fleet/router modules."""
+        if module.path.stem not in _FLEET_MODULE_STEMS:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Await):
+                continue
+            call = node.value
+            if not (
+                isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in _FLEET_RPC_METHODS
+            ):
+                continue
+            if any(kw.arg == "timeout" for kw in call.keywords):
+                continue
+            yield module.finding(
+                call,
+                self.code,
+                f"this awaited {call.func.attr}() crosses to a worker "
+                "with no bound: wrap it in asyncio.wait_for(...) (or "
+                "pass timeout=) so a wedged worker costs the router a "
+                "timeout and a retry, not the whole front door; a "
+                "deliberately-unbounded reader loop carries an inline "
+                "`# simlint: disable=R502` waiver",
             )

@@ -16,12 +16,15 @@ Store commands operate on a :mod:`repro.obs.store` directory:
 
 * ``query`` — predicate/projection/aggregation over one dataset
   (``--where 'cell.servers>=4' --agg 'p99(compute_us)'``);
-* ``slo`` — sliding-window SLO verdicts for the ``serve`` dataset
-  against a ``repro-slo/1`` budget file, exit 1 on any breach;
+* ``slo`` — sliding-window SLO verdicts for the ``serve`` (or, with
+  ``--dataset fleet``, router) history against a ``repro-slo/1``
+  budget file, exit 1 on any breach;
 * ``drift`` — EWMA/CUSUM drift verdicts over residual history, exit 1
   when any response variable drifted;
 * ``ingest`` — feed legacy telemetry (cache dirs, trace JSONL, bench
-  emissions) into the store.
+  emissions) into the store;
+* ``merge`` — fold several stores into one (the fleet's router and
+  per-worker stores join here before the SLO gate).
 
 ``slo``/``drift``/``query`` all take ``--json`` for machine-readable
 verdicts.
@@ -255,7 +258,8 @@ def _cmd_slo(args: argparse.Namespace) -> int:
     try:
         budget = SloBudget.from_file(args.budget)
         report = evaluate_slo(
-            store, budget, window=args.window, step=args.step
+            store, budget, window=args.window, step=args.step,
+            dataset=args.dataset,
         )
     except TelemetryError as exc:
         print(f"error: {exc}")
@@ -308,6 +312,29 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         f"ingested {source} -> {len(segments)} segment(s) "
         f"({', '.join(segments)}); store now holds "
         f"{', '.join(f'{d}:{store.rows(d)}' for d in store.datasets())}"
+    )
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    from ..errors import TelemetryError
+    from .ingest import merge_stores
+    from .store import TelemetryStore
+
+    destination = TelemetryStore(args.destination)  # created if new
+    datasets = args.datasets.split(",") if args.datasets else None
+    try:
+        segments = merge_stores(
+            destination, args.sources, datasets=datasets,
+            allow_missing=args.allow_missing,
+        )
+    except TelemetryError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(
+        f"merged {len(args.sources)} store(s) -> {len(segments)} segment(s); "
+        f"destination now holds "
+        f"{', '.join(f'{d}:{destination.rows(d)}' for d in destination.datasets())}"
     )
     return 0
 
@@ -394,9 +421,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--step", type=int, help="window stride (default: half a window)"
     )
     p_slo.add_argument(
+        "--dataset", default="serve",
+        help="dataset to judge: 'serve' (worker flight rows) or 'fleet' "
+        "(router rows); default serve",
+    )
+    p_slo.add_argument(
         "--json", action="store_true", help="machine-readable verdicts"
     )
     p_slo.set_defaults(func=_cmd_slo)
+
+    p_merge = sub.add_parser(
+        "merge",
+        help="fold several telemetry stores into one (fleet SLO join)",
+    )
+    p_merge.add_argument(
+        "destination", help="destination store directory (created if new)"
+    )
+    p_merge.add_argument(
+        "sources", nargs="+", help="source store directories, in merge order"
+    )
+    p_merge.add_argument(
+        "--datasets", default=None,
+        help="comma-separated datasets to copy (default: all)",
+    )
+    p_merge.add_argument(
+        "--allow-missing", action="store_true",
+        help="skip sources with no manifest (a chaos-killed worker "
+        "dies before its first flush)",
+    )
+    p_merge.set_defaults(func=_cmd_merge)
 
     p_drift = sub.add_parser(
         "drift",

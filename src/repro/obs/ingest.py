@@ -232,6 +232,58 @@ def ingest_bench_dir(
 
 
 # ----------------------------------------------------------------------
+# store-to-store merge (fleet telemetry consolidation)
+# ----------------------------------------------------------------------
+def merge_stores(
+    destination: TelemetryStore,
+    sources: Sequence[PathLike],
+    datasets: Optional[Sequence[str]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+    allow_missing: bool = False,
+) -> List[str]:
+    """Fold several telemetry stores into one (the fleet SLO join).
+
+    Every fleet member — the router and each worker incarnation —
+    writes its own store directory; the SLO gate wants one scan.  Each
+    source's segments append to ``destination`` in manifest order,
+    sources in the order given, so the merge is a pure function of the
+    source list.  ``datasets`` restricts which datasets copy (default:
+    all).  Segment meta is preserved and stamped with its origin store.
+    Returns the new segment ids.
+
+    ``allow_missing`` skips sources with no manifest instead of
+    failing — a chaos-killed worker legitimately dies before its first
+    flush, and the merge must still gather what the survivors wrote.
+    """
+    segments: List[str] = []
+    for source_path in sources:
+        root = pathlib.Path(source_path)
+        if not (root / "manifest.json").exists():
+            if allow_missing:
+                continue
+            raise TelemetryError(f"no telemetry store at {root}")
+        source = TelemetryStore(root)
+        for entry in source.segments():
+            if datasets is not None and entry["dataset"] not in datasets:
+                continue
+            columns = source.read_segment(entry["id"])
+            entry_meta = {
+                **(entry.get("meta") or {}),
+                "merged_from": str(root),
+                **(meta or {}),
+            }
+            segments.append(
+                destination.append(entry["dataset"], columns, meta=entry_meta)
+            )
+    if not segments:
+        raise TelemetryError(
+            "nothing to merge: no segments matched "
+            f"datasets={list(datasets) if datasets is not None else 'all'}"
+        )
+    return segments
+
+
+# ----------------------------------------------------------------------
 # serve loadgen
 # ----------------------------------------------------------------------
 def ingest_loadgen_report(

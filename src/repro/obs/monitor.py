@@ -46,6 +46,7 @@ STATUS_SHED_RATE = 1
 STATUS_SHED_QUEUE = 2
 STATUS_EXPIRED = 3
 STATUS_ERROR = 4
+STATUS_SHED_DRAIN = 5
 
 STATUS_NAMES = {
     STATUS_OK: "ok",
@@ -53,7 +54,11 @@ STATUS_NAMES = {
     STATUS_SHED_QUEUE: "shed_queue",
     STATUS_EXPIRED: "expired",
     STATUS_ERROR: "error",
+    STATUS_SHED_DRAIN: "shed_drain",
 }
+
+#: Statuses counted as shed by the SLO monitor (they never replied).
+SHED_STATUSES = (STATUS_SHED_RATE, STATUS_SHED_QUEUE, STATUS_SHED_DRAIN)
 
 
 # ----------------------------------------------------------------------
@@ -182,8 +187,9 @@ def _window_verdict(
     depth: np.ndarray,
     budget: SloBudget,
 ) -> WindowVerdict:
-    answered = reply_s[(status != STATUS_SHED_RATE) & (status != STATUS_SHED_QUEUE)]
-    shed = int(np.count_nonzero((status == STATUS_SHED_RATE) | (status == STATUS_SHED_QUEUE)))
+    shed_mask = np.isin(status, SHED_STATUSES)
+    answered = reply_s[~shed_mask]
+    shed = int(np.count_nonzero(shed_mask))
     verdict = WindowVerdict(
         index=index,
         requests=len(status),

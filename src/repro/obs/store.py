@@ -64,7 +64,9 @@ _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*$")
 
 #: The datasets the shipped adapters write (free-form names are still
 #: allowed; this is documentation, not a whitelist).
-KNOWN_DATASETS = ("cells", "residuals", "spans", "serve", "loadgen", "bench")
+KNOWN_DATASETS = (
+    "cells", "residuals", "spans", "serve", "fleet", "loadgen", "bench",
+)
 
 
 def _as_column(name: str, values: Sequence[Any]) -> np.ndarray:

@@ -98,8 +98,10 @@ class ServerHealth:
 
     A server is *dead* once ``death_threshold`` consecutive waits on it
     time out, or when :meth:`mark_dead` is called directly (e.g. from a
-    cluster crash-detection listener).  Death is permanent and fires
-    each registered listener exactly once per server.
+    cluster crash-detection listener).  Death is permanent for the
+    incarnation that died — only a supervisor that has respawned a
+    fresh incarnation at the same slot may :meth:`revive` it — and
+    fires each registered listener exactly once per death.
     """
 
     def __init__(self, death_threshold: int = 3) -> None:
@@ -144,6 +146,18 @@ class ServerHealth:
         self._dead.add(tid)
         for listener in list(self._listeners):
             listener(tid)
+
+    def revive(self, tid: int) -> None:
+        """Return a respawned server to rotation with a clean ledger.
+
+        The supervisor's declaration that a *fresh incarnation* now
+        answers at slot ``tid``: clears the death mark and the
+        consecutive-timeout counter.  If the new incarnation dies too,
+        listeners fire again — one notification per death, not per
+        slot.
+        """
+        self._dead.discard(tid)
+        self._consecutive[tid] = 0
 
 
 class ResilientSciddleClient(SciddleClient):

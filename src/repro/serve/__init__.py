@@ -16,6 +16,12 @@ Layers: :mod:`~repro.serve.api` (wire schema) →
 :mod:`~repro.serve.calibstore` feeding calibrated coefficients and
 :mod:`~repro.serve.loadgen` driving reproducible campaigns.
 See docs/SERVING.md for the architecture and ops runbook.
+
+Above the single-process service sits the fault-tolerant fleet tier:
+:mod:`~repro.serve.hashring` (consistent hashing of compute cells) →
+:mod:`~repro.serve.router` (front-door admission, health-checked
+failover, retries) → :mod:`~repro.serve.fleet` (worker subprocess
+supervision, respawn, graceful drain).  See docs/FLEET.md.
 """
 
 from .admission import AdmissionController, AdmissionStats, TokenBucket
@@ -31,7 +37,17 @@ from .api import (
 )
 from .batcher import MicroBatcher
 from .calibstore import CalibrationStore
+from .fleet import FleetSpec, ServeFleet, WorkerProc
+from .hashring import HashRing, ring_hash
 from .loadgen import LoadSpec, LoadgenReport, build_schedule, run_open_loop
+from .router import (
+    FleetConfig,
+    FleetRecorder,
+    FleetRouter,
+    InProcessWorker,
+    TcpWorkerClient,
+    WorkerStats,
+)
 from .server import ServeClient, ServeServer, TcpServeClient, http_get, http_post
 from .service import PredictionService, ServeConfig
 
@@ -39,6 +55,12 @@ __all__ = [
     "AdmissionController",
     "AdmissionStats",
     "CalibrationStore",
+    "FleetConfig",
+    "FleetRecorder",
+    "FleetRouter",
+    "FleetSpec",
+    "HashRing",
+    "InProcessWorker",
     "LoadSpec",
     "LoadgenReport",
     "MicroBatcher",
@@ -47,10 +69,14 @@ __all__ = [
     "Request",
     "ServeClient",
     "ServeConfig",
+    "ServeFleet",
     "ServeServer",
     "TcpServeClient",
+    "TcpWorkerClient",
     "TokenBucket",
     "WIRE_VERSION",
+    "WorkerProc",
+    "WorkerStats",
     "build_schedule",
     "canonical",
     "error_response",
@@ -59,5 +85,6 @@ __all__ = [
     "is_ok",
     "ok_response",
     "parse_request",
+    "ring_hash",
     "run_open_loop",
 ]

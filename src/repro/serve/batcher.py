@@ -65,12 +65,37 @@ class MicroBatcher:
             self._task = asyncio.get_running_loop().create_task(self._run())
 
     async def stop(self) -> None:
-        """Drain remaining items, dispatch them, and stop the loop."""
+        """Drain remaining items, dispatch them, and stop the loop.
+
+        Items that race the stop sentinel — ``put()`` after the sentinel
+        was enqueued — are *not* dispatched; the caller must collect
+        them with :meth:`drain_pending` and answer them itself, or their
+        futures hang forever.
+        """
         if self._task is None:
             return
         self.queue.put_nowait(_STOP)
         await self._task
         self._task = None
+
+    def drain_pending(self) -> List[Any]:
+        """Remove and return every item still queued after :meth:`stop`.
+
+        The batch loop dispatches everything *ahead* of the stop
+        sentinel, but an item enqueued concurrently with ``stop()`` can
+        land behind it and would otherwise never be picked into a
+        batch.  Call this after ``stop()`` returns and answer the
+        leftovers deterministically (the service sheds them with a 429
+        ``shed:drain``).
+        """
+        leftovers: List[Any] = []
+        while True:
+            try:
+                item = self.queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return leftovers
+            if item is not _STOP:
+                leftovers.append(item)
 
     # ------------------------------------------------------------------
     async def _fill(self, batch: List[Any]) -> bool:

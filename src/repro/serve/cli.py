@@ -1,27 +1,38 @@
-"""``python -m repro.serve`` — serve, query and bench commands.
+"""``python -m repro.serve`` — serve, fleet, query and bench commands.
 
 Commands
 --------
 ``serve``  run the TCP/HTTP prediction server in the foreground
+``fleet``  run a multi-worker fleet behind one front-door router port
 ``query``  answer one query (in-process by default, or against a server)
 ``bench``  drive a seeded load-generator campaign and report/assert
 
 ``bench`` is also the CI smoke runner: ``--fail-on-shed`` and
 ``--p99-budget`` turn the report into assertions, and ``--json`` emits
-the machine-readable result the workflow archives.
+the machine-readable result the workflow archives.  ``bench --fleet N``
+drives the same seeded campaign through a worker fleet, and the chaos
+knobs (``--kill-worker``/``--abort-after``/``--oracle``) make it the
+CI fleet-chaos runner: kill a worker mid-burst, then check every
+completed response bit-identical against a serial single-process run.
+
+``serve`` and ``fleet`` drain gracefully on SIGTERM/SIGINT: queued
+requests are answered or shed with 429 ``shed:drain``, and telemetry
+stores flush before exit.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import json
+import signal
 import sys
 from typing import Any, Dict, Optional
 
 from . import api
 from .calibstore import CalibrationStore
-from .loadgen import LoadSpec, build_schedule, run_open_loop
+from .loadgen import LoadgenReport, LoadSpec, build_schedule, run_open_loop
 from .server import ServeClient, ServeServer, TcpServeClient
 from .service import PredictionService, ServeConfig
 
@@ -82,8 +93,24 @@ def _finish_trace(args: argparse.Namespace, service: PredictionService) -> None:
 
 
 # ----------------------------------------------------------------------
+async def _wait_for_shutdown() -> None:
+    """Block until SIGTERM/SIGINT; unhooks the handlers on the way out."""
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    hooked = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(signum, stop.set)
+            hooked.append(signum)
+    try:
+        await stop.wait()
+    finally:
+        for signum in hooked:
+            loop.remove_signal_handler(signum)
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run the prediction server until interrupted."""
+    """Run the prediction server until SIGTERM/SIGINT, then drain."""
 
     async def run() -> None:
         service = _build_service(args)
@@ -93,7 +120,54 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 f"(NDJSON + HTTP; POST /v1/query, GET /healthz)",
                 flush=True,
             )
-            await server.serve_forever()
+            # exiting the context drains: queued requests answer or
+            # shed with 429 shed:drain, and the flight store flushes
+            await _wait_for_shutdown()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    except BrokenPipeError:
+        # stdout reader vanished (supervisor torn down mid-spawn)
+        return 0
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run a worker fleet behind one front-door port until SIGTERM."""
+    from .fleet import FleetSpec, ServeFleet
+    from .router import FleetConfig
+
+    spec = FleetSpec(
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        store_root=args.store_out,
+        max_batch=args.max_batch,
+        max_linger=args.max_linger,
+        config=FleetConfig(
+            rate=args.admit_rate,
+            burst=args.burst,
+            max_queue_depth=args.queue_depth,
+            heartbeat=args.heartbeat,
+            seed=args.seed,
+        ),
+    )
+
+    async def run() -> None:
+        async with ServeFleet(spec) as fleet:
+            assert fleet.router is not None
+            server = ServeServer(fleet.router, host=args.host, port=args.port)
+            # the fleet owns router lifecycle; hand the server a started
+            # router so its stop() path is the idempotent second call
+            async with server:
+                print(
+                    f"fleet of {spec.workers} serving on "
+                    f"{args.host}:{server.bound_port} "
+                    f"(NDJSON + HTTP; POST /v1/query, GET /healthz)",
+                    flush=True,
+                )
+                await _wait_for_shutdown()
 
     try:
         asyncio.run(run())
@@ -146,6 +220,111 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+async def _oracle_responses(
+    args: argparse.Namespace, schedule: list
+) -> Dict[str, Dict[str, Any]]:
+    """Serve the schedule serially in-process, admission wide open.
+
+    The bit-identity oracle for the fleet bench: deadlines are
+    stripped and nothing sheds, so every id gets its pure-function
+    answer.  Fleet-completed responses must match these bit for bit.
+    """
+    config = ServeConfig(
+        max_batch=args.max_batch,
+        max_linger=args.max_linger,
+        max_queue_depth=10**6,
+        rate=1e9,
+        burst=10**6,
+    )
+    service = PredictionService(
+        config=config, calibrations=CalibrationStore(cache_dir=args.cache_dir)
+    )
+    relaxed = []
+    for envelope in schedule:
+        clean = dict(envelope)
+        clean.pop("deadline", None)
+        relaxed.append(clean)
+    async with service:
+        report = await run_open_loop(ServeClient(service).request, relaxed)
+    return report.responses
+
+
+def _bit_identity_check(
+    fleet_report: LoadgenReport, oracle: Dict[str, Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Compare every fleet-completed (200) response against the oracle."""
+    compared = 0
+    mismatched = []
+    for rid, response in sorted(fleet_report.responses.items()):
+        if response.get("status") != api.OK:
+            continue
+        compared += 1
+        if api.canonical(response) != api.canonical(oracle.get(rid)):
+            mismatched.append(rid)
+    return {
+        "compared": compared,
+        "corrupted": len(mismatched),
+        "mismatched_ids": mismatched[:10],
+    }
+
+
+def _bench_fleet(args: argparse.Namespace, spec: LoadSpec) -> Dict[str, Any]:
+    """The ``bench --fleet N`` campaign: chaos taps + bit-identity oracle."""
+    from .fleet import FleetSpec, ServeFleet
+    from .router import FleetConfig
+
+    fleet_spec = FleetSpec(
+        workers=args.fleet,
+        cache_dir=args.cache_dir,
+        store_root=args.store_out,
+        max_batch=args.max_batch,
+        max_linger=args.max_linger,
+        config=FleetConfig(
+            rate=args.admit_rate,
+            burst=args.burst,
+            max_queue_depth=args.queue_depth,
+            seed=args.seed,
+        ),
+    )
+    schedule = build_schedule(spec)
+    abort_after = args.abort_after
+    if args.kill_worker is not None and abort_after is None:
+        abort_after = len(schedule) // 2
+
+    async def run() -> Dict[str, Any]:
+        async with ServeFleet(fleet_spec) as fleet:
+            router = fleet.router
+            assert router is not None
+
+            async def chaos() -> None:
+                fleet.kill_worker(args.kill_worker)
+
+            report = await run_open_loop(
+                router.submit,
+                schedule,
+                pace=args.pace,
+                abort_after=abort_after,
+                abort=chaos if args.kill_worker is not None else None,
+            )
+            report.per_worker = router.worker_report()
+            result: Dict[str, Any] = report.summary()
+            result["latency"] = router.latency_quantiles()
+            result["fleet"] = fleet.report()
+            result["shed_ids"] = report.shed_ids()
+            if args.store_out is not None:
+                result["flight"] = {
+                    "recorded": len(router.records),
+                    "stores": fleet.store_dirs(),
+                }
+        if args.oracle:
+            result["oracle"] = _bit_identity_check(
+                report, await _oracle_responses(args, schedule)
+            )
+        return result
+
+    return asyncio.run(run())
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run a seeded load campaign in-process; report and assert."""
     spec = LoadSpec(
@@ -178,7 +357,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         _finish_trace(args, service)
         return result
 
-    result = asyncio.run(run())
+    if args.fleet:
+        result = _bench_fleet(args, spec)
+    else:
+        result = asyncio.run(run())
     failures = []
     if args.fail_on_shed and (result["shed_rate"] or result["shed_queue"]):
         failures.append(
@@ -189,13 +371,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
         failures.append(
             f"p99 {result['latency']['p99']:.6f}s over budget {args.p99_budget}s"
         )
+    if result.get("oracle", {}).get("corrupted"):
+        failures.append(
+            f"{result['oracle']['corrupted']} completed response(s) differ "
+            f"from the serial oracle (first: "
+            f"{result['oracle']['mismatched_ids'][:3]})"
+        )
     if args.json:
         print(json.dumps(result, indent=2, sort_keys=True))
     else:
         lat = result["latency"]
         print(
             f"sent {result['sent']}  ok {result['ok']}  "
-            f"shed {result['shed_rate']}+{result['shed_queue']}  "
+            f"shed {result['shed_rate']}+{result['shed_queue']}"
+            f"+{result.get('shed_drain', 0)}  "
             f"expired {result['expired']}  errors {result['errors']}"
         )
         print(
@@ -203,8 +392,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"req/s  p50 {lat['p50'] * 1e3:.2f}ms  p95 {lat['p95'] * 1e3:.2f}ms  "
             f"p99 {lat['p99'] * 1e3:.2f}ms"
         )
-        occupancy = result["service"]["mean_occupancy"]
-        print(f"batches {result['service']['batches']}  mean occupancy {occupancy:.1f}")
+        if "service" in result:
+            occupancy = result["service"]["mean_occupancy"]
+            print(
+                f"batches {result['service']['batches']}  "
+                f"mean occupancy {occupancy:.1f}"
+            )
+        for worker, tallies in result.get("per_worker", {}).items():
+            print(
+                f"{worker}: forwarded {tallies['forwarded']}  "
+                f"completed {tallies['completed']}  retried {tallies['retried']}  "
+                f"failed {tallies['failed']}  shed {tallies['shed']}"
+            )
+        if "oracle" in result:
+            print(
+                f"oracle: compared {result['oracle']['compared']}  "
+                f"corrupted {result['oracle']['corrupted']}"
+            )
     for failure in failures:
         print(f"BENCH FAILURE: {failure}", file=sys.stderr)
     return 1 if failures else 0
@@ -222,8 +426,28 @@ def main(argv: Optional[list] = None) -> int:
     p = sub.add_parser("serve", help="run the TCP/HTTP server in the foreground")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8123)
+    p.add_argument("--store-out", default=None, metavar="DIR",
+                   help="flight-record every request into the telemetry "
+                   "store at DIR (flushed on graceful shutdown)")
     _add_service_opts(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "fleet",
+        help="run a multi-worker fleet behind one front-door router port",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8123)
+    p.add_argument("--workers", type=int, default=3,
+                   help="number of serve worker processes")
+    p.add_argument("--heartbeat", type=float, default=0.25,
+                   help="seconds between worker health pings (0 disables)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed of the router's retry-backoff jitter stream")
+    p.add_argument("--store-out", default=None, metavar="DIR",
+                   help="telemetry store root (router + per-worker stores)")
+    _add_service_opts(p)
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("query", help="answer one query and print JSON")
     p.add_argument("--kind", choices=api.KINDS, default="predict")
@@ -269,6 +493,19 @@ def main(argv: Optional[list] = None) -> int:
                    "'python -m repro.obs slo')")
     p.add_argument("--json", action="store_true",
                    help="emit the machine-readable report")
+    p.add_argument("--fleet", type=int, default=0, metavar="N",
+                   help="drive the campaign through an N-worker fleet "
+                   "instead of one in-process service")
+    p.add_argument("--kill-worker", type=int, default=None, metavar="SLOT",
+                   help="chaos tap: SIGKILL this worker slot mid-burst "
+                   "(fleet mode only)")
+    p.add_argument("--abort-after", type=int, default=None, metavar="N",
+                   help="fire the chaos tap after exactly N submissions "
+                   "(default: half the schedule)")
+    p.add_argument("--oracle", action="store_true",
+                   help="fleet mode: replay the schedule through a serial "
+                   "in-process service and require every completed "
+                   "response to be bit-identical")
     _add_service_opts(p)
     p.set_defaults(func=cmd_bench)
 

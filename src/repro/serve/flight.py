@@ -43,6 +43,7 @@ STATUS_SHED_RATE = 1
 STATUS_SHED_QUEUE = 2
 STATUS_EXPIRED = 3
 STATUS_ERROR = 4
+STATUS_SHED_DRAIN = 5
 
 #: Column layout of one flight row == the ``serve`` dataset's schema.
 FLOAT_COLUMNS = (

@@ -110,6 +110,8 @@ class LoadgenReport:
     ok: int = 0
     shed_rate: int = 0
     shed_queue: int = 0
+    #: requests shed because the service/fleet was draining for shutdown
+    shed_drain: int = 0
     expired: int = 0
     errors: int = 0
     #: wall-clock duration of the whole run (seconds)
@@ -118,6 +120,9 @@ class LoadgenReport:
     latencies: List[float] = field(default_factory=list)
     #: response envelopes keyed by request id
     responses: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: per-worker routing tallies, filled by the fleet bench
+    #: (``{"w0": {"forwarded": ..., "completed": ..., ...}}``)
+    per_worker: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -144,16 +149,20 @@ class LoadgenReport:
 
     def summary(self) -> Dict[str, Any]:
         """The report as JSON-able data (without raw responses)."""
-        return {
+        summary: Dict[str, Any] = {
             "sent": self.sent,
             "ok": self.ok,
             "shed_rate": self.shed_rate,
             "shed_queue": self.shed_queue,
+            "shed_drain": self.shed_drain,
             "expired": self.expired,
             "errors": self.errors,
             "wall_s": self.wall,
             "throughput_rps": self.throughput,
         }
+        if self.per_worker:
+            summary["per_worker"] = self.per_worker
+        return summary
 
     def ingest_into(self, store: Any, meta: Optional[Dict[str, Any]] = None) -> str:
         """Append this run's client-side latencies to a telemetry store.
@@ -176,6 +185,8 @@ class LoadgenReport:
             reason = response.get("error", {}).get("reason", "")
             if reason == "shed:queue":
                 self.shed_queue += 1
+            elif reason == "shed:drain":
+                self.shed_drain += 1
             else:
                 self.shed_rate += 1
         elif status == api.DEADLINE_EXPIRED:
@@ -189,6 +200,8 @@ async def run_open_loop(
     schedule: List[Dict[str, Any]],
     pace: bool = False,
     time_scale: float = 1.0,
+    abort_after: Optional[int] = None,
+    abort: Optional[Callable[[], Awaitable[None]]] = None,
 ) -> LoadgenReport:
     """Drive one schedule through ``submit``; returns the tally.
 
@@ -198,6 +211,12 @@ async def run_open_loop(
     sleeps until each request's virtual arrival (divided by
     ``time_scale`` — 2.0 replays twice as fast), making client-side
     latencies meaningful.
+
+    ``abort_after``/``abort`` is the fault-injection tap for chaos
+    campaigns: once exactly ``abort_after`` requests have been
+    submitted, the ``abort`` coroutine fires (kill a worker, stall a
+    link, ...) before any further submissions — the same schedule
+    position every run, so the fault lands deterministically.
     """
     loop = asyncio.get_running_loop()
     report = LoadgenReport()
@@ -218,6 +237,8 @@ async def run_open_loop(
                 await asyncio.sleep(delay)
         tasks.append(loop.create_task(fire(envelope)))
         report.sent += 1
+        if abort is not None and report.sent == abort_after:
+            await abort()
     if tasks:
         await asyncio.gather(*tasks)
     report.wall = loop.time() - t0

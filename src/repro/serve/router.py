@@ -1,0 +1,845 @@
+"""Fleet front door: consistent-hash routing with health-checked failover.
+
+:class:`FleetRouter` exposes the exact ``start()/stop()/submit()``
+surface of :class:`~repro.serve.service.PredictionService`, so the
+existing transports (:class:`~repro.serve.server.ServeServer`) and the
+load generator drive a fleet without changes.  Behind that surface one
+request flows: fleet-wide admission (the single-process token buckets
+lifted to the front door) → consistent-hash shard by compute cell
+(:mod:`repro.serve.hashring`) → forward over a pipelined worker link →
+retry with capped jittered exponential backoff against surviving
+workers on timeout or connection loss.
+
+Robustness semantics reuse the Sciddle middleware vocabulary
+(:mod:`repro.sciddle.resilient`): :class:`RetryPolicy` bounds every
+forward with a deadline and caps the retransmission budget, and
+:class:`ServerHealth` ostracizes a worker after
+``death_threshold`` consecutive timeouts (a torn connection is an
+immediate death).  Every serve query is idempotent — responses are
+pure functions of the query — so retrying against a different worker
+returns byte-identical answers, which is the fleet's bit-identity
+guarantee (docs/FLEET.md).
+
+Death fires the ring rebalance implicitly: the dead slot's virtual
+points stay on the ring but :meth:`HashRing.owner` skips them, so only
+its keys move, each to the next live successor.  With a ``respawn_fn``
+the router supervises recovery — the respawned incarnation keeps its
+slot id, reclaims its exact ring points, and (with a shared
+calibration ``cache_dir``) reloads calibrations warm.
+
+Observability: per-worker ``serve.fleet.*`` counters, router spans on
+the ``fleet`` process, and one per-request row in the ``fleet``
+dataset of a :class:`~repro.obs.store.TelemetryStore` —
+SLO-compatible columns (``t_admit``/``status``/``reply_s``/``depth``)
+plus the worker slot and attempt count, so ``obs slo --dataset fleet``
+gates a chaos burst end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ServeError
+from ..obs.metrics import MetricsRegistry
+from ..obs.session import ObsSession
+from ..sciddle.resilient import RetryPolicy, ServerHealth
+from . import api
+from .admission import AdmissionController
+from .flight import (
+    STATUS_ERROR,
+    STATUS_EXPIRED,
+    STATUS_OK,
+    STATUS_SHED_DRAIN,
+    STATUS_SHED_QUEUE,
+    STATUS_SHED_RATE,
+)
+from .hashring import HashRing
+from .service import platform_catalog
+
+#: Span process name for every router-side span.
+FLEET_PROC = "fleet"
+
+#: Sentinel worker column value for requests never forwarded.
+NO_WORKER = -1
+
+#: Column layout of one router flight row == the ``fleet`` dataset.
+#: The first four are what ``evaluate_slo(dataset="fleet")`` scans.
+FLEET_FLOAT_COLUMNS = ("t_admit", "admit_us", "reply_s")
+FLEET_INT_COLUMNS = ("depth", "status", "worker", "attempts")
+FLEET_COLUMNS = FLEET_FLOAT_COLUMNS + FLEET_INT_COLUMNS
+
+
+def _response_status_code(response: Dict[str, Any]) -> int:
+    """Map a response envelope onto the flight-recorder status codes."""
+    status = response.get("status")
+    if status == api.OK:
+        return STATUS_OK
+    if status == api.DEADLINE_EXPIRED:
+        return STATUS_EXPIRED
+    if status == api.SHED:
+        reason = response.get("error", {}).get("reason", "")
+        if reason == "shed:queue":
+            return STATUS_SHED_QUEUE
+        if reason == "shed:drain":
+            return STATUS_SHED_DRAIN
+        return STATUS_SHED_RATE
+    return STATUS_ERROR
+
+
+class FleetRecorder:
+    """Single-writer per-request router telemetry (``fleet`` dataset).
+
+    The router records from the event-loop thread only; rows buffer in
+    memory and flush as one segment at drain/stop (the same quiescent
+    -point contract as :class:`~repro.serve.flight.FlightRecorder`).
+    """
+
+    def __init__(self, store: Optional[Any] = None, dataset: str = "fleet") -> None:
+        self.store = store
+        self.dataset = dataset
+        self._rows: List[Tuple[Any, ...]] = []
+
+    def record(
+        self,
+        t_admit: float,
+        admit_us: float,
+        reply_s: float,
+        depth: int,
+        status: int,
+        worker: int,
+        attempts: int,
+    ) -> None:
+        """Record one routed (or shed) request."""
+        self._rows.append(
+            (t_admit, admit_us, reply_s, depth, status, worker, attempts)
+        )
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def flush_sync(self) -> Optional[str]:
+        """Append buffered rows as one segment; returns the segment id."""
+        if self.store is None or not self._rows:
+            return None
+        rows = self._rows
+        self._rows = []
+        columns: Dict[str, np.ndarray] = {}
+        split = len(FLEET_FLOAT_COLUMNS)
+        for j, name in enumerate(FLEET_FLOAT_COLUMNS):
+            columns[name] = np.array([r[j] for r in rows], dtype=np.float64)
+        for j, name in enumerate(FLEET_INT_COLUMNS):
+            columns[name] = np.array([r[split + j] for r in rows], dtype=np.int64)
+        segment: str = self.store.append(
+            self.dataset, columns, meta={"source": "fleet-router"}
+        )
+        return segment
+
+    async def flush(self) -> Optional[str]:
+        """Flush off the event loop (blocking store I/O stays off-loop)."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.flush_sync)
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker routing tallies for the fleet report."""
+
+    forwarded: int = 0
+    completed: int = 0
+    retried: int = 0
+    failed: int = 0
+    shed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-able tally row."""
+        return {
+            "forwarded": self.forwarded,
+            "completed": self.completed,
+            "retried": self.retried,
+            "failed": self.failed,
+            "shed": self.shed,
+        }
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Tunable knobs of the fleet front door.
+
+    Admission mirrors :class:`~repro.serve.service.ServeConfig` but
+    rates the *fleet-wide* ingress (workers behind the router run wide
+    open — the front door is the single backpressure tier).  ``policy``
+    reuses the Sciddle retry vocabulary: per-forward timeout, capped
+    jittered exponential backoff, ostracism threshold.
+    """
+
+    replicas: int = 64
+    rate: float = 200.0
+    burst: int = 50
+    max_queue_depth: int = 1024
+    #: seconds between heartbeat ping rounds (0 disables the prober)
+    heartbeat: float = 0.25
+    #: seed of the backoff-jitter stream (reproducible retry schedules)
+    seed: int = 0
+    policy: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            timeout=5.0,
+            max_retries=4,
+            backoff_base=0.01,
+            backoff_cap=0.25,
+            death_threshold=3,
+        )
+    )
+
+
+class InProcessWorker:
+    """A fleet worker backed by an in-process service, with chaos taps.
+
+    The unit-test and single-host bench face of the worker link
+    protocol: :meth:`crash` makes every call (and any in-flight call)
+    raise :class:`ConnectionError`, :meth:`stall` makes calls hang
+    until the router's forward timeout fires.  Both are deterministic —
+    they flip at an await point the test controls.
+    """
+
+    def __init__(self, service: Any, name: str = "worker") -> None:
+        self.service = service
+        self.name = name
+        self._crashed = asyncio.Event()
+        self._stalled = asyncio.Event()
+
+    # -- chaos taps -----------------------------------------------------
+    def crash(self) -> None:
+        """Simulate a process crash: fail in-flight and future calls."""
+        self._crashed.set()
+
+    def stall(self) -> None:
+        """Simulate a wedged worker: calls hang until crashed/cancelled."""
+        self._stalled.set()
+
+    @property
+    def alive(self) -> bool:
+        """Whether the link still accepts calls."""
+        return not self._crashed.is_set()
+
+    # -- WorkerClient surface -------------------------------------------
+    async def request(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
+        """Forward one envelope (router wraps this in ``wait_for``)."""
+        return await self._roundtrip(envelope)
+
+    async def ping(self) -> bool:
+        """Heartbeat probe (router wraps this in ``wait_for``)."""
+        response = await self._roundtrip(
+            {"kind": "ping", "id": "hb", "client": "router"}
+        )
+        return api.is_ok(response)
+
+    async def close(self) -> None:
+        """Nothing to release for an in-process worker."""
+
+    async def _roundtrip(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
+        if self._crashed.is_set():
+            raise ConnectionError(f"{self.name} crashed")
+        if self._stalled.is_set():
+            # hang exactly like a wedged process: until the crash tap
+            # fires or the router's wait_for cancels us
+            await self._crashed.wait()
+            raise ConnectionError(f"{self.name} crashed")
+        submit = asyncio.ensure_future(self.service.submit(dict(envelope)))
+        crashed = asyncio.ensure_future(self._crashed.wait())
+        try:
+            done, _pending = await asyncio.wait(
+                {submit, crashed}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if submit in done:
+                return dict(await submit)
+            raise ConnectionError(f"{self.name} crashed mid-request")
+        finally:
+            crashed.cancel()
+            if not submit.done():
+                submit.cancel()
+
+
+class TcpWorkerClient:
+    """Pipelined NDJSON link from the router to one worker process.
+
+    Unlike :class:`~repro.serve.server.TcpServeClient` (one write, one
+    read — strictly sequential), this link multiplexes: requests are
+    written with a link-local id (``f<seq>``), a single reader task
+    resolves each reply line to its waiter, and the original envelope
+    id is restored before the response returns — so concurrent
+    forwards to one worker need one socket and survive the worker's
+    out-of-order (batched) replies.  EOF or reset fails every pending
+    waiter with :class:`ConnectionError`, which the router treats as a
+    worker death.
+    """
+
+    def __init__(
+        self, host: str, port: int, connect_timeout: float = 10.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional["asyncio.Task[None]"] = None
+        self._pending: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._seq = 0
+        self._closed = False
+
+    @property
+    def alive(self) -> bool:
+        """Whether the link is connected and the reader loop is live."""
+        return self._writer is not None and not self._closed
+
+    async def connect(self) -> None:
+        """Open the socket and start the reply reader (idempotent)."""
+        if self._writer is not None:
+            return
+        self._reader, self._writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.connect_timeout
+        )
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_replies()
+        )
+
+    async def _read_replies(self) -> None:
+        """Resolve reply lines to their waiters until EOF/reset."""
+        assert self._reader is not None
+        try:
+            while True:
+                # deliberately unbounded: the reader loop waits for ANY
+                # reply; per-request bounds live in FleetRouter._forward
+                line = await self._reader.readline()  # simlint: disable=R502
+                if not line:
+                    break
+                try:
+                    reply = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn line; its waiter fails at link death
+                waiter = self._pending.pop(str(reply.get("id", "")), None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(reply)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._closed = True
+            for waiter in self._pending.values():
+                if not waiter.done():
+                    waiter.set_exception(
+                        ConnectionError(
+                            f"worker link {self.host}:{self.port} lost"
+                        )
+                    )
+            self._pending.clear()
+
+    async def request(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
+        """Forward one envelope (router wraps this in ``wait_for``)."""
+        return await self._roundtrip(envelope)
+
+    async def ping(self) -> bool:
+        """Heartbeat probe (router wraps this in ``wait_for``)."""
+        response = await self._roundtrip(
+            {"kind": "ping", "id": "hb", "client": "router"}
+        )
+        return api.is_ok(response)
+
+    async def _roundtrip(self, envelope: Dict[str, Any]) -> Dict[str, Any]:
+        if not self.alive:
+            raise ConnectionError(
+                f"worker link {self.host}:{self.port} is down"
+            )
+        assert self._writer is not None
+        if self._writer.transport.is_closing():
+            # the socket died but the reader loop hasn't seen EOF yet;
+            # failing here keeps asyncio from logging every dead write
+            raise ConnectionError(
+                f"worker link {self.host}:{self.port} is closing"
+            )
+        self._seq += 1
+        forward_id = f"f{self._seq}"
+        forwarded = dict(envelope)
+        forwarded["id"] = forward_id
+        waiter: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[forward_id] = waiter
+        try:
+            self._writer.write(api.canonical(forwarded).encode("utf-8") + b"\n")
+            await self._writer.drain()
+            reply = await waiter
+        finally:
+            self._pending.pop(forward_id, None)
+        response = dict(reply)
+        response["id"] = str(envelope.get("id", ""))
+        return response
+
+    async def close(self) -> None:
+        """Stop the reader and close the socket (idempotent)."""
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+            self._writer = None
+            self._reader = None
+
+
+#: A supervisor hook: given a dead slot, spawn a fresh worker and
+#: return its connected client (see ServeFleet._respawn).
+RespawnFn = Callable[[int], Awaitable[Any]]
+
+
+class FleetRouter:
+    """Consistent-hash front door over N health-checked workers.
+
+    ``workers`` maps slot id -> worker client (anything with the
+    ``request/ping/close`` surface).  The router owns admission,
+    routing, retries, health, respawn supervision and drain; it is a
+    drop-in ``service`` for :class:`~repro.serve.server.ServeServer`.
+    """
+
+    def __init__(
+        self,
+        workers: Mapping[int, Any],
+        config: Optional[FleetConfig] = None,
+        obs: Optional[ObsSession] = None,
+        store: Optional[Any] = None,
+        respawn_fn: Optional[RespawnFn] = None,
+    ) -> None:
+        if not workers:
+            raise ValueError("a fleet needs at least one worker")
+        self.workers: Dict[int, Any] = dict(workers)
+        self.config = config or FleetConfig()
+        self.policy = self.config.policy
+        self.obs = obs
+        self.respawn_fn = respawn_fn
+        self.metrics: MetricsRegistry = (
+            obs.metrics if obs is not None else MetricsRegistry()
+        )
+        self.ring = HashRing(self.workers, replicas=self.config.replicas)
+        self.health = ServerHealth(self.policy.death_threshold)
+        self.health.on_death(self._on_death)
+        self.admission = AdmissionController(
+            max_queue_depth=self.config.max_queue_depth,
+            rate=self.config.rate,
+            burst=self.config.burst,
+        )
+        self.records = FleetRecorder(store=store)
+        self.stats: Dict[int, WorkerStats] = {
+            slot: WorkerStats() for slot in self.workers
+        }
+        #: raw reply latencies in seconds, mirroring PredictionService
+        self.latencies: List[float] = []
+        self._rng = np.random.default_rng([self.config.seed, 1])
+        self._inflight = 0
+        self._drain_waiters: List["asyncio.Future[None]"] = []
+        self._draining = False
+        self._started = False
+        self._heartbeat_task: Optional["asyncio.Task[None]"] = None
+        self._respawning: set = set()
+        self._tasks: set = set()
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Start the heartbeat prober (idempotent)."""
+        if self._started:
+            return
+        self._draining = False
+        self._started = True
+        if self.config.heartbeat > 0:
+            self._heartbeat_task = asyncio.get_running_loop().create_task(
+                self._heartbeat_loop()
+            )
+
+    async def stop(self) -> None:
+        """Drain in-flight requests, stop probing, close every link."""
+        if not self._started:
+            return
+        await self.drain()
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except asyncio.CancelledError:
+                pass
+            self._heartbeat_task = None
+        for task in list(self._tasks):
+            task.cancel()
+        for task in list(self._tasks):
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks.clear()
+        for client in self.workers.values():
+            await client.close()
+        await self.records.flush()
+        self._started = False
+
+    async def __aenter__(self) -> "FleetRouter":
+        """Async context manager: start on enter."""
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        """Async context manager: stop on exit."""
+        await self.stop()
+
+    async def drain(self) -> None:
+        """Stop accepting new work and wait for in-flight completion.
+
+        New submissions shed with 429 ``shed:drain`` from the moment
+        this is called; the returned awaitable resolves once the last
+        in-flight forward has replied (or exhausted its retries).
+        """
+        self._draining = True
+        if self._inflight > 0:
+            waiter: "asyncio.Future[None]" = (
+                asyncio.get_running_loop().create_future()
+            )
+            self._drain_waiters.append(waiter)
+            await waiter
+
+    # -- health / membership --------------------------------------------
+    def alive(self, slot: int) -> bool:
+        """Whether a slot is on the ring and not ostracized."""
+        return slot in self.workers and not self.health.is_dead(slot)
+
+    @property
+    def live_slots(self) -> List[int]:
+        """Slots currently in rotation."""
+        return sorted(s for s in self.workers if self.alive(s))
+
+    def _on_death(self, slot: int) -> None:
+        """Death listener: count, trace, and supervise a respawn."""
+        self.metrics.counter("serve.fleet.worker_deaths").inc()
+        now = asyncio.get_running_loop().time()
+        self._span("death", now, now, detail=f"w{slot}")
+        if self.respawn_fn is not None and not self._draining:
+            task = asyncio.get_running_loop().create_task(self._respawn(slot))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _respawn(self, slot: int) -> None:
+        """Spawn a fresh incarnation for a dead slot and revive it."""
+        if slot in self._respawning:
+            return
+        self._respawning.add(slot)
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        assert self.respawn_fn is not None
+        try:
+            client = await self.respawn_fn(slot)
+        except Exception as exc:  # noqa: BLE001 - supervisor must survive
+            self.metrics.counter("serve.fleet.respawn_failures").inc()
+            self._span(
+                "respawn-failed", t0, loop.time(),
+                detail=f"w{slot}: {type(exc).__name__}: {exc}",
+            )
+            return
+        finally:
+            self._respawning.discard(slot)
+        old = self.workers.get(slot)
+        self.workers[slot] = client
+        self.stats.setdefault(slot, WorkerStats())
+        self.ring.add(slot)  # same id -> identical points (no-op if kept)
+        self.health.revive(slot)
+        self.metrics.counter("serve.fleet.respawns").inc()
+        self._span("respawn", t0, loop.time(), detail=f"w{slot}")
+        if old is not None and old is not client:
+            await old.close()
+
+    async def _heartbeat_loop(self) -> None:
+        """Ping every in-rotation worker on a fixed cadence."""
+        while True:
+            await asyncio.sleep(self.config.heartbeat)
+            for slot in list(self.workers):
+                if not self.alive(slot):
+                    continue
+                client = self.workers[slot]
+                self.metrics.counter("serve.fleet.heartbeats").inc()
+                try:
+                    ok = await asyncio.wait_for(
+                        client.ping(), self.policy.timeout
+                    )
+                except asyncio.TimeoutError:
+                    self.health.record_timeout(slot)
+                except (ConnectionError, OSError):
+                    self.health.mark_dead(slot)
+                else:
+                    if ok:
+                        self.health.record_success(slot)
+
+    # -- request path ---------------------------------------------------
+    def _span(self, category: str, start: float, end: float, detail: str = "") -> None:
+        if self.obs is not None:
+            self.obs.tracer.record(FLEET_PROC, category, start, end, detail=detail)
+
+    def _dec_inflight(self) -> None:
+        self._inflight -= 1
+        if self._inflight == 0:
+            for waiter in self._drain_waiters:
+                if not waiter.done():
+                    waiter.set_result(None)
+            self._drain_waiters.clear()
+
+    @staticmethod
+    def shard_key(query: api.Query) -> str:
+        """The consistent-hash key: the query's compute cell, canonical."""
+        return api.canonical(list(query.compute_key))
+
+    async def submit(self, envelope: Any) -> Dict[str, Any]:
+        """Route one decoded request envelope; always returns a response.
+
+        Mirrors ``PredictionService.submit``: the synchronous prefix
+        (parse, drain check, admission) runs before the first await, so
+        a seeded schedule sheds deterministically at the front door.
+        """
+        loop = asyncio.get_running_loop()
+        t_admit = loop.time()
+        self.metrics.counter("serve.fleet.requests").inc()
+        try:
+            request = api.parse_request(envelope)
+        except ServeError as exc:
+            self.metrics.counter("serve.fleet.errors").inc()
+            response = api.error_response(
+                str(envelope.get("id", "")) if isinstance(envelope, dict) else "",
+                exc.status,
+                exc.reason,
+                exc.detail,
+            )
+            self.records.record(
+                t_admit, 0.0, 0.0, self._inflight, STATUS_ERROR, NO_WORKER, 0
+            )
+            return response
+
+        depth = self._inflight
+        if self._draining or not self._started:
+            self.metrics.counter("serve.fleet.shed_drain").inc()
+            self.records.record(
+                t_admit, 0.0, 0.0, depth, STATUS_SHED_DRAIN, NO_WORKER, 0
+            )
+            return api.error_response(
+                request.id,
+                api.SHED,
+                "shed:drain",
+                "fleet is draining for shutdown; request not accepted",
+            )
+
+        admit_clock = request.arrival if request.arrival is not None else t_admit
+        verdict = self.admission.decide(request.client, admit_clock, depth)
+        t_admitted = loop.time()
+        self._span("admit", t_admit, t_admitted, detail=request.id)
+        if verdict is not None:
+            self.metrics.counter(f"serve.fleet.shed_{verdict}").inc()
+            status = (
+                STATUS_SHED_QUEUE if verdict == "queue" else STATUS_SHED_RATE
+            )
+            owner = (
+                self.ring.owner(self.shard_key(request.query), alive=self.alive)
+                if request.query is not None
+                else None
+            )
+            if owner is not None:
+                self.stats[owner].shed += 1
+            self.records.record(
+                t_admit,
+                (t_admitted - t_admit) * 1e6,
+                0.0,
+                depth,
+                status,
+                owner if owner is not None else NO_WORKER,
+                0,
+            )
+            return api.error_response(
+                request.id,
+                api.SHED,
+                f"shed:{verdict}",
+                f"request shed by fleet admission control ({verdict})",
+            )
+
+        if request.kind == "ping":
+            self.metrics.counter("serve.fleet.ok").inc()
+            return api.ok_response(request.id, {"kind": "pong"})
+        if request.kind == "platforms":
+            self.metrics.counter("serve.fleet.ok").inc()
+            return api.ok_response(request.id, platform_catalog())
+
+        self._inflight += 1
+        try:
+            response, worker, attempts = await self._forward(
+                request, envelope, t_admit
+            )
+        finally:
+            self._dec_inflight()
+        now = loop.time()
+        latency = now - t_admit
+        if response.get("status") != api.SHED:
+            self.latencies.append(latency)
+            self.metrics.histogram("serve.fleet.latency_s").observe(latency)
+        if api.is_ok(response):
+            self.metrics.counter("serve.fleet.ok").inc()
+        self._span("reply", now, now, detail=request.id)
+        self.records.record(
+            t_admit,
+            (t_admitted - t_admit) * 1e6,
+            latency,
+            depth,
+            _response_status_code(response),
+            worker if worker is not None else NO_WORKER,
+            attempts,
+        )
+        return response
+
+    async def _forward(
+        self, request: api.Request, envelope: Dict[str, Any], t_admit: float
+    ) -> Tuple[Dict[str, Any], Optional[int], int]:
+        """Forward with failover; returns (response, last slot, attempts).
+
+        One *attempt* is one forward that had to be abandoned (timeout
+        or connection loss); the successful forward is not counted, so
+        ``attempts == 0`` is the fast path.  Retries target the key's
+        current live owner, which moves to the ring successor once the
+        previous owner is declared dead — the same ostracism discipline
+        as the resilient Sciddle client, lifted to the fleet.
+        """
+        loop = asyncio.get_running_loop()
+        key = self.shard_key(request.query) if request.query is not None else ""
+        expires = (
+            t_admit + request.deadline if request.deadline is not None else None
+        )
+        attempts = 0
+        last_slot: Optional[int] = None
+        for attempt in range(self.policy.max_retries + 1):
+            remaining = None if expires is None else expires - loop.time()
+            if remaining is not None and remaining <= 0:
+                self.metrics.counter("serve.fleet.deadline_expired").inc()
+                return (
+                    api.error_response(
+                        request.id,
+                        api.DEADLINE_EXPIRED,
+                        "deadline-expired",
+                        "request outlived its deadline at the router",
+                    ),
+                    last_slot,
+                    attempts,
+                )
+            slot = self.ring.owner(key, alive=self.alive)
+            if slot is None:
+                self.metrics.counter("serve.fleet.errors").inc()
+                return (
+                    api.error_response(
+                        request.id,
+                        api.INTERNAL,
+                        "no-live-workers",
+                        "every fleet worker is dead or draining",
+                    ),
+                    last_slot,
+                    attempts,
+                )
+            last_slot = slot
+            forwarded = dict(envelope)
+            if remaining is not None:
+                # propagate the *remaining* budget so the worker's
+                # batcher can still expire the request pre-compute
+                forwarded["deadline"] = remaining
+            timeout = (
+                self.policy.timeout
+                if remaining is None
+                else min(self.policy.timeout, remaining)
+            )
+            client = self.workers[slot]
+            self.stats[slot].forwarded += 1
+            self.metrics.counter(f"serve.fleet.w{slot}.forwarded").inc()
+            t0 = loop.time()
+            try:
+                response = await asyncio.wait_for(
+                    client.request(forwarded), timeout
+                )
+            except asyncio.TimeoutError:
+                self.stats[slot].failed += 1
+                self.metrics.counter("serve.fleet.timeouts").inc()
+                self._span(
+                    "timeout", t0, loop.time(), detail=f"w{slot} {request.id}"
+                )
+                self.health.record_timeout(slot)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                self.stats[slot].failed += 1
+                self.metrics.counter("serve.fleet.conn_errors").inc()
+                self._span(
+                    "conn-error", t0, loop.time(), detail=f"w{slot} {request.id}"
+                )
+                # a torn link is a crash signal, not a slow reply
+                self.health.mark_dead(slot)
+            else:
+                self.health.record_success(slot)
+                self.stats[slot].completed += 1
+                self.metrics.counter(f"serve.fleet.w{slot}.completed").inc()
+                self._span(
+                    "forward", t0, loop.time(), detail=f"w{slot} {request.id}"
+                )
+                return response, slot, attempts
+            attempts += 1
+            if attempt >= self.policy.max_retries:
+                break
+            self.stats[slot].retried += 1
+            self.metrics.counter("serve.fleet.retries").inc()
+            backoff = self.policy.backoff(attempt - 1, self._rng)
+            if expires is not None:
+                backoff = min(backoff, max(0.0, expires - loop.time()))
+            if backoff > 0:
+                await asyncio.sleep(backoff)
+        self.metrics.counter("serve.fleet.errors").inc()
+        return (
+            api.error_response(
+                request.id,
+                api.INTERNAL,
+                "retry-exhausted",
+                f"no worker replied within {attempts} attempt(s)",
+            ),
+            last_slot,
+            attempts,
+        )
+
+    # -- reporting ------------------------------------------------------
+    def latency_quantiles(self) -> Dict[str, float]:
+        """p50/p95/p99 over router-side reply latencies (0 when empty)."""
+        from ..obs.query import percentile
+
+        return {
+            "p50": percentile(self.latencies, 0.50),
+            "p95": percentile(self.latencies, 0.95),
+            "p99": percentile(self.latencies, 0.99),
+        }
+
+    def worker_report(self) -> Dict[str, Dict[str, int]]:
+        """Per-worker tallies keyed ``w<slot>`` (the loadgen report rows)."""
+        return {
+            f"w{slot}": self.stats[slot].as_dict()
+            for slot in sorted(self.stats)
+        }
+
+    def report(self) -> Dict[str, Any]:
+        """Operational snapshot: admission, membership, latency, workers."""
+        return {
+            "admission": self.admission.stats.as_dict(),
+            "workers": self.worker_report(),
+            "live": [f"w{slot}" for slot in self.live_slots],
+            "dead": [f"w{slot}" for slot in sorted(self.health.dead)],
+            "latency": self.latency_quantiles(),
+        }

@@ -46,6 +46,7 @@ from .flight import (
     STATUS_ERROR,
     STATUS_EXPIRED,
     STATUS_OK,
+    STATUS_SHED_DRAIN,
     STATUS_SHED_QUEUE,
     STATUS_SHED_RATE,
     FlightRecorder,
@@ -132,6 +133,20 @@ def _evaluate_sweep(
         "best_time": series.best_time,
         "saturation": series.saturation,
         "calibration": source,
+    }
+
+
+def platform_catalog() -> Dict[str, Any]:
+    """The ``kind="platforms"`` catalog (also answered router-side)."""
+    return {
+        "kind": "platforms",
+        "platforms": [
+            {
+                "name": name,
+                "cost_kusd": PLATFORMS[name].approx_cost_kusd,
+            }
+            for name in sorted(PLATFORMS)
+        ],
     }
 
 
@@ -226,6 +241,8 @@ class PredictionService:
         self.latencies: List[float] = []
         self._executor: Optional[ThreadPoolExecutor] = None
         self._started = False
+        #: once stop() begins, new submissions shed with ``shed:drain``
+        self._draining = False
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -237,13 +254,22 @@ class PredictionService:
                 max_workers=1, thread_name_prefix="serve-compute"
             )
         self.batcher.start()
+        self._draining = False
         self._started = True
 
     async def stop(self) -> None:
-        """Drain the queue, stop the batch loop, release the worker."""
+        """Drain the queue, stop the batch loop, release the worker.
+
+        Requests already queued are dispatched and answered; a request
+        that races the stop sentinel into the batcher is shed with a
+        deterministic 429 ``shed:drain`` instead of hanging, and new
+        submissions shed the same way the moment draining begins.
+        """
         if not self._started:
             return
+        self._draining = True
         await self.batcher.stop()
+        self._shed_drained(self.batcher.drain_pending())
         await self.calibrations.drain()
         if self.flight is not None:
             # off-loop I/O (run_in_executor inside flush); the pipeline
@@ -346,6 +372,22 @@ class PredictionService:
                 f"request shed by admission control ({verdict})",
             )
 
+        if self._draining:
+            self.metrics.counter("serve.shed_drain").inc()
+            if self.flight is not None:
+                self.flight.record_shed(
+                    t_admit=t_admit,
+                    depth=depth,
+                    admit_us=(t_admitted - t_admit) * 1e6,
+                    status=STATUS_SHED_DRAIN,
+                )
+            return api.error_response(
+                request.id,
+                api.SHED,
+                "shed:drain",
+                "service is draining for shutdown; request not accepted",
+            )
+
         if request.kind == "ping":
             self.metrics.counter("serve.ok").inc()
             return api.ok_response(request.id, {"kind": "pong"})
@@ -371,16 +413,31 @@ class PredictionService:
 
     def _platform_catalog(self) -> Dict[str, Any]:
         """The catalog listing served for ``kind="platforms"``."""
-        return {
-            "kind": "platforms",
-            "platforms": [
-                {
-                    "name": name,
-                    "cost_kusd": PLATFORMS[name].approx_cost_kusd,
-                }
-                for name in sorted(PLATFORMS)
-            ],
-        }
+        return platform_catalog()
+
+    def _shed_drained(self, leftovers: List[_Pending]) -> None:
+        """Answer batcher leftovers with a deterministic drain shed."""
+        if not leftovers:
+            return
+        for pending in leftovers:
+            if pending.future.done():  # pragma: no cover - cancelled client
+                continue
+            self.metrics.counter("serve.shed_drain").inc()
+            if self.flight is not None:
+                self.flight.record_shed(
+                    t_admit=pending.enqueued,
+                    depth=pending.depth,
+                    admit_us=(pending.admit_end - pending.enqueued) * 1e6,
+                    status=STATUS_SHED_DRAIN,
+                )
+            pending.future.set_result(
+                api.error_response(
+                    pending.request.id,
+                    api.SHED,
+                    "shed:drain",
+                    "service stopped before this request reached a batch",
+                )
+            )
 
     # ------------------------------------------------------------------
     async def _dispatch(self, batch: List[_Pending]) -> None:

@@ -1,0 +1,5 @@
+"""Fixture: a fleet router forwarding to a worker with no bound."""
+
+
+async def forward(client, envelope):
+    return await client.request(envelope)

@@ -1,0 +1,11 @@
+"""Fixture: fleet RPCs bounded by wait_for or an explicit timeout."""
+
+import asyncio
+
+
+async def forward(client, envelope, budget):
+    return await asyncio.wait_for(client.request(envelope), budget)
+
+
+async def probe(link, budget):
+    return await link.ping(timeout=budget)

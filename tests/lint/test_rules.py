@@ -37,6 +37,7 @@ ALL_CODES = [
     "O401",
     "O402",
     "R501",
+    "R502",
     "S601",
     "S602",
     "S701",

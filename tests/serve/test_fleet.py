@@ -1,0 +1,149 @@
+"""Subprocess fleet: boot, chaos kill mid-burst, bit-identical answers.
+
+This is the acceptance test for the fleet tier.  Real worker processes
+are spawned (``python -m repro.serve serve`` on ephemeral ports), one
+is SIGKILLed mid-burst, and every completed response must still be
+canonical-JSON bit-identical to a serial single-service run of the
+same schedule — the router's failover may change *who* answers, never
+*what* is answered.
+"""
+
+import asyncio
+
+from repro.serve import api
+from repro.serve.fleet import FleetSpec, ServeFleet
+from repro.serve.loadgen import LoadSpec, build_schedule, run_open_loop
+from repro.serve.router import FleetConfig
+from repro.serve.service import PredictionService, ServeConfig
+
+WIDE_OPEN_ROUTER = FleetConfig(rate=1e9, burst=10**6, max_queue_depth=100000)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def oracle_responses(schedule):
+    """Serial single-service ground truth for a schedule."""
+
+    async def main():
+        service = PredictionService(
+            ServeConfig(max_queue_depth=100000, rate=1e9, burst=10**6)
+        )
+        async with service:
+            responses = {}
+            for item in schedule:
+                envelope = dict(item)
+                envelope.pop("deadline", None)
+                responses[envelope["id"]] = await service.submit(envelope)
+            return responses
+
+    return run(main())
+
+
+class TestFleetBoot:
+    def test_boot_query_report_stop(self):
+        async def main():
+            spec = FleetSpec(workers=2, config=WIDE_OPEN_ROUTER)
+            async with ServeFleet(spec) as fleet:
+                response = await fleet.router.submit(
+                    {
+                        "kind": "predict",
+                        "id": "boot-1",
+                        "client": "t",
+                        "query": {
+                            "platform": "j90",
+                            "molecule": "small",
+                            "servers": 4,
+                        },
+                    }
+                )
+                report = fleet.report()
+            return response, report
+
+        response, report = run(main())
+        assert response["status"] == api.OK
+        assert set(report["processes"]) == {"w0", "w1"}
+        assert all(
+            p["returncode"] is None for p in report["processes"].values()
+        ), "workers must still be live at report time"
+        assert report["live"] == ["w0", "w1"]
+
+
+class TestFleetChaos:
+    def test_kill_mid_burst_completes_bit_identical(self):
+        spec = LoadSpec(
+            clients=3, requests_per_client=10, seed=11, sweep_fraction=0.2
+        )
+        schedule = build_schedule(spec)
+
+        async def main():
+            fleet_spec = FleetSpec(workers=3, config=WIDE_OPEN_ROUTER)
+            async with ServeFleet(fleet_spec) as fleet:
+
+                async def chaos():
+                    fleet.kill_worker(0)
+
+                report = await run_open_loop(
+                    fleet.router.submit,
+                    schedule,
+                    abort_after=len(schedule) // 2,
+                    abort=chaos,
+                )
+                worker_report = fleet.router.worker_report()
+                w0_dead = fleet.procs[0].process.returncode
+            return report, worker_report, w0_dead
+
+        report, worker_report, w0_dead = run(main())
+        assert w0_dead == -9, "the chaos tap must have SIGKILLed w0"
+        assert report.sent == len(schedule)
+        # every admitted request completed despite the mid-burst death
+        assert report.ok == len(schedule), report.summary()
+        # survivors absorbed w0's shard: their completions cover the burst
+        completed = sum(w["completed"] for w in worker_report.values())
+        assert completed == len(schedule)
+
+        oracle = oracle_responses(schedule)
+        mismatched = [
+            rid
+            for rid, response in report.responses.items()
+            if response.get("status") == api.OK
+            and api.canonical(response) != api.canonical(oracle[rid])
+        ]
+        assert mismatched == [], (
+            f"{len(mismatched)} responses diverged from the single-worker "
+            f"oracle: {mismatched[:5]}"
+        )
+
+    def test_respawn_after_kill_restores_fleet_size(self):
+        async def main():
+            fleet_spec = FleetSpec(workers=2, config=WIDE_OPEN_ROUTER)
+            async with ServeFleet(fleet_spec) as fleet:
+                fleet.kill_worker(1)
+                # force traffic until the death is observed and respawn
+                # brings the slot back
+                for i in range(200):
+                    await fleet.router.submit(
+                        {
+                            "kind": "predict",
+                            "id": f"probe-{i}",
+                            "client": "t",
+                            "query": {
+                                "platform": "t3e",
+                                "molecule": "small",
+                                "servers": 2,
+                            },
+                        }
+                    )
+                    if (
+                        not fleet.router.health.is_dead(1)
+                        and fleet.procs[1].generation == 2
+                    ):
+                        break
+                    await asyncio.sleep(0.05)
+                report = fleet.report()
+            return report
+
+        report = run(main())
+        assert report["processes"]["w1"]["generation"] == 2
+        assert report["live"] == ["w0", "w1"]

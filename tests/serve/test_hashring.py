@@ -1,0 +1,94 @@
+"""Consistent-hash ring: determinism, minimal remap, revival."""
+
+from repro.serve.hashring import HashRing, ring_hash
+
+KEYS = [f"cell-{i}" for i in range(2000)]
+
+
+class TestRingHash:
+    def test_stable_across_instances(self):
+        assert ring_hash("w0#0") == ring_hash("w0#0")
+        assert ring_hash("a") != ring_hash("b")
+
+    def test_is_64_bit(self):
+        assert 0 <= ring_hash("anything") < 2**64
+
+
+class TestOwnership:
+    def test_deterministic_owner(self):
+        a = HashRing([0, 1, 2])
+        b = HashRing([2, 1, 0])  # insertion order must not matter
+        assert [a.owner(k) for k in KEYS] == [b.owner(k) for k in KEYS]
+
+    def test_every_key_owned(self):
+        ring = HashRing([0, 1, 2])
+        assert all(ring.owner(k) in {0, 1, 2} for k in KEYS)
+
+    def test_empty_ring_owns_nothing(self):
+        assert HashRing().owner("k") is None
+        assert HashRing().preference("k") == []
+
+    def test_all_dead_owns_nothing(self):
+        ring = HashRing([0, 1])
+        assert ring.owner("k", alive=lambda s: False) is None
+
+    def test_distribution_roughly_fair(self):
+        ring = HashRing([0, 1, 2, 3])
+        counts = {s: 0 for s in range(4)}
+        for key in KEYS:
+            counts[ring.owner(key)] += 1
+        fair = len(KEYS) / 4
+        for slot, count in counts.items():
+            assert 0.5 * fair < count < 1.8 * fair, (slot, counts)
+
+
+class TestMinimalRemap:
+    def test_only_dead_owned_keys_move(self):
+        ring = HashRing([0, 1, 2])
+        before = {k: ring.owner(k) for k in KEYS}
+        after = {k: ring.owner(k, alive=lambda s: s != 1) for k in KEYS}
+        for key in KEYS:
+            if before[key] != 1:
+                assert after[key] == before[key], key
+            else:
+                assert after[key] in {0, 2}, key
+
+    def test_skip_equals_remove(self):
+        """Skipping a dead slot and removing it give identical owners."""
+        skipping = HashRing([0, 1, 2])
+        removed = HashRing([0, 1, 2])
+        removed.remove(1)
+        for key in KEYS[:500]:
+            assert skipping.owner(key, alive=lambda s: s != 1) == removed.owner(
+                key
+            ), key
+
+    def test_revival_restores_exact_ownership(self):
+        ring = HashRing([0, 1, 2])
+        before = {k: ring.owner(k) for k in KEYS}
+        ring.remove(1)
+        ring.add(1)  # same slot id -> identical virtual points
+        assert {k: ring.owner(k) for k in KEYS} == before
+
+    def test_add_remove_idempotent(self):
+        ring = HashRing([0])
+        ring.add(0)
+        assert len(ring) == 1
+        ring.remove(5)  # absent: no-op
+        assert ring.slots == {0}
+
+
+class TestPreference:
+    def test_preference_lists_every_slot_once(self):
+        ring = HashRing([0, 1, 2, 3])
+        for key in KEYS[:100]:
+            order = ring.preference(key)
+            assert sorted(order) == [0, 1, 2, 3]
+            assert order[0] == ring.owner(key)
+
+    def test_failover_follows_preference(self):
+        ring = HashRing([0, 1, 2])
+        for key in KEYS[:200]:
+            order = ring.preference(key)
+            dead = {order[0]}
+            assert ring.owner(key, alive=lambda s: s not in dead) == order[1]
