@@ -1,0 +1,80 @@
+"""PERF — declarative workload spec compilation throughput.
+
+Every family-generic code path — campaign cell keying, serve query
+parsing, loadgen schedule construction — goes through the same spec
+pipeline: parse raw params against the family schema, canonicalize,
+content-address (``spec_digest``) and lower to phase steps + closed-form
+terms.  A slowdown here taxes every query of a family-mix serve
+campaign, so the pipeline gets its own perf gate.
+
+``PERF_workload_compile`` measures full pipeline passes per second
+(min-of-``ROUNDS``, higher is better) over a mixed pool of collective
+and hpl specs.  Correctness is asserted alongside the timing: digests
+are stable across rounds, and each compile yields a non-empty program
+whose terms carry positive communication volume.
+"""
+
+import time
+
+from _emit import emit, record
+from repro.workloads import get_family, spec_digest
+
+#: (family, raw params) pool, mixed shapes of both shipped families
+SPEC_POOL = [
+    ("collective", {"pattern": "barrier"}),
+    ("collective", {"pattern": "broadcast", "message_bytes": 65536}),
+    ("collective", {"pattern": "allreduce", "message_bytes": 4096, "rounds": 8}),
+    ("collective", {"pattern": "alltoall", "message_bytes": 16384, "fanout": 4}),
+    ("hpl", {"matrix_n": 256, "block": 64}),
+    ("hpl", {"matrix_n": 512, "block": 32}),
+]
+#: pipeline passes per timed round
+PASSES = 300
+ROUNDS = 3
+SERVERS = 4
+
+
+def compile_pass():
+    """One full pipeline pass over the pool; returns digests and sizes."""
+    digests = []
+    steps_total = 0
+    for family_name, raw in SPEC_POOL:
+        family = get_family(family_name)
+        spec = family.spec_from_params(dict(raw))
+        digests.append(spec_digest(spec))
+        steps = family.compile(spec, SERVERS)
+        terms = family.terms(spec, SERVERS)
+        assert steps and terms.comm_bytes > 0
+        steps_total += len(steps)
+    return digests, steps_total
+
+
+def render(rate, steps_total) -> str:
+    return "\n".join(
+        [
+            f"PERF_workload_compile) {len(SPEC_POOL)} specs x {PASSES} passes, "
+            f"min of {ROUNDS}",
+            "",
+            f"  parse+digest+compile+terms: {rate:10.1f} passes/s "
+            f"({steps_total} phase steps per pass)",
+        ]
+    )
+
+
+def test_perf_workload_compile(artifact):
+    reference, steps_total = compile_pass()
+    times = []
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        for _ in range(PASSES):
+            digests, _ = compile_pass()
+        times.append(time.perf_counter() - start)
+        # content addressing is deterministic across rounds
+        assert digests == reference
+
+    rate = PASSES / min(times)
+    artifact("PERF_workload_compile", render(rate, steps_total))
+    emit(
+        "PERF_workload_compile",
+        [record("collective+hpl", "compile_throughput", rate, "passes/s")],
+    )

@@ -216,6 +216,8 @@ def cmd_calibrate(args) -> int:
 
 
 def cmd_campaign(args) -> int:
+    if args.workload != "opal":
+        return _cmd_workload_campaign(args)
     from .experiments import render_campaign, run_campaign
     from .opal.complexes import get_complex
     from .platforms import ALL_PLATFORMS, get_platform
@@ -233,6 +235,32 @@ def cmd_campaign(args) -> int:
     )
     print(render_campaign(report))
     _finish_obs(args, obs)
+    return 0
+
+
+def _cmd_workload_campaign(args) -> int:
+    """``campaign --workload collective|hpl``: the family-generic study."""
+    from .platforms import ALL_PLATFORMS, get_platform
+    from .workloads import load_spec_data, parse_spec
+    from .workloads.campaign import render_workload_campaign, run_workload_campaign
+
+    base_spec = None
+    if args.spec is not None:
+        data = load_spec_data(args.spec)
+        base_spec = parse_spec(data, family=args.workload)
+    reference = get_platform(args.platform)
+    report = run_workload_campaign(
+        args.workload,
+        reference,
+        base_spec=base_spec,
+        servers=tuple(range(1, args.servers + 1)),
+        candidates=[p for p in ALL_PLATFORMS if p.name != reference.name],
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        faults=_parse_chaos(args),
+        store_dir=args.store_out,
+    )
+    print(render_workload_campaign(report))
     return 0
 
 
@@ -291,6 +319,15 @@ def main(argv=None) -> int:
         "campaign", help="the full measure-calibrate-predict study"
     )
     p.add_argument("--platform", default="j90", help="reference platform")
+    p.add_argument("--workload", default="opal",
+                   help="workload family to campaign over (default opal; "
+                   "see 'python -m repro campaign --workload collective')")
+    p.add_argument("--spec", default=None, metavar="FILE",
+                   help="base spec file (.json/.toml) for non-opal families; "
+                   "the family's factorial design varies around it")
+    p.add_argument("--store-out", default=None, metavar="DIR",
+                   help="ingest cells and residuals into the telemetry "
+                   "store at DIR (non-opal families)")
     p.add_argument("--molecule", choices=("small", "medium", "large"),
                    default="medium")
     p.add_argument("--servers", type=int, default=7)

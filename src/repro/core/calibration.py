@@ -30,9 +30,10 @@ import scipy.optimize
 
 from ..errors import CalibrationError
 from .breakdown import TimeBreakdown
-from .model import OpalPerformanceModel
+from .model import OpalPerformanceModel, terms_breakdown
 from .parameters import (
     ApplicationParams,
+    FamilyWorkloadTerms,
     ModelPlatformParams,
     energy_pair_work,
     update_pair_work,
@@ -40,6 +41,9 @@ from .parameters import (
 
 #: One calibration observation: configuration + measured breakdown.
 Observation = Tuple[ApplicationParams, TimeBreakdown]
+
+#: One family calibration observation: lowered regressors + measurement.
+TermsObservation = Tuple[FamilyWorkloadTerms, TimeBreakdown]
 
 
 def _r2(y: np.ndarray, yhat: np.ndarray) -> float:
@@ -140,6 +144,81 @@ def calibrate(
     model = OpalPerformanceModel(params)
     totals = [
         (b.total, model.predict_total(a)) for a, b in observations
+    ]
+    return CalibrationResult(params=params, r2=r2, totals=totals)
+
+
+def calibrate_terms(
+    observations: Sequence[TermsObservation], name: str = "calibrated"
+) -> CalibrationResult:
+    """Fit platform parameters to measured family-cell breakdowns.
+
+    The family-generic sibling of :func:`calibrate`: regressors come
+    pre-lowered as :class:`FamilyWorkloadTerms` instead of being derived
+    from :class:`ApplicationParams`.  A family may legitimately never
+    exercise a component (a barrier moves no payload, a collective has
+    no sequential tail) — an all-zero regressor therefore yields a 0.0
+    coefficient instead of an error, except for communication volume,
+    which every measurable family must vary.
+    """
+    if len(observations) < 3:
+        raise CalibrationError(
+            f"need at least 3 observations to calibrate, got {len(observations)}"
+        )
+    terms = [t for t, _ in observations]
+    meas = [b for _, b in observations]
+
+    def fit_component(
+        xs: np.ndarray, ys: np.ndarray
+    ) -> Tuple[float, float]:
+        if np.all(xs <= 0):
+            return 0.0, _r2(ys, np.zeros_like(ys))
+        coef = max(float(np.dot(xs, ys) / np.dot(xs, xs)), 0.0)
+        return coef, _r2(ys, coef * xs)
+
+    r2: Dict[str, float] = {}
+    a2, r2["update"] = fit_component(
+        np.array([t.update_ops for t in terms]),
+        np.array([b.update for b in meas]),
+    )
+    a3, r2["nbint"] = fit_component(
+        np.array([t.pair_ops for t in terms]),
+        np.array([b.nbint for b in meas]),
+    )
+    a4, r2["seq_comp"] = fit_component(
+        np.array([t.seq_ops for t in terms]),
+        np.array([b.seq_comp for b in meas]),
+    )
+
+    x_comm = np.column_stack(
+        [
+            [t.comm_bytes for t in terms],
+            [t.comm_msgs for t in terms],
+        ]
+    )
+    y_comm = np.array([b.comm for b in meas])
+    if np.all(x_comm[:, 0] <= 0):
+        raise CalibrationError(
+            "degenerate design for comm: no cell moves any payload bytes"
+        )
+    (inv_a1, b1), _ = scipy.optimize.nnls(x_comm, y_comm)
+    r2["comm"] = _r2(y_comm, x_comm @ np.array([inv_a1, b1]))
+    if inv_a1 <= 0:
+        raise CalibrationError(
+            "communication fit produced a non-positive 1/a1; the design "
+            "probably does not vary message volume"
+        )
+
+    b5, r2["sync"] = fit_component(
+        np.array([t.sync_ops for t in terms]),
+        np.array([b.sync for b in meas]),
+    )
+
+    params = ModelPlatformParams(
+        name=name, a1=1.0 / inv_a1, b1=float(b1), a2=a2, a3=a3, a4=a4, b5=b5
+    )
+    totals = [
+        (b.total, terms_breakdown(params, t).total) for t, b in observations
     ]
     return CalibrationResult(params=params, r2=r2, totals=totals)
 

@@ -30,6 +30,7 @@ from ..errors import ModelError
 from .breakdown import TimeBreakdown
 from .parameters import (
     ApplicationParams,
+    FamilyWorkloadTerms,
     ModelPlatformParams,
     workload_terms,
 )
@@ -41,6 +42,28 @@ from .parameters import (
 #: rejects any other coefficient-shaped identifier in core/platforms so
 #: the code cannot silently drift from the validated model.
 EQUATION_PLATFORM_PARAMETERS = ("a1", "a2", "a3", "a4", "b1", "b5")
+
+
+def terms_breakdown(
+    params: ModelPlatformParams, terms: FamilyWorkloadTerms
+) -> TimeBreakdown:
+    """Evaluate the model for one family cell's closed-form regressors.
+
+    The family-generic analogue of
+    :meth:`OpalPerformanceModel.breakdown`: each
+    :class:`~repro.core.parameters.FamilyWorkloadTerms` count pairs with
+    one coefficient of the closed vocabulary.  A pure function of its
+    arguments, so batched serve evaluation is bit-identical at any batch
+    size.
+    """
+    return TimeBreakdown(
+        update=params.a2 * terms.update_ops,
+        nbint=params.a3 * terms.pair_ops,
+        seq_comp=params.a4 * terms.seq_ops,
+        comm=terms.comm_bytes / params.a1 + terms.comm_msgs * params.b1,
+        sync=terms.sync_ops * params.b5,
+        idle=0.0,
+    )
 
 
 class OpalPerformanceModel:

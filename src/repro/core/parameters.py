@@ -200,6 +200,54 @@ class WorkloadTerms:
     energy_pairs: float
 
 
+@dataclass(frozen=True)
+class FamilyWorkloadTerms:
+    """Closed-form regressors of one lowered workload cell.
+
+    The family-generic analogue of :class:`WorkloadTerms`: a workload
+    family's compiler (:mod:`repro.workloads`) reduces one
+    (spec, servers) cell to these six counts, and the model evaluates
+    them against the same closed coefficient vocabulary as equations
+    (2)-(10) of the paper.  Compute work is counted in *flops* (not
+    pairs), so the key-data coefficients for a family are simply
+    ``1 / cpu_rate``:
+
+    ==========  ====================================================
+    update_ops  flops of "update"-class parallel work   (x a2)
+    pair_ops    flops of "pair"-class parallel work     (x a3)
+    seq_ops     flops of sequential client work         (x a4)
+    comm_bytes  payload bytes on the wire               (x 1/a1)
+    comm_msgs   messages on the wire                    (x b1)
+    sync_ops    process synchronizations                (x b5)
+    ==========  ====================================================
+    """
+
+    update_ops: float = 0.0
+    pair_ops: float = 0.0
+    seq_ops: float = 0.0
+    comm_bytes: float = 0.0
+    comm_msgs: float = 0.0
+    sync_ops: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "update_ops", "pair_ops", "seq_ops",
+            "comm_bytes", "comm_msgs", "sync_ops",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ModelError(f"{field_name} must be >= 0")
+
+    def __add__(self, other: "FamilyWorkloadTerms") -> "FamilyWorkloadTerms":
+        return FamilyWorkloadTerms(
+            update_ops=self.update_ops + other.update_ops,
+            pair_ops=self.pair_ops + other.pair_ops,
+            seq_ops=self.seq_ops + other.seq_ops,
+            comm_bytes=self.comm_bytes + other.comm_bytes,
+            comm_msgs=self.comm_msgs + other.comm_msgs,
+            sync_ops=self.sync_ops + other.sync_ops,
+        )
+
+
 @lru_cache(maxsize=4096)
 def workload_terms(molecule: "ComplexSpec", cutoff: Optional[float]) -> WorkloadTerms:
     """Memoized workload invariants for one (molecule, cutoff) cell.

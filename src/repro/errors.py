@@ -76,7 +76,10 @@ class PlatformError(ReproError):
 
 
 class WorkloadError(ReproError):
-    """Raised by the Opal application layer for invalid molecular inputs."""
+    """Raised at workload boundaries: an invalid or unknown workload spec,
+    an unregistered family, or invalid molecular inputs in the Opal
+    application layer.  Messages name the offending field and value so a
+    serve 400 envelope can carry them verbatim."""
 
 
 class DesignError(ReproError):

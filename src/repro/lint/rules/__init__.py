@@ -2,9 +2,9 @@
 
 Per-file families: determinism (``D1xx``), protocol (``P2xx``), model
 hygiene (``M3xx``), observability (``O4xx``), resilience (``R5xx``),
-async hygiene (``S6xx``).  Whole-program families built on the project
-index: interprocedural determinism (``D2xx``), protocol graph
-(``P3xx``), await safety (``S7xx``).
+async hygiene (``S6xx``), workload registry (``W8xx``).  Whole-program
+families built on the project index: interprocedural determinism
+(``D2xx``), protocol graph (``P3xx``), await safety (``S7xx``).
 """
 
 from __future__ import annotations
@@ -18,3 +18,4 @@ from . import observability as _observability  # noqa: F401
 from . import protocol as _protocol  # noqa: F401
 from . import protocol_graph as _protocol_graph  # noqa: F401
 from . import resilience as _resilience  # noqa: F401
+from . import workloads as _workloads  # noqa: F401

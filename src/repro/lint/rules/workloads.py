@@ -1,0 +1,88 @@
+"""Workload-registry rules (codes ``W8xx``).
+
+The declarative workload subsystem routes everything — campaigns,
+calibration, serve queries, load generation — through the family
+registry in :mod:`repro.workloads`.  A misspelled family name in a
+query dict or ``family=`` keyword is not a syntax error; it surfaces at
+runtime as a 400 (or a failed campaign) long after the typo was
+written.  These rules check literal family references against the
+registry at lint time, the same way M301 checks model coefficients.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..core import Finding, Rule, SourceModule
+from ..registry import rule
+
+#: Keyword-argument names that carry a workload-family reference.
+_FAMILY_KEYWORDS = ("family", "family_name")
+
+#: Call targets whose first positional argument is a family name.
+_FAMILY_CALLS = ("get_family",)
+
+
+def _registered_families() -> Tuple[str, ...]:
+    """The shipped family registry (imported lazily, like M301)."""
+    from ...workloads import family_names
+
+    return tuple(family_names())
+
+
+def _literal_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+@rule
+class UnknownWorkloadFamilyRule(Rule):
+    """W801: literal family references come from the registry."""
+
+    code = "W801"
+    name = "unknown-workload-family"
+    summary = (
+        "a string literal referencing a workload family ('family' dict "
+        "key, family= keyword, get_family call) is not in the "
+        "repro.workloads registry"
+    )
+    packages = None  # family references appear in serve, obs, cli, tests
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        """Flag literal family names absent from the registry."""
+        registry = set(_registered_families())
+
+        def msg(name: str) -> str:
+            return (
+                f"{name!r} is not a registered workload family; "
+                f"registered: {', '.join(sorted(registry))} (families "
+                "register via repro.workloads.register_family)"
+            )
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.keyword) and node.arg in _FAMILY_KEYWORDS:
+                value = _literal_str(node.value)
+                if value is not None and value not in registry:
+                    yield module.finding(node.value, self.code, msg(value))
+            elif isinstance(node, ast.Dict):
+                for key, value_node in zip(node.keys, node.values):
+                    if key is None or _literal_str(key) != "family":
+                        continue
+                    value = _literal_str(value_node)
+                    if value is not None and value not in registry:
+                        yield module.finding(value_node, self.code, msg(value))
+            elif isinstance(node, ast.Call) and node.args:
+                func = node.func
+                callee = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if callee in _FAMILY_CALLS:
+                    value = _literal_str(node.args[0])
+                    if value is not None and value not in registry:
+                        yield module.finding(node.args[0], self.code, msg(value))

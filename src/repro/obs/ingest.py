@@ -29,7 +29,7 @@ import pathlib
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..errors import TelemetryError
-from .report import RESPONSE_VARIABLES, join_residuals
+from .report import RESPONSE_VARIABLES, Residual, join_residuals
 from .store import TelemetryStore
 
 PathLike = Union[str, pathlib.Path]
@@ -61,16 +61,11 @@ def ingest_records(
     if not records:
         raise TelemetryError("nothing to ingest: empty record sequence")
     batch = len(store.segments("residuals"))
-    cells: Dict[str, List[Any]] = {
-        "run": [], "molecule": [], "servers": [], "cutoff": [],
-        "update_interval": [], "steps": [], "wall_mean": [], "wall_std": [],
-        "reps": [], "total_s": [], "batch": [],
-    }
-    for variable in RESPONSE_VARIABLES:
-        cells[variable] = []
+    cells = _empty_cells_columns()
     for record in records:
         case = record.case
         cells["run"].append(case.label)
+        cells["family"].append("opal")
         cells["molecule"].append(case.molecule.name)
         cells["servers"].append(int(case.servers))
         cells["cutoff"].append(_nan(case.cutoff))
@@ -87,18 +82,109 @@ def ingest_records(
 
     if params is not None:
         rows = [(r.case.label, r.app, r.breakdown) for r in records]
-        residuals: Dict[str, List[Any]] = {
-            "run": [], "variable": [], "measured": [], "predicted": [],
-            "residual": [], "relative": [], "batch": [],
-        }
+        residuals = _empty_residual_columns()
         for res in join_residuals(rows, params):
-            residuals["run"].append(res.run)
-            residuals["variable"].append(res.variable)
-            residuals["measured"].append(res.measured)
-            residuals["predicted"].append(res.predicted)
-            residuals["residual"].append(res.residual)
-            residuals["relative"].append(res.relative)
-            residuals["batch"].append(batch)
+            _append_residual(residuals, res, family="opal", batch=batch)
+        segments.append(store.append("residuals", residuals, meta=meta))
+    return segments
+
+
+def _empty_cells_columns() -> Dict[str, List[Any]]:
+    """The shared ``cells`` schema (first segment fixes the columns)."""
+    cells: Dict[str, List[Any]] = {
+        "run": [], "family": [], "molecule": [], "servers": [], "cutoff": [],
+        "update_interval": [], "steps": [], "wall_mean": [], "wall_std": [],
+        "reps": [], "total_s": [], "batch": [],
+    }
+    for variable in RESPONSE_VARIABLES:
+        cells[variable] = []
+    return cells
+
+
+def _empty_residual_columns() -> Dict[str, List[Any]]:
+    """The shared ``residuals`` schema (first segment fixes the columns)."""
+    return {
+        "run": [], "family": [], "variable": [], "measured": [],
+        "predicted": [], "residual": [], "relative": [], "batch": [],
+    }
+
+
+def _append_residual(
+    columns: Dict[str, List[Any]], res: Any, family: str, batch: int
+) -> None:
+    columns["run"].append(res.run)
+    columns["family"].append(family)
+    columns["variable"].append(res.variable)
+    columns["measured"].append(res.measured)
+    columns["predicted"].append(res.predicted)
+    columns["residual"].append(res.residual)
+    columns["relative"].append(res.relative)
+    columns["batch"].append(batch)
+
+
+def ingest_workload_records(
+    store: TelemetryStore,
+    records: Sequence[Any],
+    params: Optional[Any] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> List[str]:
+    """Workload campaign records -> ``cells`` (+ ``residuals``).
+
+    ``records`` are :class:`~repro.workloads.campaign.WorkloadRecord`
+    objects in design order.  The columns match :func:`ingest_records`
+    exactly — ``family`` carries the workload family, ``molecule``
+    carries the spec label, Opal-only factors land as their missing
+    values (NaN cutoff, zero update interval) — so opal and workload
+    campaigns can share one store and the query/SLO/drift layers work
+    unchanged.  With ``params`` (a family calibration) residuals are
+    joined through the family's closed-form terms.
+    """
+    from ..core.model import terms_breakdown
+    from ..errors import WorkloadError
+    from ..workloads import get_family
+
+    if not records:
+        raise TelemetryError("nothing to ingest: empty record sequence")
+    batch = len(store.segments("residuals"))
+    cells = _empty_cells_columns()
+    residuals = _empty_residual_columns()
+    for record in records:
+        cell = record.cell
+        family = get_family(cell.spec.family)
+        try:
+            steps = len(family.compile(cell.spec, cell.servers))
+        except WorkloadError:
+            steps = int(cell.spec.params_dict().get("steps", 0))
+        cells["run"].append(cell.label)
+        cells["family"].append(cell.spec.family)
+        cells["molecule"].append(family.spec_label(cell.spec))
+        cells["servers"].append(int(cell.servers))
+        cells["cutoff"].append(float("nan"))
+        cells["update_interval"].append(0)
+        cells["steps"].append(steps)
+        cells["wall_mean"].append(float(record.wall_stats.mean))
+        cells["wall_std"].append(float(record.wall_stats.std))
+        cells["reps"].append(len(record.wall_stats.values))
+        cells["total_s"].append(float(record.breakdown.total))
+        cells["batch"].append(batch)
+        for variable in RESPONSE_VARIABLES:
+            cells[variable].append(float(getattr(record.breakdown, variable)))
+        if params is not None:
+            predicted = terms_breakdown(
+                params, family.terms(cell.spec, cell.servers)
+            )
+            for variable in RESPONSE_VARIABLES:
+                res = Residual(
+                    run=cell.label,
+                    variable=variable,
+                    measured=float(getattr(record.breakdown, variable)),
+                    predicted=float(getattr(predicted, variable)),
+                )
+                _append_residual(
+                    residuals, res, family=cell.spec.family, batch=batch
+                )
+    segments = [store.append("cells", cells, meta=meta)]
+    if params is not None:
         segments.append(store.append("residuals", residuals, meta=meta))
     return segments
 

@@ -83,6 +83,11 @@ class Query:
     cutoff: Optional[float] = None
     steps: int = 10
     calibrated: bool = False
+    #: workload family answering this query; "opal" is the v1 wire
+    #: format (family-less queries parse to it unchanged)
+    family: str = "opal"
+    #: canonicalized family spec params (non-opal families only)
+    spec: Optional[Tuple[Tuple[str, Any], ...]] = None
 
     @property
     def compute_key(self) -> Tuple[Any, ...]:
@@ -100,6 +105,8 @@ class Query:
             self.cutoff,
             self.update_interval,
             self.steps,
+            self.family,
+            self.spec,
         )
 
     def as_dict(self) -> Dict[str, Any]:
@@ -107,6 +114,14 @@ class Query:
         servers: Any = (
             list(self.servers) if isinstance(self.servers, tuple) else self.servers
         )
+        if self.family != "opal":
+            return {
+                "platform": self.platform,
+                "servers": servers,
+                "family": self.family,
+                "spec": dict(self.spec or ()),
+                "calibrated": self.calibrated,
+            }
         return {
             "platform": self.platform,
             "molecule": self.molecule,
@@ -191,6 +206,23 @@ def _parse_query_uncached(data: Any, kind: str) -> Query:
         "invalid-query",
         f"query must be an object, got {type(data).__name__}",
     )
+    family = data.get("family", "opal")
+    _require(
+        isinstance(family, str) and family != "",
+        BAD_REQUEST,
+        "invalid-field",
+        f"family must be a non-empty string, got {family!r}",
+    )
+    if family != "opal":
+        return _parse_family_query(data, kind, family)
+    _require(
+        "spec" not in data,
+        BAD_REQUEST,
+        "invalid-query",
+        "field 'spec' applies only to non-opal workload families; set "
+        "'family' to a registered family, or use the opal fields "
+        "(molecule/cutoff/update_interval/steps) directly",
+    )
     unknown = set(data) - {
         "platform",
         "molecule",
@@ -199,6 +231,7 @@ def _parse_query_uncached(data: Any, kind: str) -> Query:
         "cutoff",
         "steps",
         "calibrated",
+        "family",
     }
     _require(
         not unknown,
@@ -285,6 +318,95 @@ def _parse_query_uncached(data: Any, kind: str) -> Query:
         cutoff=cutoff,
         steps=_parse_int(data.get("steps", 10), "steps"),
         calibrated=calibrated,
+    )
+
+
+def _parse_family_query(data: Any, kind: str, family: str) -> Query:
+    """Validate a non-opal family query (the ``family``/``spec`` form).
+
+    Spec-level failures surface as
+    :class:`~repro.errors.WorkloadError` from the workload subsystem's
+    validator and are mapped here to 400 envelopes with the validator's
+    actionable field/value detail.
+    """
+    from ..errors import WorkloadError
+
+    opal_only = sorted(
+        set(data) & {"molecule", "cutoff", "update_interval", "steps"}
+    )
+    _require(
+        not opal_only,
+        BAD_REQUEST,
+        "invalid-query",
+        f"field(s) {opal_only} apply only to the opal family; a "
+        f"{family!r} query takes its parameters in the 'spec' object",
+    )
+    unknown = set(data) - {"platform", "servers", "family", "spec", "calibrated"}
+    _require(
+        not unknown,
+        BAD_REQUEST,
+        "invalid-query",
+        f"unknown query field(s): {sorted(unknown)}",
+    )
+    platform = data.get("platform", "j90")
+    _require(
+        isinstance(platform, str),
+        BAD_REQUEST,
+        "invalid-field",
+        "platform must be a string",
+    )
+    from ..platforms import PLATFORMS
+
+    _require(
+        platform in PLATFORMS,
+        NOT_FOUND,
+        "unknown-platform",
+        f"unknown platform {platform!r}; known: {sorted(PLATFORMS)}",
+    )
+    raw_spec = data.get("spec", {})
+    _require(
+        isinstance(raw_spec, dict),
+        BAD_REQUEST,
+        "invalid-field",
+        f"spec must be an object of {family} parameters, "
+        f"got {type(raw_spec).__name__}",
+    )
+    from ..workloads import get_family
+
+    try:
+        spec = get_family(family).spec_from_params(raw_spec)
+    except WorkloadError as exc:
+        raise ServeError(BAD_REQUEST, "invalid-workload", str(exc)) from exc
+
+    raw_servers = data.get("servers", 1 if kind == "predict" else None)
+    servers: Union[int, Tuple[int, ...]]
+    if kind == "predict":
+        servers = _parse_int(raw_servers, "servers")
+    else:
+        if raw_servers is None:
+            servers = DEFAULT_SWEEP_SERVERS
+        else:
+            _require(
+                isinstance(raw_servers, (list, tuple)) and len(raw_servers) > 0,
+                BAD_REQUEST,
+                "invalid-field",
+                "sweep servers must be a non-empty list of integers",
+            )
+            servers = tuple(_parse_int(p, "servers[]") for p in raw_servers)
+    calibrated = data.get("calibrated", False)
+    _require(
+        isinstance(calibrated, bool),
+        BAD_REQUEST,
+        "invalid-field",
+        "calibrated must be a boolean",
+    )
+    return Query(
+        platform=platform,
+        molecule="",
+        servers=servers,
+        calibrated=calibrated,
+        family=family,
+        spec=spec.params,
     )
 
 

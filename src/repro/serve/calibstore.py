@@ -26,7 +26,8 @@ from __future__ import annotations
 import asyncio
 from collections import OrderedDict
 from concurrent.futures import Executor
-from typing import Dict, List, Optional, Tuple
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.calibration import calibrate
 from ..core.parameters import ModelPlatformParams
@@ -147,6 +148,56 @@ class CalibrationStore:
         return result.params
 
     # ------------------------------------------------------------------
+    def key_for_family(self, spec, family_name: str) -> str:
+        """Content address of one (platform, family) fit."""
+        from ..workloads import get_family
+        from ..workloads.campaign import WorkloadCell
+
+        family = get_family(family_name)
+        design = [
+            WorkloadCell(s, p).key_data() for s, p in family.calibration_design()
+        ]
+        return ResultCache.key_for(
+            {
+                "kind": "workload-calibration",
+                "family": family_name,
+                "platform": platform_key_data(spec),
+                "design": design,
+                "protocol": {
+                    "seed": self.seed,
+                    "jitter_sigma": self.jitter_sigma,
+                    "repetitions": self.repetitions,
+                    "sync_mode": "accounted",
+                },
+            }
+        )
+
+    def fit_family(self, spec, family_name: str) -> ModelPlatformParams:
+        """Measure a family's calibration design and fit (synchronous)."""
+        from ..core.calibration import calibrate_terms
+        from ..workloads import get_family
+        from ..workloads.campaign import WorkloadCell, measure_workload_cell
+
+        family = get_family(family_name)
+        observations = []
+        for wl_spec, servers in family.calibration_design():
+            record = measure_workload_cell(
+                spec,
+                WorkloadCell(wl_spec, servers),
+                jitter_sigma=self.jitter_sigma,
+                repetitions=self.repetitions,
+                base_seed=self.seed,
+            )
+            observations.append(
+                (family.terms(wl_spec, servers), record.breakdown)
+            )
+        result = calibrate_terms(
+            observations, name=f"{spec.name}-{family_name}-serve-fit"
+        )
+        self.fits += 1
+        return result.params
+
+    # ------------------------------------------------------------------
     def _remember(self, key: str, params: ModelPlatformParams, now: float) -> None:
         """Insert into the in-memory LRU (disk persistence is separate).
 
@@ -194,9 +245,11 @@ class CalibrationStore:
         self._remember(key, params, now)
         return params
 
-    async def _fit_off_loop(self, spec, key: str, now: float) -> ModelPlatformParams:
+    async def _fit_off_loop(
+        self, fit: Callable[[], ModelPlatformParams], key: str, now: float
+    ) -> ModelPlatformParams:
         loop = asyncio.get_running_loop()
-        params = await loop.run_in_executor(self._executor, self.fit, spec)
+        params = await loop.run_in_executor(self._executor, fit)
         self._remember(key, params, now)
         if self.disk is not None:
             await loop.run_in_executor(
@@ -204,7 +257,9 @@ class CalibrationStore:
             )
         return params
 
-    def _spawn_refresh(self, spec, key: str, now: float) -> None:
+    def _spawn_refresh(
+        self, fit: Callable[[], ModelPlatformParams], key: str, now: float
+    ) -> None:
         """Schedule a background (re)fit, deduplicating in-flight keys."""
         if key in self._inflight:
             return
@@ -212,7 +267,7 @@ class CalibrationStore:
 
         async def refresh() -> ModelPlatformParams:
             try:
-                return await self._fit_off_loop(spec, key, now)
+                return await self._fit_off_loop(fit, key, now)
             finally:
                 self._inflight.pop(key, None)
 
@@ -224,21 +279,19 @@ class CalibrationStore:
             await asyncio.gather(*list(self._inflight.values()))
 
     # ------------------------------------------------------------------
-    async def resolve(
-        self, spec, now: float, refresh: str = "background"
+    async def _resolve_keyed(
+        self,
+        key: str,
+        fit: Callable[[], ModelPlatformParams],
+        fallback: Callable[[], ModelPlatformParams],
+        now: float,
+        refresh: str,
     ) -> Tuple[ModelPlatformParams, str]:
-        """Fitted parameters for ``spec``, or the key-data fallback.
-
-        Returns ``(params, source)`` where source is
-        :data:`SOURCE_CALIBRATED` when a (fresh enough) fit was found or
-        produced, and :data:`SOURCE_KEY_DATA` when the store fell back
-        to Table 1/2-derived parameters under the given policy.
-        """
+        """The shared policy flow: memory -> disk -> fit-or-fallback."""
         if refresh not in REFRESH_MODES:
             raise ValueError(
                 f"refresh must be one of {REFRESH_MODES}, got {refresh!r}"
             )
-        key = self.key_for_platform(spec)
         params, try_disk = self._lookup(key, now)
         if params is None and try_disk:
             params = await self._load_off_loop(key, now)
@@ -250,7 +303,45 @@ class CalibrationStore:
             inflight = self._inflight.get(key)
             if inflight is not None:
                 return await asyncio.shield(inflight), SOURCE_CALIBRATED
-            return await self._fit_off_loop(spec, key, now), SOURCE_CALIBRATED
+            return await self._fit_off_loop(fit, key, now), SOURCE_CALIBRATED
         if refresh == "background":
-            self._spawn_refresh(spec, key, now)
-        return ModelPlatformParams.from_spec(spec), SOURCE_KEY_DATA
+            self._spawn_refresh(fit, key, now)
+        return fallback(), SOURCE_KEY_DATA
+
+    async def resolve(
+        self, spec, now: float, refresh: str = "background"
+    ) -> Tuple[ModelPlatformParams, str]:
+        """Fitted parameters for ``spec``, or the key-data fallback.
+
+        Returns ``(params, source)`` where source is
+        :data:`SOURCE_CALIBRATED` when a (fresh enough) fit was found or
+        produced, and :data:`SOURCE_KEY_DATA` when the store fell back
+        to Table 1/2-derived parameters under the given policy.
+        """
+        return await self._resolve_keyed(
+            self.key_for_platform(spec),
+            partial(self.fit, spec),
+            partial(ModelPlatformParams.from_spec, spec),
+            now,
+            refresh,
+        )
+
+    async def resolve_family(
+        self, spec, family_name: str, now: float, refresh: str = "background"
+    ) -> Tuple[ModelPlatformParams, str]:
+        """Family-fitted parameters for ``spec``, or key-data fallback.
+
+        Same policy flow as :meth:`resolve`, but the fit measures the
+        family's own calibration design and the fallback derives the
+        family's coefficients from the platform's technical key data.
+        """
+        from ..workloads import get_family
+
+        family = get_family(family_name)
+        return await self._resolve_keyed(
+            self.key_for_family(spec, family_name),
+            partial(self.fit_family, spec, family_name),
+            partial(family.key_data_params, spec),
+            now,
+            refresh,
+        )

@@ -185,20 +185,66 @@ def _query_envelope(args: argparse.Namespace) -> Dict[str, Any]:
         "kind": args.kind,
     }
     if args.kind in ("predict", "sweep"):
-        query: Dict[str, Any] = {
-            "platform": args.platform,
-            "molecule": args.molecule,
-            "update_interval": args.update_interval,
-            "cutoff": args.cutoff,
-            "steps": args.steps,
-            "calibrated": args.calibrated,
-        }
+        if args.family != "opal":
+            query: Dict[str, Any] = {
+                "platform": args.platform,
+                "family": args.family,
+                "spec": _load_spec_arg(args.spec),
+                "calibrated": args.calibrated,
+            }
+        else:
+            query = {
+                "platform": args.platform,
+                "molecule": args.molecule,
+                "update_interval": args.update_interval,
+                "cutoff": args.cutoff,
+                "steps": args.steps,
+                "calibrated": args.calibrated,
+            }
         if args.kind == "predict":
             query["servers"] = args.servers
         else:
             query["servers"] = list(range(1, args.servers + 1))
         envelope["query"] = query
     return envelope
+
+
+def _load_spec_arg(raw: Optional[str]) -> Dict[str, Any]:
+    """``--spec`` accepts inline JSON or a .json/.toml spec file path."""
+    if raw is None:
+        return {}
+    text = raw.strip()
+    if text.startswith("{"):
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise SystemExit(f"--spec must be a JSON object, got {text!r}")
+        return data
+    from ..workloads import load_spec_data
+
+    data = load_spec_data(raw)
+    data.pop("family", None)  # --family is authoritative on the CLI
+    return data
+
+
+def _parse_family_mix(raw: Optional[str]) -> Optional[Dict[str, float]]:
+    """``--family-mix "collective=0.3,hpl=0.2,opal=0.5"`` -> weight dict."""
+    if raw is None:
+        return None
+    mix: Dict[str, float] = {}
+    for part in raw.split(","):
+        name, sep, weight = part.partition("=")
+        if not sep or not name.strip():
+            raise SystemExit(
+                f"--family-mix entries are FAMILY=WEIGHT, got {part!r}"
+            )
+        try:
+            mix[name.strip()] = float(weight)
+        except ValueError:
+            raise SystemExit(
+                f"--family-mix weight for {name.strip()!r} is not a number: "
+                f"{weight!r}"
+            ) from None
+    return mix
 
 
 def cmd_query(args: argparse.Namespace) -> int:
@@ -327,15 +373,20 @@ def _bench_fleet(args: argparse.Namespace, spec: LoadSpec) -> Dict[str, Any]:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run a seeded load campaign in-process; report and assert."""
-    spec = LoadSpec(
-        clients=args.clients,
-        requests_per_client=args.requests,
-        rate=args.load_rate,
-        seed=args.seed,
-        sweep_fraction=args.sweep_fraction,
-        calibrated=args.calibrated,
-        deadline=args.deadline,
-    )
+    try:
+        spec = LoadSpec(
+            clients=args.clients,
+            requests_per_client=args.requests,
+            rate=args.load_rate,
+            seed=args.seed,
+            sweep_fraction=args.sweep_fraction,
+            calibrated=args.calibrated,
+            deadline=args.deadline,
+            family_mix=_parse_family_mix(args.family_mix),
+        )
+    except ValueError as exc:
+        print(f"invalid load spec: {exc}", file=sys.stderr)
+        return 2
 
     async def run() -> Dict[str, Any]:
         service = _build_service(args)
@@ -452,6 +503,11 @@ def main(argv: Optional[list] = None) -> int:
     p = sub.add_parser("query", help="answer one query and print JSON")
     p.add_argument("--kind", choices=api.KINDS, default="predict")
     p.add_argument("--platform", default="j90")
+    p.add_argument("--family", default="opal",
+                   help="workload family (default opal; others take --spec)")
+    p.add_argument("--spec", default=None, metavar="JSON|FILE",
+                   help="family spec as inline JSON or a .json/.toml file "
+                   "(non-opal families; omitted fields take defaults)")
     p.add_argument("--molecule", choices=("small", "medium", "large"),
                    default="medium")
     p.add_argument("--servers", type=int, default=4,
@@ -476,6 +532,10 @@ def main(argv: Optional[list] = None) -> int:
                    help="per-client mean request rate (req/s)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--sweep-fraction", type=float, default=0.1)
+    p.add_argument("--family-mix", default=None, metavar="MIX",
+                   help='weighted family draw, e.g. '
+                   '"collective=0.3,hpl=0.2,opal=0.5" '
+                   "(default: all requests are opal)")
     p.add_argument("--calibrated", action="store_true")
     p.add_argument("--deadline", type=float, default=None,
                    help="per-request latency budget in seconds")

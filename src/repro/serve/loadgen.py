@@ -49,6 +49,10 @@ class LoadSpec:
     max_servers: int = 7
     calibrated: bool = False
     deadline: Optional[float] = None
+    #: weighted draw over workload families, e.g. ``{"opal": 0.5,
+    #: "collective": 0.5}``; ``None`` (the default) keeps the classic
+    #: all-opal schedule byte-identical (no extra random draws)
+    family_mix: Optional[Tuple[Tuple[str, float], ...]] = None
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -59,6 +63,35 @@ class LoadSpec:
             raise ValueError("rate must be positive")
         if not 0.0 <= self.sweep_fraction <= 1.0:
             raise ValueError("sweep_fraction must be in [0, 1]")
+        if self.family_mix is not None:
+            from ..workloads import family_names
+
+            if isinstance(self.family_mix, dict):
+                object.__setattr__(
+                    self,
+                    "family_mix",
+                    tuple(sorted(self.family_mix.items())),
+                )
+            else:
+                object.__setattr__(
+                    self,
+                    "family_mix",
+                    tuple(sorted((str(k), float(w)) for k, w in self.family_mix)),
+                )
+            if not self.family_mix:
+                raise ValueError("family_mix must name at least one family")
+            known = set(family_names())
+            for name, weight in self.family_mix:
+                if name not in known:
+                    raise ValueError(
+                        f"family_mix names unknown family {name!r}; "
+                        f"registered: {sorted(known)}"
+                    )
+                if not weight > 0:
+                    raise ValueError(
+                        f"family_mix weight for {name!r} must be positive, "
+                        f"got {weight!r}"
+                    )
 
 
 def build_schedule(spec: LoadSpec) -> List[Dict[str, Any]]:
@@ -69,6 +102,21 @@ def build_schedule(spec: LoadSpec) -> List[Dict[str, Any]]:
     ``(arrival, client, seq)`` preserves every client's submission
     order — the property per-client token buckets need for determinism.
     """
+    mix_names: List[str] = []
+    mix_probs: Optional[np.ndarray] = None
+    spec_pools: Dict[str, List[Dict[str, Any]]] = {}
+    if spec.family_mix is not None:
+        from ..workloads import get_family
+
+        mix_names = [name for name, _ in spec.family_mix]
+        weights = np.array([w for _, w in spec.family_mix], dtype=float)
+        mix_probs = weights / weights.sum()
+        for name in mix_names:
+            if name != "opal":
+                spec_pools[name] = [
+                    dict(p) for p in get_family(name).example_params()
+                ]
+
     envelopes: List[Tuple[float, int, int, Dict[str, Any]]] = []
     for ci in range(spec.clients):
         rng = np.random.default_rng([spec.seed, ci])
@@ -76,13 +124,25 @@ def build_schedule(spec: LoadSpec) -> List[Dict[str, Any]]:
         for seq in range(spec.requests_per_client):
             clock += float(rng.exponential(1.0 / spec.rate))
             is_sweep = bool(rng.random() < spec.sweep_fraction)
-            query: Dict[str, Any] = {
-                "platform": str(rng.choice(list(spec.platforms))),
-                "molecule": str(rng.choice(list(spec.molecules))),
-                "update_interval": int(rng.choice([1, 10])),
-                "cutoff": 10.0 if bool(rng.random() < 0.5) else None,
-                "calibrated": spec.calibrated,
-            }
+            family = "opal"
+            if mix_probs is not None:
+                family = mix_names[int(rng.choice(len(mix_names), p=mix_probs))]
+            if family == "opal":
+                query: Dict[str, Any] = {
+                    "platform": str(rng.choice(list(spec.platforms))),
+                    "molecule": str(rng.choice(list(spec.molecules))),
+                    "update_interval": int(rng.choice([1, 10])),
+                    "cutoff": 10.0 if bool(rng.random() < 0.5) else None,
+                    "calibrated": spec.calibrated,
+                }
+            else:
+                pool = spec_pools[family]
+                query = {
+                    "platform": str(rng.choice(list(spec.platforms))),
+                    "family": family,
+                    "spec": dict(pool[int(rng.integers(0, len(pool)))]),
+                    "calibrated": spec.calibrated,
+                }
             if is_sweep:
                 query["servers"] = list(range(1, spec.max_servers + 1))
             else:

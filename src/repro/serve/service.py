@@ -136,6 +136,74 @@ def _evaluate_sweep(
     }
 
 
+def _family_terms(query: api.Query, servers: int):
+    """The closed-form regressors of one (family query, server count)."""
+    from ..workloads import get_family
+
+    family = get_family(query.family)
+    spec = family.spec_from_params(dict(query.spec or ()))
+    return family.terms(spec, servers)
+
+
+def _evaluate_family_point(
+    params: ModelPlatformParams, query: api.Query, source: str
+) -> Dict[str, Any]:
+    """One non-opal point prediction (pure, batch-size independent)."""
+    from ..core.model import terms_breakdown
+
+    servers = int(query.servers)
+    breakdown = terms_breakdown(params, _family_terms(query, servers))
+    t1 = terms_breakdown(params, _family_terms(query, 1)).total
+    total = breakdown.total
+    return {
+        "kind": "predict",
+        "platform": query.platform,
+        "family": query.family,
+        "spec": dict(query.spec or ()),
+        "servers": servers,
+        "time": total,
+        "speedup": t1 / total,
+        "breakdown": breakdown.as_dict(),
+        "calibration": source,
+    }
+
+
+def _evaluate_family_sweep(
+    params: ModelPlatformParams, query: api.Query, source: str
+) -> Dict[str, Any]:
+    """One non-opal sweep prediction over the query's server range."""
+    from ..core.model import terms_breakdown
+    from ..core.prediction import PredictionSeries
+    from ..core.speedup import speedup_curve
+
+    servers = (
+        query.servers
+        if isinstance(query.servers, tuple)
+        else (int(query.servers),)
+    )
+    times = tuple(
+        terms_breakdown(params, _family_terms(query, p)).total for p in servers
+    )
+    series = PredictionSeries(
+        platform=query.platform,
+        servers=servers,
+        times=times,
+        speedups=tuple(speedup_curve(list(times))),
+    )
+    return {
+        "kind": "sweep",
+        "platform": query.platform,
+        "family": query.family,
+        "spec": dict(query.spec or ()),
+        "servers": list(series.servers),
+        "times": list(series.times),
+        "speedups": list(series.speedups),
+        "best_time": series.best_time,
+        "saturation": series.saturation,
+        "calibration": source,
+    }
+
+
 def platform_catalog() -> Dict[str, Any]:
     """The ``kind="platforms"`` catalog (also answered router-side)."""
     return {
@@ -172,7 +240,14 @@ def _evaluate_jobs(jobs: List[_Job]) -> List[Dict[str, Any]]:
         cache_key = (kind, query.compute_key, source, query.servers)
         hit = cache.get(cache_key)
         if hit is None:
-            evaluate = _evaluate_sweep if kind == "sweep" else _evaluate_point
+            if query.family != "opal":
+                evaluate = (
+                    _evaluate_family_sweep
+                    if kind == "sweep"
+                    else _evaluate_family_point
+                )
+            else:
+                evaluate = _evaluate_sweep if kind == "sweep" else _evaluate_point
             hit = cache[cache_key] = evaluate(params, query, source)
         results.append(hit)
     return results
@@ -523,7 +598,19 @@ class PredictionService:
             group = query.compute_key
             if group not in resolved:
                 spec = get_platform(query.platform)
-                if query.calibrated:
+                if query.family != "opal":
+                    if query.calibrated:
+                        resolved[group] = await self.calibrations.resolve_family(
+                            spec, query.family, now, refresh=self.config.refresh
+                        )
+                    else:
+                        from ..workloads import get_family
+
+                        resolved[group] = (
+                            get_family(query.family).key_data_params(spec),
+                            SOURCE_KEY_DATA,
+                        )
+                elif query.calibrated:
                     resolved[group] = await self.calibrations.resolve(
                         spec, now, refresh=self.config.refresh
                     )

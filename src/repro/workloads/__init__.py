@@ -1,0 +1,55 @@
+"""Declarative workload families: specs in, measurements and models out.
+
+The subsystem that makes the paper's methodology app-agnostic (ROADMAP
+item 3).  A scenario is a validated *spec* (data, not code); a
+:class:`WorkloadFamily` compiles it into (a) a client/server program
+the DES measures and (b) closed-form regressors the analytical model
+evaluates — so every family gets factorial campaigns, least-squares
+calibration and key-data prediction for free, and the serve API can
+answer ``"family": "collective"`` queries next to classic Opal ones.
+
+Importing this package registers the shipped families: ``opal``,
+``collective`` and ``hpl``.  See docs/WORKLOADS.md for the spec
+grammar and the adding-a-family runbook.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    WorkloadFamily,
+    family_names,
+    get_family,
+    parse_spec,
+    register_family,
+)
+from .program import PhaseStep, WorkloadRunResult, run_workload_program
+from .spec import (
+    SPEC_SCHEMA_VERSION,
+    FieldSpec,
+    WorkloadSpec,
+    dump_spec,
+    load_spec_data,
+    spec_digest,
+)
+
+# importing the family modules registers them
+from . import collective as _collective  # noqa: E402,F401
+from . import hpl as _hpl  # noqa: E402,F401
+from . import opal_family as _opal_family  # noqa: E402,F401
+
+__all__ = [
+    "FieldSpec",
+    "PhaseStep",
+    "SPEC_SCHEMA_VERSION",
+    "WorkloadFamily",
+    "WorkloadRunResult",
+    "WorkloadSpec",
+    "dump_spec",
+    "family_names",
+    "get_family",
+    "load_spec_data",
+    "parse_spec",
+    "register_family",
+    "run_workload_program",
+    "spec_digest",
+]

@@ -1,0 +1,434 @@
+"""Factorial campaigns over declarative workload families.
+
+The family-generic mirror of :mod:`repro.experiments`: a design is the
+cross product of a family's ``campaign_specs`` with a server-count
+axis; every cell measures through the family's DES program, results
+feed :func:`~repro.core.calibration.calibrate_terms`, and the fitted
+coefficients predict execution-time curves for candidate platforms
+from their technical key data.
+
+Determinism contract (same as the Opal campaign): cache keys are
+content addresses that include each spec's ``spec_digest``; per-cell
+seeds derive from cell content, not design position; the pooled runner
+probes the cache before submitting, stores in completion order and
+reassembles in design order — so serial and pooled campaigns are
+bit-identical and a warm cache executes zero simulations.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.breakdown import TimeBreakdown
+from ..core.calibration import CalibrationResult, calibrate_terms
+from ..core.model import terms_breakdown
+from ..core.prediction import PredictionSeries
+from ..core.speedup import speedup_curve
+from ..errors import DesignError
+from ..experiments.cache import (
+    CacheStats,
+    ResultCache,
+    platform_key_data,
+    stats_from_dict,
+    stats_to_dict,
+)
+from ..experiments.measurement import MeasurementStats, summarize
+from ..experiments.parallel import default_workers
+from ..experiments.runner import DEFAULT_JITTER, derive_cell_seed
+from .base import WorkloadFamily, get_family
+from .spec import WorkloadSpec, spec_digest
+
+
+@dataclass(frozen=True)
+class WorkloadCell:
+    """One (spec, servers) design cell; pickle-able and cache-addressable."""
+
+    spec: WorkloadSpec
+    servers: int
+
+    def key_data(self) -> dict:
+        """Content that determines this cell's simulated results.
+
+        Duck-typed into :func:`derive_cell_seed`, and the cell portion
+        of the cache-key payload; includes the spec digest so a spec
+        schema bump invalidates cached cells.
+        """
+        return {
+            "family": self.spec.family,
+            "spec": self.spec.params_dict(),
+            "spec_digest": spec_digest(self.spec),
+            "servers": self.servers,
+        }
+
+    @property
+    def label(self) -> str:
+        """Compact ``family:spec/p=N`` label for tables and telemetry."""
+        family = get_family(self.spec.family)
+        return f"{self.spec.family}:{family.spec_label(self.spec)}/p={self.servers}"
+
+
+@dataclass
+class WorkloadRecord:
+    """One workload cell with its measured outcome."""
+
+    cell: WorkloadCell
+    breakdown: TimeBreakdown
+    wall_stats: MeasurementStats
+
+
+def workload_record_to_dict(record: WorkloadRecord) -> dict:
+    """The JSON-able cache form of one measured record."""
+    return {
+        "workload_cell": record.cell.key_data(),
+        "breakdown": record.breakdown.as_dict(),
+        "wall_stats": stats_to_dict(record.wall_stats),
+    }
+
+
+def workload_record_from_dict(d: dict) -> WorkloadRecord:
+    """Rebuild a record from its cache form (inverse of ``to_dict``)."""
+    cell_data = d["workload_cell"]
+    family = get_family(cell_data["family"])
+    cell = WorkloadCell(
+        spec=family.spec_from_params(cell_data["spec"]),
+        servers=int(cell_data["servers"]),
+    )
+    b = d["breakdown"]
+    return WorkloadRecord(
+        cell=cell,
+        breakdown=TimeBreakdown(
+            update=b["update"], nbint=b["nbint"], seq_comp=b["seq_comp"],
+            comm=b["comm"], sync=b["sync"], idle=b["idle"],
+        ),
+        wall_stats=stats_from_dict(d["wall_stats"]),
+    )
+
+
+def workload_cell_key_payload(
+    cell: WorkloadCell,
+    platform,
+    jitter_sigma: float,
+    seed: int,
+    repetitions: int,
+    faults=None,
+) -> dict:
+    """Canonical cache-key payload for one workload cell.
+
+    Mirrors :func:`~repro.experiments.cache.cell_key_payload`: the
+    serial and pooled runners must produce identical keys, and a chaos
+    spec joins the key only when present.
+    """
+    payload = {
+        "kind": "workload-cell",
+        "cell": cell.key_data(),
+        "platform": platform_key_data(platform),
+        "sync_mode": "accounted",
+        "jitter_sigma": jitter_sigma,
+        "seed": seed,
+        "repetitions": repetitions,
+    }
+    if faults is not None:
+        payload["chaos"] = faults.as_dict()
+    return payload
+
+
+def measure_workload_cell(
+    platform,
+    cell: WorkloadCell,
+    jitter_sigma: float = DEFAULT_JITTER,
+    repetitions: int = 1,
+    base_seed: int = 0,
+    faults=None,
+) -> WorkloadRecord:
+    """Measure one cell (module-level: serial runner == pool worker)."""
+    family = get_family(cell.spec.family)
+    walls: List[float] = []
+    breakdowns: List[TimeBreakdown] = []
+    for rep in range(repetitions):
+        seed = derive_cell_seed(base_seed, cell, rep, salt="workload")
+        result = family.simulate(
+            cell.spec,
+            cell.servers,
+            platform,
+            seed=seed,
+            jitter_sigma=jitter_sigma,
+            faults=faults,
+        )
+        walls.append(result.wall_time)
+        breakdowns.append(result.breakdown)
+    return WorkloadRecord(
+        cell=cell,
+        breakdown=TimeBreakdown.mean(breakdowns),
+        wall_stats=summarize(walls),
+    )
+
+
+@dataclass(frozen=True)
+class WorkloadCellJob:
+    """One workload cell as a pickle-able pool work unit."""
+
+    index: int
+    cell: WorkloadCell
+    platform: object
+    jitter_sigma: float
+    repetitions: int
+    base_seed: int
+    faults: object = None
+
+
+def run_workload_cell(job: WorkloadCellJob):
+    """Pool worker entry point (module-level so it pickles)."""
+    record = measure_workload_cell(
+        job.platform,
+        job.cell,
+        jitter_sigma=job.jitter_sigma,
+        repetitions=job.repetitions,
+        base_seed=job.base_seed,
+        faults=job.faults,
+    )
+    return job.index, record
+
+
+def run_workload_design(
+    cells: Sequence[WorkloadCell],
+    platform,
+    jitter_sigma: float = DEFAULT_JITTER,
+    repetitions: int = 1,
+    base_seed: int = 0,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    faults=None,
+    progress=None,
+) -> Tuple[List[WorkloadRecord], int]:
+    """Measure every cell, serially or over a process pool.
+
+    Returns ``(records, simulated_cells)`` with records in design
+    order.  The cache is probed before any pool submission (hits never
+    occupy a worker), stores happen in completion order, records
+    reassemble in design order — serial ≡ pooled bit-identical.
+    """
+    if not cells:
+        raise DesignError("empty workload design")
+    if workers is not None and workers < 1:
+        raise DesignError("workers must be >= 1")
+    total = len(cells)
+    records: List[Optional[WorkloadRecord]] = [None] * total
+    done = 0
+
+    pending: List[Tuple[int, Optional[str]]] = []
+    for i, cell in enumerate(cells):
+        key = None
+        if cache is not None:
+            key = ResultCache.key_for(
+                workload_cell_key_payload(
+                    cell,
+                    platform,
+                    jitter_sigma=jitter_sigma,
+                    seed=base_seed,
+                    repetitions=repetitions,
+                    faults=faults,
+                )
+            )
+            cached = cache.load(key)
+            if cached is not None:
+                records[i] = workload_record_from_dict(cached)
+                done += 1
+                if progress is not None:
+                    progress(done, total, records[i])
+                continue
+        pending.append((i, key))
+
+    if pending and (workers is None or workers == 1):
+        for i, key in pending:
+            record = measure_workload_cell(
+                platform,
+                cells[i],
+                jitter_sigma=jitter_sigma,
+                repetitions=repetitions,
+                base_seed=base_seed,
+                faults=faults,
+            )
+            records[i] = record
+            if cache is not None and key is not None:
+                cache.store(key, workload_record_to_dict(record))
+            done += 1
+            if progress is not None:
+                progress(done, total, record)
+    elif pending:
+        n_workers = min(workers or default_workers(), len(pending))
+        with ProcessPoolExecutor(max_workers=n_workers) as executor:
+            futures = {}
+            for i, key in pending:
+                job = WorkloadCellJob(
+                    index=i,
+                    cell=cells[i],
+                    platform=platform,
+                    jitter_sigma=jitter_sigma,
+                    repetitions=repetitions,
+                    base_seed=base_seed,
+                    faults=faults,
+                )
+                futures[executor.submit(run_workload_cell, job)] = key
+            for future in as_completed(futures):
+                index, record = future.result()
+                records[index] = record
+                key = futures[future]
+                if cache is not None and key is not None:
+                    cache.store(key, workload_record_to_dict(record))
+                done += 1
+                if progress is not None:
+                    progress(done, total, record)
+    return records, len(pending)  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class WorkloadCampaignReport:
+    """Everything one family campaign produced."""
+
+    family: str
+    reference_platform: str
+    calibration: CalibrationResult
+    #: design-order (cell label, measured total, predicted total)
+    rows: List[Tuple[str, float, float]] = field(default_factory=list)
+    #: candidate platform -> spec label -> predicted series
+    predictions: Dict[str, Dict[str, PredictionSeries]] = field(
+        default_factory=dict
+    )
+    simulations_run: int = 0
+    cache_stats: Optional[CacheStats] = None
+
+
+def run_workload_campaign(
+    family_name: str,
+    platform,
+    base_spec: Optional[WorkloadSpec] = None,
+    servers: Sequence[int] = (1, 2, 4),
+    candidates: Sequence[object] = (),
+    seed: int = 0,
+    jitter_sigma: float = DEFAULT_JITTER,
+    repetitions: int = 1,
+    workers: Optional[int] = None,
+    cache_dir=None,
+    faults=None,
+    store_dir=None,
+    progress=None,
+) -> WorkloadCampaignReport:
+    """Measure -> calibrate -> predict for one workload family.
+
+    ``platform`` is the reference :class:`PlatformSpec` the factorial
+    design measures on; ``candidates`` are further specs predicted from
+    their key data with the fitted compute/communication coefficients.
+    With ``store_dir`` the records and residuals land in a telemetry
+    store under the family's name.
+    """
+    family: WorkloadFamily = get_family(family_name)
+    specs = family.campaign_specs(base_spec)
+    cells = [WorkloadCell(spec, p) for spec in specs for p in servers]
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    records, simulated = run_workload_design(
+        cells,
+        platform,
+        jitter_sigma=jitter_sigma,
+        repetitions=repetitions,
+        base_seed=seed,
+        workers=workers,
+        cache=cache,
+        faults=faults,
+        progress=progress,
+    )
+    observations = [
+        (family.terms(r.cell.spec, r.cell.servers), r.breakdown)
+        for r in records
+    ]
+    calibration = calibrate_terms(
+        observations, name=f"{platform.name}-{family_name}-fit"
+    )
+
+    rows = [
+        (r.cell.label, r.breakdown.total, terms_breakdown(
+            calibration.params, family.terms(r.cell.spec, r.cell.servers)
+        ).total)
+        for r in records
+    ]
+
+    server_axis = tuple(sorted(set(int(p) for p in servers)))
+    predictions: Dict[str, Dict[str, PredictionSeries]] = {}
+    for candidate in (platform, *candidates):
+        params = (
+            calibration.params
+            if candidate is platform
+            else family.key_data_params(candidate)
+        )
+        per_spec: Dict[str, PredictionSeries] = {}
+        for spec in specs:
+            times = tuple(
+                terms_breakdown(params, family.terms(spec, p)).total
+                for p in server_axis
+            )
+            per_spec[family.spec_label(spec)] = PredictionSeries(
+                platform=candidate.name,
+                servers=server_axis,
+                times=times,
+                speedups=tuple(speedup_curve(list(times))),
+            )
+        predictions[candidate.name] = per_spec
+
+    if store_dir is not None:
+        from ..obs.ingest import ingest_workload_records
+        from ..obs.store import TelemetryStore
+
+        ingest_workload_records(
+            TelemetryStore(store_dir),
+            records,
+            params=calibration.params,
+            meta={"family": family_name, "platform": platform.name},
+        )
+
+    return WorkloadCampaignReport(
+        family=family_name,
+        reference_platform=platform.name,
+        calibration=calibration,
+        rows=rows,
+        predictions=predictions,
+        simulations_run=simulated * repetitions,
+        cache_stats=cache.stats if cache is not None else None,
+    )
+
+
+def render_workload_campaign(report: WorkloadCampaignReport) -> str:
+    """The campaign as the study a human would read (deterministic)."""
+    lines: List[str] = []
+    lines.append(
+        f"=== workload campaign: {report.family} on "
+        f"{report.reference_platform} ==="
+    )
+    line = f"simulations executed: {report.simulations_run}"
+    if report.cache_stats is not None:
+        line += f" (cache: {report.cache_stats})"
+    lines.append(line)
+    lines.append(
+        "calibration fit: "
+        + ", ".join(
+            f"{k}={v:.3f}" for k, v in sorted(report.calibration.r2.items())
+        )
+    )
+    lines.append(
+        f"mean relative error: {report.calibration.mean_relative_error():.2%}"
+    )
+    lines.append("")
+    lines.append("cell                                   measured    predicted")
+    for label, measured, predicted in report.rows:
+        lines.append(f"{label:<38} {measured:>9.4f}s  {predicted:>9.4f}s")
+    for platform_name, per_spec in report.predictions.items():
+        lines.append("")
+        lines.append(f"predicted on {platform_name}:")
+        for spec_label, series in per_spec.items():
+            times = ", ".join(f"{t:.4f}" for t in series.times)
+            lines.append(
+                f"  {spec_label:<30} p={list(series.servers)} -> [{times}] "
+                f"(best {series.best_time:.4f}s at p={series.saturation})"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Declarative workload specs: schema fields, validation and digests.
+
+A *spec* is data, not code: one family name plus a flat mapping of
+typed parameters.  The schema machinery here gives every family the
+same contract:
+
+* :class:`FieldSpec` — one typed, bounded, documented parameter;
+* :class:`WorkloadSpec` — the frozen, canonicalized result of
+  validation (params stored in schema field order, hashable and
+  pickle-able, so a spec can ride inside cache keys and pool jobs);
+* :func:`spec_digest` — a content address over the canonical JSON
+  form, stable under dict reordering, versioned by
+  :data:`SPEC_SCHEMA_VERSION` so a schema change invalidates caches;
+* :func:`load_spec_data` / :func:`dump_spec` — JSON (and, where the
+  interpreter ships ``tomllib``, TOML) file round-trips.
+
+Validation failures raise :class:`~repro.errors.WorkloadError` with
+actionable messages: the offending family/field, the rejected value,
+and what would have been accepted.  Numeric fields reject strings with
+unit suffixes ("64kB", "10ms") explicitly — units are fixed by the
+schema, values are plain numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from ..errors import WorkloadError
+
+PathLike = Union[str, pathlib.Path]
+
+#: Version tag folded into every spec digest: bump on any change to the
+#: canonical form so stale cache entries miss instead of colliding.
+SPEC_SCHEMA_VERSION = 1
+
+#: A numeric-looking string with a trailing unit suffix ("64kB",
+#: "10 ms", "1.5GiB") — always rejected for numeric fields, with a
+#: dedicated message naming the schema's fixed unit.
+_UNIT_SUFFIX = re.compile(r"^\s*[-+]?[0-9][0-9_.eE+-]*\s*[a-zA-Zµ%]+\s*$")
+
+
+def canonical_json(data: Any) -> str:
+    """The one JSON form digests are computed over (sorted, compact)."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One typed parameter of a workload family's schema.
+
+    ``kind`` is ``"int"``, ``"float"`` or ``"str"``; ``unit`` names the
+    fixed unit of numeric fields (it appears in rejection messages for
+    unit-suffixed strings).  ``allow_none`` admits ``None`` (the
+    missing-float idiom, e.g. "no cutoff").
+    """
+
+    name: str
+    kind: str
+    default: Any
+    doc: str = ""
+    unit: str = ""
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+    choices: Optional[Tuple[str, ...]] = None
+    allow_none: bool = False
+
+    def validate(self, family: str, value: Any) -> Any:
+        """Coerce and bound one raw value; raise WorkloadError if bad."""
+        where = f"{family}.{self.name}"
+        if value is None:
+            if self.allow_none:
+                return None
+            raise WorkloadError(f"{where}: must not be null")
+        if self.kind == "str":
+            if not isinstance(value, str):
+                raise WorkloadError(
+                    f"{where}: expected a string, got {value!r}"
+                )
+            if self.choices is not None and value not in self.choices:
+                raise WorkloadError(
+                    f"{where}: {value!r} is not one of "
+                    f"{', '.join(self.choices)}"
+                )
+            return value
+        # numeric kinds
+        if isinstance(value, str):
+            if _UNIT_SUFFIX.match(value):
+                unit = self.unit or "the schema's fixed unit"
+                raise WorkloadError(
+                    f"{where}: unit suffixes are not accepted ({value!r}); "
+                    f"give {self.name} as a plain number in {unit}"
+                )
+            raise WorkloadError(
+                f"{where}: expected a number, got the string {value!r}"
+            )
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise WorkloadError(
+                f"{where}: expected a number, got {value!r}"
+            )
+        if self.kind == "int":
+            if float(value) != int(value):
+                raise WorkloadError(
+                    f"{where}: expected an integer, got {value!r}"
+                )
+            value = int(value)
+        else:
+            value = float(value)
+        if self.minimum is not None and value < self.minimum:
+            raise WorkloadError(
+                f"{where}: {value!r} is below the minimum {self.minimum}"
+            )
+        if self.maximum is not None and value > self.maximum:
+            raise WorkloadError(
+                f"{where}: {value!r} is above the maximum {self.maximum}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One validated, canonicalized workload scenario.
+
+    ``params`` is a tuple of ``(name, value)`` pairs in *schema field
+    order* — the canonical form.  Hashable and pickle-able so a spec
+    can sit inside cache-key payloads, pool jobs and serve queries.
+    """
+
+    family: str
+    params: Tuple[Tuple[str, Any], ...]
+
+    def get(self, name: str) -> Any:
+        """One parameter value; raise WorkloadError for absent fields."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        raise WorkloadError(f"{self.family} spec has no field {name!r}")
+
+    def params_dict(self) -> Dict[str, Any]:
+        """The params as a plain dict (canonical order preserved)."""
+        return dict(self.params)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The full loader-shaped dict: family plus every parameter."""
+        return {"family": self.family, **self.params_dict()}
+
+
+def spec_digest(spec: WorkloadSpec) -> str:
+    """Content address of one spec (hex SHA-256).
+
+    Computed over the canonical JSON of the schema-versioned spec dict,
+    so digests are stable across dict key ordering and process
+    boundaries, and change whenever the spec schema version does.
+    """
+    payload = {
+        "schema": SPEC_SCHEMA_VERSION,
+        "family": spec.family,
+        "params": spec.params_dict(),
+    }
+    return hashlib.sha256(canonical_json(payload).encode("ascii")).hexdigest()
+
+
+def dump_spec(spec: WorkloadSpec) -> str:
+    """Serialize one spec to canonical JSON (a loadable spec file body)."""
+    return canonical_json(spec.as_dict())
+
+
+def load_spec_data(path: PathLike) -> Dict[str, Any]:
+    """Load one raw spec mapping from a ``.json`` or ``.toml`` file.
+
+    TOML needs ``tomllib`` (Python 3.11+); on older interpreters a TOML
+    spec is rejected with a pointer at the JSON equivalent rather than
+    an ImportError.  Returns the *unvalidated* mapping — bind it to a
+    family via :func:`repro.workloads.parse_spec`.
+    """
+    p = pathlib.Path(path)
+    try:
+        text = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise WorkloadError(f"cannot read spec file {p}: {exc}") from exc
+    if p.suffix == ".json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise WorkloadError(f"{p} is not valid JSON: {exc}") from exc
+    elif p.suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError as exc:
+            raise WorkloadError(
+                f"{p}: TOML specs need Python 3.11+ (tomllib); "
+                "rewrite the spec as JSON on this interpreter"
+            ) from exc
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise WorkloadError(f"{p} is not valid TOML: {exc}") from exc
+    else:
+        raise WorkloadError(
+            f"{p}: unknown spec extension {p.suffix!r}; use .json or .toml"
+        )
+    if not isinstance(data, dict):
+        raise WorkloadError(f"{p}: a spec file must hold one object/table")
+    return data

@@ -1,0 +1,7 @@
+"""Fixture: workload family references outside the registry (W801 fires)."""
+
+
+def build_query(predict):
+    query = {"family": "colective", "servers": 4}
+    predict(family="hpll")
+    return query

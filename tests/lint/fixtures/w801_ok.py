@@ -1,0 +1,7 @@
+"""Fixture: registered workload family references (W801 stays quiet)."""
+
+
+def build_query(predict):
+    query = {"family": "collective", "servers": 4}
+    predict(family="hpl")
+    return query

@@ -42,6 +42,7 @@ ALL_CODES = [
     "S602",
     "S701",
     "S702",
+    "W801",
 ]
 
 
@@ -78,7 +79,7 @@ def test_near_miss_fixture_is_clean(code):
 def test_rule_metadata_is_complete():
     for cls in all_rules():
         assert cls.code and cls.name and cls.summary, cls
-        assert cls.code[0] in "DPMORS" and cls.code[1:].isdigit()
+        assert cls.code[0] in "DPMORSW" and cls.code[1:].isdigit()
         assert cls.severity in ("error", "warn"), cls
 
 

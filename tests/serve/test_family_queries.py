@@ -1,0 +1,187 @@
+"""Family queries on the serve path: answers, errors, calibration, mix."""
+
+import asyncio
+
+from repro.core.model import terms_breakdown
+from repro.platforms import get_platform
+from repro.serve import (
+    LoadSpec,
+    PredictionService,
+    ServeClient,
+    ServeConfig,
+    build_schedule,
+    run_open_loop,
+)
+from repro.serve.calibstore import CalibrationStore
+from repro.workloads import get_family
+
+WIDE_OPEN = dict(max_queue_depth=100000, rate=1e9, burst=10**6)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def serve_one(service, envelope):
+    async with service:
+        return await ServeClient(service).request(envelope)
+
+
+def family_envelope(kind="predict", rid="r", client="c", **query):
+    q = {"platform": "fast-cops", "family": "collective",
+         "spec": {"pattern": "broadcast"}}
+    q.update(query)
+    return {"kind": kind, "id": rid, "client": client, "query": q}
+
+
+class TestFamilyAnswers:
+    def test_collective_point_matches_terms_breakdown(self):
+        response = run(
+            serve_one(PredictionService(), family_envelope(servers=4))
+        )
+        assert response["status"] == 200
+        family = get_family("collective")
+        spec = family.spec_from_params({"pattern": "broadcast"})
+        params = family.key_data_params(get_platform("fast-cops"))
+        expected = terms_breakdown(params, family.terms(spec, 4))
+        t1 = terms_breakdown(params, family.terms(spec, 1)).total
+        result = response["result"]
+        assert result["time"] == expected.total
+        assert result["breakdown"] == expected.as_dict()
+        assert result["speedup"] == t1 / expected.total
+        assert result["family"] == "collective"
+        assert result["spec"]["pattern"] == "broadcast"
+        assert result["calibration"] == "key-data"
+
+    def test_hpl_sweep_matches_terms_over_servers(self):
+        envelope = family_envelope(
+            kind="sweep", family="hpl", spec={"matrix_n": 128, "block": 32},
+            servers=[1, 2, 4],
+        )
+        response = run(serve_one(PredictionService(), envelope))
+        assert response["status"] == 200
+        family = get_family("hpl")
+        spec = family.spec_from_params({"matrix_n": 128, "block": 32})
+        params = family.key_data_params(get_platform("fast-cops"))
+        expected = [
+            terms_breakdown(params, family.terms(spec, p)).total
+            for p in (1, 2, 4)
+        ]
+        result = response["result"]
+        assert result["times"] == expected
+        assert result["family"] == "hpl"
+
+    def test_family_less_query_keeps_v1_result_shape(self):
+        # the classic opal wire format must not grow family/spec keys
+        envelope = {"kind": "predict", "id": "r", "client": "c",
+                    "query": {"platform": "j90", "molecule": "medium",
+                              "servers": 4}}
+        response = run(serve_one(PredictionService(), envelope))
+        assert response["status"] == 200
+        assert "family" not in response["result"]
+        assert "spec" not in response["result"]
+
+
+class TestFamilyErrors:
+    def test_unit_suffix_in_spec_is_actionable_400(self):
+        envelope = family_envelope(spec={"pattern": "broadcast",
+                                         "message_bytes": "4 KB"})
+        response = run(serve_one(PredictionService(), envelope))
+        assert response["status"] == 400
+        assert response["error"]["reason"] == "invalid-workload"
+        detail = response["error"]["detail"]
+        assert "unit suffixes are not accepted" in detail
+        assert "message_bytes" in detail
+
+    def test_unknown_family_lists_registered(self):
+        envelope = family_envelope(family="colective")  # simlint: disable=W801
+        response = run(serve_one(PredictionService(), envelope))
+        assert response["status"] == 400
+        assert response["error"]["reason"] == "invalid-workload"
+        assert "collective" in response["error"]["detail"]
+
+    def test_unknown_spec_field_names_accepted_fields(self):
+        envelope = family_envelope(spec={"pattern": "broadcast",
+                                         "msg_bytes": 64})
+        response = run(serve_one(PredictionService(), envelope))
+        assert response["status"] == 400
+        assert response["error"]["reason"] == "invalid-workload"
+        assert "message_bytes" in response["error"]["detail"]
+
+    def test_opal_query_rejects_spec_object(self):
+        envelope = {"kind": "predict", "id": "r", "client": "c",
+                    "query": {"platform": "j90", "molecule": "medium",
+                              "spec": {"pattern": "broadcast"}}}
+        response = run(serve_one(PredictionService(), envelope))
+        assert response["status"] == 400
+        assert response["error"]["reason"] == "invalid-query"
+
+    def test_family_query_rejects_opal_only_fields(self):
+        envelope = family_envelope(molecule="medium")
+        response = run(serve_one(PredictionService(), envelope))
+        assert response["status"] == 400
+        assert response["error"]["reason"] == "invalid-query"
+        assert "molecule" in response["error"]["detail"]
+
+
+class TestCalibratedFamily:
+    def test_calibrated_point_bit_identical_across_batch_sizes(self, tmp_path):
+        # the ISSUE acceptance criterion: same calibration disk cache,
+        # blocking refresh, max_batch=1 vs 256 -> identical result bits
+        envelope = family_envelope(servers=4, calibrated=True)
+
+        async def serve_with(max_batch):
+            service = PredictionService(
+                config=ServeConfig(max_batch=max_batch, refresh="blocking",
+                                   **WIDE_OPEN),
+                calibrations=CalibrationStore(cache_dir=tmp_path),
+            )
+            async with service:
+                return await ServeClient(service).request(envelope)
+
+        a = run(serve_with(1))
+        b = run(serve_with(256))
+        assert a["status"] == b["status"] == 200
+        assert a["result"] == b["result"]
+        assert a["result"]["calibration"] == "calibrated"
+
+
+class TestFamilyMix:
+    def test_mix_schedule_is_deterministic_and_mixed(self):
+        spec = LoadSpec(
+            clients=4, requests_per_client=6, seed=3,
+            family_mix={"opal": 0.4, "collective": 0.4, "hpl": 0.2},
+        )
+        a = build_schedule(spec)
+        b = build_schedule(spec)
+        assert a == b
+        families = {e["query"].get("family", "opal") for e in a}
+        assert families == {"opal", "collective", "hpl"}
+
+    def test_no_mix_schedule_has_no_family_keys(self):
+        schedule = build_schedule(
+            LoadSpec(clients=4, requests_per_client=6, seed=3)
+        )
+        assert all("family" not in e["query"] for e in schedule)
+
+    def test_mixed_campaign_bit_identical_across_batch_sizes(self):
+        spec = LoadSpec(
+            clients=4, requests_per_client=6, seed=7, sweep_fraction=0.25,
+            family_mix={"opal": 0.5, "collective": 0.3, "hpl": 0.2},
+        )
+
+        async def campaign(max_batch):
+            service = PredictionService(
+                ServeConfig(max_batch=max_batch, **WIDE_OPEN)
+            )
+            async with service:
+                return await run_open_loop(
+                    ServeClient(service).request, build_schedule(spec)
+                )
+
+        batched = run(campaign(64))
+        sequential = run(campaign(1))
+        assert batched.ok == sequential.ok == 24
+        assert (
+            batched.canonical_responses() == sequential.canonical_responses()
+        )

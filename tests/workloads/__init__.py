@@ -1,0 +1,1 @@
+"""Tests for the declarative workload subsystem (repro.workloads)."""

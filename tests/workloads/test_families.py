@@ -1,0 +1,124 @@
+"""Family compilation: programs, closed-form terms, simulation coherence."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.platforms import get_platform
+from repro.workloads import get_family
+from repro.workloads.collective import PATTERNS
+
+
+class TestCompile:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_collective_patterns_compile(self, pattern):
+        family = get_family("collective")
+        spec = family.spec_from_params({"pattern": pattern})
+        steps = family.compile(spec, 4)
+        assert steps
+        for step in steps:
+            assert step.send_bytes > 0 and step.reply_bytes > 0
+
+    def test_hpl_step_count_is_panel_count(self):
+        family = get_family("hpl")
+        spec = family.spec_from_params({"matrix_n": 128, "block": 32})
+        assert len(family.compile(spec, 2)) == 128 // 32
+
+    def test_opal_family_does_not_compile_to_steps(self):
+        family = get_family("opal")
+        spec = family.spec_from_params({"molecule": "small"})
+        with pytest.raises(WorkloadError):
+            family.compile(spec, 2)
+
+
+class TestTerms:
+    def test_terms_match_compiled_program(self):
+        family = get_family("collective")
+        spec = family.spec_from_params(
+            {"pattern": "allreduce", "message_bytes": 2048}
+        )
+        servers = 3
+        steps = family.compile(spec, servers)
+        terms = family.terms(spec, servers)
+        assert terms.pair_ops == sum(s.server_flops for s in steps)
+        assert terms.seq_ops == sum(s.client_flops for s in steps)
+        assert terms.comm_bytes == sum(
+            servers * (s.send_bytes + s.reply_bytes) for s in steps
+        )
+        assert terms.comm_msgs == 2 * servers * len(steps)
+        assert terms.sync_ops == 2 * len(steps)
+
+    def test_key_data_prediction_tracks_simulation(self):
+        # the closed-form terms and the DES program describe the same
+        # workload: key-data prediction must land within a few percent
+        from repro.core.model import terms_breakdown
+
+        platform = get_platform("fast-cops")
+        family = get_family("hpl")
+        spec = family.spec_from_params({"matrix_n": 96, "block": 32})
+        for servers in (1, 2, 4):
+            result = family.simulate(spec, servers, platform, seed=1)
+            predicted = terms_breakdown(
+                family.key_data_params(platform), family.terms(spec, servers)
+            )
+            assert result.wall_time == pytest.approx(predicted.total, rel=0.10)
+
+    def test_opal_terms_match_model_breakdown(self):
+        # the spec-ified opal family must reproduce the paper model's
+        # component times exactly through the generic terms pipeline
+        from repro.core.model import OpalPerformanceModel, terms_breakdown
+        from repro.core.parameters import ModelPlatformParams
+
+        platform = get_platform("j90")
+        family = get_family("opal")
+        spec = family.spec_from_params(
+            {"molecule": "medium", "cutoff": 10.0, "update_interval": 10}
+        )
+        params = ModelPlatformParams.from_spec(platform)
+        direct = OpalPerformanceModel(params).breakdown(family.app(spec, 4))
+        generic = terms_breakdown(
+            family.key_data_params(platform), family.terms(spec, 4)
+        )
+        for component in ("update", "nbint", "seq_comp", "comm", "sync"):
+            assert getattr(generic, component) == pytest.approx(
+                getattr(direct, component), rel=1e-12
+            )
+
+
+class TestSimulate:
+    def test_deterministic_under_fixed_seed(self):
+        platform = get_platform("fast-cops")
+        family = get_family("collective")
+        spec = family.spec_from_params({"pattern": "broadcast"})
+        a = family.simulate(spec, 3, platform, seed=5)
+        b = family.simulate(spec, 3, platform, seed=5)
+        assert a.wall_time == b.wall_time
+        assert a.breakdown.as_dict() == b.breakdown.as_dict()
+
+    def test_crash_faults_rejected_by_generic_program(self):
+        from repro.netsim import FaultSpec
+
+        platform = get_platform("fast-cops")
+        family = get_family("collective")
+        spec = family.spec_from_params({"pattern": "barrier"})
+        with pytest.raises(WorkloadError):
+            family.simulate(
+                spec, 2, platform, faults=FaultSpec.parse("crash=1@0.001")
+            )
+
+    def test_chaos_run_retries_and_completes(self):
+        # drops are transport-level retransmissions (delivery delay, not
+        # loss), so Sciddle-level retries only fire when the added delay
+        # exceeds the RPC timeout while the client is waiting: pair an
+        # aggressive drop rate with a short timeout to force that path
+        from repro.netsim import FaultSpec
+
+        platform = get_platform("fast-cops")
+        family = get_family("collective")
+        spec = family.spec_from_params({"pattern": "broadcast"})
+        clean = family.simulate(spec, 2, platform, seed=1)
+        chaotic = family.simulate(
+            spec, 2, platform, seed=1,
+            faults=FaultSpec.parse("drop=0.4,timeout=0.05"),
+        )
+        assert chaotic.rpc_retries > 0
+        assert chaotic.wall_time > clean.wall_time

@@ -1,0 +1,138 @@
+"""Spec schema: validation, canonicalization, digests, loaders."""
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    dump_spec,
+    family_names,
+    get_family,
+    parse_spec,
+    spec_digest,
+)
+
+
+class TestRegistry:
+    def test_shipped_families_registered(self):
+        assert set(family_names()) >= {"collective", "hpl", "opal"}
+
+    def test_unknown_family_lists_registered(self):
+        with pytest.raises(WorkloadError) as exc:
+            get_family("colective")  # simlint: disable=W801
+        assert "collective" in str(exc.value)
+
+    def test_parse_spec_requires_family(self):
+        with pytest.raises(WorkloadError):
+            parse_spec({"pattern": "barrier"})
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "family,params",
+        [
+            ("collective", {"pattern": "allreduce", "message_bytes": 4096}),
+            ("collective", {"pattern": "barrier"}),
+            ("hpl", {"matrix_n": 128, "block": 32}),
+            ("opal", {"molecule": "small", "cutoff": 10.0, "steps": 3}),
+        ],
+    )
+    def test_parse_dump_parse_identical(self, family, params):
+        spec = get_family(family).spec_from_params(dict(params))
+        dumped = dump_spec(spec)
+        again = parse_spec(json.loads(dumped))
+        assert again == spec
+        assert dump_spec(again) == dumped
+        assert spec_digest(again) == spec_digest(spec)
+
+    def test_digest_stable_across_dict_ordering(self):
+        fwd = get_family("collective").spec_from_params(
+            {"pattern": "broadcast", "message_bytes": 512, "rounds": 2}
+        )
+        rev = get_family("collective").spec_from_params(
+            {"rounds": 2, "message_bytes": 512, "pattern": "broadcast"}
+        )
+        assert fwd == rev
+        assert spec_digest(fwd) == spec_digest(rev)
+
+    def test_digest_differs_when_params_differ(self):
+        family = get_family("hpl")
+        a = family.spec_from_params({"matrix_n": 128})
+        b = family.spec_from_params({"matrix_n": 256})
+        assert spec_digest(a) != spec_digest(b)
+
+    def test_defaults_are_materialized(self):
+        spec = get_family("collective").spec_from_params({"pattern": "barrier"})
+        params = spec.params_dict()
+        assert params["fanout"] == 2 and params["rounds"] == 4
+
+
+class TestValidation:
+    def test_unknown_field_lists_accepted(self):
+        with pytest.raises(WorkloadError) as exc:
+            get_family("collective").spec_from_params(
+                {"pattern": "barrier", "msg_bytes": 64}
+            )
+        message = str(exc.value)
+        assert "msg_bytes" in message and "message_bytes" in message
+
+    def test_unit_suffix_rejected_with_actionable_message(self):
+        with pytest.raises(WorkloadError) as exc:
+            get_family("collective").spec_from_params(
+                {"pattern": "broadcast", "message_bytes": "64 KB"}
+            )
+        message = str(exc.value)
+        assert "unit suffixes are not accepted" in message
+        assert "plain number in bytes" in message
+
+    def test_bad_choice_names_the_choices(self):
+        with pytest.raises(WorkloadError) as exc:
+            get_family("collective").spec_from_params({"pattern": "bcast"})
+        assert "broadcast" in str(exc.value)
+
+    def test_range_violation_names_field_and_bounds(self):
+        with pytest.raises(WorkloadError) as exc:
+            get_family("hpl").spec_from_params({"matrix_n": 1})
+        assert "hpl.matrix_n" in str(exc.value)
+
+    def test_cross_field_check_runs(self):
+        with pytest.raises(WorkloadError):
+            get_family("hpl").spec_from_params({"matrix_n": 64, "block": 128})
+
+    def test_family_key_must_agree(self):
+        with pytest.raises(WorkloadError):
+            get_family("hpl").spec_from_params(
+                {"family": "collective", "matrix_n": 64}
+            )
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(WorkloadError):
+            get_family("hpl").spec_from_params({"matrix_n": True})
+
+
+class TestLoaders:
+    def test_load_json_file(self, tmp_path):
+        from repro.workloads import load_spec_data
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"family": "hpl", "matrix_n": 64}))
+        spec = parse_spec(load_spec_data(path))
+        assert spec.family == "hpl" and spec.get("matrix_n") == 64
+
+    def test_load_toml_file(self, tmp_path):
+        pytest.importorskip("tomllib")
+        from repro.workloads import load_spec_data
+
+        path = tmp_path / "spec.toml"
+        path.write_text('family = "collective"\npattern = "barrier"\n')
+        spec = parse_spec(load_spec_data(path))
+        assert spec.family == "collective"
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        from repro.workloads import load_spec_data
+
+        path = tmp_path / "spec.yaml"
+        path.write_text("family: hpl\n")
+        with pytest.raises(WorkloadError):
+            load_spec_data(path)
